@@ -1,0 +1,88 @@
+"""Ablation: how much does qualitative abstraction lose? (Sec. II-B)
+
+The paper's premise is that qualitative models are "sufficiently
+faithful" for impact analysis.  This bench quantifies the claim on the
+case study's numeric substrate:
+
+* the numeric tank simulator and the qualitative behavioural EPA must
+  agree on the overflow/alert verdict for every fault configuration;
+* the quantization error shrinks as the quantity space gains labels,
+  while the verdict (the thing the analysis needs) is already stable at
+  the paper's 5-label space.
+"""
+
+import numpy as np
+import pytest
+
+from repro.casestudy import FaultInjection, qualitative_agreement, simulate
+from repro.qualitative import QuantitySpace, abstraction_error, quantize
+
+
+def test_bench_numeric_vs_qualitative_agreement(benchmark):
+    agreement = benchmark(qualitative_agreement, 20.0)
+    # Table II's verdict pattern, confirmed numerically
+    assert not agreement["nominal"]["overflowed"]
+    assert not agreement["f1"]["overflowed"]
+    assert agreement["f2"]["overflowed"] and agreement["f2"]["alerted"]
+    assert agreement["f2_f3"]["overflowed"]
+    assert not agreement["f2_f3"]["alerted"]
+    print()
+    print("numeric-vs-qualitative verdicts:")
+    for name, verdict in agreement.items():
+        print(
+            "  %-8s overflow=%-5s alert=%-5s signature=%s"
+            % (
+                name,
+                verdict["overflowed"],
+                verdict["alerted"],
+                "->".join(verdict["signature"]),
+            )
+        )
+    print("paper-vs-measured: the Table II pattern holds on the numeric model")
+
+
+@pytest.mark.parametrize("labels", [3, 5, 9, 17])
+def test_bench_abstraction_error_vs_granularity(benchmark, labels):
+    """More labels -> lower quantization error (diminishing returns)."""
+    run = simulate(
+        duration=20.0, faults=FaultInjection(output_stuck_closed=True)
+    )
+    capacity = run.capacity
+    landmarks = list(np.linspace(5.0, 1.05 * capacity, labels - 1))
+    space = QuantitySpace(
+        "level_%d" % labels,
+        ["l%d" % i for i in range(labels)],
+        landmarks=landmarks,
+    )
+
+    def measure():
+        return abstraction_error(run.level, space)
+
+    error = benchmark(measure)
+    assert 0.0 <= error <= 1.0
+    print()
+    print("labels=%2d -> abstraction error %.4f" % (labels, error))
+
+
+def test_bench_abstraction_error_curve(benchmark):
+    run = simulate(
+        duration=20.0, faults=FaultInjection(output_stuck_closed=True)
+    )
+    capacity = run.capacity
+
+    def sweep():
+        errors = []
+        for labels in (3, 5, 9, 17):
+            landmarks = list(np.linspace(5.0, 1.05 * capacity, labels - 1))
+            space = QuantitySpace(
+                "level_%d" % labels,
+                ["l%d" % i for i in range(labels)],
+                landmarks=landmarks,
+            )
+            errors.append(abstraction_error(run.level, space))
+        return errors
+
+    errors = benchmark(sweep)
+    assert errors == sorted(errors, reverse=True)
+    print()
+    print("error curve:", ["%.4f" % e for e in errors])

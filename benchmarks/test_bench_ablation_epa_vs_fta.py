@@ -1,0 +1,92 @@
+"""Ablation: qualitative EPA vs the classic FTA baseline (Sec. III-A).
+
+The paper argues FTA "does not examine components' behavior and
+interactions" and needs the analyst to enumerate failure logic by hand,
+while qualitative EPA derives system-level effects from the topology.
+This bench quantifies the comparison on the same ground truth:
+
+* EPA derives the minimal violating fault combinations directly from the
+  model; the equivalent fault tree is then reconstructed from them;
+* both toolchains must agree on the hazard set (same cut sets);
+* the FTA cut-set expansion grows combinatorially with redundancy
+  (k-of-n voting layers), while the EPA representation stays linear in
+  the model.
+"""
+
+import pytest
+
+from repro.epa import EpaEngine, StaticRequirement
+from repro.fta import AND, OR, BasicEvent, FaultTree, from_cut_sets
+from repro.modeling import RelationshipType, SystemModel, standard_cps_library
+
+
+def chain_model(sensors=2):
+    library = standard_cps_library()
+    model = SystemModel("redundant")
+    for index in range(sensors):
+        library.instantiate(model, "sensor", "s%d" % index)
+    library.instantiate(model, "controller", "c")
+    library.instantiate(model, "actuator", "v")
+    for index in range(sensors):
+        model.add_relationship("s%d" % index, "c", RelationshipType.FLOW)
+    model.add_relationship("c", "v", RelationshipType.FLOW)
+    return model
+
+
+REQ = [
+    StaticRequirement(
+        "rv", "err(v, K), hazardous_kind(K)", focus="v", magnitude="VH"
+    )
+]
+
+
+def epa_minimal_cuts():
+    engine = EpaEngine(chain_model(), REQ)
+    report = engine.analyze(max_faults=1)
+    return report.minimal_violating("rv")
+
+
+def test_bench_epa_analysis(benchmark):
+    cuts = benchmark(epa_minimal_cuts)
+    assert cuts
+    assert all(len(cut) == 1 for cut in cuts)
+    print()
+    print("EPA minimal violating combinations: %d" % len(cuts))
+
+
+def test_bench_fta_from_epa(benchmark):
+    """Reconstruct the fault tree from the EPA result; the toolchains
+    must agree on occurrence for every fault subset."""
+    cuts = [{str(f) for f in cut} for cut in epa_minimal_cuts()]
+
+    def build_and_solve():
+        tree = from_cut_sets(cuts, name="rv_violation")
+        return tree, tree.cut_sets()
+
+    tree, tree_cuts = benchmark(build_and_solve)
+    assert {frozenset(c) for c in cuts} == set(tree_cuts)
+    print()
+    print(
+        "FTA reconstruction agrees with EPA: %d minimal cut sets"
+        % len(tree_cuts)
+    )
+
+
+@pytest.mark.parametrize("layers", [4, 6, 8])
+def test_bench_fta_cutset_blowup(benchmark, layers):
+    """The classic FTA explosion: AND over OR-pairs doubles cut sets per
+    layer, while the generating model grows linearly."""
+
+    def build():
+        gates = [
+            OR(BasicEvent("x%d_a" % i), BasicEvent("x%d_b" % i))
+            for i in range(layers)
+        ]
+        return FaultTree(AND(*gates)).cut_sets()
+
+    cuts = benchmark(build)
+    assert len(cuts) == 2 ** layers
+    print()
+    print("layers=%d -> %d cut sets (model size %d events)" % (
+        layers, len(cuts), 2 * layers
+    ))

@@ -1,0 +1,112 @@
+"""Ablation benches for the embedded ASP substrate.
+
+Design choices DESIGN.md calls out:
+
+* completion-only solving is exact on tight programs, while non-tight
+  programs additionally pay for unfounded-set checks (lazy loop
+  nogoods);
+* the scenario space grows exponentially without a fault-cardinality
+  bound, which is why the engine exposes ``max_faults``;
+* grounding cost scales with the propagation topology.
+"""
+
+import pytest
+
+from repro.asp import Control
+from repro.asp.grounder import ground_program
+from repro.asp.parser import parse_program
+from repro.asp.solver import StableModelSolver
+from repro.epa import EpaEngine, StaticRequirement
+from repro.modeling import RelationshipType, SystemModel, standard_cps_library
+
+
+def tight_program(n=12):
+    lines = ["{ b%d }." % i for i in range(n)]
+    lines += ["a%d :- b%d." % (i, i) for i in range(n)]
+    lines += [":- a%d, a%d." % (i, i + 1) for i in range(n - 1)]
+    return "\n".join(lines)
+
+
+def nontight_program(n=12):
+    """A reachability-style cycle per index: needs loop nogoods."""
+    lines = ["{ seed%d }." % i for i in range(n)]
+    lines += ["p%d :- q%d." % (i, i) for i in range(n)]
+    lines += ["q%d :- p%d." % (i, i) for i in range(n)]
+    lines += ["p%d :- seed%d." % (i, i) for i in range(n)]
+    lines += [":- p%d, p%d." % (i, i + 1) for i in range(n - 1)]
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("kind", ["tight", "nontight"])
+def test_bench_tight_vs_nontight(benchmark, kind):
+    text = tight_program() if kind == "tight" else nontight_program()
+    ground = ground_program(parse_program(text))
+
+    def solve_all():
+        return list(StableModelSolver(ground).models())
+
+    models = benchmark(solve_all)
+    assert models
+    solver = StableModelSolver(ground)
+    assert solver._tight == (kind == "tight")
+    print()
+    print("%s: %d models" % (kind, len(models)))
+
+
+def linear_model(components):
+    library = standard_cps_library()
+    model = SystemModel("linear")
+    previous = None
+    for index in range(components):
+        library.instantiate(model, "controller", "c%d" % index)
+        if previous is not None:
+            model.add_relationship(previous, "c%d" % index, RelationshipType.FLOW)
+        previous = "c%d" % index
+    return model
+
+
+@pytest.mark.parametrize("max_faults", [1, 2])
+def test_bench_scenario_space_bound(benchmark, max_faults):
+    """Scenario count grows as sum of binomials; the bound keeps the
+    exhaustive analysis tractable on larger models."""
+    model = linear_model(5)
+    requirement = StaticRequirement(
+        "r", "err(c4, K), hazardous_kind(K)", focus="c4"
+    )
+    engine = EpaEngine(model, [requirement])
+
+    def analyze():
+        return engine.analyze(max_faults=max_faults)
+
+    report = benchmark(analyze)
+    import math
+
+    n_faults = 15  # 5 controllers x 3 fault modes
+    expected = sum(math.comb(n_faults, k) for k in range(max_faults + 1))
+    assert len(report) == expected
+    print()
+    print("max_faults=%d -> %d scenarios" % (max_faults, len(report)))
+
+
+@pytest.mark.parametrize("components", [4, 8, 12])
+def test_bench_grounding_scales(benchmark, components):
+    model = linear_model(components)
+    requirement = StaticRequirement(
+        "r",
+        "err(c%d, K), hazardous_kind(K)" % (components - 1),
+        focus="c%d" % (components - 1),
+    )
+    engine = EpaEngine(model, [requirement])
+
+    def ground_only():
+        control = engine._base_control({})
+        from repro.epa.rules import scenario_choice
+
+        control.add(scenario_choice(1))
+        return control.ground()
+
+    ground = benchmark(ground_only)
+    stats = ground.statistics()
+    assert stats["atoms"] > 0
+    print()
+    print("components=%d -> %s" % (components, stats))

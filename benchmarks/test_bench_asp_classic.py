@@ -1,0 +1,81 @@
+"""Solver-throughput benches on classic ASP problems.
+
+Not a paper artifact — these characterize the embedded substrate that
+replaces clingo (see DESIGN.md), so EXPERIMENTS.md can state what the
+formal core costs on recognizable workloads.
+"""
+
+import pytest
+
+from repro.asp import Control
+
+
+def queens_program(n):
+    return "\n".join(
+        [
+            "row(1..%d)." % n,
+            "1 { queen(R, C) : row(C) } 1 :- row(R).",
+            ":- queen(R1, C), queen(R2, C), R1 < R2.",
+            ":- queen(R1, C1), queen(R2, C2), R1 < R2, R2 - R1 = C2 - C1.",
+            ":- queen(R1, C1), queen(R2, C2), R1 < R2, R2 - R1 = C1 - C2.",
+        ]
+    )
+
+
+@pytest.mark.parametrize("n,expected", [(5, 10), (6, 4)])
+def test_bench_nqueens_enumeration(benchmark, n, expected):
+    def solve_all():
+        return Control(queens_program(n)).solve()
+
+    models = benchmark(solve_all)
+    assert len(models) == expected
+    print()
+    print("%d-queens: %d solutions" % (n, len(models)))
+
+
+def coloring_program(cycle, colors):
+    text = ["node(1..%d)." % cycle, "color(1..%d)." % colors]
+    text += [
+        "edge(%d, %d)." % (i, i % cycle + 1) for i in range(1, cycle + 1)
+    ]
+    text.append("1 { assigned(N, C) : color(C) } 1 :- node(N).")
+    text.append(":- edge(A, B), assigned(A, C), assigned(B, C).")
+    return "\n".join(text)
+
+
+def test_bench_cycle_coloring(benchmark):
+    def solve_all():
+        return Control(coloring_program(7, 3)).solve()
+
+    models = benchmark(solve_all)
+    # chromatic polynomial of C7 at 3: (3-1)^7 + (3-1)*(-1)^7 = 128-2
+    assert len(models) == 126
+    print()
+    print("C7 3-colorings: %d" % len(models))
+
+
+def test_bench_hamiltonian_first_solution(benchmark):
+    n = 8
+    text = ["node(1..%d)." % n]
+    text += [
+        "edge(%d, %d)." % (a, b)
+        for a in range(1, n + 1)
+        for b in range(1, n + 1)
+        if a != b and (abs(a - b) <= 2 or {a, b} == {1, n})
+    ]
+    text += [
+        "1 { go(A, B) : edge(A, B) } 1 :- node(A).",
+        "1 { go(A, B) : edge(A, B) } 1 :- node(B).",
+        "reach(1).",
+        "reach(B) :- reach(A), go(A, B).",
+        ":- node(N), not reach(N).",
+    ]
+    program = "\n".join(text)
+
+    def first():
+        return Control(program).first_model()
+
+    model = benchmark(first)
+    assert model is not None
+    print()
+    print("hamiltonian cycle found on the %d-node band graph" % n)

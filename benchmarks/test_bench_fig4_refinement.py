@@ -1,0 +1,72 @@
+"""Benchmark + reproduction of Fig. 4: the case-study model and the
+engineering-workstation asset refinement.
+
+Reproduces the figure's two views: the high-level system model (tank,
+valves, controllers, sensor, HMI, workstation) and the refined
+workstation (E-mail Client -> Browser -> Infected Computer), with the
+mitigation attach points M1 (User Training) and M2 (Endpoint Security)
+cutting the attack chain.
+"""
+
+import pytest
+
+from repro.casestudy import (
+    M1,
+    M2,
+    attack_chain_blocked,
+    build_system_model,
+    refined_system_model,
+    workstation_refinement,
+)
+from repro.hierarchy import refine, refinement_children
+from repro.modeling import validate
+
+
+def build_both_models():
+    coarse = build_system_model()
+    refined = refine(coarse, workstation_refinement())
+    return coarse, refined
+
+
+def test_bench_fig4_refinement(benchmark):
+    coarse, refined = benchmark(build_both_models)
+    # the high-level view of Fig. 4
+    for identifier in (
+        "water_tank",
+        "level_sensor",
+        "tank_controller",
+        "input_valve",
+        "output_valve",
+        "hmi",
+        "engineering_workstation",
+    ):
+        assert coarse.has_element(identifier)
+    assert validate(coarse).ok
+    # the refined view: the attack-flow chain of the figure
+    assert refinement_children(refined, "engineering_workstation") == [
+        "browser",
+        "email_client",
+        "infected_computer",
+    ]
+    graph = refined.propagation_graph()
+    assert graph.has_edge("email_client", "browser")
+    assert graph.has_edge("browser", "infected_computer")
+    # mitigation attachment: M1/M2 on the chain block the infection path
+    assert not attack_chain_blocked({})
+    assert attack_chain_blocked(
+        {
+            "email_client": [M1],
+            "browser": [M2],
+            "infected_computer": [M2],
+        }
+    )
+    print()
+    print(
+        "Fig. 4 reproduction: coarse model %d elements / %d relationships;"
+        % (len(coarse.elements), len(coarse.relationships))
+    )
+    print(
+        "refined model %d elements; chain email_client -> browser -> "
+        "infected_computer present; M1+M2 block the chain"
+        % len(refined.elements)
+    )

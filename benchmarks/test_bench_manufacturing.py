@@ -1,0 +1,61 @@
+"""Second-workload benchmark: the manufacturing robot cell.
+
+Exercises the full stack on a larger model than the water tank
+(12 elements, two IT entry points, a masking firewall and a detecting
+safety PLC) — the generality/scaling counterpart of the Table II bench.
+"""
+
+import pytest
+
+from repro.casestudy import (
+    RQ_NO_ROGUE_MOTION,
+    build_manufacturing_model,
+    manufacturing_engine,
+    manufacturing_requirements,
+)
+from repro.core import AssessmentPipeline
+from repro.security import AttackGraph, ThreatActor, builtin_catalog
+
+
+def test_bench_manufacturing_epa(benchmark):
+    engine = manufacturing_engine()
+    report = benchmark(engine.analyze, max_faults=1)
+    assert len(report.violating()) > 0
+    spofs = {str(f) for f in report.single_points_of_failure()}
+    assert "remote_gateway.compromised" in spofs
+    assert "cell_plc.compromised" in spofs
+    print()
+    print(
+        "robot cell: %d scenarios, %d violating, %d single points of failure"
+        % (len(report), len(report.violating()), len(spofs))
+    )
+
+
+def test_bench_manufacturing_pipeline(benchmark):
+    def run():
+        pipeline = AssessmentPipeline(
+            manufacturing_requirements(), builtin_catalog(), max_faults=1
+        )
+        return pipeline.run(build_manufacturing_model())
+
+    result = benchmark(run)
+    assert result.hazards
+    assert result.plan is not None
+    print()
+    print(result.phases[3])
+    print(result.phases[6])
+
+
+def test_bench_manufacturing_attack_graph(benchmark):
+    def build():
+        return AttackGraph(
+            build_manufacturing_model(),
+            builtin_catalog(),
+            ThreatActor("apt", "H"),
+        )
+
+    graph = benchmark(build)
+    assert graph.can_reach("cell_plc")
+    path = graph.cheapest_path("cell_plc")
+    print()
+    print("cheapest path to the cell PLC:", path)

@@ -1,0 +1,63 @@
+"""Benchmark of the Sec. IV-D mitigation optimization.
+
+Compares the three solvers (ASP exact, greedy set-cover, exhaustive) on
+synthetic blocking problems built from the synthetic ATT&CK-style
+catalog.  Expected shape: ASP == exhaustive optimum <= greedy cost, with
+greedy fastest and exhaustive blowing up first.
+"""
+
+import random
+
+import pytest
+
+from repro.mitigation import (
+    BlockingProblem,
+    optimize_asp,
+    optimize_exhaustive,
+    optimize_greedy,
+    plan_phases,
+)
+
+
+def synthetic_problem(mitigations=8, scenarios=20, seed=0):
+    rng = random.Random(seed)
+    problem = BlockingProblem()
+    names = []
+    for index in range(mitigations):
+        name = "m%02d" % index
+        problem.add_mitigation(name, rng.randint(2, 30))
+        names.append(name)
+    for index in range(scenarios):
+        blockers = rng.sample(names, rng.randint(1, 3))
+        risk = rng.choice(("L", "M", "H", "VH"))
+        problem.add_scenario("s%02d" % index, blockers, risk)
+    return problem
+
+
+@pytest.mark.parametrize("solver_name", ["asp", "greedy", "exhaustive"])
+def test_bench_optimizers(benchmark, solver_name):
+    problem = synthetic_problem(mitigations=8, scenarios=20, seed=7)
+    solver = {
+        "asp": optimize_asp,
+        "greedy": optimize_greedy,
+        "exhaustive": optimize_exhaustive,
+    }[solver_name]
+    plan = benchmark(solver, problem)
+    assert plan.complete
+    # cross-check optimality relations
+    optimum = optimize_exhaustive(problem)
+    if solver_name in ("asp", "exhaustive"):
+        assert plan.cost == optimum.cost
+    else:
+        assert plan.cost >= optimum.cost
+    print()
+    print("%s: %s (optimum cost %d)" % (solver_name, plan, optimum.cost))
+
+
+def test_bench_budgeted_phases(benchmark):
+    problem = synthetic_problem(mitigations=8, scenarios=20, seed=7)
+    roadmap = benchmark(plan_phases, problem, [25, 40, 80])
+    trajectory = roadmap.risk_trajectory()
+    assert all(b <= a for a, b in zip(trajectory, trajectory[1:]))
+    print()
+    print("multi-phase residual-risk trajectory:", trajectory)

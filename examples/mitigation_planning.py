@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Cost-benefit mitigation planning under budget constraints (Sec. IV-D).
+
+Builds the attack-scenario space of the water-tank system, turns it into
+a blocking problem, and answers the paper's optimization questions:
+
+* the minimum-cost mitigation set blocking every attack scenario;
+* the best risk reduction achievable within a fixed budget;
+* a multi-phase consolidation roadmap ("first deal with the most
+  potential and severe risk and later focus on the other ones");
+* the cost-benefit balance of each strategy, exact vs greedy.
+
+Run:  python examples/mitigation_planning.py
+"""
+
+from repro.casestudy import build_system_model
+from repro.mitigation import (
+    BlockingProblem,
+    MitigationCost,
+    compare_plans,
+    evaluate_plan,
+    most_efficient,
+    optimize_asp,
+    optimize_greedy,
+    plan_phases,
+)
+from repro.risk import frequency_of_attack, ora_risk_matrix
+from repro.security import AttackScenarioSpace, ThreatActor, builtin_catalog
+
+
+def build_problem():
+    """Attack scenarios -> blocking problem with risk labels."""
+    model = build_system_model()
+    catalog = builtin_catalog()
+    space = AttackScenarioSpace(
+        model,
+        catalog,
+        actors=[ThreatActor("criminal", "H")],
+        max_chain=2,
+    )
+    matrix = ora_risk_matrix()
+    problem = BlockingProblem()
+    tco = {}
+    for entry in catalog.mitigations:
+        problem.add_mitigation(entry.identifier, entry.implementation_cost)
+        tco[entry.identifier] = MitigationCost(
+            entry.implementation_cost, entry.maintenance_cost
+        )
+    magnitudes = {}
+    for scenario in space.scenarios():
+        blockers = set()
+        for step_blockers in space.blocking_mitigations(scenario):
+            blockers |= step_blockers
+        difficulties = [
+            catalog.technique(step.technique).difficulty
+            for step in scenario.steps
+        ]
+        lef = frequency_of_attack(difficulties)
+        lm = "VH" if scenario.steps[-1].component != scenario.entry.component else "H"
+        name = str(scenario)
+        problem.add_scenario(name, sorted(blockers), matrix.classify(lm, lef))
+        magnitudes[name] = lm
+    return problem, magnitudes, tco
+
+
+def main() -> None:
+    problem, magnitudes, tco = build_problem()
+    print(
+        "Attack scenario space: %d scenarios, %d candidate mitigations"
+        % (len(problem.scenario_blockers), len(problem.mitigation_costs))
+    )
+
+    # ---- unconstrained: block everything at minimum cost ----------------
+    exact = optimize_asp(problem)
+    greedy = optimize_greedy(problem)
+    print("\nBlock-everything plans:")
+    print("  exact (ASP):", exact)
+    print("  greedy     :", greedy)
+
+    # ---- budget sweep ----------------------------------------------------
+    print("\nBudget sweep (residual risk weight after spending):")
+    for budget in (0, 10, 20, 30, 50):
+        plan = optimize_asp(problem, budget=budget)
+        print(
+            "  budget %3d -> spend %3d, blocked %d/%d, residual risk %d"
+            % (
+                budget,
+                plan.cost,
+                len(plan.blocked),
+                len(plan.blocked) + len(plan.unblocked),
+                plan.residual_risk_weight,
+            )
+        )
+
+    # ---- multi-phase consolidation ---------------------------------------
+    print("\nMulti-phase consolidation (budgets 15, 20, 40):")
+    roadmap = plan_phases(problem, [15, 20, 40])
+    print(roadmap)
+    print("  risk trajectory:", roadmap.risk_trajectory())
+
+    # ---- cost-benefit ------------------------------------------------------
+    print("\nCost-benefit (1 maintenance period):")
+    results = compare_plans(
+        {"exact": exact, "greedy": greedy}, magnitudes
+    )
+    for name, result in results.items():
+        print("  %-6s %s" % (name, result))
+    print("  most efficient:", most_efficient(results))
+    tco_result = evaluate_plan(
+        exact, magnitudes, mitigation_tco=tco, periods=5
+    )
+    print("  exact plan TCO over 5 periods:", tco_result)
+
+
+if __name__ == "__main__":
+    main()

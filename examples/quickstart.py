@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: model a tiny IT/OT system and find its hazards.
+
+Builds a three-component control chain from the reusable component-type
+library, declares one safety requirement, and runs the exhaustive
+qualitative error propagation analysis — the minimal end-to-end tour of
+the framework's public API.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.epa import EpaEngine, StaticRequirement
+from repro.modeling import RelationshipType, SystemModel, standard_cps_library
+from repro.reporting import epa_report_table
+
+
+def main() -> None:
+    # 1. model the system (ArchiMate-style, from the component library)
+    library = standard_cps_library()
+    model = SystemModel("mini_plant")
+    library.instantiate(model, "sensor", "pressure_sensor", "Pressure Sensor")
+    library.instantiate(model, "controller", "plc", "PLC")
+    library.instantiate(model, "actuator", "relief_valve", "Relief Valve")
+    model.add_relationship("pressure_sensor", "plc", RelationshipType.FLOW)
+    model.add_relationship("plc", "relief_valve", RelationshipType.FLOW)
+
+    # 2. state what must not happen: no erroneous or malicious actuation
+    requirement = StaticRequirement(
+        "safe_actuation",
+        "err(relief_valve, K), hazardous_kind(K)",
+        focus="relief_valve",
+        magnitude="VH",
+        description="the relief valve must not act on erroneous commands",
+    )
+
+    # 3. run the exhaustive scenario analysis
+    engine = EpaEngine(model, [requirement])
+    report = engine.analyze(max_faults=2, with_paths=True)
+
+    print(epa_report_table(report))
+    print()
+    print("Violating scenarios: %d of %d" % (len(report.violating()), len(report)))
+    print("Single points of failure:")
+    for fault in report.single_points_of_failure():
+        print("  -", fault)
+    print("Component criticality ranking:", report.criticality())
+
+    # 4. inspect one hazard's propagation path
+    hazard = report.violating()[0]
+    outcome = engine.analyze_scenario(sorted(hazard.active_faults, key=str))
+    for requirement_name, steps in outcome.paths.items():
+        chain = " -> ".join([steps[0].source] + [s.target for s in steps])
+        print("Propagation to %s: %s" % (requirement_name, chain))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Uncertainty handling in risk assessment and EPA (paper Sec. V).
+
+Three demonstrations:
+
+1. **Sensitivity analysis** — the paper's own worked example: with
+   LEF = L, is the Risk output sensitive to the uncertain Loss
+   Magnitude?
+2. **FAIR derivation under uncertainty** — uncertain leaf attributes
+   propagate through the Fig. 2 tree as label ranges.
+3. **RST-extended EPA** — when only some fault activations are
+   observable, scenario verdicts split into the certainly-hazardous /
+   certainly-safe / boundary regions, and the reduct tells the analyst
+   which faults must be monitored to decide every scenario.
+
+Run:  python examples/uncertainty_analysis.py
+"""
+
+from repro.casestudy import behavioural_epa
+from repro.epa import discriminating_faults, uncertain_analysis
+from repro.qualitative import QualitativeRange, five_level_scale
+from repro.risk import (
+    FairModel,
+    one_at_a_time,
+    ora_risk_matrix,
+    requires_further_evaluation,
+)
+
+
+def sensitivity_demo() -> None:
+    print("1) Sensitivity analysis (Sec. V-A worked example)")
+    matrix = ora_risk_matrix()
+    scale = five_level_scale()
+
+    def risk(lm, lef):
+        return matrix.classify(lm, lef)
+
+    narrow = one_at_a_time(risk, {"lef": "L"}, {"lm": ("VL", "L")}, scale)
+    wide = one_at_a_time(
+        risk, {"lef": "L"}, {"lm": ("L", "M", "H", "VH")}, scale
+    )
+    print("   LM in {VL, L}:  ", narrow[0])
+    print("   LM in {L..VH}:  ", wide[0])
+    print("   needs further evaluation:", requires_further_evaluation(wide))
+
+
+def fair_demo() -> None:
+    print("\n2) FAIR attribute tree under uncertainty (Fig. 2)")
+    scale = five_level_scale()
+    model = FairModel()
+    derivation = model.derive(
+        contact_frequency="H",
+        probability_of_action="M",
+        threat_capability=QualitativeRange(scale, "M", "VH"),  # uncertain
+        resistance_strength="L",
+        primary_loss="H",
+        secondary_lef="VL",
+        secondary_lm="L",
+    )
+    for attribute in ("tef", "vulnerability", "lef", "lm", "risk"):
+        print("   %-14s = %s" % (attribute, derivation.range(attribute)))
+
+
+def rough_epa_demo() -> None:
+    print("\n3) RST-extended EPA (Sec. V-B)")
+    epa = behavioural_epa()
+    scenarios = epa.analyze(horizon=3)
+    report = epa.to_report(scenarios)
+    print("   scenarios analyzed:", len(report))
+
+    full = uncertain_analysis(report, "r1")
+    print("   fully observable:  ", full)
+
+    from repro.casestudy import F2
+    partial = uncertain_analysis(report, "r1", observable=[F2])
+    print("   observing only F2: ", partial)
+    if partial.boundary:
+        print("   boundary scenarios (candidate spurious solutions):")
+        for key in partial.boundary[:4]:
+            print("     -", "+".join(key) or "(nominal)")
+    needed = discriminating_faults(report, "r1")
+    print("   faults to monitor for a decidable verdict:", needed)
+
+
+def main() -> None:
+    sensitivity_demo()
+    fair_demo()
+    rough_epa_demo()
+
+
+if __name__ == "__main__":
+    main()

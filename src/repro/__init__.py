@@ -1,0 +1,46 @@
+"""repro — reproduction of "Preliminary Risk and Mitigation Assessment in
+Cyber-Physical Systems" (Foldvari, Brancati, Pataricza; DSN 2023).
+
+A model-based security/dependability assessment framework for IT/OT
+systems: ArchiMate-style modeling, a self-contained ASP engine with a
+Telingo-style temporal layer as the hidden formal method, qualitative
+error propagation analysis, O-RA/FAIR risk quantization, rough-set
+uncertainty handling, hierarchical CEGAR refinement and cost-benefit
+mitigation optimization.
+
+Subpackages
+-----------
+``repro.asp``         Answer Set Programming engine (grounder + CDCL solver)
+``repro.temporal``    LTLf + Telingo-style temporal programs
+``repro.qualitative`` quantity spaces, sign algebra, QSIM-lite simulation
+``repro.modeling``    ArchiMate-style system models and libraries
+``repro.security``    CVE/CWE/CAPEC/ATT&CK-style catalogs, CVSS, scenarios
+``repro.epa``         qualitative error propagation analysis (the core)
+``repro.risk``        O-RA matrix, FAIR tree, sensitivity analysis
+``repro.roughsets``   rough set theory for uncertainty
+``repro.mitigation``  blocking-set optimization, budgets, cost-benefit
+``repro.hierarchy``   asset/threat refinement, Fig. 3 matrix, CEGAR
+``repro.fta``         classic fault-tree baseline
+``repro.core``        the 7-phase assessment pipeline (Fig. 1)
+``repro.casestudy``   the water-tank system of Sec. VII
+``repro.reporting``   table/report rendering
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "asp",
+    "casestudy",
+    "core",
+    "epa",
+    "fta",
+    "hierarchy",
+    "mitigation",
+    "modeling",
+    "qualitative",
+    "reporting",
+    "risk",
+    "roughsets",
+    "security",
+    "temporal",
+]

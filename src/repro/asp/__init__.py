@@ -1,0 +1,49 @@
+"""Answer Set Programming engine.
+
+A self-contained ASP system: parser for a clingo-compatible core
+language, semi-naive grounder, CDCL SAT backend, stable-model search with
+lazy loop nogoods, aggregates, choice rules and weak-constraint
+optimization.  This substrate replaces clingo/Telingo, which the paper
+uses as its hidden formal method.
+
+Quick example::
+
+    from repro.asp import Control
+
+    ctl = Control('''
+        component(tank). fault(leak).
+        potential_fault(C, F) :- component(C), fault(F).
+    ''')
+    for model in ctl.solve():
+        print(model)
+"""
+
+from .control import Control, atom, to_term
+from .grounder import Grounder, GroundingError, ground_program
+from .parser import ParseError, parse_program, parse_term
+from .solver import Model, SolverError, StableModelSolver
+from .syntax import Atom, Program
+from .terms import Function, Number, String, Symbol, Term, Variable
+
+__all__ = [
+    "Atom",
+    "Control",
+    "Function",
+    "Grounder",
+    "GroundingError",
+    "Model",
+    "Number",
+    "ParseError",
+    "Program",
+    "SolverError",
+    "StableModelSolver",
+    "String",
+    "Symbol",
+    "Term",
+    "Variable",
+    "atom",
+    "ground_program",
+    "parse_program",
+    "parse_term",
+    "to_term",
+]

@@ -1,0 +1,148 @@
+"""High-level facade over the parser, grounder and solver.
+
+:class:`Control` mimics the small slice of the clingo API the rest of the
+framework uses: accumulate program text, ground once, then enumerate or
+optimize.  Each ``solve``/``optimize`` call builds a fresh SAT encoding
+(from the cached ground program) so repeated calls are independent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .grounder import Grounder, GroundingError
+from .ground import GroundProgram
+from .parser import parse_program
+from .solver import Model, StableModelSolver
+from .syntax import Atom, Program
+from .terms import Number, String, Symbol, Term
+
+
+class Control:
+    """Accumulate ASP text / facts, then ground and solve."""
+
+    def __init__(self, text: str = ""):
+        self._program = Program()
+        if text:
+            self.add(text)
+        self._ground: Optional[GroundProgram] = None
+
+    # ------------------------------------------------------------------
+    # program construction
+    # ------------------------------------------------------------------
+    def add(self, text: str) -> None:
+        """Parse and append program text; invalidates prior grounding."""
+        self._program.extend(parse_program(text))
+        self._ground = None
+
+    def add_fact(self, predicate: str, *arguments: object) -> None:
+        """Append a single ground fact built from Python values.
+
+        Strings become symbols when they look like identifiers and quoted
+        strings otherwise; ints become numbers; terms pass through.
+        """
+        from .syntax import Rule
+
+        args = tuple(to_term(a) for a in arguments)
+        self._program.rules.append(Rule(Atom(predicate, args), ()))
+        self._ground = None
+
+    def add_facts(self, facts: Iterable[Tuple[str, Tuple[object, ...]]]) -> None:
+        for predicate, arguments in facts:
+            self.add_fact(predicate, *arguments)
+
+    # ------------------------------------------------------------------
+    # grounding / solving
+    # ------------------------------------------------------------------
+    def ground(self) -> GroundProgram:
+        """Ground the accumulated program (cached until text changes)."""
+        if self._ground is None:
+            self._ground = Grounder(self._program).ground()
+        return self._ground
+
+    def solve(
+        self,
+        limit: Optional[int] = None,
+        assumptions: Sequence[Tuple[Atom, bool]] = (),
+    ) -> List[Model]:
+        """Enumerate up to ``limit`` answer sets (all when ``None``)."""
+        solver = StableModelSolver(self.ground())
+        return list(solver.models(limit=limit, assumptions=assumptions))
+
+    def first_model(
+        self, assumptions: Sequence[Tuple[Atom, bool]] = ()
+    ) -> Optional[Model]:
+        models = self.solve(limit=1, assumptions=assumptions)
+        return models[0] if models else None
+
+    def is_satisfiable(
+        self, assumptions: Sequence[Tuple[Atom, bool]] = ()
+    ) -> bool:
+        return self.first_model(assumptions) is not None
+
+    def optimize(
+        self,
+        assumptions: Sequence[Tuple[Atom, bool]] = (),
+        enumerate_optimal: bool = False,
+        limit: Optional[int] = None,
+    ) -> List[Model]:
+        """Optimal model(s) under weak constraints / ``#minimize``."""
+        solver = StableModelSolver(self.ground())
+        return solver.optimize(
+            assumptions=assumptions,
+            enumerate_optimal=enumerate_optimal,
+            limit=limit,
+        )
+
+    # ------------------------------------------------------------------
+    # consequence reasoning
+    # ------------------------------------------------------------------
+    def brave_consequences(self) -> frozenset:
+        """Atoms true in at least one answer set."""
+        union: set = set()
+        for model in self.solve():
+            union.update(model.atoms)
+        return frozenset(union)
+
+    def cautious_consequences(self) -> frozenset:
+        """Atoms true in every answer set (empty when UNSAT)."""
+        intersection: Optional[set] = None
+        for model in self.solve():
+            if intersection is None:
+                intersection = set(model.atoms)
+            else:
+                intersection.intersection_update(model.atoms)
+        return frozenset(intersection or set())
+
+
+def to_term(value: object) -> Term:
+    """Convert a Python value to a ground term."""
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, bool):
+        return Symbol("true" if value else "false")
+    if isinstance(value, int):
+        return Number(value)
+    if isinstance(value, str):
+        if value and _is_identifier(value):
+            return Symbol(value)
+        return String(value)
+    if isinstance(value, (tuple, list)):
+        from .terms import Function
+
+        return Function("", tuple(to_term(v) for v in value))
+    raise TypeError("cannot convert %r to an ASP term" % (value,))
+
+
+def _is_identifier(text: str) -> bool:
+    if not text[0].islower():
+        return False
+    return all(ch.isalnum() or ch == "_" for ch in text)
+
+
+def atom(predicate: str, *arguments: object) -> Atom:
+    """Build a ground atom from Python values (test/API convenience)."""
+    return Atom(predicate, tuple(to_term(a) for a in arguments))
+
+
+__all__ = ["Control", "atom", "to_term", "GroundingError"]

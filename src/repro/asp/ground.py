@@ -1,0 +1,155 @@
+"""Ground (variable-free) program representation.
+
+The grounder lowers a parsed :class:`repro.asp.syntax.Program` into this
+form; the stable-model solver consumes it.  Ground atoms are represented
+by :class:`repro.asp.syntax.Atom` instances whose arguments are fully
+evaluated ground terms, so they hash and compare structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .syntax import Atom
+from .terms import GroundTerm
+
+
+@dataclass(frozen=True)
+class GroundAggregateElement:
+    """A ground aggregate element: a term tuple guarded by a condition."""
+
+    terms: Tuple[GroundTerm, ...]
+    pos: Tuple[Atom, ...] = ()
+    neg: Tuple[Atom, ...] = ()
+
+
+@dataclass(frozen=True)
+class GroundAggregate:
+    """A ground aggregate literal with integer guards.
+
+    ``lower``/``upper`` of ``None`` mean the guard is absent.  The weight
+    of an element is its first term for ``#sum`` (must be an integer) and
+    1 for ``#count``; for ``#min``/``#max`` the first term is the compared
+    value.  Elements follow ASP set semantics: identical term tuples are
+    counted once, and a tuple is *in* the set iff any of its conditions
+    holds.
+    """
+
+    function: str
+    elements: Tuple[GroundAggregateElement, ...]
+    lower: Optional[int] = None
+    upper: Optional[int] = None
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class GroundChoice:
+    """A ground choice head: atoms with optional cardinality bounds."""
+
+    elements: Tuple[Tuple[Atom, Tuple[Atom, ...], Tuple[Atom, ...]], ...]
+    #: each element is (atom, condition_pos, condition_neg)
+    lower: Optional[int] = None
+    upper: Optional[int] = None
+
+    def atoms(self) -> Tuple[Atom, ...]:
+        return tuple(element[0] for element in self.elements)
+
+
+@dataclass(frozen=True)
+class GroundRule:
+    """A ground rule.
+
+    ``head`` is an :class:`Atom`, a :class:`GroundChoice`, or ``None``
+    for an integrity constraint.  The body is split into positive atoms,
+    default-negated atoms, and ground aggregates.
+    """
+
+    head: Optional[object]
+    pos: Tuple[Atom, ...] = ()
+    neg: Tuple[Atom, ...] = ()
+    aggregates: Tuple[GroundAggregate, ...] = ()
+
+    def is_fact(self) -> bool:
+        return (
+            isinstance(self.head, Atom)
+            and not self.pos
+            and not self.neg
+            and not self.aggregates
+        )
+
+
+@dataclass(frozen=True)
+class GroundWeakConstraint:
+    """A ground weak constraint with integer weight and priority."""
+
+    pos: Tuple[Atom, ...]
+    neg: Tuple[Atom, ...]
+    weight: int
+    priority: int
+    terms: Tuple[GroundTerm, ...]
+
+
+@dataclass
+class GroundProgram:
+    """The full ground program handed to the solver."""
+
+    rules: List[GroundRule] = field(default_factory=list)
+    weak_constraints: List[GroundWeakConstraint] = field(default_factory=list)
+    shows: List[Tuple[str, int]] = field(default_factory=list)
+    #: every atom that can possibly be true (the grounder's Herbrand base)
+    possible_atoms: List[Atom] = field(default_factory=list)
+
+    def statistics(self) -> Dict[str, int]:
+        return {
+            "rules": len(self.rules),
+            "weak_constraints": len(self.weak_constraints),
+            "atoms": len(self.possible_atoms),
+        }
+
+    def __str__(self) -> str:
+        lines: List[str] = []
+        for rule in self.rules:
+            lines.append(_render_rule(rule))
+        for weak in self.weak_constraints:
+            body = ", ".join(
+                [str(a) for a in weak.pos] + ["not %s" % a for a in weak.neg]
+            )
+            lines.append(
+                ":~ %s. [%d@%d%s]"
+                % (
+                    body,
+                    weak.weight,
+                    weak.priority,
+                    "".join(",%s" % t for t in weak.terms),
+                )
+            )
+        return "\n".join(lines)
+
+
+def _render_rule(rule: GroundRule) -> str:
+    if isinstance(rule.head, GroundChoice):
+        inner = "; ".join(str(atom) for atom in rule.head.atoms())
+        head = "{ %s }" % inner
+        if rule.head.lower is not None:
+            head = "%d %s" % (rule.head.lower, head)
+        if rule.head.upper is not None:
+            head = "%s %d" % (head, rule.head.upper)
+    elif rule.head is None:
+        head = ""
+    else:
+        head = str(rule.head)
+    body_parts = [str(atom) for atom in rule.pos]
+    body_parts += ["not %s" % atom for atom in rule.neg]
+    for aggregate in rule.aggregates:
+        rendered = "%s{...%d elems}" % (aggregate.function, len(aggregate.elements))
+        if aggregate.lower is not None:
+            rendered = "%d <= %s" % (aggregate.lower, rendered)
+        if aggregate.upper is not None:
+            rendered = "%s <= %d" % (rendered, aggregate.upper)
+        if aggregate.negated:
+            rendered = "not " + rendered
+        body_parts.append(rendered)
+    if not body_parts:
+        return "%s." % head
+    return "%s :- %s." % (head, ", ".join(body_parts))

@@ -1,0 +1,150 @@
+"""Brute-force stable-model checker.
+
+Enumerates every subset of the possible atoms and tests the stable-model
+condition directly via the Gelfond-Lifschitz reduct.  Exponential — meant
+only as a *reference oracle* for the property-based tests that validate
+the CDCL-based solver on small random programs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .ground import GroundAggregate, GroundChoice, GroundProgram, GroundRule
+from .syntax import Atom
+from .terms import Number
+
+
+def _aggregate_holds(aggregate: GroundAggregate, interpretation: Set[Atom]) -> bool:
+    tuples = {}
+    for element in aggregate.elements:
+        holds = all(a in interpretation for a in element.pos) and not any(
+            a in interpretation for a in element.neg
+        )
+        tuples[element.terms] = tuples.get(element.terms, False) or holds
+    chosen = [key for key, holds in tuples.items() if holds]
+
+    def weight(key: Tuple) -> int:
+        first = key[0]
+        assert isinstance(first, Number)
+        return first.value
+
+    value: Optional[int]
+    if aggregate.function == "#count":
+        value = len(chosen)
+    elif aggregate.function == "#sum":
+        value = sum(weight(k) for k in chosen)
+    elif aggregate.function == "#min":
+        value = min((weight(k) for k in chosen), default=None)
+    else:
+        value = max((weight(k) for k in chosen), default=None)
+    if value is None:
+        result = aggregate.upper is None if aggregate.function == "#min" else aggregate.lower is None
+    else:
+        result = True
+        if aggregate.lower is not None and value < aggregate.lower:
+            result = False
+        if aggregate.upper is not None and value > aggregate.upper:
+            result = False
+    return not result if aggregate.negated else result
+
+
+def _body_holds(rule: GroundRule, interpretation: Set[Atom]) -> bool:
+    if any(a not in interpretation for a in rule.pos):
+        return False
+    if any(a in interpretation for a in rule.neg):
+        return False
+    return all(_aggregate_holds(g, interpretation) for g in rule.aggregates)
+
+
+def _choice_satisfied(
+    choice: GroundChoice, interpretation: Set[Atom]
+) -> bool:
+    count = 0
+    for atom, condition_pos, condition_neg in choice.elements:
+        condition = all(a in interpretation for a in condition_pos) and not any(
+            a in interpretation for a in condition_neg
+        )
+        if condition and atom in interpretation:
+            count += 1
+    if choice.lower is not None and count < choice.lower:
+        return False
+    if choice.upper is not None and count > choice.upper:
+        return False
+    return True
+
+
+def is_model(program: GroundProgram, interpretation: Set[Atom]) -> bool:
+    """Classical-model check (every rule satisfied)."""
+    for rule in program.rules:
+        if not _body_holds(rule, interpretation):
+            continue
+        if rule.head is None:
+            return False
+        if isinstance(rule.head, Atom):
+            if rule.head not in interpretation:
+                return False
+        else:
+            if not _choice_satisfied(rule.head, interpretation):
+                return False
+    return True
+
+
+def _minimal_model_of_reduct(
+    program: GroundProgram, interpretation: Set[Atom]
+) -> Set[Atom]:
+    """Least fixpoint of the GL reduct w.r.t. ``interpretation``.
+
+    Choice heads are treated as in clingo: a chosen atom is supported by
+    the reduct iff it is in the interpretation and its element condition
+    holds there.  Aggregates are evaluated against the interpretation
+    (Ferraris-style for the non-recursive aggregates we allow).
+    """
+    derived: Set[Atom] = set()
+    changed = True
+    while changed:
+        changed = False
+        for rule in program.rules:
+            if any(a in interpretation for a in rule.neg):
+                continue
+            if not all(
+                _aggregate_holds(g, interpretation) for g in rule.aggregates
+            ):
+                continue
+            if any(a not in derived for a in rule.pos):
+                continue
+            if rule.head is None:
+                continue
+            if isinstance(rule.head, Atom):
+                if rule.head not in derived:
+                    derived.add(rule.head)
+                    changed = True
+                continue
+            for atom, condition_pos, condition_neg in rule.head.elements:
+                if atom not in interpretation or atom in derived:
+                    continue
+                if any(a in interpretation for a in condition_neg):
+                    continue
+                if all(a in derived for a in condition_pos):
+                    derived.add(atom)
+                    changed = True
+    return derived
+
+
+def is_stable_model(program: GroundProgram, interpretation: Set[Atom]) -> bool:
+    """Full stable-model test: classical model + foundedness."""
+    if not is_model(program, interpretation):
+        return False
+    return _minimal_model_of_reduct(program, interpretation) == interpretation
+
+
+def stable_models(program: GroundProgram) -> List[FrozenSet[Atom]]:
+    """All stable models by exhaustive subset enumeration."""
+    atoms = list(program.possible_atoms)
+    models: List[FrozenSet[Atom]] = []
+    for bits in itertools.product((False, True), repeat=len(atoms)):
+        interpretation = {atom for atom, bit in zip(atoms, bits) if bit}
+        if is_stable_model(program, interpretation):
+            models.append(frozenset(interpretation))
+    return models

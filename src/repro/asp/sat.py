@@ -1,0 +1,444 @@
+"""A CDCL SAT solver.
+
+This is the propositional backend of the stable-model solver.  It is a
+classic conflict-driven clause-learning solver with:
+
+* two-watched-literal unit propagation;
+* first-UIP conflict analysis with clause learning;
+* VSIDS-style exponential variable activity with decay;
+* Luby-sequence restarts;
+* incremental interface: clauses may be added between ``solve`` calls and
+  each call may carry *assumptions* (fixed first decisions), which makes
+  the ASP layer's enumeration, brave/cautious reasoning and
+  branch-and-bound optimization cheap.
+
+Literal convention follows DIMACS: variables are positive integers, a
+literal is ``+v`` or ``-v``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class SatError(Exception):
+    """Raised on malformed solver input (e.g. a zero literal)."""
+
+
+TRUE = 1
+FALSE = -1
+UNASSIGNED = 0
+
+
+def _luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence."""
+    x = i - 1  # 0-based position, MiniSat-style computation
+    size, sequence = 1, 0
+    while size < x + 1:
+        sequence += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        sequence -= 1
+        x = x % size
+    return 1 << sequence
+
+
+class Solver:
+    """Incremental CDCL SAT solver."""
+
+    def __init__(self) -> None:
+        self._num_vars = 0
+        self._clauses: List[List[int]] = []
+        self._watches: Dict[int, List[int]] = {}
+        self._assign: List[int] = [UNASSIGNED]  # index 0 unused
+        self._level: List[int] = [0]
+        self._reason: List[Optional[int]] = [None]  # clause index or None
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._activity: List[float] = [0.0]
+        self._activity_inc = 1.0
+        self._activity_decay = 0.95
+        self._queue_head = 0
+        self._conflicts_total = 0
+        self._unsat = False  # top-level UNSAT discovered
+        #: decision-order heap of (-activity, var); entries may be stale
+        self._order: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    # problem construction
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self._num_vars += 1
+        self._assign.append(UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        heapq.heappush(self._order, (0.0, self._num_vars))
+        return self._num_vars
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    def _ensure_var(self, var: int) -> None:
+        while self._num_vars < var:
+            self.new_var()
+
+    def add_clause(self, literals: Sequence[int]) -> bool:
+        """Add a clause; returns ``False`` if the formula became UNSAT.
+
+        Duplicated literals are removed and tautologies are ignored.
+        Adding while a model is on the trail is allowed: the solver
+        backtracks to level 0 first.
+        """
+        self._backtrack(0)
+        seen = set()
+        clause: List[int] = []
+        for literal in literals:
+            if literal == 0:
+                raise SatError("literal 0 is not allowed")
+            self._ensure_var(abs(literal))
+            if -literal in seen:
+                return True  # tautology
+            if literal in seen:
+                continue
+            seen.add(literal)
+            value = self._value(literal)
+            if value == TRUE and self._level[abs(literal)] == 0:
+                return True  # satisfied at top level
+            if value == FALSE and self._level[abs(literal)] == 0:
+                continue  # falsified at top level: drop literal
+            clause.append(literal)
+        if not clause:
+            self._unsat = True
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._unsat = True
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._unsat = True
+                return False
+            return True
+        index = len(self._clauses)
+        self._clauses.append(clause)
+        self._watch(clause[0], index)
+        self._watch(clause[1], index)
+        return True
+
+    # ------------------------------------------------------------------
+    # assignment helpers
+    # ------------------------------------------------------------------
+    def _value(self, literal: int) -> int:
+        value = self._assign[abs(literal)]
+        if value == UNASSIGNED:
+            return UNASSIGNED
+        return value if literal > 0 else -value
+
+    def _watch(self, literal: int, clause_index: int) -> None:
+        self._watches.setdefault(-literal, []).append(clause_index)
+
+    def _enqueue(self, literal: int, reason: Optional[int]) -> bool:
+        value = self._value(literal)
+        if value == FALSE:
+            return False
+        if value == TRUE:
+            return True
+        var = abs(literal)
+        self._assign[var] = TRUE if literal > 0 else FALSE
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(literal)
+        return True
+
+    def _propagate(self) -> Optional[int]:
+        """Unit propagation; returns a conflicting clause index or None."""
+        while self._queue_head < len(self._trail):
+            literal = self._trail[self._queue_head]
+            self._queue_head += 1
+            watch_list = self._watches.get(literal)
+            if not watch_list:
+                continue
+            new_watch_list: List[int] = []
+            i = 0
+            while i < len(watch_list):
+                clause_index = watch_list[i]
+                i += 1
+                clause = self._clauses[clause_index]
+                # Normalize: watched literals are clause[0] and clause[1].
+                false_literal = -literal
+                if clause[0] == false_literal:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == TRUE:
+                    new_watch_list.append(clause_index)
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != FALSE:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watch(clause[1], clause_index)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                new_watch_list.append(clause_index)
+                if not self._enqueue(first, clause_index):
+                    # conflict: restore remaining watches and report
+                    new_watch_list.extend(watch_list[i:])
+                    self._watches[literal] = new_watch_list
+                    return clause_index
+            self._watches[literal] = new_watch_list
+        return None
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        limit = self._trail_lim[level]
+        for literal in reversed(self._trail[limit:]):
+            var = abs(literal)
+            self._assign[var] = UNASSIGNED
+            self._reason[var] = None
+            heapq.heappush(self._order, (-self._activity[var], var))
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._queue_head = len(self._trail)
+
+    # ------------------------------------------------------------------
+    # conflict analysis
+    # ------------------------------------------------------------------
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._activity_inc
+        if self._activity[var] > 1e100:
+            for i in range(1, self._num_vars + 1):
+                self._activity[i] *= 1e-100
+            self._activity_inc *= 1e-100
+            self._order = [
+                (-self._activity[v], v)
+                for v in range(1, self._num_vars + 1)
+                if self._assign[v] == UNASSIGNED
+            ]
+            heapq.heapify(self._order)
+            return
+        if self._assign[var] == UNASSIGNED:
+            heapq.heappush(self._order, (-self._activity[var], var))
+
+    def _analyze(self, conflict_index: int) -> (List[int], int):
+        """First-UIP analysis; returns (learnt clause, backjump level)."""
+        learnt: List[int] = [0]  # slot 0 reserved for the asserting literal
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        literal = 0
+        clause = self._clauses[conflict_index]
+        index = len(self._trail) - 1
+        current_level = len(self._trail_lim)
+        first = True
+        while True:
+            for other in clause:
+                # In a reason clause, skip the literal it propagated.
+                if first is False and other == -literal:
+                    continue
+                var = abs(other)
+                if seen[var] or self._level[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump(var)
+                if self._level[var] == current_level:
+                    counter += 1
+                else:
+                    learnt.append(other)
+            first = False
+            # pick next literal from trail
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            literal = -self._trail[index]
+            var = abs(literal)
+            seen[var] = False
+            counter -= 1
+            index -= 1
+            if counter == 0:
+                break
+            reason = self._reason[var]
+            assert reason is not None
+            clause = self._clauses[reason]
+        learnt[0] = literal
+        if len(learnt) == 1:
+            return learnt, 0
+        # backjump to the second-highest level in the clause
+        max_index = 1
+        max_level = self._level[abs(learnt[1])]
+        for k in range(2, len(learnt)):
+            lvl = self._level[abs(learnt[k])]
+            if lvl > max_level:
+                max_level = lvl
+                max_index = k
+        learnt[1], learnt[max_index] = learnt[max_index], learnt[1]
+        return learnt, max_level
+
+    # ------------------------------------------------------------------
+    # decision heuristic
+    # ------------------------------------------------------------------
+    def _decide(self) -> int:
+        while self._order:
+            negated_activity, var = heapq.heappop(self._order)
+            if self._assign[var] != UNASSIGNED:
+                continue  # stale entry
+            if -negated_activity != self._activity[var]:
+                # stale activity: reinsert with the current value
+                heapq.heappush(self._order, (-self._activity[var], var))
+                continue
+            return -var  # negative polarity first: favours minimal models
+        return 0
+
+    # ------------------------------------------------------------------
+    # main search
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Iterable[int] = ()) -> Optional[Dict[int, bool]]:
+        """Search for a model; returns ``{var: bool}`` or ``None`` (UNSAT).
+
+        ``assumptions`` are literals fixed for this call only.  UNSAT under
+        assumptions does not mean the formula is globally UNSAT.
+        """
+        if self._unsat:
+            return None
+        self._backtrack(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._unsat = True
+            return None
+        assumption_list = list(assumptions)
+        restarts = 0
+        conflicts_since_restart = 0
+        restart_limit = 32 * _luby(1)
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self._conflicts_total += 1
+                conflicts_since_restart += 1
+                if len(self._trail_lim) == 0:
+                    self._unsat = True
+                    return None
+                if len(self._trail_lim) <= len(assumption_list):
+                    # conflict inside the assumption prefix
+                    return None
+                learnt, back_level = self._analyze(conflict)
+                back_level = max(back_level, 0)
+                self._backtrack(back_level)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        self._unsat = True
+                        return None
+                else:
+                    index = len(self._clauses)
+                    self._clauses.append(learnt)
+                    self._watch(learnt[0], index)
+                    self._watch(learnt[1], index)
+                    self._enqueue(learnt[0], index)
+                self._activity_inc /= self._activity_decay
+                if conflicts_since_restart >= restart_limit:
+                    restarts += 1
+                    conflicts_since_restart = 0
+                    restart_limit = 32 * _luby(restarts + 1)
+                    self._backtrack(0)
+                continue
+            # assumption decisions first
+            if len(self._trail_lim) < len(assumption_list):
+                literal = assumption_list[len(self._trail_lim)]
+                self._ensure_var(abs(literal))
+                value = self._value(literal)
+                if value == FALSE:
+                    return None
+                self._trail_lim.append(len(self._trail))
+                if value == UNASSIGNED:
+                    self._enqueue(literal, None)
+                continue
+            literal = self._decide()
+            if literal == 0:
+                return {
+                    var: self._assign[var] == TRUE
+                    for var in range(1, self._num_vars + 1)
+                }
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(literal, None)
+
+    # ------------------------------------------------------------------
+    # encodings
+    # ------------------------------------------------------------------
+    def add_iff_and(self, target: int, literals: Sequence[int]) -> bool:
+        """Add ``target <-> AND(literals)``."""
+        ok = True
+        for literal in literals:
+            ok &= self.add_clause([-target, literal])
+        ok &= self.add_clause([target] + [-l for l in literals])
+        return ok
+
+    def add_iff_or(self, target: int, literals: Sequence[int]) -> bool:
+        """Add ``target <-> OR(literals)``."""
+        ok = True
+        for literal in literals:
+            ok &= self.add_clause([target, -literal])
+        ok &= self.add_clause([-target] + list(literals))
+        return ok
+
+class WeightedCounter:
+    """A reusable weighted-sum circuit over SAT literals.
+
+    Builds variables ``geq(k)`` that are true **iff** the weighted sum of
+    the item literals is at least ``k``.  The circuit uses dynamic
+    programming over the items (a weighted sequential counter), with full
+    equivalences so the threshold variables can appear in either polarity
+    (required for aggregate atoms and optimization constraints).
+    """
+
+    def __init__(self, solver: Solver, items: Sequence[tuple]):
+        """``items`` is a list of ``(literal, weight)`` with weight > 0."""
+        for _, weight in items:
+            if weight <= 0:
+                raise SatError("WeightedCounter weights must be positive")
+        self._solver = solver
+        self._items = list(items)
+        self._max_sum = sum(weight for _, weight in items)
+        # layer[j][k] = var true iff sum of first j items >= k (k >= 1)
+        self._layers: List[Dict[int, int]] = [dict() for _ in range(len(items) + 1)]
+        self._true_var: Optional[int] = None
+
+    def _constant_true(self) -> int:
+        if self._true_var is None:
+            self._true_var = self._solver.new_var()
+            self._solver.add_clause([self._true_var])
+        return self._true_var
+
+    def geq(self, bound: int) -> int:
+        """Return a literal true iff the weighted sum >= ``bound``."""
+        if bound <= 0:
+            return self._constant_true()
+        if bound > self._max_sum:
+            return -self._constant_true()
+        return self._node(len(self._items), bound)
+
+    def _node(self, j: int, k: int) -> int:
+        """Variable for: sum of first j items >= k (1 <= k <= max)."""
+        if k <= 0:
+            return self._constant_true()
+        if j == 0:
+            return -self._constant_true()
+        cached = self._layers[j].get(k)
+        if cached is not None:
+            return cached
+        literal_j, weight_j = self._items[j - 1]
+        without = self._node(j - 1, k)
+        var = self._solver.new_var()
+        if k - weight_j <= 0:
+            # taking item j alone reaches k
+            self._solver.add_iff_or(var, [without, literal_j])
+        else:
+            with_item = self._node(j - 1, k - weight_j)
+            both = self._solver.new_var()
+            self._solver.add_iff_and(both, [literal_j, with_item])
+            self._solver.add_iff_or(var, [without, both])
+        self._layers[j][k] = var
+        return var

@@ -1,0 +1,672 @@
+"""Stable-model solver over ground programs.
+
+The solver translates the ground program into CNF through Clark's
+completion (plus cardinality/weight circuits for choice bounds and
+aggregates) and searches with the CDCL SAT backend.  For *tight*
+programs the completion is exact.  For non-tight programs (recursion
+through positive bodies) candidate models are checked for unfounded
+atoms; when a greatest-unfounded-set is non-empty the corresponding loop
+nogoods (Lin-Zhao loop formulas) are added lazily and the search
+continues — the ASSAT strategy.
+
+Optimization over weak constraints is lexicographic branch-and-bound on
+priority levels, reusing threshold circuits.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .ground import (
+    GroundAggregate,
+    GroundChoice,
+    GroundProgram,
+    GroundRule,
+)
+from .sat import Solver as SatSolver
+from .sat import WeightedCounter
+from .syntax import Atom
+from .terms import Number
+
+
+class SolverError(Exception):
+    """Raised for unsupported ground constructs (e.g. recursive aggregates)."""
+
+
+@dataclass(frozen=True)
+class Model:
+    """One answer set."""
+
+    atoms: FrozenSet[Atom]
+    cost: Tuple[Tuple[int, int], ...] = ()
+    #: cost as ((priority, value), ...) sorted by descending priority
+    shown: Tuple[Tuple[str, int], ...] = ()
+    optimal: bool = False
+
+    def contains(self, atom: Atom) -> bool:
+        return atom in self.atoms
+
+    def symbols(self, shown: bool = True) -> List[Atom]:
+        """Atoms of the model, optionally filtered by ``#show`` directives."""
+        atoms: Iterable[Atom] = self.atoms
+        if shown and self.shown:
+            signatures = set(self.shown)
+            atoms = (a for a in self.atoms if a.signature in signatures)
+        return sorted(atoms, key=_atom_sort_key)
+
+    def __str__(self) -> str:
+        return " ".join(str(atom) for atom in self.symbols())
+
+
+def _atom_sort_key(atom: Atom) -> Tuple:
+    return (atom.predicate, tuple(argument.sort_key() for argument in atom.arguments))
+
+
+class _Support:
+    """A potential support of an atom: a SAT literal plus its positive
+    body atoms (needed for loop-nogood construction)."""
+
+    __slots__ = ("literal", "pos")
+
+    def __init__(self, literal: int, pos: Tuple[Atom, ...]):
+        self.literal = literal
+        self.pos = pos
+
+
+class StableModelSolver:
+    """Single-shot solver: build the encoding, then enumerate models."""
+
+    def __init__(self, program: GroundProgram):
+        self._program = program
+        self._sat = SatSolver()
+        self._true = self._sat.new_var()
+        self._sat.add_clause([self._true])
+        self._atom_var: Dict[Atom, int] = {}
+        self._supports: Dict[Atom, List[_Support]] = {}
+        self._derivable: Set[Atom] = set()
+        self._rule_records: List[Tuple[GroundRule, int]] = []  # (rule, body lit)
+        self._tight = True
+        self._optimize_levels: List[Tuple[int, "_CostLevel"]] = []
+        self._build()
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+    def _var(self, atom: Atom) -> int:
+        var = self._atom_var.get(atom)
+        if var is None:
+            var = self._sat.new_var()
+            self._atom_var[atom] = var
+        return var
+
+    def _body_literal(self, rule: GroundRule) -> int:
+        """A literal equivalent to the rule body conjunction."""
+        literals: List[int] = []
+        for atom in rule.pos:
+            literals.append(self._var(atom))
+        for atom in rule.neg:
+            literals.append(-self._var(atom))
+        for aggregate in rule.aggregates:
+            literals.append(self._aggregate_literal(aggregate))
+        if not literals:
+            return self._true
+        if len(literals) == 1:
+            return literals[0]
+        aux = self._sat.new_var()
+        self._sat.add_iff_and(aux, literals)
+        return aux
+
+    def _conjunction(self, literals: Sequence[int]) -> int:
+        literals = [l for l in literals if l != self._true]
+        if not literals:
+            return self._true
+        if len(literals) == 1:
+            return literals[0]
+        aux = self._sat.new_var()
+        self._sat.add_iff_and(aux, literals)
+        return aux
+
+    def _disjunction(self, literals: Sequence[int]) -> int:
+        if any(l == self._true for l in literals):
+            return self._true
+        if not literals:
+            return -self._true
+        if len(literals) == 1:
+            return literals[0]
+        aux = self._sat.new_var()
+        self._sat.add_iff_or(aux, literals)
+        return aux
+
+    def _aggregate_literal(self, aggregate: GroundAggregate) -> int:
+        # Group elements by term tuple (ASP set semantics).
+        tuple_conditions: Dict[Tuple, List[int]] = {}
+        tuple_order: List[Tuple] = []
+        for element in aggregate.elements:
+            condition = self._conjunction(
+                [self._var(a) for a in element.pos]
+                + [-self._var(a) for a in element.neg]
+            )
+            key = element.terms
+            if key not in tuple_conditions:
+                tuple_conditions[key] = []
+                tuple_order.append(key)
+            tuple_conditions[key].append(condition)
+        tuple_vars: Dict[Tuple, int] = {
+            key: self._disjunction(conditions)
+            for key, conditions in tuple_conditions.items()
+        }
+        if aggregate.function in ("#count", "#sum"):
+            literal = self._count_sum_literal(aggregate, tuple_order, tuple_vars)
+        elif aggregate.function in ("#min", "#max"):
+            literal = self._min_max_literal(aggregate, tuple_order, tuple_vars)
+        else:
+            raise SolverError("unsupported aggregate %s" % aggregate.function)
+        return -literal if aggregate.negated else literal
+
+    def _count_sum_literal(
+        self,
+        aggregate: GroundAggregate,
+        tuple_order: List[Tuple],
+        tuple_vars: Dict[Tuple, int],
+    ) -> int:
+        items: List[Tuple[int, int]] = []
+        offset = 0
+        for key in tuple_order:
+            if aggregate.function == "#count":
+                weight = 1
+            else:
+                weight = _element_weight(key, aggregate)
+            if weight == 0:
+                continue
+            if weight > 0:
+                items.append((tuple_vars[key], weight))
+            else:
+                # w*t == |w|*(1-t) - |w|
+                items.append((-tuple_vars[key], -weight))
+                offset += weight  # negative
+        counter = WeightedCounter(self._sat, items)
+        parts: List[int] = []
+        if aggregate.lower is not None:
+            parts.append(counter.geq(aggregate.lower - offset))
+        if aggregate.upper is not None:
+            parts.append(-counter.geq(aggregate.upper - offset + 1))
+        return self._conjunction(parts)
+
+    def _min_max_literal(
+        self,
+        aggregate: GroundAggregate,
+        tuple_order: List[Tuple],
+        tuple_vars: Dict[Tuple, int],
+    ) -> int:
+        values: Dict[Tuple, int] = {
+            key: _element_weight(key, aggregate) for key in tuple_order
+        }
+        parts: List[int] = []
+        if aggregate.function == "#min":
+            if aggregate.lower is not None:
+                below = [
+                    tuple_vars[k] for k in tuple_order if values[k] < aggregate.lower
+                ]
+                parts.append(-self._disjunction(below))
+            if aggregate.upper is not None:
+                at_most = [
+                    tuple_vars[k] for k in tuple_order if values[k] <= aggregate.upper
+                ]
+                parts.append(self._disjunction(at_most))
+        else:  # #max
+            if aggregate.lower is not None:
+                at_least = [
+                    tuple_vars[k] for k in tuple_order if values[k] >= aggregate.lower
+                ]
+                parts.append(self._disjunction(at_least))
+            if aggregate.upper is not None:
+                above = [
+                    tuple_vars[k] for k in tuple_order if values[k] > aggregate.upper
+                ]
+                parts.append(-self._disjunction(above))
+        return self._conjunction(parts)
+
+    def _build(self) -> None:
+        for atom in self._program.possible_atoms:
+            self._var(atom)
+        for rule in self._program.rules:
+            body = self._body_literal(rule)
+            if rule.head is None:
+                self._sat.add_clause([-body])
+                continue
+            if isinstance(rule.head, Atom):
+                head_var = self._var(rule.head)
+                self._sat.add_clause([-body, head_var])
+                self._supports.setdefault(rule.head, []).append(
+                    _Support(body, rule.pos)
+                )
+                self._derivable.add(rule.head)
+                self._rule_records.append((rule, body))
+                continue
+            choice = rule.head
+            indicator_items: List[Tuple[int, int]] = []
+            for atom, condition_pos, condition_neg in choice.elements:
+                condition = self._conjunction(
+                    [self._var(a) for a in condition_pos]
+                    + [-self._var(a) for a in condition_neg]
+                )
+                support = self._conjunction([body, condition])
+                self._supports.setdefault(atom, []).append(
+                    _Support(support, rule.pos + condition_pos)
+                )
+                self._derivable.add(atom)
+                chosen = self._conjunction([self._var(atom), condition])
+                indicator_items.append((chosen, 1))
+            if choice.lower is not None or choice.upper is not None:
+                counter = WeightedCounter(self._sat, indicator_items)
+                if choice.lower is not None and choice.lower > 0:
+                    self._sat.add_clause([-body, counter.geq(choice.lower)])
+                if choice.upper is not None:
+                    self._sat.add_clause([-body, -counter.geq(choice.upper + 1)])
+            self._rule_records.append((rule, body))
+        self._build_optimization()
+        # Completion: an atom needs at least one support.  This runs
+        # last so that atoms first referenced by aggregates or weak
+        # constraints (which may mention underivable atoms) still get
+        # their support clause — an unsupported atom is forced false.
+        for atom, var in self._atom_var.items():
+            supports = self._supports.get(atom, [])
+            self._sat.add_clause([-var] + [s.literal for s in supports])
+        self._analyze_tightness()
+
+    def _analyze_tightness(self) -> None:
+        """Tight iff the positive dependency graph is acyclic."""
+        graph: Dict[Atom, Set[Atom]] = {}
+        for rule, _ in self._rule_records:
+            heads: List[Tuple[Atom, Tuple[Atom, ...]]] = []
+            if isinstance(rule.head, Atom):
+                heads.append((rule.head, rule.pos))
+            elif isinstance(rule.head, GroundChoice):
+                for atom, condition_pos, _ in rule.head.elements:
+                    heads.append((atom, rule.pos + condition_pos))
+            aggregate_atoms: List[Atom] = []
+            for aggregate in rule.aggregates:
+                for element in aggregate.elements:
+                    aggregate_atoms.extend(element.pos)
+                    aggregate_atoms.extend(element.neg)
+            for head, pos in heads:
+                edges = graph.setdefault(head, set())
+                for body_atom in pos:
+                    edges.add(body_atom)
+                # aggregates are treated as external by the foundedness
+                # check, so recursion through them must be ruled out —
+                # count them as dependencies for the SCC analysis
+                for body_atom in aggregate_atoms:
+                    edges.add(body_atom)
+        self._scc_of: Dict[Atom, int] = {}
+        index = 0
+        for component in _tarjan_scc(graph):
+            for atom in component:
+                self._scc_of[atom] = index
+            if len(component) > 1:
+                self._tight = False
+            elif component[0] in graph.get(component[0], set()):
+                self._tight = False
+            index += 1
+        self._check_no_recursive_aggregates()
+
+    def _check_no_recursive_aggregates(self) -> None:
+        for rule, _ in self._rule_records:
+            head_sccs: Set[int] = set()
+            if isinstance(rule.head, Atom):
+                head_sccs.add(self._scc_of.get(rule.head, -1))
+            elif isinstance(rule.head, GroundChoice):
+                for atom, _, _ in rule.head.elements:
+                    head_sccs.add(self._scc_of.get(atom, -1))
+            for aggregate in rule.aggregates:
+                for element in aggregate.elements:
+                    for atom in element.pos:
+                        if self._scc_of.get(atom, -2) in head_sccs:
+                            raise SolverError(
+                                "recursive aggregates are not supported"
+                            )
+
+    def _build_optimization(self) -> None:
+        if not self._program.weak_constraints:
+            return
+        # Set semantics: instances sharing (weight, priority, terms) count once.
+        by_level: Dict[int, Dict[Tuple, List[int]]] = {}
+        for weak in self._program.weak_constraints:
+            body = self._conjunction(
+                [self._var(a) for a in weak.pos]
+                + [-self._var(a) for a in weak.neg]
+            )
+            key = (weak.weight, weak.terms)
+            by_level.setdefault(weak.priority, {}).setdefault(key, []).append(body)
+        grouped: Dict[int, Dict[Tuple, List[Tuple[Tuple[Atom, ...], Tuple[Atom, ...]]]]] = {}
+        for weak in self._program.weak_constraints:
+            grouped.setdefault(weak.priority, {}).setdefault(
+                (weak.weight, weak.terms), []
+            ).append((weak.pos, weak.neg))
+        for priority in sorted(by_level, reverse=True):
+            level_items: List[Tuple[int, int]] = []
+            offset = 0
+            for (weight, _terms), bodies in by_level[priority].items():
+                indicator = self._disjunction(bodies)
+                if weight == 0:
+                    continue
+                if weight > 0:
+                    level_items.append((indicator, weight))
+                else:
+                    level_items.append((-indicator, -weight))
+                    offset += weight
+            instances = [
+                (weight, bodies)
+                for (weight, _terms), bodies in grouped[priority].items()
+            ]
+            self._optimize_levels.append(
+                (priority, _CostLevel(self._sat, level_items, offset, instances))
+            )
+
+    # ------------------------------------------------------------------
+    # stability check (unfounded sets)
+    # ------------------------------------------------------------------
+    def _aggregate_true(self, aggregate: GroundAggregate, true_atoms: Set[Atom]) -> bool:
+        tuples: Dict[Tuple, bool] = {}
+        for element in aggregate.elements:
+            holds = all(a in true_atoms for a in element.pos) and not any(
+                a in true_atoms for a in element.neg
+            )
+            tuples[element.terms] = tuples.get(element.terms, False) or holds
+        chosen = [key for key, holds in tuples.items() if holds]
+        result: bool
+        if aggregate.function == "#count":
+            value: Optional[int] = len(chosen)
+        elif aggregate.function == "#sum":
+            value = sum(_element_weight(key, aggregate) for key in chosen)
+        elif aggregate.function == "#min":
+            value = min(
+                (_element_weight(key, aggregate) for key in chosen), default=None
+            )
+        else:
+            value = max(
+                (_element_weight(key, aggregate) for key in chosen), default=None
+            )
+        if value is None:
+            # empty #min = #sup, empty #max = #inf
+            result = aggregate.function == "#min"
+            if aggregate.function == "#min":
+                result = aggregate.upper is None
+            else:
+                result = aggregate.lower is None
+        else:
+            result = True
+            if aggregate.lower is not None and value < aggregate.lower:
+                result = False
+            if aggregate.upper is not None and value > aggregate.upper:
+                result = False
+        return not result if aggregate.negated else result
+
+    def _founded_check(
+        self, true_atoms: Set[Atom], assignment: Dict[int, bool]
+    ) -> Optional[Set[Atom]]:
+        """Return the unfounded subset of ``true_atoms`` (None if empty)."""
+        founded: Set[Atom] = set()
+        changed = True
+        while changed:
+            changed = False
+            for rule, _ in self._rule_records:
+                if not self._rule_fires(rule, true_atoms, founded):
+                    continue
+                if isinstance(rule.head, Atom):
+                    if rule.head in true_atoms and rule.head not in founded:
+                        founded.add(rule.head)
+                        changed = True
+                else:
+                    for atom, condition_pos, condition_neg in rule.head.elements:
+                        if atom not in true_atoms or atom in founded:
+                            continue
+                        if all(
+                            a in true_atoms and a in founded for a in condition_pos
+                        ) and not any(a in true_atoms for a in condition_neg):
+                            founded.add(atom)
+                            changed = True
+        unfounded = true_atoms - founded
+        return unfounded or None
+
+    def _rule_fires(
+        self, rule: GroundRule, true_atoms: Set[Atom], founded: Set[Atom]
+    ) -> bool:
+        for atom in rule.pos:
+            if atom not in true_atoms or atom not in founded:
+                return False
+        for atom in rule.neg:
+            if atom in true_atoms:
+                return False
+        for aggregate in rule.aggregates:
+            if not self._aggregate_true(aggregate, true_atoms):
+                return False
+        return True
+
+    def _add_loop_nogoods(self, unfounded: Set[Atom]) -> None:
+        external: List[int] = []
+        for atom in unfounded:
+            for support in self._supports.get(atom, []):
+                if not any(p in unfounded for p in support.pos):
+                    external.append(support.literal)
+        external = list(dict.fromkeys(external))
+        for atom in unfounded:
+            self._sat.add_clause([-self._atom_var[atom]] + external)
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+    def _next_stable(self, assumptions: Sequence[int]) -> Optional[Set[Atom]]:
+        while True:
+            assignment = self._sat.solve(assumptions)
+            if assignment is None:
+                return None
+            true_atoms = {
+                atom for atom, var in self._atom_var.items() if assignment.get(var)
+            }
+            if self._tight:
+                return true_atoms
+            unfounded = self._founded_check(true_atoms, assignment)
+            if unfounded is None:
+                return true_atoms
+            self._add_loop_nogoods(unfounded)
+
+    def _block(self, true_atoms: Set[Atom]) -> None:
+        clause = []
+        for atom, var in self._atom_var.items():
+            clause.append(-var if atom in true_atoms else var)
+        self._sat.add_clause(clause)
+
+    def _model_cost(self, true_atoms: Set[Atom]) -> Tuple[Tuple[int, int], ...]:
+        costs: List[Tuple[int, int]] = []
+        for priority, level in self._optimize_levels:
+            costs.append((priority, level.cost(true_atoms)))
+        return tuple(costs)
+
+    def models(
+        self,
+        limit: Optional[int] = None,
+        assumptions: Sequence[Tuple[Atom, bool]] = (),
+    ) -> Iterator[Model]:
+        """Enumerate answer sets (ignores weak constraints)."""
+        literals = self._assumption_literals(assumptions)
+        count = 0
+        shown = tuple(self._program.shows)
+        while limit is None or count < limit:
+            true_atoms = self._next_stable(literals)
+            if true_atoms is None:
+                return
+            yield Model(frozenset(true_atoms), self._model_cost(true_atoms), shown)
+            self._block(true_atoms)
+            count += 1
+
+    def _assumption_literals(
+        self, assumptions: Sequence[Tuple[Atom, bool]]
+    ) -> List[int]:
+        literals: List[int] = []
+        for atom, positive in assumptions:
+            var = self._atom_var.get(atom)
+            if var is None:
+                if positive:
+                    # assuming truth of an underivable atom: unsatisfiable
+                    literals.append(-self._true)
+                continue
+            literals.append(var if positive else -var)
+        return literals
+
+    def optimize(
+        self,
+        assumptions: Sequence[Tuple[Atom, bool]] = (),
+        enumerate_optimal: bool = False,
+        limit: Optional[int] = None,
+    ) -> List[Model]:
+        """Find (one or all) optimal models under the weak constraints.
+
+        Lexicographic branch-and-bound over descending priority levels.
+        Returns an empty list when unsatisfiable.  Without weak
+        constraints this degrades to plain enumeration of one model.
+        """
+        literals = self._assumption_literals(assumptions)
+        shown = tuple(self._program.shows)
+        best_atoms = self._next_stable(literals)
+        if best_atoms is None:
+            return []
+        if not self._optimize_levels:
+            model = Model(frozenset(best_atoms), (), shown, optimal=True)
+            return [model]
+        best_cost = self._model_cost(best_atoms)
+        activations: List[int] = []
+        while True:
+            activations.append(self._add_improvement_clause(best_cost))
+            candidate = self._next_stable(literals + activations)
+            if candidate is None:
+                break
+            candidate_cost = self._model_cost(candidate)
+            assert _cost_key(candidate_cost) < _cost_key(best_cost)
+            best_atoms, best_cost = candidate, candidate_cost
+        # pin the optimum and enumerate models achieving it
+        for (priority, level), (_, value) in zip(self._optimize_levels, best_cost):
+            self._sat.add_clause([level.leq(value)])
+        results: List[Model] = []
+        if not enumerate_optimal:
+            return [Model(frozenset(best_atoms), best_cost, shown, optimal=True)]
+        while limit is None or len(results) < limit:
+            atoms = self._next_stable(literals)
+            if atoms is None:
+                break
+            results.append(
+                Model(frozenset(atoms), self._model_cost(atoms), shown, optimal=True)
+            )
+            self._block(atoms)
+        return results
+
+    def _add_improvement_clause(
+        self, best_cost: Tuple[Tuple[int, int], ...]
+    ) -> int:
+        """Require lexicographically cheaper models while the returned
+        activation literal is assumed (so the bound can be relaxed later
+        when enumerating the optimum)."""
+        strict_options: List[int] = []
+        prefix_equal: List[int] = []
+        for (priority, level), (_, value) in zip(self._optimize_levels, best_cost):
+            strict = self._conjunction(prefix_equal + [level.leq(value - 1)])
+            strict_options.append(strict)
+            prefix_equal.append(level.leq(value))
+        activation = self._sat.new_var()
+        self._sat.add_clause([-activation] + strict_options)
+        return activation
+
+
+class _CostLevel:
+    """Threshold circuit plus semantic cost for one priority level."""
+
+    def __init__(
+        self,
+        sat: SatSolver,
+        items: List[Tuple[int, int]],
+        offset: int,
+        instances: List[Tuple[int, List[Tuple[Tuple[Atom, ...], Tuple[Atom, ...]]]]],
+    ):
+        self._counter = WeightedCounter(sat, items)
+        self._offset = offset  # real_sum = counter_sum + offset
+        self._instances = instances
+
+    def leq(self, bound: int) -> int:
+        """Literal true iff the real weighted sum <= bound."""
+        return -self._counter.geq(bound - self._offset + 1)
+
+    def cost(self, true_atoms: Set[Atom]) -> int:
+        """Semantic cost of a model at this level (set semantics)."""
+        total = 0
+        for weight, bodies in self._instances:
+            for pos, neg in bodies:
+                if all(a in true_atoms for a in pos) and not any(
+                    a in true_atoms for a in neg
+                ):
+                    total += weight
+                    break
+        return total
+
+
+def _element_weight(terms: Tuple, aggregate: GroundAggregate) -> int:
+    if not terms or not isinstance(terms[0], Number):
+        raise SolverError(
+            "%s elements must lead with an integer term" % aggregate.function
+        )
+    return terms[0].value
+
+
+def _cost_key(cost: Tuple[Tuple[int, int], ...]) -> Tuple[int, ...]:
+    return tuple(value for _, value in cost)
+
+
+def _tarjan_scc(graph: Dict[Atom, Set[Atom]]) -> List[List[Atom]]:
+    """Iterative Tarjan strongly-connected components."""
+    index_counter = itertools.count()
+    index: Dict[Atom, int] = {}
+    lowlink: Dict[Atom, int] = {}
+    on_stack: Set[Atom] = set()
+    stack: List[Atom] = []
+    components: List[List[Atom]] = []
+    nodes: Set[Atom] = set(graph)
+    for edges in graph.values():
+        nodes.update(edges)
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: List[Tuple[Atom, Iterator[Atom]]] = [(root, iter(graph.get(root, ())))]
+        index[root] = lowlink[root] = next(index_counter)
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index:
+                    index[successor] = lowlink[successor] = next(index_counter)
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(graph.get(successor, ()))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: List[Atom] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components

@@ -1,0 +1,363 @@
+"""Term representation for the Answer Set Programming engine.
+
+The term language mirrors the clingo core language: symbolic constants
+(lower-case identifiers), integers, quoted strings, variables (upper-case
+identifiers), compound function terms ``f(t1, ..., tn)`` and tuples.
+
+Terms are immutable and hashable so they can be used as dictionary keys
+throughout the grounder and solver.  A total order over ground terms is
+defined (numbers < symbols/strings < functions) so that answer sets render
+deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+
+class TermError(Exception):
+    """Raised for malformed terms or invalid term operations."""
+
+
+@dataclass(frozen=True)
+class Term:
+    """Abstract base class for all terms."""
+
+    def is_ground(self) -> bool:
+        raise NotImplementedError
+
+    def substitute(self, binding: Dict["Variable", "Term"]) -> "Term":
+        raise NotImplementedError
+
+    def variables(self) -> Iterable["Variable"]:
+        raise NotImplementedError
+
+    def sort_key(self) -> Tuple:
+        """Key defining a total order over ground terms."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Number(Term):
+    """An integer term."""
+
+    value: int
+
+    def is_ground(self) -> bool:
+        return True
+
+    def substitute(self, binding: Dict["Variable", Term]) -> Term:
+        return self
+
+    def variables(self) -> Iterable["Variable"]:
+        return ()
+
+    def sort_key(self) -> Tuple:
+        return (0, self.value)
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Symbol(Term):
+    """A symbolic constant such as ``water_tank``."""
+
+    name: str
+
+    def is_ground(self) -> bool:
+        return True
+
+    def substitute(self, binding: Dict["Variable", Term]) -> Term:
+        return self
+
+    def variables(self) -> Iterable["Variable"]:
+        return ()
+
+    def sort_key(self) -> Tuple:
+        return (1, 0, self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class String(Term):
+    """A quoted string constant."""
+
+    value: str
+
+    def is_ground(self) -> bool:
+        return True
+
+    def substitute(self, binding: Dict["Variable", Term]) -> Term:
+        return self
+
+    def variables(self) -> Iterable["Variable"]:
+        return ()
+
+    def sort_key(self) -> Tuple:
+        return (1, 1, self.value)
+
+    def __str__(self) -> str:
+        return '"%s"' % self.value.replace('"', '\\"')
+
+
+@dataclass(frozen=True)
+class Variable(Term):
+    """A first-order variable (upper-case identifier).
+
+    The anonymous variable ``_`` is represented by a :class:`Variable`
+    whose name starts with ``_Anon`` — the parser assigns each occurrence
+    a fresh name so two anonymous variables never unify with each other.
+    """
+
+    name: str
+
+    def is_ground(self) -> bool:
+        return False
+
+    def substitute(self, binding: Dict["Variable", Term]) -> Term:
+        return binding.get(self, self)
+
+    def variables(self) -> Iterable["Variable"]:
+        return (self,)
+
+    def sort_key(self) -> Tuple:
+        raise TermError("variable %s has no ground order" % self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Function(Term):
+    """A compound term ``f(t1, ..., tn)``; with empty name it is a tuple."""
+
+    name: str
+    arguments: Tuple[Term, ...] = field(default=())
+
+    def is_ground(self) -> bool:
+        return all(argument.is_ground() for argument in self.arguments)
+
+    def substitute(self, binding: Dict[Variable, Term]) -> Term:
+        if not self.arguments:
+            return self
+        return Function(
+            self.name,
+            tuple(argument.substitute(binding) for argument in self.arguments),
+        )
+
+    def variables(self) -> Iterable[Variable]:
+        for argument in self.arguments:
+            yield from argument.variables()
+
+    def sort_key(self) -> Tuple:
+        return (
+            2,
+            len(self.arguments),
+            self.name,
+            tuple(argument.sort_key() for argument in self.arguments),
+        )
+
+    def __str__(self) -> str:
+        if not self.arguments:
+            return self.name if self.name else "()"
+        inner = ",".join(str(argument) for argument in self.arguments)
+        return "%s(%s)" % (self.name, inner)
+
+
+#: Binary arithmetic operators supported in term position.
+_ARITHMETIC_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: _int_div(a, b),
+    "\\": lambda a, b: _int_mod(a, b),
+    "**": lambda a, b: a ** b,
+}
+
+
+def _int_div(a: int, b: int) -> int:
+    if b == 0:
+        raise TermError("division by zero in arithmetic term")
+    quotient = abs(a) // abs(b)
+    return quotient if (a >= 0) == (b >= 0) else -quotient
+
+
+def _int_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise TermError("modulo by zero in arithmetic term")
+    return a - _int_div(a, b) * b
+
+
+@dataclass(frozen=True)
+class BinaryOperation(Term):
+    """An unevaluated arithmetic term such as ``X + 1``."""
+
+    operator: str
+    left: Term
+    right: Term
+
+    def is_ground(self) -> bool:
+        return self.left.is_ground() and self.right.is_ground()
+
+    def substitute(self, binding: Dict[Variable, Term]) -> Term:
+        return BinaryOperation(
+            self.operator,
+            self.left.substitute(binding),
+            self.right.substitute(binding),
+        )
+
+    def variables(self) -> Iterable[Variable]:
+        yield from self.left.variables()
+        yield from self.right.variables()
+
+    def sort_key(self) -> Tuple:
+        return evaluate(self).sort_key()
+
+    def __str__(self) -> str:
+        return "(%s%s%s)" % (self.left, self.operator, self.right)
+
+
+@dataclass(frozen=True)
+class UnaryMinus(Term):
+    """Arithmetic negation ``-t``."""
+
+    operand: Term
+
+    def is_ground(self) -> bool:
+        return self.operand.is_ground()
+
+    def substitute(self, binding: Dict[Variable, Term]) -> Term:
+        return UnaryMinus(self.operand.substitute(binding))
+
+    def variables(self) -> Iterable[Variable]:
+        return self.operand.variables()
+
+    def sort_key(self) -> Tuple:
+        return evaluate(self).sort_key()
+
+    def __str__(self) -> str:
+        return "-%s" % self.operand
+
+
+@dataclass(frozen=True)
+class Interval(Term):
+    """A range term ``lo..hi`` expanding to each integer in the interval."""
+
+    low: Term
+    high: Term
+
+    def is_ground(self) -> bool:
+        return self.low.is_ground() and self.high.is_ground()
+
+    def substitute(self, binding: Dict[Variable, Term]) -> Term:
+        return Interval(self.low.substitute(binding), self.high.substitute(binding))
+
+    def variables(self) -> Iterable[Variable]:
+        yield from self.low.variables()
+        yield from self.high.variables()
+
+    def sort_key(self) -> Tuple:
+        raise TermError("interval terms must be expanded before ordering")
+
+    def expand(self) -> Iterable[Number]:
+        low = evaluate(self.low)
+        high = evaluate(self.high)
+        if not isinstance(low, Number) or not isinstance(high, Number):
+            raise TermError("interval bounds must evaluate to integers: %s" % self)
+        for value in range(low.value, high.value + 1):
+            yield Number(value)
+
+    def __str__(self) -> str:
+        return "%s..%s" % (self.low, self.high)
+
+
+def evaluate(term: Term) -> Term:
+    """Evaluate all arithmetic inside a ground term.
+
+    Symbols, strings and numbers evaluate to themselves; function arguments
+    are evaluated recursively; :class:`BinaryOperation` and
+    :class:`UnaryMinus` nodes are folded into :class:`Number` values.
+    """
+    if isinstance(term, (Number, Symbol, String)):
+        return term
+    if isinstance(term, Variable):
+        raise TermError("cannot evaluate non-ground term %s" % term)
+    if isinstance(term, Function):
+        if not term.arguments:
+            return term
+        return Function(term.name, tuple(evaluate(a) for a in term.arguments))
+    if isinstance(term, UnaryMinus):
+        operand = evaluate(term.operand)
+        if not isinstance(operand, Number):
+            raise TermError("cannot negate non-numeric term %s" % operand)
+        return Number(-operand.value)
+    if isinstance(term, BinaryOperation):
+        left = evaluate(term.left)
+        right = evaluate(term.right)
+        if not isinstance(left, Number) or not isinstance(right, Number):
+            raise TermError(
+                "arithmetic on non-numeric terms: %s %s %s"
+                % (left, term.operator, right)
+            )
+        try:
+            operation = _ARITHMETIC_OPS[term.operator]
+        except KeyError:
+            raise TermError("unknown operator %r" % term.operator) from None
+        return Number(operation(left.value, right.value))
+    if isinstance(term, Interval):
+        raise TermError("interval term %s used outside expandable position" % term)
+    raise TermError("cannot evaluate term of type %s" % type(term).__name__)
+
+
+def match(pattern: Term, ground: Term, binding: Dict[Variable, Term]) -> Optional[Dict[Variable, Term]]:
+    """One-sided unification of ``pattern`` against a ground term.
+
+    Returns an extended copy of ``binding`` on success, ``None`` on failure.
+    The input binding is never mutated.
+    """
+    if isinstance(pattern, Variable):
+        bound = binding.get(pattern)
+        if bound is None:
+            extended = dict(binding)
+            extended[pattern] = ground
+            return extended
+        return binding if bound == ground else None
+    if isinstance(pattern, (Number, Symbol, String)):
+        return binding if pattern == ground else None
+    if isinstance(pattern, Function):
+        if (
+            not isinstance(ground, Function)
+            or pattern.name != ground.name
+            or len(pattern.arguments) != len(ground.arguments)
+        ):
+            return None
+        current: Optional[Dict[Variable, Term]] = binding
+        for sub_pattern, sub_ground in zip(pattern.arguments, ground.arguments):
+            current = match(sub_pattern, sub_ground, current)
+            if current is None:
+                return None
+        return current
+    if isinstance(pattern, (BinaryOperation, UnaryMinus)):
+        # Arithmetic in matched position must already be fully bound.
+        if pattern.is_ground():
+            return binding if evaluate(pattern) == ground else None
+        return None
+    return None
+
+
+def compare(left: Term, right: Term) -> int:
+    """Three-way comparison of two ground terms (clingo term order)."""
+    left_key = evaluate(left).sort_key()
+    right_key = evaluate(right).sort_key()
+    if left_key < right_key:
+        return -1
+    if left_key > right_key:
+        return 1
+    return 0
+
+
+GroundTerm = Union[Number, Symbol, String, Function]

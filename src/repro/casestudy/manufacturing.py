@@ -1,0 +1,128 @@
+"""A second workload: a smart-manufacturing robot cell.
+
+The paper motivates its method with manufacturing SMEs ("SMEs in
+manufacturing and related non-IT services"); this model instantiates
+that setting beyond the water tank: an internet-exposed remote-access
+gateway and MES feed a PLC-controlled robot cell (robot, conveyor,
+vision inspection) guarded by a safety PLC, with a firewall on the
+IT/OT boundary and a historian collecting telemetry.
+
+It serves the benchmarks as the larger, second workload, and the tests
+as a generality check: everything that works on the water tank must
+work here unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..epa.engine import EpaEngine, StaticRequirement
+from ..modeling.elements import RelationshipType
+from ..modeling.library import standard_cps_library
+from ..modeling.model import SystemModel
+
+RQ_NO_ROGUE_MOTION = "no_rogue_motion"
+RQ_SAFETY_AVAILABLE = "safety_function_available"
+RQ_QUALITY_GATE = "quality_gate_effective"
+
+
+def build_manufacturing_model() -> SystemModel:
+    """The robot-cell architecture."""
+    library = standard_cps_library()
+    model = SystemModel("robot_cell")
+    # IT zone
+    library.instantiate(
+        model, "gateway", "remote_gateway", "Remote Access Gateway"
+    )
+    library.instantiate(
+        model,
+        "mes_server",
+        "mes",
+        "MES Server",
+        properties={"software": "mes_suite:7.2"},
+    )
+    library.instantiate(
+        model,
+        "workstation",
+        "engineering_ws",
+        "Engineering Workstation",
+        properties={"exposure": "email", "software": "eng_workstation_os:10.2"},
+    )
+    library.instantiate(model, "historian", "historian", "Process Historian")
+    # boundary
+    library.instantiate(model, "firewall", "ot_firewall", "IT/OT Firewall")
+    # OT zone
+    library.instantiate(model, "controller", "cell_plc", "Cell PLC")
+    library.instantiate(model, "safety_plc", "safety_plc", "Safety PLC")
+    library.instantiate(model, "robot", "robot", "Robot Arm")
+    library.instantiate(model, "conveyor", "conveyor", "Conveyor")
+    library.instantiate(
+        model, "vision_sensor", "vision", "Vision Inspection Sensor"
+    )
+    library.instantiate(model, "hmi", "cell_hmi", "Cell HMI")
+
+    flows: Tuple[Tuple[str, str], ...] = (
+        ("remote_gateway", "mes"),
+        ("engineering_ws", "mes"),
+        ("mes", "ot_firewall"),
+        ("engineering_ws", "ot_firewall"),
+        ("ot_firewall", "cell_plc"),
+        ("cell_plc", "robot"),
+        ("cell_plc", "conveyor"),
+        ("vision", "cell_plc"),
+        ("cell_plc", "cell_hmi"),
+        ("cell_plc", "historian"),
+        ("safety_plc", "robot"),
+        ("vision", "safety_plc"),
+    )
+    for source, target in flows:
+        model.add_relationship(source, target, RelationshipType.FLOW)
+    model.add_relationship(
+        "robot", "conveyor", RelationshipType.PHYSICAL_CONNECTION
+    )
+    return model
+
+
+def manufacturing_requirements() -> List[StaticRequirement]:
+    return [
+        StaticRequirement(
+            RQ_NO_ROGUE_MOTION,
+            "err(robot, K), hazardous_kind(K)",
+            focus="robot",
+            magnitude="VH",
+            description="the robot must not execute erroneous or "
+            "attacker-crafted motion",
+        ),
+        StaticRequirement(
+            RQ_SAFETY_AVAILABLE,
+            "err(safety_plc, omission)",
+            focus="safety_plc",
+            magnitude="VH",
+            description="the safety function must stay available",
+        ),
+        StaticRequirement(
+            RQ_QUALITY_GATE,
+            "err(vision, K), hazardous_kind(K)",
+            focus="vision",
+            magnitude="M",
+            description="quality inspection must not pass bad parts",
+        ),
+    ]
+
+
+#: mitigation coverage for the cell's cyber fault modes
+MANUFACTURING_MITIGATIONS: Dict[str, Tuple[str, ...]] = {
+    "compromised": ("M0932", "M0930"),
+    "bypassed": ("M0930", "M0807"),
+    "forced_outputs": ("M0807",),
+    "tampered": ("M0930",),
+    "infected": ("M0917", "M0949"),
+}
+
+
+def manufacturing_engine() -> EpaEngine:
+    return EpaEngine(
+        build_manufacturing_model(),
+        manufacturing_requirements(),
+        fault_mitigations=MANUFACTURING_MITIGATIONS,
+    )

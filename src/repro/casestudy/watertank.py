@@ -1,0 +1,318 @@
+"""The water-tank case study (paper Sec. VII, Fig. 4).
+
+A main water tank with input/output valve actuators and their
+controllers, a water-level sensor, a tank controller, an HMI for the
+operator, and an engineering workstation from which the valves can be
+manually reconfigured.  Inspired by the Tennessee Eastman Process; the
+paper's own simplification is implemented here.
+
+Safety requirements:
+
+* **R1** — the water tank should not overflow;
+* **R2** — an alert should be sent to the operator in case of overflow.
+
+Fault modes:
+
+* **F1** — input valve stuck-at-open;
+* **F2** — output valve stuck-at-closed;
+* **F3** — HMI: no signal;
+* **F4** — infected engineering workstation, which can cause the
+  effects of F1, F2 and F3 (the attacker reconfigures the actuators and
+  suppresses operator alerts).
+
+Mitigations: **M1** user training, **M2** endpoint security — both
+countering the workstation infection (F4).
+
+Process physics (qualitative): production keeps the input flowing; the
+tank controller regulates the *output* valve from the sensed level (the
+input valve is a manual/engineering setting, per the paper's extended
+model).  The level moves one qualitative step per time unit: it rises
+while input is open and output closed, falls in the opposite case, and
+is steady when the flows balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..epa.behavioral import BehaviouralEpa, BehaviouralScenario
+from ..epa.engine import EpaEngine, StaticRequirement
+from ..epa.faults import FaultRef
+from ..modeling.elements import ElementType, RelationshipType
+from ..modeling.library import standard_cps_library
+from ..modeling.model import SystemModel
+
+# ----------------------------------------------------------------------
+# identifiers
+# ----------------------------------------------------------------------
+F1 = FaultRef("input_valve", "stuck_at_open")
+F2 = FaultRef("output_valve", "stuck_at_closed")
+F3 = FaultRef("hmi", "no_signal")
+F4 = FaultRef("engineering_workstation", "infected")
+
+FAULTS: Tuple[FaultRef, ...] = (F1, F2, F3, F4)
+
+M1 = "m1_user_training"
+M2 = "m2_endpoint_security"
+
+R1 = "r1"
+R2 = "r2"
+
+#: Table II scenarios: name -> (active faults, mitigations active?)
+PAPER_SCENARIOS: Dict[str, Tuple[Tuple[FaultRef, ...], bool]] = {
+    "S1": ((), True),
+    "S2": ((F4,), False),
+    "S3": ((F1,), True),
+    "S4": ((F2,), True),
+    "S5": ((F2, F3), True),
+    "S6": ((F1, F3), True),
+    "S7": ((F1, F2, F3), True),
+}
+
+
+# ----------------------------------------------------------------------
+# architecture model (Fig. 4)
+# ----------------------------------------------------------------------
+def build_system_model() -> SystemModel:
+    """The ArchiMate-style architecture of the case study."""
+    library = standard_cps_library()
+    model = SystemModel("water_tank_system")
+    library.instantiate(model, "plant", "water_tank", "Water Tank")
+    library.instantiate(model, "sensor", "level_sensor", "Water Level Sensor")
+    library.instantiate(model, "controller", "tank_controller", "Tank Controller")
+    library.instantiate(
+        model, "controller", "in_valve_controller", "Input Valve Controller"
+    )
+    library.instantiate(
+        model, "controller", "out_valve_controller", "Output Valve Controller"
+    )
+    library.instantiate(model, "actuator", "input_valve", "Input Valve Actuator")
+    library.instantiate(model, "actuator", "output_valve", "Output Valve Actuator")
+    library.instantiate(model, "hmi", "hmi", "Human-Machine Interface")
+    library.instantiate(
+        model,
+        "workstation",
+        "engineering_workstation",
+        "Engineering Workstation",
+        properties={
+            "exposure": "email",
+            "software": "eng_workstation_os:10.1",
+        },
+    )
+    # sensing and control flows (IT signal flow)
+    model.add_relationship("water_tank", "level_sensor", RelationshipType.PHYSICAL_CONNECTION)
+    model.add_relationship("level_sensor", "tank_controller", RelationshipType.FLOW)
+    model.add_relationship("tank_controller", "in_valve_controller", RelationshipType.FLOW)
+    model.add_relationship("tank_controller", "out_valve_controller", RelationshipType.FLOW)
+    model.add_relationship("in_valve_controller", "input_valve", RelationshipType.FLOW)
+    model.add_relationship("out_valve_controller", "output_valve", RelationshipType.FLOW)
+    model.add_relationship("level_sensor", "hmi", RelationshipType.FLOW)
+    # manual reconfiguration path from the engineering workstation
+    model.add_relationship(
+        "engineering_workstation", "in_valve_controller", RelationshipType.FLOW
+    )
+    model.add_relationship(
+        "engineering_workstation", "out_valve_controller", RelationshipType.FLOW
+    )
+    model.add_relationship(
+        "engineering_workstation", "hmi", RelationshipType.FLOW
+    )
+    # physical quantity flow (OT)
+    model.add_relationship("input_valve", "water_tank", RelationshipType.PHYSICAL_CONNECTION)
+    model.add_relationship("water_tank", "output_valve", RelationshipType.PHYSICAL_CONNECTION)
+    return model
+
+
+# ----------------------------------------------------------------------
+# static (topology-level) requirements
+# ----------------------------------------------------------------------
+def static_requirements() -> List[StaticRequirement]:
+    """Topology-level reading of R1/R2 for the coarse analysis:
+    erroneous actuation reaching the tank may overflow it; an erroneous
+    or silent HMI may lose the alert."""
+    return [
+        StaticRequirement(
+            R1,
+            "err(water_tank, K), hazardous_kind(K)",
+            focus="water_tank",
+            magnitude="VH",
+            description="the water tank should not overflow",
+        ),
+        StaticRequirement(
+            R2,
+            "err(hmi, K), alert_losing_kind(K)",
+            focus="hmi",
+            magnitude="H",
+            description="an alert should reach the operator on overflow",
+        ),
+    ]
+
+
+def static_engine() -> EpaEngine:
+    """Topology-level EPA engine over the architecture model."""
+    return EpaEngine(
+        build_system_model(),
+        static_requirements(),
+        fault_mitigations={"infected": (M1, M2)},
+    )
+
+
+# ----------------------------------------------------------------------
+# behavioural (detailed) model
+# ----------------------------------------------------------------------
+def behavioural_epa() -> BehaviouralEpa:
+    """The qualitative dynamic model with R1/R2 as LTLf requirements."""
+    epa = BehaviouralEpa()
+    epa.add_static(
+        """
+        next_level(empty, low). next_level(low, normal).
+        next_level(normal, high). next_level(high, overflow).
+        low_band(empty). low_band(low).
+        mid_band(normal).
+        high_band(high). high_band(overflow).
+        """
+    )
+    # fault wiring: F4 induces the effects of F1, F2 and F3
+    epa.add_static(
+        """
+        in_stuck_open :- active_fault(input_valve, stuck_at_open).
+        in_stuck_open :- active_fault(engineering_workstation, infected).
+        out_stuck_closed :- active_fault(output_valve, stuck_at_closed).
+        out_stuck_closed :- active_fault(engineering_workstation, infected).
+        hmi_silent :- active_fault(hmi, no_signal).
+        hmi_silent :- active_fault(engineering_workstation, infected).
+        """
+    )
+    epa.add_initial(
+        """
+        level(normal).
+        out_cmd(open).
+        """
+    )
+    epa.add_dynamic(
+        """
+        % production keeps the input flowing (manual setting, nominally
+        % open); stuck-at-open coincides with the nominal position
+        in_pos(open).
+
+        % the output valve follows last step's controller command unless
+        % stuck closed
+        out_pos(closed) :- out_stuck_closed.
+        out_pos(P) :- prev_out_cmd(P), not out_stuck_closed.
+
+        % qualitative level dynamics: one step per time unit
+        rises :- in_pos(open), out_pos(closed).
+        falls :- in_pos(closed), out_pos(open).
+        level(L2) :- prev_level(L1), rises, next_level(L1, L2).
+        level(L) :- prev_level(L), rises, not some_next(L).
+        level(L1) :- prev_level(L2), falls, next_level(L1, L2).
+        level(L) :- prev_level(L), falls, not some_prev(L).
+        level(L) :- prev_level(L), not rises, not falls.
+        some_next(L) :- next_level(L, _).
+        some_prev(L) :- next_level(_, L).
+        """
+    )
+    epa.add_always(
+        """
+        % the sensor reports the current level to controller and HMI
+        sensed(L) :- level(L).
+
+        % tank controller: drain on high levels, hold on low, pass
+        % through on normal (balanced throughput)
+        out_cmd(open) :- sensed(L), high_band(L).
+        out_cmd(open) :- sensed(L), mid_band(L).
+        out_cmd(closed) :- sensed(L), low_band(L).
+
+        % HMI alert on overflow, unless silenced
+        alert :- sensed(overflow), not hmi_silent.
+        """
+    )
+    epa.add_requirement(R1, "G ~level(overflow)")
+    epa.add_requirement(R2, "G (level(overflow) -> F alert)")
+    for fault in FAULTS:
+        epa.add_fault_mode(fault.component, fault.fault)
+    epa.add_mitigation("infected", M1)
+    epa.add_mitigation("infected", M2)
+    return epa
+
+
+#: mitigation deployment used by the paper's mitigated scenarios
+ACTIVE_MITIGATIONS: Dict[str, Tuple[str, ...]] = {
+    "engineering_workstation": (M1, M2),
+}
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One row of Table II."""
+
+    scenario: str
+    faults: Tuple[str, ...]  # subset of F1..F4 names
+    mitigations_active: bool
+    r1_violated: bool
+    r2_violated: bool
+
+    def cells(self) -> Tuple[str, ...]:
+        marks = tuple(
+            "*" if name in self.faults else ""
+            for name in ("F1", "F2", "F3", "F4")
+        )
+        mitigation = ("Active", "Active") if self.mitigations_active else ("", "")
+        return (
+            (self.scenario,)
+            + marks
+            + mitigation
+            + (
+                "Violated" if self.r1_violated else "-",
+                "Violated" if self.r2_violated else "-",
+            )
+        )
+
+
+_FAULT_NAMES = {F1: "F1", F2: "F2", F3: "F3", F4: "F4"}
+
+
+def analysis_table(horizon: int = 4) -> List[TableRow]:
+    """Reproduce Table II: evaluate each of the paper's scenarios.
+
+    Every scenario is checked exhaustively over all qualitative
+    behaviour traces of the given horizon; a requirement counts as
+    violated when any admissible trace violates it.
+    """
+    epa = behavioural_epa()
+    by_configuration = {
+        True: {
+            s.key(): s
+            for s in epa.analyze(horizon, active_mitigations=ACTIVE_MITIGATIONS)
+        },
+        False: {s.key(): s for s in epa.analyze(horizon)},
+    }
+    rows: List[TableRow] = []
+    for name, (faults, mitigated) in PAPER_SCENARIOS.items():
+        wanted = tuple(
+            sorted(str(f) for f in faults if not (mitigated and f == F4))
+        )
+        match = by_configuration[mitigated].get(wanted)
+        if match is None:
+            raise RuntimeError(
+                "scenario %s (%s) not found in the analysis" % (name, wanted)
+            )
+        violated = match.violated
+        rows.append(
+            TableRow(
+                name,
+                tuple(_FAULT_NAMES[f] for f in faults),
+                mitigated,
+                R1 in violated,
+                R2 in violated,
+            )
+        )
+    return rows
+
+
+def full_scenario_analysis(horizon: int = 4) -> List[BehaviouralScenario]:
+    """The exhaustive analysis over every fault combination (the paper's
+    Table II 'extract' omits some combinations; this is the full set)."""
+    epa = behavioural_epa()
+    return epa.analyze(horizon, active_mitigations=ACTIVE_MITIGATIONS)

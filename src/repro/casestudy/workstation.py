@@ -1,0 +1,141 @@
+"""Engineering-workstation asset refinement (paper Fig. 4 bottom).
+
+"This finer decomposition describes a possible attack scenario where a
+user opens a link in a spam email and then downloads malware from the
+website, which infects the computer."  The refined submodel is the
+attack-flow chain **E-mail Client -> Browser -> Infected Computer**,
+with mitigation attach points: **M1 User Training** against opening the
+link, **M2 Endpoint Security** against the malware.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..epa.engine import EpaEngine, StaticRequirement
+from ..hierarchy.refinement import RefinementSpec, refine
+from ..modeling.elements import ElementType, RelationshipType
+from ..modeling.library import (
+    ComponentTypeLibrary,
+    FaultModeSpec,
+    standard_cps_library,
+)
+from ..modeling.model import SystemModel
+from .watertank import M1, M2, build_system_model
+
+
+def workstation_submodel() -> SystemModel:
+    """The refined inner structure of the Engineering Workstation."""
+    submodel = SystemModel("engineering_workstation_refined")
+    submodel.add_element(
+        "email_client",
+        "E-mail Client",
+        ElementType.APPLICATION_COMPONENT,
+        {
+            "component_type": "workstation",
+            "exposure": "email",
+            "fault_modes": [
+                {
+                    "name": "spam_link_opened",
+                    "behaviour": "compromised",
+                    "severity": "major",
+                    "local_effect": "user follows a spearphishing link",
+                }
+            ],
+            "propagation_mode": "transparent",
+        },
+    )
+    submodel.add_element(
+        "browser",
+        "Browser",
+        ElementType.APPLICATION_COMPONENT,
+        {
+            "component_type": "workstation",
+            "software": "workstation_browser:99.0",
+            "fault_modes": [
+                {
+                    "name": "malware_downloaded",
+                    "behaviour": "compromised",
+                    "severity": "critical",
+                    "local_effect": "drive-by malware download",
+                }
+            ],
+            "propagation_mode": "transparent",
+        },
+    )
+    submodel.add_element(
+        "infected_computer",
+        "Infected Computer",
+        ElementType.NODE,
+        {
+            "component_type": "workstation",
+            "software": "eng_workstation_os:10.1",
+            "fault_modes": [
+                {
+                    "name": "infected",
+                    "behaviour": "compromised",
+                    "severity": "critical",
+                    "local_effect": "attacker controls the workstation",
+                }
+            ],
+            "propagation_mode": "transparent",
+        },
+    )
+    submodel.add_relationship("email_client", "browser", RelationshipType.FLOW)
+    submodel.add_relationship("browser", "infected_computer", RelationshipType.FLOW)
+    return submodel
+
+
+def workstation_refinement() -> RefinementSpec:
+    """The Fig. 4 refinement: replace the coarse workstation asset."""
+    return RefinementSpec(
+        target="engineering_workstation",
+        submodel=workstation_submodel(),
+        entry="email_client",
+        exit="infected_computer",
+    )
+
+
+def refined_system_model() -> SystemModel:
+    """The case-study model with the workstation refined."""
+    return refine(build_system_model(), workstation_refinement())
+
+
+#: mitigation attachment in the refined model: M1 stops the spam link,
+#: M2 stops the malware, patching stops the OS exploit
+REFINED_MITIGATIONS = {
+    "spam_link_opened": (M1,),
+    "malware_downloaded": (M2,),
+    "infected": (M2,),
+}
+
+
+def refined_engine() -> EpaEngine:
+    """Topology EPA over the refined model: the attack chain must pass
+    e-mail client -> browser -> computer -> valve controllers, so each
+    mitigation cuts the chain at its own attach point."""
+    from .watertank import static_requirements
+
+    return EpaEngine(
+        refined_system_model(),
+        static_requirements(),
+        fault_mitigations=REFINED_MITIGATIONS,
+    )
+
+
+def attack_chain_blocked(
+    active_mitigations: dict, max_faults: int = 1
+) -> bool:
+    """Does the given mitigation deployment block the single-fault
+    infection scenarios from reaching the physical process?"""
+    engine = refined_engine()
+    report = engine.analyze(
+        active_mitigations=active_mitigations, max_faults=max_faults
+    )
+    for outcome in report.violating():
+        if any(
+            fault.component in ("email_client", "browser", "infected_computer")
+            for fault in outcome.active_faults
+        ):
+            return False
+    return True

@@ -1,0 +1,199 @@
+"""Command-line interface.
+
+The paper describes a *tool* for analysts "of average skills"; this CLI
+is the terminal face of it:
+
+``python -m repro matrix``
+    print the O-RA risk matrix (Table I);
+``python -m repro casestudy``
+    reproduce the water-tank analysis (Table II) and its risk register;
+``python -m repro validate model.xml``
+    check an ArchiMate-exchange model file;
+``python -m repro analyze model.xml -r "r1=err(valve, K), hazardous_kind(K)"``
+    exhaustive EPA over a model file with inline requirements;
+``python -m repro assess model.xml [--refined refined.xml] [--budget N]``
+    the full 7-phase pipeline with the built-in security catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .casestudy import analysis_table, static_requirements
+from .core import AssessmentPipeline
+from .epa import EpaEngine, StaticRequirement
+from .modeling import from_xml, validate
+from .reporting import (
+    analysis_results_report,
+    assessment_report,
+    epa_report_table,
+    risk_matrix_report,
+    risk_register_report,
+)
+from .risk import RiskRegister, frequency_of_simultaneous, magnitude_of_violations, ora_risk_matrix
+from .security import builtin_catalog
+
+
+def _parse_requirement(text: str) -> StaticRequirement:
+    """Parse ``name=condition[@focus][!magnitude]`` CLI syntax."""
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            "requirement must look like name=condition[@focus][!magnitude]"
+        )
+    name, rest = text.split("=", 1)
+    magnitude = "H"
+    focus = ""
+    if "!" in rest:
+        rest, magnitude = rest.rsplit("!", 1)
+    if "@" in rest:
+        rest, focus = rest.rsplit("@", 1)
+    return StaticRequirement(
+        name.strip(), rest.strip(), focus.strip(), magnitude.strip()
+    )
+
+
+def _load_model(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        return from_xml(handle.read())
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    print(risk_matrix_report(ora_risk_matrix()))
+    return 0
+
+
+def _cmd_casestudy(args: argparse.Namespace) -> int:
+    rows = analysis_table(horizon=args.horizon)
+    print(analysis_results_report(rows))
+    register = RiskRegister()
+    magnitudes = {r.name: r.magnitude for r in static_requirements()}
+    for row in rows:
+        violated = [
+            name
+            for name, flag in (("r1", row.r1_violated), ("r2", row.r2_violated))
+            if flag
+        ]
+        if violated:
+            register.add(
+                row.scenario,
+                frequency_of_simultaneous(len(row.faults) or 1),
+                magnitude_of_violations(violated, magnitudes),
+                violated_requirements=violated,
+            )
+    print()
+    print(risk_register_report(register))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    model = _load_model(args.model)
+    report = validate(model)
+    print(
+        "%s: %d elements, %d relationships"
+        % (model.name, len(model.elements), len(model.relationships))
+    )
+    print(report)
+    return 0 if report.ok else 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    model = _load_model(args.model)
+    if not args.requirement:
+        print("at least one --requirement is needed", file=sys.stderr)
+        return 2
+    engine = EpaEngine(model, args.requirement)
+    report = engine.analyze(max_faults=args.max_faults)
+    print(epa_report_table(report, max_rows=args.rows))
+    print()
+    print(
+        "%d scenarios analyzed, %d violating; single points of failure: %s"
+        % (
+            len(report),
+            len(report.violating()),
+            ", ".join(str(f) for f in report.single_points_of_failure())
+            or "none",
+        )
+    )
+    return 0
+
+
+def _cmd_assess(args: argparse.Namespace) -> int:
+    model = _load_model(args.model)
+    refined = _load_model(args.refined) if args.refined else None
+    requirements = args.requirement or static_requirements()
+    pipeline = AssessmentPipeline(
+        requirements,
+        builtin_catalog(),
+        max_faults=args.max_faults,
+        budget=args.budget,
+    )
+    result = pipeline.run(model, refined_model=refined)
+    print(assessment_report(result))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Preliminary risk and mitigation assessment for "
+        "cyber-physical systems (DSN 2023 reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("matrix", help="print the O-RA risk matrix (Table I)")
+
+    casestudy = subparsers.add_parser(
+        "casestudy", help="reproduce the water-tank analysis (Table II)"
+    )
+    casestudy.add_argument("--horizon", type=int, default=4)
+
+    validate_cmd = subparsers.add_parser(
+        "validate", help="validate an ArchiMate-exchange model file"
+    )
+    validate_cmd.add_argument("model")
+
+    analyze = subparsers.add_parser(
+        "analyze", help="exhaustive EPA over a model file"
+    )
+    analyze.add_argument("model")
+    analyze.add_argument(
+        "-r",
+        "--requirement",
+        action="append",
+        type=_parse_requirement,
+        help="name=condition[@focus][!magnitude]; repeatable",
+    )
+    analyze.add_argument("--max-faults", type=int, default=2)
+    analyze.add_argument("--rows", type=int, default=30)
+
+    assess = subparsers.add_parser(
+        "assess", help="the full 7-phase assessment pipeline"
+    )
+    assess.add_argument("model")
+    assess.add_argument("--refined", help="refined model file (CEGAR oracle)")
+    assess.add_argument(
+        "-r", "--requirement", action="append", type=_parse_requirement
+    )
+    assess.add_argument("--max-faults", type=int, default=1)
+    assess.add_argument("--budget", type=int, default=None)
+    return parser
+
+
+_COMMANDS = {
+    "matrix": _cmd_matrix,
+    "casestudy": _cmd_casestudy,
+    "validate": _cmd_validate,
+    "analyze": _cmd_analyze,
+    "assess": _cmd_assess,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""The 7-phase assessment framework of the paper's Fig. 1."""
+
+from .pipeline import (
+    AssessmentPipeline,
+    AssessmentResult,
+    PhaseRecord,
+    PipelineError,
+)
+
+__all__ = [
+    "AssessmentPipeline",
+    "AssessmentResult",
+    "PhaseRecord",
+    "PipelineError",
+]

@@ -1,0 +1,67 @@
+"""Qualitative error propagation analysis — the paper's core.
+
+Topology-level exhaustive scenario analysis over the ASP rule base
+(Listing 1 generalized), behaviour-level temporal analysis with LTLf
+requirements (Listing 2 conventions), result vectors with propagation
+paths, and the RST-extended uncertain EPA of Sec. V.
+"""
+
+from .behavioral import BehaviouralEpa, BehaviouralScenario
+from .optimal import (
+    OptimalQueryError,
+    OptimalScenario,
+    attack_cost_of_mitigation,
+    cheapest_attack,
+    most_severe_attack,
+)
+from .explain import Explanation, explain_outcome, explain_report
+from .engine import EpaEngine, EpaError, StaticRequirement
+from .faults import (
+    BEHAVIOUR_TO_KIND,
+    ERROR_KINDS,
+    MASKABLE_KINDS,
+    FaultRef,
+    FaultTaxonomyError,
+    error_kind,
+)
+from .results import EpaReport, PropagationStep, ScenarioOutcome
+from .rules import epa_rule_base, scenario_choice
+from .uncertain import (
+    UncertainEpaResult,
+    discriminating_faults,
+    epa_decision_system,
+    refinement_gain,
+    uncertain_analysis,
+)
+
+__all__ = [
+    "BEHAVIOUR_TO_KIND",
+    "BehaviouralEpa",
+    "BehaviouralScenario",
+    "ERROR_KINDS",
+    "EpaEngine",
+    "EpaError",
+    "Explanation",
+    "EpaReport",
+    "FaultRef",
+    "FaultTaxonomyError",
+    "MASKABLE_KINDS",
+    "OptimalQueryError",
+    "OptimalScenario",
+    "PropagationStep",
+    "ScenarioOutcome",
+    "StaticRequirement",
+    "UncertainEpaResult",
+    "attack_cost_of_mitigation",
+    "cheapest_attack",
+    "most_severe_attack",
+    "discriminating_faults",
+    "epa_decision_system",
+    "epa_rule_base",
+    "error_kind",
+    "explain_outcome",
+    "explain_report",
+    "refinement_gain",
+    "scenario_choice",
+    "uncertain_analysis",
+]

@@ -1,0 +1,188 @@
+"""Behaviour-level EPA: detailed propagation analysis (Fig. 3 level 2).
+
+Where the topology analysis only follows the model graph, the detailed
+analysis also models *component behaviour over time* (Listing 2's
+``component_state`` frame rules) and validates LTLf requirements on
+every qualitative trajectory — the Telingo-backed mode of the paper.
+
+A scenario (fault-mode combination) is judged hazardous when **any**
+behaviour trace it admits violates a requirement: the over-approximating
+reading that guarantees "no actual hazardous attack is overlooked"
+(Fig. 1 step 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..asp.syntax import Atom
+from ..temporal.telingo import TemporalModel, TemporalProgram
+from .faults import FaultRef
+from .results import EpaReport, ScenarioOutcome
+
+
+@dataclass
+class BehaviouralScenario:
+    """All analyzed traces of one fault-mode combination."""
+
+    faults: FrozenSet[FaultRef]
+    traces: List[TemporalModel]
+
+    @property
+    def violated(self) -> FrozenSet[str]:
+        """Requirements violated by at least one trace (worst case)."""
+        result: Set[str] = set()
+        for trace in self.traces:
+            result.update(trace.violated_requirements)
+        return frozenset(result)
+
+    def witnesses(self, requirement: str) -> List[TemporalModel]:
+        """Traces demonstrating the violation of a requirement."""
+        return [
+            trace
+            for trace in self.traces
+            if requirement in trace.violated_requirements
+        ]
+
+    def key(self) -> Tuple[str, ...]:
+        return tuple(sorted(str(f) for f in self.faults))
+
+
+class BehaviouralEpa:
+    """Temporal EPA over a user-supplied qualitative behaviour model.
+
+    Usage: declare the behaviour with the ``add_*`` part methods (same
+    conventions as :class:`~repro.temporal.telingo.TemporalProgram` —
+    ``prev_`` prefix for the previous step), declare fault modes with
+    :meth:`add_fault_mode` and mitigations with :meth:`add_mitigation`,
+    attach LTLf requirements, then :meth:`analyze`.
+    """
+
+    def __init__(self) -> None:
+        self._temporal = TemporalProgram()
+        self._fault_modes: List[FaultRef] = []
+        self._mitigations: Dict[str, List[str]] = {}
+        self._requirement_names: List[str] = []
+        self._static_extra: List[str] = []
+
+    # ------------------------------------------------------------------
+    # model construction
+    # ------------------------------------------------------------------
+    def add_static(self, text: str) -> None:
+        self._temporal.add_static(text)
+
+    def add_initial(self, text: str) -> None:
+        self._temporal.add_initial(text)
+
+    def add_dynamic(self, text: str) -> None:
+        self._temporal.add_dynamic(text)
+
+    def add_always(self, text: str) -> None:
+        self._temporal.add_always(text)
+
+    def add_fault_mode(self, component: str, fault: str) -> FaultRef:
+        reference = FaultRef(component, fault)
+        self._fault_modes.append(reference)
+        self._static_extra.append(
+            "fault_mode(%s, %s)." % (component, fault)
+        )
+        return reference
+
+    def add_mitigation(self, fault: str, mitigation: str) -> None:
+        self._mitigations.setdefault(fault, []).append(mitigation)
+        self._static_extra.append(
+            "mitigation(%s, %s)." % (fault, mitigation)
+        )
+
+    def add_requirement(self, name: str, formula: str) -> None:
+        self._temporal.add_requirement(name, formula)
+        self._requirement_names.append(name)
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        horizon: int,
+        active_mitigations: Mapping[str, Sequence[str]] = (),
+        max_faults: int = 0,
+    ) -> List[BehaviouralScenario]:
+        """Enumerate every scenario x behaviour trace up to ``horizon``."""
+        static_parts = list(self._static_extra)
+        for component, mitigations in sorted(
+            dict(active_mitigations or {}).items()
+        ):
+            for mitigation in mitigations:
+                static_parts.append(
+                    "active_mitigation(%s, %s)."
+                    % (component, mitigation.lower().replace("-", "_"))
+                )
+        # Listing 1 + scenario choice, all time-independent
+        static_parts.append(
+            "suppressed(C, F) :- fault_mode(C, F), mitigation(F, M), "
+            "active_mitigation(C, M)."
+        )
+        static_parts.append(
+            "potential_fault(C, F) :- fault_mode(C, F), not suppressed(C, F)."
+        )
+        static_parts.append(
+            "{ active_fault(C, F) : potential_fault(C, F) }."
+        )
+        if max_faults > 0:
+            static_parts.append(
+                ":- #count { C, F : active_fault(C, F) } > %d." % max_faults
+            )
+        program = self._clone_with_static("\n".join(static_parts))
+        models = program.solve(horizon)
+        scenarios: Dict[Tuple[str, ...], BehaviouralScenario] = {}
+        for model in models:
+            faults = frozenset(
+                FaultRef(str(a.arguments[0]), str(a.arguments[1]))
+                for a in model.model.atoms
+                if a.predicate == "active_fault"
+            )
+            key = tuple(sorted(str(f) for f in faults))
+            scenario = scenarios.get(key)
+            if scenario is None:
+                scenario = BehaviouralScenario(faults, [])
+                scenarios[key] = scenario
+            scenario.traces.append(model)
+        return [scenarios[key] for key in sorted(scenarios)]
+
+    def _clone_with_static(self, extra_static: str) -> TemporalProgram:
+        """A fresh TemporalProgram so repeated analyze() calls (with
+        different mitigation configurations) stay independent."""
+        clone = TemporalProgram()
+        clone._initial = list(self._temporal._initial)
+        clone._dynamic = list(self._temporal._dynamic)
+        clone._always = list(self._temporal._always)
+        clone._final = list(self._temporal._final)
+        clone._static = list(self._temporal._static)
+        clone._static_predicates = set(self._temporal._static_predicates)
+        clone._requirements = list(self._temporal._requirements)
+        clone.add_static(extra_static)
+        return clone
+
+    def to_report(
+        self,
+        scenarios: Sequence[BehaviouralScenario],
+        active_mitigations: Mapping[str, Sequence[str]] = (),
+    ) -> EpaReport:
+        """Collapse behaviour scenarios into the common report format."""
+        outcomes = [
+            ScenarioOutcome(
+                scenario.faults,
+                scenario.violated,
+                {},
+            )
+            for scenario in scenarios
+        ]
+        return EpaReport(
+            outcomes,
+            list(self._requirement_names),
+            {
+                component: tuple(ms)
+                for component, ms in dict(active_mitigations or {}).items()
+            },
+        )

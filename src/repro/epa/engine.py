@@ -1,0 +1,270 @@
+"""The qualitative EPA engine (topology-level analysis).
+
+Joins the system-model facts, the EPA rule base, the mitigation
+configuration and the safety requirements into one ASP program whose
+stable models are exactly the candidate attack/fault scenarios; every
+scenario is checked exhaustively ("all the candidate attack scenarios
+over the joint model undergo exhaustive analysis by automated formal
+methods", Fig. 1 step 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..asp import Control, Model, atom
+from ..asp.syntax import Atom
+from ..asp.terms import Number, Symbol
+from ..modeling.model import SystemModel
+from ..modeling.to_asp import to_asp_program
+from ..security.mapping import CandidateMutation
+from .faults import FaultRef, error_kind
+from .results import EpaReport, PropagationStep, ScenarioOutcome
+from .rules import epa_rule_base, scenario_choice
+
+
+class EpaError(Exception):
+    """Raised for malformed requirements or mitigation declarations."""
+
+
+@dataclass(frozen=True)
+class StaticRequirement:
+    """A safety requirement for the topology-level analysis.
+
+    ``condition`` is an ASP body over the EPA vocabulary that holds when
+    the requirement is *violated* — e.g. ``"err(water_tank, value)"`` for
+    "the tank must not receive erroneous actuation".  ``focus`` names the
+    component the requirement protects (used for propagation-path
+    extraction); ``magnitude`` is the O-RA Loss Magnitude label of a
+    violation.
+    """
+
+    name: str
+    condition: str
+    focus: str = ""
+    magnitude: str = "H"
+    description: str = ""
+
+
+class EpaEngine:
+    """Exhaustive topology-level error propagation analysis."""
+
+    def __init__(
+        self,
+        model: SystemModel,
+        requirements: Sequence[StaticRequirement],
+        fault_mitigations: Mapping[str, Sequence[str]] = (),
+        component_mitigations: Mapping[Tuple[str, str], Sequence[str]] = (),
+        extra_mutations: Sequence[CandidateMutation] = (),
+    ):
+        """``fault_mitigations`` maps fault-mode name -> mitigation ids
+        (the paper's ``mitigation(F, M)``); ``component_mitigations``
+        maps (component, fault) -> mitigation ids."""
+        names = [r.name for r in requirements]
+        if len(set(names)) != len(names):
+            raise EpaError("duplicate requirement names")
+        self.model = model
+        self.requirements = tuple(requirements)
+        self.fault_mitigations = {
+            fault: tuple(ms) for fault, ms in dict(fault_mitigations).items()
+        }
+        self.component_mitigations = {
+            key: tuple(ms)
+            for key, ms in dict(component_mitigations).items()
+        }
+        self.extra_mutations = tuple(extra_mutations)
+        self._graph = model.propagation_graph()
+
+    # ------------------------------------------------------------------
+    # program assembly
+    # ------------------------------------------------------------------
+    def _base_control(
+        self,
+        active_mitigations: Mapping[str, Sequence[str]],
+    ) -> Control:
+        control = Control()
+        control._program.extend(to_asp_program(self.model))
+        control.add(epa_rule_base())
+        for mutation in self.extra_mutations:
+            control.add_fact("fault_mode", mutation.component, mutation.fault)
+            control.add_fact(
+                "fault_behaviour",
+                mutation.component,
+                mutation.fault,
+                mutation.behaviour,
+            )
+            control.add_fact(
+                "fault_severity",
+                mutation.component,
+                mutation.fault,
+                mutation.severity.lower(),
+            )
+        for fault, mitigations in sorted(self.fault_mitigations.items()):
+            for mitigation in mitigations:
+                control.add_fact("mitigation", fault, _mitigation_symbol(mitigation))
+        for (component, fault), mitigations in sorted(
+            self.component_mitigations.items()
+        ):
+            for mitigation in mitigations:
+                control.add_fact(
+                    "mitigation", component, fault, _mitigation_symbol(mitigation)
+                )
+        for component, mitigations in sorted(dict(active_mitigations).items()):
+            for mitigation in mitigations:
+                control.add_fact(
+                    "active_mitigation", component, _mitigation_symbol(mitigation)
+                )
+        for requirement in self.requirements:
+            control.add_fact("requirement", _requirement_symbol(requirement.name))
+            control.add(
+                "violated(%s) :- %s."
+                % (_requirement_symbol(requirement.name), requirement.condition)
+            )
+        return control
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        active_mitigations: Mapping[str, Sequence[str]] = (),
+        max_faults: int = 0,
+        restrict_faults: Optional[Iterable[FaultRef]] = None,
+        with_paths: bool = False,
+        limit: Optional[int] = None,
+    ) -> EpaReport:
+        """Enumerate and evaluate the scenario space.
+
+        ``active_mitigations`` maps component -> deployed mitigation ids.
+        ``max_faults`` bounds simultaneous fault activations (0 =
+        unbounded); ``restrict_faults`` limits the scenario space to a
+        subset of fault refs (used for targeted what-if queries).
+        """
+        control = self._base_control(dict(active_mitigations or {}))
+        control.add(scenario_choice(max_faults))
+        if restrict_faults is not None:
+            for fault in restrict_faults:
+                control.add_fact("allowed_fault", fault.component, fault.fault)
+            control.add(
+                ":- active_fault(C, F), not allowed_fault(C, F)."
+            )
+        outcomes = [
+            self._extract(model, with_paths)
+            for model in control.solve(limit=limit)
+        ]
+        return EpaReport(
+            outcomes,
+            [r.name for r in self.requirements],
+            {
+                component: tuple(ms)
+                for component, ms in dict(active_mitigations or {}).items()
+            },
+        )
+
+    def analyze_scenario(
+        self,
+        faults: Iterable[FaultRef],
+        active_mitigations: Mapping[str, Sequence[str]] = (),
+        with_paths: bool = True,
+    ) -> ScenarioOutcome:
+        """Evaluate one specific fault combination.
+
+        Faults suppressed by an active mitigation simply stay inactive,
+        mirroring the paper's workflow where activating a mitigation
+        "allows excluding this specific scenario from the evaluation".
+        """
+        control = self._base_control(dict(active_mitigations or {}))
+        for fault in faults:
+            control.add(
+                "active_fault(%s, %s) :- potential_fault(%s, %s)."
+                % (fault.component, fault.fault, fault.component, fault.fault)
+            )
+        models = control.solve(limit=1)
+        if not models:
+            raise EpaError("scenario program unexpectedly unsatisfiable")
+        return self._extract(models[0], with_paths)
+
+    # ------------------------------------------------------------------
+    # extraction
+    # ------------------------------------------------------------------
+    def _extract(self, model: Model, with_paths: bool) -> ScenarioOutcome:
+        active: Set[FaultRef] = set()
+        violated: Set[str] = set()
+        erroneous: Dict[str, Set[str]] = {}
+        detected: Set[str] = set()
+        severity = 0
+        requirement_names = {
+            _requirement_symbol(r.name): r.name for r in self.requirements
+        }
+        for model_atom in model.atoms:
+            if model_atom.predicate == "active_fault":
+                component, fault = model_atom.arguments
+                active.add(FaultRef(str(component), str(fault)))
+            elif model_atom.predicate == "violated":
+                name = str(model_atom.arguments[0])
+                violated.add(requirement_names.get(name, name))
+            elif model_atom.predicate == "err":
+                component, kind = model_atom.arguments
+                erroneous.setdefault(str(component), set()).add(str(kind))
+            elif model_atom.predicate == "detected":
+                detected.add(str(model_atom.arguments[0]))
+            elif model_atom.predicate == "scenario_severity":
+                value = model_atom.arguments[0]
+                if isinstance(value, Number):
+                    severity = value.value
+        paths: Dict[str, Tuple[PropagationStep, ...]] = {}
+        if with_paths:
+            paths = self._paths(active, violated)
+        return ScenarioOutcome(
+            frozenset(active),
+            frozenset(violated),
+            {c: frozenset(kinds) for c, kinds in erroneous.items()},
+            frozenset(detected),
+            paths,
+            severity,
+        )
+
+    def _paths(
+        self, active: Set[FaultRef], violated: Set[str]
+    ) -> Dict[str, Tuple[PropagationStep, ...]]:
+        paths: Dict[str, Tuple[PropagationStep, ...]] = {}
+        focus_by_requirement = {
+            r.name: r.focus for r in self.requirements if r.focus
+        }
+        for requirement in violated:
+            focus = focus_by_requirement.get(requirement)
+            if not focus:
+                continue
+            best: Optional[List[str]] = None
+            for fault in active:
+                try:
+                    candidate = nx.shortest_path(
+                        self._graph, fault.component, focus
+                    )
+                except (nx.NetworkXNoPath, nx.NodeNotFound):
+                    continue
+                if best is None or len(candidate) < len(best):
+                    best = candidate
+            if best and len(best) > 1:
+                paths[requirement] = tuple(
+                    PropagationStep(a, b) for a, b in zip(best, best[1:])
+                )
+        return paths
+
+
+def _mitigation_symbol(identifier: str) -> str:
+    """Mitigation ids like ``M0917`` become ASP-safe symbols."""
+    lowered = identifier.lower().replace("-", "_")
+    if not lowered[0].isalpha():
+        lowered = "m_" + lowered
+    return lowered
+
+
+def _requirement_symbol(name: str) -> str:
+    lowered = name.lower().replace("-", "_").replace(" ", "_")
+    if not lowered[0].isalpha():
+        lowered = "r_" + lowered
+    return lowered

@@ -1,0 +1,179 @@
+"""Explanation generation for EPA results.
+
+The paper puts "the *simplicity*, *interpretability* of each step, and
+the *explainability* of the results" first among the SME requirements
+(Sec. II-A), and praises qualitative reasoning because "the
+interpretation of the solutions is straightforward".  This module turns
+scenario outcomes into the corresponding natural-language explanations:
+what was activated, how it travelled, what it violated, and what would
+have stopped it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..modeling.model import SystemModel
+from .engine import EpaEngine, StaticRequirement
+from .results import ScenarioOutcome
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """A structured explanation of one scenario outcome."""
+
+    headline: str
+    activation: List[str]
+    propagation: List[str]
+    violations: List[str]
+    defenses: List[str]
+
+    def text(self) -> str:
+        lines = [self.headline, ""]
+        for title, entries in (
+            ("Activated faults", self.activation),
+            ("Propagation", self.propagation),
+            ("Consequences", self.violations),
+            ("Defenses", self.defenses),
+        ):
+            if entries:
+                lines.append(title + ":")
+                lines.extend("  - " + entry for entry in entries)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.text()
+
+
+_KIND_PHRASE = {
+    "omission": "stops producing output",
+    "value": "produces wrong values",
+    "timing": "responds too late",
+    "malicious": "falls under attacker control",
+}
+
+
+def explain_outcome(
+    outcome: ScenarioOutcome,
+    model: Optional[SystemModel] = None,
+    requirements: Sequence[StaticRequirement] = (),
+    mitigations: Mapping[str, Sequence[str]] = (),
+) -> Explanation:
+    """Build the explanation of a scenario outcome.
+
+    ``model`` (when given) supplies human-readable component names;
+    ``requirements`` supply descriptions and magnitudes; ``mitigations``
+    maps fault names to the mitigation ids that would suppress them
+    (used for the "what would have stopped this" section).
+    """
+
+    def name_of(identifier: str) -> str:
+        if model is not None and model.has_element(identifier):
+            return model.element(identifier).name
+        return identifier
+
+    requirement_by_name = {r.name: r for r in requirements}
+
+    if outcome.is_safe:
+        if outcome.active_faults:
+            headline = (
+                "Scenario [%s] is tolerated: the activated faults do not "
+                "violate any requirement." % ", ".join(sorted(outcome.key()))
+            )
+        else:
+            headline = "Nominal scenario: no faults active, no violations."
+    else:
+        headline = "Scenario [%s] violates %s." % (
+            ", ".join(sorted(outcome.key())) or "nominal",
+            ", ".join(sorted(outcome.violated)),
+        )
+
+    activation = []
+    for fault in sorted(outcome.active_faults, key=str):
+        kinds = outcome.erroneous.get(fault.component, frozenset())
+        phrase = (
+            "; ".join(
+                _KIND_PHRASE.get(kind, kind) for kind in sorted(kinds)
+            )
+            or "is faulty"
+        )
+        activation.append(
+            "%s: fault '%s' — the component %s"
+            % (name_of(fault.component), fault.fault, phrase)
+        )
+
+    propagation = []
+    for requirement_name, steps in sorted(outcome.paths.items()):
+        chain = " -> ".join(
+            [name_of(steps[0].source)] + [name_of(s.target) for s in steps]
+        )
+        propagation.append("towards %s: %s" % (requirement_name, chain))
+    fault_components = {f.component for f in outcome.active_faults}
+    for component in sorted(outcome.erroneous):
+        if component not in fault_components:
+            kinds = ", ".join(sorted(outcome.erroneous[component]))
+            propagation.append(
+                "%s is reached by erroneous input (%s)"
+                % (name_of(component), kinds)
+            )
+    for detector in sorted(outcome.detected_at):
+        propagation.append(
+            "%s detects the erroneous behaviour and raises an alert"
+            % name_of(detector)
+        )
+
+    violations = []
+    for requirement_name in sorted(outcome.violated):
+        requirement = requirement_by_name.get(requirement_name)
+        if requirement is not None:
+            violations.append(
+                "%s (%s) — loss magnitude %s"
+                % (
+                    requirement_name,
+                    requirement.description or requirement.condition,
+                    requirement.magnitude,
+                )
+            )
+        else:
+            violations.append(requirement_name)
+
+    defenses = []
+    mitigation_map = dict(mitigations or {})
+    for fault in sorted(outcome.active_faults, key=str):
+        applicable = mitigation_map.get(fault.fault, ())
+        if applicable:
+            defenses.append(
+                "activating %s on %s would suppress fault '%s'"
+                % (
+                    " or ".join(applicable),
+                    name_of(fault.component),
+                    fault.fault,
+                )
+            )
+    if not defenses and not outcome.is_safe and outcome.active_faults:
+        defenses.append(
+            "no catalogued mitigation covers these faults; consider "
+            "masking/redundancy at the affected components"
+        )
+
+    return Explanation(headline, activation, propagation, violations, defenses)
+
+
+def explain_report(
+    engine: EpaEngine,
+    outcomes: Sequence[ScenarioOutcome],
+    limit: Optional[int] = None,
+) -> List[Explanation]:
+    """Explanations for (the first ``limit``) outcomes of an analysis."""
+    mitigation_map: Dict[str, Tuple[str, ...]] = dict(engine.fault_mitigations)
+    selected = list(outcomes)[: limit or len(outcomes)]
+    return [
+        explain_outcome(
+            outcome,
+            engine.model,
+            engine.requirements,
+            mitigation_map,
+        )
+        for outcome in selected
+    ]

@@ -1,0 +1,70 @@
+"""Fault taxonomy for qualitative error propagation analysis.
+
+Fault *behaviours* (how a component misbehaves locally) map onto
+qualitative error *kinds* (what its outputs carry): omission (no
+output), value (wrong output), timing (late output) and malicious
+(attacker-controlled output).  The pathology of cyber-attacks mirrors
+dependability faults (paper Sec. IV) — a compromised component is a
+fault source whose errors an attacker steers, which is why malicious
+errors bypass the masking that catches accidental ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+#: qualitative error kinds flowing along propagation edges
+ERROR_KINDS: Tuple[str, ...] = ("omission", "value", "timing", "malicious")
+
+#: fault behaviour -> error kind emitted by the faulty component
+BEHAVIOUR_TO_KIND: Dict[str, str] = {
+    "omission": "omission",
+    "crash": "omission",
+    "no_signal": "omission",
+    "value_error": "value",
+    "stuck_at_x": "value",
+    "drift": "value",
+    "timing_error": "timing",
+    "pass_through": "value",
+    "compromised": "malicious",
+}
+
+#: kinds that masking/detecting components absorb; malicious input is
+#: crafted to evade plausibility checks, so it is never maskable
+MASKABLE_KINDS: FrozenSet[str] = frozenset({"omission", "value", "timing"})
+
+
+class FaultTaxonomyError(Exception):
+    """Raised for behaviours outside the taxonomy."""
+
+
+def error_kind(behaviour: str) -> str:
+    """The error kind a fault behaviour emits."""
+    try:
+        return BEHAVIOUR_TO_KIND[behaviour]
+    except KeyError:
+        raise FaultTaxonomyError(
+            "unknown fault behaviour %r (known: %s)"
+            % (behaviour, ", ".join(sorted(BEHAVIOUR_TO_KIND)))
+        ) from None
+
+
+@dataclass(frozen=True)
+class FaultRef:
+    """A (component, fault-mode) pair — the unit scenarios toggle."""
+
+    component: str
+    fault: str
+
+    def __str__(self) -> str:
+        return "%s.%s" % (self.component, self.fault)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultRef":
+        if "." not in text:
+            raise FaultTaxonomyError(
+                "fault reference %r is not component.fault" % text
+            )
+        component, fault = text.split(".", 1)
+        return cls(component, fault)

@@ -1,0 +1,92 @@
+"""The qualitative EPA rule base (ASP).
+
+This is the embedded formal core of the framework (paper Sec. II-C): a
+fixed set of ASP rules joined with the model facts produced by
+:mod:`repro.modeling.to_asp`.  The fault-activation rule is the paper's
+Listing 1, generalized so mitigations can be declared per fault type
+(``mitigation(F, M)``) or per component (``mitigation(C, F, M)``).
+"""
+
+from __future__ import annotations
+
+from .faults import BEHAVIOUR_TO_KIND, MASKABLE_KINDS
+
+
+def _behaviour_facts() -> str:
+    lines = [
+        "error_kind(%s, %s)." % (behaviour, kind)
+        for behaviour, kind in sorted(BEHAVIOUR_TO_KIND.items())
+    ]
+    lines += ["maskable(%s)." % kind for kind in sorted(MASKABLE_KINDS)]
+    return "\n".join(lines)
+
+
+#: Listing 1 of the paper, generalized: a fault on a component is only a
+#: *potential* fault when no active mitigation covers it.
+FAULT_ACTIVATION_RULES = """
+covers(C, F, M) :- fault_mode(C, F), mitigation(F, M).
+covers(C, F, M) :- mitigation(C, F, M).
+suppressed(C, F) :- covers(C, F, M), active_mitigation(C, M).
+potential_fault(C, F) :- fault_mode(C, F), not suppressed(C, F).
+"""
+
+#: Error emergence and propagation over the model topology.  Masking and
+#: detecting components absorb accidental error kinds; malicious errors
+#: pass through.  A detecting component raises `detected` unless it is
+#: itself silent (omission fault) — which is exactly how the paper's S5
+#: scenario defeats the HMI alert.
+PROPAGATION_RULES = """
+err(C, K) :- active_fault(C, F), fault_behaviour(C, F, B), error_kind(B, K).
+absorbs(D) :- propagation_mode(D, masking).
+absorbs(D) :- propagation_mode(D, detecting).
+blocked(D, K) :- component(D), maskable(K), absorbs(D).
+err(D, K) :- err(C, K), propagates(C, D), not blocked(D, K).
+reached(D, K) :- err(C, K), propagates(C, D).
+detected(D) :- reached(D, K), propagation_mode(D, detecting),
+               not err(D, omission).
+affected(C) :- err(C, K).
+
+% kind classes for requirement conditions: hazardous kinds corrupt a
+% protected asset's behaviour; alert-losing kinds defeat operator alerts
+hazardous_kind(value). hazardous_kind(malicious). hazardous_kind(timing).
+alert_losing_kind(omission). alert_losing_kind(malicious).
+"""
+
+#: Severity bookkeeping: the worst active severity label, usable as an
+#: ASP cost metric ("the severity of the faults can be set as cost
+#: metrics", Sec. II-C).
+SEVERITY_RULES = """
+severity_rank(vl, 1). severity_rank(l, 2). severity_rank(m, 3).
+severity_rank(h, 4). severity_rank(vh, 5).
+active_severity(R) :- active_fault(C, F), fault_severity(C, F, S),
+                      ora_label(S, L), severity_rank(L, R).
+outranked(R) :- active_severity(R), active_severity(Q), Q > R.
+scenario_severity(R) :- active_severity(R), not outranked(R).
+ora_label(negligible, vl). ora_label(minor, l). ora_label(major, h).
+ora_label(critical, vh).
+ora_label(vl, vl). ora_label(l, l). ora_label(m, m). ora_label(h, h).
+ora_label(vh, vh).
+"""
+
+
+def epa_rule_base() -> str:
+    """The complete static rule base."""
+    return "\n".join(
+        [
+            _behaviour_facts(),
+            FAULT_ACTIVATION_RULES,
+            PROPAGATION_RULES,
+            SEVERITY_RULES,
+        ]
+    )
+
+
+def scenario_choice(max_faults: int = 0) -> str:
+    """The scenario-space generator: every subset of the potential
+    faults is a candidate scenario (bounded when ``max_faults`` > 0)."""
+    rules = "{ active_fault(C, F) : potential_fault(C, F) }.\n"
+    if max_faults > 0:
+        rules += (
+            ":- #count { C, F : active_fault(C, F) } > %d.\n" % max_faults
+        )
+    return rules

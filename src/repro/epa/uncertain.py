@@ -1,0 +1,151 @@
+"""RST-extended EPA: uncertainty handling (paper Sec. V-B, [32]).
+
+When the analyst cannot observe every fault activation (epistemic
+uncertainty) or the propagation itself is modelled imprecisely (aleatory
+uncertainty), the scenario verdicts become rough: the observable
+attributes may not discriminate a hazardous scenario from a safe one.
+Casting the EPA report as a rough-set *decision system* — scenarios as
+objects, fault activations as condition attributes, "violates" as the
+decision — yields exactly the three regions of Sec. V-A:
+
+* the positive region: scenarios *certainly* hazardous given what is
+  observable;
+* the negative region: certainly safe;
+* the boundary region: candidate spurious solutions that need model
+  refinement or expert review to resolve (Fig. 1 step 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..roughsets.approximation import (
+    Approximation,
+    approximate,
+    quality_of_classification,
+)
+from ..roughsets.information_system import DecisionSystem
+from .faults import FaultRef
+from .results import EpaReport, ScenarioOutcome
+
+
+@dataclass(frozen=True)
+class UncertainEpaResult:
+    """The rough verdict structure for one requirement."""
+
+    requirement: str
+    observable: Tuple[str, ...]
+    certainly_hazardous: Tuple[Tuple[str, ...], ...]
+    certainly_safe: Tuple[Tuple[str, ...], ...]
+    boundary: Tuple[Tuple[str, ...], ...]
+    quality: float
+    accuracy: float
+
+    @property
+    def decidable(self) -> bool:
+        """Every scenario verdict is determined by the observables."""
+        return not self.boundary
+
+    def __str__(self) -> str:
+        return (
+            "%s | observable=%s: %d hazardous, %d safe, %d boundary "
+            "(quality %.2f)"
+            % (
+                self.requirement,
+                ",".join(self.observable) or "-",
+                len(self.certainly_hazardous),
+                len(self.certainly_safe),
+                len(self.boundary),
+                self.quality,
+            )
+        )
+
+
+def epa_decision_system(
+    report: EpaReport,
+    requirement: str,
+    observable: Optional[Sequence[FaultRef]] = None,
+) -> DecisionSystem:
+    """Cast an EPA report as a decision system.
+
+    Objects are scenarios keyed by their fault set; condition attributes
+    are the *observable* fault refs (default: all fault refs appearing in
+    the report); the decision is whether the scenario violates the
+    requirement.
+    """
+    all_faults: Set[str] = set()
+    for outcome in report.outcomes:
+        all_faults.update(str(f) for f in outcome.active_faults)
+    names = (
+        sorted(str(f) for f in observable)
+        if observable is not None
+        else sorted(all_faults)
+    )
+    if not names:
+        names = ["__none__"]
+    system = DecisionSystem(names, decision="violates")
+    for outcome in report.outcomes:
+        active = {str(f) for f in outcome.active_faults}
+        values = {name: name in active for name in names}
+        values.setdefault("__none__", False)
+        system.add(
+            outcome.key(), values, decision=outcome.violates(requirement)
+        )
+    return system
+
+
+def uncertain_analysis(
+    report: EpaReport,
+    requirement: str,
+    observable: Optional[Sequence[FaultRef]] = None,
+) -> UncertainEpaResult:
+    """Rough-set analysis of one requirement under partial observability."""
+    system = epa_decision_system(report, requirement, observable)
+    hazardous_concept = system.concept(True)
+    approximation = approximate(system, hazardous_concept)
+    quality = quality_of_classification(system)
+    return UncertainEpaResult(
+        requirement,
+        tuple(system.attributes),
+        tuple(sorted(approximation.lower)),
+        tuple(sorted(approximation.negative)),
+        tuple(sorted(approximation.boundary)),
+        quality,
+        approximation.accuracy,
+    )
+
+
+def discriminating_faults(
+    report: EpaReport, requirement: str
+) -> List[str]:
+    """The smallest observable fault sets that fully decide the verdict.
+
+    Runs the rough-set *reduct* search over the EPA decision system: the
+    result tells the analyst which fault activations must be observable
+    (monitored / investigated) so that no boundary region remains —
+    sensitivity-analysis-styled modeling support (Sec. II-A).
+    """
+    from ..roughsets.approximation import reducts
+
+    system = epa_decision_system(report, requirement)
+    if not system.is_consistent():
+        return list(system.attributes)
+    smallest: Optional[Tuple[str, ...]] = None
+    for reduct in reducts(system):
+        if smallest is None or len(reduct) < len(smallest):
+            smallest = reduct
+    return list(smallest or system.attributes)
+
+
+def refinement_gain(
+    coarse: UncertainEpaResult, refined: UncertainEpaResult
+) -> Dict[str, float]:
+    """Quantify what a refinement step bought (Sec. VI): boundary
+    shrinkage and classification-quality gain."""
+    return {
+        "boundary_before": float(len(coarse.boundary)),
+        "boundary_after": float(len(refined.boundary)),
+        "quality_gain": refined.quality - coarse.quality,
+        "accuracy_gain": refined.accuracy - coarse.accuracy,
+    }

@@ -1,0 +1,23 @@
+"""Classic Fault Tree Analysis baseline (paper Sec. III-A)."""
+
+from .tree import (
+    AND,
+    OR,
+    BasicEvent,
+    FaultTree,
+    FaultTreeError,
+    Gate,
+    KofN,
+    from_cut_sets,
+)
+
+__all__ = [
+    "AND",
+    "BasicEvent",
+    "FaultTree",
+    "FaultTreeError",
+    "Gate",
+    "KofN",
+    "OR",
+    "from_cut_sets",
+]

@@ -1,0 +1,250 @@
+"""Classic Fault Tree Analysis — the baseline the paper contrasts with.
+
+Sec. III-A: "Fault Tree Analysis (FTA) is a top-down method ... However,
+FTA does not examine components' behavior and interactions".  This
+module implements the classic machinery — AND/OR/k-of-n gates, MOCUS
+minimal cut sets, qualitative likelihood roll-up and cut-set importance —
+so the benchmarks can compare qualitative EPA against the traditional
+approach (including the cut-set blow-up that motivates the paper's
+method).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..qualitative.spaces import QuantitySpace, five_level_scale
+
+Scale = five_level_scale()
+
+
+class FaultTreeError(Exception):
+    """Raised for malformed trees (cycles, unknown nodes, bad k)."""
+
+
+@dataclass(frozen=True)
+class BasicEvent:
+    """A leaf failure event with a qualitative likelihood."""
+
+    name: str
+    likelihood: str = "M"
+    description: str = ""
+
+    def __post_init__(self):
+        Scale.index(self.likelihood)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Node = Union["Gate", BasicEvent]
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A logic gate over child nodes."""
+
+    kind: str  # "and" | "or" | "kofn"
+    children: Tuple[Node, ...]
+    name: str = ""
+    k: int = 0  # only for kofn
+
+    def __post_init__(self):
+        if self.kind not in ("and", "or", "kofn"):
+            raise FaultTreeError("unknown gate kind %r" % self.kind)
+        if not self.children:
+            raise FaultTreeError("gate %r has no children" % (self.name or self.kind))
+        if self.kind == "kofn":
+            if not 1 <= self.k <= len(self.children):
+                raise FaultTreeError(
+                    "k=%d out of range for %d children" % (self.k, len(self.children))
+                )
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(child) for child in self.children)
+        if self.kind == "kofn":
+            return "%d-of-%d(%s)" % (self.k, len(self.children), inner)
+        return "%s(%s)" % (self.kind.upper(), inner)
+
+
+def AND(*children: Node, name: str = "") -> Gate:
+    return Gate("and", tuple(children), name)
+
+
+def OR(*children: Node, name: str = "") -> Gate:
+    return Gate("or", tuple(children), name)
+
+
+def KofN(k: int, *children: Node, name: str = "") -> Gate:
+    return Gate("kofn", tuple(children), name, k)
+
+
+class FaultTree:
+    """A fault tree with a named top event."""
+
+    def __init__(self, top: Node, name: str = "top"):
+        self.name = name
+        self.top = top
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def occurs(self, active: Iterable[str]) -> bool:
+        """Does the top event occur when the named basic events are on?"""
+        active_set = set(active)
+        return _evaluate(self.top, active_set)
+
+    def basic_events(self) -> List[BasicEvent]:
+        events: Dict[str, BasicEvent] = {}
+        _collect(self.top, events)
+        return list(events.values())
+
+    # ------------------------------------------------------------------
+    # minimal cut sets (MOCUS)
+    # ------------------------------------------------------------------
+    def cut_sets(self) -> List[FrozenSet[str]]:
+        """Minimal cut sets by top-down MOCUS expansion + minimization."""
+        expanded = _expand(self.top)
+        return _minimize(expanded)
+
+    def path_sets(self) -> List[FrozenSet[str]]:
+        """Minimal path sets (cut sets of the dual tree)."""
+        return _minimize(_expand(_dualize(self.top)))
+
+    # ------------------------------------------------------------------
+    # qualitative likelihood
+    # ------------------------------------------------------------------
+    def qualitative_likelihood(self) -> str:
+        """Roll the qualitative likelihoods up the tree.
+
+        OR is as likely as its most likely child; AND of n independent
+        events is less likely than its least likely child — each extra
+        conjunct steps the label down one notch (the same rule the
+        paper's S5-vs-S7 comparison uses).
+        """
+        return _likelihood(self.top)
+
+    def importance(self) -> Dict[str, float]:
+        """Cut-set (Fussell-Vesely-style structural) importance: the
+        fraction of minimal cut sets each basic event appears in."""
+        cuts = self.cut_sets()
+        if not cuts:
+            return {event.name: 0.0 for event in self.basic_events()}
+        result: Dict[str, float] = {}
+        for event in self.basic_events():
+            count = sum(1 for cut in cuts if event.name in cut)
+            result[event.name] = count / len(cuts)
+        return result
+
+    def __str__(self) -> str:
+        return "FaultTree(%s: %s)" % (self.name, self.top)
+
+
+def _evaluate(node: Node, active: Set[str]) -> bool:
+    if isinstance(node, BasicEvent):
+        return node.name in active
+    results = [_evaluate(child, active) for child in node.children]
+    if node.kind == "and":
+        return all(results)
+    if node.kind == "or":
+        return any(results)
+    return sum(results) >= node.k
+
+
+def _collect(node: Node, out: Dict[str, BasicEvent]) -> None:
+    if isinstance(node, BasicEvent):
+        existing = out.get(node.name)
+        if existing is not None and existing != node:
+            raise FaultTreeError(
+                "conflicting definitions of basic event %r" % node.name
+            )
+        out[node.name] = node
+        return
+    for child in node.children:
+        _collect(child, out)
+
+
+def _expand(node: Node) -> List[FrozenSet[str]]:
+    """All cut sets (not yet minimal) of a node."""
+    if isinstance(node, BasicEvent):
+        return [frozenset({node.name})]
+    if node.kind == "or":
+        cuts: List[FrozenSet[str]] = []
+        for child in node.children:
+            cuts.extend(_expand(child))
+        return cuts
+    if node.kind == "and":
+        cuts = [frozenset()]
+        for child in node.children:
+            child_cuts = _expand(child)
+            cuts = [c | d for c in cuts for d in child_cuts]
+        return cuts
+    # kofn: OR over AND of every k-subset
+    import itertools
+
+    cuts = []
+    for subset in itertools.combinations(node.children, node.k):
+        cuts.extend(_expand(Gate("and", tuple(subset))))
+    return cuts
+
+
+def _minimize(cuts: Sequence[FrozenSet[str]]) -> List[FrozenSet[str]]:
+    unique = sorted(set(cuts), key=lambda c: (len(c), sorted(c)))
+    minimal: List[FrozenSet[str]] = []
+    for cut in unique:
+        if not any(kept <= cut for kept in minimal):
+            minimal.append(cut)
+    return minimal
+
+
+def _dualize(node: Node) -> Node:
+    if isinstance(node, BasicEvent):
+        return node
+    children = tuple(_dualize(child) for child in node.children)
+    if node.kind == "and":
+        return Gate("or", children, node.name)
+    if node.kind == "or":
+        return Gate("and", children, node.name)
+    # dual of k-of-n is (n-k+1)-of-n
+    return Gate("kofn", children, node.name, len(children) - node.k + 1)
+
+
+def _likelihood(node: Node) -> str:
+    if isinstance(node, BasicEvent):
+        return node.likelihood
+    ranks = [Scale.index(_likelihood(child)) for child in node.children]
+    if node.kind == "or":
+        return Scale.labels[max(ranks)]
+    if node.kind == "and":
+        penalty = len(node.children) - 1
+        return Scale.clamp(min(ranks) - penalty)
+    ordered = sorted(ranks, reverse=True)
+    penalty = node.k - 1
+    return Scale.clamp(ordered[node.k - 1] - penalty)
+
+
+def from_cut_sets(
+    cut_sets: Sequence[Iterable[str]],
+    likelihoods: Optional[Dict[str, str]] = None,
+    name: str = "from_cut_sets",
+) -> FaultTree:
+    """Build the canonical OR-of-ANDs tree from cut sets.
+
+    This is the bridge used by the EPA-vs-FTA benchmark: qualitative EPA
+    finds the violating fault combinations, and this reconstructs the
+    equivalent fault tree for the classic toolchain.
+    """
+    likelihoods = likelihoods or {}
+    disjuncts: List[Node] = []
+    for cut in cut_sets:
+        events = [
+            BasicEvent(event, likelihoods.get(event, "M")) for event in sorted(cut)
+        ]
+        if not events:
+            raise FaultTreeError("empty cut set")
+        disjuncts.append(events[0] if len(events) == 1 else Gate("and", tuple(events)))
+    if not disjuncts:
+        raise FaultTreeError("no cut sets given")
+    top = disjuncts[0] if len(disjuncts) == 1 else Gate("or", tuple(disjuncts))
+    return FaultTree(top, name)

@@ -1,0 +1,53 @@
+"""Hierarchical evaluation and CEGAR refinement (paper Sec. VI, Fig. 3/4)."""
+
+from .cegar import (
+    CegarError,
+    CegarIteration,
+    CegarResult,
+    cegar_loop,
+    oracle_from_detailed_report,
+)
+from .drilldown import DrillDownResult, HotSpot, drill_down, hot_spots
+from .evaluation import EvaluationCell, HierarchicalEvaluation
+from .refinement import (
+    RefinementError,
+    RefinementSpec,
+    is_refined,
+    refine,
+    refine_all,
+    refinement_children,
+)
+from .threats import (
+    ASPECT_BEHAVIOURS,
+    ThreatLevel,
+    ThreatModel,
+    aspect_mutations,
+    refinement_chain,
+    threat_model,
+)
+
+__all__ = [
+    "ASPECT_BEHAVIOURS",
+    "CegarError",
+    "CegarIteration",
+    "CegarResult",
+    "DrillDownResult",
+    "EvaluationCell",
+    "HotSpot",
+    "HierarchicalEvaluation",
+    "RefinementError",
+    "RefinementSpec",
+    "ThreatLevel",
+    "ThreatModel",
+    "aspect_mutations",
+    "cegar_loop",
+    "drill_down",
+    "hot_spots",
+    "is_refined",
+    "oracle_from_detailed_report",
+    "refine",
+    "refine_all",
+    "refinement_chain",
+    "refinement_children",
+    "threat_model",
+]

@@ -1,0 +1,158 @@
+"""Drill-down support for the iterative assessment workflow (Sec. VI).
+
+"Risk assessment is an iterative process.  The analyst first examines
+the system at a high level and then drills down from the critical
+points to examine details in a more refined model."
+
+:func:`hot_spots` ranks the components whose faults drive the coarse
+analysis' violations; :func:`drill_down` applies the available
+refinements to exactly those components and re-analyzes, reporting per
+hot spot what the finer model confirmed, refuted or newly revealed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..epa.engine import EpaEngine, StaticRequirement
+from ..epa.results import EpaReport
+from ..modeling.model import SystemModel
+from .refinement import RefinementSpec, refine
+
+
+@dataclass(frozen=True)
+class HotSpot:
+    """A component prioritized for refinement."""
+
+    component: str
+    violating_scenarios: int
+    refinable: bool
+
+    def __str__(self) -> str:
+        marker = "refinable" if self.refinable else "no refinement available"
+        return "%s (%d violating scenarios; %s)" % (
+            self.component,
+            self.violating_scenarios,
+            marker,
+        )
+
+
+@dataclass
+class DrillDownResult:
+    """Outcome of one drill-down iteration."""
+
+    hot_spots: List[HotSpot]
+    refined_model: SystemModel
+    refined_report: EpaReport
+    #: coarse violating scenario keys still confirmed on the fine model
+    confirmed: List[Tuple[str, ...]]
+    #: coarse keys with no fine-grained counterpart (spurious candidates)
+    refuted: List[Tuple[str, ...]]
+    #: fine-grained violating keys with no coarse counterpart (details
+    #: the high level could not see, e.g. inner attack-chain steps)
+    discovered: List[Tuple[str, ...]]
+
+    def summary(self) -> str:
+        return (
+            "%d hot spots, %d coarse hazards confirmed, %d refuted, "
+            "%d newly discovered"
+            % (
+                len(self.hot_spots),
+                len(self.confirmed),
+                len(self.refuted),
+                len(self.discovered),
+            )
+        )
+
+
+def hot_spots(
+    report: EpaReport,
+    refinements: Mapping[str, RefinementSpec] = (),
+    limit: Optional[int] = None,
+) -> List[HotSpot]:
+    """Components ranked by how many violating scenarios involve them."""
+    refinements = dict(refinements or {})
+    criticality = report.criticality()
+    spots = [
+        HotSpot(component, count, component in refinements)
+        for component, count in criticality.items()
+    ]
+    return spots[: limit or len(spots)]
+
+
+def drill_down(
+    model: SystemModel,
+    requirements: Sequence[StaticRequirement],
+    coarse_report: EpaReport,
+    refinements: Mapping[str, RefinementSpec],
+    fault_mitigations: Mapping[str, Sequence[str]] = (),
+    max_faults: int = 1,
+    limit: int = 3,
+) -> DrillDownResult:
+    """One Sec. VI iteration: refine the top hot spots and re-analyze.
+
+    Only refinements for components that actually appear in the
+    criticality ranking are applied — the analyst "drills down from the
+    critical points", not everywhere.
+    """
+    spots = hot_spots(coarse_report, refinements, limit=limit)
+    refined_model = model
+    applied: Set[str] = set()
+    for spot in spots:
+        if spot.refinable and spot.component not in applied:
+            refined_model = refine(
+                refined_model, refinements[spot.component]
+            )
+            applied.add(spot.component)
+    engine = EpaEngine(
+        refined_model,
+        requirements,
+        fault_mitigations=fault_mitigations,
+    )
+    refined_report = engine.analyze(max_faults=max_faults)
+
+    child_to_parent: Dict[str, str] = {}
+    for parent in applied:
+        for element in refinements[parent].submodel.elements:
+            child_to_parent[element.identifier] = parent
+
+    def normalize(keys: Tuple[str, ...]) -> Tuple[str, ...]:
+        """Map refined fault refs onto coarse components for matching."""
+        components = []
+        for key in keys:
+            component = key.split(".", 1)[0]
+            components.append(child_to_parent.get(component, component))
+        return tuple(sorted(set(components)))
+
+    coarse_by_components: Dict[Tuple[str, ...], List[Tuple[str, ...]]] = {}
+    for outcome in coarse_report.violating():
+        coarse_by_components.setdefault(
+            normalize(outcome.key()), []
+        ).append(outcome.key())
+    fine_by_components: Dict[Tuple[str, ...], List[Tuple[str, ...]]] = {}
+    for outcome in refined_report.violating():
+        fine_by_components.setdefault(
+            normalize(outcome.key()), []
+        ).append(outcome.key())
+    confirmed = sorted(
+        key
+        for components, keys in coarse_by_components.items()
+        if components in fine_by_components
+        for key in keys
+    )
+    refuted = sorted(
+        key
+        for components, keys in coarse_by_components.items()
+        if components not in fine_by_components
+        for key in keys
+    )
+    discovered = sorted(
+        key
+        for components, keys in fine_by_components.items()
+        if components not in coarse_by_components
+        for key in keys
+    )
+    return DrillDownResult(
+        spots, refined_model, refined_report, confirmed, refuted, discovered
+    )

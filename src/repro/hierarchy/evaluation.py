@@ -1,0 +1,194 @@
+"""The hierarchical evaluation matrix (paper Fig. 3).
+
+Three evaluation focuses over the asset x threat refinement grid:
+
+1. **Topology-based propagation** — main assets, high-level threat
+   aspects; "useful for early system development or initial risk
+   assessments";
+2. **Detailed propagation analysis** — refined assets with concrete
+   fault modes and vulnerabilities;
+3. **Mitigation plan** — mitigation mechanisms attached, cost metrics
+   assigned, optimization run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..epa.engine import EpaEngine, StaticRequirement
+from ..epa.results import EpaReport
+from ..mitigation.optimizer import (
+    BlockingProblem,
+    MitigationPlan,
+    optimize_asp,
+)
+from ..modeling.model import SystemModel
+from ..security.catalogs import SecurityCatalog
+from .threats import ThreatLevel, ThreatModel, threat_model
+
+
+@dataclass
+class EvaluationCell:
+    """One cell of the Fig. 3 matrix: an analysis at a given asset model
+    and threat level."""
+
+    focus: str
+    asset_model: str
+    threat_level: ThreatLevel
+    report: Optional[EpaReport] = None
+    plan: Optional[MitigationPlan] = None
+
+    @property
+    def violating_count(self) -> int:
+        return len(self.report.violating()) if self.report else 0
+
+    def __str__(self) -> str:
+        suffix = ""
+        if self.report is not None:
+            suffix = " %d/%d scenarios violate" % (
+                self.violating_count,
+                len(self.report),
+            )
+        if self.plan is not None:
+            suffix += " plan: %s" % self.plan
+        return "[%s @ %s / %s]%s" % (
+            self.focus,
+            self.asset_model,
+            self.threat_level,
+            suffix,
+        )
+
+
+class HierarchicalEvaluation:
+    """Run the three evaluation focuses of Fig. 3."""
+
+    def __init__(
+        self,
+        requirements: Sequence[StaticRequirement],
+        catalog: Optional[SecurityCatalog] = None,
+        max_faults: int = 2,
+    ):
+        self.requirements = tuple(requirements)
+        self.catalog = catalog
+        self.max_faults = max_faults
+
+    # ------------------------------------------------------------------
+    # focus 1: topology-based propagation
+    # ------------------------------------------------------------------
+    def topology_based(
+        self, model: SystemModel, model_name: str = "high-level"
+    ) -> EvaluationCell:
+        """Level-1 threats on the coarse asset model: is a violation
+        *topologically possible* at all?"""
+        threats = threat_model(model, ThreatLevel.ASPECTS)
+        engine = EpaEngine(
+            model,
+            self.requirements,
+            extra_mutations=threats.mutations,
+        )
+        report = engine.analyze(max_faults=self.max_faults)
+        return EvaluationCell(
+            "topology-based propagation",
+            model_name,
+            ThreatLevel.ASPECTS,
+            report=report,
+        )
+
+    # ------------------------------------------------------------------
+    # focus 2: detailed propagation analysis
+    # ------------------------------------------------------------------
+    def detailed(
+        self, model: SystemModel, model_name: str = "refined"
+    ) -> EvaluationCell:
+        """Level-2 threats: concrete fault modes + matched
+        vulnerabilities/techniques on the (possibly refined) model."""
+        threats = threat_model(
+            model, ThreatLevel.FAULTS_AND_VULNERABILITIES, self.catalog
+        )
+        # model fault modes already carry their own facts; only inject
+        # the security-born mutations to avoid duplicates
+        extra = tuple(
+            mutation
+            for mutation in threats.mutations
+            if mutation.origin_kind != "fault"
+        )
+        engine = EpaEngine(model, self.requirements, extra_mutations=extra)
+        report = engine.analyze(max_faults=self.max_faults)
+        return EvaluationCell(
+            "detailed propagation analysis",
+            model_name,
+            ThreatLevel.FAULTS_AND_VULNERABILITIES,
+            report=report,
+        )
+
+    # ------------------------------------------------------------------
+    # focus 3: mitigation plan
+    # ------------------------------------------------------------------
+    def mitigation_plan(
+        self,
+        model: SystemModel,
+        model_name: str = "refined",
+        budget: Optional[int] = None,
+    ) -> EvaluationCell:
+        """Level-3: attach mitigations and optimize a blocking plan for
+        the violating scenarios found by the detailed analysis."""
+        if self.catalog is None:
+            raise ValueError("mitigation planning needs a security catalog")
+        threats = threat_model(model, ThreatLevel.MITIGATIONS, self.catalog)
+        extra = tuple(
+            m for m in threats.mutations if m.origin_kind != "fault"
+        )
+        engine = EpaEngine(
+            model,
+            self.requirements,
+            fault_mitigations=threats.mitigations,
+            extra_mutations=extra,
+        )
+        report = engine.analyze(max_faults=self.max_faults)
+        problem = BlockingProblem()
+        for entry in self.catalog.mitigations:
+            problem.add_mitigation(
+                entry.identifier, entry.implementation_cost
+            )
+        requirement_magnitude = {
+            r.name: r.magnitude for r in self.requirements
+        }
+        for outcome in report.violating():
+            blockers: set = set()
+            for fault in outcome.active_faults:
+                blockers.update(threats.mitigations.get(fault.fault, ()))
+            worst = max(
+                (requirement_magnitude.get(v, "M") for v in outcome.violated),
+                key=lambda label: "VL L M H VH".split().index(label),
+            )
+            problem.add_scenario(
+                "+".join(outcome.key()) or "nominal",
+                sorted(blockers),
+                worst,
+            )
+        plan = optimize_asp(problem, budget=budget)
+        return EvaluationCell(
+            "mitigation plan",
+            model_name,
+            ThreatLevel.MITIGATIONS,
+            report=report,
+            plan=plan,
+        )
+
+    # ------------------------------------------------------------------
+    # the full matrix
+    # ------------------------------------------------------------------
+    def evaluate_matrix(
+        self,
+        coarse_model: SystemModel,
+        refined_model: SystemModel,
+        budget: Optional[int] = None,
+    ) -> List[EvaluationCell]:
+        """The Fig. 3 diagonal: coarse assets x aspect threats, refined
+        assets x concrete threats, refined assets x mitigations."""
+        return [
+            self.topology_based(coarse_model, "high-level"),
+            self.detailed(refined_model, "refined"),
+            self.mitigation_plan(refined_model, "refined", budget=budget),
+        ]

@@ -1,0 +1,139 @@
+"""Asset refinement (paper Fig. 4 and Sec. VI).
+
+"The high-level description outlines the system asset Engineering
+Workstation.  At a more refined level, the model includes a more
+detailed representation of the components and the relation between
+them in terms of information, data, and attack flow (e.g., E-mail
+Client -> Browser -> Infected Computer)."
+
+:func:`refine` replaces a coarse element with a submodel: the coarse
+element stays as a *composite* (so hierarchy remains navigable via
+composition relations), its external relationships are rewired onto
+designated entry/exit components of the submodel, and its own fault
+modes are dropped in favour of the refined components'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..modeling.elements import RelationshipType
+from ..modeling.model import ModelError, SystemModel
+
+
+class RefinementError(Exception):
+    """Raised for unknown targets or dangling boundary components."""
+
+
+@dataclass(frozen=True)
+class RefinementSpec:
+    """How to replace one element with a submodel.
+
+    ``entry`` receives the relationships that used to *enter* the coarse
+    element; ``exit`` emits the ones that used to *leave* it (both must
+    be element ids inside ``submodel``; they may coincide).
+    """
+
+    target: str
+    submodel: SystemModel
+    entry: str
+    exit: str
+
+    def validate(self, model: SystemModel) -> None:
+        if not model.has_element(self.target):
+            raise RefinementError("unknown refinement target %r" % self.target)
+        for boundary in (self.entry, self.exit):
+            if not self.submodel.has_element(boundary):
+                raise RefinementError(
+                    "boundary component %r not in submodel" % boundary
+                )
+        for element in self.submodel.elements:
+            if model.has_element(element.identifier) and element.identifier != self.target:
+                raise RefinementError(
+                    "submodel element id %r collides with the model"
+                    % element.identifier
+                )
+
+
+def refine(model: SystemModel, spec: RefinementSpec) -> SystemModel:
+    """Apply one refinement, returning a new model (input unchanged)."""
+    spec.validate(model)
+    refined = SystemModel(model.name)
+    target_element = model.element(spec.target)
+    # copy all elements; the target becomes a composite without own faults
+    for element in model.elements:
+        properties = dict(element.properties)
+        if element.identifier == spec.target:
+            properties.pop("fault_modes", None)
+            properties["refined"] = True
+        refined.add_element(
+            element.identifier,
+            element.name,
+            element.type,
+            properties,
+            element.documentation,
+        )
+    # splice in the submodel
+    for element in spec.submodel.elements:
+        refined.add_element(
+            element.identifier,
+            element.name,
+            element.type,
+            element.properties,
+            element.documentation,
+        )
+        refined.add_relationship(
+            spec.target,
+            element.identifier,
+            RelationshipType.COMPOSITION,
+            check=False,
+        )
+    for relationship in spec.submodel.relationships:
+        refined.add_relationship(
+            relationship.source,
+            relationship.target,
+            relationship.type,
+            properties=relationship.properties,
+            check=False,
+        )
+    # rewire external relationships onto the boundary components
+    for relationship in model.relationships:
+        source, target = relationship.source, relationship.target
+        if source == spec.target and target == spec.target:
+            continue
+        if target == spec.target:
+            target = spec.entry
+        elif source == spec.target:
+            source = spec.exit
+        refined.add_relationship(
+            source,
+            target,
+            relationship.type,
+            properties=relationship.properties,
+            check=False,
+        )
+    return refined
+
+
+def refine_all(
+    model: SystemModel, specs: Sequence[RefinementSpec]
+) -> SystemModel:
+    """Apply several refinements in order."""
+    current = model
+    for spec in specs:
+        current = refine(current, spec)
+    return current
+
+
+def refinement_children(model: SystemModel, composite: str) -> List[str]:
+    """The refined components composing a composite element."""
+    return sorted(
+        relationship.target
+        for relationship in model.outgoing(composite)
+        if relationship.type is RelationshipType.COMPOSITION
+    )
+
+
+def is_refined(model: SystemModel, identifier: str) -> bool:
+    return bool(model.element(identifier).properties.get("refined"))

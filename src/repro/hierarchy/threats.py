@@ -1,0 +1,118 @@
+"""Threat refinement levels (paper Sec. VI).
+
+"A refinement strategy has been developed that introduces three threat
+refinement levels.  The first level is concerned with high-level aspects
+such as reliability, availability, and timeliness.  At the second level,
+specific faults and vulnerabilities in the system are identified.
+Finally, at the lowest level, mitigation mechanisms are introduced."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..modeling.model import SystemModel
+from ..security.catalogs import SecurityCatalog
+from ..security.mapping import (
+    CandidateMutation,
+    candidate_mutations,
+    mitigations_for_mutation,
+)
+
+
+class ThreatLevel(Enum):
+    """The three threat refinement levels of Sec. VI."""
+
+    ASPECTS = 1  # reliability / availability / timeliness / integrity
+    FAULTS_AND_VULNERABILITIES = 2
+    MITIGATIONS = 3
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+#: high-level dependability aspects and the error behaviour each maps to
+ASPECT_BEHAVIOURS: Dict[str, str] = {
+    "availability": "omission",
+    "reliability": "value_error",
+    "timeliness": "timing_error",
+    "integrity": "compromised",
+}
+
+
+def aspect_mutations(model: SystemModel) -> List[CandidateMutation]:
+    """Level-1 threats: one generic fault per component per aspect.
+
+    At this level no concrete fault mode or vulnerability is assumed —
+    only that each analyzable component *may* fail each high-level
+    aspect.  The coarsest over-approximation: everything later levels
+    find is a special case of these.
+    """
+    mutations: List[CandidateMutation] = []
+    for element in model.elements:
+        if not element.properties.get("component_type"):
+            continue
+        for aspect, behaviour in sorted(ASPECT_BEHAVIOURS.items()):
+            mutations.append(
+                CandidateMutation(
+                    element.identifier,
+                    "loss_of_%s" % aspect,
+                    behaviour,
+                    "fault",
+                    aspect,
+                    "M",
+                )
+            )
+    return mutations
+
+
+@dataclass(frozen=True)
+class ThreatModel:
+    """The threat content of one refinement level."""
+
+    level: ThreatLevel
+    mutations: Tuple[CandidateMutation, ...]
+    #: fault name -> applicable mitigation ids (only populated at level 3)
+    mitigations: Mapping[str, Tuple[str, ...]] = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.mitigations is None:
+            object.__setattr__(self, "mitigations", {})
+
+    @property
+    def fault_count(self) -> int:
+        return len(self.mutations)
+
+
+def threat_model(
+    model: SystemModel,
+    level: ThreatLevel,
+    catalog: Optional[SecurityCatalog] = None,
+) -> ThreatModel:
+    """Build the threat content for an asset model at a given level."""
+    if level is ThreatLevel.ASPECTS:
+        return ThreatModel(level, tuple(aspect_mutations(model)))
+    mutations = candidate_mutations(model, catalog)
+    if level is ThreatLevel.FAULTS_AND_VULNERABILITIES:
+        return ThreatModel(level, tuple(mutations))
+    if catalog is None:
+        raise ValueError("level 3 threat refinement needs a security catalog")
+    mitigation_map: Dict[str, Tuple[str, ...]] = {}
+    for mutation in mutations:
+        applicable = mitigations_for_mutation(catalog, mutation)
+        if applicable:
+            mitigation_map[mutation.fault] = tuple(applicable)
+    return ThreatModel(level, tuple(mutations), mitigation_map)
+
+
+def refinement_chain(
+    model: SystemModel, catalog: SecurityCatalog
+) -> List[ThreatModel]:
+    """All three levels in order — the horizontal axis of Fig. 3."""
+    return [
+        threat_model(model, ThreatLevel.ASPECTS),
+        threat_model(model, ThreatLevel.FAULTS_AND_VULNERABILITIES, catalog),
+        threat_model(model, ThreatLevel.MITIGATIONS, catalog),
+    ]

@@ -1,0 +1,50 @@
+"""Mitigation analysis and cost-benefit optimization (paper Sec. IV-C/D).
+
+Mitigation covering problems (block every attack scenario), exact ASP
+optimization vs greedy and exhaustive baselines, budget-constrained
+multi-phase consolidation planning, and cost-benefit balance sheets.
+"""
+
+from .costbenefit import (
+    CostBenefitResult,
+    compare_plans,
+    evaluate_plan,
+    most_efficient,
+)
+from .costs import (
+    RISK_WEIGHT,
+    AttackCostModel,
+    FailureCostModel,
+    MitigationCost,
+    risk_weight,
+)
+from .optimizer import (
+    BlockingProblem,
+    MitigationPlan,
+    OptimizationError,
+    optimize_asp,
+    optimize_exhaustive,
+    optimize_greedy,
+)
+from .planning import MultiPhasePlan, PhasePlan, plan_phases
+
+__all__ = [
+    "AttackCostModel",
+    "BlockingProblem",
+    "CostBenefitResult",
+    "FailureCostModel",
+    "MitigationCost",
+    "MitigationPlan",
+    "MultiPhasePlan",
+    "OptimizationError",
+    "PhasePlan",
+    "RISK_WEIGHT",
+    "compare_plans",
+    "evaluate_plan",
+    "most_efficient",
+    "optimize_asp",
+    "optimize_exhaustive",
+    "optimize_greedy",
+    "plan_phases",
+    "risk_weight",
+]

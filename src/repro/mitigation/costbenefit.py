@@ -1,0 +1,115 @@
+"""Cost-benefit analysis of mitigation plans (paper Sec. IV-D).
+
+"By assigning costs to the mitigation actions, the cost of mitigation
+can be compared to the potential losses, thus allowing for a
+cost-benefit analysis."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from .costs import FailureCostModel, MitigationCost
+from .optimizer import BlockingProblem, MitigationPlan
+
+
+@dataclass(frozen=True)
+class CostBenefitResult:
+    """The balance sheet of one mitigation plan."""
+
+    plan_cost: int
+    avoided_loss: int
+    residual_loss: int
+
+    @property
+    def net_benefit(self) -> int:
+        return self.avoided_loss - self.plan_cost
+
+    @property
+    def worthwhile(self) -> bool:
+        return self.net_benefit > 0
+
+    @property
+    def benefit_cost_ratio(self) -> float:
+        if self.plan_cost == 0:
+            return float("inf") if self.avoided_loss > 0 else 0.0
+        return self.avoided_loss / self.plan_cost
+
+    def __str__(self) -> str:
+        return (
+            "cost=%d avoided=%d residual=%d net=%+d (%s)"
+            % (
+                self.plan_cost,
+                self.avoided_loss,
+                self.residual_loss,
+                self.net_benefit,
+                "worthwhile" if self.worthwhile else "not worthwhile",
+            )
+        )
+
+
+def evaluate_plan(
+    plan: MitigationPlan,
+    scenario_magnitudes: Mapping[str, str],
+    failure_costs: Optional[FailureCostModel] = None,
+    mitigation_tco: Optional[Mapping[str, MitigationCost]] = None,
+    periods: int = 1,
+) -> CostBenefitResult:
+    """Balance a plan's TCO against the losses it avoids.
+
+    ``scenario_magnitudes`` maps scenario id -> Loss Magnitude label;
+    each blocked scenario's monetized magnitude counts as avoided loss,
+    each unblocked one as residual.  When ``mitigation_tco`` is given,
+    the plan cost is recomputed as total cost of ownership over
+    ``periods``; otherwise the plan's deployment cost is used.
+    """
+    failure_costs = failure_costs or FailureCostModel()
+    if mitigation_tco is not None:
+        plan_cost = sum(
+            mitigation_tco[m].total(periods)
+            for m in plan.deployed
+            if m in mitigation_tco
+        )
+        plan_cost += sum(
+            0 for m in plan.deployed if m not in mitigation_tco
+        )
+    else:
+        plan_cost = plan.cost
+    avoided = sum(
+        failure_costs.cost(scenario_magnitudes.get(s, "M"))
+        for s in plan.blocked
+    )
+    residual = sum(
+        failure_costs.cost(scenario_magnitudes.get(s, "M"))
+        for s in plan.unblocked
+    )
+    return CostBenefitResult(plan_cost, avoided, residual)
+
+
+def compare_plans(
+    plans: Mapping[str, MitigationPlan],
+    scenario_magnitudes: Mapping[str, str],
+    failure_costs: Optional[FailureCostModel] = None,
+) -> Dict[str, CostBenefitResult]:
+    """Evaluate several candidate plans side by side, e.g. the ASP
+    optimum vs the greedy baseline vs 'do nothing'."""
+    return {
+        name: evaluate_plan(plan, scenario_magnitudes, failure_costs)
+        for name, plan in plans.items()
+    }
+
+
+def most_efficient(
+    results: Mapping[str, CostBenefitResult]
+) -> Optional[str]:
+    """The plan with the greatest net benefit (ties: cheaper wins) —
+    the paper's "most efficient attack/mitigation" strategy query."""
+    best_name: Optional[str] = None
+    best_key = None
+    for name, result in results.items():
+        key = (-result.net_benefit, result.plan_cost)
+        if best_key is None or key < best_key:
+            best_key = key
+            best_name = name
+    return best_name

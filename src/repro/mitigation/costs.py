@@ -1,0 +1,87 @@
+"""Cost models for the cost-benefit analysis (paper Sec. IV-D).
+
+Three cost categories, straight from the paper's list of optimization
+tasks: **failure impact/cost** (what a violation costs the
+organization), **mitigation cost** (implementing + maintaining a
+protective measure — "the total cost of ownership includes maintenance;
+it also includes the maintenance of the protection"), and **attack
+cost** (what the attacker must expend).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+from ..qualitative.spaces import five_level_scale
+
+Scale = five_level_scale()
+
+
+@dataclass(frozen=True)
+class MitigationCost:
+    """Total cost of ownership of one mitigation."""
+
+    implementation: int
+    maintenance_per_period: int = 0
+
+    def total(self, periods: int = 1) -> int:
+        """TCO over ``periods`` maintenance periods."""
+        if periods < 0:
+            raise ValueError("periods must be non-negative")
+        return self.implementation + self.maintenance_per_period * periods
+
+
+@dataclass(frozen=True)
+class FailureCostModel:
+    """Monetize qualitative Loss Magnitude labels.
+
+    The default mapping grows geometrically — each O-RA step up is
+    an order of magnitude more expensive, the usual calibration for
+    financial loss bands.
+    """
+
+    per_label: Mapping[str, int] = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.per_label is None:
+            object.__setattr__(
+                self,
+                "per_label",
+                {"VL": 1, "L": 10, "M": 100, "H": 1000, "VH": 10000},
+            )
+        for label in Scale.labels:
+            if label not in self.per_label:
+                raise ValueError("failure cost model missing label %r" % label)
+
+    def cost(self, magnitude: str) -> int:
+        return self.per_label[magnitude]
+
+
+@dataclass(frozen=True)
+class AttackCostModel:
+    """Attacker expenditure per technique difficulty."""
+
+    per_difficulty: Mapping[str, int] = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.per_difficulty is None:
+            object.__setattr__(
+                self, "per_difficulty", {"L": 1, "M": 5, "H": 25}
+            )
+
+    def chain_cost(self, difficulties: Sequence[str]) -> int:
+        """Total attacker cost of a technique chain."""
+        return sum(self.per_difficulty.get(d, 5) for d in difficulties)
+
+
+#: Risk label -> relative weight for "expected loss"-style aggregation.
+RISK_WEIGHT: Dict[str, int] = {"VL": 1, "L": 3, "M": 9, "H": 27, "VH": 81}
+
+
+def risk_weight(label: str) -> int:
+    """Weight of a qualitative risk label (geometric, base 3)."""
+    try:
+        return RISK_WEIGHT[label]
+    except KeyError:
+        raise ValueError("unknown risk label %r" % label) from None

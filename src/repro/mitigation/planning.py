@@ -1,0 +1,139 @@
+"""Multi-phase mitigation planning (paper Sec. IV-D).
+
+"The benefit of the optimization is a multi-phase strategy where the
+actions can be prioritized.  For example, if a company has a limited
+budget let's first deal with the most potential and severe risk and
+later focus on the other ones."
+
+Each phase has its own budget; the planner solves a budgeted
+risk-reduction problem per phase (with the ASP optimizer), carries the
+already-deployed mitigations forward, and reports the residual risk
+trajectory across phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .costs import risk_weight
+from .optimizer import (
+    BlockingProblem,
+    MitigationPlan,
+    OptimizationError,
+    optimize_asp,
+    optimize_greedy,
+)
+
+
+@dataclass(frozen=True)
+class PhasePlan:
+    """One consolidation phase."""
+
+    phase: int
+    budget: int
+    newly_deployed: FrozenSet[str]
+    spent: int
+    blocked_so_far: FrozenSet[str]
+    residual_risk_weight: int
+
+    def __str__(self) -> str:
+        return "phase %d (budget %d): deploy {%s}, residual risk %d" % (
+            self.phase,
+            self.budget,
+            ", ".join(sorted(self.newly_deployed)) or "-",
+            self.residual_risk_weight,
+        )
+
+
+@dataclass
+class MultiPhasePlan:
+    """The full consolidation roadmap."""
+
+    phases: List[PhasePlan]
+    total_cost: int
+    final_residual_risk_weight: int
+
+    @property
+    def deployed(self) -> FrozenSet[str]:
+        result: Set[str] = set()
+        for phase in self.phases:
+            result |= phase.newly_deployed
+        return frozenset(result)
+
+    def risk_trajectory(self) -> List[int]:
+        """Residual risk weight after each phase."""
+        return [phase.residual_risk_weight for phase in self.phases]
+
+    def __str__(self) -> str:
+        return "\n".join(str(phase) for phase in self.phases)
+
+
+def plan_phases(
+    problem: BlockingProblem,
+    budgets: Sequence[int],
+    use_greedy: bool = False,
+) -> MultiPhasePlan:
+    """Plan consolidation over the given per-phase budgets.
+
+    Each phase optimizes residual-risk-first/cost-second within its
+    budget, over the scenarios still unblocked after earlier phases.
+    """
+    if not budgets:
+        raise OptimizationError("need at least one phase budget")
+    optimizer = optimize_greedy if use_greedy else optimize_asp
+    deployed: Set[str] = set()
+    phases: List[PhasePlan] = []
+    total_cost = 0
+    for index, budget in enumerate(budgets, start=1):
+        if budget < 0:
+            raise OptimizationError("phase budgets must be non-negative")
+        remaining = _remaining_problem(problem, deployed)
+        plan = optimizer(remaining, budget=budget)
+        deployed |= plan.deployed
+        total_cost += plan.cost
+        overall = _evaluate_overall(problem, deployed)
+        phases.append(
+            PhasePlan(
+                index,
+                budget,
+                plan.deployed,
+                plan.cost,
+                overall[0],
+                overall[1],
+            )
+        )
+    return MultiPhasePlan(phases, total_cost, phases[-1].residual_risk_weight)
+
+
+def _remaining_problem(
+    problem: BlockingProblem, deployed: Set[str]
+) -> BlockingProblem:
+    remaining = BlockingProblem()
+    for mitigation, cost in problem.mitigation_costs.items():
+        if mitigation not in deployed:
+            remaining.add_mitigation(mitigation, cost)
+    for scenario, blockers in problem.scenario_blockers.items():
+        if blockers & deployed:
+            continue  # already blocked
+        remaining.add_scenario(
+            scenario,
+            sorted(blockers - deployed),
+            problem.scenario_risks.get(scenario, "M"),
+        )
+    return remaining
+
+
+def _evaluate_overall(
+    problem: BlockingProblem, deployed: Set[str]
+) -> Tuple[FrozenSet[str], int]:
+    blocked = {
+        scenario
+        for scenario, blockers in problem.scenario_blockers.items()
+        if blockers & deployed
+    }
+    residual = sum(
+        risk_weight(problem.scenario_risks.get(s, "M"))
+        for s in set(problem.scenario_blockers) - blocked
+    )
+    return frozenset(blocked), residual

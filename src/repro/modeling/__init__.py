@@ -1,0 +1,70 @@
+"""Lightweight MBSE system modeling (ArchiMate-style).
+
+Implements Fig. 1 step 1 of the paper: a typed element/relationship
+metamodel covering IT and OT layers plus the risk overlay, aspect-model
+merging, component-type libraries, validation, ArchiMate-exchange XML
+I/O and the transformation to ASP facts consumed by the reasoner.
+"""
+
+from .archimate_io import ArchimateIOError, from_xml, to_xml
+from .elements import (
+    ElementType,
+    Layer,
+    RelationshipType,
+    propagation_directions,
+    relationship_allowed,
+)
+from .library import (
+    ComponentType,
+    ComponentTypeLibrary,
+    FaultModeSpec,
+    PropagationSpec,
+    standard_cps_library,
+)
+from .model import Element, ModelError, Relationship, SystemModel
+from .sensitivity import (
+    DecisionImpact,
+    ModelingDecision,
+    critical_decisions,
+    propagation_mode_impacts,
+    property_impacts,
+    rank_impacts,
+    relationship_impacts,
+)
+from .to_asp import model_facts, to_asp_program, to_asp_text, to_control
+from .validation import Diagnostic, Severity, ValidationReport, validate
+
+__all__ = [
+    "ArchimateIOError",
+    "ComponentType",
+    "ComponentTypeLibrary",
+    "DecisionImpact",
+    "Diagnostic",
+    "Element",
+    "ElementType",
+    "FaultModeSpec",
+    "Layer",
+    "ModelError",
+    "ModelingDecision",
+    "PropagationSpec",
+    "Relationship",
+    "RelationshipType",
+    "Severity",
+    "SystemModel",
+    "ValidationReport",
+    "critical_decisions",
+    "from_xml",
+    "model_facts",
+    "propagation_directions",
+    "propagation_mode_impacts",
+    "property_impacts",
+    "rank_impacts",
+    "relationship_impacts",
+    "relationship_allowed",
+    "standard_cps_library",
+    "to_asp_program",
+    "to_asp_text",
+    "to_control",
+    "to_xml",
+    "validate",
+]

@@ -1,0 +1,178 @@
+"""ArchiMate Open-Exchange-style XML serialization.
+
+The paper authors draw their models in an ArchiMate tool and export them
+for transformation to ASP.  This module reads and writes a compact
+dialect of the ArchiMate Model Exchange File Format — enough to round-
+trip every :class:`~repro.modeling.model.SystemModel` (elements with
+types, names, documentation and properties; typed relationships).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, Optional
+
+from .elements import ElementType, RelationshipType
+from .model import ModelError, SystemModel
+
+_NS = "http://www.opengroup.org/xsd/archimate/3.0/"
+
+
+class ArchimateIOError(Exception):
+    """Raised on malformed exchange files."""
+
+
+def to_xml(model: SystemModel) -> str:
+    """Serialize a model to exchange-format XML text."""
+    root = ET.Element("model", {"xmlns": _NS, "identifier": model.name})
+    name_node = ET.SubElement(root, "name")
+    name_node.text = model.name
+    elements_node = ET.SubElement(root, "elements")
+    for element in model.elements:
+        element_node = ET.SubElement(
+            elements_node,
+            "element",
+            {
+                "identifier": element.identifier,
+                "type": element.type.label,
+            },
+        )
+        label = ET.SubElement(element_node, "name")
+        label.text = element.name
+        if element.documentation:
+            documentation = ET.SubElement(element_node, "documentation")
+            documentation.text = element.documentation
+        if element.properties:
+            properties_node = ET.SubElement(element_node, "properties")
+            for key, value in element.properties.items():
+                property_node = ET.SubElement(
+                    properties_node, "property", {"key": str(key)}
+                )
+                property_node.text = _encode_value(value)
+    relationships_node = ET.SubElement(root, "relationships")
+    for relationship in model.relationships:
+        relationship_node = ET.SubElement(
+            relationships_node,
+            "relationship",
+            {
+                "identifier": relationship.identifier,
+                "source": relationship.source,
+                "target": relationship.target,
+                "type": relationship.type.value,
+            },
+        )
+        if relationship.properties:
+            properties_node = ET.SubElement(relationship_node, "properties")
+            for key, value in relationship.properties.items():
+                property_node = ET.SubElement(
+                    properties_node, "property", {"key": str(key)}
+                )
+                property_node.text = _encode_value(value)
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def from_xml(text: str) -> SystemModel:
+    """Parse exchange-format XML text into a model."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as error:
+        raise ArchimateIOError("malformed XML: %s" % error) from None
+    model = SystemModel(root.get("identifier", "imported"))
+    elements_node = _find(root, "elements")
+    if elements_node is not None:
+        for element_node in _findall(elements_node, "element"):
+            identifier = element_node.get("identifier")
+            type_label = _type_attr(element_node)
+            if identifier is None or type_label is None:
+                raise ArchimateIOError("element missing identifier or type")
+            try:
+                element_type = ElementType.from_label(type_label)
+            except KeyError as error:
+                raise ArchimateIOError(str(error)) from None
+            name_node = _find(element_node, "name")
+            documentation_node = _find(element_node, "documentation")
+            model.add_element(
+                identifier,
+                name_node.text if name_node is not None and name_node.text else identifier,
+                element_type,
+                _read_properties(element_node),
+                documentation_node.text if documentation_node is not None and documentation_node.text else "",
+            )
+    relationships_node = _find(root, "relationships")
+    if relationships_node is not None:
+        for relationship_node in _findall(relationships_node, "relationship"):
+            type_label = _type_attr(relationship_node)
+            if type_label is None:
+                raise ArchimateIOError("relationship missing type")
+            try:
+                relationship_type = RelationshipType(type_label)
+            except ValueError:
+                raise ArchimateIOError(
+                    "unknown relationship type %r" % type_label
+                ) from None
+            source = relationship_node.get("source")
+            target = relationship_node.get("target")
+            if source is None or target is None:
+                raise ArchimateIOError("relationship missing endpoints")
+            try:
+                model.add_relationship(
+                    source,
+                    target,
+                    relationship_type,
+                    identifier=relationship_node.get("identifier"),
+                    properties=_read_properties(relationship_node),
+                    check=False,
+                )
+            except ModelError as error:
+                raise ArchimateIOError(str(error)) from None
+    return model
+
+
+def _read_properties(node: ET.Element) -> Dict[str, object]:
+    properties: Dict[str, object] = {}
+    properties_node = _find(node, "properties")
+    if properties_node is None:
+        return properties
+    for property_node in _findall(properties_node, "property"):
+        key = property_node.get("key")
+        if key is None:
+            continue
+        properties[key] = _decode_value(property_node.text or "")
+    return properties
+
+
+def _encode_value(value: object) -> str:
+    import json
+
+    return json.dumps(value)
+
+
+def _decode_value(text: str) -> object:
+    import json
+
+    try:
+        return json.loads(text)
+    except (ValueError, TypeError):
+        return text
+
+
+def _type_attr(node: ET.Element) -> Optional[str]:
+    """The element/relationship type, accepting both our plain ``type``
+    attribute and the exchange format's ``xsi:type``."""
+    return (
+        node.get("type")
+        or node.get("xsi:type")
+        or node.get("{http://www.w3.org/2001/XMLSchema-instance}type")
+    )
+
+
+def _find(node: ET.Element, tag: str) -> Optional[ET.Element]:
+    found = node.find(tag)
+    if found is not None:
+        return found
+    return node.find("{%s}%s" % (_NS, tag))
+
+
+def _findall(node: ET.Element, tag: str):
+    return list(node.findall(tag)) + list(node.findall("{%s}%s" % (_NS, tag)))

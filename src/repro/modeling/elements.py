@@ -1,0 +1,201 @@
+"""ArchiMate-core metamodel: layers, element types, relationship types.
+
+The paper models IT/OT systems in TOGAF ArchiMate [7] with the security
+overlay of the Open Group risk white paper [8].  This module defines the
+subset of the ArchiMate 3.1 metamodel the framework consumes: enough to
+express business, application, technology and *physical* (OT) elements,
+plus the risk-and-security overlay concepts (asset, threat,
+vulnerability, control measure) used for annotation.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, FrozenSet, Tuple
+
+
+class Layer(Enum):
+    """ArchiMate layers (plus the risk overlay pseudo-layer)."""
+
+    BUSINESS = "business"
+    APPLICATION = "application"
+    TECHNOLOGY = "technology"
+    PHYSICAL = "physical"
+    MOTIVATION = "motivation"
+    RISK = "risk"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class ElementType(Enum):
+    """Element types, each anchored in a layer."""
+
+    # business layer
+    BUSINESS_ACTOR = ("business_actor", Layer.BUSINESS)
+    BUSINESS_ROLE = ("business_role", Layer.BUSINESS)
+    BUSINESS_PROCESS = ("business_process", Layer.BUSINESS)
+    BUSINESS_SERVICE = ("business_service", Layer.BUSINESS)
+    BUSINESS_OBJECT = ("business_object", Layer.BUSINESS)
+    # application layer
+    APPLICATION_COMPONENT = ("application_component", Layer.APPLICATION)
+    APPLICATION_SERVICE = ("application_service", Layer.APPLICATION)
+    APPLICATION_INTERFACE = ("application_interface", Layer.APPLICATION)
+    DATA_OBJECT = ("data_object", Layer.APPLICATION)
+    # technology (IT) layer
+    NODE = ("node", Layer.TECHNOLOGY)
+    DEVICE = ("device", Layer.TECHNOLOGY)
+    SYSTEM_SOFTWARE = ("system_software", Layer.TECHNOLOGY)
+    TECHNOLOGY_SERVICE = ("technology_service", Layer.TECHNOLOGY)
+    TECHNOLOGY_INTERFACE = ("technology_interface", Layer.TECHNOLOGY)
+    COMMUNICATION_NETWORK = ("communication_network", Layer.TECHNOLOGY)
+    ARTIFACT = ("artifact", Layer.TECHNOLOGY)
+    # physical (OT) layer
+    EQUIPMENT = ("equipment", Layer.PHYSICAL)
+    FACILITY = ("facility", Layer.PHYSICAL)
+    DISTRIBUTION_NETWORK = ("distribution_network", Layer.PHYSICAL)
+    MATERIAL = ("material", Layer.PHYSICAL)
+    # motivation layer
+    STAKEHOLDER = ("stakeholder", Layer.MOTIVATION)
+    DRIVER = ("driver", Layer.MOTIVATION)
+    GOAL = ("goal", Layer.MOTIVATION)
+    REQUIREMENT = ("requirement", Layer.MOTIVATION)
+    CONSTRAINT = ("constraint", Layer.MOTIVATION)
+    PRINCIPLE = ("principle", Layer.MOTIVATION)
+    ASSESSMENT = ("assessment", Layer.MOTIVATION)
+    # risk-and-security overlay [8]
+    ASSET = ("asset", Layer.RISK)
+    THREAT_AGENT = ("threat_agent", Layer.RISK)
+    THREAT_EVENT = ("threat_event", Layer.RISK)
+    LOSS_EVENT = ("loss_event", Layer.RISK)
+    VULNERABILITY = ("vulnerability", Layer.RISK)
+    RISK = ("risk", Layer.RISK)
+    CONTROL_OBJECTIVE = ("control_objective", Layer.RISK)
+    CONTROL_MEASURE = ("control_measure", Layer.RISK)
+
+    def __init__(self, label: str, layer: Layer):
+        self.label = label
+        self.layer = layer
+
+    @classmethod
+    def from_label(cls, label: str) -> "ElementType":
+        for member in cls:
+            if member.label == label:
+                return member
+        raise KeyError("unknown element type %r" % label)
+
+    def __str__(self) -> str:
+        return self.label
+
+
+class RelationshipType(Enum):
+    """ArchiMate relationship types (directed, source -> target)."""
+
+    COMPOSITION = "composition"  # whole -> part
+    AGGREGATION = "aggregation"
+    ASSIGNMENT = "assignment"  # active element -> behaviour/role
+    REALIZATION = "realization"
+    SERVING = "serving"  # provider -> consumer
+    ACCESS = "access"  # behaviour -> object
+    INFLUENCE = "influence"
+    TRIGGERING = "triggering"
+    FLOW = "flow"  # directed signal/data flow (IT)
+    ASSOCIATION = "association"
+    SPECIALIZATION = "specialization"
+    #: undirected physical connection sharing a conserved quantity (OT);
+    #: our extension for the signal-flow vs quantity-flow split of
+    #: Sec. II-B (SysPhS [5])
+    PHYSICAL_CONNECTION = "physical_connection"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Relationship types along which errors/attacks can propagate, with the
+#: direction of propagation relative to the relation's direction.
+PROPAGATING_FORWARD: FrozenSet[RelationshipType] = frozenset(
+    {
+        RelationshipType.FLOW,
+        RelationshipType.TRIGGERING,
+        RelationshipType.SERVING,
+        RelationshipType.ACCESS,
+        RelationshipType.ASSIGNMENT,
+        RelationshipType.REALIZATION,
+    }
+)
+
+#: Relations that also propagate against their direction (undirected
+#: conservation-law couplings and containment).
+PROPAGATING_BOTH: FrozenSet[RelationshipType] = frozenset(
+    {
+        RelationshipType.PHYSICAL_CONNECTION,
+        RelationshipType.COMPOSITION,
+        RelationshipType.AGGREGATION,
+    }
+)
+
+
+def propagation_directions(relationship: RelationshipType) -> Tuple[bool, bool]:
+    """(forward, backward) propagation capability of a relationship."""
+    if relationship in PROPAGATING_BOTH:
+        return True, True
+    if relationship in PROPAGATING_FORWARD:
+        return True, False
+    return False, False
+
+
+#: Coarse compatibility matrix: which layers a relationship may span.
+#: ArchiMate's full derivation rules are far richer; this is the sanity
+#: level the paper's lightweight modeling needs.
+_CROSS_LAYER_OK: FrozenSet[RelationshipType] = frozenset(
+    {
+        RelationshipType.SERVING,
+        RelationshipType.REALIZATION,
+        RelationshipType.ASSIGNMENT,
+        RelationshipType.FLOW,
+        RelationshipType.ASSOCIATION,
+        RelationshipType.INFLUENCE,
+        RelationshipType.ACCESS,
+        RelationshipType.TRIGGERING,
+        RelationshipType.AGGREGATION,
+        RelationshipType.COMPOSITION,
+        RelationshipType.SPECIALIZATION,
+    }
+)
+
+
+def relationship_allowed(
+    relationship: RelationshipType,
+    source_type: ElementType,
+    target_type: ElementType,
+) -> bool:
+    """Lightweight well-formedness check for a relationship.
+
+    Enforces the two rules that matter for the analysis:
+
+    * :attr:`RelationshipType.PHYSICAL_CONNECTION` may only join physical
+      (OT) elements — IT elements exchange *signals*, not conserved
+      quantities (Sec. II-B);
+    * risk-overlay elements attach through ASSOCIATION / INFLUENCE only.
+    """
+    if relationship is RelationshipType.PHYSICAL_CONNECTION:
+        # devices (sensors/actuators) sit on the IT/OT boundary and may
+        # share a conserved quantity with the physical process
+        def touches_physical(element_type: ElementType) -> bool:
+            return (
+                element_type.layer is Layer.PHYSICAL
+                or element_type is ElementType.DEVICE
+                or element_type is ElementType.EQUIPMENT
+            )
+
+        return touches_physical(source_type) and touches_physical(target_type)
+    risk_involved = Layer.RISK in (source_type.layer, target_type.layer)
+    if risk_involved:
+        return relationship in (
+            RelationshipType.ASSOCIATION,
+            RelationshipType.INFLUENCE,
+            RelationshipType.REALIZATION,
+            RelationshipType.AGGREGATION,
+            RelationshipType.COMPOSITION,
+        )
+    return relationship in _CROSS_LAYER_OK

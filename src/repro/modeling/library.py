@@ -1,0 +1,323 @@
+"""Component-type libraries.
+
+"Component-type libraries support reusing already existing sub-models"
+(paper Fig. 1 step 1).  A :class:`ComponentType` is a reusable template:
+an element type, default properties, the component's *fault modes* and
+its local *propagation behaviour* (does an erroneous input propagate to
+the output?).  :class:`ComponentTypeLibrary` instantiates templates into
+a :class:`~repro.modeling.model.SystemModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .elements import ElementType
+from .model import Element, ModelError, SystemModel
+
+
+@dataclass(frozen=True)
+class FaultModeSpec:
+    """A fault mode a component type can exhibit.
+
+    ``behaviour`` names the qualitative fault model (e.g. ``stuck_at_x``,
+    ``omission``, ``value_error``, ``compromised``) the EPA engine maps
+    to ASP rules; ``severity`` is a label on the severity scale;
+    ``local_effect`` describes the direct effect for reports.
+    """
+
+    name: str
+    behaviour: str
+    severity: str = "major"
+    local_effect: str = ""
+
+    def __str__(self) -> str:
+        return "%s/%s" % (self.name, self.behaviour)
+
+
+@dataclass(frozen=True)
+class PropagationSpec:
+    """Local propagation law of a component type.
+
+    ``transparent`` components pass erroneous inputs to their outputs;
+    ``masking`` components absorb them; ``detecting`` components absorb
+    and raise an alarm.  ``conditional`` defers to a property name that
+    must be truthy on the instance for masking to be active (used for
+    mitigation-controlled propagation).
+    """
+
+    mode: str = "transparent"  # transparent | masking | detecting
+    condition_property: Optional[str] = None
+
+    def __post_init__(self):
+        if self.mode not in ("transparent", "masking", "detecting"):
+            raise ValueError("unknown propagation mode %r" % self.mode)
+
+
+@dataclass(frozen=True)
+class ComponentType:
+    """A reusable component template."""
+
+    name: str
+    element_type: ElementType
+    fault_modes: Tuple[FaultModeSpec, ...] = ()
+    propagation: PropagationSpec = field(default_factory=PropagationSpec)
+    default_properties: Mapping[str, object] = field(default_factory=dict)
+    documentation: str = ""
+
+    def fault_mode(self, name: str) -> FaultModeSpec:
+        for mode in self.fault_modes:
+            if mode.name == name:
+                return mode
+        raise KeyError("component type %r has no fault mode %r" % (self.name, name))
+
+
+class ComponentTypeLibrary:
+    """A named collection of component types."""
+
+    def __init__(self, name: str = "library"):
+        self.name = name
+        self._types: Dict[str, ComponentType] = {}
+
+    def register(self, component_type: ComponentType) -> ComponentType:
+        if component_type.name in self._types:
+            raise ModelError(
+                "component type %r already registered" % component_type.name
+            )
+        self._types[component_type.name] = component_type
+        return component_type
+
+    def define(
+        self,
+        name: str,
+        element_type: ElementType,
+        fault_modes: Sequence[FaultModeSpec] = (),
+        propagation: Optional[PropagationSpec] = None,
+        default_properties: Optional[Mapping[str, object]] = None,
+        documentation: str = "",
+    ) -> ComponentType:
+        """Shorthand to build and register a type in one call."""
+        component_type = ComponentType(
+            name,
+            element_type,
+            tuple(fault_modes),
+            propagation or PropagationSpec(),
+            dict(default_properties or {}),
+            documentation,
+        )
+        return self.register(component_type)
+
+    def get(self, name: str) -> ComponentType:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise ModelError("unknown component type %r" % name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    @property
+    def types(self) -> List[ComponentType]:
+        return list(self._types.values())
+
+    def instantiate(
+        self,
+        model: SystemModel,
+        type_name: str,
+        identifier: str,
+        name: Optional[str] = None,
+        properties: Optional[Mapping[str, object]] = None,
+    ) -> Element:
+        """Create an instance of a library type inside ``model``.
+
+        The instance element records its component type and inherits the
+        template's defaults, fault modes and propagation law in its
+        properties (where the EPA model extraction picks them up).
+        """
+        component_type = self.get(type_name)
+        merged: Dict[str, object] = dict(component_type.default_properties)
+        merged.update(properties or {})
+        merged["component_type"] = component_type.name
+        merged["fault_modes"] = [
+            {
+                "name": mode.name,
+                "behaviour": mode.behaviour,
+                "severity": mode.severity,
+                "local_effect": mode.local_effect,
+            }
+            for mode in component_type.fault_modes
+        ]
+        merged["propagation_mode"] = component_type.propagation.mode
+        if component_type.propagation.condition_property:
+            merged["propagation_condition"] = (
+                component_type.propagation.condition_property
+            )
+        return model.add_element(
+            identifier,
+            name or identifier,
+            component_type.element_type,
+            merged,
+            component_type.documentation,
+        )
+
+
+def standard_cps_library() -> ComponentTypeLibrary:
+    """The built-in IT/OT component-type library.
+
+    Covers the component roles of the paper's water-tank case study plus
+    common IT/OT roles, each with validated fault modes mirroring classic
+    failure-mode taxonomies (omission, stuck-at, value, crash,
+    compromise).
+    """
+    library = ComponentTypeLibrary("standard_cps")
+    library.define(
+        "sensor",
+        ElementType.DEVICE,
+        fault_modes=(
+            FaultModeSpec("no_signal", "omission", "major", "no measurement emitted"),
+            FaultModeSpec("stuck_at_value", "stuck_at_x", "major", "frozen reading"),
+            FaultModeSpec("drift", "value_error", "minor", "biased reading"),
+        ),
+        documentation="Measures a physical quantity and emits a signal.",
+    )
+    library.define(
+        "actuator",
+        ElementType.EQUIPMENT,
+        fault_modes=(
+            FaultModeSpec("stuck_at_open", "stuck_at_x", "critical", "frozen open"),
+            FaultModeSpec("stuck_at_closed", "stuck_at_x", "critical", "frozen closed"),
+            FaultModeSpec("slow_response", "timing_error", "minor", "delayed action"),
+        ),
+        documentation="Converts control signals into physical action.",
+    )
+    library.define(
+        "controller",
+        ElementType.NODE,
+        fault_modes=(
+            FaultModeSpec("crash", "omission", "major", "stops issuing commands"),
+            FaultModeSpec("wrong_output", "value_error", "critical", "bad commands"),
+            FaultModeSpec("compromised", "compromised", "critical", "attacker control"),
+        ),
+        documentation="Closed-loop controller (PLC or soft controller).",
+    )
+    library.define(
+        "hmi",
+        ElementType.APPLICATION_COMPONENT,
+        fault_modes=(
+            FaultModeSpec("no_signal", "omission", "major", "operator display blank"),
+            FaultModeSpec("stale_display", "timing_error", "minor", "stale values"),
+        ),
+        propagation=PropagationSpec("detecting"),
+        documentation="Human-machine interface for the operator.",
+    )
+    library.define(
+        "workstation",
+        ElementType.NODE,
+        fault_modes=(
+            FaultModeSpec("infected", "compromised", "critical", "malware foothold"),
+        ),
+        documentation="Engineering workstation with network access to OT.",
+    )
+    library.define(
+        "plant",
+        ElementType.EQUIPMENT,
+        fault_modes=(
+            FaultModeSpec("leak", "value_error", "major", "loss of contained medium"),
+        ),
+        documentation="The controlled physical process element.",
+    )
+    library.define(
+        "network",
+        ElementType.COMMUNICATION_NETWORK,
+        fault_modes=(
+            FaultModeSpec("partition", "omission", "major", "messages dropped"),
+            FaultModeSpec("mitm", "compromised", "critical", "traffic manipulated"),
+        ),
+        documentation="IT/OT communication network segment.",
+    )
+    library.define(
+        "filter",
+        ElementType.APPLICATION_COMPONENT,
+        propagation=PropagationSpec("masking"),
+        fault_modes=(
+            FaultModeSpec("pass_through", "omission", "minor", "filtering disabled"),
+        ),
+        documentation="Validates/masks erroneous inputs (votes, plausibility).",
+    )
+    library.define(
+        "firewall",
+        ElementType.TECHNOLOGY_SERVICE,
+        propagation=PropagationSpec("masking"),
+        fault_modes=(
+            FaultModeSpec("misconfigured", "value_error", "major", "rules too permissive"),
+            FaultModeSpec("bypassed", "compromised", "critical", "filtering circumvented"),
+        ),
+        documentation="Network boundary control between IT and OT zones.",
+    )
+    library.define(
+        "gateway",
+        ElementType.NODE,
+        fault_modes=(
+            FaultModeSpec("compromised", "compromised", "critical", "pivot into OT"),
+            FaultModeSpec("crash", "omission", "major", "remote access down"),
+        ),
+        default_properties={"exposure": "public"},
+        documentation="Remote-access gateway (VPN/jump host), internet-exposed.",
+    )
+    library.define(
+        "historian",
+        ElementType.NODE,
+        fault_modes=(
+            FaultModeSpec("data_loss", "omission", "minor", "trend data gap"),
+            FaultModeSpec("tampered", "compromised", "major", "falsified records"),
+        ),
+        documentation="Process data historian (OT telemetry archive).",
+    )
+    library.define(
+        "mes_server",
+        ElementType.APPLICATION_COMPONENT,
+        fault_modes=(
+            FaultModeSpec("crash", "omission", "major", "production scheduling stops"),
+            FaultModeSpec("compromised", "compromised", "critical", "rogue work orders"),
+        ),
+        documentation="Manufacturing execution system issuing work orders.",
+    )
+    library.define(
+        "robot",
+        ElementType.EQUIPMENT,
+        fault_modes=(
+            FaultModeSpec("servo_fault", "omission", "major", "arm halts mid-cycle"),
+            FaultModeSpec("path_deviation", "value_error", "critical", "moves off program"),
+        ),
+        documentation="Industrial robot arm executing motion programs.",
+    )
+    library.define(
+        "conveyor",
+        ElementType.EQUIPMENT,
+        fault_modes=(
+            FaultModeSpec("jam", "omission", "minor", "material flow stops"),
+            FaultModeSpec("overspeed", "value_error", "major", "parts misaligned"),
+        ),
+        documentation="Conveyor transporting workpieces between stations.",
+    )
+    library.define(
+        "vision_sensor",
+        ElementType.DEVICE,
+        fault_modes=(
+            FaultModeSpec("blind", "omission", "major", "no inspection result"),
+            FaultModeSpec("misclassification", "value_error", "major", "bad part passes"),
+        ),
+        documentation="Camera-based quality inspection sensor.",
+    )
+    library.define(
+        "safety_plc",
+        ElementType.NODE,
+        propagation=PropagationSpec("detecting"),
+        fault_modes=(
+            FaultModeSpec("forced_outputs", "compromised", "critical", "interlocks overridden"),
+            FaultModeSpec("crash", "omission", "critical", "safety function lost"),
+        ),
+        documentation="Safety PLC enforcing interlocks (SIL-rated).",
+    )
+    return library

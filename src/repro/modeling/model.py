@@ -1,0 +1,286 @@
+"""The system model: a typed, attributed element/relationship graph.
+
+This is the "system model merging the different aspect models into a
+single model sharing a uniform mathematical paradigm" of the paper's
+Fig. 1 step 1.  Aspect models (architecture, dynamics, deployment) are
+:class:`SystemModel` instances merged with :meth:`SystemModel.merge`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+import networkx as nx
+
+from .elements import (
+    ElementType,
+    Layer,
+    RelationshipType,
+    propagation_directions,
+    relationship_allowed,
+)
+
+
+class ModelError(Exception):
+    """Raised for duplicate ids, dangling endpoints, or type violations."""
+
+
+@dataclass
+class Element:
+    """A model element (component, asset, requirement...)."""
+
+    identifier: str
+    name: str
+    type: ElementType
+    properties: Dict[str, object] = field(default_factory=dict)
+    #: optional documentation string shown in reports
+    documentation: str = ""
+
+    @property
+    def layer(self) -> Layer:
+        return self.type.layer
+
+    def __str__(self) -> str:
+        return "%s:%s(%s)" % (self.identifier, self.type.label, self.name)
+
+
+@dataclass
+class Relationship:
+    """A directed, typed relationship between two elements."""
+
+    identifier: str
+    source: str
+    target: str
+    type: RelationshipType
+    properties: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return "%s -%s-> %s" % (self.source, self.type.value, self.target)
+
+
+class SystemModel:
+    """A complete (or aspect) model of the IT/OT system."""
+
+    def __init__(self, name: str = "system"):
+        self.name = name
+        self._elements: Dict[str, Element] = {}
+        self._relationships: Dict[str, Relationship] = {}
+        self._rel_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_element(
+        self,
+        identifier: str,
+        name: str,
+        type: ElementType,
+        properties: Optional[Mapping[str, object]] = None,
+        documentation: str = "",
+    ) -> Element:
+        if identifier in self._elements:
+            raise ModelError("duplicate element id %r" % identifier)
+        element = Element(
+            identifier, name, type, dict(properties or {}), documentation
+        )
+        self._elements[identifier] = element
+        return element
+
+    def add_relationship(
+        self,
+        source: str,
+        target: str,
+        type: RelationshipType,
+        identifier: Optional[str] = None,
+        properties: Optional[Mapping[str, object]] = None,
+        check: bool = True,
+    ) -> Relationship:
+        if source not in self._elements:
+            raise ModelError("unknown source element %r" % source)
+        if target not in self._elements:
+            raise ModelError("unknown target element %r" % target)
+        if check and not relationship_allowed(
+            type, self._elements[source].type, self._elements[target].type
+        ):
+            raise ModelError(
+                "relationship %s not allowed from %s to %s"
+                % (type.value, self._elements[source], self._elements[target])
+            )
+        if identifier is None:
+            identifier = "r%d" % next(self._rel_counter)
+            while identifier in self._relationships:
+                identifier = "r%d" % next(self._rel_counter)
+        elif identifier in self._relationships:
+            raise ModelError("duplicate relationship id %r" % identifier)
+        relationship = Relationship(
+            identifier, source, target, type, dict(properties or {})
+        )
+        self._relationships[identifier] = relationship
+        return relationship
+
+    def remove_element(self, identifier: str) -> None:
+        """Remove an element and every relationship touching it."""
+        if identifier not in self._elements:
+            raise ModelError("unknown element %r" % identifier)
+        del self._elements[identifier]
+        dangling = [
+            rel_id
+            for rel_id, rel in self._relationships.items()
+            if rel.source == identifier or rel.target == identifier
+        ]
+        for rel_id in dangling:
+            del self._relationships[rel_id]
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def element(self, identifier: str) -> Element:
+        try:
+            return self._elements[identifier]
+        except KeyError:
+            raise ModelError("unknown element %r" % identifier) from None
+
+    def has_element(self, identifier: str) -> bool:
+        return identifier in self._elements
+
+    @property
+    def elements(self) -> List[Element]:
+        return list(self._elements.values())
+
+    @property
+    def relationships(self) -> List[Relationship]:
+        return list(self._relationships.values())
+
+    def elements_of_type(self, type: ElementType) -> List[Element]:
+        return [e for e in self._elements.values() if e.type is type]
+
+    def elements_in_layer(self, layer: Layer) -> List[Element]:
+        return [e for e in self._elements.values() if e.layer is layer]
+
+    def relationships_between(
+        self, source: str, target: str
+    ) -> List[Relationship]:
+        return [
+            rel
+            for rel in self._relationships.values()
+            if rel.source == source and rel.target == target
+        ]
+
+    def outgoing(self, identifier: str) -> List[Relationship]:
+        return [r for r in self._relationships.values() if r.source == identifier]
+
+    def incoming(self, identifier: str) -> List[Relationship]:
+        return [r for r in self._relationships.values() if r.target == identifier]
+
+    def neighbors(self, identifier: str) -> Set[str]:
+        result: Set[str] = set()
+        for relationship in self._relationships.values():
+            if relationship.source == identifier:
+                result.add(relationship.target)
+            elif relationship.target == identifier:
+                result.add(relationship.source)
+        return result
+
+    # ------------------------------------------------------------------
+    # aspect merging (Fig. 1 step 1)
+    # ------------------------------------------------------------------
+    def merge(self, other: "SystemModel") -> "SystemModel":
+        """Merge another aspect model into this one, in place.
+
+        Elements with the same id must agree on type; their properties
+        are united (the other aspect wins on conflicts, which lets a
+        deployment aspect override defaults from the architecture
+        aspect).  Relationships with explicit ids are deduplicated.
+        """
+        for element in other.elements:
+            if element.identifier in self._elements:
+                mine = self._elements[element.identifier]
+                if mine.type is not element.type:
+                    raise ModelError(
+                        "aspect conflict on %r: %s vs %s"
+                        % (element.identifier, mine.type, element.type)
+                    )
+                mine.properties.update(element.properties)
+                if element.documentation:
+                    mine.documentation = element.documentation
+            else:
+                self.add_element(
+                    element.identifier,
+                    element.name,
+                    element.type,
+                    element.properties,
+                    element.documentation,
+                )
+        for relationship in other.relationships:
+            if relationship.identifier in self._relationships:
+                continue
+            self.add_relationship(
+                relationship.source,
+                relationship.target,
+                relationship.type,
+                identifier=relationship.identifier,
+                properties=relationship.properties,
+                check=False,
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    # graph views
+    # ------------------------------------------------------------------
+    def to_networkx(self) -> nx.MultiDiGraph:
+        """The raw typed multigraph."""
+        graph = nx.MultiDiGraph(name=self.name)
+        for element in self._elements.values():
+            graph.add_node(
+                element.identifier,
+                name=element.name,
+                type=element.type.label,
+                layer=element.layer.value,
+                **element.properties,
+            )
+        for relationship in self._relationships.values():
+            graph.add_edge(
+                relationship.source,
+                relationship.target,
+                key=relationship.identifier,
+                type=relationship.type.value,
+                **relationship.properties,
+            )
+        return graph
+
+    def propagation_graph(self) -> nx.DiGraph:
+        """Directed graph of possible error-propagation steps.
+
+        Edges follow :func:`propagation_directions`: signal/data flows
+        propagate forward, physical couplings and containment both ways.
+        """
+        graph = nx.DiGraph()
+        for element in self._elements.values():
+            graph.add_node(element.identifier)
+        for relationship in self._relationships.values():
+            forward, backward = propagation_directions(relationship.type)
+            if forward:
+                graph.add_edge(
+                    relationship.source,
+                    relationship.target,
+                    relation=relationship.type.value,
+                )
+            if backward:
+                graph.add_edge(
+                    relationship.target,
+                    relationship.source,
+                    relation=relationship.type.value,
+                )
+        return graph
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __str__(self) -> str:
+        return "SystemModel(%s: %d elements, %d relationships)" % (
+            self.name,
+            len(self._elements),
+            len(self._relationships),
+        )

@@ -1,0 +1,203 @@
+"""Modeling-phase sensitivity support (paper Sec. II-A).
+
+"One such phase is modeling and parametrization, where sensitivity
+analysis-styled support highlights the critical decisions from the
+point of view of the overall result of the impact analysis to reduce
+the impacts of human errors."
+
+Given an analysis function (model -> hazard count or any numeric
+result), these helpers perturb individual modeling decisions — a
+component's propagation mode, a property value, the presence of a
+relationship — and rank the decisions by how much the overall result
+moves.  A decision whose perturbation changes the verdict deserves the
+analyst's scrutiny; robust decisions can be left at their defaults.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .model import SystemModel
+
+#: analysis result extractor: model -> scalar (e.g. violating scenarios)
+Metric = Callable[[SystemModel], float]
+
+
+@dataclass(frozen=True)
+class ModelingDecision:
+    """One perturbable modeling decision."""
+
+    kind: str  # "propagation_mode" | "property" | "relationship"
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:
+        return "%s(%s: %s)" % (self.kind, self.subject, self.detail)
+
+
+@dataclass(frozen=True)
+class DecisionImpact:
+    """Measured impact of perturbing a decision."""
+
+    decision: ModelingDecision
+    baseline: float
+    perturbed: Tuple[float, ...]
+
+    @property
+    def spread(self) -> float:
+        values = (self.baseline,) + self.perturbed
+        return max(values) - min(values)
+
+    @property
+    def critical(self) -> bool:
+        return self.spread > 0
+
+    def __str__(self) -> str:
+        return "%s: baseline=%.3g perturbed=%s spread=%.3g%s" % (
+            self.decision,
+            self.baseline,
+            ",".join("%.3g" % value for value in self.perturbed),
+            self.spread,
+            " [CRITICAL]" if self.critical else "",
+        )
+
+
+def _clone(model: SystemModel) -> SystemModel:
+    clone = SystemModel(model.name)
+    for element in model.elements:
+        clone.add_element(
+            element.identifier,
+            element.name,
+            element.type,
+            copy.deepcopy(element.properties),
+            element.documentation,
+        )
+    for relationship in model.relationships:
+        clone.add_relationship(
+            relationship.source,
+            relationship.target,
+            relationship.type,
+            identifier=relationship.identifier,
+            properties=dict(relationship.properties),
+            check=False,
+        )
+    return clone
+
+
+_PROPAGATION_MODES = ("transparent", "masking", "detecting")
+
+
+def propagation_mode_impacts(
+    model: SystemModel, metric: Metric
+) -> List[DecisionImpact]:
+    """How much does each component's propagation-mode choice matter?"""
+    baseline = metric(model)
+    impacts: List[DecisionImpact] = []
+    for element in model.elements:
+        current = element.properties.get("propagation_mode")
+        if current is None:
+            continue
+        alternatives = [m for m in _PROPAGATION_MODES if m != current]
+        values: List[float] = []
+        for mode in alternatives:
+            perturbed = _clone(model)
+            perturbed.element(element.identifier).properties[
+                "propagation_mode"
+            ] = mode
+            values.append(metric(perturbed))
+        impacts.append(
+            DecisionImpact(
+                ModelingDecision(
+                    "propagation_mode",
+                    element.identifier,
+                    "%s vs %s" % (current, "/".join(alternatives)),
+                ),
+                baseline,
+                tuple(values),
+            )
+        )
+    return rank_impacts(impacts)
+
+
+def property_impacts(
+    model: SystemModel,
+    metric: Metric,
+    property_name: str,
+    alternatives: Sequence[object],
+) -> List[DecisionImpact]:
+    """Perturb one property (e.g. ``exposure``) across its candidates."""
+    baseline = metric(model)
+    impacts: List[DecisionImpact] = []
+    for element in model.elements:
+        if property_name not in element.properties:
+            continue
+        current = element.properties[property_name]
+        values: List[float] = []
+        for value in alternatives:
+            if value == current:
+                continue
+            perturbed = _clone(model)
+            perturbed.element(element.identifier).properties[
+                property_name
+            ] = value
+            values.append(metric(perturbed))
+        if not values:
+            continue
+        impacts.append(
+            DecisionImpact(
+                ModelingDecision(
+                    "property",
+                    element.identifier,
+                    "%s=%s" % (property_name, current),
+                ),
+                baseline,
+                tuple(values),
+            )
+        )
+    return rank_impacts(impacts)
+
+
+def relationship_impacts(
+    model: SystemModel, metric: Metric
+) -> List[DecisionImpact]:
+    """How much does each relationship's presence matter?  Dropping an
+    edge that silently changes the verdict signals either a critical
+    dependency or a modeling shortcut worth double-checking."""
+    baseline = metric(model)
+    impacts: List[DecisionImpact] = []
+    for relationship in model.relationships:
+        perturbed = _clone(model)
+        del perturbed._relationships[relationship.identifier]
+        impacts.append(
+            DecisionImpact(
+                ModelingDecision(
+                    "relationship",
+                    relationship.identifier,
+                    "%s -%s-> %s"
+                    % (
+                        relationship.source,
+                        relationship.type.value,
+                        relationship.target,
+                    ),
+                ),
+                baseline,
+                (metric(perturbed),),
+            )
+        )
+    return rank_impacts(impacts)
+
+
+def rank_impacts(impacts: Sequence[DecisionImpact]) -> List[DecisionImpact]:
+    """Largest spread first (tornado order)."""
+    return sorted(
+        impacts, key=lambda impact: (-impact.spread, str(impact.decision))
+    )
+
+
+def critical_decisions(
+    impacts: Sequence[DecisionImpact],
+) -> List[ModelingDecision]:
+    """The decisions the analyst must get right."""
+    return [impact.decision for impact in impacts if impact.critical]

@@ -1,0 +1,125 @@
+"""Transformation of a system model into ASP facts.
+
+"We used Archimate to model the system ... and then we transformed the
+model to Answer Set Programming to run the evaluation" (Sec. VII).
+The fact schema is the vocabulary the EPA rule base joins against:
+
+========================================  =====================================
+fact                                       meaning
+========================================  =====================================
+``component(C)``                           element C exists
+``component_type(C, T)``                   ArchiMate element type label
+``component_layer(C, L)``                  business/application/technology/...
+``relation(R, S, D, T)``                   typed relationship R: S -> D
+``propagates(S, D)``                       an error at S can reach D directly
+``propagation_mode(C, M)``                 transparent / masking / detecting
+``fault_mode(C, F)``                       component C can exhibit fault F
+``fault_behaviour(C, F, B)``               qualitative fault model of (C, F)
+``fault_severity(C, F, S)``                severity label of (C, F)
+``prop(C, K, V)``                          scalar property K = V on C
+========================================  =====================================
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..asp import Control, to_term
+from ..asp.syntax import Atom, Program, Rule
+from ..asp.terms import Number, String, Symbol, Term
+from .model import SystemModel
+
+
+def _symbolize(value: object) -> Term:
+    """Best-effort conversion of model values into ASP terms."""
+    if isinstance(value, bool):
+        return Symbol("true" if value else "false")
+    if isinstance(value, int):
+        return Number(value)
+    if isinstance(value, float):
+        # qualitative engine works on labels; floats become strings
+        return String(repr(value))
+    if isinstance(value, str):
+        return to_term(value)
+    return String(str(value))
+
+
+def model_facts(model: SystemModel) -> List[Tuple[str, Tuple[Term, ...]]]:
+    """The fact base of a model as (predicate, argument-terms) pairs."""
+    facts: List[Tuple[str, Tuple[Term, ...]]] = []
+    for element in model.elements:
+        identifier = to_term(element.identifier)
+        facts.append(("component", (identifier,)))
+        facts.append(
+            ("component_type", (identifier, Symbol(element.type.label)))
+        )
+        facts.append(
+            ("component_layer", (identifier, Symbol(element.layer.value)))
+        )
+        facts.append(("component_name", (identifier, String(element.name))))
+        for key, value in sorted(element.properties.items()):
+            if key in ("fault_modes",):
+                continue
+            if isinstance(value, (list, dict)):
+                continue
+            facts.append(
+                ("prop", (identifier, Symbol(str(key)), _symbolize(value)))
+            )
+        mode = element.properties.get("propagation_mode", "transparent")
+        facts.append(("propagation_mode", (identifier, Symbol(str(mode)))))
+        for fault in element.properties.get("fault_modes", []) or []:
+            fault_name = to_term(fault["name"])
+            facts.append(("fault_mode", (identifier, fault_name)))
+            facts.append(
+                (
+                    "fault_behaviour",
+                    (identifier, fault_name, Symbol(fault["behaviour"])),
+                )
+            )
+            facts.append(
+                (
+                    "fault_severity",
+                    (identifier, fault_name, Symbol(fault.get("severity", "major"))),
+                )
+            )
+    for relationship in model.relationships:
+        facts.append(
+            (
+                "relation",
+                (
+                    to_term(relationship.identifier),
+                    to_term(relationship.source),
+                    to_term(relationship.target),
+                    Symbol(relationship.type.value),
+                ),
+            )
+        )
+    graph = model.propagation_graph()
+    for source, target in sorted(graph.edges()):
+        facts.append(("propagates", (to_term(source), to_term(target))))
+    return facts
+
+
+def to_asp_program(model: SystemModel) -> Program:
+    """The model's fact base as a parsed ASP :class:`Program`."""
+    program = Program()
+    for predicate, arguments in model_facts(model):
+        program.rules.append(Rule(Atom(predicate, arguments), ()))
+    return program
+
+
+def to_asp_text(model: SystemModel) -> str:
+    """The fact base rendered as ASP source text."""
+    lines = []
+    for predicate, arguments in model_facts(model):
+        lines.append("%s." % Atom(predicate, arguments))
+    return "\n".join(lines)
+
+
+def to_control(model: SystemModel, rules: str = "") -> Control:
+    """A :class:`Control` preloaded with the model facts (plus rules)."""
+    control = Control()
+    control._program.extend(to_asp_program(model))
+    if rules:
+        control.add(rules)
+    return control

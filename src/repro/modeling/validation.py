@@ -1,0 +1,160 @@
+"""Model validation with analyst-friendly diagnostics.
+
+The paper targets "IT system managers of average skills"; the validator
+surfaces modeling mistakes before they silently distort the analysis:
+dangling references, disallowed relationship types, isolated components,
+missing fault modes on analyzable components and IT/OT boundary
+violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List
+
+from .elements import Layer, RelationshipType, relationship_allowed
+from .model import SystemModel
+
+
+class Severity(Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One validation finding."""
+
+    severity: Severity
+    code: str
+    message: str
+    subject: str = ""
+
+    def __str__(self) -> str:
+        return "[%s] %s: %s" % (self.severity.value, self.code, self.message)
+
+
+class ValidationReport:
+    """A collection of diagnostics with convenience queries."""
+
+    def __init__(self, diagnostics: List[Diagnostic]):
+        self.diagnostics = diagnostics
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __str__(self) -> str:
+        if not self.diagnostics:
+            return "model is clean"
+        return "\n".join(str(d) for d in self.diagnostics)
+
+
+def validate(model: SystemModel) -> ValidationReport:
+    """Run every check on ``model``."""
+    diagnostics: List[Diagnostic] = []
+    _check_relationships(model, diagnostics)
+    _check_isolation(model, diagnostics)
+    _check_fault_modes(model, diagnostics)
+    _check_it_ot_boundary(model, diagnostics)
+    return ValidationReport(diagnostics)
+
+
+def _check_relationships(model: SystemModel, out: List[Diagnostic]) -> None:
+    for relationship in model.relationships:
+        source = model.element(relationship.source)
+        target = model.element(relationship.target)
+        if not relationship_allowed(relationship.type, source.type, target.type):
+            out.append(
+                Diagnostic(
+                    Severity.ERROR,
+                    "REL_TYPE",
+                    "relationship %s not allowed between %s and %s"
+                    % (relationship.type.value, source, target),
+                    relationship.identifier,
+                )
+            )
+        if relationship.source == relationship.target:
+            out.append(
+                Diagnostic(
+                    Severity.WARNING,
+                    "SELF_LOOP",
+                    "self-relationship on %s" % source,
+                    relationship.identifier,
+                )
+            )
+
+
+def _check_isolation(model: SystemModel, out: List[Diagnostic]) -> None:
+    for element in model.elements:
+        if element.layer in (Layer.MOTIVATION, Layer.RISK):
+            continue
+        if not model.neighbors(element.identifier):
+            out.append(
+                Diagnostic(
+                    Severity.WARNING,
+                    "ISOLATED",
+                    "component %s has no relationships; it cannot "
+                    "participate in propagation" % element,
+                    element.identifier,
+                )
+            )
+
+
+def _check_fault_modes(model: SystemModel, out: List[Diagnostic]) -> None:
+    for element in model.elements:
+        if element.layer in (Layer.MOTIVATION, Layer.RISK, Layer.BUSINESS):
+            continue
+        if not element.properties.get("fault_modes"):
+            out.append(
+                Diagnostic(
+                    Severity.INFO,
+                    "NO_FAULT_MODES",
+                    "component %s declares no fault modes; only "
+                    "propagation through it will be analyzed" % element,
+                    element.identifier,
+                )
+            )
+
+
+def _check_it_ot_boundary(model: SystemModel, out: List[Diagnostic]) -> None:
+    """Flag direct IT->physical flows that bypass a controller: these are
+    usually modeling shortcuts that hide the attack surface."""
+    for relationship in model.relationships:
+        if relationship.type is not RelationshipType.FLOW:
+            continue
+        source = model.element(relationship.source)
+        target = model.element(relationship.target)
+        if (
+            source.layer in (Layer.APPLICATION, Layer.BUSINESS)
+            and target.layer is Layer.PHYSICAL
+        ):
+            out.append(
+                Diagnostic(
+                    Severity.WARNING,
+                    "IT_OT_SHORTCUT",
+                    "flow from %s layer element %s directly into physical "
+                    "element %s skips the technology layer"
+                    % (source.layer, source, target),
+                    relationship.identifier,
+                )
+            )

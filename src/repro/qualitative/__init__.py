@@ -1,0 +1,77 @@
+"""Qualitative modeling and reasoning substrate.
+
+Implements the paper's "lingua franca" between IT and OT models
+(Sec. II-B): quantity spaces with landmarks, qualitative values and
+uncertain ranges, sign algebra with monotonic influences, QSIM-style
+simulation, and quantization of numeric behaviour into qualitative
+episodes.
+"""
+
+from .abstraction import (
+    Episode,
+    abstraction_error,
+    directions,
+    episodes,
+    landmark_candidates,
+    qualitative_signature,
+    quantize,
+    stationary_points,
+)
+from .relations import (
+    Influence,
+    InfluenceGraph,
+    Sign,
+    sign_add,
+    sign_multiply,
+    sign_sum,
+)
+from .simulation import (
+    QualitativeSimulator,
+    State,
+    Trajectory,
+    make_state,
+    state_dict,
+)
+from .spaces import (
+    QuantitySpace,
+    QuantitySpaceError,
+    consequence_scale_iec61508,
+    five_level_scale,
+    likelihood_scale_iec61508,
+    severity_scale,
+    tank_level_scale,
+    workload_scale,
+)
+from .values import QualitativeRange, QualitativeValue
+
+__all__ = [
+    "Episode",
+    "Influence",
+    "InfluenceGraph",
+    "QualitativeRange",
+    "QualitativeSimulator",
+    "QualitativeValue",
+    "QuantitySpace",
+    "QuantitySpaceError",
+    "Sign",
+    "State",
+    "Trajectory",
+    "abstraction_error",
+    "consequence_scale_iec61508",
+    "directions",
+    "episodes",
+    "five_level_scale",
+    "landmark_candidates",
+    "likelihood_scale_iec61508",
+    "make_state",
+    "qualitative_signature",
+    "quantize",
+    "severity_scale",
+    "sign_add",
+    "sign_multiply",
+    "sign_sum",
+    "state_dict",
+    "stationary_points",
+    "tank_level_scale",
+    "workload_scale",
+]

@@ -1,0 +1,153 @@
+"""Qualitative abstraction of numeric behaviour.
+
+Bridges the numeric and qualitative worlds: quantize sampled waveforms
+into label sequences, compress them into *episodes* (maximal runs of one
+label), and estimate landmark candidates from data.  This is the
+"qualitative abstraction ... at the granularity level of clusters"
+of Sec. II-B, and is what lets the case study's numeric tank simulator
+feed the qualitative EPA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .relations import Sign
+from .spaces import QuantitySpace
+
+
+@dataclass(frozen=True)
+class Episode:
+    """A maximal run of identical qualitative value in a series."""
+
+    label: str
+    start: int
+    end: int  # inclusive index
+    direction: Sign
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start + 1
+
+    def __str__(self) -> str:
+        return "%s[%d..%d]%s" % (self.label, self.start, self.end, self.direction)
+
+
+def quantize(series: Sequence[float], space: QuantitySpace) -> List[str]:
+    """Label every sample of a numeric series."""
+    return space.quantize_series(series)
+
+
+def episodes(
+    series: Sequence[float], space: QuantitySpace, tolerance: float = 1e-9
+) -> List[Episode]:
+    """Compress a numeric series into qualitative episodes.
+
+    Each episode carries the dominant direction of change within the run
+    (PLUS/MINUS/ZERO), computed from the net numeric drift.
+    """
+    values = np.asarray(series, dtype=float)
+    if values.size == 0:
+        return []
+    labels = space.quantize_series(values)
+    result: List[Episode] = []
+    start = 0
+    for position in range(1, len(labels) + 1):
+        if position == len(labels) or labels[position] != labels[start]:
+            drift = float(values[position - 1] - values[start])
+            result.append(
+                Episode(
+                    labels[start],
+                    start,
+                    position - 1,
+                    Sign.of(drift, tolerance),
+                )
+            )
+            start = position
+    return result
+
+
+def qualitative_signature(
+    series: Sequence[float], space: QuantitySpace
+) -> List[str]:
+    """The episode label sequence (consecutive duplicates removed)."""
+    return [episode.label for episode in episodes(series, space)]
+
+
+def directions(series: Sequence[float], tolerance: float = 1e-9) -> List[Sign]:
+    """Per-step qualitative derivative of a series."""
+    values = np.asarray(series, dtype=float)
+    deltas = np.diff(values)
+    return [Sign.of(float(d), tolerance) for d in deltas]
+
+
+def landmark_candidates(
+    series: Sequence[float], count: int
+) -> List[float]:
+    """Suggest ``count`` landmarks by quantile partitioning of the data.
+
+    A modelling aid: when the analyst has measurements but no domain
+    landmarks yet, quantiles split the observed range into equally
+    populated clusters (Sec. II-B's "clusters of identical or similar
+    behaviour").
+    """
+    if count < 1:
+        raise ValueError("need at least one landmark")
+    values = np.asarray(series, dtype=float)
+    if values.size < 2:
+        raise ValueError("need at least two samples")
+    quantiles = np.linspace(0.0, 1.0, count + 2)[1:-1]
+    landmarks = np.quantile(values, quantiles)
+    # enforce strict monotonicity for degenerate data
+    unique: List[float] = []
+    for landmark in landmarks:
+        value = float(landmark)
+        if unique and value <= unique[-1]:
+            value = np.nextafter(unique[-1], np.inf)
+        unique.append(value)
+    return unique
+
+
+def stationary_points(
+    series: Sequence[float], tolerance: float = 1e-9
+) -> List[int]:
+    """Indices where the qualitative derivative changes sign.
+
+    These are natural landmark *time* points of the behaviour (QSIM's
+    qualitative state boundaries).
+    """
+    steps = directions(series, tolerance)
+    points: List[int] = []
+    previous: Optional[Sign] = None
+    for index, sign in enumerate(steps):
+        if sign is Sign.ZERO:
+            continue
+        if previous is not None and sign is not previous:
+            points.append(index)
+        previous = sign
+    return points
+
+
+def abstraction_error(
+    series: Sequence[float], space: QuantitySpace
+) -> float:
+    """Mean absolute distance of samples to their cluster midpoint,
+    normalized by the data range — a rough measure of how much the
+    qualitative abstraction loses (used by the ablation bench)."""
+    values = np.asarray(series, dtype=float)
+    if space.landmarks is None:
+        raise ValueError("space has no landmarks")
+    boundaries = [float(values.min())] + list(space.landmarks) + [float(values.max())]
+    labels = space.quantize_series(values)
+    span = float(values.max() - values.min()) or 1.0
+    total = 0.0
+    for value, label in zip(values, labels):
+        i = space.index(label)
+        low = boundaries[min(i, len(boundaries) - 2)]
+        high = boundaries[min(i + 1, len(boundaries) - 1)]
+        midpoint = (low + high) / 2.0
+        total += abs(value - midpoint)
+    return total / len(values) / span

@@ -1,0 +1,185 @@
+"""Qualitative relations: sign algebra and monotonic influences.
+
+Classic QR machinery (Forbus' Qualitative Process Theory): quantities
+change with qualitative *directions* (signs), and influences between
+quantities are captured by monotonic function constraints ``M+``/``M-``
+and by additive combination of signed influences.  The EPA engine uses
+these to propagate the *direction* of a disturbance through physical
+components without numeric models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Sign(Enum):
+    """Qualitative direction of change: decreasing, steady, increasing,
+    or unknown (the lattice top ``AMBIGUOUS``)."""
+
+    MINUS = "-"
+    ZERO = "0"
+    PLUS = "+"
+    AMBIGUOUS = "?"
+
+    def __neg__(self) -> "Sign":
+        if self is Sign.PLUS:
+            return Sign.MINUS
+        if self is Sign.MINUS:
+            return Sign.PLUS
+        return self
+
+    def __add__(self, other: "Sign") -> "Sign":
+        return sign_add(self, other)
+
+    def __mul__(self, other: "Sign") -> "Sign":
+        return sign_multiply(self, other)
+
+    @classmethod
+    def of(cls, value: float, tolerance: float = 0.0) -> "Sign":
+        """Sign of a numeric value."""
+        if value > tolerance:
+            return cls.PLUS
+        if value < -tolerance:
+            return cls.MINUS
+        return cls.ZERO
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def sign_add(left: Sign, right: Sign) -> Sign:
+    """Qualitative addition: opposite signs yield AMBIGUOUS."""
+    if left is Sign.AMBIGUOUS or right is Sign.AMBIGUOUS:
+        return Sign.AMBIGUOUS
+    if left is Sign.ZERO:
+        return right
+    if right is Sign.ZERO:
+        return left
+    if left is right:
+        return left
+    return Sign.AMBIGUOUS
+
+
+def sign_multiply(left: Sign, right: Sign) -> Sign:
+    """Qualitative multiplication."""
+    if left is Sign.AMBIGUOUS or right is Sign.AMBIGUOUS:
+        return Sign.AMBIGUOUS
+    if left is Sign.ZERO or right is Sign.ZERO:
+        return Sign.ZERO
+    return Sign.PLUS if left is right else Sign.MINUS
+
+
+def sign_sum(signs: Iterable[Sign]) -> Sign:
+    """Fold ``sign_add`` over many influences (empty sum is ZERO)."""
+    total = Sign.ZERO
+    for sign in signs:
+        total = sign_add(total, sign)
+    return total
+
+
+@dataclass(frozen=True)
+class Influence:
+    """A monotonic influence from ``source`` onto ``target``.
+
+    ``polarity`` PLUS encodes an ``M+`` constraint (target moves with the
+    source), MINUS encodes ``M-`` (target moves against it).
+    """
+
+    source: str
+    target: str
+    polarity: Sign
+
+    def __post_init__(self):
+        if self.polarity not in (Sign.PLUS, Sign.MINUS):
+            raise ValueError("influence polarity must be PLUS or MINUS")
+
+    def propagate(self, source_direction: Sign) -> Sign:
+        return sign_multiply(source_direction, self.polarity)
+
+    def __str__(self) -> str:
+        kind = "M+" if self.polarity is Sign.PLUS else "M-"
+        return "%s(%s -> %s)" % (kind, self.source, self.target)
+
+
+class InfluenceGraph:
+    """A network of monotonic influences between named quantities.
+
+    :meth:`propagate` pushes a set of initial disturbance directions
+    through the graph to a fixpoint, combining parallel influences with
+    qualitative addition — the directional core of error propagation in
+    the physical (OT) part of a CPS model.
+    """
+
+    def __init__(self) -> None:
+        self._influences: List[Influence] = []
+        self._by_target: Dict[str, List[Influence]] = {}
+
+    def add(self, source: str, target: str, polarity: Sign) -> Influence:
+        influence = Influence(source, target, polarity)
+        self._influences.append(influence)
+        self._by_target.setdefault(target, []).append(influence)
+        return influence
+
+    def m_plus(self, source: str, target: str) -> Influence:
+        return self.add(source, target, Sign.PLUS)
+
+    def m_minus(self, source: str, target: str) -> Influence:
+        return self.add(source, target, Sign.MINUS)
+
+    @property
+    def quantities(self) -> Tuple[str, ...]:
+        names = []
+        for influence in self._influences:
+            for name in (influence.source, influence.target):
+                if name not in names:
+                    names.append(name)
+        return tuple(names)
+
+    def propagate(
+        self, disturbances: Dict[str, Sign], max_iterations: int = 100
+    ) -> Dict[str, Sign]:
+        """Directions of all quantities after propagating ``disturbances``.
+
+        Quantities without incoming influence keep their disturbance (or
+        ZERO).  Influenced quantities take the qualitative sum of their
+        incoming propagated directions joined with any direct
+        disturbance.  Cyclic graphs reach a fixpoint because directions
+        only move up the lattice ZERO < {PLUS, MINUS} < AMBIGUOUS.
+        """
+        state: Dict[str, Sign] = {name: Sign.ZERO for name in self.quantities}
+        state.update(disturbances)
+        for _ in range(max_iterations):
+            changed = False
+            for name in self.quantities:
+                incoming = self._by_target.get(name, [])
+                if not incoming:
+                    continue
+                influence_sum = sign_sum(
+                    influence.propagate(state[influence.source])
+                    for influence in incoming
+                )
+                combined = sign_add(influence_sum, disturbances.get(name, Sign.ZERO))
+                merged = _lattice_join(state[name], combined)
+                if merged is not state[name]:
+                    state[name] = merged
+                    changed = True
+            if not changed:
+                return state
+        return state
+
+    def __len__(self) -> int:
+        return len(self._influences)
+
+
+def _lattice_join(old: Sign, new: Sign) -> Sign:
+    """Join in the refinement lattice ZERO < PLUS/MINUS < AMBIGUOUS."""
+    if old is new:
+        return old
+    if old is Sign.ZERO:
+        return new
+    if new is Sign.ZERO:
+        return old
+    return Sign.AMBIGUOUS

@@ -1,0 +1,179 @@
+"""QSIM-style qualitative simulation.
+
+A qualitative model has variables living in quantity spaces and a
+*dynamics* function mapping the current qualitative state to a direction
+of change (:class:`~repro.qualitative.relations.Sign`) per variable.
+Simulation advances each variable one label along its space per step,
+branching when a direction is AMBIGUOUS — producing the envelope of all
+qualitatively distinct behaviours, exactly the abstraction level the
+paper's impact analysis needs (Sec. II-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from .relations import Sign
+from .spaces import QuantitySpace, QuantitySpaceError
+
+#: A qualitative state: variable name -> label, as a hashable tuple.
+State = Tuple[Tuple[str, str], ...]
+
+Dynamics = Callable[[Dict[str, str]], Dict[str, Sign]]
+
+
+def make_state(values: Mapping[str, str]) -> State:
+    """Normalize a mapping into the canonical hashable state form."""
+    return tuple(sorted(values.items()))
+
+
+def state_dict(state: State) -> Dict[str, str]:
+    return dict(state)
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """One qualitative behaviour: a sequence of states."""
+
+    states: Tuple[State, ...]
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def labels(self, variable: str) -> List[str]:
+        return [dict(state)[variable] for state in self.states]
+
+    def visits(self, variable: str, label: str) -> bool:
+        return label in self.labels(variable)
+
+    def __str__(self) -> str:
+        parts = []
+        for state in self.states:
+            parts.append(
+                "{%s}" % ", ".join("%s=%s" % item for item in state)
+            )
+        return " -> ".join(parts)
+
+
+class QualitativeSimulator:
+    """Branching qualitative simulator over labelled variables."""
+
+    def __init__(
+        self,
+        spaces: Mapping[str, QuantitySpace],
+        dynamics: Dynamics,
+    ):
+        if not spaces:
+            raise QuantitySpaceError("simulator needs at least one variable")
+        self._spaces = dict(spaces)
+        self._dynamics = dynamics
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(self._spaces)
+
+    def _validate(self, values: Mapping[str, str]) -> None:
+        for variable, space in self._spaces.items():
+            if variable not in values:
+                raise QuantitySpaceError("missing variable %r" % variable)
+            space.index(values[variable])
+
+    def successors(self, state: State) -> List[State]:
+        """All qualitative successor states (>=1; saturates at bounds)."""
+        values = state_dict(state)
+        self._validate(values)
+        directions = self._dynamics(dict(values))
+        options: List[List[Tuple[str, str]]] = []
+        for variable in sorted(self._spaces):
+            space = self._spaces[variable]
+            label = values[variable]
+            direction = directions.get(variable, Sign.ZERO)
+            if direction is Sign.ZERO:
+                choices = [label]
+            elif direction is Sign.PLUS:
+                choices = [space.successor(label) or label]
+            elif direction is Sign.MINUS:
+                choices = [space.predecessor(label) or label]
+            else:  # AMBIGUOUS: branch over stay / up / down
+                choices = [label]
+                up = space.successor(label)
+                down = space.predecessor(label)
+                if up is not None:
+                    choices.append(up)
+                if down is not None:
+                    choices.append(down)
+            options.append([(variable, choice) for choice in choices])
+        successors: List[State] = []
+        self._product(options, 0, [], successors)
+        # dedupe, preserve order
+        seen: Set[State] = set()
+        unique = []
+        for successor in successors:
+            if successor not in seen:
+                seen.add(successor)
+                unique.append(successor)
+        return unique
+
+    def _product(
+        self,
+        options: List[List[Tuple[str, str]]],
+        index: int,
+        prefix: List[Tuple[str, str]],
+        out: List[State],
+    ) -> None:
+        if index == len(options):
+            out.append(tuple(sorted(prefix)))
+            return
+        for choice in options[index]:
+            prefix.append(choice)
+            self._product(options, index + 1, prefix, out)
+            prefix.pop()
+
+    def simulate(
+        self, initial: Mapping[str, str], horizon: int
+    ) -> List[Trajectory]:
+        """All qualitative trajectories of ``horizon`` steps."""
+        start = make_state(initial)
+        self._validate(dict(start))
+        frontier: List[Tuple[State, ...]] = [(start,)]
+        for _ in range(horizon):
+            next_frontier: List[Tuple[State, ...]] = []
+            for path in frontier:
+                for successor in self.successors(path[-1]):
+                    next_frontier.append(path + (successor,))
+            frontier = next_frontier
+        return [Trajectory(path) for path in frontier]
+
+    def reachable(
+        self, initial: Mapping[str, str], horizon: Optional[int] = None
+    ) -> FrozenSet[State]:
+        """States reachable from ``initial`` within ``horizon`` steps
+        (unbounded when ``None`` — terminates because the space is finite)."""
+        start = make_state(initial)
+        self._validate(dict(start))
+        visited: Set[State] = {start}
+        frontier: Set[State] = {start}
+        steps = 0
+        while frontier and (horizon is None or steps < horizon):
+            next_frontier: Set[State] = set()
+            for state in frontier:
+                for successor in self.successors(state):
+                    if successor not in visited:
+                        visited.add(successor)
+                        next_frontier.add(successor)
+            frontier = next_frontier
+            steps += 1
+        return frozenset(visited)
+
+    def can_reach(
+        self,
+        initial: Mapping[str, str],
+        predicate: Callable[[Dict[str, str]], bool],
+        horizon: Optional[int] = None,
+    ) -> bool:
+        """Does any behaviour reach a state satisfying ``predicate``?"""
+        return any(
+            predicate(state_dict(state))
+            for state in self.reachable(initial, horizon)
+        )

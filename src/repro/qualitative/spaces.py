@@ -1,0 +1,204 @@
+"""Quantity spaces: ordered qualitative value domains with landmarks.
+
+Qualitative modeling (Forbus [3,6] in the paper) partitions a continuous
+domain into clusters of similar behaviour along *landmark* values and
+represents each cluster by a discrete label.  A
+:class:`QuantitySpace` is such an ordered label set, optionally carrying
+the numeric landmarks that separate the labels so numeric observations
+can be *quantized* into the space.
+
+Example — the paper's workload scale::
+
+    ws = QuantitySpace("workload", ["low", "medium", "high", "overloaded"],
+                       landmarks=[0.3, 0.6, 0.9])
+    ws.quantize(0.75)   # -> "high"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+class QuantitySpaceError(Exception):
+    """Raised for malformed spaces or out-of-space labels."""
+
+
+@dataclass(frozen=True)
+class QuantitySpace:
+    """An ordered, finite qualitative domain.
+
+    ``labels`` are ordered from the smallest qualitative magnitude to the
+    largest.  ``landmarks``, when given, are the ``len(labels) - 1``
+    strictly increasing numeric boundaries between adjacent labels; the
+    half-open convention is ``value < landmark[i]  =>  labels[i]``.
+    """
+
+    name: str
+    labels: Tuple[str, ...]
+    landmarks: Optional[Tuple[float, ...]] = None
+
+    def __init__(
+        self,
+        name: str,
+        labels: Sequence[str],
+        landmarks: Optional[Sequence[float]] = None,
+    ):
+        if len(labels) < 2:
+            raise QuantitySpaceError("a quantity space needs at least two labels")
+        if len(set(labels)) != len(labels):
+            raise QuantitySpaceError("labels must be unique")
+        if landmarks is not None:
+            if len(landmarks) != len(labels) - 1:
+                raise QuantitySpaceError(
+                    "need %d landmarks for %d labels, got %d"
+                    % (len(labels) - 1, len(labels), len(landmarks))
+                )
+            if any(b <= a for a, b in zip(landmarks, landmarks[1:])):
+                raise QuantitySpaceError("landmarks must be strictly increasing")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "labels", tuple(labels))
+        object.__setattr__(
+            self,
+            "landmarks",
+            tuple(landmarks) if landmarks is not None else None,
+        )
+
+    # ------------------------------------------------------------------
+    # label arithmetic
+    # ------------------------------------------------------------------
+    def index(self, label: str) -> int:
+        try:
+            return self.labels.index(label)
+        except ValueError:
+            raise QuantitySpaceError(
+                "label %r not in space %r %s" % (label, self.name, self.labels)
+            ) from None
+
+    def __contains__(self, label: object) -> bool:
+        return label in self.labels
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def compare(self, left: str, right: str) -> int:
+        """Three-way comparison of two labels in this space's order."""
+        return (self.index(left) > self.index(right)) - (
+            self.index(left) < self.index(right)
+        )
+
+    def successor(self, label: str) -> Optional[str]:
+        """The next-larger label, or None at the top."""
+        position = self.index(label)
+        if position + 1 >= len(self.labels):
+            return None
+        return self.labels[position + 1]
+
+    def predecessor(self, label: str) -> Optional[str]:
+        """The next-smaller label, or None at the bottom."""
+        position = self.index(label)
+        if position == 0:
+            return None
+        return self.labels[position - 1]
+
+    def clamp(self, position: int) -> str:
+        """Label at ``position``, clamped into range."""
+        return self.labels[max(0, min(position, len(self.labels) - 1))]
+
+    def shift(self, label: str, amount: int) -> str:
+        """Move ``amount`` steps along the scale, saturating at the ends."""
+        return self.clamp(self.index(label) + amount)
+
+    @property
+    def bottom(self) -> str:
+        return self.labels[0]
+
+    @property
+    def top(self) -> str:
+        return self.labels[-1]
+
+    def between(self, low: str, high: str) -> Tuple[str, ...]:
+        """All labels from ``low`` to ``high`` inclusive (order checked)."""
+        low_index, high_index = self.index(low), self.index(high)
+        if low_index > high_index:
+            raise QuantitySpaceError("%r is above %r" % (low, high))
+        return self.labels[low_index : high_index + 1]
+
+    # ------------------------------------------------------------------
+    # numeric interface
+    # ------------------------------------------------------------------
+    def quantize(self, value: float) -> str:
+        """Map a numeric value to its qualitative label."""
+        if self.landmarks is None:
+            raise QuantitySpaceError(
+                "space %r has no landmarks: cannot quantize" % self.name
+            )
+        for label, boundary in zip(self.labels, self.landmarks):
+            if value < boundary:
+                return label
+        return self.labels[-1]
+
+    def quantize_series(self, values: Iterable[float]) -> List[str]:
+        return [self.quantize(v) for v in values]
+
+    def __str__(self) -> str:
+        return "%s<%s>" % (self.name, ",".join(self.labels))
+
+
+# ----------------------------------------------------------------------
+# standard spaces used throughout the framework and the paper
+# ----------------------------------------------------------------------
+def five_level_scale(name: str = "ora") -> QuantitySpace:
+    """The O-RA / FAIR qualitative scale: VL, L, M, H, VH (Sec. IV-B)."""
+    return QuantitySpace(name, ("VL", "L", "M", "H", "VH"))
+
+
+def workload_scale() -> QuantitySpace:
+    """The workload example of Sec. II-B."""
+    return QuantitySpace(
+        "workload",
+        ("low", "medium", "high", "overloaded"),
+        landmarks=(0.4, 0.7, 0.95),
+    )
+
+
+def tank_level_scale(capacity: float = 100.0) -> QuantitySpace:
+    """Water-tank level space for the case study (Sec. VII)."""
+    return QuantitySpace(
+        "tank_level",
+        ("empty", "low", "normal", "high", "overflow"),
+        landmarks=(
+            0.05 * capacity,
+            0.30 * capacity,
+            0.70 * capacity,
+            1.00 * capacity,
+        ),
+    )
+
+
+def severity_scale() -> QuantitySpace:
+    """Fault/attack severity (used as ASP cost metric in Sec. II-C)."""
+    return QuantitySpace("severity", ("negligible", "minor", "major", "critical"))
+
+
+def likelihood_scale_iec61508() -> QuantitySpace:
+    """IEC 61508's six likelihood categories (Sec. IV-B)."""
+    return QuantitySpace(
+        "likelihood",
+        (
+            "incredible",
+            "improbable",
+            "remote",
+            "occasional",
+            "probable",
+            "frequent",
+        ),
+    )
+
+
+def consequence_scale_iec61508() -> QuantitySpace:
+    """IEC 61508's four consequence categories (Sec. IV-B)."""
+    return QuantitySpace(
+        "consequence",
+        ("negligible", "marginal", "critical", "catastrophic"),
+    )

@@ -1,0 +1,130 @@
+"""Qualitative values and interval-valued (uncertain) qualitative values.
+
+A :class:`QualitativeValue` is a label anchored in its quantity space.
+A :class:`QualitativeRange` represents epistemic uncertainty about a
+value as a contiguous label interval (e.g. "LM is somewhere between L
+and VH") — the object the sensitivity analysis of Sec. V-A manipulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from .spaces import QuantitySpace, QuantitySpaceError
+
+
+@dataclass(frozen=True)
+class QualitativeValue:
+    """A single label in a quantity space."""
+
+    space: QuantitySpace
+    label: str
+
+    def __post_init__(self):
+        self.space.index(self.label)  # validate
+
+    @property
+    def rank(self) -> int:
+        return self.space.index(self.label)
+
+    def _check_space(self, other: "QualitativeValue") -> None:
+        if self.space.labels != other.space.labels:
+            raise QuantitySpaceError(
+                "cannot compare values across spaces %r and %r"
+                % (self.space.name, other.space.name)
+            )
+
+    def __lt__(self, other: "QualitativeValue") -> bool:
+        self._check_space(other)
+        return self.rank < other.rank
+
+    def __le__(self, other: "QualitativeValue") -> bool:
+        self._check_space(other)
+        return self.rank <= other.rank
+
+    def __gt__(self, other: "QualitativeValue") -> bool:
+        return not self.__le__(other)
+
+    def __ge__(self, other: "QualitativeValue") -> bool:
+        return not self.__lt__(other)
+
+    def shift(self, amount: int) -> "QualitativeValue":
+        return QualitativeValue(self.space, self.space.shift(self.label, amount))
+
+    def __str__(self) -> str:
+        return self.label
+
+
+@dataclass(frozen=True)
+class QualitativeRange:
+    """A contiguous interval of labels, modelling an uncertain value."""
+
+    space: QuantitySpace
+    low: str
+    high: str
+
+    def __post_init__(self):
+        if self.space.index(self.low) > self.space.index(self.high):
+            raise QuantitySpaceError(
+                "range bounds out of order: %s..%s" % (self.low, self.high)
+            )
+
+    @classmethod
+    def exact(cls, space: QuantitySpace, label: str) -> "QualitativeRange":
+        return cls(space, label, label)
+
+    @classmethod
+    def full(cls, space: QuantitySpace) -> "QualitativeRange":
+        return cls(space, space.bottom, space.top)
+
+    @property
+    def is_exact(self) -> bool:
+        return self.low == self.high
+
+    def labels(self) -> Tuple[str, ...]:
+        return self.space.between(self.low, self.high)
+
+    def __iter__(self) -> Iterator[QualitativeValue]:
+        for label in self.labels():
+            yield QualitativeValue(self.space, label)
+
+    def __contains__(self, label: object) -> bool:
+        if isinstance(label, QualitativeValue):
+            label = label.label
+        return label in self.labels()
+
+    def __len__(self) -> int:
+        return len(self.labels())
+
+    def widen(self, steps: int = 1) -> "QualitativeRange":
+        """Expand both bounds by ``steps`` labels (saturating)."""
+        return QualitativeRange(
+            self.space,
+            self.space.shift(self.low, -steps),
+            self.space.shift(self.high, steps),
+        )
+
+    def intersect(self, other: "QualitativeRange") -> "QualitativeRange":
+        low = max(self.space.index(self.low), self.space.index(other.low))
+        high = min(self.space.index(self.high), self.space.index(other.high))
+        if low > high:
+            raise QuantitySpaceError(
+                "empty intersection of %s and %s" % (self, other)
+            )
+        return QualitativeRange(
+            self.space, self.space.labels[low], self.space.labels[high]
+        )
+
+    def union(self, other: "QualitativeRange") -> "QualitativeRange":
+        """Smallest contiguous range covering both."""
+        low = min(self.space.index(self.low), self.space.index(other.low))
+        high = max(self.space.index(self.high), self.space.index(other.high))
+        return QualitativeRange(
+            self.space, self.space.labels[low], self.space.labels[high]
+        )
+
+    def __str__(self) -> str:
+        if self.is_exact:
+            return self.low
+        return "%s..%s" % (self.low, self.high)

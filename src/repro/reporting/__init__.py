@@ -1,0 +1,37 @@
+"""Terminal/markdown reporting of framework artifacts."""
+
+from .document import assessment_document
+from .serialize import (
+    assessment_to_dict,
+    plan_to_dict,
+    register_to_dict,
+    report_to_dict,
+    scenario_to_dict,
+)
+from .report import (
+    analysis_results_report,
+    assessment_report,
+    epa_report_table,
+    propagation_path_report,
+    risk_matrix_report,
+    risk_register_report,
+)
+from .tables import render_markdown, render_matrix_grid, render_table
+
+__all__ = [
+    "analysis_results_report",
+    "assessment_document",
+    "assessment_to_dict",
+    "assessment_report",
+    "epa_report_table",
+    "plan_to_dict",
+    "register_to_dict",
+    "report_to_dict",
+    "propagation_path_report",
+    "render_markdown",
+    "render_matrix_grid",
+    "scenario_to_dict",
+    "render_table",
+    "risk_matrix_report",
+    "risk_register_report",
+]

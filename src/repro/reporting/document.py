@@ -1,0 +1,171 @@
+"""Markdown assessment documents.
+
+The paper inspects results "in a form of a Jupyter Notebook"; this
+builder produces the equivalent shareable artifact: a single markdown
+document with the model inventory, scenario analysis, risk register,
+propagation explanations and the mitigation strategy — the hand-over
+document an SME analyst would archive or attach to a ticket.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..epa.explain import explain_outcome
+from ..risk.matrix import ora_risk_matrix
+from .tables import render_markdown
+
+
+def assessment_document(result, title: Optional[str] = None) -> str:
+    """Render an ``AssessmentResult`` (from :mod:`repro.core`) as markdown."""
+    lines: List[str] = []
+    lines.append("# %s" % (title or "Risk Assessment: %s" % result.model.name))
+    lines.append("")
+
+    # ---- pipeline audit -------------------------------------------------
+    lines.append("## Assessment pipeline")
+    lines.append("")
+    lines.append(
+        render_markdown(
+            ["phase", "step", "summary"],
+            [[p.number, p.name, p.summary] for p in result.phases],
+        )
+    )
+    lines.append("")
+
+    # ---- model inventory -------------------------------------------------
+    lines.append("## System model")
+    lines.append("")
+    lines.append(
+        render_markdown(
+            ["component", "name", "type", "layer"],
+            [
+                [e.identifier, e.name, e.type.label, e.layer.value]
+                for e in sorted(result.model.elements, key=lambda e: e.identifier)
+            ],
+        )
+    )
+    lines.append("")
+    if result.validation.diagnostics:
+        lines.append("### Validation diagnostics")
+        lines.append("")
+        for diagnostic in result.validation:
+            lines.append("- %s" % diagnostic)
+        lines.append("")
+
+    # ---- hazards ----------------------------------------------------------
+    lines.append("## Hazard identification")
+    lines.append("")
+    lines.append(
+        "%d scenarios analyzed, %d violate requirements."
+        % (len(result.report), len(result.hazards))
+    )
+    lines.append("")
+    if result.hazards:
+        lines.append(
+            render_markdown(
+                ["scenario", "violated", "severity rank"],
+                [
+                    [
+                        "`%s`" % ("+".join(o.key()) or "nominal"),
+                        ", ".join(sorted(o.violated)),
+                        o.severity_rank,
+                    ]
+                    for o in result.hazards
+                ],
+            )
+        )
+        lines.append("")
+
+    # ---- risk register -----------------------------------------------------
+    lines.append("## Risk register")
+    lines.append("")
+    lines.append(
+        render_markdown(
+            ["scenario", "LEF", "LM", "risk", "violates"],
+            [
+                [
+                    "`%s`" % entry.scenario,
+                    entry.loss_event_frequency,
+                    entry.loss_magnitude,
+                    "**%s**" % entry.risk,
+                    ", ".join(entry.violated_requirements),
+                ]
+                for entry in result.register
+            ],
+        )
+    )
+    lines.append("")
+    worst = result.register.worst()
+    if worst is not None:
+        lines.append(
+            "Worst scenario: `%s` at risk **%s** (via the O-RA matrix: "
+            "LM=%s x LEF=%s)."
+            % (
+                worst.scenario,
+                worst.risk,
+                worst.loss_magnitude,
+                worst.loss_event_frequency,
+            )
+        )
+        lines.append("")
+
+    # ---- explanations --------------------------------------------------------
+    top = result.hazards[:3]
+    if top:
+        lines.append("## Why the top hazards happen")
+        lines.append("")
+        for outcome in top:
+            explanation = explain_outcome(outcome, result.model)
+            lines.append("### `%s`" % ("+".join(outcome.key()) or "nominal"))
+            lines.append("")
+            lines.append(explanation.headline)
+            for entry in explanation.propagation:
+                lines.append("- %s" % entry)
+            lines.append("")
+
+    # ---- mitigation strategy ----------------------------------------------
+    lines.append("## Mitigation strategy")
+    lines.append("")
+    if result.plan is None:
+        lines.append("No mitigation plan was computed.")
+    else:
+        lines.append(
+            "Deploy: %s (cost %d), blocking %d of %d scenarios."
+            % (
+                ", ".join("`%s`" % m for m in sorted(result.plan.deployed)),
+                result.plan.cost,
+                len(result.plan.blocked),
+                len(result.plan.blocked) + len(result.plan.unblocked),
+            )
+        )
+        if result.cost_benefit is not None:
+            lines.append("")
+            lines.append(
+                "Cost-benefit: avoided loss %d vs plan cost %d -> net %+d (%s)."
+                % (
+                    result.cost_benefit.avoided_loss,
+                    result.cost_benefit.plan_cost,
+                    result.cost_benefit.net_benefit,
+                    "worthwhile"
+                    if result.cost_benefit.worthwhile
+                    else "not worthwhile",
+                )
+            )
+    lines.append("")
+
+    # ---- appendix -------------------------------------------------------------
+    lines.append("## Appendix: O-RA risk matrix (Table I)")
+    lines.append("")
+    matrix = ora_risk_matrix()
+    lines.append(
+        render_markdown(
+            ["LM \\ LEF"] + list(matrix.column_space.labels),
+            [
+                [row] + [matrix.classify(row, c) for c in matrix.column_space.labels]
+                for row in reversed(matrix.row_space.labels)
+            ],
+        )
+    )
+    lines.append("")
+    return "\n".join(lines)

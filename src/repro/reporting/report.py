@@ -1,0 +1,102 @@
+"""Report builders for the framework's artifacts.
+
+Renders the paper's tables and the pipeline outputs in terminal-friendly
+form: the O-RA risk matrix (Table I), the case-study analysis results
+(Table II layout), risk registers, mitigation plans and full assessment
+reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..epa.results import EpaReport, ScenarioOutcome
+from ..risk.assessment import RiskRegister
+from ..risk.matrix import RiskMatrix
+from .tables import render_matrix_grid, render_table
+
+
+def risk_matrix_report(matrix: RiskMatrix) -> str:
+    """Table I layout: Loss Magnitude rows top-down from VH to VL."""
+    rows_top_down = list(reversed(matrix.row_space.labels))
+    grid = render_matrix_grid(
+        rows_top_down,
+        list(matrix.column_space.labels),
+        matrix.classify,
+        corner="%s \\ %s" % (matrix.row_space.name, matrix.column_space.name),
+    )
+    return "%s risk matrix\n%s" % (matrix.name, grid)
+
+
+def analysis_results_report(rows: Sequence["object"]) -> str:
+    """Table II layout for the case study's :class:`TableRow` entries."""
+    headers = ["", "F1", "F2", "F3", "F4", "M1", "M2", "R1", "R2"]
+    return render_table(
+        headers,
+        [row.cells() for row in rows],
+        title="Analysis Results (Table II)",
+    )
+
+
+def epa_report_table(report: EpaReport, max_rows: Optional[int] = None) -> str:
+    """Generic scenario/violation table for any EPA report."""
+    headers = ["scenario", "faults", "violated", "severity"]
+    rows = []
+    for outcome in report.outcomes[: max_rows or len(report.outcomes)]:
+        rows.append(
+            [
+                "+".join(outcome.key()) or "(nominal)",
+                str(outcome.fault_count),
+                ", ".join(sorted(outcome.violated)) or "-",
+                str(outcome.severity_rank),
+            ]
+        )
+    return render_table(headers, rows, title="EPA scenario analysis")
+
+
+def risk_register_report(register: RiskRegister) -> str:
+    headers = ["scenario", "LEF", "LM", "Risk", "violates"]
+    rows = [
+        [
+            entry.scenario,
+            entry.loss_event_frequency,
+            entry.loss_magnitude,
+            entry.risk,
+            ", ".join(entry.violated_requirements) or "-",
+        ]
+        for entry in register
+    ]
+    return render_table(headers, rows, title="Risk register (worst first)")
+
+
+def propagation_path_report(outcome: ScenarioOutcome) -> str:
+    """Human-readable propagation paths of one scenario."""
+    if not outcome.paths:
+        return "no propagation paths recorded"
+    lines = []
+    for requirement, steps in sorted(outcome.paths.items()):
+        chain = " -> ".join(
+            [steps[0].source] + [step.target for step in steps]
+        )
+        lines.append("%s: %s" % (requirement, chain))
+    return "\n".join(lines)
+
+
+def assessment_report(result: "object") -> str:
+    """Full pipeline report (``AssessmentResult`` from repro.core)."""
+    sections: List[str] = []
+    sections.append("ASSESSMENT REPORT: %s" % result.model.name)
+    sections.append("")
+    sections.append("Pipeline phases")
+    sections.append("---------------")
+    sections.extend(str(phase) for phase in result.phases)
+    sections.append("")
+    sections.append(epa_report_table(result.report, max_rows=25))
+    sections.append("")
+    sections.append(risk_register_report(result.register))
+    if result.plan is not None:
+        sections.append("")
+        sections.append("Mitigation plan: %s" % result.plan)
+    if result.cost_benefit is not None:
+        sections.append("Cost-benefit: %s" % result.cost_benefit)
+    return "\n".join(sections)

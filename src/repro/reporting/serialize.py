@@ -1,0 +1,124 @@
+"""JSON-friendly serialization of assessment artifacts.
+
+Tooling around the framework (dashboards, ticketing integrations, diff
+tools between assessment runs) needs machine-readable output next to the
+human-readable tables; these converters produce plain dict/list
+structures ready for ``json.dumps``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..epa.results import EpaReport, ScenarioOutcome
+from ..mitigation.optimizer import MitigationPlan
+from ..risk.assessment import RiskRegister
+
+
+def scenario_to_dict(outcome: ScenarioOutcome) -> Dict[str, object]:
+    return {
+        "faults": sorted(str(f) for f in outcome.active_faults),
+        "violated": sorted(outcome.violated),
+        "erroneous": {
+            component: sorted(kinds)
+            for component, kinds in sorted(outcome.erroneous.items())
+        },
+        "detected_at": sorted(outcome.detected_at),
+        "severity_rank": outcome.severity_rank,
+        "paths": {
+            requirement: [
+                {"source": step.source, "target": step.target}
+                for step in steps
+            ]
+            for requirement, steps in sorted(outcome.paths.items())
+        },
+    }
+
+
+def report_to_dict(report: EpaReport) -> Dict[str, object]:
+    return {
+        "requirements": list(report.requirements),
+        "active_mitigations": {
+            component: list(mitigations)
+            for component, mitigations in sorted(
+                report.active_mitigations.items()
+            )
+        },
+        "scenario_count": len(report),
+        "violating_count": len(report.violating()),
+        "scenarios": [scenario_to_dict(o) for o in report.outcomes],
+        "violation_counts": report.violation_counts(),
+        "criticality": report.criticality(),
+    }
+
+
+def register_to_dict(register: RiskRegister) -> List[Dict[str, object]]:
+    return [
+        {
+            "scenario": entry.scenario,
+            "loss_event_frequency": entry.loss_event_frequency,
+            "loss_magnitude": entry.loss_magnitude,
+            "risk": entry.risk,
+            "violated_requirements": list(entry.violated_requirements),
+            "mutations": list(entry.mutations),
+        }
+        for entry in register
+    ]
+
+
+def plan_to_dict(plan: MitigationPlan) -> Dict[str, object]:
+    return {
+        "deployed": sorted(plan.deployed),
+        "cost": plan.cost,
+        "blocked": sorted(plan.blocked),
+        "unblocked": sorted(plan.unblocked),
+        "residual_risk_weight": plan.residual_risk_weight,
+        "complete": plan.complete,
+    }
+
+
+def assessment_to_dict(result) -> Dict[str, object]:
+    """Serialize an ``AssessmentResult`` (from :mod:`repro.core`)."""
+    payload: Dict[str, object] = {
+        "model": {
+            "name": result.model.name,
+            "elements": len(result.model.elements),
+            "relationships": len(result.model.relationships),
+        },
+        "phases": [
+            {"number": p.number, "name": p.name, "summary": p.summary}
+            for p in result.phases
+        ],
+        "validation": {
+            "ok": result.validation.ok,
+            "diagnostics": [str(d) for d in result.validation],
+        },
+        "mutations": [
+            {
+                "component": m.component,
+                "fault": m.fault,
+                "behaviour": m.behaviour,
+                "origin_kind": m.origin_kind,
+                "origin": m.origin,
+                "severity": m.severity,
+            }
+            for m in result.mutations
+        ],
+        "report": report_to_dict(result.report),
+        "register": register_to_dict(result.register),
+    }
+    payload["plan"] = (
+        plan_to_dict(result.plan) if result.plan is not None else None
+    )
+    payload["cost_benefit"] = (
+        {
+            "plan_cost": result.cost_benefit.plan_cost,
+            "avoided_loss": result.cost_benefit.avoided_loss,
+            "residual_loss": result.cost_benefit.residual_loss,
+            "net_benefit": result.cost_benefit.net_benefit,
+            "worthwhile": result.cost_benefit.worthwhile,
+        }
+        if result.cost_benefit is not None
+        else None
+    )
+    return payload

@@ -1,0 +1,79 @@
+"""Plain-text table rendering.
+
+The paper inspects results "in a form of a Jupyter Notebook"; in a
+library setting the equivalent is terminal/markdown tables.  These
+helpers render aligned ASCII and GitHub-markdown tables used by the
+report builders and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Aligned ASCII table with a header separator."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    columns = len(headers)
+    for row in materialized:
+        if len(row) != columns:
+            raise ValueError(
+                "row has %d cells, expected %d" % (len(row), columns)
+            )
+    widths = [len(str(header)) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return " | ".join(
+            cell.ljust(widths[index]) for index, cell in enumerate(cells)
+        ).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(format_row([str(h) for h in headers]))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in materialized:
+        lines.append(format_row(row))
+    return "\n".join(lines)
+
+
+def render_markdown(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> str:
+    """GitHub-flavoured markdown table."""
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        cells = [str(cell) for cell in row]
+        if len(cells) != len(headers):
+            raise ValueError("row width mismatch")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def render_matrix_grid(
+    row_labels: Sequence[str],
+    column_labels: Sequence[str],
+    cell: "callable",
+    corner: str = "",
+) -> str:
+    """Render a labelled 2-D grid (risk matrices), rows top-down."""
+    headers = [corner] + [str(c) for c in column_labels]
+    rows = []
+    for row_label in row_labels:
+        rows.append(
+            [str(row_label)]
+            + [str(cell(row_label, column)) for column in column_labels]
+        )
+    return render_table(headers, rows)

@@ -1,0 +1,75 @@
+"""Qualitative risk quantization (paper Sec. IV-B, V-A).
+
+The O-RA 5x5 risk matrix (Table I), the IEC 61508 risk-class matrix, the
+Open FAIR attribute tree (Fig. 2) with uncertainty-propagating
+derivation, sensitivity analysis of risk factors, and the scenario risk
+register coupling EPA results to risk labels.
+"""
+
+from .assessment import (
+    RiskEntry,
+    RiskRegister,
+    frequency_of_attack,
+    frequency_of_simultaneous,
+    magnitude_of_violations,
+)
+from .fair import (
+    ATTRIBUTES,
+    LEAVES,
+    FairDerivation,
+    FairError,
+    FairModel,
+    combine_frequency,
+    combine_magnitude,
+    combine_vulnerability,
+)
+from .matrix import (
+    RiskMatrix,
+    RiskMatrixError,
+    iec61508_risk_matrix,
+    matrix_from_mapping,
+    ora_risk_matrix,
+)
+from .sil import (
+    SilRecommendation,
+    classify_from_ora,
+    classify_hazard,
+    sil_register,
+)
+from .sensitivity import (
+    SensitivityResult,
+    full_factorial,
+    one_at_a_time,
+    rank_factors,
+    requires_further_evaluation,
+)
+
+__all__ = [
+    "ATTRIBUTES",
+    "LEAVES",
+    "FairDerivation",
+    "FairError",
+    "FairModel",
+    "RiskEntry",
+    "RiskMatrix",
+    "RiskMatrixError",
+    "RiskRegister",
+    "SensitivityResult",
+    "SilRecommendation",
+    "classify_from_ora",
+    "classify_hazard",
+    "combine_frequency",
+    "combine_magnitude",
+    "combine_vulnerability",
+    "frequency_of_attack",
+    "frequency_of_simultaneous",
+    "full_factorial",
+    "iec61508_risk_matrix",
+    "magnitude_of_violations",
+    "matrix_from_mapping",
+    "one_at_a_time",
+    "ora_risk_matrix",
+    "rank_factors",
+    "sil_register",
+    "requires_further_evaluation",
+]

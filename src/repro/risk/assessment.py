@@ -1,0 +1,144 @@
+"""Scenario risk quantization (paper Fig. 1 step 6, Sec. IV-B).
+
+Couples the EPA results to the qualitative risk instruments: each
+analyzed scenario gets a Loss Event Frequency estimate (from how easily
+its faults/attacks activate) and a Loss Magnitude (from the severity of
+the requirement violations it causes), combined through the O-RA matrix
+into the scenario's Risk label.  The resulting :class:`RiskRegister` is
+the prioritization artifact the paper motivates ("prioritize the faults
+and vulnerabilities based on their severity and potential impact").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..qualitative.spaces import five_level_scale
+from .matrix import RiskMatrix, ora_risk_matrix
+
+Scale = five_level_scale()
+
+
+@dataclass(frozen=True)
+class RiskEntry:
+    """One prioritized scenario in the risk register."""
+
+    scenario: str
+    description: str
+    loss_event_frequency: str
+    loss_magnitude: str
+    risk: str
+    violated_requirements: Tuple[str, ...] = ()
+    mutations: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        return "%s: LEF=%s LM=%s -> Risk=%s (violates: %s)" % (
+            self.scenario,
+            self.loss_event_frequency,
+            self.loss_magnitude,
+            self.risk,
+            ", ".join(self.violated_requirements) or "-",
+        )
+
+
+class RiskRegister:
+    """Scenario risks, ordered worst-first."""
+
+    def __init__(self, matrix: Optional[RiskMatrix] = None):
+        self._matrix = matrix or ora_risk_matrix()
+        self._entries: List[RiskEntry] = []
+
+    def add(
+        self,
+        scenario: str,
+        loss_event_frequency: str,
+        loss_magnitude: str,
+        description: str = "",
+        violated_requirements: Sequence[str] = (),
+        mutations: Sequence[str] = (),
+    ) -> RiskEntry:
+        risk = self._matrix.classify(loss_magnitude, loss_event_frequency)
+        entry = RiskEntry(
+            scenario,
+            description,
+            loss_event_frequency,
+            loss_magnitude,
+            risk,
+            tuple(violated_requirements),
+            tuple(mutations),
+        )
+        self._entries.append(entry)
+        return entry
+
+    @property
+    def entries(self) -> List[RiskEntry]:
+        return sorted(
+            self._entries,
+            key=lambda e: (-Scale.index(e.risk), e.scenario),
+        )
+
+    def worst(self) -> Optional[RiskEntry]:
+        entries = self.entries
+        return entries[0] if entries else None
+
+    def above(self, threshold: str) -> List[RiskEntry]:
+        """Entries at or above a risk label — the 'fix first' list."""
+        rank = Scale.index(threshold)
+        return [e for e in self.entries if Scale.index(e.risk) >= rank]
+
+    def by_scenario(self, scenario: str) -> RiskEntry:
+        for entry in self._entries:
+            if entry.scenario == scenario:
+                return entry
+        raise KeyError("no entry for scenario %r" % scenario)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+
+# ----------------------------------------------------------------------
+# qualitative estimators
+# ----------------------------------------------------------------------
+_SEVERITY_TO_LM = {"VL": "VL", "L": "L", "M": "M", "H": "H", "VH": "VH"}
+
+#: simultaneous independent fault activations get rarer with count —
+#: the paper's S5-vs-S7 observation ("the potential probability of the
+#: simultaneous occurrence of all faults is much lower")
+def frequency_of_simultaneous(count: int, base: str = "M") -> str:
+    """LEF estimate for a scenario activating ``count`` independent
+    faults: each extra simultaneous fault steps the frequency down."""
+    if count <= 0:
+        return "VL"
+    return Scale.shift(base, -(count - 1))
+
+
+def magnitude_of_violations(
+    violated: Sequence[str],
+    requirement_magnitudes: Mapping[str, str],
+    default: str = "M",
+) -> str:
+    """LM of a scenario: the worst magnitude among violated requirements
+    (VL when nothing is violated)."""
+    if not violated:
+        return "VL"
+    ranks = [
+        Scale.index(requirement_magnitudes.get(name, default))
+        for name in violated
+    ]
+    return Scale.labels[max(ranks)]
+
+
+def frequency_of_attack(difficulties: Sequence[str], base: str = "H") -> str:
+    """LEF estimate for an attack chain from step difficulties.
+
+    Harder steps lower the event frequency; the chain is as frequent as
+    its hardest step allows.
+    """
+    penalty = 0
+    for difficulty in difficulties:
+        penalty += {"L": 0, "M": 1, "H": 2}.get(difficulty, 1)
+    return Scale.shift(base, -penalty)

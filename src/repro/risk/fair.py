@@ -1,0 +1,203 @@
+"""The Open FAIR risk-attribute tree (paper Fig. 2).
+
+O-RA decomposes Risk into a tree of qualitative attributes::
+
+    Risk
+    ├── Loss Event Frequency (LEF)
+    │   ├── Threat Event Frequency (TEF)
+    │   │   ├── Contact Frequency (CF)
+    │   │   └── Probability of Action (PoA)
+    │   └── Vulnerability (VULN)
+    │       ├── Threat Capability (TCap)
+    │       └── Resistance Strength (RS)
+    └── Loss Magnitude (LM)
+        ├── Primary Loss (PL)
+        └── Secondary Risk (SR)
+            ├── Secondary Loss Event Frequency (SLEF)
+            └── Secondary Loss Magnitude (SLM)
+
+Every attribute lives on the VL..VH scale.  Interior nodes combine their
+children with qualitative rules; Risk itself uses the O-RA matrix
+(Table I).  The derivation accepts uncertain inputs
+(:class:`~repro.qualitative.values.QualitativeRange`) and then returns
+the output *range* — which is what the Sec. V-A sensitivity analysis
+inspects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from ..qualitative.spaces import QuantitySpace, five_level_scale
+from ..qualitative.values import QualitativeRange
+from .matrix import RiskMatrix, ora_risk_matrix
+
+Scale = five_level_scale()
+
+LabelOrRange = Union[str, QualitativeRange]
+
+#: the ten leaf attributes of Fig. 2
+LEAVES = (
+    "contact_frequency",
+    "probability_of_action",
+    "threat_capability",
+    "resistance_strength",
+    "primary_loss",
+    "secondary_lef",
+    "secondary_lm",
+)
+
+#: all attribute names, leaves and derived
+ATTRIBUTES = LEAVES + (
+    "tef",
+    "vulnerability",
+    "lef",
+    "secondary_risk",
+    "lm",
+    "risk",
+)
+
+
+class FairError(Exception):
+    """Raised for unknown attributes or labels."""
+
+
+def _rank(label: str) -> int:
+    return Scale.index(label)
+
+
+def _label(rank: int) -> str:
+    return Scale.clamp(rank)
+
+
+def combine_frequency(left: str, right: str) -> str:
+    """TEF from CF and PoA; LEF from TEF and VULN.
+
+    An event needs both contact *and* action (conjunctive), so the
+    qualitative rule is the minimum of the two factors — the standard
+    conservative reading of FAIR's multiplicative relation on ordinal
+    scales.
+    """
+    return _label(min(_rank(left), _rank(right)))
+
+
+def combine_vulnerability(threat_capability: str, resistance_strength: str) -> str:
+    """Vulnerability compares attacker capability against resistance.
+
+    The qualitative rule maps the rank difference onto the scale:
+    capability far above resistance -> VH susceptibility, far below ->
+    VL, equal -> M.
+    """
+    difference = _rank(threat_capability) - _rank(resistance_strength)
+    return _label(2 + max(-2, min(2, difference)))
+
+
+def combine_magnitude(primary: str, secondary: str) -> str:
+    """LM aggregates primary and secondary loss: the dominant one."""
+    return _label(max(_rank(primary), _rank(secondary)))
+
+
+@dataclass
+class FairDerivation:
+    """A full derivation: every attribute's resulting label range."""
+
+    values: Dict[str, QualitativeRange]
+
+    def label(self, attribute: str) -> str:
+        """Exact label of an attribute (error if still uncertain)."""
+        value = self.range(attribute)
+        if not value.is_exact:
+            raise FairError(
+                "attribute %r is uncertain (%s); use .range()" % (attribute, value)
+            )
+        return value.low
+
+    def range(self, attribute: str) -> QualitativeRange:
+        try:
+            return self.values[attribute]
+        except KeyError:
+            raise FairError("unknown attribute %r" % attribute) from None
+
+    @property
+    def risk(self) -> QualitativeRange:
+        return self.values["risk"]
+
+    def __str__(self) -> str:
+        parts = ["%s=%s" % (name, self.values[name]) for name in ATTRIBUTES]
+        return " ".join(parts)
+
+
+class FairModel:
+    """Evaluator of the Fig. 2 attribute tree."""
+
+    def __init__(self, matrix: Optional[RiskMatrix] = None):
+        self._matrix = matrix or ora_risk_matrix()
+
+    def derive(self, **leaves: LabelOrRange) -> FairDerivation:
+        """Derive every attribute from leaf assignments.
+
+        Leaves may be exact labels or :class:`QualitativeRange` values;
+        uncertainty propagates: a derived attribute's range is the set of
+        outcomes over all combinations of the input ranges.  Unknown
+        leaves default to the full VL..VH range.
+        """
+        ranges: Dict[str, QualitativeRange] = {}
+        for name in LEAVES:
+            value = leaves.pop(name, None)
+            if value is None:
+                ranges[name] = QualitativeRange.full(Scale)
+            elif isinstance(value, QualitativeRange):
+                ranges[name] = value
+            else:
+                ranges[name] = QualitativeRange.exact(Scale, str(value))
+        if leaves:
+            raise FairError(
+                "unknown leaf attribute(s): %s" % ", ".join(sorted(leaves))
+            )
+        ranges["tef"] = _lift(
+            combine_frequency,
+            ranges["contact_frequency"],
+            ranges["probability_of_action"],
+        )
+        ranges["vulnerability"] = _lift(
+            combine_vulnerability,
+            ranges["threat_capability"],
+            ranges["resistance_strength"],
+        )
+        ranges["lef"] = _lift(
+            combine_frequency, ranges["tef"], ranges["vulnerability"]
+        )
+        ranges["secondary_risk"] = _lift(
+            self._matrix_rule, ranges["secondary_lm"], ranges["secondary_lef"]
+        )
+        ranges["lm"] = _lift(
+            combine_magnitude, ranges["primary_loss"], ranges["secondary_risk"]
+        )
+        ranges["risk"] = _lift(self._matrix_rule, ranges["lm"], ranges["lef"])
+        return FairDerivation(ranges)
+
+    def risk_label(self, loss_magnitude: str, loss_event_frequency: str) -> str:
+        """Direct Table I lookup (when LM/LEF are assessed directly)."""
+        return self._matrix.classify(loss_magnitude, loss_event_frequency)
+
+    def _matrix_rule(self, magnitude: str, frequency: str) -> str:
+        return self._matrix.classify(magnitude, frequency)
+
+
+def _lift(
+    rule: Callable[[str, str], str],
+    left: QualitativeRange,
+    right: QualitativeRange,
+) -> QualitativeRange:
+    """Apply a binary label rule over ranges, returning the outcome range."""
+    outcomes = sorted(
+        {
+            Scale.index(rule(a.label, b.label))
+            for a in left
+            for b in right
+        }
+    )
+    return QualitativeRange(
+        Scale, Scale.labels[outcomes[0]], Scale.labels[outcomes[-1]]
+    )

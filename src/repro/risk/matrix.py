@@ -1,0 +1,160 @@
+"""Qualitative risk matrices (paper Sec. IV-B).
+
+Two standard instruments:
+
+* the **O-RA 5x5 risk matrix** (Table I of the paper, from The Open
+  Group Risk Analysis standard): Loss Magnitude x Loss Event Frequency
+  -> Risk, all on the VL/L/M/H/VH scale;
+* the **IEC 61508** example risk-class matrix: six likelihood categories
+  x four consequence categories -> risk classes I..IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..qualitative.spaces import (
+    QuantitySpace,
+    QuantitySpaceError,
+    consequence_scale_iec61508,
+    five_level_scale,
+    likelihood_scale_iec61508,
+)
+
+
+class RiskMatrixError(Exception):
+    """Raised for malformed matrices or out-of-scale labels."""
+
+
+@dataclass(frozen=True)
+class RiskMatrix:
+    """A generic two-factor qualitative lookup matrix.
+
+    ``grid[i][j]`` is the outcome for ``row_space.labels[i]`` (row) and
+    ``column_space.labels[j]`` (column).
+    """
+
+    name: str
+    row_space: QuantitySpace
+    column_space: QuantitySpace
+    outcome_space: QuantitySpace
+    grid: Tuple[Tuple[str, ...], ...]
+
+    def __post_init__(self):
+        if len(self.grid) != len(self.row_space.labels):
+            raise RiskMatrixError(
+                "matrix %r needs %d rows" % (self.name, len(self.row_space.labels))
+            )
+        for row in self.grid:
+            if len(row) != len(self.column_space.labels):
+                raise RiskMatrixError(
+                    "matrix %r needs %d columns"
+                    % (self.name, len(self.column_space.labels))
+                )
+            for cell in row:
+                self.outcome_space.index(cell)  # validate
+
+    def classify(self, row_label: str, column_label: str) -> str:
+        """The outcome at (row, column)."""
+        return self.grid[self.row_space.index(row_label)][
+            self.column_space.index(column_label)
+        ]
+
+    def outcomes(self) -> List[Tuple[str, str, str]]:
+        """All (row, column, outcome) triples, row-major."""
+        result = []
+        for row_label in self.row_space.labels:
+            for column_label in self.column_space.labels:
+                result.append(
+                    (row_label, column_label, self.classify(row_label, column_label))
+                )
+        return result
+
+    def is_monotone(self) -> bool:
+        """Outcome never decreases as either factor increases — the
+        coherence property a well-formed risk matrix must satisfy."""
+        for i, row in enumerate(self.grid):
+            for j, cell in enumerate(row):
+                rank = self.outcome_space.index(cell)
+                if i + 1 < len(self.grid):
+                    if self.outcome_space.index(self.grid[i + 1][j]) < rank:
+                        return False
+                if j + 1 < len(row):
+                    if self.outcome_space.index(row[j + 1]) < rank:
+                        return False
+        return True
+
+
+def ora_risk_matrix() -> RiskMatrix:
+    """Table I of the paper — the O-RA risk matrix, verbatim.
+
+    Rows are Loss Magnitude from VL (bottom) to VH (top in the paper;
+    here row index follows the scale order VL..VH), columns Loss Event
+    Frequency VL..VH.
+    """
+    scale = five_level_scale()
+    #          LEF:   VL    L     M     H     VH
+    grid = (
+        ("VL", "VL", "VL", "L", "M"),  # LM = VL
+        ("VL", "VL", "L", "M", "H"),  # LM = L
+        ("VL", "L", "M", "H", "VH"),  # LM = M
+        ("L", "M", "H", "VH", "VH"),  # LM = H
+        ("M", "H", "VH", "VH", "VH"),  # LM = VH
+    )
+    return RiskMatrix(
+        "O-RA",
+        QuantitySpace("loss_magnitude", scale.labels),
+        QuantitySpace("loss_event_frequency", scale.labels),
+        QuantitySpace("risk", scale.labels),
+        grid,
+    )
+
+
+def iec61508_risk_matrix() -> RiskMatrix:
+    """The IEC 61508-5 Annex B example risk-class matrix.
+
+    Outcome classes: ``I`` intolerable, ``II`` undesirable, ``III``
+    tolerable (ALARP), ``IV`` negligible.  The outcome space is ordered
+    from the most acceptable (IV) to the least (I) so that
+    :meth:`RiskMatrix.is_monotone` captures "more likely/more severe is
+    never more acceptable".
+    """
+    likelihood = likelihood_scale_iec61508()
+    consequence = consequence_scale_iec61508()
+    classes = QuantitySpace("risk_class", ("IV", "III", "II", "I"))
+    #               negligible  marginal  critical  catastrophic
+    grid = (
+        ("IV", "IV", "IV", "IV"),  # incredible
+        ("IV", "IV", "III", "III"),  # improbable
+        ("III", "III", "III", "II"),  # remote
+        ("III", "II", "II", "I"),  # occasional
+        ("II", "II", "I", "I"),  # probable
+        ("II", "I", "I", "I"),  # frequent
+    )
+    return RiskMatrix("IEC61508", likelihood, consequence, classes, grid)
+
+
+def matrix_from_mapping(
+    name: str,
+    row_space: QuantitySpace,
+    column_space: QuantitySpace,
+    outcome_space: QuantitySpace,
+    cells: Mapping[Tuple[str, str], str],
+) -> RiskMatrix:
+    """Build a matrix from a {(row, column): outcome} mapping (all cells
+    must be present) — the hook for industry-specific calibration
+    ("parameters may need to be adjusted based on the nature of the
+    industry", Sec. IV-B)."""
+    grid: List[Tuple[str, ...]] = []
+    for row_label in row_space.labels:
+        row: List[str] = []
+        for column_label in column_space.labels:
+            try:
+                row.append(cells[(row_label, column_label)])
+            except KeyError:
+                raise RiskMatrixError(
+                    "missing cell (%s, %s)" % (row_label, column_label)
+                ) from None
+        grid.append(tuple(row))
+    return RiskMatrix(name, row_space, column_space, outcome_space, tuple(grid))

@@ -1,0 +1,106 @@
+"""IEC 61508 risk classes and safety-integrity-level guidance.
+
+The paper anchors its qualitative hazard analysis in IEC 61508's
+"six categories of the likelihood of occurrence and 4 of consequence
+that are combined in a risk class matrix" (Sec. IV-B).  Beyond the
+matrix itself (:func:`repro.risk.matrix.iec61508_risk_matrix`), the
+standard's workflow derives a *required risk reduction* from the risk
+class — expressed as a target Safety Integrity Level (SIL).  This
+module provides that mapping, in the spirit of the standard's Annex
+examples: informative guidance for the analyst, not certification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..qualitative.spaces import (
+    consequence_scale_iec61508,
+    likelihood_scale_iec61508,
+)
+from .matrix import RiskMatrix, iec61508_risk_matrix
+
+#: risk class -> (tolerability, indicative SIL target)
+_CLASS_GUIDANCE: Dict[str, Tuple[str, Optional[int]]] = {
+    "I": ("intolerable — risk cannot be justified", 4),
+    "II": ("undesirable — tolerable only if reduction impracticable", 3),
+    "III": ("tolerable if the cost of reduction exceeds the improvement", 2),
+    "IV": ("negligible — acceptable as is", None),
+}
+
+
+@dataclass(frozen=True)
+class SilRecommendation:
+    """Guidance derived from one hazard's IEC 61508 classification."""
+
+    likelihood: str
+    consequence: str
+    risk_class: str
+    tolerability: str
+    sil: Optional[int]
+
+    @property
+    def acceptable(self) -> bool:
+        return self.risk_class == "IV"
+
+    def __str__(self) -> str:
+        target = "SIL %d" % self.sil if self.sil else "no SIL required"
+        return "%s x %s -> class %s (%s; %s)" % (
+            self.likelihood,
+            self.consequence,
+            self.risk_class,
+            self.tolerability,
+            target,
+        )
+
+
+def classify_hazard(
+    likelihood: str,
+    consequence: str,
+    matrix: Optional[RiskMatrix] = None,
+) -> SilRecommendation:
+    """IEC 61508 classification of one hazard."""
+    matrix = matrix or iec61508_risk_matrix()
+    risk_class = matrix.classify(likelihood, consequence)
+    tolerability, sil = _CLASS_GUIDANCE[risk_class]
+    return SilRecommendation(
+        likelihood, consequence, risk_class, tolerability, sil
+    )
+
+
+#: crude bridge from the O-RA five-level scale onto the IEC scales —
+#: lets the security-born LEF/LM labels feed the safety workflow
+_ORA_TO_LIKELIHOOD = {
+    "VL": "improbable",
+    "L": "remote",
+    "M": "occasional",
+    "H": "probable",
+    "VH": "frequent",
+}
+_ORA_TO_CONSEQUENCE = {
+    "VL": "negligible",
+    "L": "negligible",
+    "M": "marginal",
+    "H": "critical",
+    "VH": "catastrophic",
+}
+
+
+def classify_from_ora(
+    loss_event_frequency: str, loss_magnitude: str
+) -> SilRecommendation:
+    """Classify a scenario assessed on the O-RA scale (Sec. IV-B's two
+    instruments joined: the security labels drive the safety matrix)."""
+    return classify_hazard(
+        _ORA_TO_LIKELIHOOD[loss_event_frequency],
+        _ORA_TO_CONSEQUENCE[loss_magnitude],
+    )
+
+
+def sil_register(entries) -> List[SilRecommendation]:
+    """Classify every entry of a :class:`~repro.risk.assessment.RiskRegister`."""
+    return [
+        classify_from_ora(entry.loss_event_frequency, entry.loss_magnitude)
+        for entry in entries
+    ]

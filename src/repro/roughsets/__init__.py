@@ -1,0 +1,43 @@
+"""Rough Set Theory (Pawlak) for uncertainty handling (paper Sec. V).
+
+Information/decision systems, indiscernibility, lower/upper
+approximations with positive/negative/boundary regions, classification
+quality, reducts/core, and decision-rule extraction — the machinery
+behind the RST-extended EPA of [32].
+"""
+
+from .approximation import (
+    Approximation,
+    DecisionRule,
+    approximate,
+    boundary_region,
+    core,
+    decision_rules,
+    is_reduct,
+    negative_region,
+    positive_region,
+    quality_of_classification,
+    reducts,
+)
+from .information_system import (
+    DecisionSystem,
+    InformationSystem,
+    RoughSetError,
+)
+
+__all__ = [
+    "Approximation",
+    "DecisionRule",
+    "DecisionSystem",
+    "InformationSystem",
+    "RoughSetError",
+    "approximate",
+    "boundary_region",
+    "core",
+    "decision_rules",
+    "is_reduct",
+    "negative_region",
+    "positive_region",
+    "quality_of_classification",
+    "reducts",
+]

@@ -1,0 +1,216 @@
+"""Rough approximations, regions, and reducts.
+
+"The result of the RST approximation consists of three sets": the
+positive region (certainly in the concept), the negative region
+(certainly not), and the boundary region (undecidable from the available
+information) — paper Sec. V-A.  The boundary is where spurious solutions
+hide, and shrinking it is what model refinement buys.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from .information_system import (
+    DecisionSystem,
+    InformationSystem,
+    ObjectId,
+    RoughSetError,
+    Value,
+)
+
+
+@dataclass(frozen=True)
+class Approximation:
+    """The rough approximation of one concept."""
+
+    concept: FrozenSet[ObjectId]
+    lower: FrozenSet[ObjectId]  # positive region of the concept
+    upper: FrozenSet[ObjectId]
+    universe: FrozenSet[ObjectId]
+
+    @property
+    def boundary(self) -> FrozenSet[ObjectId]:
+        """Objects undecidable from the available attributes."""
+        return self.upper - self.lower
+
+    @property
+    def negative(self) -> FrozenSet[ObjectId]:
+        """Objects certainly outside the concept."""
+        return self.universe - self.upper
+
+    @property
+    def is_crisp(self) -> bool:
+        """Exactly definable: no boundary."""
+        return self.lower == self.upper
+
+    @property
+    def accuracy(self) -> float:
+        """Pawlak accuracy |lower| / |upper| (1.0 when crisp or empty)."""
+        if not self.upper:
+            return 1.0
+        return len(self.lower) / len(self.upper)
+
+
+def approximate(
+    system: InformationSystem,
+    concept: Sequence[ObjectId],
+    attributes: Optional[Sequence[str]] = None,
+) -> Approximation:
+    """Lower/upper approximation of ``concept`` under indiscernibility."""
+    target: Set[ObjectId] = set(concept)
+    unknown = target - set(system.objects)
+    if unknown:
+        raise RoughSetError("concept contains unknown objects: %r" % unknown)
+    lower: Set[ObjectId] = set()
+    upper: Set[ObjectId] = set()
+    for block in system.indiscernibility_classes(attributes):
+        if block <= target:
+            lower |= block
+        if block & target:
+            upper |= block
+    return Approximation(
+        frozenset(target),
+        frozenset(lower),
+        frozenset(upper),
+        frozenset(system.objects),
+    )
+
+
+def negative_region(
+    system: InformationSystem,
+    concept: Sequence[ObjectId],
+    attributes: Optional[Sequence[str]] = None,
+) -> FrozenSet[ObjectId]:
+    """Objects certainly *not* in the concept: U minus the upper approx."""
+    approximation = approximate(system, concept, attributes)
+    return frozenset(set(system.objects) - approximation.upper)
+
+
+def positive_region(
+    system: DecisionSystem,
+    attributes: Optional[Sequence[str]] = None,
+) -> FrozenSet[ObjectId]:
+    """POS_B(d): union of lower approximations of all decision classes."""
+    positive: Set[ObjectId] = set()
+    for concept in system.decision_classes().values():
+        positive |= approximate(system, concept, attributes).lower
+    return frozenset(positive)
+
+
+def boundary_region(
+    system: DecisionSystem,
+    attributes: Optional[Sequence[str]] = None,
+) -> FrozenSet[ObjectId]:
+    """Objects whose decision cannot be determined from ``attributes``."""
+    return frozenset(set(system.objects) - positive_region(system, attributes))
+
+
+def quality_of_classification(
+    system: DecisionSystem,
+    attributes: Optional[Sequence[str]] = None,
+) -> float:
+    """Pawlak's gamma: |POS_B(d)| / |U|."""
+    if len(system) == 0:
+        return 1.0
+    return len(positive_region(system, attributes)) / len(system)
+
+
+# ----------------------------------------------------------------------
+# reducts
+# ----------------------------------------------------------------------
+def is_reduct(system: DecisionSystem, attributes: Sequence[str]) -> bool:
+    """A reduct preserves gamma and is minimal w.r.t. set inclusion."""
+    full_gamma = quality_of_classification(system)
+    if quality_of_classification(system, attributes) != full_gamma:
+        return False
+    for attribute in attributes:
+        remaining = [a for a in attributes if a != attribute]
+        if quality_of_classification(system, remaining) == full_gamma:
+            return False
+    return True
+
+
+def reducts(system: DecisionSystem) -> List[Tuple[str, ...]]:
+    """All reducts by exhaustive subset search (fine for the attribute
+    counts of risk tables; exponential in general)."""
+    full_gamma = quality_of_classification(system)
+    found: List[Tuple[str, ...]] = []
+    attributes = system.attributes
+    for size in range(1, len(attributes) + 1):
+        for subset in itertools.combinations(attributes, size):
+            if any(set(r) <= set(subset) for r in found):
+                continue  # superset of a known reduct cannot be minimal
+            if quality_of_classification(system, subset) == full_gamma:
+                found.append(subset)
+    return found
+
+
+def core(system: DecisionSystem) -> FrozenSet[str]:
+    """The core: attributes present in every reduct (possibly empty)."""
+    all_reducts = reducts(system)
+    if not all_reducts:
+        return frozenset()
+    common = set(all_reducts[0])
+    for reduct in all_reducts[1:]:
+        common &= set(reduct)
+    return frozenset(common)
+
+
+# ----------------------------------------------------------------------
+# decision rules
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DecisionRule:
+    """An IF conditions THEN decision rule extracted from a table.
+
+    ``certain`` rules come from the positive region (every matching
+    object agrees on the decision); ``possible`` rules from the boundary.
+    """
+
+    conditions: Tuple[Tuple[str, Value], ...]
+    decision: Value
+    certain: bool
+    support: int
+
+    def matches(self, values: Dict[str, Value]) -> bool:
+        return all(values.get(a) == v for a, v in self.conditions)
+
+    def __str__(self) -> str:
+        conditions = " & ".join("%s=%s" % (a, v) for a, v in self.conditions)
+        kind = "certain" if self.certain else "possible"
+        return "IF %s THEN %s=%s [%s, support=%d]" % (
+            conditions,
+            "decision",
+            self.decision,
+            kind,
+            self.support,
+        )
+
+
+def decision_rules(
+    system: DecisionSystem,
+    attributes: Optional[Sequence[str]] = None,
+) -> List[DecisionRule]:
+    """One rule per indiscernibility block and decision it touches."""
+    names = tuple(attributes) if attributes is not None else system.attributes
+    rules: List[DecisionRule] = []
+    for block in system.indiscernibility_classes(names):
+        representative = next(iter(block))
+        signature = system.signature(representative, names)
+        decisions: Dict[Value, int] = {}
+        for member in block:
+            decision = system.decision(member)
+            decisions[decision] = decisions.get(decision, 0) + 1
+        certain = len(decisions) == 1
+        for decision, support in sorted(
+            decisions.items(), key=lambda kv: str(kv[0])
+        ):
+            rules.append(
+                DecisionRule(
+                    tuple(zip(names, signature)), decision, certain, support
+                )
+            )
+    return rules

@@ -1,0 +1,184 @@
+"""Rough set theory: information and decision systems (Pawlak [29]).
+
+An *information system* is a table of objects described by attributes;
+a *decision system* adds a distinguished decision attribute.  Rough set
+theory approximates concepts (object sets) by the equivalence classes of
+attribute-wise indiscernibility — the paper's instrument for "imprecise,
+inconsistent, incomplete, uncertain information" (Sec. V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+Value = Hashable
+ObjectId = Hashable
+
+
+class RoughSetError(Exception):
+    """Raised for unknown objects/attributes or malformed tables."""
+
+
+class InformationSystem:
+    """A finite table: objects x attributes -> values."""
+
+    def __init__(self, attributes: Sequence[str]):
+        if not attributes:
+            raise RoughSetError("need at least one attribute")
+        if len(set(attributes)) != len(attributes):
+            raise RoughSetError("attribute names must be unique")
+        self._attributes: Tuple[str, ...] = tuple(attributes)
+        self._rows: Dict[ObjectId, Tuple[Value, ...]] = {}
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        return self._attributes
+
+    @property
+    def objects(self) -> List[ObjectId]:
+        return list(self._rows)
+
+    def add(self, object_id: ObjectId, values: Mapping[str, Value]) -> None:
+        if object_id in self._rows:
+            raise RoughSetError("duplicate object %r" % (object_id,))
+        try:
+            row = tuple(values[a] for a in self._attributes)
+        except KeyError as error:
+            raise RoughSetError(
+                "object %r missing attribute %s" % (object_id, error)
+            ) from None
+        self._rows[object_id] = row
+
+    def value(self, object_id: ObjectId, attribute: str) -> Value:
+        row = self._row(object_id)
+        return row[self._attribute_index(attribute)]
+
+    def _row(self, object_id: ObjectId) -> Tuple[Value, ...]:
+        try:
+            return self._rows[object_id]
+        except KeyError:
+            raise RoughSetError("unknown object %r" % (object_id,)) from None
+
+    def _attribute_index(self, attribute: str) -> int:
+        try:
+            return self._attributes.index(attribute)
+        except ValueError:
+            raise RoughSetError("unknown attribute %r" % attribute) from None
+
+    # ------------------------------------------------------------------
+    # indiscernibility
+    # ------------------------------------------------------------------
+    def signature(
+        self, object_id: ObjectId, attributes: Optional[Sequence[str]] = None
+    ) -> Tuple[Value, ...]:
+        """The object's value vector restricted to ``attributes``."""
+        row = self._row(object_id)
+        if attributes is None:
+            return row
+        indices = [self._attribute_index(a) for a in attributes]
+        return tuple(row[i] for i in indices)
+
+    def indiscernibility_classes(
+        self, attributes: Optional[Sequence[str]] = None
+    ) -> List[FrozenSet[ObjectId]]:
+        """The partition induced by attribute-wise equality."""
+        classes: Dict[Tuple[Value, ...], Set[ObjectId]] = {}
+        for object_id in self._rows:
+            classes.setdefault(
+                self.signature(object_id, attributes), set()
+            ).add(object_id)
+        return [frozenset(members) for members in classes.values()]
+
+    def indiscernible(
+        self,
+        first: ObjectId,
+        second: ObjectId,
+        attributes: Optional[Sequence[str]] = None,
+    ) -> bool:
+        return self.signature(first, attributes) == self.signature(
+            second, attributes
+        )
+
+    def equivalence_class(
+        self, object_id: ObjectId, attributes: Optional[Sequence[str]] = None
+    ) -> FrozenSet[ObjectId]:
+        """[x]_B: everything indiscernible from ``object_id``."""
+        target = self.signature(object_id, attributes)
+        return frozenset(
+            other
+            for other in self._rows
+            if self.signature(other, attributes) == target
+        )
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, object_id: object) -> bool:
+        return object_id in self._rows
+
+
+class DecisionSystem(InformationSystem):
+    """An information system with a decision attribute.
+
+    Condition attributes describe the objects; the decision attribute is
+    the concept to approximate (e.g. "does this scenario violate the
+    requirement").
+    """
+
+    def __init__(self, attributes: Sequence[str], decision: str = "decision"):
+        if decision in attributes:
+            raise RoughSetError(
+                "decision attribute %r clashes with a condition attribute"
+                % decision
+            )
+        super().__init__(attributes)
+        self.decision_attribute = decision
+        self._decisions: Dict[ObjectId, Value] = {}
+
+    def add(
+        self,
+        object_id: ObjectId,
+        values: Mapping[str, Value],
+        decision: Optional[Value] = None,
+    ) -> None:
+        if decision is None:
+            if self.decision_attribute not in values:
+                raise RoughSetError(
+                    "object %r missing decision value" % (object_id,)
+                )
+            values = dict(values)
+            decision = values.pop(self.decision_attribute)
+        super().add(object_id, values)
+        self._decisions[object_id] = decision
+
+    def decision(self, object_id: ObjectId) -> Value:
+        try:
+            return self._decisions[object_id]
+        except KeyError:
+            raise RoughSetError("unknown object %r" % (object_id,)) from None
+
+    def decision_classes(self) -> Dict[Value, FrozenSet[ObjectId]]:
+        """Partition of the universe by decision value."""
+        classes: Dict[Value, Set[ObjectId]] = {}
+        for object_id, decision in self._decisions.items():
+            classes.setdefault(decision, set()).add(object_id)
+        return {value: frozenset(members) for value, members in classes.items()}
+
+    def concept(self, decision_value: Value) -> FrozenSet[ObjectId]:
+        """The object set with a given decision value."""
+        return frozenset(
+            object_id
+            for object_id, decision in self._decisions.items()
+            if decision == decision_value
+        )
+
+    def is_consistent(
+        self, attributes: Optional[Sequence[str]] = None
+    ) -> bool:
+        """No two indiscernible objects with different decisions."""
+        for block in self.indiscernibility_classes(attributes):
+            decisions = {self._decisions[o] for o in block}
+            if len(decisions) > 1:
+                return False
+        return True

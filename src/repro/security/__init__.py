@@ -1,0 +1,77 @@
+"""Security knowledge bases and the attack-scenario space.
+
+Offline reproductions of the collections the paper injects (CVE, CWE,
+CAPEC, MITRE ATT&CK for ICS), CVSS v3.1 scoring, the mapping of
+techniques/vulnerabilities onto model components as *candidate
+mutations* (Fig. 1 step 2), and the attack-scenario-space enumeration of
+Sec. IV-A.
+"""
+
+from .attack_graph import AttackGraph, AttackGraphError, AttackPath
+from .catalogs import (
+    AttackPattern,
+    CatalogError,
+    MitigationEntry,
+    SecurityCatalog,
+    Tactic,
+    Technique,
+    Vulnerability,
+    Weakness,
+)
+from .cvss import (
+    CvssBase,
+    CvssError,
+    base_score,
+    parse_vector,
+    severity_rating,
+    to_ora_label,
+)
+from .data import builtin_catalog, synthetic_catalog
+from .mapping import (
+    CandidateMutation,
+    applicable_techniques,
+    applicable_vulnerabilities,
+    candidate_mutations,
+    mitigations_for_mutation,
+    technique_applicable,
+)
+from .scenario_space import (
+    AttackScenario,
+    AttackScenarioSpace,
+    AttackStep,
+    LossEvent,
+    ThreatActor,
+)
+
+__all__ = [
+    "AttackGraph",
+    "AttackGraphError",
+    "AttackPath",
+    "AttackPattern",
+    "AttackScenario",
+    "AttackScenarioSpace",
+    "AttackStep",
+    "CandidateMutation",
+    "CatalogError",
+    "CvssBase",
+    "CvssError",
+    "LossEvent",
+    "MitigationEntry",
+    "SecurityCatalog",
+    "Tactic",
+    "Technique",
+    "ThreatActor",
+    "Vulnerability",
+    "Weakness",
+    "applicable_techniques",
+    "applicable_vulnerabilities",
+    "base_score",
+    "builtin_catalog",
+    "candidate_mutations",
+    "mitigations_for_mutation",
+    "parse_vector",
+    "severity_rating",
+    "synthetic_catalog",
+    "technique_applicable",
+    "to_ora_label",
+]

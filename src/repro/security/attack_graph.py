@@ -1,0 +1,205 @@
+"""Attack-graph generation from the scenario space.
+
+The related work the paper positions against ([15], [18]) generates
+attack graphs from threat models; the same artifact falls out of this
+framework's scenario space: nodes are (component, technique) attack
+states, edges the feasible next steps along the model's propagation
+topology.  The graph supports the usual queries — reachable targets,
+shortest/cheapest attack paths, and choke-point ranking — and feeds the
+mitigation optimizer (cutting every path = blocking every scenario).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..mitigation.costs import AttackCostModel
+from ..modeling.model import SystemModel
+from .catalogs import SecurityCatalog
+from .mapping import INITIAL_ACCESS_TACTICS, technique_applicable
+from .scenario_space import AttackScenarioSpace, AttackStep, ThreatActor
+
+#: the attacker's starting pseudo-node
+SOURCE = "__outside__"
+
+
+class AttackGraphError(Exception):
+    """Raised for unknown targets."""
+
+
+@dataclass(frozen=True)
+class AttackPath:
+    """One attack path with its estimated attacker cost."""
+
+    steps: Tuple[AttackStep, ...]
+    cost: int
+
+    def __str__(self) -> str:
+        return " -> ".join(str(step) for step in self.steps) + " [cost %d]" % self.cost
+
+
+class AttackGraph:
+    """A directed graph of attack states."""
+
+    def __init__(
+        self,
+        model: SystemModel,
+        catalog: SecurityCatalog,
+        actor: Optional[ThreatActor] = None,
+        cost_model: Optional[AttackCostModel] = None,
+    ):
+        self.model = model
+        self.catalog = catalog
+        self.actor = actor or ThreatActor("default", "H")
+        self.cost_model = cost_model or AttackCostModel()
+        self.graph = nx.DiGraph()
+        self._build()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _node(self, step: AttackStep) -> Tuple[str, str]:
+        return (step.component, step.technique)
+
+    def _step_cost(self, technique_id: str) -> int:
+        technique = self.catalog.technique(technique_id)
+        return self.cost_model.chain_cost([technique.difficulty])
+
+    def _build(self) -> None:
+        propagation = self.model.propagation_graph()
+        self.graph.add_node(SOURCE)
+        # entry edges: initial-access techniques on exposed components
+        space = AttackScenarioSpace(
+            self.model, self.catalog, actors=[self.actor], max_chain=1
+        )
+        for entry in space.entry_points(self.actor):
+            node = self._node(entry)
+            self.graph.add_node(node, component=entry.component)
+            self.graph.add_edge(
+                SOURCE, node, weight=self._step_cost(entry.technique)
+            )
+        # lateral edges: post-access techniques along propagation edges
+        post_access = [
+            technique
+            for technique in self.catalog.techniques
+            if not any(t in INITIAL_ACCESS_TACTICS for t in technique.tactic_ids)
+            and self.actor.can_execute(technique)
+        ]
+        frontier = [n for n in self.graph.nodes if n != SOURCE]
+        visited: Set[Tuple[str, str]] = set(frontier)
+        while frontier:
+            new_frontier: List[Tuple[str, str]] = []
+            for component, technique in frontier:
+                for successor in sorted(propagation.successors(component)):
+                    element = self.model.element(successor)
+                    for candidate in post_access:
+                        if not technique_applicable(candidate, element):
+                            continue
+                        node = (successor, candidate.identifier)
+                        if node not in visited:
+                            visited.add(node)
+                            self.graph.add_node(node, component=successor)
+                            new_frontier.append(node)
+                        self.graph.add_edge(
+                            (component, technique),
+                            node,
+                            weight=self._step_cost(candidate.identifier),
+                        )
+            frontier = new_frontier
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def states(self) -> List[Tuple[str, str]]:
+        return [n for n in self.graph.nodes if n != SOURCE]
+
+    def reachable_components(self) -> FrozenSet[str]:
+        """Components an attacker can put into a compromised state."""
+        return frozenset(component for component, _ in self.states)
+
+    def can_reach(self, component: str) -> bool:
+        return component in self.reachable_components()
+
+    def cheapest_path(self, component: str) -> AttackPath:
+        """The minimum-attacker-cost path compromising ``component``."""
+        targets = [n for n in self.states if n[0] == component]
+        if not targets:
+            raise AttackGraphError(
+                "component %r is not attacker-reachable" % component
+            )
+        best: Optional[Tuple[int, List[Tuple[str, str]]]] = None
+        for target in targets:
+            try:
+                cost, path = nx.single_source_dijkstra(
+                    self.graph, SOURCE, target, weight="weight"
+                )
+            except nx.NetworkXNoPath:  # pragma: no cover - targets reachable
+                continue
+            if best is None or cost < best[0]:
+                best = (int(cost), path)
+        assert best is not None
+        steps = tuple(
+            AttackStep(component_, technique)
+            for component_, technique in best[1][1:]
+        )
+        return AttackPath(steps, best[0])
+
+    def all_paths(
+        self, component: str, cutoff: int = 5
+    ) -> List[AttackPath]:
+        """Every simple attack path to ``component`` up to ``cutoff`` hops."""
+        paths: List[AttackPath] = []
+        targets = [n for n in self.states if n[0] == component]
+        for target in targets:
+            for node_path in nx.all_simple_paths(
+                self.graph, SOURCE, target, cutoff=cutoff
+            ):
+                steps = tuple(
+                    AttackStep(c, t) for c, t in node_path[1:]
+                )
+                cost = sum(self._step_cost(s.technique) for s in steps)
+                paths.append(AttackPath(steps, cost))
+        paths.sort(key=lambda p: (p.cost, len(p.steps), str(p)))
+        return paths
+
+    def choke_points(self, component: str) -> Dict[str, float]:
+        """Technique criticality toward a target: the fraction of attack
+        paths each technique appears in (cut candidates for defense)."""
+        paths = self.all_paths(component)
+        if not paths:
+            return {}
+        counts: Dict[str, int] = {}
+        for path in paths:
+            for technique in {s.technique for s in path.steps}:
+                counts[technique] = counts.get(technique, 0) + 1
+        return {
+            technique: count / len(paths)
+            for technique, count in sorted(counts.items())
+        }
+
+    def cut_mitigations(self, component: str) -> Set[str]:
+        """Mitigations that appear on every attack path to the target —
+        deploying any of them severs all currently known paths."""
+        paths = self.all_paths(component)
+        if not paths:
+            return set()
+        common: Optional[Set[str]] = None
+        for path in paths:
+            path_mitigations: Set[str] = set()
+            for step in path.steps:
+                path_mitigations.update(
+                    self.catalog.technique(step.technique).mitigation_ids
+                )
+            common = (
+                path_mitigations
+                if common is None
+                else common & path_mitigations
+            )
+        return common or set()
+
+    def __len__(self) -> int:
+        return len(self.states)

@@ -1,0 +1,277 @@
+"""Security knowledge-base datatypes and the catalog container.
+
+The paper injects "validated information on the component security
+faults and the local impacts of attacks ... from validated public
+collections" (Fig. 1 step 2): CVE, CWE, CAPEC and the MITRE ATT&CK (ICS)
+matrix.  These classes model the slices of those collections the
+framework consumes; :mod:`repro.security.data` ships an offline snapshot
+(see DESIGN.md on the substitution for the live feeds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+class CatalogError(Exception):
+    """Raised for unknown identifiers or duplicate registrations."""
+
+
+@dataclass(frozen=True)
+class Weakness:
+    """A CWE-style weakness class."""
+
+    identifier: str  # e.g. "CWE-787"
+    name: str
+    description: str = ""
+    #: component-type labels this weakness typically afflicts
+    applies_to: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Vulnerability:
+    """A CVE-style concrete vulnerability."""
+
+    identifier: str  # e.g. "CVE-2023-0001" (synthetic in the snapshot)
+    description: str
+    weakness_ids: Tuple[str, ...] = ()
+    #: CVSS v3.1 base vector, e.g. "AV:N/AC:L/PR:N/UI:R/S:C/C:H/I:H/A:H"
+    cvss_vector: str = ""
+    #: software product and version range it affects (version-specific
+    #: analysis, Sec. VI)
+    product: str = ""
+    affected_versions: Tuple[str, ...] = ()
+    #: fault-mode behaviour its exploitation activates on the component
+    induced_behaviour: str = "compromised"
+
+
+@dataclass(frozen=True)
+class AttackPattern:
+    """A CAPEC-style attack pattern."""
+
+    identifier: str  # e.g. "CAPEC-98"
+    name: str
+    description: str = ""
+    likelihood: str = "M"  # qualitative O-RA label
+    severity: str = "M"
+    exploits_weaknesses: Tuple[str, ...] = ()
+    #: ATT&CK technique ids realizing this pattern
+    techniques: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Tactic:
+    """An ATT&CK tactic (column of the matrix)."""
+
+    identifier: str  # e.g. "TA0108"
+    name: str
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class Technique:
+    """An ATT&CK (ICS) technique."""
+
+    identifier: str  # e.g. "T0866"
+    name: str
+    tactic_ids: Tuple[str, ...]
+    description: str = ""
+    #: platform / component-type labels the technique targets
+    platforms: Tuple[str, ...] = ()
+    #: mitigation ids countering this technique
+    mitigation_ids: Tuple[str, ...] = ()
+    #: fault-mode behaviour a successful technique activates
+    induced_behaviour: str = "compromised"
+    #: qualitative difficulty for the attacker (drives attack cost)
+    difficulty: str = "M"
+
+
+@dataclass(frozen=True)
+class MitigationEntry:
+    """An ATT&CK mitigation (e.g. M0917 User Training)."""
+
+    identifier: str
+    name: str
+    description: str = ""
+    #: indicative implementation cost (arbitrary currency units) and
+    #: yearly upkeep, used by the cost-benefit optimizer (Sec. IV-D)
+    implementation_cost: int = 10
+    maintenance_cost: int = 2
+
+
+class SecurityCatalog:
+    """A joinable container over all five collections."""
+
+    def __init__(self, name: str = "catalog"):
+        self.name = name
+        self._weaknesses: Dict[str, Weakness] = {}
+        self._vulnerabilities: Dict[str, Vulnerability] = {}
+        self._patterns: Dict[str, AttackPattern] = {}
+        self._tactics: Dict[str, Tactic] = {}
+        self._techniques: Dict[str, Technique] = {}
+        self._mitigations: Dict[str, MitigationEntry] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def _register(self, table: Dict[str, object], entry, kind: str) -> None:
+        if entry.identifier in table:
+            raise CatalogError("%s %r already registered" % (kind, entry.identifier))
+        table[entry.identifier] = entry
+
+    def add_weakness(self, entry: Weakness) -> Weakness:
+        self._register(self._weaknesses, entry, "weakness")
+        return entry
+
+    def add_vulnerability(self, entry: Vulnerability) -> Vulnerability:
+        self._register(self._vulnerabilities, entry, "vulnerability")
+        return entry
+
+    def add_pattern(self, entry: AttackPattern) -> AttackPattern:
+        self._register(self._patterns, entry, "attack pattern")
+        return entry
+
+    def add_tactic(self, entry: Tactic) -> Tactic:
+        self._register(self._tactics, entry, "tactic")
+        return entry
+
+    def add_technique(self, entry: Technique) -> Technique:
+        self._register(self._techniques, entry, "technique")
+        return entry
+
+    def add_mitigation(self, entry: MitigationEntry) -> MitigationEntry:
+        self._register(self._mitigations, entry, "mitigation")
+        return entry
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def weakness(self, identifier: str) -> Weakness:
+        return self._lookup(self._weaknesses, identifier, "weakness")
+
+    def vulnerability(self, identifier: str) -> Vulnerability:
+        return self._lookup(self._vulnerabilities, identifier, "vulnerability")
+
+    def pattern(self, identifier: str) -> AttackPattern:
+        return self._lookup(self._patterns, identifier, "attack pattern")
+
+    def tactic(self, identifier: str) -> Tactic:
+        return self._lookup(self._tactics, identifier, "tactic")
+
+    def technique(self, identifier: str) -> Technique:
+        return self._lookup(self._techniques, identifier, "technique")
+
+    def mitigation(self, identifier: str) -> MitigationEntry:
+        return self._lookup(self._mitigations, identifier, "mitigation")
+
+    def _lookup(self, table, identifier: str, kind: str):
+        try:
+            return table[identifier]
+        except KeyError:
+            raise CatalogError("unknown %s %r" % (kind, identifier)) from None
+
+    @property
+    def weaknesses(self) -> List[Weakness]:
+        return list(self._weaknesses.values())
+
+    @property
+    def vulnerabilities(self) -> List[Vulnerability]:
+        return list(self._vulnerabilities.values())
+
+    @property
+    def patterns(self) -> List[AttackPattern]:
+        return list(self._patterns.values())
+
+    @property
+    def tactics(self) -> List[Tactic]:
+        return list(self._tactics.values())
+
+    @property
+    def techniques(self) -> List[Technique]:
+        return list(self._techniques.values())
+
+    @property
+    def mitigations(self) -> List[MitigationEntry]:
+        return list(self._mitigations.values())
+
+    # ------------------------------------------------------------------
+    # joins
+    # ------------------------------------------------------------------
+    def techniques_in_tactic(self, tactic_id: str) -> List[Technique]:
+        self.tactic(tactic_id)
+        return [
+            technique
+            for technique in self._techniques.values()
+            if tactic_id in technique.tactic_ids
+        ]
+
+    def mitigations_for_technique(self, technique_id: str) -> List[MitigationEntry]:
+        technique = self.technique(technique_id)
+        return [self.mitigation(m) for m in technique.mitigation_ids]
+
+    def techniques_countered_by(self, mitigation_id: str) -> List[Technique]:
+        self.mitigation(mitigation_id)
+        return [
+            technique
+            for technique in self._techniques.values()
+            if mitigation_id in technique.mitigation_ids
+        ]
+
+    def techniques_for_platform(self, platform: str) -> List[Technique]:
+        return [
+            technique
+            for technique in self._techniques.values()
+            if not technique.platforms or platform in technique.platforms
+        ]
+
+    def vulnerabilities_with_weakness(self, weakness_id: str) -> List[Vulnerability]:
+        self.weakness(weakness_id)
+        return [
+            vulnerability
+            for vulnerability in self._vulnerabilities.values()
+            if weakness_id in vulnerability.weakness_ids
+        ]
+
+    def vulnerabilities_for_product(
+        self, product: str, version: Optional[str] = None
+    ) -> List[Vulnerability]:
+        """Version-specific lookup (the Sec. VI refinement motivation)."""
+        matches = []
+        for vulnerability in self._vulnerabilities.values():
+            if vulnerability.product != product:
+                continue
+            if (
+                version is not None
+                and vulnerability.affected_versions
+                and version not in vulnerability.affected_versions
+            ):
+                continue
+            matches.append(vulnerability)
+        return matches
+
+    def patterns_exploiting(self, weakness_id: str) -> List[AttackPattern]:
+        self.weakness(weakness_id)
+        return [
+            pattern
+            for pattern in self._patterns.values()
+            if weakness_id in pattern.exploits_weaknesses
+        ]
+
+    def patterns_using_technique(self, technique_id: str) -> List[AttackPattern]:
+        self.technique(technique_id)
+        return [
+            pattern
+            for pattern in self._patterns.values()
+            if technique_id in pattern.techniques
+        ]
+
+    def statistics(self) -> Dict[str, int]:
+        return {
+            "weaknesses": len(self._weaknesses),
+            "vulnerabilities": len(self._vulnerabilities),
+            "patterns": len(self._patterns),
+            "tactics": len(self._tactics),
+            "techniques": len(self._techniques),
+            "mitigations": len(self._mitigations),
+        }

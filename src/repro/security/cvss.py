@@ -1,0 +1,166 @@
+"""CVSS v3.1 base-score computation.
+
+The paper notes that "vulnerabilities in CVE are measured by the Common
+Vulnerability Scoring System (CVSS)" [12].  This implements the full
+v3.1 base-metric equation from the FIRST specification, plus the
+qualitative severity rating scale — which is also how numeric CVSS
+scores are *quantized* onto the framework's qualitative risk labels.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+
+class CvssError(Exception):
+    """Raised for malformed CVSS vectors."""
+
+
+_METRIC_VALUES: Dict[str, Dict[str, float]] = {
+    "AV": {"N": 0.85, "A": 0.62, "L": 0.55, "P": 0.2},
+    "AC": {"L": 0.77, "H": 0.44},
+    # PR depends on scope; handled specially below
+    "UI": {"N": 0.85, "R": 0.62},
+    "C": {"H": 0.56, "L": 0.22, "N": 0.0},
+    "I": {"H": 0.56, "L": 0.22, "N": 0.0},
+    "A": {"H": 0.56, "L": 0.22, "N": 0.0},
+}
+
+_PR_UNCHANGED = {"N": 0.85, "L": 0.62, "H": 0.27}
+_PR_CHANGED = {"N": 0.85, "L": 0.68, "H": 0.5}
+
+_REQUIRED = ("AV", "AC", "PR", "UI", "S", "C", "I", "A")
+
+
+@dataclass(frozen=True)
+class CvssBase:
+    """Parsed CVSS v3.1 base metrics."""
+
+    attack_vector: str
+    attack_complexity: str
+    privileges_required: str
+    user_interaction: str
+    scope: str
+    confidentiality: str
+    integrity: str
+    availability: str
+
+    @property
+    def scope_changed(self) -> bool:
+        return self.scope == "C"
+
+
+def parse_vector(vector: str) -> CvssBase:
+    """Parse ``AV:N/AC:L/PR:N/UI:R/S:C/C:H/I:H/A:H`` (optionally prefixed
+    with ``CVSS:3.1/``)."""
+    text = vector.strip()
+    if text.startswith("CVSS:3.1/") or text.startswith("CVSS:3.0/"):
+        text = text.split("/", 1)[1]
+    metrics: Dict[str, str] = {}
+    for chunk in text.split("/"):
+        if not chunk:
+            continue
+        if ":" not in chunk:
+            raise CvssError("bad metric chunk %r" % chunk)
+        key, value = chunk.split(":", 1)
+        metrics[key] = value
+    missing = [key for key in _REQUIRED if key not in metrics]
+    if missing:
+        raise CvssError("vector missing metrics: %s" % ", ".join(missing))
+    base = CvssBase(
+        metrics["AV"],
+        metrics["AC"],
+        metrics["PR"],
+        metrics["UI"],
+        metrics["S"],
+        metrics["C"],
+        metrics["I"],
+        metrics["A"],
+    )
+    _validate(base)
+    return base
+
+
+def _validate(base: CvssBase) -> None:
+    checks = (
+        ("AV", base.attack_vector, _METRIC_VALUES["AV"]),
+        ("AC", base.attack_complexity, _METRIC_VALUES["AC"]),
+        ("PR", base.privileges_required, _PR_UNCHANGED),
+        ("UI", base.user_interaction, _METRIC_VALUES["UI"]),
+        ("S", base.scope, {"U": 0, "C": 0}),
+        ("C", base.confidentiality, _METRIC_VALUES["C"]),
+        ("I", base.integrity, _METRIC_VALUES["I"]),
+        ("A", base.availability, _METRIC_VALUES["A"]),
+    )
+    for name, value, allowed in checks:
+        if value not in allowed:
+            raise CvssError("invalid %s value %r" % (name, value))
+
+
+def _roundup(value: float) -> float:
+    """CVSS roundup: smallest number with one decimal >= value."""
+    scaled = int(round(value * 100000))
+    if scaled % 10000 == 0:
+        return scaled / 100000.0
+    return (math.floor(scaled / 10000) + 1) / 10.0
+
+
+def base_score(vector_or_base) -> float:
+    """CVSS v3.1 base score in [0.0, 10.0]."""
+    base = (
+        vector_or_base
+        if isinstance(vector_or_base, CvssBase)
+        else parse_vector(vector_or_base)
+    )
+    impact_subscore = 1 - (
+        (1 - _METRIC_VALUES["C"][base.confidentiality])
+        * (1 - _METRIC_VALUES["I"][base.integrity])
+        * (1 - _METRIC_VALUES["A"][base.availability])
+    )
+    if base.scope_changed:
+        impact = 7.52 * (impact_subscore - 0.029) - 3.25 * (
+            impact_subscore - 0.02
+        ) ** 15
+    else:
+        impact = 6.42 * impact_subscore
+    pr_values = _PR_CHANGED if base.scope_changed else _PR_UNCHANGED
+    exploitability = (
+        8.22
+        * _METRIC_VALUES["AV"][base.attack_vector]
+        * _METRIC_VALUES["AC"][base.attack_complexity]
+        * pr_values[base.privileges_required]
+        * _METRIC_VALUES["UI"][base.user_interaction]
+    )
+    if impact <= 0:
+        return 0.0
+    if base.scope_changed:
+        return _roundup(min(1.08 * (impact + exploitability), 10.0))
+    return _roundup(min(impact + exploitability, 10.0))
+
+
+def severity_rating(score: float) -> str:
+    """Qualitative severity per the CVSS v3.1 rating scale."""
+    if score <= 0.0:
+        return "None"
+    if score < 4.0:
+        return "Low"
+    if score < 7.0:
+        return "Medium"
+    if score < 9.0:
+        return "High"
+    return "Critical"
+
+
+def to_ora_label(score: float) -> str:
+    """Quantize a CVSS score onto the O-RA VL..VH scale (Sec. IV-B)."""
+    if score <= 0.0:
+        return "VL"
+    if score < 4.0:
+        return "L"
+    if score < 7.0:
+        return "M"
+    if score < 9.0:
+        return "H"
+    return "VH"

@@ -1,0 +1,441 @@
+"""Offline security knowledge snapshot.
+
+The live CVE/CWE/CAPEC/ATT&CK feeds are network services; this module
+ships a curated **synthetic snapshot** with the entries the paper's case
+study exercises (Exploitation of Remote Services, the spearphishing
+link -> drive-by -> infected workstation chain, User Training and
+endpoint-security mitigations) plus enough surrounding structure for the
+joins to be meaningful, and a deterministic generator of arbitrarily
+large synthetic catalogs for the scaling benchmarks.
+
+Identifiers follow the real collections' numbering style but the entries
+are reproductions/synthetic — see DESIGN.md (substitution table).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .catalogs import (
+    AttackPattern,
+    MitigationEntry,
+    SecurityCatalog,
+    Tactic,
+    Technique,
+    Vulnerability,
+    Weakness,
+)
+
+
+def builtin_catalog() -> SecurityCatalog:
+    """The snapshot used by the case study and the examples."""
+    catalog = SecurityCatalog("builtin-ics-snapshot")
+
+    # --- tactics (ATT&CK for ICS columns) ------------------------------
+    for identifier, name in (
+        ("TA0108", "Initial Access"),
+        ("TA0104", "Execution"),
+        ("TA0110", "Persistence"),
+        ("TA0109", "Lateral Movement"),
+        ("TA0106", "Impair Process Control"),
+        ("TA0107", "Inhibit Response Function"),
+        ("TA0105", "Impact"),
+    ):
+        catalog.add_tactic(Tactic(identifier, name))
+
+    # --- mitigations ----------------------------------------------------
+    catalog.add_mitigation(
+        MitigationEntry(
+            "M0917",
+            "User Training",
+            "Train users to identify social engineering and spearphishing.",
+            implementation_cost=8,
+            maintenance_cost=3,
+        )
+    )
+    catalog.add_mitigation(
+        MitigationEntry(
+            "M0949",
+            "Endpoint Security",
+            "Enterprise endpoint protection (anti-malware, EDR).",
+            implementation_cost=15,
+            maintenance_cost=5,
+        )
+    )
+    catalog.add_mitigation(
+        MitigationEntry(
+            "M0930",
+            "Network Segmentation",
+            "Segment IT and OT networks; restrict lateral movement.",
+            implementation_cost=25,
+            maintenance_cost=4,
+        )
+    )
+    catalog.add_mitigation(
+        MitigationEntry(
+            "M0932",
+            "Multi-factor Authentication",
+            "Require MFA on remote and engineering access.",
+            implementation_cost=10,
+            maintenance_cost=2,
+        )
+    )
+    catalog.add_mitigation(
+        MitigationEntry(
+            "M0926",
+            "Software Update",
+            "Patch management for OT-adjacent hosts.",
+            implementation_cost=12,
+            maintenance_cost=6,
+        )
+    )
+    catalog.add_mitigation(
+        MitigationEntry(
+            "M0807",
+            "Network Allowlists",
+            "Allowlist communication between control devices.",
+            implementation_cost=18,
+            maintenance_cost=3,
+        )
+    )
+
+    # --- techniques -----------------------------------------------------
+    catalog.add_technique(
+        Technique(
+            "T0866",
+            "Exploitation of Remote Services",
+            ("TA0108", "TA0109"),
+            "Exploit software vulnerabilities in exposed services to gain "
+            "access or move laterally.",
+            platforms=("workstation", "controller", "network", "gateway"),
+            mitigation_ids=("M0926", "M0930", "M0807"),
+            induced_behaviour="compromised",
+            difficulty="M",
+        )
+    )
+    catalog.add_technique(
+        Technique(
+            "T0865",
+            "Spearphishing Attachment",
+            ("TA0108",),
+            "Deliver malware through a crafted e-mail attachment or link.",
+            platforms=("workstation",),
+            mitigation_ids=("M0917", "M0949"),
+            induced_behaviour="compromised",
+            difficulty="L",
+        )
+    )
+    catalog.add_technique(
+        Technique(
+            "T0817",
+            "Drive-by Compromise",
+            ("TA0108",),
+            "Compromise a user's browser through a malicious website.",
+            platforms=("workstation",),
+            mitigation_ids=("M0917", "M0949", "M0926"),
+            induced_behaviour="compromised",
+            difficulty="M",
+        )
+    )
+    catalog.add_technique(
+        Technique(
+            "T0859",
+            "Valid Accounts",
+            ("TA0109",),
+            "Use captured credentials to move laterally between hosts "
+            "and services.",
+            platforms=(),  # any component with an account surface
+            mitigation_ids=("M0932", "M0930"),
+            induced_behaviour="compromised",
+            difficulty="M",
+        )
+    )
+    catalog.add_technique(
+        Technique(
+            "T0855",
+            "Unauthorized Command Message",
+            ("TA0106",),
+            "Send crafted command messages to actuators/controllers.",
+            platforms=("controller", "actuator", "network"),
+            mitigation_ids=("M0807", "M0930", "M0932"),
+            induced_behaviour="wrong_output",
+            difficulty="H",
+        )
+    )
+    catalog.add_technique(
+        Technique(
+            "T0856",
+            "Spoof Reporting Message",
+            ("TA0106",),
+            "Falsify process telemetry toward operators.",
+            platforms=("sensor", "hmi", "network"),
+            mitigation_ids=("M0807", "M0930"),
+            induced_behaviour="value_error",
+            difficulty="H",
+        )
+    )
+    catalog.add_technique(
+        Technique(
+            "T0878",
+            "Alarm Suppression",
+            ("TA0107",),
+            "Prevent alarms from reaching the operator.",
+            platforms=("hmi",),
+            mitigation_ids=("M0930", "M0807"),
+            induced_behaviour="omission",
+            difficulty="H",
+        )
+    )
+    catalog.add_technique(
+        Technique(
+            "T0831",
+            "Manipulation of Control",
+            ("TA0105", "TA0106"),
+            "Manipulate physical control logic or setpoints.",
+            platforms=("controller", "actuator"),
+            mitigation_ids=("M0932", "M0807"),
+            induced_behaviour="wrong_output",
+            difficulty="H",
+        )
+    )
+
+    # --- weaknesses -----------------------------------------------------
+    catalog.add_weakness(
+        Weakness(
+            "CWE-787",
+            "Out-of-bounds Write",
+            "Memory-safety defect enabling code execution.",
+            applies_to=("workstation", "controller"),
+        )
+    )
+    catalog.add_weakness(
+        Weakness(
+            "CWE-79",
+            "Improper Neutralization of Input During Web Page Generation",
+            "Cross-site scripting in web front-ends (HMIs).",
+            applies_to=("hmi", "workstation"),
+        )
+    )
+    catalog.add_weakness(
+        Weakness(
+            "CWE-306",
+            "Missing Authentication for Critical Function",
+            "Control functions callable without authentication.",
+            applies_to=("controller", "actuator"),
+        )
+    )
+    catalog.add_weakness(
+        Weakness(
+            "CWE-1188",
+            "Initialization of a Resource with an Insecure Default",
+            "Insecure default credentials/configurations.",
+            applies_to=("controller", "network"),
+        )
+    )
+    catalog.add_weakness(
+        Weakness(
+            "CWE-20",
+            "Improper Input Validation",
+            "Untrusted input processed without validation.",
+            applies_to=("controller", "hmi", "workstation"),
+        )
+    )
+
+    # --- attack patterns --------------------------------------------------
+    catalog.add_pattern(
+        AttackPattern(
+            "CAPEC-98",
+            "Phishing",
+            "Social-engineering delivery of a malicious payload.",
+            likelihood="H",
+            severity="H",
+            exploits_weaknesses=("CWE-20",),
+            techniques=("T0865", "T0817"),
+        )
+    )
+    catalog.add_pattern(
+        AttackPattern(
+            "CAPEC-248",
+            "Command Injection",
+            "Inject unauthorized commands into a control channel.",
+            likelihood="M",
+            severity="VH",
+            exploits_weaknesses=("CWE-306", "CWE-20"),
+            techniques=("T0855", "T0831"),
+        )
+    )
+    catalog.add_pattern(
+        AttackPattern(
+            "CAPEC-94",
+            "Adversary in the Middle",
+            "Interpose on a communication channel to read/modify traffic.",
+            likelihood="M",
+            severity="H",
+            exploits_weaknesses=("CWE-1188",),
+            techniques=("T0856", "T0878"),
+        )
+    )
+    catalog.add_pattern(
+        AttackPattern(
+            "CAPEC-137",
+            "Parameter Injection",
+            "Malformed input corrupts a service's execution.",
+            likelihood="M",
+            severity="H",
+            exploits_weaknesses=("CWE-787", "CWE-20"),
+            techniques=("T0866",),
+        )
+    )
+
+    # --- synthetic CVE entries -------------------------------------------
+    catalog.add_vulnerability(
+        Vulnerability(
+            "CVE-9001-0001",
+            "Remote code execution in engineering workstation OS service.",
+            weakness_ids=("CWE-787",),
+            cvss_vector="AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H",
+            product="eng_workstation_os",
+            affected_versions=("10.1", "10.2"),
+            induced_behaviour="compromised",
+        )
+    )
+    catalog.add_vulnerability(
+        Vulnerability(
+            "CVE-9001-0002",
+            "Browser memory corruption exploitable via malicious site.",
+            weakness_ids=("CWE-787", "CWE-20"),
+            cvss_vector="AV:N/AC:L/PR:N/UI:R/S:C/C:H/I:H/A:H",
+            product="workstation_browser",
+            affected_versions=("99.0",),
+            induced_behaviour="compromised",
+        )
+    )
+    catalog.add_vulnerability(
+        Vulnerability(
+            "CVE-9001-0003",
+            "PLC runtime accepts unauthenticated control writes.",
+            weakness_ids=("CWE-306",),
+            cvss_vector="AV:A/AC:L/PR:N/UI:N/S:U/C:N/I:H/A:H",
+            product="plc_runtime",
+            affected_versions=("2.0", "2.1", "2.2"),
+            induced_behaviour="wrong_output",
+        )
+    )
+    catalog.add_vulnerability(
+        Vulnerability(
+            "CVE-9001-0004",
+            "HMI web panel reflected XSS enabling session hijack.",
+            weakness_ids=("CWE-79",),
+            cvss_vector="AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N",
+            product="scada_hmi",
+            affected_versions=("5.4",),
+            induced_behaviour="value_error",
+        )
+    )
+    catalog.add_vulnerability(
+        Vulnerability(
+            "CVE-9001-0005",
+            "Default credentials on OT network switch management port.",
+            weakness_ids=("CWE-1188",),
+            cvss_vector="AV:A/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:L",
+            product="ot_switch_firmware",
+            affected_versions=("1.0",),
+            induced_behaviour="compromised",
+        )
+    )
+    return catalog
+
+
+def synthetic_catalog(
+    techniques: int = 50,
+    mitigations: int = 15,
+    vulnerabilities: int = 100,
+    seed: int = 0,
+) -> SecurityCatalog:
+    """Deterministic synthetic catalog for scaling benchmarks.
+
+    Structure mimics the real matrices: every technique belongs to 1-2
+    tactics, is countered by 1-3 mitigations and targets 1-2 platforms.
+    """
+    rng = random.Random(seed)
+    catalog = SecurityCatalog("synthetic-%d" % seed)
+    tactic_ids = []
+    for index in range(max(3, techniques // 10)):
+        identifier = "TA9%03d" % index
+        catalog.add_tactic(Tactic(identifier, "Synthetic Tactic %d" % index))
+        tactic_ids.append(identifier)
+    mitigation_ids = []
+    for index in range(mitigations):
+        identifier = "M9%03d" % index
+        catalog.add_mitigation(
+            MitigationEntry(
+                identifier,
+                "Synthetic Mitigation %d" % index,
+                implementation_cost=rng.randint(5, 40),
+                maintenance_cost=rng.randint(1, 8),
+            )
+        )
+        mitigation_ids.append(identifier)
+    platforms = ("workstation", "controller", "sensor", "actuator", "hmi", "network")
+    behaviours = ("compromised", "wrong_output", "omission", "value_error")
+    technique_ids = []
+    for index in range(techniques):
+        identifier = "T9%03d" % index
+        catalog.add_technique(
+            Technique(
+                identifier,
+                "Synthetic Technique %d" % index,
+                tuple(rng.sample(tactic_ids, rng.randint(1, 2))),
+                platforms=tuple(rng.sample(platforms, rng.randint(1, 2))),
+                mitigation_ids=tuple(
+                    rng.sample(mitigation_ids, rng.randint(1, 3))
+                ),
+                induced_behaviour=rng.choice(behaviours),
+                difficulty=rng.choice(("L", "M", "H")),
+            )
+        )
+        technique_ids.append(identifier)
+    weakness_ids = []
+    for index in range(max(5, vulnerabilities // 10)):
+        identifier = "CWE-9%03d" % index
+        catalog.add_weakness(
+            Weakness(
+                identifier,
+                "Synthetic Weakness %d" % index,
+                applies_to=tuple(rng.sample(platforms, rng.randint(1, 3))),
+            )
+        )
+        weakness_ids.append(identifier)
+    vectors = (
+        "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",
+        "AV:N/AC:L/PR:N/UI:R/S:C/C:H/I:H/A:H",
+        "AV:A/AC:H/PR:L/UI:N/S:U/C:L/I:H/A:L",
+        "AV:L/AC:L/PR:H/UI:N/S:U/C:L/I:L/A:L",
+    )
+    for index in range(vulnerabilities):
+        catalog.add_vulnerability(
+            Vulnerability(
+                "CVE-9%03d-%04d" % (seed, index),
+                "Synthetic vulnerability %d" % index,
+                weakness_ids=tuple(rng.sample(weakness_ids, rng.randint(1, 2))),
+                cvss_vector=rng.choice(vectors),
+                product="product_%d" % rng.randint(0, 9),
+                affected_versions=("1.%d" % rng.randint(0, 3),),
+                induced_behaviour=rng.choice(behaviours),
+            )
+        )
+    for index in range(max(3, techniques // 5)):
+        catalog.add_pattern(
+            AttackPattern(
+                "CAPEC-9%03d" % index,
+                "Synthetic Pattern %d" % index,
+                likelihood=rng.choice(("L", "M", "H")),
+                severity=rng.choice(("M", "H", "VH")),
+                exploits_weaknesses=tuple(
+                    rng.sample(weakness_ids, rng.randint(1, 2))
+                ),
+                techniques=tuple(rng.sample(technique_ids, rng.randint(1, 3))),
+            )
+        )
+    return catalog

@@ -1,0 +1,201 @@
+"""Mapping security knowledge onto the system model.
+
+Fig. 1 step 2: "Injecting validated information on the component
+security faults and the local impacts of attacks ... extends the system
+model with a set of candidate mutations to be evaluated."  A *candidate
+mutation* is a potential fault activation on a component — caused
+spontaneously (dependability fault mode), by an ATT&CK technique, or by
+exploiting a concrete vulnerability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..modeling.model import Element, SystemModel
+from .catalogs import SecurityCatalog, Technique, Vulnerability
+from .cvss import base_score, to_ora_label
+
+#: tactic ids whose techniques need external exposure to start from
+INITIAL_ACCESS_TACTICS = ("TA0108",)
+
+
+@dataclass(frozen=True)
+class CandidateMutation:
+    """A potential fault activation on a component.
+
+    ``origin_kind`` is ``fault`` (spontaneous dependability fault mode),
+    ``technique`` (ATT&CK) or ``vulnerability`` (CVE).  ``fault`` is the
+    fault-mode name the EPA engine will toggle; ``behaviour`` its
+    qualitative fault model; ``severity`` an O-RA label.
+    """
+
+    component: str
+    fault: str
+    behaviour: str
+    origin_kind: str
+    origin: str
+    severity: str = "M"
+
+    def __str__(self) -> str:
+        return "%s[%s<-%s:%s]" % (
+            self.component,
+            self.fault,
+            self.origin_kind,
+            self.origin,
+        )
+
+
+def component_platform(element: Element) -> Optional[str]:
+    """The library component-type label used to match technique platforms."""
+    platform = element.properties.get("component_type")
+    return str(platform) if platform is not None else None
+
+
+def technique_applicable(
+    technique: Technique, element: Element
+) -> bool:
+    """Does the technique target this component?
+
+    Platform must match the component's library type (empty platform
+    list means 'any').  Initial-access techniques additionally require
+    the component to be *exposed* (property ``exposure`` set to
+    ``public``, ``email`` or ``web``).
+    """
+    platform = component_platform(element)
+    if technique.platforms and (platform is None or platform not in technique.platforms):
+        return False
+    if any(t in INITIAL_ACCESS_TACTICS for t in technique.tactic_ids):
+        exposure = str(element.properties.get("exposure", "internal"))
+        if exposure not in ("public", "email", "web"):
+            return False
+    return True
+
+
+def applicable_techniques(
+    catalog: SecurityCatalog, element: Element
+) -> List[Technique]:
+    return [
+        technique
+        for technique in catalog.techniques
+        if technique_applicable(technique, element)
+    ]
+
+
+def applicable_vulnerabilities(
+    catalog: SecurityCatalog, element: Element
+) -> List[Vulnerability]:
+    """Version-specific CVE matching on the component's software stack.
+
+    Components list their software as properties ``software`` (a single
+    ``product`` name or ``product:version``) or ``software_stack`` (a
+    list of such strings).  This is the version-specific refinement level
+    of Sec. VI.
+    """
+    stack: List[str] = []
+    single = element.properties.get("software")
+    if isinstance(single, str):
+        stack.append(single)
+    many = element.properties.get("software_stack")
+    if isinstance(many, (list, tuple)):
+        stack.extend(str(entry) for entry in many)
+    matches: List[Vulnerability] = []
+    for entry in stack:
+        if ":" in entry:
+            product, version = entry.split(":", 1)
+        else:
+            product, version = entry, None
+        matches.extend(catalog.vulnerabilities_for_product(product, version))
+    return matches
+
+
+def _difficulty_to_severity(technique: Technique) -> str:
+    """Easier techniques are riskier: invert difficulty onto O-RA."""
+    return {"L": "VH", "M": "H", "H": "M"}.get(technique.difficulty, "M")
+
+
+def candidate_mutations(
+    model: SystemModel,
+    catalog: Optional[SecurityCatalog] = None,
+    include_faults: bool = True,
+    include_techniques: bool = True,
+    include_vulnerabilities: bool = True,
+) -> List[CandidateMutation]:
+    """The full candidate-mutation set of a model (Fig. 1 step 2)."""
+    mutations: List[CandidateMutation] = []
+    for element in model.elements:
+        if include_faults:
+            for fault in element.properties.get("fault_modes", []) or []:
+                mutations.append(
+                    CandidateMutation(
+                        element.identifier,
+                        fault["name"],
+                        fault["behaviour"],
+                        "fault",
+                        fault["name"],
+                        _severity_to_ora(fault.get("severity", "major")),
+                    )
+                )
+        if catalog is None:
+            continue
+        if include_techniques:
+            for technique in applicable_techniques(catalog, element):
+                mutations.append(
+                    CandidateMutation(
+                        element.identifier,
+                        technique.identifier.lower(),
+                        technique.induced_behaviour,
+                        "technique",
+                        technique.identifier,
+                        _difficulty_to_severity(technique),
+                    )
+                )
+        if include_vulnerabilities:
+            for vulnerability in applicable_vulnerabilities(catalog, element):
+                severity = "M"
+                if vulnerability.cvss_vector:
+                    severity = to_ora_label(base_score(vulnerability.cvss_vector))
+                mutations.append(
+                    CandidateMutation(
+                        element.identifier,
+                        vulnerability.identifier.lower().replace("-", "_"),
+                        vulnerability.induced_behaviour,
+                        "vulnerability",
+                        vulnerability.identifier,
+                        severity,
+                    )
+                )
+    return mutations
+
+
+def _severity_to_ora(severity: str) -> str:
+    return {
+        "negligible": "VL",
+        "minor": "L",
+        "major": "H",
+        "critical": "VH",
+    }.get(severity, "M")
+
+
+def mitigations_for_mutation(
+    catalog: SecurityCatalog, mutation: CandidateMutation
+) -> List[str]:
+    """Mitigation ids that counter a candidate mutation.
+
+    Technique-born mutations map through the ATT&CK technique->mitigation
+    join; vulnerability-born ones are countered by patching (M0926-style
+    software-update mitigations when present in the catalog).
+    """
+    if mutation.origin_kind == "technique":
+        return [
+            entry.identifier
+            for entry in catalog.mitigations_for_technique(mutation.origin)
+        ]
+    if mutation.origin_kind == "vulnerability":
+        return [
+            entry.identifier
+            for entry in catalog.mitigations
+            if "update" in entry.name.lower() or "patch" in entry.name.lower()
+        ]
+    return []

@@ -1,0 +1,220 @@
+"""The attack-scenario space (Sec. IV-A).
+
+The scenario-identification step answers four questions: which *assets*
+could be targeted, by which *methods*, carried out by which *threat
+actors*, causing which *loss events*.  Its outcome is "the so-called
+scenario space that contains all potential scenarios that can lead to
+failures/losses".
+
+:class:`AttackScenarioSpace` enumerates bounded technique chains: an
+actor enters at an exposed component with an initial-access technique
+and follows the model's propagation edges with follow-up techniques.
+Each scenario yields the fault-mode set it would activate — the bridge
+into the EPA engine.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..modeling.model import SystemModel
+from .catalogs import SecurityCatalog, Technique
+from .mapping import (
+    INITIAL_ACCESS_TACTICS,
+    CandidateMutation,
+    applicable_techniques,
+    technique_applicable,
+)
+
+
+@dataclass(frozen=True)
+class ThreatActor:
+    """A threat-actor profile (Sec. IV-A step 3).
+
+    ``capability`` is an O-RA label gating which techniques the actor can
+    execute: an ``L`` actor only performs ``L``-difficulty techniques,
+    ``M`` up to ``M``, and so on.
+    """
+
+    name: str
+    capability: str = "M"
+    motivation: str = "opportunistic"
+
+    _ORDER = ("L", "M", "H")
+
+    def can_execute(self, technique: Technique) -> bool:
+        try:
+            return self._ORDER.index(technique.difficulty) <= self._ORDER.index(
+                self.capability if self.capability in self._ORDER else "H"
+            )
+        except ValueError:
+            return True
+
+
+@dataclass(frozen=True)
+class LossEvent:
+    """A potential loss (Sec. IV-A step 4)."""
+
+    name: str
+    description: str = ""
+    magnitude: str = "M"  # O-RA Loss Magnitude label
+
+
+@dataclass(frozen=True)
+class AttackStep:
+    """One technique applied to one component."""
+
+    component: str
+    technique: str
+
+    def __str__(self) -> str:
+        return "%s@%s" % (self.technique, self.component)
+
+
+@dataclass(frozen=True)
+class AttackScenario:
+    """A bounded attack chain by one actor."""
+
+    actor: str
+    steps: Tuple[AttackStep, ...]
+
+    @property
+    def entry(self) -> AttackStep:
+        return self.steps[0]
+
+    @property
+    def components(self) -> Tuple[str, ...]:
+        return tuple(step.component for step in self.steps)
+
+    def __str__(self) -> str:
+        return "%s: %s" % (self.actor, " -> ".join(str(s) for s in self.steps))
+
+
+class AttackScenarioSpace:
+    """Enumerator over the logical attack-scenario space."""
+
+    def __init__(
+        self,
+        model: SystemModel,
+        catalog: SecurityCatalog,
+        actors: Sequence[ThreatActor] = (ThreatActor("default", "H"),),
+        loss_events: Sequence[LossEvent] = (),
+        max_chain: int = 3,
+    ):
+        self.model = model
+        self.catalog = catalog
+        self.actors = tuple(actors)
+        self.loss_events = tuple(loss_events)
+        self.max_chain = max_chain
+        self._graph = model.propagation_graph()
+
+    # ------------------------------------------------------------------
+    # the four defining aspects
+    # ------------------------------------------------------------------
+    def assets(self) -> List[str]:
+        """Asset definition: components an attacker could target."""
+        return sorted(
+            element.identifier
+            for element in self.model.elements
+            if element.properties.get("component_type")
+        )
+
+    def methods(self) -> Dict[str, List[str]]:
+        """Method identification: applicable techniques per asset."""
+        result: Dict[str, List[str]] = {}
+        for element in self.model.elements:
+            techniques = [
+                technique.identifier
+                for technique in applicable_techniques(self.catalog, element)
+            ]
+            if techniques:
+                result[element.identifier] = techniques
+        return result
+
+    def entry_points(self, actor: ThreatActor) -> List[AttackStep]:
+        """Exposed components with an executable initial-access technique."""
+        entries: List[AttackStep] = []
+        for element in self.model.elements:
+            for technique in applicable_techniques(self.catalog, element):
+                if not any(
+                    t in INITIAL_ACCESS_TACTICS for t in technique.tactic_ids
+                ):
+                    continue
+                if actor.can_execute(technique):
+                    entries.append(
+                        AttackStep(element.identifier, technique.identifier)
+                    )
+        return entries
+
+    # ------------------------------------------------------------------
+    # enumeration
+    # ------------------------------------------------------------------
+    def scenarios(self) -> Iterator[AttackScenario]:
+        """All bounded attack chains, deterministically ordered."""
+        for actor in self.actors:
+            for entry in self.entry_points(actor):
+                yield from self._extend(actor, (entry,), {entry.component})
+
+    def _extend(
+        self,
+        actor: ThreatActor,
+        chain: Tuple[AttackStep, ...],
+        visited: Set[str],
+    ) -> Iterator[AttackScenario]:
+        yield AttackScenario(actor.name, chain)
+        if len(chain) >= self.max_chain:
+            return
+        last = chain[-1].component
+        for successor in sorted(self._graph.successors(last)):
+            if successor in visited:
+                continue
+            element = self.model.element(successor)
+            for technique in self.catalog.techniques:
+                if any(
+                    t in INITIAL_ACCESS_TACTICS for t in technique.tactic_ids
+                ):
+                    continue  # follow-up steps use post-access techniques
+                if not technique_applicable(technique, element):
+                    continue
+                if not actor.can_execute(technique):
+                    continue
+                step = AttackStep(successor, technique.identifier)
+                yield from self._extend(
+                    actor, chain + (step,), visited | {successor}
+                )
+
+    def size(self) -> int:
+        return sum(1 for _ in self.scenarios())
+
+    # ------------------------------------------------------------------
+    # EPA bridge
+    # ------------------------------------------------------------------
+    def mutations_for(self, scenario: AttackScenario) -> List[CandidateMutation]:
+        """The fault activations a scenario causes on the model."""
+        mutations: List[CandidateMutation] = []
+        for step in scenario.steps:
+            technique = self.catalog.technique(step.technique)
+            mutations.append(
+                CandidateMutation(
+                    step.component,
+                    technique.identifier.lower(),
+                    technique.induced_behaviour,
+                    "technique",
+                    technique.identifier,
+                )
+            )
+        return mutations
+
+    def blocking_mitigations(self, scenario: AttackScenario) -> List[Set[str]]:
+        """Per step, the mitigation ids that would block that step.
+
+        A scenario is blocked when at least one of its steps is blocked —
+        the structure the mitigation optimizer's covering model uses.
+        """
+        result: List[Set[str]] = []
+        for step in scenario.steps:
+            technique = self.catalog.technique(step.technique)
+            result.append(set(technique.mitigation_ids))
+        return result

@@ -1,0 +1,61 @@
+"""Temporal reasoning: LTLf and Telingo-style temporal ASP.
+
+The paper validates dynamic safety requirements with Telingo (ASP + LTL).
+This package provides the equivalent machinery: an LTLf formula language
+with finite-trace semantics, and :class:`TemporalProgram`, which unrolls
+`initial`/`dynamic`/`always`/`final` rule parts over a bounded horizon and
+compiles LTLf requirements into satisfaction rules.
+"""
+
+from .ltl import (
+    And,
+    Eventually,
+    Formula,
+    Globally,
+    LtlError,
+    Next,
+    Not,
+    Or,
+    Prop,
+    Release,
+    Until,
+    WeakNext,
+    iff,
+    implies,
+    parse_ltl,
+    weak_until,
+)
+from .semantics import TraceError, evaluate, holds_initially, violations
+from .telingo import (
+    Requirement,
+    TemporalError,
+    TemporalModel,
+    TemporalProgram,
+)
+
+__all__ = [
+    "And",
+    "Eventually",
+    "Formula",
+    "Globally",
+    "LtlError",
+    "Next",
+    "Not",
+    "Or",
+    "Prop",
+    "Release",
+    "Requirement",
+    "TemporalError",
+    "TemporalModel",
+    "TemporalProgram",
+    "TraceError",
+    "Until",
+    "WeakNext",
+    "evaluate",
+    "holds_initially",
+    "iff",
+    "implies",
+    "parse_ltl",
+    "violations",
+    "weak_until",
+]

@@ -1,0 +1,342 @@
+"""Linear temporal logic over finite traces (LTLf).
+
+The paper's reasoning layer builds on Telingo — ASP extended with linear
+temporal logic over finite traces.  This module provides the formula AST
+and a parser.  Finite-trace semantics live in
+:mod:`repro.temporal.semantics`; compilation into unrolled ASP rules in
+:mod:`repro.temporal.telingo`.
+
+Formula syntax (parsed by :func:`parse_ltl`)::
+
+    prop        atomic proposition, ASP-atom syntax: level(high)
+    ~f          negation             f & g      conjunction
+    f | g       disjunction          f -> g     implication
+    f <-> g     equivalence
+    X f         next                 WX f       weak next
+    F f         eventually           G f        globally
+    f U g       until                f R g      release
+    f W g       weak until
+
+Operator precedence (loosest to tightest): ``<->``, ``->``, ``|``, ``&``,
+unary (``~ X WX F G``), then ``U/R/W`` bind tighter than the boolean
+connectives and associate to the right.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from ..asp.parser import ParseError
+from ..asp.parser import parse_term
+from ..asp.syntax import Atom
+from ..asp.terms import Function, Symbol
+
+
+class LtlError(Exception):
+    """Raised on malformed LTL formulas."""
+
+
+@dataclass(frozen=True)
+class Formula:
+    """Base class for LTL formulas."""
+
+    def subformulas(self) -> Iterator["Formula"]:
+        """Post-order traversal including self."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Prop(Formula):
+    """An atomic proposition, carried as a ground ASP atom."""
+
+    atom: Atom
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield self
+
+    def __str__(self) -> str:
+        return str(self.atom)
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    operand: Formula
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield from self.operand.subformulas()
+        yield self
+
+    def __str__(self) -> str:
+        return "~%s" % _wrap(self.operand)
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield from self.left.subformulas()
+        yield from self.right.subformulas()
+        yield self
+
+    def __str__(self) -> str:
+        return "(%s & %s)" % (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield from self.left.subformulas()
+        yield from self.right.subformulas()
+        yield self
+
+    def __str__(self) -> str:
+        return "(%s | %s)" % (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Next(Formula):
+    """Strong next: requires a successor state."""
+
+    operand: Formula
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield from self.operand.subformulas()
+        yield self
+
+    def __str__(self) -> str:
+        return "X %s" % _wrap(self.operand)
+
+
+@dataclass(frozen=True)
+class WeakNext(Formula):
+    """Weak next: vacuously true in the final state."""
+
+    operand: Formula
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield from self.operand.subformulas()
+        yield self
+
+    def __str__(self) -> str:
+        return "WX %s" % _wrap(self.operand)
+
+
+@dataclass(frozen=True)
+class Eventually(Formula):
+    operand: Formula
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield from self.operand.subformulas()
+        yield self
+
+    def __str__(self) -> str:
+        return "F %s" % _wrap(self.operand)
+
+
+@dataclass(frozen=True)
+class Globally(Formula):
+    operand: Formula
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield from self.operand.subformulas()
+        yield self
+
+    def __str__(self) -> str:
+        return "G %s" % _wrap(self.operand)
+
+
+@dataclass(frozen=True)
+class Until(Formula):
+    left: Formula
+    right: Formula
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield from self.left.subformulas()
+        yield from self.right.subformulas()
+        yield self
+
+    def __str__(self) -> str:
+        return "(%s U %s)" % (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Release(Formula):
+    left: Formula
+    right: Formula
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield from self.left.subformulas()
+        yield from self.right.subformulas()
+        yield self
+
+    def __str__(self) -> str:
+        return "(%s R %s)" % (self.left, self.right)
+
+
+def _wrap(formula: Formula) -> str:
+    if isinstance(formula, (Prop, Not)):
+        return str(formula)
+    return "(%s)" % formula
+
+
+def implies(left: Formula, right: Formula) -> Formula:
+    """``left -> right`` as ``~left | right``."""
+    return Or(Not(left), right)
+
+
+def iff(left: Formula, right: Formula) -> Formula:
+    """``left <-> right``."""
+    return And(implies(left, right), implies(right, left))
+
+
+def weak_until(left: Formula, right: Formula) -> Formula:
+    """``left W right`` expanded to ``(left U right) | G left``."""
+    return Or(Until(left, right), Globally(left))
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+_LTL_TOKEN = re.compile(
+    r"\s*(?:(?P<op><->|->|[~&|()])"
+    r"|(?P<word>WX|[XFGURW])(?![A-Za-z0-9_])"
+    r"|(?P<prop>[a-z][A-Za-z0-9_]*(?:\([^()]*(?:\([^()]*\))?[^()]*\))?))"
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _LTL_TOKEN.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise LtlError("cannot tokenize LTL input at %r" % remainder[:20])
+        if match.group("op"):
+            tokens.append(("op", match.group("op")))
+        elif match.group("word"):
+            tokens.append(("word", match.group("word")))
+        else:
+            tokens.append(("prop", match.group("prop")))
+        position = match.end()
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _LtlParser:
+    def __init__(self, text: str):
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    def _peek(self) -> Tuple[str, str]:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Tuple[str, str]:
+        token = self._tokens[self._index]
+        if token[0] != "eof":
+            self._index += 1
+        return token
+
+    def _accept(self, kind: str, text: str) -> bool:
+        if self._peek() == (kind, text):
+            self._advance()
+            return True
+        return False
+
+    def parse(self) -> Formula:
+        formula = self._parse_iff()
+        if self._peek()[0] != "eof":
+            raise LtlError("trailing input after formula: %r" % (self._peek()[1],))
+        return formula
+
+    def _parse_iff(self) -> Formula:
+        left = self._parse_implies()
+        while self._accept("op", "<->"):
+            right = self._parse_implies()
+            left = iff(left, right)
+        return left
+
+    def _parse_implies(self) -> Formula:
+        left = self._parse_or()
+        if self._accept("op", "->"):
+            right = self._parse_implies()  # right associative
+            return implies(left, right)
+        return left
+
+    def _parse_or(self) -> Formula:
+        left = self._parse_and()
+        while self._accept("op", "|"):
+            left = Or(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Formula:
+        left = self._parse_binary_temporal()
+        while self._accept("op", "&"):
+            left = And(left, self._parse_binary_temporal())
+        return left
+
+    def _parse_binary_temporal(self) -> Formula:
+        left = self._parse_unary()
+        kind, text = self._peek()
+        if kind == "word" and text in ("U", "R", "W"):
+            self._advance()
+            right = self._parse_binary_temporal()  # right associative
+            if text == "U":
+                return Until(left, right)
+            if text == "R":
+                return Release(left, right)
+            return weak_until(left, right)
+        return left
+
+    def _parse_unary(self) -> Formula:
+        kind, text = self._peek()
+        if kind == "op" and text == "~":
+            self._advance()
+            return Not(self._parse_unary())
+        if kind == "word" and text in ("X", "WX", "F", "G"):
+            self._advance()
+            operand = self._parse_unary()
+            return {
+                "X": Next,
+                "WX": WeakNext,
+                "F": Eventually,
+                "G": Globally,
+            }[text](operand)
+        if kind == "op" and text == "(":
+            self._advance()
+            inner = self._parse_iff()
+            if not self._accept("op", ")"):
+                raise LtlError("missing closing parenthesis")
+            return inner
+        if kind == "prop":
+            self._advance()
+            return Prop(_parse_prop(text))
+        raise LtlError("expected a formula, found %r" % (text or "end of input"))
+
+
+def _parse_prop(text: str) -> Atom:
+    try:
+        term = parse_term(text)
+    except ParseError as error:
+        raise LtlError("bad proposition %r: %s" % (text, error)) from None
+    if isinstance(term, Symbol):
+        return Atom(term.name, ())
+    if isinstance(term, Function) and term.name:
+        if not term.is_ground():
+            raise LtlError("proposition %r must be ground" % text)
+        return Atom(term.name, term.arguments)
+    raise LtlError("proposition %r is not an atom" % text)
+
+
+def parse_ltl(text: str) -> Formula:
+    """Parse an LTLf formula from text."""
+    return _LtlParser(text).parse()

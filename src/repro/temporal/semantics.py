@@ -1,0 +1,125 @@
+"""Finite-trace (LTLf) semantics.
+
+A *trace* is a non-empty sequence of states; each state is a set of
+ground atoms (:class:`repro.asp.syntax.Atom`).  Evaluation follows the
+standard LTLf semantics (De Giacomo & Vardi):
+
+* ``X f`` requires a successor state (false in the last state);
+* ``WX f`` is true in the last state;
+* ``G``/``F``/``U``/``R`` quantify over the remaining finite suffix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..asp.syntax import Atom
+from .ltl import (
+    And,
+    Eventually,
+    Formula,
+    Globally,
+    Next,
+    Not,
+    Or,
+    Prop,
+    Release,
+    Until,
+    WeakNext,
+)
+
+Trace = Sequence[Set[Atom]]
+
+
+class TraceError(Exception):
+    """Raised for empty traces or out-of-range positions."""
+
+
+def evaluate(formula: Formula, trace: Trace, position: int = 0) -> bool:
+    """Evaluate ``formula`` on ``trace`` starting at ``position``."""
+    if not trace:
+        raise TraceError("LTLf traces must be non-empty")
+    if not 0 <= position < len(trace):
+        raise TraceError("position %d outside trace of length %d" % (position, len(trace)))
+    cache: Dict[Tuple[int, int], bool] = {}
+    return _eval(formula, trace, position, cache)
+
+
+def _eval(
+    formula: Formula,
+    trace: Trace,
+    position: int,
+    cache: Dict[Tuple[int, int], bool],
+) -> bool:
+    key = (id(formula), position)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    last = len(trace) - 1
+    if isinstance(formula, Prop):
+        result = formula.atom in trace[position]
+    elif isinstance(formula, Not):
+        result = not _eval(formula.operand, trace, position, cache)
+    elif isinstance(formula, And):
+        result = _eval(formula.left, trace, position, cache) and _eval(
+            formula.right, trace, position, cache
+        )
+    elif isinstance(formula, Or):
+        result = _eval(formula.left, trace, position, cache) or _eval(
+            formula.right, trace, position, cache
+        )
+    elif isinstance(formula, Next):
+        result = position < last and _eval(
+            formula.operand, trace, position + 1, cache
+        )
+    elif isinstance(formula, WeakNext):
+        result = position == last or _eval(
+            formula.operand, trace, position + 1, cache
+        )
+    elif isinstance(formula, Eventually):
+        result = any(
+            _eval(formula.operand, trace, t, cache)
+            for t in range(position, last + 1)
+        )
+    elif isinstance(formula, Globally):
+        result = all(
+            _eval(formula.operand, trace, t, cache)
+            for t in range(position, last + 1)
+        )
+    elif isinstance(formula, Until):
+        result = False
+        for t in range(position, last + 1):
+            if _eval(formula.right, trace, t, cache):
+                if all(
+                    _eval(formula.left, trace, u, cache)
+                    for u in range(position, t)
+                ):
+                    result = True
+                    break
+    elif isinstance(formula, Release):
+        # right must hold up to and including the step where left holds;
+        # if left never holds, right must hold to the end of the trace.
+        result = True
+        for t in range(position, last + 1):
+            if not _eval(formula.right, trace, t, cache):
+                released = any(
+                    _eval(formula.left, trace, u, cache)
+                    for u in range(position, t)
+                )
+                if not released:
+                    result = False
+                break
+    else:
+        raise TypeError("unknown formula type %s" % type(formula).__name__)
+    cache[key] = result
+    return result
+
+
+def violations(formula: Formula, trace: Trace) -> List[int]:
+    """Positions at which the formula does not hold."""
+    return [t for t in range(len(trace)) if not evaluate(formula, trace, t)]
+
+
+def holds_initially(formula: Formula, trace: Trace) -> bool:
+    """Shorthand: does the trace satisfy the formula from position 0."""
+    return evaluate(formula, trace, 0)

@@ -1,0 +1,154 @@
+"""Classic ASP problems as integration stress tests of the engine.
+
+Graph coloring, independent sets, Hamiltonian cycles, N-queens and a
+knapsack-style optimization: canonical encodings whose solution counts
+are known in closed form (or computable by brute force), so every one
+doubles as a correctness oracle for grounding + stable-model search.
+"""
+
+import itertools
+
+import pytest
+
+from repro.asp import Control, atom
+
+
+class TestGraphColoring:
+    def _coloring_count(self, edges, nodes, colors):
+        text = ["node(%s)." % n for n in nodes]
+        text += ["edge(%s, %s)." % e for e in edges]
+        text.append("color(1..%d)." % colors)
+        text.append("1 { assigned(N, C) : color(C) } 1 :- node(N).")
+        text.append(":- edge(A, B), assigned(A, C), assigned(B, C).")
+        return len(Control("\n".join(text)).solve())
+
+    def test_triangle_3_colors(self):
+        # chromatic polynomial of K3 at k=3: 3*2*1 = 6
+        count = self._coloring_count(
+            [("a", "b"), ("b", "c"), ("a", "c")], ["a", "b", "c"], 3
+        )
+        assert count == 6
+
+    def test_triangle_2_colors_unsat(self):
+        count = self._coloring_count(
+            [("a", "b"), ("b", "c"), ("a", "c")], ["a", "b", "c"], 2
+        )
+        assert count == 0
+
+    def test_path_graph(self):
+        # P3 with k colors: k*(k-1)^2 -> 3*4 = 12 at k=3
+        count = self._coloring_count(
+            [("a", "b"), ("b", "c")], ["a", "b", "c"], 3
+        )
+        assert count == 12
+
+    def test_cycle_c4(self):
+        # chromatic polynomial of C4 at k=3: (k-1)^4 + (k-1) = 16+2 = 18
+        count = self._coloring_count(
+            [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")],
+            ["a", "b", "c", "d"],
+            3,
+        )
+        assert count == 18
+
+
+class TestIndependentSet:
+    def test_counts_match_bruteforce(self):
+        edges = [(1, 2), (2, 3), (3, 4), (4, 1), (1, 3)]
+        nodes = [1, 2, 3, 4]
+        text = ["node(%d)." % n for n in nodes]
+        text += ["edge(%d, %d)." % e for e in edges]
+        text.append("{ in(N) : node(N) }.")
+        text.append(":- edge(A, B), in(A), in(B).")
+        models = Control("\n".join(text)).solve()
+        expected = 0
+        for subset in itertools.chain.from_iterable(
+            itertools.combinations(nodes, r) for r in range(len(nodes) + 1)
+        ):
+            chosen = set(subset)
+            if not any(a in chosen and b in chosen for a, b in edges):
+                expected += 1
+        assert len(models) == expected
+
+    def test_maximum_independent_set(self):
+        edges = [(1, 2), (2, 3), (3, 4), (4, 5), (5, 1)]  # C5: alpha = 2
+        text = ["node(%d)." % n for n in range(1, 6)]
+        text += ["edge(%d, %d)." % e for e in edges]
+        text.append("{ in(N) : node(N) }.")
+        text.append(":- edge(A, B), in(A), in(B).")
+        text.append("#maximize { 1,N : in(N) }.")
+        best = Control("\n".join(text)).optimize()
+        size = sum(1 for a in best[0].atoms if a.predicate == "in")
+        assert size == 2
+
+
+class TestHamiltonianCycle:
+    def _program(self, edges, n):
+        text = ["node(1..%d)." % n]
+        text += ["edge(%d, %d)." % e for e in edges]
+        text.append("1 { go(A, B) : edge(A, B) } 1 :- node(A).")
+        text.append("1 { go(A, B) : edge(A, B) } 1 :- node(B).")
+        text.append("reach(1).")
+        text.append("reach(B) :- reach(A), go(A, B).")
+        text.append(":- node(N), not reach(N).")
+        return "\n".join(text)
+
+    def test_k4_has_cycles(self):
+        edges = [
+            (a, b) for a in range(1, 5) for b in range(1, 5) if a != b
+        ]
+        models = Control(self._program(edges, 4)).solve()
+        # directed Hamiltonian cycles in K4: (4-1)! = 6
+        assert len(models) == 6
+
+    def test_path_graph_has_none(self):
+        edges = [(1, 2), (2, 3), (2, 1), (3, 2)]
+        models = Control(self._program(edges, 3)).solve()
+        assert models == []
+
+
+class TestNQueens:
+    def _queens_count(self, n):
+        text = [
+            "row(1..%d)." % n,
+            "1 { queen(R, C) : row(C) } 1 :- row(R).",
+            ":- queen(R1, C), queen(R2, C), R1 < R2.",
+            ":- queen(R1, C1), queen(R2, C2), R1 < R2, R2 - R1 = C2 - C1.",
+            ":- queen(R1, C1), queen(R2, C2), R1 < R2, R2 - R1 = C1 - C2.",
+        ]
+        return len(Control("\n".join(text)).solve())
+
+    def test_known_counts(self):
+        assert self._queens_count(4) == 2
+        assert self._queens_count(5) == 10
+
+    def test_three_queens_unsat(self):
+        assert self._queens_count(3) == 0
+
+
+class TestKnapsack:
+    def test_optimal_value(self):
+        # items (value, weight): brute-force optimum under capacity 10
+        items = {"a": (10, 5), "b": (6, 4), "c": (7, 6), "d": (3, 1)}
+        text = ["item(%s). value(%s, %d). weight(%s, %d)." % (k, k, v, k, w)
+                for k, (v, w) in items.items()]
+        text.append("{ take(I) : item(I) }.")
+        text.append(":- #sum { W,I : take(I), weight(I, W) } > 10.")
+        text.append("#maximize { V,I : take(I), value(I, V) }.")
+        best = Control("\n".join(text)).optimize()
+        chosen = {
+            str(a.arguments[0])
+            for a in best[0].atoms
+            if a.predicate == "take"
+        }
+        best_value = sum(items[i][0] for i in chosen)
+        # brute force
+        expected = 0
+        for r in range(len(items) + 1):
+            for subset in itertools.combinations(items, r):
+                weight = sum(items[i][1] for i in subset)
+                if weight <= 10:
+                    expected = max(
+                        expected, sum(items[i][0] for i in subset)
+                    )
+        assert best_value == expected == 19  # a + b + d (weight 10)

@@ -1,0 +1,109 @@
+"""Tests for the Control facade and Python-value conversion."""
+
+import pytest
+
+from repro.asp import Control, atom, to_term
+from repro.asp.ground import GroundProgram
+from repro.asp.naive import is_model, is_stable_model, stable_models
+from repro.asp.terms import Function, Number, String, Symbol
+
+
+class TestToTerm:
+    def test_int(self):
+        assert to_term(7) == Number(7)
+
+    def test_negative_int(self):
+        assert to_term(-2) == Number(-2)
+
+    def test_bool_becomes_symbol(self):
+        assert to_term(True) == Symbol("true")
+        assert to_term(False) == Symbol("false")
+
+    def test_identifier_string_becomes_symbol(self):
+        assert to_term("water_tank") == Symbol("water_tank")
+
+    def test_non_identifier_string_becomes_string(self):
+        assert to_term("Water Tank") == String("Water Tank")
+        assert to_term("CVE-2023-1") == String("CVE-2023-1")
+        assert to_term("") == String("")
+
+    def test_tuple_becomes_tuple_term(self):
+        assert to_term((1, "a")) == Function("", (Number(1), Symbol("a")))
+
+    def test_term_passes_through(self):
+        term = Symbol("x")
+        assert to_term(term) is term
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            to_term(3.14)
+
+
+class TestAddFacts:
+    def test_add_fact_varargs(self):
+        control = Control()
+        control.add_fact("level", "tank", 3)
+        model = control.first_model()
+        assert model.contains(atom("level", "tank", 3))
+
+    def test_add_facts_bulk(self):
+        control = Control()
+        control.add_facts(
+            [("edge", (1, 2)), ("edge", (2, 3)), ("node", ("a",))]
+        )
+        model = control.first_model()
+        assert model.contains(atom("edge", 1, 2))
+        assert model.contains(atom("node", "a"))
+
+    def test_facts_join_with_rules(self):
+        control = Control("reach(X) :- edge(1, X).")
+        control.add_fact("edge", 1, 2)
+        model = control.first_model()
+        assert model.contains(atom("reach", 2))
+
+    def test_add_invalidates_grounding_cache(self):
+        control = Control("a.")
+        first = control.ground()
+        control.add_fact("b")
+        second = control.ground()
+        assert second is not first
+        assert len(second.possible_atoms) == 2
+
+
+class TestControlQueries:
+    def test_is_satisfiable(self):
+        assert Control("{ a }.").is_satisfiable()
+        assert not Control("a. :- a.").is_satisfiable()
+
+    def test_first_model_none_on_unsat(self):
+        assert Control(":- not a.").first_model() is None
+
+    def test_ground_statistics(self):
+        stats = Control("p(1..4). q(X) :- p(X).").ground().statistics()
+        assert stats == {"rules": 8, "weak_constraints": 0, "atoms": 8}
+
+    def test_ground_program_renders(self):
+        text = str(Control("p(1). q :- p(1), not r. :~ q. [1@1]").ground())
+        assert "p(1)." in text
+        assert "not r" in text or "q :- p(1)." in text
+        assert ":~" in text
+
+
+class TestNaiveCheckerDirect:
+    def test_is_model_and_stability_disagree_on_unfounded(self):
+        program = Control("a :- b. b :- a.").ground()
+        assert is_model(program, set())  # empty is a classical model
+        unfounded = {atom("a"), atom("b")}
+        assert is_model(program, set(unfounded))
+        assert not is_stable_model(program, set(unfounded))
+
+    def test_stable_models_enumeration(self):
+        program = Control("{ a }. b :- a.").ground()
+        models = stable_models(program)
+        as_strings = {frozenset(str(x) for x in m) for m in models}
+        assert as_strings == {frozenset(), frozenset({"a", "b"})}
+
+    def test_constraint_rejects_model(self):
+        program = Control("{ a }. :- a.").ground()
+        assert not is_stable_model(program, {atom("a")})
+        assert is_stable_model(program, set())

@@ -1,0 +1,219 @@
+"""Edge-case and failure-injection tests for the ASP engine."""
+
+import pytest
+
+from repro.asp import Control, atom, parse_program, parse_term
+from repro.asp.grounder import GroundingError, ground_program
+from repro.asp.parser import ParseError
+from repro.asp.solver import SolverError
+from repro.asp.terms import Number, String, Symbol
+
+
+def answer_sets(text):
+    return {
+        frozenset(str(a) for a in model.atoms)
+        for model in Control(text).solve()
+    }
+
+
+class TestStringsAndTuples:
+    def test_string_facts(self):
+        ctl = Control('name(tank, "Main Water Tank").')
+        model = ctl.first_model()
+        assert model.contains(atom("name", "tank", "Main Water Tank"))
+
+    def test_string_join(self):
+        sets = answer_sets(
+            'label("a"). label("b"). pair(X, Y) :- label(X), label(Y), X != Y.'
+        )
+        only = next(iter(sets))
+        assert 'pair("a","b")' in only
+
+    def test_tuple_terms(self):
+        ctl = Control("edge((1,2)). node(X) :- edge((X, _)).")
+        model = ctl.first_model()
+        assert model.contains(atom("node", 1))
+
+    def test_quoted_string_with_escape(self):
+        ctl = Control(r'msg("say \"hi\"").')
+        model = ctl.first_model()
+        values = [a for a in model.atoms if a.predicate == "msg"]
+        assert isinstance(values[0].arguments[0], String)
+        assert values[0].arguments[0].value == 'say "hi"'
+
+
+class TestArithmeticEdges:
+    def test_negative_numbers(self):
+        sets = answer_sets("p(-3). q(X + 5) :- p(X).")
+        assert {"p(-3)", "q(2)"} <= next(iter(sets))
+
+    def test_modulo(self):
+        sets = answer_sets("n(1..6). even(X) :- n(X), X \\ 2 = 0.")
+        only = next(iter(sets))
+        assert {"even(2)", "even(4)", "even(6)"} <= only
+        assert "even(1)" not in only
+
+    def test_division_truncation(self):
+        sets = answer_sets("p(7 / 2). q(-7 / 2).")
+        assert {"p(3)", "q(-3)"} <= next(iter(sets))
+
+    def test_interval_with_arithmetic_bounds(self):
+        sets = answer_sets("#const n = 2. p(1..n*2).")
+        assert {"p(1)", "p(2)", "p(3)", "p(4)"} == next(iter(sets))
+
+    def test_empty_interval_derives_nothing(self):
+        sets = answer_sets("p(5..3). q :- p(_).")
+        assert next(iter(sets)) == frozenset()
+
+    def test_comparison_between_symbols(self):
+        # symbols are ordered lexicographically, numbers before symbols
+        sets = answer_sets("v(a). v(b). first(X) :- v(X), v(Y), X < Y.")
+        assert "first(a)" in next(iter(sets))
+
+
+class TestChoiceEdgeCases:
+    def test_choice_condition_with_negation(self):
+        sets = answer_sets(
+            """
+            item(a). item(b). broken(b).
+            { pick(X) : item(X), not broken(X) }.
+            """
+        )
+        picks = {frozenset(a for a in s if a.startswith("pick")) for s in sets}
+        assert picks == {frozenset(), frozenset({"pick(a)"})}
+
+    def test_choice_over_empty_domain(self):
+        sets = answer_sets("{ pick(X) : item(X) }.")
+        assert sets == {frozenset()}
+
+    def test_nested_dependency_through_choice(self):
+        # atoms chosen in one choice feed the condition of another
+        sets = answer_sets(
+            """
+            { a }.
+            { b : a }.
+            """
+        )
+        assert sets == {frozenset(), frozenset({"a"}), frozenset({"a", "b"})}
+
+    def test_choice_bound_larger_than_elements_unsat(self):
+        sets = answer_sets("item(a). 2 { pick(X) : item(X) }.")
+        assert sets == set()
+
+    def test_late_derived_choice_elements_counted(self):
+        """Regression: elements derived after the choice rule's first
+        instantiation must still appear (grounder re-registration)."""
+        sets = answer_sets(
+            """
+            seed(a).
+            item(X) :- seed(X).
+            item(b) :- item(a).
+            { pick(X) : item(X) }.
+            :- #count { X : pick(X) } > 1.
+            """
+        )
+        # {}, {a}, {b} — but never {a, b}
+        picks = {
+            frozenset(a for a in s if a.startswith("pick")) for s in sets
+        }
+        assert picks == {
+            frozenset(),
+            frozenset({"pick(a)"}),
+            frozenset({"pick(b)"}),
+        }
+
+
+class TestConstOverride:
+    def test_const_used_everywhere(self):
+        sets = answer_sets(
+            """
+            #const limit = 3.
+            n(1..limit).
+            ok :- #count { X : n(X) } = limit.
+            """
+        )
+        assert "ok" in next(iter(sets))
+
+
+class TestFailureInjection:
+    def test_unsafe_rule_message_names_variable(self):
+        with pytest.raises(GroundingError) as excinfo:
+            ground_program(parse_program("p(X) :- q."))
+        assert "X" in str(excinfo.value)
+
+    def test_parse_error_mid_program_no_partial_state(self):
+        ctl = Control("good.")
+        with pytest.raises(ParseError):
+            ctl.add("bad syntax here !!!")
+        # the earlier valid part still solves
+        assert ctl.first_model() is not None
+
+    def test_weak_constraint_symbol_weight_rejected(self):
+        with pytest.raises(GroundingError):
+            Control(":~ a. [oops@1] a.").ground()
+
+    def test_aggregate_on_non_integer_weight_rejected(self):
+        ctl = Control("v(a). bad :- #sum { X : v(X) } >= 1.")
+        with pytest.raises(SolverError):
+            ctl.solve()
+
+    def test_deep_recursion_grounds(self):
+        # 60-step successor chain: exercises semi-naive iteration depth
+        ctl = Control(
+            """
+            n(0).
+            n(X + 1) :- n(X), X < 60.
+            """
+        )
+        model = ctl.first_model()
+        assert model.contains(atom("n", 60))
+        assert not model.contains(atom("n", 61))
+
+
+class TestMinMaxInConstraints:
+    def test_min_guard_in_constraint(self):
+        sets = answer_sets(
+            """
+            v(1..4).
+            { pick(X) : v(X) }.
+            :- #min { X : pick(X) } < 2.
+            ok :- pick(_).
+            """
+        )
+        for model in sets:
+            picks = {a for a in model if a.startswith("pick(")}
+            if picks:
+                values = {int(p[5:-1]) for p in picks}
+                assert min(values) >= 2
+
+    def test_max_guard_in_rule_body(self):
+        sets = answer_sets(
+            """
+            v(1..4).
+            { pick(X) : v(X) }.
+            high :- #max { X : pick(X) } >= 3.
+            """
+        )
+        for model in sets:
+            picks = {int(a[5:-1]) for a in model if a.startswith("pick(")}
+            expected = bool(picks) and max(picks) >= 3
+            assert ("high" in model) == expected
+
+
+class TestShowAndProjection:
+    def test_show_multiple_signatures(self):
+        ctl = Control(
+            """
+            a(1). b(2). c(3).
+            #show a/1.
+            #show c/1.
+            """
+        )
+        model = ctl.first_model()
+        shown = {str(s) for s in model.symbols()}
+        assert shown == {"a(1)", "c(3)"}
+
+    def test_show_keeps_full_atom_set_available(self):
+        ctl = Control("a. b. #show a/0.")
+        model = ctl.first_model()
+        assert model.contains(atom("b"))

@@ -1,0 +1,193 @@
+"""Unit tests for the grounder."""
+
+import pytest
+
+from repro.asp import Control, atom, parse_program
+from repro.asp.grounder import Grounder, GroundingError, ground_program
+from repro.asp.ground import GroundChoice
+from repro.asp.syntax import Atom
+from repro.asp.terms import Number, Symbol
+
+
+def ground(text):
+    return ground_program(parse_program(text))
+
+
+class TestFacts:
+    def test_fact_becomes_ground_rule(self):
+        program = ground("p(a).")
+        assert len(program.rules) == 1
+        assert program.rules[0].head == atom("p", "a")
+        assert program.rules[0].is_fact()
+
+    def test_interval_fact_expands(self):
+        program = ground("n(1..3).")
+        heads = {rule.head for rule in program.rules}
+        assert heads == {atom("n", 1), atom("n", 2), atom("n", 3)}
+
+    def test_possible_atoms_collected(self):
+        program = ground("p(a). q(X) :- p(X).")
+        assert atom("q", "a") in program.possible_atoms
+
+
+class TestJoin:
+    def test_cartesian_product(self):
+        program = ground("p(a). p(b). q(1). r(X,Y) :- p(X), q(Y).")
+        heads = {r.head for r in program.rules if r.head.predicate == "r"}
+        assert heads == {atom("r", "a", 1), atom("r", "b", 1)}
+
+    def test_shared_variable_join(self):
+        program = ground("p(a,1). p(b,2). q(1). r(X) :- p(X,Y), q(Y).")
+        heads = {r.head for r in program.rules if r.head.predicate == "r"}
+        assert heads == {atom("r", "a")}
+
+    def test_transitive_closure(self):
+        program = ground(
+            """
+            edge(1,2). edge(2,3). edge(3,4).
+            path(X,Y) :- edge(X,Y).
+            path(X,Z) :- path(X,Y), edge(Y,Z).
+            """
+        )
+        heads = {r.head for r in program.rules if r.head.predicate == "path"}
+        assert atom("path", 1, 4) in heads
+        assert len({h for h in heads}) == 6
+
+    def test_comparison_filters(self):
+        program = ground("n(1..4). big(X) :- n(X), X >= 3.")
+        heads = {r.head for r in program.rules if r.head.predicate == "big"}
+        assert heads == {atom("big", 3), atom("big", 4)}
+
+    def test_assignment_binds(self):
+        program = ground("n(1..2). next(X,Y) :- n(X), Y = X + 1.")
+        heads = {r.head for r in program.rules if r.head.predicate == "next"}
+        assert heads == {atom("next", 1, 2), atom("next", 2, 3)}
+
+    def test_assignment_from_interval(self):
+        program = ground("p(X) :- X = 1..3.")
+        heads = {r.head for r in program.rules if r.head.predicate == "p"}
+        assert heads == {atom("p", 1), atom("p", 2), atom("p", 3)}
+
+    def test_head_arithmetic_evaluated(self):
+        program = ground("n(2). double(X*2) :- n(X).")
+        heads = {r.head for r in program.rules if r.head.predicate == "double"}
+        assert heads == {atom("double", 4)}
+
+
+class TestNegation:
+    def test_negative_literal_on_impossible_atom_dropped(self):
+        program = ground("p :- not q.")
+        rule = [r for r in program.rules if r.head == Atom("p")][0]
+        assert rule.neg == ()
+
+    def test_negative_literal_on_possible_atom_kept(self):
+        program = ground("{ q }. p :- not q.")
+        rule = [r for r in program.rules if r.head == Atom("p")][0]
+        assert rule.neg == (Atom("q"),)
+
+    def test_rule_with_certainly_true_negation_dropped(self):
+        program = ground("q. p :- not q.")
+        assert not any(r.head == Atom("p") for r in program.rules)
+
+    def test_unsafe_negated_variable_raises(self):
+        with pytest.raises(GroundingError):
+            ground("p :- not q(X).")
+
+
+class TestChoiceGrounding:
+    def test_choice_instantiates_condition(self):
+        program = ground("item(a). item(b). { sel(X) : item(X) }.")
+        choice_rules = [
+            r for r in program.rules if isinstance(r.head, GroundChoice)
+        ]
+        assert len(choice_rules) == 1
+        atoms = set(choice_rules[0].head.atoms())
+        assert atoms == {atom("sel", "a"), atom("sel", "b")}
+
+    def test_choice_bounds_ground_to_ints(self):
+        program = ground("item(a). 1 { sel(X) : item(X) } 1.")
+        choice = [r for r in program.rules if isinstance(r.head, GroundChoice)][0]
+        assert choice.head.lower == 1
+        assert choice.head.upper == 1
+
+    def test_choice_atoms_become_possible(self):
+        program = ground("{ a; b }.")
+        assert Atom("a") in program.possible_atoms
+        assert Atom("b") in program.possible_atoms
+
+
+class TestConstSubstitution:
+    def test_const_in_fact(self):
+        program = ground("#const n = 3. limit(n).")
+        assert program.rules[0].head == atom("limit", 3)
+
+    def test_const_in_interval(self):
+        program = ground("#const n = 3. step(1..n).")
+        heads = {r.head for r in program.rules}
+        assert heads == {atom("step", 1), atom("step", 2), atom("step", 3)}
+
+    def test_const_in_comparison(self):
+        program = ground("#const n = 2. p(X) :- q(X), X < n. q(1). q(5).")
+        heads = {r.head for r in program.rules if r.head.predicate == "p"}
+        assert heads == {atom("p", 1)}
+
+
+class TestAggregatesGrounding:
+    def test_aggregate_elements_grounded_against_full_atom_set(self):
+        # q atoms are derived *after* the rule with the aggregate is first
+        # instantiated; elements must still include them.
+        program = ground(
+            """
+            seed(a). seed(b).
+            q(X) :- seed(X).
+            p :- #count { X : q(X) } >= 2.
+            """
+        )
+        rule = [r for r in program.rules if r.head == Atom("p")][0]
+        assert len(rule.aggregates[0].elements) == 2
+
+    def test_aggregate_guard_must_be_integer(self):
+        with pytest.raises(GroundingError):
+            ground("p :- #count { X : q(X) } >= a. q(1).")
+
+
+class TestWeakConstraintGrounding:
+    def test_weak_constraints_ground_per_binding(self):
+        program = ground("sel(a). sel(b). :~ sel(X). [1@1, X]")
+        assert len(program.weak_constraints) == 2
+        assert {w.terms for w in program.weak_constraints} == {
+            (Symbol("a"),),
+            (Symbol("b"),),
+        }
+
+    def test_minimize_statement_grounds_to_weak_constraints(self):
+        program = ground(
+            "cost(a,2). cost(b,5). #minimize { W@1,X : cost(X,W) }."
+        )
+        weights = sorted(w.weight for w in program.weak_constraints)
+        assert weights == [2, 5]
+
+
+class TestSafety:
+    def test_unbound_head_variable_raises(self):
+        with pytest.raises(GroundingError):
+            ground("p(X) :- q.")
+        # and even with an unrelated body atom
+        with pytest.raises(GroundingError):
+            ground("q(1). p(X) :- q(Y).")
+
+    def test_unbound_comparison_raises(self):
+        with pytest.raises(GroundingError):
+            ground("p :- X < Y.")
+
+
+class TestSimplification:
+    def test_rule_with_impossible_positive_body_dropped(self):
+        program = ground("{ b }. p :- b, q.")  # q can never hold
+        assert not any(r.head == Atom("p") for r in program.rules)
+
+    def test_statistics(self):
+        program = ground("p(1..3). q(X) :- p(X).")
+        stats = program.statistics()
+        assert stats["atoms"] == 6
+        assert stats["rules"] == 6

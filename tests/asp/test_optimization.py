@@ -1,0 +1,136 @@
+"""Unit tests for weak-constraint optimization."""
+
+from repro.asp import Control, atom
+
+
+class TestSingleLevel:
+    def test_minimize_selects_cheapest(self):
+        ctl = Control(
+            """
+            cost(a, 3). cost(b, 1). cost(c, 2).
+            item(X) :- cost(X, _).
+            1 { sel(X) : item(X) }.
+            :~ sel(X), cost(X, W). [W@1, X]
+            """
+        )
+        best = ctl.optimize()
+        assert len(best) == 1
+        assert best[0].contains(atom("sel", "b"))
+        assert best[0].cost == ((1, 1),)
+        assert best[0].optimal
+
+    def test_minimize_statement(self):
+        ctl = Control(
+            """
+            cost(a, 3). cost(b, 1).
+            item(X) :- cost(X, _).
+            1 { sel(X) : item(X) }.
+            #minimize { W@1,X : sel(X), cost(X, W) }.
+            """
+        )
+        best = ctl.optimize()
+        assert best[0].cost == ((1, 1),)
+
+    def test_maximize(self):
+        ctl = Control(
+            """
+            value(a, 3). value(b, 1).
+            item(X) :- value(X, _).
+            1 { sel(X) : item(X) } 1.
+            #maximize { W@1,X : sel(X), value(X, W) }.
+            """
+        )
+        best = ctl.optimize()
+        assert best[0].contains(atom("sel", "a"))
+        assert best[0].cost == ((1, -3),)
+
+    def test_unsat_returns_empty(self):
+        ctl = Control("a. :- a. :~ a. [1@1]")
+        assert ctl.optimize() == []
+
+    def test_no_weak_constraints_returns_some_model(self):
+        best = Control("{ a }.").optimize()
+        assert len(best) == 1 and best[0].optimal
+
+
+class TestSetCoverOptimization:
+    COVER = """
+    cost(m1, 4). cost(m2, 3). cost(m3, 2).
+    mitigation(M) :- cost(M, _).
+    blocks(m1, s1). blocks(m1, s2).
+    blocks(m2, s2). blocks(m2, s3).
+    blocks(m3, s3).
+    scenario(s1). scenario(s2). scenario(s3).
+    { deploy(M) : mitigation(M) }.
+    blocked(S) :- deploy(M), blocks(M, S).
+    :- scenario(S), not blocked(S).
+    :~ deploy(M), cost(M, W). [W@1, M]
+    """
+
+    def test_min_cost_cover(self):
+        best = Control(self.COVER).optimize()
+        # optimal: m1 (covers s1,s2) + m3 (covers s3) = 6 < m1+m2 = 7
+        assert best[0].cost == ((1, 6),)
+        assert best[0].contains(atom("deploy", "m1"))
+        assert best[0].contains(atom("deploy", "m3"))
+
+    def test_enumerate_optimal_models(self):
+        models = Control(self.COVER).optimize(enumerate_optimal=True)
+        assert len(models) == 1
+        assert all(m.cost == ((1, 6),) for m in models)
+
+
+class TestMultiLevel:
+    def test_lexicographic_priorities(self):
+        # level 2 dominates: prefer fewer violations even if cost higher
+        ctl = Control(
+            """
+            { a; b }.
+            violation :- not a, not b.
+            :~ violation. [1@2]
+            :~ a. [5@1]
+            :~ b. [3@1]
+            """
+        )
+        best = ctl.optimize()
+        # choose b alone: level2 = 0, level1 = 3
+        assert best[0].cost == ((2, 0), (1, 3))
+        assert best[0].contains(atom("b"))
+        assert not best[0].contains(atom("a"))
+
+    def test_equal_tuples_count_once(self):
+        # two weak constraints with identical [1@1, t] fire together
+        ctl = Control(
+            """
+            a.
+            :~ a. [1@1, t]
+            :~ a. [1@1, t]
+            """
+        )
+        best = ctl.optimize()
+        assert best[0].cost == ((1, 1),)
+
+    def test_distinct_tuples_sum(self):
+        ctl = Control(
+            """
+            a.
+            :~ a. [1@1, t1]
+            :~ a. [1@1, t2]
+            """
+        )
+        best = ctl.optimize()
+        assert best[0].cost == ((1, 2),)
+
+
+class TestOptimizationWithAssumptions:
+    def test_assumption_changes_optimum(self):
+        text = """
+        cost(a, 1). cost(b, 5).
+        item(X) :- cost(X, _).
+        1 { sel(X) : item(X) } 1.
+        :~ sel(X), cost(X, W). [W@1, X]
+        """
+        unrestricted = Control(text).optimize()
+        assert unrestricted[0].cost == ((1, 1),)
+        forced = Control(text).optimize(assumptions=[(atom("sel", "b"), True)])
+        assert forced[0].cost == ((1, 5),)

@@ -1,0 +1,266 @@
+"""Unit tests for the ASP parser."""
+
+import pytest
+
+from repro.asp import parse_program, parse_term
+from repro.asp.parser import ParseError
+from repro.asp.syntax import (
+    Aggregate,
+    Atom,
+    Choice,
+    Comparison,
+    Literal,
+)
+from repro.asp.terms import (
+    BinaryOperation,
+    Function,
+    Interval,
+    Number,
+    String,
+    Symbol,
+    Variable,
+)
+
+
+class TestFactsAndRules:
+    def test_simple_fact(self):
+        program = parse_program("component(tank).")
+        assert len(program.rules) == 1
+        rule = program.rules[0]
+        assert rule.is_fact()
+        assert rule.head == Atom("component", (Symbol("tank"),))
+
+    def test_zero_arity_fact(self):
+        program = parse_program("alarm.")
+        assert program.rules[0].head == Atom("alarm", ())
+
+    def test_rule_with_body(self):
+        program = parse_program("a(X) :- b(X), not c(X).")
+        rule = program.rules[0]
+        assert rule.head == Atom("a", (Variable("X"),))
+        assert rule.body == (
+            Literal(Atom("b", (Variable("X"),)), False),
+            Literal(Atom("c", (Variable("X"),)), True),
+        )
+
+    def test_constraint(self):
+        program = parse_program(":- a, b.")
+        rule = program.rules[0]
+        assert rule.head is None
+        assert len(rule.body) == 2
+
+    def test_multiple_statements(self):
+        program = parse_program("a. b. c :- a, b.")
+        assert len(program.rules) == 3
+
+    def test_paper_listing_1_parses_verbatim(self):
+        """Listing 1 (Fault Activation) from the paper."""
+        text = """
+        potential_fault(C, F) :-
+            component(C), fault(F),
+            mitigation(F, M),
+            not active_mitigation(C, M).
+        """
+        program = parse_program(text)
+        rule = program.rules[0]
+        assert rule.head.predicate == "potential_fault"
+        assert [type(b) for b in rule.body] == [Literal] * 4
+        assert rule.body[3].negated
+
+    def test_paper_listing_2_parses_verbatim(self):
+        """Listing 2 (Fault Model) from the paper — note spaces before '('."""
+        text = """
+        component_state (C, X) :-
+            prev_component_state (C, X),
+            active_fault (C, stuck_at_x).
+        """
+        program = parse_program(text)
+        rule = program.rules[0]
+        assert rule.head == Atom("component_state", (Variable("C"), Variable("X")))
+        assert rule.body[1].atom.arguments[1] == Symbol("stuck_at_x")
+
+
+class TestTerms:
+    def test_nested_function(self):
+        term = parse_term("f(g(X), 3, a)")
+        assert term == Function(
+            "f", (Function("g", (Variable("X"),)), Number(3), Symbol("a"))
+        )
+
+    def test_string_term(self):
+        assert parse_term('"hello world"') == String("hello world")
+
+    def test_arithmetic_precedence(self):
+        term = parse_term("1+2*3")
+        assert term == BinaryOperation(
+            "+", Number(1), BinaryOperation("*", Number(2), Number(3))
+        )
+
+    def test_interval(self):
+        assert parse_term("1..5") == Interval(Number(1), Number(5))
+
+    def test_negative_number(self):
+        from repro.asp.terms import UnaryMinus, evaluate
+
+        assert evaluate(parse_term("-3")) == Number(-3)
+
+    def test_tuple_term(self):
+        assert parse_term("(a, b)") == Function("", (Symbol("a"), Symbol("b")))
+
+    def test_parenthesized_singleton_is_inner_term(self):
+        assert parse_term("(a)") == Symbol("a")
+
+    def test_anonymous_variables_are_distinct(self):
+        program = parse_program("p(X) :- q(_, _), r(X).")
+        q_literal = program.rules[0].body[0]
+        first, second = q_literal.atom.arguments
+        assert isinstance(first, Variable) and isinstance(second, Variable)
+        assert first != second
+
+
+class TestComparisons:
+    def test_comparison_in_body(self):
+        program = parse_program("p(X) :- q(X), X < 3.")
+        comparison = program.rules[0].body[1]
+        assert comparison == Comparison("<", Variable("X"), Number(3))
+
+    def test_all_comparison_operators(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            program = parse_program("p :- q(X), X %s 1." % op)
+            assert program.rules[0].body[1].operator == op
+
+    def test_negated_comparison_flips_operator(self):
+        program = parse_program("p :- q(X), not X < 3.")
+        assert program.rules[0].body[1] == Comparison(">=", Variable("X"), Number(3))
+
+    def test_assignment_with_arithmetic(self):
+        program = parse_program("p(Y) :- q(X), Y = X + 1.")
+        comparison = program.rules[0].body[1]
+        assert comparison.operator == "="
+        assert comparison.right == BinaryOperation("+", Variable("X"), Number(1))
+
+
+class TestChoices:
+    def test_bare_choice(self):
+        program = parse_program("{ a; b }.")
+        choice = program.rules[0].head
+        assert isinstance(choice, Choice)
+        assert [e.atom.predicate for e in choice.elements] == ["a", "b"]
+        assert choice.lower is None and choice.upper is None
+
+    def test_bounded_choice(self):
+        program = parse_program("1 { sel(X) : item(X) } 2.")
+        choice = program.rules[0].head
+        assert choice.lower == Number(1)
+        assert choice.upper == Number(2)
+        assert choice.elements[0].condition[0].atom.predicate == "item"
+
+    def test_exact_choice_via_equals(self):
+        program = parse_program("{ sel(X) : item(X) } = 1.")
+        choice = program.rules[0].head
+        assert choice.lower == Number(1) and choice.upper == Number(1)
+
+    def test_choice_with_body(self):
+        program = parse_program("{ a } :- b.")
+        rule = program.rules[0]
+        assert isinstance(rule.head, Choice)
+        assert rule.body[0].atom.predicate == "b"
+
+
+class TestAggregates:
+    def test_count_with_upper_guard(self):
+        program = parse_program("p :- #count { X : q(X) } <= 3.")
+        aggregate = program.rules[0].body[0]
+        assert isinstance(aggregate, Aggregate)
+        assert aggregate.function == "#count"
+        assert aggregate.upper == Number(3)
+
+    def test_count_with_lower_guard_on_left(self):
+        program = parse_program("p :- 2 <= #count { X : q(X) }.")
+        aggregate = program.rules[0].body[0]
+        assert aggregate.lower == Number(2)
+
+    def test_strict_guards_normalized(self):
+        program = parse_program("p :- #count { X : q(X) } < 3.")
+        aggregate = program.rules[0].body[0]
+        # < 3 becomes <= 3-1
+        assert aggregate.upper == BinaryOperation("-", Number(3), Number(1))
+
+    def test_sum_with_weighted_elements(self):
+        program = parse_program("p :- #sum { W,X : sel(X), cost(X,W) } >= 5.")
+        aggregate = program.rules[0].body[0]
+        assert aggregate.function == "#sum"
+        assert aggregate.lower == Number(5)
+        assert len(aggregate.elements[0].terms) == 2
+        assert len(aggregate.elements[0].condition) == 2
+
+    def test_negated_aggregate(self):
+        program = parse_program("p :- not #count { X : q(X) } >= 1.")
+        aggregate = program.rules[0].body[0]
+        assert aggregate.negated
+
+
+class TestDirectives:
+    def test_show(self):
+        program = parse_program("#show risk/2.")
+        assert program.shows[0].predicate == "risk"
+        assert program.shows[0].arity == 2
+
+    def test_const(self):
+        program = parse_program("#const horizon = 5.")
+        assert program.consts["horizon"] == Number(5)
+
+    def test_minimize(self):
+        program = parse_program("#minimize { W@1,X : sel(X), cost(X,W) }.")
+        element = program.minimize[0].elements[0]
+        assert element.weight == Variable("W")
+        assert element.priority == Number(1)
+
+    def test_maximize_negates_weights(self):
+        from repro.asp.terms import UnaryMinus
+
+        program = parse_program("#maximize { W@1,X : sel(X), cost(X,W) }.")
+        element = program.minimize[0].elements[0]
+        assert element.weight == UnaryMinus(Variable("W"))
+
+
+class TestWeakConstraints:
+    def test_weak_constraint(self):
+        program = parse_program(":~ sel(X), cost(X, W). [W@1, X]")
+        weak = program.weak_constraints[0]
+        assert weak.weight == Variable("W")
+        assert weak.priority == Number(1)
+        assert weak.terms == (Variable("X"),)
+
+    def test_default_priority_zero(self):
+        program = parse_program(":~ a. [2]")
+        assert program.weak_constraints[0].priority == Number(0)
+
+
+class TestComments:
+    def test_line_comment(self):
+        program = parse_program("a. % this is a comment\nb.")
+        assert len(program.rules) == 2
+
+    def test_block_comment(self):
+        program = parse_program("a. %* multi\nline *% b.")
+        assert len(program.rules) == 2
+
+
+class TestErrors:
+    def test_unterminated_rule(self):
+        with pytest.raises(ParseError):
+            parse_program("a :- b")
+
+    def test_garbage_character(self):
+        with pytest.raises(ParseError):
+            parse_program("a ? b.")
+
+    def test_error_reports_location(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("a.\nb ::- c.")
+        assert excinfo.value.line == 2
+
+    def test_number_as_rule_head_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("42 :- a.")

@@ -1,0 +1,194 @@
+"""Unit tests for ASP term representation and operations."""
+
+import pytest
+
+from repro.asp.terms import (
+    BinaryOperation,
+    Function,
+    Interval,
+    Number,
+    String,
+    Symbol,
+    TermError,
+    UnaryMinus,
+    Variable,
+    compare,
+    evaluate,
+    match,
+)
+
+
+class TestGroundness:
+    def test_number_is_ground(self):
+        assert Number(3).is_ground()
+
+    def test_symbol_is_ground(self):
+        assert Symbol("tank").is_ground()
+
+    def test_string_is_ground(self):
+        assert String("water tank").is_ground()
+
+    def test_variable_is_not_ground(self):
+        assert not Variable("X").is_ground()
+
+    def test_function_groundness_follows_arguments(self):
+        assert Function("f", (Number(1), Symbol("a"))).is_ground()
+        assert not Function("f", (Variable("X"),)).is_ground()
+
+    def test_nested_function_groundness(self):
+        inner = Function("g", (Variable("Y"),))
+        assert not Function("f", (inner,)).is_ground()
+
+
+class TestSubstitution:
+    def test_variable_substitution(self):
+        binding = {Variable("X"): Number(5)}
+        assert Variable("X").substitute(binding) == Number(5)
+
+    def test_unbound_variable_unchanged(self):
+        assert Variable("X").substitute({}) == Variable("X")
+
+    def test_function_substitution_recurses(self):
+        term = Function("f", (Variable("X"), Function("g", (Variable("Y"),))))
+        binding = {Variable("X"): Number(1), Variable("Y"): Symbol("a")}
+        assert term.substitute(binding) == Function(
+            "f", (Number(1), Function("g", (Symbol("a"),)))
+        )
+
+    def test_constants_are_fixed_points(self):
+        binding = {Variable("X"): Number(1)}
+        for term in (Number(2), Symbol("a"), String("s")):
+            assert term.substitute(binding) == term
+
+
+class TestEvaluate:
+    def test_addition(self):
+        assert evaluate(BinaryOperation("+", Number(2), Number(3))) == Number(5)
+
+    def test_subtraction_and_multiplication(self):
+        term = BinaryOperation(
+            "*", BinaryOperation("-", Number(7), Number(2)), Number(4)
+        )
+        assert evaluate(term) == Number(20)
+
+    def test_division_truncates_toward_zero(self):
+        assert evaluate(BinaryOperation("/", Number(7), Number(2))) == Number(3)
+        assert evaluate(BinaryOperation("/", Number(-7), Number(2))) == Number(-3)
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(TermError):
+            evaluate(BinaryOperation("/", Number(1), Number(0)))
+
+    def test_modulo(self):
+        assert evaluate(BinaryOperation("\\", Number(7), Number(3))) == Number(1)
+
+    def test_unary_minus(self):
+        assert evaluate(UnaryMinus(Number(4))) == Number(-4)
+
+    def test_unary_minus_on_symbol_raises(self):
+        with pytest.raises(TermError):
+            evaluate(UnaryMinus(Symbol("a")))
+
+    def test_evaluate_inside_function(self):
+        term = Function("f", (BinaryOperation("+", Number(1), Number(1)),))
+        assert evaluate(term) == Function("f", (Number(2),))
+
+    def test_evaluate_variable_raises(self):
+        with pytest.raises(TermError):
+            evaluate(Variable("X"))
+
+    def test_arithmetic_on_symbol_raises(self):
+        with pytest.raises(TermError):
+            evaluate(BinaryOperation("+", Symbol("a"), Number(1)))
+
+
+class TestInterval:
+    def test_expansion(self):
+        values = list(Interval(Number(2), Number(5)).expand())
+        assert values == [Number(2), Number(3), Number(4), Number(5)]
+
+    def test_empty_interval(self):
+        assert list(Interval(Number(3), Number(2)).expand()) == []
+
+    def test_expansion_with_arithmetic_bounds(self):
+        interval = Interval(Number(1), BinaryOperation("+", Number(1), Number(1)))
+        assert list(interval.expand()) == [Number(1), Number(2)]
+
+    def test_non_numeric_bound_raises(self):
+        with pytest.raises(TermError):
+            list(Interval(Symbol("a"), Number(2)).expand())
+
+
+class TestMatch:
+    def test_variable_binds(self):
+        binding = match(Variable("X"), Number(1), {})
+        assert binding == {Variable("X"): Number(1)}
+
+    def test_bound_variable_must_agree(self):
+        existing = {Variable("X"): Number(1)}
+        assert match(Variable("X"), Number(1), existing) == existing
+        assert match(Variable("X"), Number(2), existing) is None
+
+    def test_constant_match(self):
+        assert match(Symbol("a"), Symbol("a"), {}) == {}
+        assert match(Symbol("a"), Symbol("b"), {}) is None
+
+    def test_function_match_binds_arguments(self):
+        pattern = Function("f", (Variable("X"), Symbol("a")))
+        ground = Function("f", (Number(1), Symbol("a")))
+        assert match(pattern, ground, {}) == {Variable("X"): Number(1)}
+
+    def test_function_arity_mismatch(self):
+        pattern = Function("f", (Variable("X"),))
+        ground = Function("f", (Number(1), Number(2)))
+        assert match(pattern, ground, {}) is None
+
+    def test_ground_arithmetic_matches_by_value(self):
+        pattern = BinaryOperation("+", Number(1), Number(1))
+        assert match(pattern, Number(2), {}) == {}
+        assert match(pattern, Number(3), {}) is None
+
+    def test_input_binding_never_mutated(self):
+        binding = {}
+        match(Variable("X"), Number(1), binding)
+        assert binding == {}
+
+    def test_repeated_variable_in_pattern(self):
+        pattern = Function("f", (Variable("X"), Variable("X")))
+        same = Function("f", (Number(1), Number(1)))
+        different = Function("f", (Number(1), Number(2)))
+        assert match(pattern, same, {}) == {Variable("X"): Number(1)}
+        assert match(pattern, different, {}) is None
+
+
+class TestOrdering:
+    def test_numbers_before_symbols(self):
+        assert compare(Number(100), Symbol("a")) < 0
+
+    def test_symbols_before_functions(self):
+        assert compare(Symbol("z"), Function("a", (Number(1),))) < 0
+
+    def test_numeric_order(self):
+        assert compare(Number(1), Number(2)) < 0
+        assert compare(Number(2), Number(2)) == 0
+        assert compare(Number(3), Number(2)) > 0
+
+    def test_functions_ordered_by_arity_then_name(self):
+        small = Function("z", (Number(1),))
+        large = Function("a", (Number(1), Number(2)))
+        assert compare(small, large) < 0
+
+    def test_arithmetic_compared_by_value(self):
+        assert compare(BinaryOperation("+", Number(1), Number(1)), Number(2)) == 0
+
+
+class TestRendering:
+    def test_function_rendering(self):
+        term = Function("f", (Number(1), Symbol("a"), Variable("X")))
+        assert str(term) == "f(1,a,X)"
+
+    def test_string_rendering_escapes_quotes(self):
+        assert str(String('say "hi"')) == '"say \\"hi\\""'
+
+    def test_tuple_rendering(self):
+        assert str(Function("", (Number(1), Number(2)))) == "(1,2)"

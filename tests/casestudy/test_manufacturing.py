@@ -1,0 +1,108 @@
+"""Tests for the manufacturing robot-cell workload (generality check)."""
+
+import pytest
+
+from repro.casestudy import (
+    MANUFACTURING_MITIGATIONS,
+    RQ_NO_ROGUE_MOTION,
+    RQ_QUALITY_GATE,
+    RQ_SAFETY_AVAILABLE,
+    build_manufacturing_model,
+    manufacturing_engine,
+    manufacturing_requirements,
+)
+from repro.core import AssessmentPipeline
+from repro.epa import FaultRef, cheapest_attack
+from repro.modeling import validate
+from repro.security import AttackGraph, ThreatActor, builtin_catalog
+
+
+@pytest.fixture(scope="module")
+def report():
+    return manufacturing_engine().analyze(max_faults=1)
+
+
+class TestModel:
+    def test_validates_cleanly(self):
+        assert validate(build_manufacturing_model()).ok
+
+    def test_it_and_ot_zones_present(self):
+        from repro.modeling import Layer
+
+        model = build_manufacturing_model()
+        layers = {e.layer for e in model.elements}
+        assert Layer.TECHNOLOGY in layers
+        assert Layer.PHYSICAL in layers
+
+    def test_firewall_masks_accidental_errors(self, report):
+        """MES crash (omission) must not reach the robot through the
+        masking firewall."""
+        outcome = report.outcome_for(["mes.crash"])
+        assert not outcome.violates(RQ_NO_ROGUE_MOTION)
+
+    def test_firewall_does_not_stop_attackers(self, report):
+        """A compromised MES pushes malicious traffic the firewall's
+        plausibility checks cannot absorb."""
+        outcome = report.outcome_for(["mes.compromised"])
+        assert outcome.violates(RQ_NO_ROGUE_MOTION)
+
+
+class TestHazards:
+    def test_gateway_is_single_point_of_failure(self, report):
+        spofs = {str(f) for f in report.single_points_of_failure()}
+        assert "remote_gateway.compromised" in spofs
+
+    def test_safety_plc_loss_flagged(self, report):
+        outcome = report.outcome_for(["safety_plc.crash"])
+        assert outcome.violates(RQ_SAFETY_AVAILABLE)
+
+    def test_vision_misclassification_hits_quality_gate(self, report):
+        outcome = report.outcome_for(["vision.misclassification"])
+        assert outcome.violates(RQ_QUALITY_GATE)
+
+    def test_criticality_ranks_plc_highly(self, report):
+        criticality = report.criticality()
+        assert "cell_plc" in criticality
+
+    def test_mitigations_reduce_hazards(self):
+        engine = manufacturing_engine()
+        before = engine.analyze(max_faults=1)
+        after = engine.analyze(
+            max_faults=1,
+            active_mitigations={
+                "ot_firewall": ("M0930", "M0807"),
+                "cell_plc": ("M0932", "M0807"),
+                "remote_gateway": ("M0932",),
+            },
+        )
+        assert len(after.violating()) < len(before.violating())
+
+
+class TestSecurityIntegration:
+    def test_attack_graph_enters_via_gateway_or_workstation(self):
+        graph = AttackGraph(
+            build_manufacturing_model(),
+            builtin_catalog(),
+            ThreatActor("apt", "H"),
+        )
+        entries = {
+            component
+            for component, technique in graph.states
+            if graph.graph.has_edge("__outside__", (component, technique))
+        }
+        assert entries == {"remote_gateway", "engineering_ws"}
+
+    def test_cheapest_attack_on_robot_requirement(self):
+        engine = manufacturing_engine()
+        result = cheapest_attack(engine, RQ_NO_ROGUE_MOTION)
+        assert result.outcome.violates(RQ_NO_ROGUE_MOTION)
+        assert result.outcome.fault_count == 1
+
+    def test_full_pipeline_runs(self):
+        pipeline = AssessmentPipeline(
+            manufacturing_requirements(), builtin_catalog(), max_faults=1
+        )
+        result = pipeline.run(build_manufacturing_model())
+        assert result.hazards
+        assert result.register.worst().risk in ("H", "VH")
+        assert result.plan is not None

@@ -1,0 +1,84 @@
+"""Detailed tests of the numeric tank simulator."""
+
+import numpy as np
+import pytest
+
+from repro.casestudy import FaultInjection, TankParameters, simulate
+from repro.qualitative import Sign, directions, tank_level_scale
+
+
+class TestPhysics:
+    def test_level_conserved_when_balanced(self):
+        run = simulate(duration=10.0)
+        # nominal: controller keeps the level in the normal band
+        assert np.all(run.level >= 20.0)
+        assert np.all(run.level <= 80.0)
+
+    def test_level_never_negative_or_above_saturation(self):
+        run = simulate(
+            duration=50.0, faults=FaultInjection(output_stuck_closed=True)
+        )
+        assert np.all(run.level >= 0.0)
+        assert np.all(run.level <= 1.2 * run.capacity)
+
+    def test_rise_rate_matches_parameters(self):
+        parameters = TankParameters(inflow_rate=10.0, outflow_rate=10.0)
+        run = simulate(
+            duration=2.0,
+            parameters=parameters,
+            faults=FaultInjection(output_stuck_closed=True),
+        )
+        deltas = np.diff(run.level) / parameters.dt
+        # while rising unsaturated, d(level)/dt == inflow rate
+        rising = deltas[(run.level[:-1] < run.capacity)]
+        assert np.allclose(rising, 10.0)
+
+    def test_monotone_rise_under_blocked_output(self):
+        run = simulate(
+            duration=10.0, faults=FaultInjection(output_stuck_closed=True)
+        )
+        signs = set(directions(run.level))
+        assert Sign.MINUS not in signs
+
+    def test_custom_capacity_scales_landmarks(self):
+        parameters = TankParameters(capacity=200.0, initial_level=100.0)
+        run = simulate(duration=5.0, parameters=parameters)
+        space = tank_level_scale(200.0)
+        assert run.qualitative_levels(space) == ["normal"]
+
+
+class TestAlerting:
+    def test_alert_timestamps_increase(self):
+        run = simulate(
+            duration=30.0, faults=FaultInjection(output_stuck_closed=True)
+        )
+        assert run.alerts == sorted(run.alerts)
+
+    def test_alerts_rate_limited(self):
+        run = simulate(
+            duration=30.0, faults=FaultInjection(output_stuck_closed=True)
+        )
+        gaps = np.diff(run.alerts)
+        assert np.all(gaps > 1.0)
+
+    def test_no_alert_below_capacity(self):
+        run = simulate(duration=10.0)
+        assert run.alerts == []
+
+
+class TestControlLoop:
+    def test_larger_delay_still_caught_in_normal_band(self):
+        slow = TankParameters(control_delay=1.5)
+        run = simulate(duration=20.0, parameters=slow)
+        assert not run.overflowed
+
+    def test_out_valve_follows_level(self):
+        run = simulate(duration=10.0)
+        # in the nominal run the output valve stays open (balanced band)
+        assert np.all(run.out_valve[1:] == 1)
+
+    def test_valve_series_lengths(self):
+        run = simulate(duration=5.0)
+        assert len(run.time) == len(run.level) == len(run.in_valve) == len(
+            run.out_valve
+        )

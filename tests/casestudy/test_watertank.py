@@ -1,0 +1,196 @@
+"""Case-study tests: Table II reproduction and the numeric simulator."""
+
+import pytest
+
+from repro.casestudy import (
+    ACTIVE_MITIGATIONS,
+    F1,
+    F2,
+    F3,
+    F4,
+    M1,
+    M2,
+    PAPER_SCENARIOS,
+    R1,
+    R2,
+    FaultInjection,
+    analysis_table,
+    attack_chain_blocked,
+    behavioural_epa,
+    build_system_model,
+    full_scenario_analysis,
+    qualitative_agreement,
+    simulate,
+    static_engine,
+)
+from repro.modeling import validate
+from repro.reporting import analysis_results_report
+
+
+#: Table II of the paper, scenario -> (R1 violated, R2 violated)
+PAPER_TABLE_II = {
+    "S1": (False, False),
+    "S2": (True, True),
+    "S3": (False, False),
+    "S4": (True, False),
+    "S5": (True, True),
+    "S6": (False, False),
+    "S7": (True, True),
+}
+
+
+@pytest.fixture(scope="module")
+def table_rows():
+    return {row.scenario: row for row in analysis_table(horizon=4)}
+
+
+class TestTableII:
+    """The headline reproduction: every cell of Table II must match."""
+
+    @pytest.mark.parametrize("scenario", sorted(PAPER_TABLE_II))
+    def test_requirement_columns(self, table_rows, scenario):
+        expected_r1, expected_r2 = PAPER_TABLE_II[scenario]
+        row = table_rows[scenario]
+        assert row.r1_violated == expected_r1, scenario
+        assert row.r2_violated == expected_r2, scenario
+
+    def test_mitigation_columns(self, table_rows):
+        assert not table_rows["S2"].mitigations_active
+        for name in ("S1", "S3", "S4", "S5", "S6", "S7"):
+            assert table_rows[name].mitigations_active
+
+    def test_fault_columns(self, table_rows):
+        assert table_rows["S7"].faults == ("F1", "F2", "F3")
+        assert table_rows["S2"].faults == ("F4",)
+        assert table_rows["S1"].faults == ()
+
+    def test_rendered_table_shape(self, table_rows):
+        text = analysis_results_report(list(table_rows.values()))
+        lines = text.splitlines()
+        assert any("Violated" in line for line in lines)
+        assert len([l for l in lines if l.startswith("S")]) == 7
+
+
+class TestScenarioSemantics:
+    def test_s5_is_most_severe_double_fault(self, table_rows):
+        """S5 (F2+F3) violates both requirements with only two faults;
+        S7 needs three simultaneous faults for the same violations."""
+        s5 = table_rows["S5"]
+        s7 = table_rows["S7"]
+        assert (s5.r1_violated, s5.r2_violated) == (True, True)
+        assert (s7.r1_violated, s7.r2_violated) == (True, True)
+        assert len(s5.faults) < len(s7.faults)
+
+    def test_mitigations_suppress_f4(self):
+        """With M1/M2 active the infection scenario disappears from the
+        scenario space — the paper's 'excluding this specific scenario'."""
+        scenarios = full_scenario_analysis(horizon=3)
+        assert all(F4 not in s.faults for s in scenarios)
+
+    def test_unmitigated_space_contains_f4(self):
+        epa = behavioural_epa()
+        scenarios = epa.analyze(3)
+        assert any(F4 in s.faults for s in scenarios)
+
+    def test_full_space_is_every_combination(self):
+        scenarios = full_scenario_analysis(horizon=3)
+        # F1..F3 free (F4 suppressed): 8 combinations
+        assert len(scenarios) == 8
+
+    def test_f2_violation_has_overflow_witness(self):
+        epa = behavioural_epa()
+        scenarios = epa.analyze(4, active_mitigations=ACTIVE_MITIGATIONS)
+        s4 = [s for s in scenarios if s.key() == (str(F2),)][0]
+        witnesses = s4.witnesses(R1)
+        assert witnesses
+        from repro.asp import atom
+
+        assert any(
+            any(t.holds(atom("level", "overflow"), step) for step in range(5))
+            for t in witnesses
+        )
+
+
+class TestArchitectureModel:
+    def test_model_validates(self):
+        report = validate(build_system_model())
+        assert report.ok
+
+    def test_paper_components_present(self):
+        model = build_system_model()
+        for identifier in (
+            "water_tank",
+            "level_sensor",
+            "tank_controller",
+            "input_valve",
+            "output_valve",
+            "hmi",
+            "engineering_workstation",
+        ):
+            assert model.has_element(identifier)
+
+    def test_static_engine_finds_hazards(self):
+        report = static_engine().analyze(max_faults=1)
+        assert report.violating()
+        # the coarse level keeps the F4-style hazard visible
+        assert any(
+            F4 in outcome.active_faults for outcome in report.violating()
+        )
+
+
+class TestAttackChainMitigations:
+    def test_unprotected_chain_reaches_process(self):
+        assert not attack_chain_blocked({})
+
+    def test_user_training_blocks_the_link(self):
+        """M1 on the e-mail client cuts the chain at its first step."""
+        assert attack_chain_blocked(
+            {
+                "email_client": [M1],
+                "browser": [M2],
+                "infected_computer": [M2],
+            }
+        )
+
+    def test_partial_protection_insufficient(self):
+        # only the browser is protected: the OS exploit path remains
+        assert not attack_chain_blocked({"browser": [M2]})
+
+
+class TestNumericSimulator:
+    def test_nominal_run_stays_normal(self):
+        run = simulate(duration=20.0)
+        assert not run.overflowed
+        assert run.qualitative_levels() == ["normal"]
+
+    def test_output_stuck_closed_overflows(self):
+        run = simulate(duration=20.0, faults=FaultInjection(output_stuck_closed=True))
+        assert run.overflowed
+        assert run.qualitative_levels()[-1] == "overflow"
+
+    def test_alert_fires_unless_hmi_silent(self):
+        noisy = simulate(
+            duration=20.0, faults=FaultInjection(output_stuck_closed=True)
+        )
+        silent = simulate(
+            duration=20.0,
+            faults=FaultInjection(output_stuck_closed=True, hmi_silent=True),
+        )
+        assert noisy.alerts
+        assert not silent.alerts
+
+    def test_input_stuck_open_is_nominal(self):
+        run = simulate(duration=20.0, faults=FaultInjection(input_stuck_open=True))
+        assert not run.overflowed
+
+    def test_agreement_with_qualitative_verdicts(self):
+        """The numeric substrate confirms the Table II pattern."""
+        agreement = qualitative_agreement()
+        assert not agreement["nominal"]["overflowed"]
+        assert not agreement["f1"]["overflowed"]
+        assert agreement["f2"]["overflowed"] and agreement["f2"]["alerted"]
+        assert agreement["f2_f3"]["overflowed"] and not agreement["f2_f3"]["alerted"]
+
+    def test_overflow_signature_matches_qualitative_trace(self):
+        run = simulate(duration=20.0, faults=FaultInjection(output_stuck_closed=True))
+        assert run.qualitative_levels() == ["normal", "high", "overflow"]

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.casestudy import build_system_model
+from repro.cli import _parse_requirement, build_parser, main
+from repro.modeling import to_xml
+
+
+@pytest.fixture
+def model_file(tmp_path):
+    path = tmp_path / "model.xml"
+    path.write_text(to_xml(build_system_model()), encoding="utf-8")
+    return str(path)
+
+
+class TestRequirementParsing:
+    def test_simple(self):
+        requirement = _parse_requirement("r1=err(valve, value)")
+        assert requirement.name == "r1"
+        assert requirement.condition == "err(valve, value)"
+        assert requirement.magnitude == "H"
+
+    def test_focus_and_magnitude(self):
+        requirement = _parse_requirement("r1=err(v, value)@v!VH")
+        assert requirement.focus == "v"
+        assert requirement.magnitude == "VH"
+
+    def test_missing_equals_rejected(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_requirement("just_a_name")
+
+
+class TestCommands:
+    def test_matrix(self, capsys):
+        assert main(["matrix"]) == 0
+        out = capsys.readouterr().out
+        assert "O-RA risk matrix" in out
+        assert "VH" in out
+
+    def test_casestudy(self, capsys):
+        assert main(["casestudy", "--horizon", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Analysis Results (Table II)" in out
+        assert "Risk register" in out
+        assert out.count("Violated") >= 6
+
+    def test_validate_ok(self, capsys, model_file):
+        assert main(["validate", model_file]) == 0
+        out = capsys.readouterr().out
+        assert "water_tank_system" in out
+
+    def test_validate_bad_model(self, capsys, tmp_path):
+        from repro.modeling import ElementType, RelationshipType, SystemModel
+
+        model = SystemModel("bad")
+        model.add_element("a", "A", ElementType.NODE)
+        model.add_element("b", "B", ElementType.NODE)
+        model.add_relationship(
+            "a", "b", RelationshipType.PHYSICAL_CONNECTION, check=False
+        )
+        path = tmp_path / "bad.xml"
+        path.write_text(to_xml(model), encoding="utf-8")
+        assert main(["validate", str(path)]) == 1
+
+    def test_analyze(self, capsys, model_file):
+        code = main(
+            [
+                "analyze",
+                model_file,
+                "-r",
+                "r1=err(water_tank, K), hazardous_kind(K)@water_tank!VH",
+                "--max-faults",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenarios analyzed" in out
+        assert "single points of failure" in out
+
+    def test_analyze_without_requirements_fails(self, capsys, model_file):
+        assert main(["analyze", model_file]) == 2
+
+    def test_assess(self, capsys, model_file):
+        code = main(["assess", model_file, "--max-faults", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ASSESSMENT REPORT" in out
+        assert "Mitigation" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

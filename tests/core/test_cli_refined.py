@@ -1,0 +1,55 @@
+"""CLI coverage for the refined-model pipeline path and requirement flag."""
+
+import pytest
+
+from repro.casestudy import build_system_model, refined_system_model
+from repro.cli import main
+from repro.modeling import to_xml
+
+
+@pytest.fixture
+def model_files(tmp_path):
+    coarse = tmp_path / "model.xml"
+    coarse.write_text(to_xml(build_system_model()), encoding="utf-8")
+    refined = tmp_path / "refined.xml"
+    refined.write_text(to_xml(refined_system_model()), encoding="utf-8")
+    return str(coarse), str(refined)
+
+
+class TestAssessWithRefinement:
+    def test_refined_model_flows_through_cegar_phase(
+        self, capsys, model_files
+    ):
+        coarse, refined = model_files
+        code = main(
+            ["assess", coarse, "--refined", refined, "--max-faults", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Model Refinement" in out
+        assert "spurious" in out
+
+    def test_custom_requirements_override_defaults(self, capsys, model_files):
+        coarse, _ = model_files
+        code = main(
+            [
+                "assess",
+                coarse,
+                "-r",
+                "only_tank=err(water_tank, K), hazardous_kind(K)@water_tank!VH",
+                "--max-faults",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "only_tank" in out
+
+    def test_budget_flag(self, capsys, model_files):
+        coarse, _ = model_files
+        code = main(
+            ["assess", coarse, "--max-faults", "1", "--budget", "15"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Mitigation" in out

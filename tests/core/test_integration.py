@@ -1,0 +1,165 @@
+"""Cross-module integration tests.
+
+These check the *seams*: model XML round-trips feeding the pipeline,
+agreement between the topology-level and behaviour-level analyses on
+the case study, and consistency between the scenario space, the attack
+graph and the mitigation optimizer.
+"""
+
+import pytest
+
+from repro.casestudy import (
+    ACTIVE_MITIGATIONS,
+    F2,
+    F3,
+    F4,
+    M1,
+    M2,
+    R1,
+    R2,
+    behavioural_epa,
+    build_system_model,
+    static_engine,
+    static_requirements,
+)
+from repro.core import AssessmentPipeline
+from repro.epa import EpaEngine, FaultRef, cheapest_attack
+from repro.mitigation import BlockingProblem, optimize_asp
+from repro.modeling import from_xml, to_xml, validate
+from repro.security import (
+    AttackGraph,
+    AttackScenarioSpace,
+    ThreatActor,
+    builtin_catalog,
+)
+
+
+class TestXmlRoundtripIntoPipeline:
+    def test_serialized_model_produces_identical_analysis(self):
+        original = build_system_model()
+        restored = from_xml(to_xml(original))
+        requirements = static_requirements()
+        report_a = EpaEngine(original, requirements).analyze(max_faults=1)
+        report_b = EpaEngine(restored, requirements).analyze(max_faults=1)
+        keys_a = {o.key(): o.violated for o in report_a.outcomes}
+        keys_b = {o.key(): o.violated for o in report_b.outcomes}
+        assert keys_a == keys_b
+
+    def test_roundtrip_model_validates(self):
+        restored = from_xml(to_xml(build_system_model()))
+        assert validate(restored).ok
+
+    def test_pipeline_over_roundtripped_model(self):
+        restored = from_xml(to_xml(build_system_model()))
+        pipeline = AssessmentPipeline(
+            static_requirements(), builtin_catalog(), max_faults=1
+        )
+        result = pipeline.run(restored)
+        assert result.hazards
+
+
+class TestTopologyVsBehaviourConsistency:
+    """The coarse (topology) analysis must over-approximate the detailed
+    (behavioural) one — the Fig. 1 step 5 guarantee that 'no actual
+    hazardous attack is overlooked'."""
+
+    PAPER_FAULTS = (
+        FaultRef("input_valve", "stuck_at_open"),
+        FaultRef("output_valve", "stuck_at_closed"),
+        FaultRef("hmi", "no_signal"),
+        FaultRef("engineering_workstation", "infected"),
+    )
+
+    def test_behavioural_violations_imply_topology_violations(self):
+        behavioural = behavioural_epa().analyze(
+            4, active_mitigations=ACTIVE_MITIGATIONS
+        )
+        topology = static_engine().analyze(
+            active_mitigations={"engineering_workstation": (M1, M2)},
+            restrict_faults=self.PAPER_FAULTS,
+        )
+        topology_by_key = {o.key(): o for o in topology.outcomes}
+        for scenario in behavioural:
+            if not scenario.violated:
+                continue
+            coarse = topology_by_key[scenario.key()]
+            # every behaviourally confirmed hazard appears at the coarse
+            # level too (possibly with more violations — over-approx.)
+            assert scenario.violated <= coarse.violated, scenario.key()
+
+    def test_topology_has_spurious_candidates(self):
+        """The converse must NOT hold: over-abstraction produces
+        spurious solutions the refinement later eliminates (S3/F1 is the
+        paper's example: coarse analysis flags it, behaviour clears it)."""
+        behavioural = behavioural_epa().analyze(
+            4, active_mitigations=ACTIVE_MITIGATIONS
+        )
+        topology = static_engine().analyze(
+            active_mitigations={"engineering_workstation": (M1, M2)},
+            restrict_faults=self.PAPER_FAULTS,
+        )
+        behavioural_by_key = {s.key(): s for s in behavioural}
+        f1_key = ("input_valve.stuck_at_open",)
+        assert topology.outcome_for(f1_key).violates(R1)  # coarse: flagged
+        assert R1 not in behavioural_by_key[f1_key].violated  # refined: safe
+
+
+class TestScenarioSpaceOptimizerGraphConsistency:
+    def test_optimizer_plan_blocks_graph_paths(self):
+        """A blocking plan computed from the scenario space must also
+        cut the attack graph's entry techniques."""
+        model = build_system_model()
+        catalog = builtin_catalog()
+        actor = ThreatActor("apt", "H")
+        space = AttackScenarioSpace(model, catalog, [actor], max_chain=2)
+        problem = BlockingProblem()
+        for entry in catalog.mitigations:
+            problem.add_mitigation(entry.identifier, entry.implementation_cost)
+        for scenario in space.scenarios():
+            blockers = set()
+            for step_blockers in space.blocking_mitigations(scenario):
+                blockers |= step_blockers
+            problem.add_scenario(str(scenario), sorted(blockers), "H")
+        plan = optimize_asp(problem)
+        assert plan.complete
+        # the plan must cover the entry step of every scenario chain's
+        # technique or some later step: verify scenario-level blocking
+        for scenario in space.scenarios():
+            step_mitigations = set()
+            for step_blockers in space.blocking_mitigations(scenario):
+                step_mitigations |= step_blockers
+            assert step_mitigations & plan.deployed, str(scenario)
+
+    def test_cheapest_attack_consistent_with_scenario_space(self):
+        """Components the attack graph cannot reach never appear as the
+        entry of a violating technique chain."""
+        model = build_system_model()
+        catalog = builtin_catalog()
+        graph = AttackGraph(model, catalog, ThreatActor("apt", "H"))
+        space = AttackScenarioSpace(
+            model, catalog, [ThreatActor("apt", "H")], max_chain=2
+        )
+        reachable = graph.reachable_components()
+        for scenario in space.scenarios():
+            assert set(scenario.components) <= reachable
+
+
+class TestMitigationEconomy:
+    def test_blocking_raises_attack_cost(self):
+        """Deploying the plan raises (or infinitizes) the cheapest
+        attack against R2 through the workstation."""
+        engine = static_engine()
+        costs = {}
+        for element in engine.model.elements:
+            for fault in element.properties.get("fault_modes", []) or []:
+                reference = FaultRef(element.identifier, fault["name"])
+                costs[reference] = 2 if fault["name"] == "infected" else 9
+        before = cheapest_attack(engine, R2, costs)
+        assert before.objective == 2  # the infection is the cheap path
+        after = cheapest_attack(
+            engine,
+            R2,
+            costs,
+            active_mitigations={"engineering_workstation": (M1, M2)},
+        )
+        assert after.objective > before.objective

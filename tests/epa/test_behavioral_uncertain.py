@@ -1,0 +1,186 @@
+"""Unit tests for behavioural EPA and the RST-extended uncertain EPA."""
+
+import pytest
+
+from repro.epa import (
+    BehaviouralEpa,
+    EpaReport,
+    FaultRef,
+    ScenarioOutcome,
+    discriminating_faults,
+    epa_decision_system,
+    refinement_gain,
+    uncertain_analysis,
+)
+
+
+def toggle_epa():
+    """A minimal dynamic model: a lamp that stays on unless it breaks."""
+    epa = BehaviouralEpa()
+    epa.add_initial("lamp(on).")
+    epa.add_dynamic(
+        """
+        lamp(off) :- active_fault(lamp, burnout).
+        lamp(X) :- prev_lamp(X), not active_fault(lamp, burnout).
+        """
+    )
+    epa.add_fault_mode("lamp", "burnout")
+    epa.add_requirement("lit", "G lamp(on)")
+    return epa
+
+
+class TestBehaviouralEpa:
+    def test_scenarios_grouped_by_fault_set(self):
+        scenarios = toggle_epa().analyze(horizon=2)
+        keys = {s.key() for s in scenarios}
+        assert keys == {(), ("lamp.burnout",)}
+
+    def test_violation_detected_on_faulty_scenario(self):
+        scenarios = toggle_epa().analyze(horizon=2)
+        by_key = {s.key(): s for s in scenarios}
+        assert by_key[()].violated == frozenset()
+        assert by_key[("lamp.burnout",)].violated == {"lit"}
+
+    def test_witnesses(self):
+        scenarios = toggle_epa().analyze(horizon=2)
+        faulty = [s for s in scenarios if s.faults][0]
+        assert faulty.witnesses("lit")
+        assert not faulty.witnesses("no_such_requirement")
+
+    def test_mitigation_excludes_scenario(self):
+        epa = toggle_epa()
+        epa.add_mitigation("burnout", "spare_lamp")
+        scenarios = epa.analyze(
+            horizon=2, active_mitigations={"lamp": ["spare_lamp"]}
+        )
+        assert {s.key() for s in scenarios} == {()}
+
+    def test_max_faults_bound(self):
+        epa = BehaviouralEpa()
+        epa.add_initial("ok.")
+        epa.add_fault_mode("a", "f")
+        epa.add_fault_mode("b", "f")
+        scenarios = epa.analyze(horizon=0, max_faults=1)
+        assert all(len(s.faults) <= 1 for s in scenarios)
+
+    def test_repeated_analyze_is_independent(self):
+        epa = toggle_epa()
+        first = epa.analyze(horizon=1)
+        second = epa.analyze(horizon=1)
+        assert {s.key() for s in first} == {s.key() for s in second}
+
+    def test_to_report(self):
+        epa = toggle_epa()
+        scenarios = epa.analyze(horizon=2)
+        report = epa.to_report(scenarios)
+        assert isinstance(report, EpaReport)
+        assert len(report) == 2
+        assert len(report.violating("lit")) == 1
+
+    def test_worst_case_over_traces(self):
+        """A nondeterministic behaviour violates iff *some* trace does."""
+        epa = BehaviouralEpa()
+        epa.add_initial("state(ok).")
+        epa.add_dynamic(
+            """
+            { glitch }.
+            state(bad) :- glitch, active_fault(core, unstable).
+            state(X) :- prev_state(X), not glitch.
+            state(ok) :- glitch, not active_fault(core, unstable).
+            """
+        )
+        epa.add_fault_mode("core", "unstable")
+        epa.add_requirement("never_bad", "G ~state(bad)")
+        scenarios = epa.analyze(horizon=2)
+        by_key = {s.key(): s for s in scenarios}
+        faulty = by_key[("core.unstable",)]
+        # some traces stay ok (glitch never chosen) but the worst case counts
+        assert "never_bad" in faulty.violated
+        assert by_key[()].violated == frozenset()
+
+
+def _report(outcomes):
+    return EpaReport(outcomes, ["r"])
+
+
+def _outcome(faults, violated):
+    return ScenarioOutcome(
+        frozenset(FaultRef(*f.split(".")) for f in faults),
+        frozenset(violated),
+        {},
+    )
+
+
+class TestUncertainEpa:
+    def _and_report(self):
+        """Violation requires both f1 and f2 (an AND structure)."""
+        return _report(
+            [
+                _outcome([], []),
+                _outcome(["a.f1"], []),
+                _outcome(["b.f2"], []),
+                _outcome(["a.f1", "b.f2"], ["r"]),
+            ]
+        )
+
+    def test_fully_observable_is_decidable(self):
+        result = uncertain_analysis(self._and_report(), "r")
+        assert result.decidable
+        assert result.quality == 1.0
+        assert len(result.certainly_hazardous) == 1
+
+    def test_hiding_a_fault_creates_boundary(self):
+        result = uncertain_analysis(
+            self._and_report(), "r", observable=[FaultRef("a", "f1")]
+        )
+        assert not result.decidable
+        # scenarios {f1} and {f1,f2} are indistinguishable
+        assert len(result.boundary) == 2
+        assert result.quality < 1.0
+
+    def test_certainly_safe_region(self):
+        result = uncertain_analysis(
+            self._and_report(), "r", observable=[FaultRef("a", "f1")]
+        )
+        # scenarios without f1 can never violate: certainly safe
+        assert ("b.f2",) in result.certainly_safe
+        assert () in result.certainly_safe
+
+    def test_decision_system_shape(self):
+        system = epa_decision_system(self._and_report(), "r")
+        assert set(system.attributes) == {"a.f1", "b.f2"}
+        assert len(system) == 4
+
+    def test_discriminating_faults_finds_minimal_reduct(self):
+        # with an OR structure, both faults matter
+        report = _report(
+            [
+                _outcome([], []),
+                _outcome(["a.f1"], ["r"]),
+                _outcome(["b.f2"], ["r"]),
+                _outcome(["a.f1", "b.f2"], ["r"]),
+            ]
+        )
+        needed = discriminating_faults(report, "r")
+        assert set(needed) == {"a.f1", "b.f2"}
+
+    def test_discriminating_faults_drops_irrelevant(self):
+        report = _report(
+            [
+                _outcome([], []),
+                _outcome(["a.f1"], ["r"]),
+                _outcome(["b.noise"], []),
+                _outcome(["a.f1", "b.noise"], ["r"]),
+            ]
+        )
+        assert discriminating_faults(report, "r") == ["a.f1"]
+
+    def test_refinement_gain(self):
+        coarse = uncertain_analysis(
+            self._and_report(), "r", observable=[FaultRef("a", "f1")]
+        )
+        refined = uncertain_analysis(self._and_report(), "r")
+        gain = refinement_gain(coarse, refined)
+        assert gain["boundary_before"] == 2.0
+        assert gain["boundary_after"] == 0.0
+        assert gain["quality_gain"] > 0

@@ -1,0 +1,106 @@
+"""Unit tests for EPA explanation generation."""
+
+import pytest
+
+from repro.casestudy import static_engine
+from repro.epa import (
+    EpaEngine,
+    FaultRef,
+    ScenarioOutcome,
+    StaticRequirement,
+    explain_outcome,
+    explain_report,
+)
+from repro.epa.results import PropagationStep
+from repro.modeling import RelationshipType, SystemModel, standard_cps_library
+
+
+def sample_outcome():
+    return ScenarioOutcome(
+        frozenset({FaultRef("sensor1", "no_signal")}),
+        frozenset({"r1"}),
+        {"sensor1": frozenset({"omission"}), "ctrl": frozenset({"omission"})},
+        paths={"r1": (PropagationStep("sensor1", "ctrl"),)},
+    )
+
+
+class TestExplainOutcome:
+    def test_headline_names_scenario_and_violations(self):
+        explanation = explain_outcome(sample_outcome())
+        assert "sensor1.no_signal" in explanation.headline
+        assert "r1" in explanation.headline
+
+    def test_activation_describes_error_kind(self):
+        explanation = explain_outcome(sample_outcome())
+        assert any("stops producing output" in e for e in explanation.activation)
+
+    def test_propagation_section(self):
+        explanation = explain_outcome(sample_outcome())
+        assert any("sensor1 -> ctrl" in e for e in explanation.propagation)
+        assert any("ctrl is reached" in e for e in explanation.propagation)
+
+    def test_nominal_scenario(self):
+        explanation = explain_outcome(
+            ScenarioOutcome(frozenset(), frozenset(), {})
+        )
+        assert "Nominal" in explanation.headline
+        assert not explanation.activation
+
+    def test_tolerated_scenario(self):
+        outcome = ScenarioOutcome(
+            frozenset({FaultRef("a", "f")}), frozenset(), {}
+        )
+        explanation = explain_outcome(outcome)
+        assert "tolerated" in explanation.headline
+
+    def test_model_provides_readable_names(self):
+        library = standard_cps_library()
+        model = SystemModel("m")
+        library.instantiate(model, "sensor", "sensor1", "Pressure Sensor")
+        explanation = explain_outcome(sample_outcome(), model=model)
+        assert any("Pressure Sensor" in e for e in explanation.activation)
+
+    def test_requirement_description_included(self):
+        requirement = StaticRequirement(
+            "r1", "err(x, value)", description="no bad actuation", magnitude="VH"
+        )
+        explanation = explain_outcome(
+            sample_outcome(), requirements=[requirement]
+        )
+        assert any("no bad actuation" in v for v in explanation.violations)
+        assert any("VH" in v for v in explanation.violations)
+
+    def test_defenses_from_mitigation_map(self):
+        explanation = explain_outcome(
+            sample_outcome(), mitigations={"no_signal": ("redundant_sensor",)}
+        )
+        assert any("redundant_sensor" in d for d in explanation.defenses)
+
+    def test_no_known_defense_fallback(self):
+        explanation = explain_outcome(sample_outcome())
+        assert any("no catalogued mitigation" in d for d in explanation.defenses)
+
+    def test_text_rendering_contains_sections(self):
+        text = explain_outcome(sample_outcome()).text()
+        for section in ("Activated faults:", "Propagation:", "Consequences:"):
+            assert section in text
+
+
+class TestExplainReport:
+    def test_explains_case_study_hazards(self):
+        engine = static_engine()
+        report = engine.analyze(max_faults=1, with_paths=True)
+        explanations = explain_report(engine, report.violating(), limit=3)
+        assert len(explanations) == 3
+        assert all(e.headline for e in explanations)
+
+    def test_engine_mitigations_surface_in_defenses(self):
+        engine = static_engine()
+        report = engine.analyze(max_faults=1, with_paths=True)
+        infected = [
+            o
+            for o in report.violating()
+            if any(f.fault == "infected" for f in o.active_faults)
+        ]
+        explanation = explain_report(engine, infected, limit=1)[0]
+        assert any("m1_user_training" in d for d in explanation.defenses)

@@ -1,0 +1,60 @@
+"""Tests for scenario severity bookkeeping (the Sec. II-C cost metric)."""
+
+import pytest
+
+from repro.epa import EpaEngine, FaultRef, StaticRequirement
+from repro.modeling import RelationshipType, SystemModel, standard_cps_library
+
+
+def model():
+    library = standard_cps_library()
+    m = SystemModel("m")
+    library.instantiate(m, "sensor", "s")
+    library.instantiate(m, "actuator", "v")
+    m.add_relationship("s", "v", RelationshipType.FLOW, check=False)
+    return m
+
+
+REQ = [StaticRequirement("r", "err(v, K), hazardous_kind(K)", focus="v")]
+
+
+class TestSeverityRanks:
+    def test_no_faults_rank_zero(self):
+        engine = EpaEngine(model(), REQ)
+        outcome = engine.analyze_scenario([])
+        assert outcome.severity_rank == 0
+
+    def test_minor_fault_low_rank(self):
+        engine = EpaEngine(model(), REQ)
+        # sensor drift is declared 'minor' in the library -> ORA L -> 2
+        outcome = engine.analyze_scenario([FaultRef("s", "drift")])
+        assert outcome.severity_rank == 2
+
+    def test_critical_fault_high_rank(self):
+        engine = EpaEngine(model(), REQ)
+        # actuator stuck-at is 'critical' -> VH -> 5
+        outcome = engine.analyze_scenario([FaultRef("v", "stuck_at_open")])
+        assert outcome.severity_rank == 5
+
+    def test_worst_active_fault_dominates(self):
+        engine = EpaEngine(model(), REQ)
+        outcome = engine.analyze_scenario(
+            [FaultRef("s", "drift"), FaultRef("v", "stuck_at_open")]
+        )
+        assert outcome.severity_rank == 5
+
+    def test_severity_monotone_under_fault_addition(self):
+        engine = EpaEngine(model(), REQ)
+        single = engine.analyze_scenario([FaultRef("s", "drift")])
+        double = engine.analyze_scenario(
+            [FaultRef("s", "drift"), FaultRef("s", "no_signal")]
+        )
+        assert double.severity_rank >= single.severity_rank
+
+    def test_extra_mutation_severity_respected(self):
+        from repro.security import CandidateMutation
+
+        mutation = CandidateMutation("s", "zero_day", "compromised", "vulnerability", "CVE-X", "VH")
+        engine = EpaEngine(model(), REQ, extra_mutations=(mutation,))
+        outcome = engine.analyze_scenario([FaultRef("s", "zero_day")])
+        assert outcome.severity_rank == 5

@@ -1,0 +1,196 @@
+"""Unit tests for the fault-tree baseline."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fta import (
+    AND,
+    OR,
+    BasicEvent,
+    FaultTree,
+    FaultTreeError,
+    Gate,
+    KofN,
+    from_cut_sets,
+)
+
+
+def paper_tree():
+    """OR(F4, AND(F2, F3)) — overflow-without-alert, case-study style."""
+    return FaultTree(
+        OR(
+            BasicEvent("f4", "M"),
+            AND(BasicEvent("f2", "M"), BasicEvent("f3", "M")),
+        ),
+        "overflow_unalerted",
+    )
+
+
+class TestEvaluation:
+    def test_or_gate(self):
+        tree = FaultTree(OR(BasicEvent("a"), BasicEvent("b")))
+        assert tree.occurs({"a"})
+        assert tree.occurs({"b"})
+        assert not tree.occurs(set())
+
+    def test_and_gate(self):
+        tree = FaultTree(AND(BasicEvent("a"), BasicEvent("b")))
+        assert tree.occurs({"a", "b"})
+        assert not tree.occurs({"a"})
+
+    def test_kofn_gate(self):
+        tree = FaultTree(
+            KofN(2, BasicEvent("a"), BasicEvent("b"), BasicEvent("c"))
+        )
+        assert tree.occurs({"a", "c"})
+        assert not tree.occurs({"b"})
+
+    def test_nested(self):
+        tree = paper_tree()
+        assert tree.occurs({"f4"})
+        assert tree.occurs({"f2", "f3"})
+        assert not tree.occurs({"f2"})
+
+    def test_invalid_gate_kind(self):
+        with pytest.raises(FaultTreeError):
+            Gate("xor", (BasicEvent("a"),))
+
+    def test_empty_gate_rejected(self):
+        with pytest.raises(FaultTreeError):
+            Gate("and", ())
+
+    def test_kofn_bounds_validated(self):
+        with pytest.raises(FaultTreeError):
+            KofN(4, BasicEvent("a"), BasicEvent("b"))
+
+    def test_bad_likelihood_rejected(self):
+        with pytest.raises(Exception):
+            BasicEvent("a", "XXL")
+
+    def test_conflicting_event_definitions_rejected(self):
+        tree = FaultTree(
+            OR(BasicEvent("a", "L"), BasicEvent("a", "H"))
+        )
+        with pytest.raises(FaultTreeError):
+            tree.basic_events()
+
+
+class TestCutSets:
+    def test_paper_tree_cut_sets(self):
+        cuts = paper_tree().cut_sets()
+        assert set(cuts) == {frozenset({"f4"}), frozenset({"f2", "f3"})}
+
+    def test_minimality(self):
+        # a alone suffices, so {a, b} must not appear
+        tree = FaultTree(OR(BasicEvent("a"), AND(BasicEvent("a"), BasicEvent("b"))))
+        assert tree.cut_sets() == [frozenset({"a"})]
+
+    def test_kofn_cut_sets(self):
+        tree = FaultTree(
+            KofN(2, BasicEvent("a"), BasicEvent("b"), BasicEvent("c"))
+        )
+        assert len(tree.cut_sets()) == 3
+        assert all(len(c) == 2 for c in tree.cut_sets())
+
+    def test_cut_set_count_blowup(self):
+        """AND of ORs multiplies: the classic FTA explosion."""
+        gates = [
+            OR(BasicEvent("x%d_0" % i), BasicEvent("x%d_1" % i))
+            for i in range(6)
+        ]
+        tree = FaultTree(AND(*gates))
+        assert len(tree.cut_sets()) == 2 ** 6
+
+    def test_path_sets_dual(self):
+        tree = paper_tree()
+        paths = set(tree.path_sets())
+        assert paths == {frozenset({"f4", "f2"}), frozenset({"f4", "f3"})}
+
+    def test_cut_sets_characterize_occurrence(self):
+        """top occurs iff some minimal cut set is fully active."""
+        tree = paper_tree()
+        cuts = tree.cut_sets()
+        events = [e.name for e in tree.basic_events()]
+        for mask in itertools.product([False, True], repeat=len(events)):
+            active = {e for e, on in zip(events, mask) if on}
+            expected = any(cut <= active for cut in cuts)
+            assert tree.occurs(active) == expected
+
+
+class TestQualitativeLikelihood:
+    def test_or_takes_max(self):
+        tree = FaultTree(OR(BasicEvent("a", "L"), BasicEvent("b", "H")))
+        assert tree.qualitative_likelihood() == "H"
+
+    def test_and_penalizes(self):
+        tree = FaultTree(AND(BasicEvent("a", "M"), BasicEvent("b", "M")))
+        assert tree.qualitative_likelihood() == "L"
+
+    def test_triple_and_rarer_than_double(self):
+        """The paper's S7-vs-S5 argument in FTA form."""
+        double = FaultTree(AND(BasicEvent("a", "M"), BasicEvent("b", "M")))
+        triple = FaultTree(
+            AND(BasicEvent("a", "M"), BasicEvent("b", "M"), BasicEvent("c", "M"))
+        )
+        from repro.qualitative import five_level_scale
+
+        scale = five_level_scale()
+        assert scale.index(triple.qualitative_likelihood()) < scale.index(
+            double.qualitative_likelihood()
+        )
+
+    def test_saturation_at_bottom(self):
+        tree = FaultTree(
+            AND(*[BasicEvent("e%d" % i, "VL") for i in range(4)])
+        )
+        assert tree.qualitative_likelihood() == "VL"
+
+
+class TestImportance:
+    def test_single_point_of_failure_has_high_importance(self):
+        tree = paper_tree()
+        importance = tree.importance()
+        assert importance["f4"] == pytest.approx(0.5)
+        assert importance["f2"] == pytest.approx(0.5)
+
+    def test_event_in_every_cut_set(self):
+        tree = FaultTree(
+            OR(AND(BasicEvent("k"), BasicEvent("a")), AND(BasicEvent("k"), BasicEvent("b")))
+        )
+        assert tree.importance()["k"] == 1.0
+
+
+class TestFromCutSets:
+    def test_roundtrip(self):
+        cuts = [{"a"}, {"b", "c"}]
+        tree = from_cut_sets(cuts, {"a": "H", "b": "M", "c": "M"})
+        assert set(tree.cut_sets()) == {frozenset({"a"}), frozenset({"b", "c"})}
+        assert tree.qualitative_likelihood() == "H"
+
+    def test_single_cut(self):
+        tree = from_cut_sets([{"x"}])
+        assert tree.occurs({"x"})
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(FaultTreeError):
+            from_cut_sets([])
+        with pytest.raises(FaultTreeError):
+            from_cut_sets([set()])
+
+
+@given(
+    st.lists(
+        st.sets(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=3),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_from_cut_sets_preserves_semantics(cuts):
+    """Occurrence of the rebuilt tree equals the cut-set condition."""
+    tree = from_cut_sets(cuts)
+    for mask in itertools.product([False, True], repeat=4):
+        active = {e for e, on in zip("abcd", mask) if on}
+        expected = any(set(cut) <= active for cut in cuts)
+        assert tree.occurs(active) == expected

@@ -1,0 +1,78 @@
+"""Property-based tests on random fault trees."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fta import BasicEvent, FaultTree, Gate
+
+EVENTS = ["e0", "e1", "e2", "e3"]
+
+
+@st.composite
+def random_trees(draw, depth=0):
+    """Random gate trees over a small event alphabet."""
+    if depth >= 2 or draw(st.booleans()):
+        name = draw(st.sampled_from(EVENTS))
+        return BasicEvent(name, "M")
+    kind = draw(st.sampled_from(["and", "or", "kofn"]))
+    size = draw(st.integers(min_value=1, max_value=3))
+    children = tuple(
+        draw(random_trees(depth=depth + 1)) for _ in range(size)
+    )
+    if kind == "kofn":
+        k = draw(st.integers(min_value=1, max_value=len(children)))
+        return Gate("kofn", children, k=k)
+    return Gate(kind, children)
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_trees())
+def test_cut_sets_characterize_occurrence(node):
+    """For every subset of events: top occurs iff a cut set is active."""
+    tree = FaultTree(node)
+    cuts = tree.cut_sets()
+    for mask in itertools.product([False, True], repeat=len(EVENTS)):
+        active = {e for e, on in zip(EVENTS, mask) if on}
+        assert tree.occurs(active) == any(cut <= active for cut in cuts)
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_trees())
+def test_cut_sets_are_minimal_and_unique(node):
+    cuts = FaultTree(node).cut_sets()
+    assert len(set(cuts)) == len(cuts)
+    for a in cuts:
+        for b in cuts:
+            if a is not b:
+                assert not a <= b
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_trees())
+def test_path_sets_dual_to_cut_sets(node):
+    """Disabling a full path set prevents the top event; any hitting set
+    of all path sets that is disabled blocks every cut set."""
+    tree = FaultTree(node)
+    cuts = tree.cut_sets()
+    paths = tree.path_sets()
+    # blocking any path set (making all its events healthy) while all
+    # other events fail must prevent the top event
+    all_events = set(EVENTS)
+    for path in paths:
+        active = all_events - set(path)
+        assert not tree.occurs(active)
+    # conversely, if no path set is fully healthy, the top occurs
+    if cuts:
+        for mask in itertools.product([False, True], repeat=len(EVENTS)):
+            active = {e for e, on in zip(EVENTS, mask) if on}
+            healthy = all_events - active
+            if not any(set(p) <= healthy for p in paths):
+                assert tree.occurs(active)
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_trees())
+def test_importance_fractions_bounded(node):
+    importance = FaultTree(node).importance()
+    assert all(0.0 <= value <= 1.0 for value in importance.values())

@@ -1,0 +1,87 @@
+"""Tests for the Sec. VI drill-down workflow."""
+
+import pytest
+
+from repro.casestudy import (
+    build_system_model,
+    static_engine,
+    static_requirements,
+    workstation_refinement,
+)
+from repro.hierarchy import drill_down, hot_spots
+
+
+@pytest.fixture(scope="module")
+def coarse_report():
+    return static_engine().analyze(max_faults=1)
+
+
+REFINEMENTS = {"engineering_workstation": workstation_refinement()}
+
+
+class TestHotSpots:
+    def test_ranked_by_involvement(self, coarse_report):
+        spots = hot_spots(coarse_report)
+        counts = [s.violating_scenarios for s in spots]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_refinable_flag(self, coarse_report):
+        spots = hot_spots(coarse_report, REFINEMENTS)
+        by_name = {s.component: s for s in spots}
+        assert by_name["engineering_workstation"].refinable
+        assert not by_name["input_valve"].refinable
+
+    def test_limit(self, coarse_report):
+        assert len(hot_spots(coarse_report, limit=2)) == 2
+
+
+class TestDrillDown:
+    def _run(self, coarse_report, limit=10):
+        return drill_down(
+            build_system_model(),
+            static_requirements(),
+            coarse_report,
+            REFINEMENTS,
+            fault_mitigations={"infected": ("m1", "m2")},
+            limit=limit,
+        )
+
+    def test_refinement_applied_to_hot_spot(self, coarse_report):
+        result = self._run(coarse_report)
+        assert result.refined_model.has_element("email_client")
+
+    def test_refined_report_exposes_attack_chain_details(self, coarse_report):
+        """The refined model's violating scenarios name the inner
+        infection-chain components the coarse model could not express
+        (they confirm — not contradict — the coarse workstation hazard)."""
+        result = self._run(coarse_report)
+        fine_components = {
+            fault.component
+            for outcome in result.refined_report.violating()
+            for fault in outcome.active_faults
+        }
+        assert fine_components & {
+            "email_client",
+            "browser",
+            "infected_computer",
+        }
+        # and those fine scenarios count as confirmation of the coarse one
+        assert ("engineering_workstation.infected",) in result.confirmed
+
+    def test_coarse_hazards_confirmed(self, coarse_report):
+        """Pure-OT hazards (stuck valves) survive refinement untouched."""
+        result = self._run(coarse_report)
+        confirmed_faults = {key for key in result.confirmed}
+        assert ("output_valve.stuck_at_closed",) in confirmed_faults
+
+    def test_limit_respects_ranking(self, coarse_report):
+        """With a tiny limit, lower-ranked refinable components are not
+        refined."""
+        result = self._run(coarse_report, limit=1)
+        # the top hot spot is an unrefinable valve, so nothing is applied
+        assert not result.refined_model.has_element("email_client")
+
+    def test_summary_renders(self, coarse_report):
+        summary = self._run(coarse_report).summary()
+        assert "hot spots" in summary
+        assert "confirmed" in summary

@@ -1,0 +1,226 @@
+"""Unit and property tests for mitigation optimization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mitigation import (
+    AttackCostModel,
+    BlockingProblem,
+    FailureCostModel,
+    MitigationCost,
+    OptimizationError,
+    compare_plans,
+    evaluate_plan,
+    most_efficient,
+    optimize_asp,
+    optimize_exhaustive,
+    optimize_greedy,
+    plan_phases,
+    risk_weight,
+)
+
+
+def cover_problem():
+    problem = BlockingProblem()
+    problem.add_mitigation("m1", 4)
+    problem.add_mitigation("m2", 3)
+    problem.add_mitigation("m3", 2)
+    problem.add_scenario("s1", ["m1"], "H")
+    problem.add_scenario("s2", ["m1", "m2"], "M")
+    problem.add_scenario("s3", ["m2", "m3"], "VH")
+    return problem
+
+
+class TestCosts:
+    def test_mitigation_tco(self):
+        cost = MitigationCost(10, 2)
+        assert cost.total(0) == 10
+        assert cost.total(3) == 16
+        with pytest.raises(ValueError):
+            cost.total(-1)
+
+    def test_failure_cost_geometric(self):
+        model = FailureCostModel()
+        assert model.cost("VH") > model.cost("H") > model.cost("M")
+
+    def test_failure_cost_custom_mapping_validated(self):
+        with pytest.raises(ValueError):
+            FailureCostModel({"VL": 1})
+
+    def test_attack_cost_chain(self):
+        model = AttackCostModel()
+        assert model.chain_cost(["L", "H"]) == 26
+
+    def test_risk_weight_order(self):
+        assert risk_weight("VH") > risk_weight("M") > risk_weight("VL")
+        with pytest.raises(ValueError):
+            risk_weight("XL")
+
+
+class TestExactOptimization:
+    def test_asp_matches_exhaustive(self):
+        problem = cover_problem()
+        asp_plan = optimize_asp(problem)
+        exhaustive_plan = optimize_exhaustive(problem)
+        assert asp_plan.cost == exhaustive_plan.cost
+        assert asp_plan.complete
+
+    def test_optimal_cover(self):
+        plan = optimize_asp(cover_problem())
+        # m1 covers s1,s2; m3 covers s3 -> cost 6 (vs m1+m2 = 7)
+        assert plan.deployed == frozenset({"m1", "m3"})
+        assert plan.cost == 6
+
+    def test_unblockable_scenarios_tolerated(self):
+        problem = cover_problem()
+        problem.add_scenario("s_none", [], "VH")
+        plan = optimize_asp(problem)
+        assert "s_none" in plan.unblocked
+        assert plan.blocked == frozenset({"s1", "s2", "s3"})
+
+    def test_unknown_blocker_rejected(self):
+        problem = BlockingProblem()
+        problem.add_scenario("s", ["ghost"])
+        with pytest.raises(OptimizationError):
+            optimize_asp(problem)
+
+    def test_empty_problem(self):
+        plan = optimize_asp(BlockingProblem())
+        assert plan.deployed == frozenset()
+        assert plan.cost == 0
+
+
+class TestBudgetedOptimization:
+    def test_budget_limits_spending(self):
+        plan = optimize_asp(cover_problem(), budget=4)
+        assert plan.cost <= 4
+
+    def test_budget_prioritizes_risk(self):
+        plan = optimize_asp(cover_problem(), budget=3)
+        # within 3: m2 (cost 3) blocks s2+s3 (weight 9+81) beats m3
+        # (blocks s3 only) and m1 is too central but costs 4
+        assert "m2" in plan.deployed
+        assert "s3" in plan.blocked
+
+    def test_zero_budget_blocks_nothing(self):
+        plan = optimize_asp(cover_problem(), budget=0)
+        assert plan.deployed == frozenset()
+        assert plan.blocked == frozenset()
+
+    def test_budget_matches_exhaustive(self):
+        for budget in (0, 2, 3, 5, 7, 9):
+            asp_plan = optimize_asp(cover_problem(), budget=budget)
+            exhaustive_plan = optimize_exhaustive(cover_problem(), budget=budget)
+            assert (
+                asp_plan.residual_risk_weight
+                == exhaustive_plan.residual_risk_weight
+            ), budget
+
+
+class TestGreedy:
+    def test_greedy_covers_everything(self):
+        plan = optimize_greedy(cover_problem())
+        assert plan.complete
+
+    def test_greedy_never_cheaper_than_exact(self):
+        problem = cover_problem()
+        assert optimize_greedy(problem).cost >= optimize_asp(problem).cost
+
+    def test_greedy_with_budget(self):
+        plan = optimize_greedy(cover_problem(), budget=3)
+        assert plan.cost <= 3
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 30))
+    def test_greedy_deterministic(self, _seed):
+        problem = cover_problem()
+        assert optimize_greedy(problem).deployed == optimize_greedy(problem).deployed
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=5),
+    st.lists(
+        st.sets(st.integers(min_value=0, max_value=4), min_size=1, max_size=3),
+        min_size=1,
+        max_size=6,
+    ),
+)
+def test_asp_optimum_equals_bruteforce(costs, scenario_blocker_indices):
+    """Exact ASP optimization agrees with brute force on random covers."""
+    problem = BlockingProblem()
+    for index, cost in enumerate(costs):
+        problem.add_mitigation("m%d" % index, cost)
+    for index, blockers in enumerate(scenario_blocker_indices):
+        names = ["m%d" % b for b in blockers if b < len(costs)]
+        problem.add_scenario("s%d" % index, names, "M")
+    asp_plan = optimize_asp(problem)
+    exhaustive_plan = optimize_exhaustive(problem)
+    assert asp_plan.cost == exhaustive_plan.cost
+    assert asp_plan.residual_risk_weight == exhaustive_plan.residual_risk_weight
+
+
+class TestMultiPhasePlanning:
+    def test_phases_reduce_risk_monotonically(self):
+        plan = plan_phases(cover_problem(), [3, 4, 5])
+        trajectory = plan.risk_trajectory()
+        assert all(b <= a for a, b in zip(trajectory, trajectory[1:]))
+
+    def test_final_phase_completes_cover(self):
+        plan = plan_phases(cover_problem(), [3, 10])
+        assert plan.final_residual_risk_weight == 0
+
+    def test_total_cost_sums_phases(self):
+        plan = plan_phases(cover_problem(), [3, 10])
+        assert plan.total_cost == sum(p.spent for p in plan.phases)
+
+    def test_deployed_union(self):
+        plan = plan_phases(cover_problem(), [3, 10])
+        assert plan.deployed >= {"m2"}
+
+    def test_greedy_variant(self):
+        plan = plan_phases(cover_problem(), [10], use_greedy=True)
+        assert plan.final_residual_risk_weight == 0
+
+    def test_empty_budgets_rejected(self):
+        with pytest.raises(OptimizationError):
+            plan_phases(cover_problem(), [])
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(OptimizationError):
+            plan_phases(cover_problem(), [-1])
+
+
+class TestCostBenefit:
+    def test_worthwhile_plan(self):
+        plan = optimize_asp(cover_problem())
+        result = evaluate_plan(plan, {"s1": "H", "s2": "M", "s3": "VH"})
+        assert result.net_benefit > 0
+        assert result.worthwhile
+        assert result.residual_loss == 0
+
+    def test_tco_periods(self):
+        plan = optimize_asp(cover_problem())
+        tco = {
+            "m1": MitigationCost(4, 10),
+            "m3": MitigationCost(2, 10),
+        }
+        cheap = evaluate_plan(plan, {"s1": "H"}, mitigation_tco=tco, periods=0)
+        expensive = evaluate_plan(plan, {"s1": "H"}, mitigation_tco=tco, periods=5)
+        assert expensive.plan_cost > cheap.plan_cost
+
+    def test_compare_and_pick_most_efficient(self):
+        problem = cover_problem()
+        plans = {
+            "exact": optimize_asp(problem),
+            "greedy": optimize_greedy(problem),
+        }
+        results = compare_plans(plans, {"s1": "H", "s2": "M", "s3": "VH"})
+        best = most_efficient(results)
+        assert best in plans
+        assert results[best].net_benefit == max(
+            r.net_benefit for r in results.values()
+        )
+
+    def test_most_efficient_empty(self):
+        assert most_efficient({}) is None

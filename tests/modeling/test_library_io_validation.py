@@ -1,0 +1,209 @@
+"""Unit tests for component libraries, XML I/O, validation and ASP facts."""
+
+import pytest
+
+from repro.asp import atom
+from repro.modeling import (
+    ArchimateIOError,
+    ComponentTypeLibrary,
+    ElementType,
+    FaultModeSpec,
+    ModelError,
+    PropagationSpec,
+    RelationshipType,
+    Severity,
+    SystemModel,
+    from_xml,
+    model_facts,
+    standard_cps_library,
+    to_asp_text,
+    to_control,
+    to_xml,
+    validate,
+)
+
+
+class TestLibrary:
+    def test_standard_library_types(self):
+        library = standard_cps_library()
+        for name in ("sensor", "actuator", "controller", "hmi", "workstation"):
+            assert name in library
+
+    def test_instantiate_carries_fault_modes(self):
+        library = standard_cps_library()
+        model = SystemModel("m")
+        element = library.instantiate(model, "actuator", "valve")
+        names = {f["name"] for f in element.properties["fault_modes"]}
+        assert "stuck_at_open" in names and "stuck_at_closed" in names
+
+    def test_instantiate_merges_properties(self):
+        library = standard_cps_library()
+        model = SystemModel("m")
+        element = library.instantiate(
+            model, "sensor", "s1", properties={"exposure": "public"}
+        )
+        assert element.properties["exposure"] == "public"
+        assert element.properties["component_type"] == "sensor"
+
+    def test_unknown_type_raises(self):
+        library = standard_cps_library()
+        with pytest.raises(ModelError):
+            library.instantiate(SystemModel("m"), "quantum_router", "q1")
+
+    def test_duplicate_registration_rejected(self):
+        library = standard_cps_library()
+        with pytest.raises(ModelError):
+            library.define("sensor", ElementType.DEVICE)
+
+    def test_propagation_spec_validation(self):
+        with pytest.raises(ValueError):
+            PropagationSpec("teleporting")
+
+    def test_fault_mode_lookup(self):
+        library = standard_cps_library()
+        sensor = library.get("sensor")
+        assert sensor.fault_mode("no_signal").behaviour == "omission"
+        with pytest.raises(KeyError):
+            sensor.fault_mode("explodes")
+
+    def test_masking_component_type(self):
+        library = standard_cps_library()
+        model = SystemModel("m")
+        element = library.instantiate(model, "filter", "f1")
+        assert element.properties["propagation_mode"] == "masking"
+
+
+class TestArchimateIO:
+    def _roundtrip_model(self):
+        library = standard_cps_library()
+        model = SystemModel("roundtrip")
+        library.instantiate(model, "sensor", "s1", "Sensor One")
+        library.instantiate(model, "controller", "c1")
+        model.add_relationship(
+            "s1", "c1", RelationshipType.FLOW, properties={"protocol": "opc-ua"}
+        )
+        return model
+
+    def test_roundtrip_preserves_structure(self):
+        original = self._roundtrip_model()
+        restored = from_xml(to_xml(original))
+        assert len(restored.elements) == len(original.elements)
+        assert len(restored.relationships) == len(original.relationships)
+        assert restored.element("s1").name == "Sensor One"
+
+    def test_roundtrip_preserves_properties(self):
+        restored = from_xml(to_xml(self._roundtrip_model()))
+        assert restored.element("s1").properties["component_type"] == "sensor"
+        assert (
+            restored.relationships[0].properties["protocol"] == "opc-ua"
+        )
+        fault_modes = restored.element("s1").properties["fault_modes"]
+        assert fault_modes[0]["behaviour"] == "omission"
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(ArchimateIOError):
+            from_xml("<model><unclosed></model>")
+
+    def test_unknown_element_type_rejected(self):
+        text = """
+        <model identifier="x"><elements>
+          <element identifier="a" type="flux_capacitor"><name>A</name></element>
+        </elements></model>
+        """
+        with pytest.raises(ArchimateIOError):
+            from_xml(text)
+
+    def test_missing_relationship_endpoint_rejected(self):
+        text = """
+        <model identifier="x"><elements>
+          <element identifier="a" type="node"><name>A</name></element>
+        </elements><relationships>
+          <relationship identifier="r" source="a" target="ghost" type="flow"/>
+        </relationships></model>
+        """
+        with pytest.raises(ArchimateIOError):
+            from_xml(text)
+
+
+class TestValidation:
+    def test_clean_model(self):
+        library = standard_cps_library()
+        model = SystemModel("m")
+        library.instantiate(model, "sensor", "s1")
+        library.instantiate(model, "controller", "c1")
+        model.add_relationship("s1", "c1", RelationshipType.FLOW)
+        report = validate(model)
+        assert report.ok
+
+    def test_isolated_component_warned(self):
+        library = standard_cps_library()
+        model = SystemModel("m")
+        library.instantiate(model, "sensor", "s1")
+        report = validate(model)
+        assert any(d.code == "ISOLATED" for d in report.warnings)
+
+    def test_disallowed_relationship_is_error(self):
+        model = SystemModel("m")
+        model.add_element("a", "A", ElementType.NODE)
+        model.add_element("b", "B", ElementType.NODE)
+        model.add_relationship(
+            "a", "b", RelationshipType.PHYSICAL_CONNECTION, check=False
+        )
+        report = validate(model)
+        assert not report.ok
+        assert report.errors[0].code == "REL_TYPE"
+
+    def test_missing_fault_modes_is_info(self):
+        model = SystemModel("m")
+        model.add_element("a", "A", ElementType.NODE)
+        model.add_element("b", "B", ElementType.NODE)
+        model.add_relationship("a", "b", RelationshipType.FLOW)
+        report = validate(model)
+        assert any(d.code == "NO_FAULT_MODES" for d in report)
+        assert report.ok  # info does not fail validation
+
+    def test_self_loop_warned(self):
+        model = SystemModel("m")
+        model.add_element("a", "A", ElementType.NODE)
+        model.add_relationship("a", "a", RelationshipType.FLOW)
+        report = validate(model)
+        assert any(d.code == "SELF_LOOP" for d in report.warnings)
+
+
+class TestAspFacts:
+    def _model(self):
+        library = standard_cps_library()
+        model = SystemModel("m")
+        library.instantiate(model, "sensor", "s1")
+        library.instantiate(model, "controller", "c1")
+        model.add_relationship("s1", "c1", RelationshipType.FLOW)
+        return model
+
+    def test_component_facts(self):
+        facts = model_facts(self._model())
+        predicates = {p for p, _ in facts}
+        assert {
+            "component",
+            "component_type",
+            "component_layer",
+            "fault_mode",
+            "fault_behaviour",
+            "propagates",
+            "relation",
+        } <= predicates
+
+    def test_asp_text_is_parseable(self):
+        control = to_control(self._model())
+        model = control.first_model()
+        assert model is not None
+        assert model.contains(atom("component", "s1"))
+        assert model.contains(atom("propagates", "s1", "c1"))
+
+    def test_fault_mode_facts_join(self):
+        control = to_control(
+            self._model(),
+            rules="has_omission(C) :- fault_mode(C, F), "
+            "fault_behaviour(C, F, omission).",
+        )
+        model = control.first_model()
+        assert model.contains(atom("has_omission", "s1"))

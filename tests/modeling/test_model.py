@@ -1,0 +1,178 @@
+"""Unit tests for the system model and metamodel."""
+
+import pytest
+
+from repro.modeling import (
+    ElementType,
+    Layer,
+    ModelError,
+    RelationshipType,
+    SystemModel,
+    propagation_directions,
+    relationship_allowed,
+)
+
+
+def small_model():
+    model = SystemModel("m")
+    model.add_element("a", "A", ElementType.NODE)
+    model.add_element("b", "B", ElementType.NODE)
+    model.add_element("tank", "Tank", ElementType.EQUIPMENT)
+    model.add_element("pipe", "Pipe", ElementType.DISTRIBUTION_NETWORK)
+    return model
+
+
+class TestElements:
+    def test_add_and_get(self):
+        model = small_model()
+        assert model.element("a").name == "A"
+        assert model.element("a").layer is Layer.TECHNOLOGY
+
+    def test_duplicate_id_rejected(self):
+        model = small_model()
+        with pytest.raises(ModelError):
+            model.add_element("a", "again", ElementType.NODE)
+
+    def test_unknown_element_raises(self):
+        with pytest.raises(ModelError):
+            small_model().element("zzz")
+
+    def test_elements_of_type_and_layer(self):
+        model = small_model()
+        assert len(model.elements_of_type(ElementType.NODE)) == 2
+        assert len(model.elements_in_layer(Layer.PHYSICAL)) == 2
+
+    def test_element_type_from_label(self):
+        assert ElementType.from_label("equipment") is ElementType.EQUIPMENT
+        with pytest.raises(KeyError):
+            ElementType.from_label("not_a_type")
+
+    def test_remove_element_drops_relationships(self):
+        model = small_model()
+        model.add_relationship("a", "b", RelationshipType.FLOW)
+        model.remove_element("a")
+        assert not model.has_element("a")
+        assert model.relationships == []
+
+
+class TestRelationships:
+    def test_flow_between_nodes(self):
+        model = small_model()
+        rel = model.add_relationship("a", "b", RelationshipType.FLOW)
+        assert rel in model.outgoing("a")
+        assert rel in model.incoming("b")
+        assert model.neighbors("a") == {"b"}
+
+    def test_dangling_endpoint_rejected(self):
+        model = small_model()
+        with pytest.raises(ModelError):
+            model.add_relationship("a", "ghost", RelationshipType.FLOW)
+
+    def test_physical_connection_requires_physical_endpoints(self):
+        model = small_model()
+        model.add_relationship(
+            "tank", "pipe", RelationshipType.PHYSICAL_CONNECTION
+        )
+        with pytest.raises(ModelError):
+            model.add_relationship(
+                "a", "b", RelationshipType.PHYSICAL_CONNECTION
+            )
+
+    def test_check_can_be_disabled(self):
+        model = small_model()
+        model.add_relationship(
+            "a", "b", RelationshipType.PHYSICAL_CONNECTION, check=False
+        )
+
+    def test_explicit_id_collision_rejected(self):
+        model = small_model()
+        model.add_relationship("a", "b", RelationshipType.FLOW, identifier="r1")
+        with pytest.raises(ModelError):
+            model.add_relationship(
+                "b", "a", RelationshipType.FLOW, identifier="r1"
+            )
+
+    def test_generated_ids_skip_taken_ones(self):
+        model = small_model()
+        model.add_relationship("a", "b", RelationshipType.FLOW, identifier="r1")
+        rel = model.add_relationship("b", "a", RelationshipType.FLOW)
+        assert rel.identifier != "r1"
+
+
+class TestPropagationGraph:
+    def test_flow_is_directed(self):
+        model = small_model()
+        model.add_relationship("a", "b", RelationshipType.FLOW)
+        graph = model.propagation_graph()
+        assert graph.has_edge("a", "b")
+        assert not graph.has_edge("b", "a")
+
+    def test_physical_connection_is_bidirectional(self):
+        model = small_model()
+        model.add_relationship(
+            "tank", "pipe", RelationshipType.PHYSICAL_CONNECTION
+        )
+        graph = model.propagation_graph()
+        assert graph.has_edge("tank", "pipe")
+        assert graph.has_edge("pipe", "tank")
+
+    def test_association_does_not_propagate(self):
+        model = small_model()
+        model.add_relationship("a", "b", RelationshipType.ASSOCIATION)
+        graph = model.propagation_graph()
+        assert not graph.has_edge("a", "b")
+
+    def test_propagation_directions(self):
+        assert propagation_directions(RelationshipType.FLOW) == (True, False)
+        assert propagation_directions(
+            RelationshipType.PHYSICAL_CONNECTION
+        ) == (True, True)
+        assert propagation_directions(RelationshipType.ASSOCIATION) == (
+            False,
+            False,
+        )
+
+
+class TestAspectMerging:
+    def test_merge_adds_elements_and_relationships(self):
+        architecture = small_model()
+        deployment = SystemModel("deployment")
+        deployment.add_element("c", "C", ElementType.DEVICE)
+        merged = architecture.merge(deployment)
+        assert merged.has_element("c")
+
+    def test_merge_unites_properties(self):
+        architecture = SystemModel("arch")
+        architecture.add_element(
+            "a", "A", ElementType.NODE, {"cpu": 2, "zone": "dmz"}
+        )
+        deployment = SystemModel("deploy")
+        deployment.add_element("a", "A", ElementType.NODE, {"cpu": 4})
+        architecture.merge(deployment)
+        assert architecture.element("a").properties["cpu"] == 4  # aspect wins
+        assert architecture.element("a").properties["zone"] == "dmz"
+
+    def test_merge_type_conflict_rejected(self):
+        architecture = small_model()
+        other = SystemModel("other")
+        other.add_element("a", "A", ElementType.EQUIPMENT)
+        with pytest.raises(ModelError):
+            architecture.merge(other)
+
+    def test_merge_deduplicates_relationships_by_id(self):
+        first = small_model()
+        first.add_relationship("a", "b", RelationshipType.FLOW, identifier="x")
+        second = small_model()
+        second.add_relationship("a", "b", RelationshipType.FLOW, identifier="x")
+        first.merge(second)
+        assert len(first.relationships) == 1
+
+
+class TestNetworkxExport:
+    def test_multigraph_carries_attributes(self):
+        model = small_model()
+        model.add_relationship("a", "b", RelationshipType.FLOW)
+        graph = model.to_networkx()
+        assert graph.nodes["a"]["type"] == "node"
+        assert graph.nodes["tank"]["layer"] == "physical"
+        assert graph.number_of_edges() == 1

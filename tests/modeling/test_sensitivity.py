@@ -1,0 +1,125 @@
+"""Unit tests for modeling-phase sensitivity support (Sec. II-A)."""
+
+import pytest
+
+from repro.epa import EpaEngine, StaticRequirement
+from repro.modeling import (
+    RelationshipType,
+    SystemModel,
+    critical_decisions,
+    propagation_mode_impacts,
+    property_impacts,
+    rank_impacts,
+    relationship_impacts,
+    standard_cps_library,
+)
+
+
+def chain():
+    library = standard_cps_library()
+    model = SystemModel("chain")
+    library.instantiate(model, "sensor", "s")
+    library.instantiate(model, "filter", "f")
+    library.instantiate(model, "actuator", "v")
+    model.add_relationship("s", "f", RelationshipType.FLOW)
+    model.add_relationship("f", "v", RelationshipType.FLOW)
+    return model
+
+
+def hazard_count(model):
+    engine = EpaEngine(
+        model,
+        [
+            StaticRequirement(
+                "rv", "err(v, K), hazardous_kind(K)", focus="v"
+            )
+        ],
+    )
+    return float(len(engine.analyze(max_faults=1).violating()))
+
+
+class TestPropagationModeImpacts:
+    def test_filter_mode_is_critical(self):
+        """The masking filter is load-bearing: flipping it to
+        transparent exposes the actuator to sensor faults."""
+        impacts = propagation_mode_impacts(chain(), hazard_count)
+        by_subject = {i.decision.subject: i for i in impacts}
+        assert by_subject["f"].critical
+
+    def test_ranking_is_by_spread(self):
+        impacts = propagation_mode_impacts(chain(), hazard_count)
+        spreads = [i.spread for i in impacts]
+        assert spreads == sorted(spreads, reverse=True)
+
+    def test_baseline_recorded(self):
+        impacts = propagation_mode_impacts(chain(), hazard_count)
+        baseline = hazard_count(chain())
+        assert all(i.baseline == baseline for i in impacts)
+
+    def test_original_model_not_mutated(self):
+        model = chain()
+        before = model.element("f").properties["propagation_mode"]
+        propagation_mode_impacts(model, hazard_count)
+        assert model.element("f").properties["propagation_mode"] == before
+
+
+class TestPropertyImpacts:
+    def test_exposure_perturbation(self):
+        model = chain()
+        model.element("s").properties["exposure"] = "internal"
+
+        def exposed_count(m):
+            return float(
+                sum(
+                    1
+                    for e in m.elements
+                    if e.properties.get("exposure") == "public"
+                )
+            )
+
+        impacts = property_impacts(
+            model, exposed_count, "exposure", ["internal", "public"]
+        )
+        assert len(impacts) == 1
+        assert impacts[0].critical
+
+    def test_components_without_property_skipped(self):
+        impacts = property_impacts(
+            chain(), hazard_count, "no_such_property", ["a", "b"]
+        )
+        assert impacts == []
+
+
+def unmasked_chain():
+    """sensor -> controller -> actuator with no masking in between."""
+    library = standard_cps_library()
+    model = SystemModel("unmasked")
+    library.instantiate(model, "sensor", "s")
+    library.instantiate(model, "controller", "c")
+    library.instantiate(model, "actuator", "v")
+    model.add_relationship("s", "c", RelationshipType.FLOW)
+    model.add_relationship("c", "v", RelationshipType.FLOW)
+    return model
+
+
+class TestRelationshipImpacts:
+    def test_dropping_flow_changes_hazards(self):
+        impacts = relationship_impacts(unmasked_chain(), hazard_count)
+        assert len(impacts) == 2
+        # dropping either flow disconnects upstream faults from the
+        # requirement at the actuator
+        assert all(i.critical for i in impacts)
+        assert all(i.perturbed[0] < i.baseline for i in impacts)
+
+    def test_critical_decisions_helper(self):
+        impacts = relationship_impacts(unmasked_chain(), hazard_count)
+        decisions = critical_decisions(impacts)
+        assert decisions
+        assert all(d.kind == "relationship" for d in decisions)
+
+    def test_rank_impacts_stable_for_ties(self):
+        impacts = relationship_impacts(unmasked_chain(), hazard_count)
+        again = rank_impacts(impacts)
+        assert [str(i.decision) for i in impacts] == [
+            str(i.decision) for i in again
+        ]

@@ -1,0 +1,90 @@
+"""Property-based tests of qualitative-reasoning invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.qualitative import (
+    QualitativeSimulator,
+    QuantitySpace,
+    Sign,
+    make_state,
+    state_dict,
+)
+
+LEVELS = QuantitySpace("level", ("l0", "l1", "l2", "l3", "l4"))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.sampled_from(LEVELS.labels),
+    st.integers(min_value=1, max_value=6),
+)
+def test_monotone_dynamics_give_monotone_trajectories(initial, horizon):
+    """Constant PLUS dynamics: labels never decrease along any run."""
+    simulator = QualitativeSimulator(
+        {"x": LEVELS}, lambda s: {"x": Sign.PLUS}
+    )
+    for trajectory in simulator.simulate({"x": initial}, horizon):
+        ranks = [LEVELS.index(l) for l in trajectory.labels("x")]
+        assert all(b >= a for a, b in zip(ranks, ranks[1:]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.sampled_from(LEVELS.labels),
+    st.integers(min_value=1, max_value=5),
+)
+def test_continuity_one_step_per_tick(initial, horizon):
+    """Qualitative continuity: a variable moves at most one label per
+    step, whatever the (possibly ambiguous) dynamics."""
+    simulator = QualitativeSimulator(
+        {"x": LEVELS}, lambda s: {"x": Sign.AMBIGUOUS}
+    )
+    for trajectory in simulator.simulate({"x": initial}, horizon):
+        ranks = [LEVELS.index(l) for l in trajectory.labels("x")]
+        assert all(abs(b - a) <= 1 for a, b in zip(ranks, ranks[1:]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from(LEVELS.labels), st.integers(min_value=0, max_value=8))
+def test_reachable_is_monotone_in_horizon(initial, horizon):
+    simulator = QualitativeSimulator(
+        {"x": LEVELS}, lambda s: {"x": Sign.AMBIGUOUS}
+    )
+    shorter = simulator.reachable({"x": initial}, horizon)
+    longer = simulator.reachable({"x": initial}, horizon + 1)
+    assert shorter <= longer
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from(LEVELS.labels))
+def test_unbounded_reachability_with_ambiguity_is_everything(initial):
+    """AMBIGUOUS dynamics eventually wander the whole finite space."""
+    simulator = QualitativeSimulator(
+        {"x": LEVELS}, lambda s: {"x": Sign.AMBIGUOUS}
+    )
+    reachable = simulator.reachable({"x": initial})
+    labels = {state_dict(s)["x"] for s in reachable}
+    assert labels == set(LEVELS.labels)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.sampled_from([Sign.PLUS, Sign.MINUS, Sign.ZERO]),
+        min_size=1,
+        max_size=6,
+    ),
+    st.sampled_from(LEVELS.labels),
+)
+def test_simulation_deterministic_under_signed_dynamics(plan, initial):
+    """Non-ambiguous dynamics yield exactly one trajectory."""
+    step = {"i": 0}
+
+    def scripted(state):
+        index = min(step["i"], len(plan) - 1)
+        step["i"] += 1
+        return {"x": plan[index]}
+
+    simulator = QualitativeSimulator({"x": LEVELS}, scripted)
+    trajectories = simulator.simulate({"x": initial}, len(plan))
+    assert len(trajectories) == 1

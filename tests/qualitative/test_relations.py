@@ -1,0 +1,136 @@
+"""Unit tests for sign algebra and influence graphs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.qualitative import (
+    Influence,
+    InfluenceGraph,
+    Sign,
+    sign_add,
+    sign_multiply,
+    sign_sum,
+)
+
+SIGNS = [Sign.MINUS, Sign.ZERO, Sign.PLUS, Sign.AMBIGUOUS]
+
+
+class TestSignAlgebra:
+    def test_addition_identity(self):
+        for sign in SIGNS:
+            assert sign_add(sign, Sign.ZERO) is sign
+            assert sign_add(Sign.ZERO, sign) is sign
+
+    def test_addition_same_sign(self):
+        assert sign_add(Sign.PLUS, Sign.PLUS) is Sign.PLUS
+        assert sign_add(Sign.MINUS, Sign.MINUS) is Sign.MINUS
+
+    def test_opposite_signs_ambiguous(self):
+        assert sign_add(Sign.PLUS, Sign.MINUS) is Sign.AMBIGUOUS
+
+    def test_ambiguous_absorbs(self):
+        for sign in SIGNS:
+            assert sign_add(Sign.AMBIGUOUS, sign) is Sign.AMBIGUOUS
+
+    def test_multiplication_table(self):
+        assert sign_multiply(Sign.PLUS, Sign.PLUS) is Sign.PLUS
+        assert sign_multiply(Sign.PLUS, Sign.MINUS) is Sign.MINUS
+        assert sign_multiply(Sign.MINUS, Sign.MINUS) is Sign.PLUS
+        assert sign_multiply(Sign.ZERO, Sign.PLUS) is Sign.ZERO
+        assert sign_multiply(Sign.AMBIGUOUS, Sign.PLUS) is Sign.AMBIGUOUS
+
+    def test_negation(self):
+        assert -Sign.PLUS is Sign.MINUS
+        assert -Sign.MINUS is Sign.PLUS
+        assert -Sign.ZERO is Sign.ZERO
+        assert -Sign.AMBIGUOUS is Sign.AMBIGUOUS
+
+    def test_sign_of_value(self):
+        assert Sign.of(3.0) is Sign.PLUS
+        assert Sign.of(-0.5) is Sign.MINUS
+        assert Sign.of(0.0) is Sign.ZERO
+        assert Sign.of(0.05, tolerance=0.1) is Sign.ZERO
+
+    def test_sign_sum(self):
+        assert sign_sum([]) is Sign.ZERO
+        assert sign_sum([Sign.PLUS, Sign.ZERO, Sign.PLUS]) is Sign.PLUS
+        assert sign_sum([Sign.PLUS, Sign.MINUS]) is Sign.AMBIGUOUS
+
+    @given(st.sampled_from(SIGNS), st.sampled_from(SIGNS))
+    def test_addition_commutative(self, a, b):
+        assert sign_add(a, b) is sign_add(b, a)
+
+    @given(st.sampled_from(SIGNS), st.sampled_from(SIGNS), st.sampled_from(SIGNS))
+    def test_addition_associative(self, a, b, c):
+        assert sign_add(sign_add(a, b), c) is sign_add(a, sign_add(b, c))
+
+    @given(st.sampled_from(SIGNS), st.sampled_from(SIGNS))
+    def test_multiplication_commutative(self, a, b):
+        assert sign_multiply(a, b) is sign_multiply(b, a)
+
+
+class TestInfluence:
+    def test_m_plus_propagates_direction(self):
+        influence = Influence("inflow", "level", Sign.PLUS)
+        assert influence.propagate(Sign.PLUS) is Sign.PLUS
+        assert influence.propagate(Sign.MINUS) is Sign.MINUS
+
+    def test_m_minus_inverts_direction(self):
+        influence = Influence("outflow", "level", Sign.MINUS)
+        assert influence.propagate(Sign.PLUS) is Sign.MINUS
+
+    def test_polarity_must_be_signed(self):
+        with pytest.raises(ValueError):
+            Influence("a", "b", Sign.ZERO)
+
+
+class TestInfluenceGraph:
+    def _tank(self):
+        graph = InfluenceGraph()
+        graph.m_plus("inflow", "level")
+        graph.m_minus("outflow", "level")
+        graph.m_plus("level", "pressure")
+        return graph
+
+    def test_propagation_chain(self):
+        state = self._tank().propagate({"inflow": Sign.PLUS})
+        assert state["level"] is Sign.PLUS
+        assert state["pressure"] is Sign.PLUS
+
+    def test_inverse_influence(self):
+        state = self._tank().propagate({"outflow": Sign.PLUS})
+        assert state["level"] is Sign.MINUS
+
+    def test_conflicting_influences_ambiguous(self):
+        state = self._tank().propagate(
+            {"inflow": Sign.PLUS, "outflow": Sign.PLUS}
+        )
+        assert state["level"] is Sign.AMBIGUOUS
+        assert state["pressure"] is Sign.AMBIGUOUS
+
+    def test_no_disturbance_all_zero(self):
+        state = self._tank().propagate({})
+        assert all(sign is Sign.ZERO for sign in state.values())
+
+    def test_cyclic_graph_reaches_fixpoint(self):
+        graph = InfluenceGraph()
+        graph.m_plus("a", "b")
+        graph.m_plus("b", "a")
+        state = graph.propagate({"a": Sign.PLUS})
+        assert state["a"] is Sign.PLUS
+        assert state["b"] is Sign.PLUS
+
+    def test_negative_feedback_loop(self):
+        graph = InfluenceGraph()
+        graph.m_plus("a", "b")
+        graph.m_minus("b", "a")
+        state = graph.propagate({"a": Sign.PLUS})
+        # disturbance + negative feedback: direction becomes ambiguous
+        assert state["a"] is Sign.AMBIGUOUS
+
+    def test_quantities_listed_in_insertion_order(self):
+        graph = self._tank()
+        assert graph.quantities == ("inflow", "level", "outflow", "pressure")
+
+    def test_len_counts_influences(self):
+        assert len(self._tank()) == 3

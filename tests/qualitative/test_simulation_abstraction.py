@@ -1,0 +1,178 @@
+"""Unit tests for QSIM-lite simulation and numeric abstraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.qualitative import (
+    QualitativeSimulator,
+    QuantitySpace,
+    QuantitySpaceError,
+    Sign,
+    abstraction_error,
+    directions,
+    episodes,
+    landmark_candidates,
+    make_state,
+    qualitative_signature,
+    quantize,
+    state_dict,
+    stationary_points,
+    tank_level_scale,
+)
+
+LEVEL = QuantitySpace("level", ("low", "normal", "high"))
+
+
+def rising_dynamics(state):
+    return {"level": Sign.PLUS}
+
+
+class TestSimulator:
+    def test_deterministic_rise_saturates(self):
+        simulator = QualitativeSimulator({"level": LEVEL}, rising_dynamics)
+        trajectories = simulator.simulate({"level": "low"}, horizon=4)
+        assert len(trajectories) == 1
+        assert trajectories[0].labels("level") == [
+            "low", "normal", "high", "high", "high",
+        ]
+
+    def test_steady_state(self):
+        simulator = QualitativeSimulator(
+            {"level": LEVEL}, lambda s: {"level": Sign.ZERO}
+        )
+        trajectory = simulator.simulate({"level": "normal"}, horizon=3)[0]
+        assert trajectory.labels("level") == ["normal"] * 4
+
+    def test_ambiguous_branches(self):
+        simulator = QualitativeSimulator(
+            {"level": LEVEL}, lambda s: {"level": Sign.AMBIGUOUS}
+        )
+        successors = simulator.successors(make_state({"level": "normal"}))
+        values = {state_dict(s)["level"] for s in successors}
+        assert values == {"low", "normal", "high"}
+
+    def test_state_dependent_dynamics(self):
+        def bang_bang(state):
+            if state["level"] == "high":
+                return {"level": Sign.MINUS}
+            return {"level": Sign.PLUS}
+
+        simulator = QualitativeSimulator({"level": LEVEL}, bang_bang)
+        trajectory = simulator.simulate({"level": "normal"}, horizon=3)[0]
+        assert trajectory.labels("level") == ["normal", "high", "normal", "high"]
+
+    def test_reachability(self):
+        simulator = QualitativeSimulator({"level": LEVEL}, rising_dynamics)
+        reachable = simulator.reachable({"level": "low"})
+        labels = {state_dict(s)["level"] for s in reachable}
+        assert labels == {"low", "normal", "high"}
+
+    def test_can_reach_predicate(self):
+        simulator = QualitativeSimulator({"level": LEVEL}, rising_dynamics)
+        assert simulator.can_reach(
+            {"level": "low"}, lambda s: s["level"] == "high"
+        )
+        falling = QualitativeSimulator(
+            {"level": LEVEL}, lambda s: {"level": Sign.MINUS}
+        )
+        assert not falling.can_reach(
+            {"level": "normal"}, lambda s: s["level"] == "high"
+        )
+
+    def test_multi_variable_product(self):
+        simulator = QualitativeSimulator(
+            {"a": LEVEL, "b": LEVEL},
+            lambda s: {"a": Sign.PLUS, "b": Sign.MINUS},
+        )
+        trajectory = simulator.simulate(
+            {"a": "low", "b": "high"}, horizon=2
+        )[0]
+        assert trajectory.labels("a") == ["low", "normal", "high"]
+        assert trajectory.labels("b") == ["high", "normal", "low"]
+
+    def test_invalid_initial_state_raises(self):
+        simulator = QualitativeSimulator({"level": LEVEL}, rising_dynamics)
+        with pytest.raises(QuantitySpaceError):
+            simulator.simulate({"level": "bogus"}, horizon=1)
+        with pytest.raises(QuantitySpaceError):
+            simulator.simulate({}, horizon=1)
+
+    def test_trajectory_visits(self):
+        simulator = QualitativeSimulator({"level": LEVEL}, rising_dynamics)
+        trajectory = simulator.simulate({"level": "low"}, horizon=2)[0]
+        assert trajectory.visits("level", "high")
+        assert not trajectory.visits("level", "bogus") is True
+
+
+class TestAbstraction:
+    def test_quantize_series(self):
+        space = tank_level_scale(100.0)
+        labels = quantize([10.0, 50.0, 90.0, 110.0], space)
+        assert labels == ["low", "normal", "high", "overflow"]
+
+    def test_episodes_compress_runs(self):
+        space = tank_level_scale(100.0)
+        series = [50, 52, 54, 80, 85, 110]
+        result = episodes(series, space)
+        assert [e.label for e in result] == ["normal", "high", "overflow"]
+        assert result[0].start == 0 and result[0].end == 2
+        assert result[0].direction is Sign.PLUS
+
+    def test_episode_durations_cover_series(self):
+        space = tank_level_scale(100.0)
+        series = [50.0] * 5 + [85.0] * 3
+        result = episodes(series, space)
+        assert sum(e.duration for e in result) == len(series)
+
+    def test_empty_series(self):
+        assert episodes([], tank_level_scale()) == []
+
+    def test_signature(self):
+        space = tank_level_scale(100.0)
+        assert qualitative_signature([50, 51, 85, 84, 50], space) == [
+            "normal", "high", "normal",
+        ]
+
+    def test_directions(self):
+        result = directions([1.0, 2.0, 2.0, 1.0])
+        assert result == [Sign.PLUS, Sign.ZERO, Sign.MINUS]
+
+    def test_stationary_points(self):
+        series = [0, 1, 2, 1, 0, 1]
+        points = stationary_points(series)
+        assert points == [2, 4]
+
+    def test_landmark_candidates_strictly_increasing(self):
+        series = list(np.linspace(0, 10, 50))
+        landmarks = landmark_candidates(series, 3)
+        assert len(landmarks) == 3
+        assert all(b > a for a, b in zip(landmarks, landmarks[1:]))
+
+    def test_landmark_candidates_degenerate_data(self):
+        landmarks = landmark_candidates([5.0] * 10, 2)
+        assert len(landmarks) == 2
+        assert landmarks[1] > landmarks[0]
+
+    def test_landmark_candidates_validation(self):
+        with pytest.raises(ValueError):
+            landmark_candidates([1.0, 2.0], 0)
+        with pytest.raises(ValueError):
+            landmark_candidates([1.0], 2)
+
+    def test_abstraction_error_in_unit_range(self):
+        space = tank_level_scale(100.0)
+        series = np.linspace(0, 120, 200)
+        error = abstraction_error(series, space)
+        assert 0.0 <= error <= 1.0
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=120, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_signature_never_repeats_adjacent(self, series):
+        signature = qualitative_signature(series, tank_level_scale(100.0))
+        assert all(a != b for a, b in zip(signature, signature[1:]))

@@ -1,0 +1,168 @@
+"""Unit tests for quantity spaces and qualitative values."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.qualitative import (
+    QualitativeRange,
+    QualitativeValue,
+    QuantitySpace,
+    QuantitySpaceError,
+    five_level_scale,
+    tank_level_scale,
+    workload_scale,
+)
+
+
+class TestQuantitySpace:
+    def test_ordering(self):
+        space = five_level_scale()
+        assert space.compare("VL", "VH") < 0
+        assert space.compare("M", "M") == 0
+        assert space.compare("H", "L") > 0
+
+    def test_successor_predecessor(self):
+        space = five_level_scale()
+        assert space.successor("VL") == "L"
+        assert space.successor("VH") is None
+        assert space.predecessor("VL") is None
+        assert space.predecessor("VH") == "H"
+
+    def test_shift_saturates(self):
+        space = five_level_scale()
+        assert space.shift("M", 10) == "VH"
+        assert space.shift("M", -10) == "VL"
+        assert space.shift("M", 1) == "H"
+
+    def test_between(self):
+        space = five_level_scale()
+        assert space.between("L", "H") == ("L", "M", "H")
+        with pytest.raises(QuantitySpaceError):
+            space.between("H", "L")
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(QuantitySpaceError):
+            five_level_scale().index("XXL")
+
+    def test_needs_two_labels(self):
+        with pytest.raises(QuantitySpaceError):
+            QuantitySpace("bad", ["only"])
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(QuantitySpaceError):
+            QuantitySpace("bad", ["a", "a"])
+
+    def test_landmark_count_validated(self):
+        with pytest.raises(QuantitySpaceError):
+            QuantitySpace("bad", ["a", "b", "c"], landmarks=[1.0])
+
+    def test_landmarks_must_increase(self):
+        with pytest.raises(QuantitySpaceError):
+            QuantitySpace("bad", ["a", "b", "c"], landmarks=[2.0, 1.0])
+
+
+class TestQuantization:
+    def test_workload_example_from_paper(self):
+        space = workload_scale()
+        assert space.quantize(0.1) == "low"
+        assert space.quantize(0.5) == "medium"
+        assert space.quantize(0.8) == "high"
+        assert space.quantize(0.99) == "overloaded"
+
+    def test_boundary_is_half_open(self):
+        space = QuantitySpace("s", ["lo", "hi"], landmarks=[5.0])
+        assert space.quantize(4.999) == "lo"
+        assert space.quantize(5.0) == "hi"
+
+    def test_tank_level_scale(self):
+        space = tank_level_scale(100.0)
+        assert space.quantize(2.0) == "empty"
+        assert space.quantize(50.0) == "normal"
+        assert space.quantize(85.0) == "high"
+        assert space.quantize(105.0) == "overflow"
+
+    def test_quantize_without_landmarks_raises(self):
+        with pytest.raises(QuantitySpaceError):
+            five_level_scale().quantize(1.0)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    def test_quantize_total_on_reals(self, value):
+        space = tank_level_scale()
+        assert space.quantize(value) in space.labels
+
+    @given(
+        st.floats(min_value=0, max_value=200, allow_nan=False),
+        st.floats(min_value=0, max_value=200, allow_nan=False),
+    )
+    def test_quantize_is_monotone(self, a, b):
+        space = tank_level_scale()
+        low, high = min(a, b), max(a, b)
+        assert space.index(space.quantize(low)) <= space.index(
+            space.quantize(high)
+        )
+
+
+class TestQualitativeValue:
+    def test_comparison(self):
+        space = five_level_scale()
+        low = QualitativeValue(space, "L")
+        high = QualitativeValue(space, "H")
+        assert low < high
+        assert high >= low
+        assert not low > high
+
+    def test_cross_space_comparison_rejected(self):
+        a = QualitativeValue(five_level_scale(), "L")
+        b = QualitativeValue(workload_scale(), "low")
+        with pytest.raises(QuantitySpaceError):
+            _ = a < b
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(QuantitySpaceError):
+            QualitativeValue(five_level_scale(), "nope")
+
+    def test_shift(self):
+        value = QualitativeValue(five_level_scale(), "M")
+        assert value.shift(1).label == "H"
+        assert value.shift(-10).label == "VL"
+
+
+class TestQualitativeRange:
+    def test_labels(self):
+        space = five_level_scale()
+        r = QualitativeRange(space, "L", "H")
+        assert r.labels() == ("L", "M", "H")
+        assert len(r) == 3
+        assert "M" in r
+        assert "VH" not in r
+
+    def test_exact(self):
+        r = QualitativeRange.exact(five_level_scale(), "M")
+        assert r.is_exact
+        assert r.labels() == ("M",)
+
+    def test_out_of_order_rejected(self):
+        with pytest.raises(QuantitySpaceError):
+            QualitativeRange(five_level_scale(), "H", "L")
+
+    def test_widen_saturates(self):
+        r = QualitativeRange.exact(five_level_scale(), "VL").widen(1)
+        assert r.labels() == ("VL", "L")
+
+    def test_intersect_and_union(self):
+        space = five_level_scale()
+        a = QualitativeRange(space, "VL", "M")
+        b = QualitativeRange(space, "L", "VH")
+        assert a.intersect(b).labels() == ("L", "M")
+        assert a.union(b).labels() == space.labels
+
+    def test_empty_intersection_raises(self):
+        space = five_level_scale()
+        with pytest.raises(QuantitySpaceError):
+            QualitativeRange(space, "VL", "L").intersect(
+                QualitativeRange(space, "H", "VH")
+            )
+
+    def test_full_range(self):
+        r = QualitativeRange.full(five_level_scale())
+        assert len(r) == 5

@@ -1,0 +1,88 @@
+"""Tests for the markdown assessment document."""
+
+import pytest
+
+from repro.casestudy import (
+    build_system_model,
+    refined_system_model,
+    static_requirements,
+)
+from repro.core import AssessmentPipeline
+from repro.reporting import assessment_document
+from repro.security import builtin_catalog
+
+
+@pytest.fixture(scope="module")
+def result():
+    pipeline = AssessmentPipeline(
+        static_requirements(), builtin_catalog(), max_faults=1
+    )
+    return pipeline.run(
+        build_system_model(), refined_model=refined_system_model()
+    )
+
+
+@pytest.fixture(scope="module")
+def document(result):
+    return assessment_document(result)
+
+
+class TestDocumentStructure:
+    def test_sections_present(self, document):
+        for heading in (
+            "# Risk Assessment",
+            "## Assessment pipeline",
+            "## System model",
+            "## Hazard identification",
+            "## Risk register",
+            "## Mitigation strategy",
+            "## Appendix: O-RA risk matrix",
+        ):
+            assert heading in document
+
+    def test_custom_title(self, result):
+        text = assessment_document(result, title="Audit 2026-Q3")
+        assert text.splitlines()[0] == "# Audit 2026-Q3"
+
+    def test_pipeline_table_has_seven_phases(self, document):
+        section = document.split("## Assessment pipeline")[1].split("##")[0]
+        phase_rows = [
+            line for line in section.splitlines() if line.startswith("| ")
+        ]
+        # header + 7 phases
+        assert len(phase_rows) == 8
+
+    def test_model_inventory_lists_components(self, document):
+        assert "water_tank" in document
+        assert "engineering_workstation" in document
+
+    def test_risk_register_bolds_labels(self, document):
+        assert "**VH**" in document or "**H**" in document
+
+    def test_explanations_for_top_hazards(self, document):
+        assert "## Why the top hazards happen" in document
+        assert "towards r1" in document or "towards r2" in document
+
+    def test_mitigation_section_mentions_plan(self, document, result):
+        for mitigation in sorted(result.plan.deployed):
+            assert "`%s`" % mitigation in document
+
+    def test_appendix_matrix_matches_table1(self, document):
+        appendix = document.split("## Appendix")[1]
+        # top row is LM=VH: M H VH VH VH
+        vh_row = [l for l in appendix.splitlines() if l.startswith("| VH")][0]
+        cells = [c.strip() for c in vh_row.split("|")[2:-1]]
+        assert cells == ["M", "H", "VH", "VH", "VH"]
+
+    def test_valid_markdown_tables(self, document):
+        """Every table row has the same number of pipes as its header."""
+        lines = document.splitlines()
+        for index, line in enumerate(lines):
+            if line.startswith("|---"):
+                width = line.count("|")
+                block = [lines[index - 1]]
+                cursor = index + 1
+                while cursor < len(lines) and lines[cursor].startswith("|"):
+                    block.append(lines[cursor])
+                    cursor += 1
+                assert all(row.count("|") == width for row in block)

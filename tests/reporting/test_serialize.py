@@ -1,0 +1,105 @@
+"""Tests for JSON serialization of assessment artifacts."""
+
+import json
+
+import pytest
+
+from repro.casestudy import build_system_model, static_requirements
+from repro.core import AssessmentPipeline
+from repro.epa import EpaReport, FaultRef, ScenarioOutcome
+from repro.epa.results import PropagationStep
+from repro.mitigation import BlockingProblem, optimize_asp
+from repro.reporting import (
+    assessment_to_dict,
+    plan_to_dict,
+    register_to_dict,
+    report_to_dict,
+    scenario_to_dict,
+)
+from repro.risk import RiskRegister
+from repro.security import builtin_catalog
+
+
+def outcome():
+    return ScenarioOutcome(
+        frozenset({FaultRef("s", "f")}),
+        frozenset({"r1"}),
+        {"s": frozenset({"value"})},
+        frozenset({"hmi"}),
+        {"r1": (PropagationStep("s", "v"),)},
+        severity_rank=4,
+    )
+
+
+class TestScenarioSerialization:
+    def test_fields(self):
+        data = scenario_to_dict(outcome())
+        assert data["faults"] == ["s.f"]
+        assert data["violated"] == ["r1"]
+        assert data["erroneous"] == {"s": ["value"]}
+        assert data["detected_at"] == ["hmi"]
+        assert data["severity_rank"] == 4
+        assert data["paths"]["r1"][0] == {"source": "s", "target": "v"}
+
+    def test_json_roundtrip(self):
+        data = scenario_to_dict(outcome())
+        assert json.loads(json.dumps(data)) == data
+
+
+class TestReportSerialization:
+    def test_counts_and_structure(self):
+        report = EpaReport([outcome()], ["r1"], {"s": ("m",)})
+        data = report_to_dict(report)
+        assert data["scenario_count"] == 1
+        assert data["violating_count"] == 1
+        assert data["requirements"] == ["r1"]
+        assert data["active_mitigations"] == {"s": ["m"]}
+        assert data["violation_counts"] == {"r1": 1}
+        json.dumps(data)
+
+
+class TestRegisterAndPlanSerialization:
+    def test_register(self):
+        register = RiskRegister()
+        register.add("x", "H", "VH", violated_requirements=["r1"])
+        data = register_to_dict(register)
+        assert data[0]["risk"] == "VH"
+        json.dumps(data)
+
+    def test_plan(self):
+        problem = BlockingProblem()
+        problem.add_mitigation("m", 5)
+        problem.add_scenario("s", ["m"], "H")
+        plan = optimize_asp(problem)
+        data = plan_to_dict(plan)
+        assert data["deployed"] == ["m"]
+        assert data["complete"] is True
+        json.dumps(data)
+
+
+class TestAssessmentSerialization:
+    @pytest.fixture(scope="class")
+    def result(self):
+        pipeline = AssessmentPipeline(
+            static_requirements(), builtin_catalog(), max_faults=1
+        )
+        return pipeline.run(build_system_model())
+
+    def test_full_document_is_json_safe(self, result):
+        data = assessment_to_dict(result)
+        text = json.dumps(data)
+        restored = json.loads(text)
+        assert restored["model"]["name"] == "water_tank_system"
+        assert len(restored["phases"]) == 7
+        assert restored["validation"]["ok"] is True
+        assert restored["plan"] is not None
+        assert restored["cost_benefit"]["worthwhile"] is True
+
+    def test_mutation_entries(self, result):
+        data = assessment_to_dict(result)
+        kinds = {m["origin_kind"] for m in data["mutations"]}
+        assert kinds == {"fault", "technique", "vulnerability"}
+
+    def test_consistency_between_views(self, result):
+        data = assessment_to_dict(result)
+        assert data["report"]["violating_count"] == len(data["register"])

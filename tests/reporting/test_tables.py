@@ -1,0 +1,125 @@
+"""Unit tests for table rendering and report builders."""
+
+import pytest
+
+from repro.casestudy import analysis_table
+from repro.epa import EpaReport, FaultRef, ScenarioOutcome
+from repro.reporting import (
+    analysis_results_report,
+    epa_report_table,
+    propagation_path_report,
+    render_markdown,
+    render_matrix_grid,
+    render_table,
+    risk_matrix_report,
+    risk_register_report,
+)
+from repro.risk import RiskRegister, iec61508_risk_matrix, ora_risk_matrix
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        # separator row present
+        assert set(lines[1]) <= {"-", "+", " "}
+        assert "longer" in lines[3]
+
+    def test_title(self):
+        text = render_table(["h"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only_one"]])
+
+    def test_markdown(self):
+        text = render_markdown(["a", "b"], [[1, 2]])
+        assert text.splitlines()[0] == "| a | b |"
+        assert text.splitlines()[1] == "|---|---|"
+        assert "| 1 | 2 |" in text
+
+    def test_markdown_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_markdown(["a"], [[1, 2]])
+
+    def test_matrix_grid(self):
+        text = render_matrix_grid(
+            ["r1", "r2"], ["c1", "c2"], lambda r, c: r + c
+        )
+        assert "r1c1" in text and "r2c2" in text
+
+
+class TestRiskMatrixReport:
+    def test_table_1_layout(self):
+        """Table I renders with LM rows from VH down to VL."""
+        text = risk_matrix_report(ora_risk_matrix())
+        lines = [l for l in text.splitlines() if l and l[0] in "VLMH"]
+        assert lines[0].startswith("VH")
+        assert lines[-1].startswith("VL")
+        # top-left data cell is M (LM=VH, LEF=VL)
+        assert lines[0].split("|")[1].strip() == "M"
+
+    def test_iec_matrix_renders(self):
+        text = risk_matrix_report(iec61508_risk_matrix())
+        assert "frequent" in text
+        assert "IV" in text
+
+
+class TestAnalysisResultsReport:
+    def test_matches_paper_shape(self):
+        rows = analysis_table(horizon=3)
+        text = analysis_results_report(rows)
+        lines = text.splitlines()
+        header = [h.strip() for h in lines[2].split("|")]
+        assert header[1:] == ["F1", "F2", "F3", "F4", "M1", "M2", "R1", "R2"]
+        s2_line = [l for l in lines if l.startswith("S2")][0]
+        assert s2_line.count("Violated") == 2
+
+
+class TestEpaAndRegisterReports:
+    def _report(self):
+        outcome = ScenarioOutcome(
+            frozenset({FaultRef("valve", "stuck")}),
+            frozenset({"r1"}),
+            {"valve": frozenset({"value"})},
+            severity_rank=4,
+        )
+        return EpaReport([outcome], ["r1"])
+
+    def test_epa_table(self):
+        text = epa_report_table(self._report())
+        assert "valve.stuck" in text
+        assert "r1" in text
+
+    def test_register_report_sorted(self):
+        register = RiskRegister()
+        register.add("low", "L", "L")
+        register.add("high", "VH", "VH", violated_requirements=["r1"])
+        text = risk_register_report(register)
+        lines = text.splitlines()
+        assert lines.index([l for l in lines if "high" in l][0]) < lines.index(
+            [l for l in lines if l.startswith("low")][0]
+        )
+
+    def test_path_report(self):
+        from repro.epa import PropagationStep
+
+        outcome = ScenarioOutcome(
+            frozenset({FaultRef("s", "f")}),
+            frozenset({"r1"}),
+            {},
+            paths={
+                "r1": (
+                    PropagationStep("s", "c"),
+                    PropagationStep("c", "v"),
+                )
+            },
+        )
+        text = propagation_path_report(outcome)
+        assert "r1: s -> c -> v" in text
+
+    def test_path_report_empty(self):
+        outcome = ScenarioOutcome(frozenset(), frozenset(), {})
+        assert "no propagation paths" in propagation_path_report(outcome)

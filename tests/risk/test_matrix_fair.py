@@ -1,0 +1,197 @@
+"""Unit tests for risk matrices (Table I) and the FAIR tree (Fig. 2)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.qualitative import QualitativeRange, five_level_scale
+from repro.risk import (
+    FairError,
+    FairModel,
+    RiskMatrixError,
+    combine_frequency,
+    combine_magnitude,
+    combine_vulnerability,
+    iec61508_risk_matrix,
+    matrix_from_mapping,
+    ora_risk_matrix,
+)
+
+LABELS = ("VL", "L", "M", "H", "VH")
+
+
+class TestOraMatrix:
+    """Table I of the paper, cell by cell."""
+
+    # rows: LM from VH (top) to VL (bottom); columns: LEF VL..VH
+    PAPER_TABLE = {
+        "VH": ("M", "H", "VH", "VH", "VH"),
+        "H": ("L", "M", "H", "VH", "VH"),
+        "M": ("VL", "L", "M", "H", "VH"),
+        "L": ("VL", "VL", "L", "M", "H"),
+        "VL": ("VL", "VL", "VL", "L", "M"),
+    }
+
+    @pytest.mark.parametrize("lm", LABELS)
+    @pytest.mark.parametrize("lef_index", range(5))
+    def test_every_cell_matches_table_1(self, lm, lef_index):
+        matrix = ora_risk_matrix()
+        lef = LABELS[lef_index]
+        assert matrix.classify(lm, lef) == self.PAPER_TABLE[lm][lef_index]
+
+    def test_paper_worked_example(self):
+        """Sec. IV-B: LM=M and LEF=L gives Risk=L."""
+        assert ora_risk_matrix().classify("M", "L") == "L"
+
+    def test_monotone(self):
+        assert ora_risk_matrix().is_monotone()
+
+    def test_outcomes_enumerates_25_cells(self):
+        assert len(ora_risk_matrix().outcomes()) == 25
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(Exception):
+            ora_risk_matrix().classify("XXL", "L")
+
+
+class TestIec61508Matrix:
+    def test_extreme_cells(self):
+        matrix = iec61508_risk_matrix()
+        assert matrix.classify("incredible", "negligible") == "IV"
+        assert matrix.classify("frequent", "catastrophic") == "I"
+
+    def test_monotone(self):
+        assert iec61508_risk_matrix().is_monotone()
+
+    def test_dimensions(self):
+        matrix = iec61508_risk_matrix()
+        assert len(matrix.outcomes()) == 24  # 6 x 4
+
+
+class TestCustomMatrix:
+    def test_missing_cell_rejected(self):
+        scale = five_level_scale()
+        with pytest.raises(RiskMatrixError):
+            matrix_from_mapping("partial", scale, scale, scale, {})
+
+    def test_wrong_row_count_rejected(self):
+        from repro.risk import RiskMatrix
+        scale = five_level_scale()
+        with pytest.raises(RiskMatrixError):
+            RiskMatrix("bad", scale, scale, scale, (("VL",) * 5,))
+
+    def test_full_mapping_roundtrip(self):
+        scale = five_level_scale()
+        cells = {
+            (row, column): "M"
+            for row in scale.labels
+            for column in scale.labels
+        }
+        matrix = matrix_from_mapping("flat", scale, scale, scale, cells)
+        assert matrix.classify("VH", "VL") == "M"
+        assert matrix.is_monotone()
+
+
+class TestFairCombinators:
+    def test_frequency_is_min(self):
+        assert combine_frequency("H", "L") == "L"
+        assert combine_frequency("VH", "VH") == "VH"
+
+    def test_vulnerability_from_capability_gap(self):
+        assert combine_vulnerability("VH", "VL") == "VH"
+        assert combine_vulnerability("VL", "VH") == "VL"
+        assert combine_vulnerability("M", "M") == "M"
+        assert combine_vulnerability("H", "M") == "H"
+
+    def test_magnitude_is_max(self):
+        assert combine_magnitude("L", "H") == "H"
+        assert combine_magnitude("VL", "VL") == "VL"
+
+    @given(st.sampled_from(LABELS), st.sampled_from(LABELS))
+    def test_frequency_commutative(self, a, b):
+        assert combine_frequency(a, b) == combine_frequency(b, a)
+
+
+class TestFairModel:
+    def test_full_derivation(self):
+        model = FairModel()
+        derivation = model.derive(
+            contact_frequency="H",
+            probability_of_action="M",
+            threat_capability="H",
+            resistance_strength="L",
+            primary_loss="H",
+            secondary_lef="L",
+            secondary_lm="M",
+        )
+        assert derivation.label("tef") == "M"
+        assert derivation.label("vulnerability") == "VH"
+        assert derivation.label("lef") == "M"
+        assert derivation.label("lm") == "H"
+        assert derivation.label("risk") == "H"
+
+    def test_unknown_leaf_rejected(self):
+        with pytest.raises(FairError):
+            FairModel().derive(bogus_leaf="H")
+
+    def test_missing_leaves_default_to_full_uncertainty(self):
+        derivation = FairModel().derive(primary_loss="VL")
+        assert not derivation.range("risk").is_exact
+
+    def test_uncertain_input_propagates_to_range(self):
+        scale = five_level_scale()
+        derivation = FairModel().derive(
+            contact_frequency="H",
+            probability_of_action="H",
+            threat_capability="M",
+            resistance_strength="M",
+            primary_loss=QualitativeRange(scale, "L", "VH"),
+            secondary_lef="VL",
+            secondary_lm="VL",
+        )
+        risk = derivation.range("risk")
+        assert not risk.is_exact
+        assert risk.low < risk.high or risk.low != risk.high
+
+    def test_label_on_uncertain_attribute_raises(self):
+        derivation = FairModel().derive()
+        with pytest.raises(FairError):
+            derivation.label("risk")
+
+    def test_risk_label_direct_lookup(self):
+        assert FairModel().risk_label("M", "L") == "L"
+
+    def test_exact_inputs_give_exact_outputs(self):
+        derivation = FairModel().derive(
+            contact_frequency="M",
+            probability_of_action="M",
+            threat_capability="M",
+            resistance_strength="M",
+            primary_loss="M",
+            secondary_lef="M",
+            secondary_lm="M",
+        )
+        for attribute in ("tef", "vulnerability", "lef", "lm", "risk"):
+            assert derivation.range(attribute).is_exact
+
+    def test_range_monotone_in_input_width(self):
+        """Widening an input range can only widen the output range."""
+        scale = five_level_scale()
+        base = dict(
+            contact_frequency="H",
+            probability_of_action="H",
+            threat_capability="H",
+            resistance_strength="L",
+            secondary_lef="VL",
+            secondary_lm="VL",
+        )
+        narrow = FairModel().derive(
+            primary_loss=QualitativeRange(scale, "M", "H"), **base
+        )
+        wide = FairModel().derive(
+            primary_loss=QualitativeRange(scale, "L", "VH"), **base
+        )
+        narrow_labels = set(narrow.range("risk").labels())
+        wide_labels = set(wide.range("risk").labels())
+        assert narrow_labels <= wide_labels

@@ -1,0 +1,85 @@
+"""Tests for IEC 61508 classification and SIL guidance."""
+
+import pytest
+
+from repro.risk import (
+    RiskRegister,
+    SilRecommendation,
+    classify_from_ora,
+    classify_hazard,
+    iec61508_risk_matrix,
+    sil_register,
+)
+
+
+class TestClassifyHazard:
+    def test_worst_case_is_class_one_sil_four(self):
+        recommendation = classify_hazard("frequent", "catastrophic")
+        assert recommendation.risk_class == "I"
+        assert recommendation.sil == 4
+        assert not recommendation.acceptable
+
+    def test_best_case_is_class_four_no_sil(self):
+        recommendation = classify_hazard("incredible", "negligible")
+        assert recommendation.risk_class == "IV"
+        assert recommendation.sil is None
+        assert recommendation.acceptable
+
+    def test_classification_follows_matrix(self):
+        matrix = iec61508_risk_matrix()
+        for likelihood in matrix.row_space.labels:
+            for consequence in matrix.column_space.labels:
+                recommendation = classify_hazard(likelihood, consequence)
+                assert recommendation.risk_class == matrix.classify(
+                    likelihood, consequence
+                )
+
+    def test_sil_monotone_in_risk_class(self):
+        """Worse classes never get a lower SIL target."""
+        sils = []
+        for risk_class in ("IV", "III", "II", "I"):
+            # find a cell of that class
+            matrix = iec61508_risk_matrix()
+            for likelihood in matrix.row_space.labels:
+                for consequence in matrix.column_space.labels:
+                    if matrix.classify(likelihood, consequence) == risk_class:
+                        recommendation = classify_hazard(
+                            likelihood, consequence
+                        )
+                        sils.append(recommendation.sil or 0)
+                        break
+                else:
+                    continue
+                break
+        assert sils == sorted(sils)
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(Exception):
+            classify_hazard("sometimes", "bad")
+
+
+class TestOraBridge:
+    def test_high_security_risk_maps_to_demanding_class(self):
+        recommendation = classify_from_ora("VH", "VH")
+        assert recommendation.risk_class == "I"
+
+    def test_low_security_risk_is_acceptable(self):
+        recommendation = classify_from_ora("VL", "VL")
+        assert recommendation.acceptable
+
+    @pytest.mark.parametrize("lef", ["VL", "L", "M", "H", "VH"])
+    @pytest.mark.parametrize("lm", ["VL", "L", "M", "H", "VH"])
+    def test_total_over_ora_grid(self, lef, lm):
+        recommendation = classify_from_ora(lef, lm)
+        assert recommendation.risk_class in ("I", "II", "III", "IV")
+
+
+class TestSilRegister:
+    def test_register_classification(self):
+        register = RiskRegister()
+        register.add("worst", "VH", "VH")
+        register.add("mild", "VL", "L")
+        recommendations = sil_register(register)
+        assert len(recommendations) == 2
+        assert recommendations[0].risk_class == "I"  # worst-first order
+        assert recommendations[1].acceptable

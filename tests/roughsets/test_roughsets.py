@@ -1,0 +1,230 @@
+"""Unit and property tests for rough set theory."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.roughsets import (
+    DecisionSystem,
+    InformationSystem,
+    RoughSetError,
+    approximate,
+    boundary_region,
+    core,
+    decision_rules,
+    is_reduct,
+    negative_region,
+    positive_region,
+    quality_of_classification,
+    reducts,
+)
+
+
+def classic_table():
+    """A small decision table with one inconsistency (x3 vs x4)."""
+    system = DecisionSystem(["headache", "temp"], decision="flu")
+    system.add("x1", {"headache": "yes", "temp": "high"}, "yes")
+    system.add("x2", {"headache": "yes", "temp": "normal"}, "no")
+    system.add("x3", {"headache": "no", "temp": "high"}, "yes")
+    system.add("x4", {"headache": "no", "temp": "high"}, "no")
+    system.add("x5", {"headache": "no", "temp": "normal"}, "no")
+    return system
+
+
+class TestInformationSystem:
+    def test_indiscernibility_partition(self):
+        system = classic_table()
+        blocks = {frozenset(b) for b in system.indiscernibility_classes()}
+        assert frozenset({"x3", "x4"}) in blocks
+        assert frozenset({"x1"}) in blocks
+
+    def test_projection_merges_blocks(self):
+        system = classic_table()
+        blocks = system.indiscernibility_classes(["headache"])
+        sizes = sorted(len(b) for b in blocks)
+        assert sizes == [2, 3]
+
+    def test_equivalence_class(self):
+        system = classic_table()
+        assert system.equivalence_class("x3") == frozenset({"x3", "x4"})
+
+    def test_indiscernible(self):
+        system = classic_table()
+        assert system.indiscernible("x3", "x4")
+        assert not system.indiscernible("x1", "x2")
+        assert system.indiscernible("x1", "x2", ["headache"])
+
+    def test_duplicate_object_rejected(self):
+        system = classic_table()
+        with pytest.raises(RoughSetError):
+            system.add("x1", {"headache": "no", "temp": "normal"}, "no")
+
+    def test_missing_attribute_rejected(self):
+        system = DecisionSystem(["a"], decision="d")
+        with pytest.raises(RoughSetError):
+            system.add("x", {}, "v")
+
+    def test_decision_in_values_mapping(self):
+        system = DecisionSystem(["a"], decision="d")
+        system.add("x", {"a": 1, "d": "yes"})
+        assert system.decision("x") == "yes"
+
+    def test_consistency_detection(self):
+        assert not classic_table().is_consistent()
+        consistent = DecisionSystem(["a"], decision="d")
+        consistent.add("x", {"a": 1}, "p")
+        consistent.add("y", {"a": 2}, "q")
+        assert consistent.is_consistent()
+
+
+class TestApproximation:
+    def test_lower_upper_boundary(self):
+        system = classic_table()
+        concept = system.concept("yes")  # {x1, x3}
+        approximation = approximate(system, concept)
+        assert approximation.lower == frozenset({"x1"})
+        assert approximation.upper == frozenset({"x1", "x3", "x4"})
+        assert approximation.boundary == frozenset({"x3", "x4"})
+        assert approximation.negative == frozenset({"x2", "x5"})
+
+    def test_accuracy(self):
+        system = classic_table()
+        approximation = approximate(system, system.concept("yes"))
+        assert approximation.accuracy == pytest.approx(1 / 3)
+
+    def test_crisp_concept(self):
+        system = classic_table()
+        approximation = approximate(system, ["x2", "x5"], ["temp"])
+        assert approximation.is_crisp
+        assert approximation.accuracy == 1.0
+
+    def test_empty_concept(self):
+        system = classic_table()
+        approximation = approximate(system, [])
+        assert approximation.lower == frozenset()
+        assert approximation.accuracy == 1.0
+
+    def test_unknown_object_in_concept_rejected(self):
+        with pytest.raises(RoughSetError):
+            approximate(classic_table(), ["ghost"])
+
+    def test_negative_region_function(self):
+        system = classic_table()
+        assert negative_region(system, system.concept("yes")) == frozenset(
+            {"x2", "x5"}
+        )
+
+    def test_positive_region_of_decision(self):
+        system = classic_table()
+        assert positive_region(system) == frozenset({"x1", "x2", "x5"})
+
+    def test_boundary_region_of_decision(self):
+        system = classic_table()
+        assert boundary_region(system) == frozenset({"x3", "x4"})
+
+    def test_quality_of_classification(self):
+        assert quality_of_classification(classic_table()) == pytest.approx(0.6)
+
+    def test_fewer_attributes_never_improve_quality(self):
+        system = classic_table()
+        full = quality_of_classification(system)
+        assert quality_of_classification(system, ["headache"]) <= full
+        assert quality_of_classification(system, ["temp"]) <= full
+
+
+class TestReducts:
+    def _consistent_table(self):
+        system = DecisionSystem(["a", "b", "c"], decision="d")
+        system.add("x1", {"a": 0, "b": 0, "c": 0}, "no")
+        system.add("x2", {"a": 1, "b": 0, "c": 1}, "yes")
+        system.add("x3", {"a": 0, "b": 1, "c": 1}, "yes")
+        system.add("x4", {"a": 1, "b": 1, "c": 0}, "yes")
+        return system
+
+    def test_reducts_preserve_quality(self):
+        system = self._consistent_table()
+        full = quality_of_classification(system)
+        for reduct in reducts(system):
+            assert quality_of_classification(system, reduct) == full
+
+    def test_reducts_are_minimal(self):
+        system = self._consistent_table()
+        for reduct in reducts(system):
+            assert is_reduct(system, reduct)
+
+    def test_core_is_intersection(self):
+        system = self._consistent_table()
+        all_reducts = reducts(system)
+        expected = set(all_reducts[0])
+        for reduct in all_reducts[1:]:
+            expected &= set(reduct)
+        assert core(system) == frozenset(expected)
+
+    def test_single_attribute_reduct(self):
+        system = DecisionSystem(["key", "noise"], decision="d")
+        system.add("x1", {"key": 1, "noise": 9}, "a")
+        system.add("x2", {"key": 2, "noise": 9}, "b")
+        assert ("key",) in reducts(system)
+        assert is_reduct(system, ("key",))
+        assert not is_reduct(system, ("key", "noise"))
+
+
+class TestDecisionRules:
+    def test_certain_and_possible_rules(self):
+        system = classic_table()
+        rules = decision_rules(system)
+        certain = [r for r in rules if r.certain]
+        possible = [r for r in rules if not r.certain]
+        assert certain and possible
+        # the inconsistent block yields two possible rules
+        assert len(possible) == 2
+
+    def test_rule_matching(self):
+        system = classic_table()
+        rules = decision_rules(system)
+        rule = [r for r in rules if r.certain and r.decision == "yes"][0]
+        values = dict(rule.conditions)
+        assert rule.matches(values)
+        values_wrong = dict(values)
+        values_wrong[rule.conditions[0][0]] = "something_else"
+        assert not rule.matches(values_wrong)
+
+    def test_support_counts(self):
+        system = classic_table()
+        rules = decision_rules(system)
+        assert all(r.support >= 1 for r in rules)
+        assert sum(r.support for r in rules) == len(system)
+
+
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.booleans(), st.booleans()),
+        min_size=1,
+        max_size=24,
+    )
+)
+def test_lower_subset_concept_subset_upper(rows):
+    """Pawlak's inclusion chain: lower ⊆ X ⊆ upper, for random tables."""
+    system = DecisionSystem(["a", "b"], decision="d")
+    for index, (a, b, d) in enumerate(rows):
+        system.add(index, {"a": a, "b": b}, d)
+    concept = system.concept(True)
+    approximation = approximate(system, concept)
+    assert approximation.lower <= concept <= approximation.upper
+    assert approximation.lower | approximation.boundary == approximation.upper
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 2), st.booleans()),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_quality_monotone_in_attributes(rows):
+    """gamma never decreases when attributes are added."""
+    system = DecisionSystem(["a", "b"], decision="d")
+    for index, (a, b, d) in enumerate(rows):
+        system.add(index, {"a": a, "b": b}, d)
+    assert quality_of_classification(system, ["a"]) <= quality_of_classification(
+        system
+    )

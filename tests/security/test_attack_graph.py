@@ -1,0 +1,120 @@
+"""Unit tests for attack-graph generation."""
+
+import pytest
+
+from repro.casestudy import build_system_model
+from repro.security import (
+    AttackGraph,
+    AttackGraphError,
+    ThreatActor,
+    builtin_catalog,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return AttackGraph(
+        build_system_model(), builtin_catalog(), ThreatActor("apt", "H")
+    )
+
+
+class TestConstruction:
+    def test_entry_states_on_exposed_component(self, graph):
+        entry_components = {
+            component
+            for component, technique in graph.states
+            if graph.graph.has_edge("__outside__", (component, technique))
+        }
+        assert entry_components == {"engineering_workstation"}
+
+    def test_lateral_movement_reaches_controllers(self, graph):
+        assert graph.can_reach("in_valve_controller")
+        assert graph.can_reach("out_valve_controller")
+
+    def test_unexposed_model_has_empty_graph(self):
+        model = build_system_model()
+        model.element("engineering_workstation").properties["exposure"] = (
+            "internal"
+        )
+        empty = AttackGraph(model, builtin_catalog())
+        assert len(empty) == 0
+        assert not empty.can_reach("in_valve_controller")
+
+    def test_weak_actor_smaller_graph(self):
+        strong = AttackGraph(
+            build_system_model(), builtin_catalog(), ThreatActor("apt", "H")
+        )
+        weak = AttackGraph(
+            build_system_model(), builtin_catalog(), ThreatActor("kid", "L")
+        )
+        assert len(weak) <= len(strong)
+
+
+class TestPaths:
+    def test_cheapest_path_starts_at_entry(self, graph):
+        path = graph.cheapest_path("in_valve_controller")
+        assert path.steps[0].component == "engineering_workstation"
+        assert path.steps[-1].component == "in_valve_controller"
+        assert path.cost > 0
+
+    def test_cheapest_prefers_easy_techniques(self, graph):
+        path = graph.cheapest_path("in_valve_controller")
+        # T0865 (difficulty L) is the cheapest entry
+        assert path.steps[0].technique == "T0865"
+
+    def test_unreachable_target_raises(self):
+        from repro.modeling import ElementType
+
+        model = build_system_model()
+        model.add_element(
+            "air_gapped",
+            "Air-gapped Logger",
+            ElementType.NODE,
+            {"component_type": "historian"},
+        )
+        isolated = AttackGraph(model, builtin_catalog(), ThreatActor("apt", "H"))
+        with pytest.raises(AttackGraphError):
+            isolated.cheapest_path("air_gapped")
+
+    def test_all_paths_sorted_by_cost(self, graph):
+        paths = graph.all_paths("in_valve_controller")
+        assert paths
+        costs = [p.cost for p in paths]
+        assert costs == sorted(costs)
+
+    def test_all_paths_respect_cutoff(self, graph):
+        short = graph.all_paths("in_valve_controller", cutoff=2)
+        assert all(len(p.steps) <= 2 for p in short)
+
+
+class TestDefenseQueries:
+    def test_choke_points_fractions(self, graph):
+        chokes = graph.choke_points("in_valve_controller")
+        assert chokes
+        assert all(0 < fraction <= 1 for fraction in chokes.values())
+
+    def test_cut_mitigations_block_every_path(self, graph):
+        cut = graph.cut_mitigations("in_valve_controller")
+        assert cut
+        # every path must contain a technique countered by each cut mitigation
+        catalog = builtin_catalog()
+        for mitigation in cut:
+            for path in graph.all_paths("in_valve_controller"):
+                assert any(
+                    mitigation
+                    in catalog.technique(step.technique).mitigation_ids
+                    for step in path.steps
+                )
+
+    def test_cut_mitigations_empty_for_unreachable(self):
+        from repro.modeling import ElementType
+
+        model = build_system_model()
+        model.add_element(
+            "air_gapped",
+            "Air-gapped Logger",
+            ElementType.NODE,
+            {"component_type": "historian"},
+        )
+        isolated = AttackGraph(model, builtin_catalog(), ThreatActor("apt", "H"))
+        assert isolated.cut_mitigations("air_gapped") == set()

@@ -1,0 +1,166 @@
+"""Unit tests for security catalogs and CVSS scoring."""
+
+import pytest
+
+from repro.security import (
+    AttackPattern,
+    CatalogError,
+    CvssError,
+    MitigationEntry,
+    SecurityCatalog,
+    Tactic,
+    Technique,
+    Vulnerability,
+    Weakness,
+    base_score,
+    builtin_catalog,
+    parse_vector,
+    severity_rating,
+    synthetic_catalog,
+    to_ora_label,
+)
+
+
+class TestCatalogJoins:
+    def test_builtin_contains_paper_entries(self):
+        catalog = builtin_catalog()
+        assert catalog.technique("T0866").name == "Exploitation of Remote Services"
+        assert catalog.mitigation("M0917").name == "User Training"
+
+    def test_mitigations_for_technique(self):
+        catalog = builtin_catalog()
+        mitigations = {
+            m.identifier for m in catalog.mitigations_for_technique("T0865")
+        }
+        assert mitigations == {"M0917", "M0949"}
+
+    def test_techniques_countered_by(self):
+        catalog = builtin_catalog()
+        countered = {
+            t.identifier for t in catalog.techniques_countered_by("M0917")
+        }
+        assert "T0865" in countered and "T0817" in countered
+
+    def test_techniques_in_tactic(self):
+        catalog = builtin_catalog()
+        initial_access = {
+            t.identifier for t in catalog.techniques_in_tactic("TA0108")
+        }
+        assert {"T0865", "T0817", "T0866"} <= initial_access
+
+    def test_techniques_for_platform(self):
+        catalog = builtin_catalog()
+        hmi_techniques = {
+            t.identifier for t in catalog.techniques_for_platform("hmi")
+        }
+        assert "T0878" in hmi_techniques
+        assert "T0865" not in hmi_techniques
+
+    def test_version_specific_vulnerability_lookup(self):
+        catalog = builtin_catalog()
+        hits = catalog.vulnerabilities_for_product("eng_workstation_os", "10.1")
+        assert len(hits) == 1
+        assert catalog.vulnerabilities_for_product("eng_workstation_os", "11.0") == []
+        # without a version every entry for the product matches
+        assert catalog.vulnerabilities_for_product("eng_workstation_os")
+
+    def test_patterns_exploiting_weakness(self):
+        catalog = builtin_catalog()
+        patterns = {p.identifier for p in catalog.patterns_exploiting("CWE-787")}
+        assert "CAPEC-137" in patterns
+
+    def test_patterns_using_technique(self):
+        catalog = builtin_catalog()
+        patterns = {p.identifier for p in catalog.patterns_using_technique("T0865")}
+        assert "CAPEC-98" in patterns
+
+    def test_unknown_identifier_raises(self):
+        catalog = builtin_catalog()
+        with pytest.raises(CatalogError):
+            catalog.technique("T9999")
+        with pytest.raises(CatalogError):
+            catalog.mitigation("M9999")
+
+    def test_duplicate_registration_rejected(self):
+        catalog = SecurityCatalog()
+        catalog.add_tactic(Tactic("TA1", "One"))
+        with pytest.raises(CatalogError):
+            catalog.add_tactic(Tactic("TA1", "Again"))
+
+    def test_statistics(self):
+        stats = builtin_catalog().statistics()
+        assert stats["techniques"] == 8
+        assert stats["mitigations"] == 6
+
+
+class TestSyntheticCatalog:
+    def test_sizes(self):
+        catalog = synthetic_catalog(30, 10, 50, seed=1)
+        stats = catalog.statistics()
+        assert stats["techniques"] == 30
+        assert stats["mitigations"] == 10
+        assert stats["vulnerabilities"] == 50
+
+    def test_deterministic(self):
+        a = synthetic_catalog(10, 5, 10, seed=42)
+        b = synthetic_catalog(10, 5, 10, seed=42)
+        assert [t.identifier for t in a.techniques] == [
+            t.identifier for t in b.techniques
+        ]
+        assert [t.mitigation_ids for t in a.techniques] == [
+            t.mitigation_ids for t in b.techniques
+        ]
+
+    def test_every_technique_has_mitigations(self):
+        catalog = synthetic_catalog(20, 5, 10, seed=3)
+        assert all(t.mitigation_ids for t in catalog.techniques)
+
+    def test_cvss_vectors_parse(self):
+        catalog = synthetic_catalog(5, 3, 20, seed=7)
+        for vulnerability in catalog.vulnerabilities:
+            assert 0.0 <= base_score(vulnerability.cvss_vector) <= 10.0
+
+
+class TestCvss:
+    # reference scores from the FIRST CVSS v3.1 calculator
+    KNOWN = [
+        ("AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", 9.8),
+        ("AV:N/AC:L/PR:N/UI:R/S:C/C:H/I:H/A:H", 9.6),
+        ("AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N", 6.1),
+        ("AV:A/AC:L/PR:N/UI:N/S:U/C:N/I:H/A:H", 8.1),
+        ("AV:L/AC:L/PR:H/UI:N/S:U/C:L/I:L/A:L", 4.2),
+        ("AV:N/AC:H/PR:N/UI:N/S:U/C:N/I:N/A:N", 0.0),
+        ("AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N", 1.6),
+    ]
+
+    @pytest.mark.parametrize("vector,expected", KNOWN)
+    def test_known_scores(self, vector, expected):
+        assert base_score(vector) == pytest.approx(expected)
+
+    def test_prefix_accepted(self):
+        assert base_score("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H") == 9.8
+
+    def test_missing_metric_rejected(self):
+        with pytest.raises(CvssError):
+            parse_vector("AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H")
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(CvssError):
+            parse_vector("AV:X/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")
+
+    def test_severity_rating_bands(self):
+        assert severity_rating(0.0) == "None"
+        assert severity_rating(3.9) == "Low"
+        assert severity_rating(4.0) == "Medium"
+        assert severity_rating(7.0) == "High"
+        assert severity_rating(9.0) == "Critical"
+
+    def test_ora_quantization(self):
+        assert to_ora_label(0.0) == "VL"
+        assert to_ora_label(5.0) == "M"
+        assert to_ora_label(9.8) == "VH"
+
+    def test_scope_changed_privileges_matter(self):
+        unchanged = base_score("AV:N/AC:L/PR:H/UI:N/S:U/C:H/I:H/A:H")
+        changed = base_score("AV:N/AC:L/PR:H/UI:N/S:C/C:H/I:H/A:H")
+        assert changed > unchanged

@@ -1,0 +1,190 @@
+"""Unit tests for mutation mapping and the attack-scenario space."""
+
+import pytest
+
+from repro.casestudy import build_system_model
+from repro.modeling import SystemModel, standard_cps_library, RelationshipType
+from repro.security import (
+    AttackScenarioSpace,
+    ThreatActor,
+    applicable_techniques,
+    applicable_vulnerabilities,
+    builtin_catalog,
+    candidate_mutations,
+    mitigations_for_mutation,
+)
+
+
+@pytest.fixture
+def catalog():
+    return builtin_catalog()
+
+
+@pytest.fixture
+def model():
+    return build_system_model()
+
+
+class TestTechniqueApplicability:
+    def test_exposed_workstation_gets_phishing(self, catalog, model):
+        workstation = model.element("engineering_workstation")
+        identifiers = {
+            t.identifier for t in applicable_techniques(catalog, workstation)
+        }
+        assert "T0865" in identifiers  # spearphishing needs email exposure
+
+    def test_internal_controller_no_initial_access(self, catalog, model):
+        controller = model.element("tank_controller")
+        identifiers = {
+            t.identifier for t in applicable_techniques(catalog, controller)
+        }
+        assert "T0866" not in identifiers  # initial access needs exposure
+        assert "T0855" in identifiers  # post-access technique still applies
+
+    def test_platform_mismatch_excluded(self, catalog, model):
+        sensor = model.element("level_sensor")
+        identifiers = {
+            t.identifier for t in applicable_techniques(catalog, sensor)
+        }
+        assert "T0855" not in identifiers  # targets controllers/actuators
+        assert "T0856" in identifiers  # spoof reporting targets sensors
+
+
+class TestVulnerabilityMatching:
+    def test_version_match(self, catalog, model):
+        workstation = model.element("engineering_workstation")
+        hits = applicable_vulnerabilities(catalog, workstation)
+        assert [v.identifier for v in hits] == ["CVE-9001-0001"]
+
+    def test_version_mismatch(self, catalog):
+        library = standard_cps_library()
+        model = SystemModel("m")
+        library.instantiate(
+            model,
+            "workstation",
+            "ws",
+            properties={"software": "eng_workstation_os:12.0"},
+        )
+        assert applicable_vulnerabilities(catalog, model.element("ws")) == []
+
+    def test_software_stack_list(self, catalog):
+        library = standard_cps_library()
+        model = SystemModel("m")
+        library.instantiate(
+            model,
+            "workstation",
+            "ws",
+            properties={
+                "software_stack": [
+                    "eng_workstation_os:10.2",
+                    "workstation_browser:99.0",
+                ]
+            },
+        )
+        hits = applicable_vulnerabilities(catalog, model.element("ws"))
+        assert {v.identifier for v in hits} == {
+            "CVE-9001-0001",
+            "CVE-9001-0002",
+        }
+
+
+class TestCandidateMutations:
+    def test_includes_all_three_origins(self, catalog, model):
+        mutations = candidate_mutations(model, catalog)
+        origins = {m.origin_kind for m in mutations}
+        assert origins == {"fault", "technique", "vulnerability"}
+
+    def test_fault_only_without_catalog(self, model):
+        mutations = candidate_mutations(model)
+        assert all(m.origin_kind == "fault" for m in mutations)
+
+    def test_paper_fault_modes_present(self, catalog, model):
+        mutations = candidate_mutations(model, catalog)
+        pairs = {(m.component, m.fault) for m in mutations}
+        assert ("input_valve", "stuck_at_open") in pairs
+        assert ("output_valve", "stuck_at_closed") in pairs
+        assert ("hmi", "no_signal") in pairs
+        assert ("engineering_workstation", "infected") in pairs
+
+    def test_cvss_severity_mapped_to_ora(self, catalog, model):
+        mutations = candidate_mutations(model, catalog)
+        cve = [m for m in mutations if m.origin == "CVE-9001-0001"][0]
+        assert cve.severity == "VH"  # 9.8 critical
+
+    def test_mitigations_for_technique_mutation(self, catalog, model):
+        mutations = candidate_mutations(model, catalog)
+        phishing = [m for m in mutations if m.origin == "T0865"][0]
+        assert set(mitigations_for_mutation(catalog, phishing)) == {
+            "M0917",
+            "M0949",
+        }
+
+    def test_mitigations_for_vulnerability_is_patching(self, catalog, model):
+        mutations = candidate_mutations(model, catalog)
+        cve = [m for m in mutations if m.origin == "CVE-9001-0001"][0]
+        assert mitigations_for_mutation(catalog, cve) == ["M0926"]
+
+
+class TestScenarioSpace:
+    def _space(self, model, catalog, **kwargs):
+        return AttackScenarioSpace(
+            model,
+            catalog,
+            actors=[ThreatActor("apt", "H"), ThreatActor("script_kiddie", "L")],
+            **kwargs,
+        )
+
+    def test_assets(self, catalog, model):
+        space = self._space(model, catalog)
+        assert "water_tank" in space.assets()
+        assert "engineering_workstation" in space.assets()
+
+    def test_entry_points_require_exposure(self, catalog, model):
+        space = self._space(model, catalog)
+        entries = space.entry_points(ThreatActor("apt", "H"))
+        assert all(s.component == "engineering_workstation" for s in entries)
+        assert entries  # the workstation is email-exposed
+
+    def test_weak_actor_has_fewer_entries(self, catalog, model):
+        space = self._space(model, catalog)
+        strong = space.entry_points(ThreatActor("apt", "H"))
+        weak = space.entry_points(ThreatActor("kiddie", "L"))
+        assert len(weak) <= len(strong)
+        assert all(s.technique == "T0865" for s in weak)  # only the easy one
+
+    def test_scenarios_follow_propagation_edges(self, catalog, model):
+        space = self._space(model, catalog, max_chain=2)
+        scenarios = list(space.scenarios())
+        assert scenarios
+        graph = model.propagation_graph()
+        for scenario in scenarios:
+            for a, b in zip(scenario.components, scenario.components[1:]):
+                assert graph.has_edge(a, b)
+
+    def test_chain_length_bounded(self, catalog, model):
+        space = self._space(model, catalog, max_chain=2)
+        assert all(len(s.steps) <= 2 for s in space.scenarios())
+
+    def test_longer_chains_grow_the_space(self, catalog, model):
+        short = self._space(model, catalog, max_chain=1).size()
+        longer = self._space(model, catalog, max_chain=3).size()
+        assert longer > short
+
+    def test_mutations_for_scenario(self, catalog, model):
+        space = self._space(model, catalog, max_chain=2)
+        scenario = next(iter(space.scenarios()))
+        mutations = space.mutations_for(scenario)
+        assert len(mutations) == len(scenario.steps)
+        assert all(m.origin_kind == "technique" for m in mutations)
+
+    def test_blocking_mitigations_per_step(self, catalog, model):
+        space = self._space(model, catalog, max_chain=1)
+        scenario = next(iter(space.scenarios()))
+        blockers = space.blocking_mitigations(scenario)
+        assert len(blockers) == 1
+        assert blockers[0]  # initial-access techniques have mitigations
+
+    def test_methods_map(self, catalog, model):
+        space = self._space(model, catalog)
+        methods = space.methods()
+        assert "T0856" in methods["level_sensor"]

@@ -1,0 +1,116 @@
+"""Property-based tests of the attack-scenario space on synthetic
+catalogs and randomized model topologies."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.modeling import RelationshipType, SystemModel, standard_cps_library
+from repro.security import (
+    AttackScenarioSpace,
+    ThreatActor,
+    builtin_catalog,
+    synthetic_catalog,
+)
+
+TYPES = ("workstation", "controller", "sensor", "actuator", "hmi")
+
+
+def build_random_model(type_choices, edges, exposures):
+    library = standard_cps_library()
+    model = SystemModel("random")
+    for index, type_name in enumerate(type_choices):
+        properties = {}
+        if exposures[index]:
+            properties["exposure"] = "public"
+        library.instantiate(
+            model, type_name, "c%d" % index, properties=properties
+        )
+    n = len(type_choices)
+    for a, b in edges:
+        source, target = "c%d" % (a % n), "c%d" % (b % n)
+        if source != target:
+            model.add_relationship(
+                source, target, RelationshipType.FLOW, check=False
+            )
+    return model
+
+
+model_specs = st.tuples(
+    st.lists(st.sampled_from(TYPES), min_size=2, max_size=5),
+    st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 4)),
+        min_size=1,
+        max_size=8,
+    ),
+    st.lists(st.booleans(), min_size=5, max_size=5),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(model_specs, st.integers(min_value=1, max_value=3))
+def test_chains_follow_topology_and_bound(spec, max_chain):
+    types, edges, exposures = spec
+    model = build_random_model(types, edges, exposures)
+    space = AttackScenarioSpace(
+        model,
+        builtin_catalog(),
+        actors=[ThreatActor("a", "H")],
+        max_chain=max_chain,
+    )
+    graph = model.propagation_graph()
+    for scenario in space.scenarios():
+        assert 1 <= len(scenario.steps) <= max_chain
+        components = scenario.components
+        assert len(set(components)) == len(components)  # no revisits
+        for a, b in zip(components, components[1:]):
+            assert graph.has_edge(a, b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(model_specs)
+def test_space_deterministic(spec):
+    types, edges, exposures = spec
+    model = build_random_model(types, edges, exposures)
+
+    def enumerate_once():
+        space = AttackScenarioSpace(
+            model,
+            builtin_catalog(),
+            actors=[ThreatActor("a", "H")],
+            max_chain=2,
+        )
+        return [str(s) for s in space.scenarios()]
+
+    assert enumerate_once() == enumerate_once()
+
+
+@settings(max_examples=25, deadline=None)
+@given(model_specs)
+def test_every_scenario_step_has_executable_technique(spec):
+    types, edges, exposures = spec
+    model = build_random_model(types, edges, exposures)
+    catalog = builtin_catalog()
+    actor = ThreatActor("a", "M")
+    space = AttackScenarioSpace(model, catalog, [actor], max_chain=3)
+    for scenario in space.scenarios():
+        for step in scenario.steps:
+            technique = catalog.technique(step.technique)
+            assert actor.can_execute(technique)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_synthetic_catalog_scenarios_reproducible(seed):
+    catalog = synthetic_catalog(techniques=15, mitigations=5, seed=seed)
+    library = standard_cps_library()
+    model = SystemModel("m")
+    library.instantiate(
+        model, "workstation", "ws", properties={"exposure": "public"}
+    )
+    library.instantiate(model, "controller", "plc")
+    model.add_relationship("ws", "plc", RelationshipType.FLOW)
+    space = AttackScenarioSpace(
+        model, catalog, [ThreatActor("a", "H")], max_chain=2
+    )
+    first = [str(s) for s in space.scenarios()]
+    second = [str(s) for s in space.scenarios()]
+    assert first == second

@@ -1,0 +1,93 @@
+"""Tests for the Telingo-style sectioned input format."""
+
+import pytest
+
+from repro.asp import atom
+from repro.temporal import TemporalError, TemporalProgram
+
+TANK = """
+% static knowledge (before any marker)
+next_level(normal, high). next_level(high, overflow).
+
+#program initial.
+level(normal).
+
+#program dynamic.
+{ rise }.
+level(L2) :- rise, prev_level(L1), next_level(L1, L2).
+level(L) :- prev_level(L), not rise.
+level(overflow) :- rise, prev_level(overflow).
+
+#program always.
+alarm :- level(overflow).
+
+#program final.
+settled :- level(L).
+"""
+
+
+class TestFromText:
+    def test_sections_are_routed(self):
+        program = TemporalProgram.from_text(TANK)
+        models = program.solve(horizon=2)
+        assert len(models) == 4  # rise free at steps 1, 2
+
+    def test_static_preamble(self):
+        program = TemporalProgram.from_text(TANK)
+        model = program.solve(horizon=1)[0]
+        # static facts visible at every step
+        assert model.holds(atom("next_level", "normal", "high"), 0)
+
+    def test_dynamic_semantics_match_manual_construction(self):
+        from_text = TemporalProgram.from_text(TANK)
+        manual = TemporalProgram()
+        manual.add_static("next_level(normal, high). next_level(high, overflow).")
+        manual.add_initial("level(normal).")
+        manual.add_dynamic(
+            """
+            { rise }.
+            level(L2) :- rise, prev_level(L1), next_level(L1, L2).
+            level(L) :- prev_level(L), not rise.
+            level(overflow) :- rise, prev_level(overflow).
+            """
+        )
+        manual.add_always("alarm :- level(overflow).")
+        manual.add_final("settled :- level(L).")
+
+        def level_traces(program):
+            return sorted(
+                tuple(
+                    tuple(sorted(str(a) for a in state if a.predicate == "level"))
+                    for state in model.trace
+                )
+                for model in program.solve(horizon=3)
+            )
+
+        assert level_traces(from_text) == level_traces(manual)
+
+    def test_final_section_applies_at_horizon(self):
+        program = TemporalProgram.from_text(TANK)
+        model = program.solve(horizon=2)[0]
+        assert model.holds(atom("settled"), 2)
+        assert not model.holds(atom("settled"), 0)
+
+    def test_always_section(self):
+        program = TemporalProgram.from_text(TANK)
+        overflowing = [
+            model
+            for model in program.solve(horizon=2)
+            if model.holds(atom("level", "overflow"), 2)
+        ]
+        assert overflowing
+        assert all(m.holds(atom("alarm"), 2) for m in overflowing)
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(TemporalError):
+            TemporalProgram.from_text("#program sometimes.\na.")
+
+    def test_requirements_can_be_added_after_parsing(self):
+        program = TemporalProgram.from_text(TANK)
+        program.add_requirement("safe", "G ~level(overflow)")
+        models = program.solve(horizon=2)
+        violated = [m for m in models if m.violated_requirements]
+        assert len(violated) == 1  # only the rise-rise trace

@@ -1,0 +1,204 @@
+"""Unit tests for the LTLf formula language and finite-trace semantics."""
+
+import pytest
+
+from repro.asp import atom
+from repro.temporal import (
+    And,
+    Eventually,
+    Globally,
+    LtlError,
+    Next,
+    Not,
+    Or,
+    Prop,
+    Release,
+    TraceError,
+    Until,
+    WeakNext,
+    evaluate,
+    parse_ltl,
+    violations,
+)
+
+
+def trace(*states):
+    """Build a trace from iterables of 'pred' / ('pred', args...) specs."""
+    result = []
+    for state in states:
+        atoms = set()
+        for spec in state:
+            if isinstance(spec, str):
+                atoms.add(atom(spec))
+            else:
+                atoms.add(atom(spec[0], *spec[1:]))
+        result.append(atoms)
+    return result
+
+
+P = Prop(atom("p"))
+Q = Prop(atom("q"))
+
+
+class TestParser:
+    def test_atomic_proposition(self):
+        formula = parse_ltl("overflow")
+        assert formula == Prop(atom("overflow"))
+
+    def test_proposition_with_arguments(self):
+        formula = parse_ltl("level(tank, high)")
+        assert formula == Prop(atom("level", "tank", "high"))
+
+    def test_negation(self):
+        assert parse_ltl("~p") == Not(P)
+
+    def test_boolean_connectives(self):
+        assert parse_ltl("p & q") == And(P, Q)
+        assert parse_ltl("p | q") == Or(P, Q)
+
+    def test_implication_desugars(self):
+        assert parse_ltl("p -> q") == Or(Not(P), Q)
+
+    def test_unary_temporal_operators(self):
+        assert parse_ltl("X p") == Next(P)
+        assert parse_ltl("WX p") == WeakNext(P)
+        assert parse_ltl("F p") == Eventually(P)
+        assert parse_ltl("G p") == Globally(P)
+
+    def test_until_and_release(self):
+        assert parse_ltl("p U q") == Until(P, Q)
+        assert parse_ltl("p R q") == Release(P, Q)
+
+    def test_weak_until_desugars(self):
+        assert parse_ltl("p W q") == Or(Until(P, Q), Globally(P))
+
+    def test_precedence_unary_binds_tighter(self):
+        assert parse_ltl("G p & q") == And(Globally(P), Q)
+        assert parse_ltl("G (p & q)") == Globally(And(P, Q))
+
+    def test_nested_formula(self):
+        formula = parse_ltl("G (request -> F response)")
+        assert isinstance(formula, Globally)
+
+    def test_prop_starting_with_operator_letter(self):
+        # 'good' starts with 'G' lowercase is fine; but operator 'G' must
+        # not swallow identifiers
+        assert parse_ltl("good") == Prop(atom("good"))
+
+    def test_error_on_garbage(self):
+        with pytest.raises(LtlError):
+            parse_ltl("p &")
+        with pytest.raises(LtlError):
+            parse_ltl("(p")
+        with pytest.raises(LtlError):
+            parse_ltl("p ? q")
+
+    def test_non_ground_proposition_rejected(self):
+        with pytest.raises(LtlError):
+            parse_ltl("level(X)")
+
+
+class TestSemantics:
+    def test_prop_at_position(self):
+        t = trace(["p"], [])
+        assert evaluate(P, t, 0)
+        assert not evaluate(P, t, 1)
+
+    def test_boolean_operators(self):
+        t = trace(["p"])
+        assert evaluate(Or(P, Q), t)
+        assert not evaluate(And(P, Q), t)
+        assert evaluate(Not(Q), t)
+
+    def test_next_requires_successor(self):
+        t = trace([], ["p"])
+        assert evaluate(Next(P), t, 0)
+        assert not evaluate(Next(P), t, 1)  # last state: strong next fails
+
+    def test_weak_next_true_at_end(self):
+        t = trace([], ["p"])
+        assert evaluate(WeakNext(P), t, 1)
+        assert evaluate(WeakNext(P), t, 0)
+        t2 = trace([], [])
+        assert not evaluate(WeakNext(P), t2, 0)
+        assert evaluate(WeakNext(P), t2, 1)
+
+    def test_eventually(self):
+        t = trace([], [], ["p"])
+        assert evaluate(Eventually(P), t, 0)
+        assert evaluate(Eventually(P), t, 2)
+        assert not evaluate(Eventually(Q), t, 0)
+
+    def test_globally(self):
+        t = trace(["p"], ["p"], ["p"])
+        assert evaluate(Globally(P), t, 0)
+        t2 = trace(["p"], [], ["p"])
+        assert not evaluate(Globally(P), t2, 0)
+        assert evaluate(Globally(P), t2, 2)
+
+    def test_until(self):
+        t = trace(["p"], ["p"], ["q"])
+        assert evaluate(Until(P, Q), t, 0)
+        # until fails when q never arrives
+        t2 = trace(["p"], ["p"], ["p"])
+        assert not evaluate(Until(P, Q), t2, 0)
+        # q immediately satisfies until regardless of p
+        t3 = trace(["q"], [])
+        assert evaluate(Until(P, Q), t3, 0)
+
+    def test_until_requires_left_up_to_right(self):
+        t = trace(["p"], [], ["q"])
+        assert not evaluate(Until(P, Q), t, 0)
+
+    def test_release(self):
+        # q must hold until (and including when) p releases it
+        t = trace(["q"], ["q", "p"], [])
+        assert evaluate(Release(P, Q), t, 0)
+        # q fails before release
+        t2 = trace(["q"], [], ["p"])
+        assert not evaluate(Release(P, Q), t2, 0)
+        # no release: q must hold throughout
+        t3 = trace(["q"], ["q"], ["q"])
+        assert evaluate(Release(P, Q), t3, 0)
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(TraceError):
+            evaluate(P, [], 0)
+
+    def test_position_out_of_range_raises(self):
+        with pytest.raises(TraceError):
+            evaluate(P, trace(["p"]), 5)
+
+    def test_violations_lists_positions(self):
+        t = trace(["p"], [], ["p"])
+        assert violations(P, t) == [1]
+
+    def test_safety_requirement_from_paper(self):
+        """R1: the water tank should not overflow — G ~overflow."""
+        r1 = parse_ltl("G ~overflow")
+        safe = trace(["normal"], ["high"], ["high"])
+        unsafe = trace(["normal"], ["high"], ["overflow"])
+        assert evaluate(r1, safe)
+        assert not evaluate(r1, unsafe)
+
+    def test_alert_requirement_from_paper(self):
+        """R2: an alert must follow an overflow — G (overflow -> F alert)."""
+        r2 = parse_ltl("G (overflow -> F alert)")
+        alerted = trace([], ["overflow"], ["alert"])
+        silent = trace([], ["overflow"], [])
+        assert evaluate(r2, alerted)
+        assert not evaluate(r2, silent)
+
+
+class TestSubformulas:
+    def test_postorder_includes_all(self):
+        formula = parse_ltl("G (p -> F q)")
+        subs = list(formula.subformulas())
+        assert subs[-1] == formula
+        assert Prop(atom("p")) in subs
+        assert Prop(atom("q")) in subs
+
+    def test_rendering_roundtrip(self):
+        text = "G (p | (q U r))"
+        formula = parse_ltl(text)
+        assert parse_ltl(str(formula)) == formula

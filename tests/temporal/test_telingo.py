@@ -1,0 +1,173 @@
+"""Unit tests for the Telingo-style temporal program layer."""
+
+import pytest
+
+from repro.asp import atom
+from repro.temporal import TemporalError, TemporalProgram, evaluate, parse_ltl
+
+
+def simple_counter(horizon=3):
+    """A deterministic counter: value increments each step."""
+    tp = TemporalProgram()
+    tp.add_initial("value(0).")
+    tp.add_dynamic("value(X + 1) :- prev_value(X).")
+    return tp
+
+
+class TestUnrolling:
+    def test_deterministic_program_has_one_model(self):
+        models = simple_counter().solve(horizon=3)
+        assert len(models) == 1
+
+    def test_trace_states(self):
+        model = simple_counter().solve(horizon=3)[0]
+        for step in range(4):
+            assert model.holds(atom("value", step), step)
+
+    def test_initial_only_at_step_zero(self):
+        tp = TemporalProgram()
+        tp.add_initial("boot.")
+        tp.add_dynamic("running :- prev_boot.")
+        model = tp.solve(horizon=2)[0]
+        assert model.holds(atom("boot"), 0)
+        assert not model.holds(atom("boot"), 1)
+        assert model.holds(atom("running"), 1)
+        assert not model.holds(atom("running"), 2)
+
+    def test_always_rules_hold_everywhere(self):
+        tp = TemporalProgram()
+        tp.add_always("tick.")
+        model = tp.solve(horizon=2)[0]
+        assert all(model.holds(atom("tick"), t) for t in range(3))
+
+    def test_final_rules_hold_only_at_horizon(self):
+        tp = TemporalProgram()
+        tp.add_always("tick.")
+        tp.add_final("done :- tick.")
+        model = tp.solve(horizon=2)[0]
+        assert model.holds(atom("done"), 2)
+        assert not model.holds(atom("done"), 0)
+
+    def test_static_predicates_visible_at_every_step(self):
+        tp = TemporalProgram()
+        tp.add_static("component(tank).")
+        tp.add_initial("ok :- component(tank).")
+        model = tp.solve(horizon=1)[0]
+        assert model.holds(atom("component", "tank"), 0)
+        assert model.holds(atom("component", "tank"), 1)
+
+    def test_frame_rule_persistence(self):
+        tp = TemporalProgram()
+        tp.add_initial("state(on).")
+        tp.add_dynamic("state(X) :- prev_state(X).")
+        model = tp.solve(horizon=4)[0]
+        assert all(model.holds(atom("state", "on"), t) for t in range(5))
+
+    def test_choice_in_dynamic_generates_branching(self):
+        tp = TemporalProgram()
+        tp.add_dynamic("{ act }.")
+        models = tp.solve(horizon=2)
+        assert len(models) == 4  # act free at steps 1 and 2
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(TemporalError):
+            simple_counter().unroll(-1)
+
+    def test_horizon_zero_initial_only(self):
+        tp = TemporalProgram()
+        tp.add_initial("a.")
+        tp.add_dynamic("b :- prev_a.")
+        models = tp.solve(horizon=0)
+        assert len(models) == 1
+        assert models[0].holds(atom("a"), 0)
+
+    def test_prev_on_static_predicate_rejected(self):
+        tp = TemporalProgram()
+        tp.add_static("component(tank).")
+        tp.add_dynamic("bad :- prev_component(tank).")
+        with pytest.raises(TemporalError):
+            tp.solve(horizon=1)
+
+
+class TestRequirements:
+    def _tank(self):
+        tp = TemporalProgram()
+        tp.add_initial("level(normal).")
+        tp.add_dynamic(
+            """
+            { rise }.
+            level(high) :- rise, prev_level(normal).
+            level(overflow) :- rise, prev_level(high).
+            level(overflow) :- rise, prev_level(overflow).
+            level(X) :- prev_level(X), not rise.
+            """
+        )
+        return tp
+
+    def test_violation_flagged(self):
+        tp = self._tank()
+        tp.add_requirement("no_overflow", "G ~level(overflow)")
+        models = tp.solve(horizon=2)
+        flagged = [m for m in models if "no_overflow" in m.violated_requirements]
+        assert len(models) == 4
+        assert len(flagged) == 1  # only rise-rise overflows in 2 steps
+
+    def test_enforced_requirement_prunes_models(self):
+        tp = self._tank()
+        tp.add_requirement("no_overflow", "G ~level(overflow)", enforce=True)
+        models = tp.solve(horizon=2)
+        assert len(models) == 3
+        assert all(not m.violated_requirements for m in models)
+
+    def test_duplicate_requirement_name_rejected(self):
+        tp = self._tank()
+        tp.add_requirement("r", "G ~level(overflow)")
+        with pytest.raises(TemporalError):
+            tp.add_requirement("r", "F level(high)")
+
+    def test_eventually_requirement(self):
+        tp = self._tank()
+        tp.add_requirement("reaches_high", "F level(high)")
+        models = tp.solve(horizon=2)
+        satisfied = [
+            m for m in models if "reaches_high" not in m.violated_requirements
+        ]
+        # any trace with at least one rise from normal reaches high
+        assert len(satisfied) == 3
+
+    def test_compiled_status_matches_trace_semantics(self):
+        """The ASP-compiled LTL valuation must agree with direct
+        finite-trace evaluation on every model and requirement."""
+        tp = self._tank()
+        specs = {
+            "a": "G ~level(overflow)",
+            "b": "F level(high)",
+            "c": "level(normal) U level(high)",
+            "d": "X level(high)",
+            "e": "WX level(high)",
+            "f": "rise R level(normal)",
+        }
+        for name, text in specs.items():
+            tp.add_requirement(name, text)
+        for model in tp.solve(horizon=3):
+            for name, text in specs.items():
+                expected_violated = not evaluate(parse_ltl(text), model.trace)
+                assert model.requirement_status[name] == expected_violated, (
+                    name,
+                    model.trace,
+                )
+
+
+class TestTraceExtraction:
+    def test_internal_atoms_hidden(self):
+        tp = simple_counter()
+        model = tp.solve(horizon=1)[0]
+        for state in model.trace:
+            assert all(not a.predicate.startswith("__") for a in state)
+
+    def test_lift_via_control(self):
+        tp = simple_counter()
+        control = tp.control(horizon=2)
+        raw = control.first_model()
+        lifted = tp.lift(raw, horizon=2)
+        assert lifted.holds(atom("value", 2), 2)

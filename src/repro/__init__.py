@@ -20,6 +20,7 @@ Subpackages
 ``repro.roughsets``   rough set theory for uncertainty
 ``repro.mitigation``  blocking-set optimization, budgets, cost-benefit
 ``repro.hierarchy``   asset/threat refinement, Fig. 3 matrix, CEGAR
+``repro.observability`` solver statistics, stage timing, trace sinks
 ``repro.fta``         classic fault-tree baseline
 ``repro.core``        the 7-phase assessment pipeline (Fig. 1)
 ``repro.casestudy``   the water-tank system of Sec. VII
@@ -37,6 +38,7 @@ __all__ = [
     "hierarchy",
     "mitigation",
     "modeling",
+    "observability",
     "qualitative",
     "reporting",
     "risk",

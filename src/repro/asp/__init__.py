@@ -4,7 +4,29 @@ A self-contained ASP system: parser for a clingo-compatible core
 language, semi-naive grounder, CDCL SAT backend, stable-model search with
 lazy loop nogoods, aggregates, choice rules and weak-constraint
 optimization.  This substrate replaces clingo/Telingo, which the paper
-uses as its hidden formal method.
+uses as its hidden formal method — the paper's Listings 1 and 2 run
+verbatim through it (Sec. III "hidden formal methods"; Listing 1 is the
+fault-activation rule the whole EPA of Sec. IV rides on).
+
+Exports
+-------
+``Control``
+    clingo-style facade: accumulate text/facts, ``ground()``,
+    ``solve()``/``optimize()``, brave/cautious consequences; carries a
+    clingo-compatible ``statistics`` tree and accepts a ``trace=`` sink
+    (see :mod:`repro.observability`);
+``Grounder`` / ``ground_program``
+    semi-naive instantiation of a parsed :class:`Program`;
+``StableModelSolver`` / ``Model``
+    stable-model enumeration and weak-constraint optimization over a
+    ground program;
+``parse_program`` / ``parse_term`` / ``ParseError``
+    the core-language parser;
+``Atom``, ``Term``, ``Number``, ``String``, ``Symbol``, ``Function``,
+``Variable``, ``atom``, ``to_term``
+    the term/atom vocabulary and Python-value conversion helpers;
+``GroundingError`` / ``SolverError``
+    the failure modes of the two stages.
 
 Quick example::
 
@@ -16,6 +38,7 @@ Quick example::
     ''')
     for model in ctl.solve():
         print(model)
+    print(ctl.statistics["summary"]["models"]["enumerated"])
 """
 
 from .control import Control, atom, to_term

@@ -4,12 +4,20 @@
 framework uses: accumulate program text, ground once, then enumerate or
 optimize.  Each ``solve``/``optimize`` call builds a fresh SAT encoding
 (from the cached ground program) so repeated calls are independent.
+
+Like clingo, every control carries a statistics tree: after any
+``ground``/``solve``/``optimize`` call, :attr:`Control.statistics` is a
+populated :class:`~repro.observability.SolveStats` with ``grounding``,
+``solving`` and ``summary`` sections (counters accumulate across calls).
+Pass ``trace=`` a :class:`~repro.observability.TraceSink` to stream
+grounder and solver events; the default sink is a no-op.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from ..observability import NULL_SINK, SolveStats, Timer
 from .grounder import Grounder, GroundingError
 from .ground import GroundProgram
 from .parser import parse_program
@@ -21,11 +29,29 @@ from .terms import Number, String, Symbol, Term
 class Control:
     """Accumulate ASP text / facts, then ground and solve."""
 
-    def __init__(self, text: str = ""):
+    def __init__(self, text: str = "", trace: Optional[object] = None):
         self._program = Program()
+        self._trace = trace if trace is not None else NULL_SINK
+        self._stats = SolveStats()
         if text:
             self.add(text)
         self._ground: Optional[GroundProgram] = None
+
+    @property
+    def statistics(self) -> SolveStats:
+        """The cumulative statistics tree (clingo ``statistics`` shape).
+
+        Populated by ``ground``/``solve``/``optimize``; numeric counters
+        accumulate across calls, sizes (``solving.variables``) reflect
+        the most recent solve.  See ``docs/observability.md`` for the
+        full schema.
+        """
+        return self._stats
+
+    @property
+    def trace(self) -> object:
+        """The attached trace sink (a no-op sink by default)."""
+        return self._trace
 
     # ------------------------------------------------------------------
     # program construction
@@ -57,7 +83,11 @@ class Control:
     def ground(self) -> GroundProgram:
         """Ground the accumulated program (cached until text changes)."""
         if self._ground is None:
-            self._ground = Grounder(self._program).ground()
+            grounder = Grounder(self._program, trace=self._trace)
+            with self._stats.timer("summary.times.ground"):
+                self._ground = grounder.ground()
+            self._stats.child("grounding").merge(grounder.statistics)
+            self._update_total_time()
         return self._ground
 
     def solve(
@@ -66,8 +96,12 @@ class Control:
         assumptions: Sequence[Tuple[Atom, bool]] = (),
     ) -> List[Model]:
         """Enumerate up to ``limit`` answer sets (all when ``None``)."""
-        solver = StableModelSolver(self.ground())
-        return list(solver.models(limit=limit, assumptions=assumptions))
+        ground = self.ground()
+        timer = Timer().start()
+        solver = StableModelSolver(ground, trace=self._trace)
+        models = list(solver.models(limit=limit, assumptions=assumptions))
+        self._record_solve(solver, timer.stop(), len(models))
+        return models
 
     def first_model(
         self, assumptions: Sequence[Tuple[Atom, bool]] = ()
@@ -87,11 +121,55 @@ class Control:
         limit: Optional[int] = None,
     ) -> List[Model]:
         """Optimal model(s) under weak constraints / ``#minimize``."""
-        solver = StableModelSolver(self.ground())
-        return solver.optimize(
+        ground = self.ground()
+        timer = Timer().start()
+        solver = StableModelSolver(ground, trace=self._trace)
+        models = solver.optimize(
             assumptions=assumptions,
             enumerate_optimal=enumerate_optimal,
             limit=limit,
+        )
+        costs: Optional[List[int]] = None
+        if models and models[0].cost:
+            costs = [value for _, value in models[0].cost]
+        self._record_solve(
+            solver, timer.stop(), len(models), optimal=len(models), costs=costs
+        )
+        return models
+
+    def _record_solve(
+        self,
+        solver: StableModelSolver,
+        elapsed: float,
+        models: int,
+        optimal: int = 0,
+        costs: Optional[List[int]] = None,
+    ) -> None:
+        """Fold one solve call's solver statistics into the tree."""
+        snapshot = dict(solver.statistics)
+        # sizes describe the latest encoding — overwrite, don't sum
+        variables = snapshot.pop("variables")
+        tight = snapshot.pop("tight")
+        solving = self._stats.child("solving")
+        solving.merge(snapshot)
+        solving["variables"] = variables
+        solving["tight"] = tight
+        self._stats.incr("summary.calls")
+        self._stats.incr("summary.models.enumerated", models)
+        self._stats.incr("summary.models.optimal", optimal)
+        self._stats.add_time("summary.times.solve", elapsed)
+        if costs is not None:
+            self._stats.set("summary.costs", costs)
+        self._update_total_time()
+        self._trace.emit(
+            "control.solve", models=models, seconds=round(elapsed, 6)
+        )
+
+    def _update_total_time(self) -> None:
+        self._stats.set(
+            "summary.times.total",
+            self._stats.get_path("summary.times.ground", 0.0)
+            + self._stats.get_path("summary.times.solve", 0.0),
         )
 
     # ------------------------------------------------------------------

@@ -11,6 +11,14 @@ grounded at the end so no late-arriving elements are missed.
 Standard ASP safety is enforced: every variable of a rule must occur in a
 positive body literal (or be bound through an ``=`` comparison against a
 bindable term).
+
+Observability: after :meth:`Grounder.ground` returns, the
+:attr:`Grounder.statistics` mapping holds the grounding counts (ground
+rules, possible atoms, rule instantiations, semi-naive rounds, weak
+constraints).  Pass ``trace=`` a
+:class:`~repro.observability.TraceSink` to stream one
+``grounder.round`` event per fixpoint round plus a final
+``grounder.done`` summary.
 """
 
 from __future__ import annotations
@@ -98,7 +106,9 @@ def _expand_ground_args(arguments: Sequence[Term]) -> Iterator[Tuple[Term, ...]]
 class Grounder:
     """Grounds one :class:`Program` into a :class:`GroundProgram`."""
 
-    def __init__(self, program: Program):
+    def __init__(self, program: Program, trace: Optional[object] = None):
+        from ..observability import NULL_SINK
+
         self._program = program
         self._consts = dict(program.consts)
         self._atoms_by_pred: Dict[Tuple[str, int], List[Atom]] = {}
@@ -106,6 +116,9 @@ class Grounder:
         self._atom_round: Dict[Atom, int] = {}
         self._certain: Set[Atom] = set()
         self._round = 0
+        self._trace = trace if trace is not None else NULL_SINK
+        #: grounding counts, populated by :meth:`ground`
+        self.statistics: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # public API
@@ -159,6 +172,12 @@ class Grounder:
                             round_new.extend(
                                 self._register_heads(rule, binding)
                             )
+                self._trace.emit(
+                    "grounder.round",
+                    round=self._round,
+                    new_atoms=len(round_new),
+                    instances=len(instances),
+                )
                 new_atoms = round_new
             # Choice-element conditions are joined inside the head, so a
             # new condition atom never pivots the semi-naive loop above.
@@ -199,7 +218,19 @@ class Grounder:
         ground.possible_atoms = sorted(
             self._atom_set, key=lambda atom: (atom.predicate, _atom_key(atom))
         )
+        rules_before_simplify = len(ground.rules)
         ground.rules = self._simplify(ground.rules)
+        self.statistics = {
+            "rules_nonground": len(self._program.rules),
+            "rules": len(ground.rules),
+            "rules_simplified_away": rules_before_simplify - len(ground.rules),
+            "atoms": len(self._atom_set),
+            "certain_atoms": len(self._certain),
+            "instantiations": len(instances),
+            "rounds": self._round,
+            "weak_constraints": len(ground.weak_constraints),
+        }
+        self._trace.emit("grounder.done", **self.statistics)
         return ground
 
     # ------------------------------------------------------------------

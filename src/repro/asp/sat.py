@@ -10,7 +10,11 @@ classic conflict-driven clause-learning solver with:
 * incremental interface: clauses may be added between ``solve`` calls and
   each call may carry *assumptions* (fixed first decisions), which makes
   the ASP layer's enumeration, brave/cautious reasoning and
-  branch-and-bound optimization cheap.
+  branch-and-bound optimization cheap;
+* search counters (decisions, propagations, conflicts, restarts, learnt
+  nogoods) exposed via :attr:`Solver.statistics` for the observability
+  layer — plain integer attributes bumped in the hot loop, snapshotted
+  at stage boundaries.
 
 Literal convention follows DIMACS: variables are positive integers, a
 literal is ``+v`` or ``-v``.
@@ -62,6 +66,10 @@ class Solver:
         self._activity_decay = 0.95
         self._queue_head = 0
         self._conflicts_total = 0
+        self._decisions_total = 0
+        self._propagations_total = 0
+        self._restarts_total = 0
+        self._learnt_total = 0
         self._unsat = False  # top-level UNSAT discovered
         #: decision-order heap of (-activity, var); entries may be stale
         self._order: List[tuple] = []
@@ -82,6 +90,23 @@ class Solver:
     @property
     def num_vars(self) -> int:
         return self._num_vars
+
+    @property
+    def statistics(self) -> Dict[str, int]:
+        """Cumulative CDCL search counters (clingo ``solvers`` shape).
+
+        ``choices`` counts decision-heuristic branches (assumption
+        decisions excluded), ``propagations`` counts literals dequeued
+        by unit propagation, ``learnt`` counts learnt nogoods including
+        learnt units.  Counters accumulate across ``solve`` calls.
+        """
+        return {
+            "choices": self._decisions_total,
+            "conflicts": self._conflicts_total,
+            "propagations": self._propagations_total,
+            "restarts": self._restarts_total,
+            "learnt": self._learnt_total,
+        }
 
     def _ensure_var(self, var: int) -> None:
         while self._num_vars < var:
@@ -160,6 +185,7 @@ class Solver:
         while self._queue_head < len(self._trail):
             literal = self._trail[self._queue_head]
             self._queue_head += 1
+            self._propagations_total += 1
             watch_list = self._watches.get(literal)
             if not watch_list:
                 continue
@@ -328,6 +354,7 @@ class Solver:
                 learnt, back_level = self._analyze(conflict)
                 back_level = max(back_level, 0)
                 self._backtrack(back_level)
+                self._learnt_total += 1
                 if len(learnt) == 1:
                     if not self._enqueue(learnt[0], None):
                         self._unsat = True
@@ -341,6 +368,7 @@ class Solver:
                 self._activity_inc /= self._activity_decay
                 if conflicts_since_restart >= restart_limit:
                     restarts += 1
+                    self._restarts_total += 1
                     conflicts_since_restart = 0
                     restart_limit = 32 * _luby(restarts + 1)
                     self._backtrack(0)
@@ -362,6 +390,7 @@ class Solver:
                     var: self._assign[var] == TRUE
                     for var in range(1, self._num_vars + 1)
                 }
+            self._decisions_total += 1
             self._trail_lim.append(len(self._trail))
             self._enqueue(literal, None)
 

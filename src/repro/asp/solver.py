@@ -11,6 +11,13 @@ continues — the ASSAT strategy.
 
 Optimization over weak constraints is lexicographic branch-and-bound on
 priority levels, reusing threshold circuits.
+
+Observability: :attr:`StableModelSolver.statistics` snapshots the CDCL
+search counters of the SAT backend plus the stable-model layer's own
+counts (models enumerated, unfounded-set checks, loop nogoods added,
+optimization bound improvements).  Pass ``trace=`` a
+:class:`~repro.observability.TraceSink` to stream ``solver.model``,
+``solver.loop_nogoods`` and ``solver.bound`` events as the search runs.
 """
 
 from __future__ import annotations
@@ -78,7 +85,9 @@ class _Support:
 class StableModelSolver:
     """Single-shot solver: build the encoding, then enumerate models."""
 
-    def __init__(self, program: GroundProgram):
+    def __init__(self, program: GroundProgram, trace: Optional[object] = None):
+        from ..observability import NULL_SINK
+
         self._program = program
         self._sat = SatSolver()
         self._true = self._sat.new_var()
@@ -89,7 +98,32 @@ class StableModelSolver:
         self._rule_records: List[Tuple[GroundRule, int]] = []  # (rule, body lit)
         self._tight = True
         self._optimize_levels: List[Tuple[int, "_CostLevel"]] = []
+        self._trace = trace if trace is not None else NULL_SINK
+        self._models_enumerated = 0
+        self._optimal_models = 0
+        self._unfounded_checks = 0
+        self._loop_nogoods = 0
+        self._bound_improvements = 0
         self._build()
+
+    @property
+    def statistics(self) -> Dict[str, object]:
+        """Search statistics: SAT backend counters + stable-model counts.
+
+        The ``solvers`` entry follows clingo's shape (choices, conflicts,
+        propagations, restarts, learnt); the remaining keys cover the
+        ASP-specific work on top of the SAT search.
+        """
+        return {
+            "solvers": self._sat.statistics,
+            "variables": self._sat.num_vars,
+            "tight": int(self._tight),
+            "models": self._models_enumerated,
+            "optimal_models": self._optimal_models,
+            "unfounded_checks": self._unfounded_checks,
+            "loop_nogoods": self._loop_nogoods,
+            "bound_improvements": self._bound_improvements,
+        }
 
     # ------------------------------------------------------------------
     # encoding
@@ -468,9 +502,12 @@ class StableModelSolver:
             }
             if self._tight:
                 return true_atoms
+            self._unfounded_checks += 1
             unfounded = self._founded_check(true_atoms, assignment)
             if unfounded is None:
                 return true_atoms
+            self._loop_nogoods += len(unfounded)
+            self._trace.emit("solver.loop_nogoods", unfounded=len(unfounded))
             self._add_loop_nogoods(unfounded)
 
     def _block(self, true_atoms: Set[Atom]) -> None:
@@ -498,6 +535,12 @@ class StableModelSolver:
             true_atoms = self._next_stable(literals)
             if true_atoms is None:
                 return
+            self._models_enumerated += 1
+            self._trace.emit(
+                "solver.model",
+                number=self._models_enumerated,
+                atoms=len(true_atoms),
+            )
             yield Model(frozenset(true_atoms), self._model_cost(true_atoms), shown)
             self._block(true_atoms)
             count += 1
@@ -533,10 +576,13 @@ class StableModelSolver:
         best_atoms = self._next_stable(literals)
         if best_atoms is None:
             return []
+        self._models_enumerated += 1
         if not self._optimize_levels:
+            self._optimal_models += 1
             model = Model(frozenset(best_atoms), (), shown, optimal=True)
             return [model]
         best_cost = self._model_cost(best_atoms)
+        self._trace.emit("solver.bound", cost=list(_cost_key(best_cost)))
         activations: List[int] = []
         while True:
             activations.append(self._add_improvement_clause(best_cost))
@@ -546,16 +592,22 @@ class StableModelSolver:
             candidate_cost = self._model_cost(candidate)
             assert _cost_key(candidate_cost) < _cost_key(best_cost)
             best_atoms, best_cost = candidate, candidate_cost
+            self._models_enumerated += 1
+            self._bound_improvements += 1
+            self._trace.emit("solver.bound", cost=list(_cost_key(best_cost)))
         # pin the optimum and enumerate models achieving it
         for (priority, level), (_, value) in zip(self._optimize_levels, best_cost):
             self._sat.add_clause([level.leq(value)])
         results: List[Model] = []
         if not enumerate_optimal:
+            self._optimal_models += 1
             return [Model(frozenset(best_atoms), best_cost, shown, optimal=True)]
         while limit is None or len(results) < limit:
             atoms = self._next_stable(literals)
             if atoms is None:
                 break
+            self._models_enumerated += 1
+            self._optimal_models += 1
             results.append(
                 Model(frozenset(atoms), self._model_cost(atoms), shown, optimal=True)
             )

@@ -13,6 +13,12 @@ is the terminal face of it:
     exhaustive EPA over a model file with inline requirements;
 ``python -m repro assess model.xml [--refined refined.xml] [--budget N]``
     the full 7-phase pipeline with the built-in security catalog.
+
+The solving commands (``analyze``, ``assess``) take two observability
+flags: ``--stats`` appends a clingo-style statistics summary block
+(grounding sizes, CDCL counters, per-stage times) and ``--trace FILE``
+streams JSON-lines solver events to ``FILE`` (``-`` for human-readable
+lines on stderr).  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from .casestudy import analysis_table, static_requirements
 from .core import AssessmentPipeline
 from .epa import EpaEngine, StaticRequirement
 from .modeling import from_xml, validate
+from .observability import format_statistics, open_trace
 from .reporting import (
     analysis_results_report,
     assessment_report,
@@ -103,19 +110,23 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if not args.requirement:
         print("at least one --requirement is needed", file=sys.stderr)
         return 2
-    engine = EpaEngine(model, args.requirement)
-    report = engine.analyze(max_faults=args.max_faults)
-    print(epa_report_table(report, max_rows=args.rows))
-    print()
-    print(
-        "%d scenarios analyzed, %d violating; single points of failure: %s"
-        % (
-            len(report),
-            len(report.violating()),
-            ", ".join(str(f) for f in report.single_points_of_failure())
-            or "none",
+    with open_trace(args.trace) as sink:
+        engine = EpaEngine(model, args.requirement, trace=sink)
+        report = engine.analyze(max_faults=args.max_faults)
+        print(epa_report_table(report, max_rows=args.rows))
+        print()
+        print(
+            "%d scenarios analyzed, %d violating; single points of failure: %s"
+            % (
+                len(report),
+                len(report.violating()),
+                ", ".join(str(f) for f in report.single_points_of_failure())
+                or "none",
+            )
         )
-    )
+        if args.stats:
+            print()
+            print(format_statistics(engine.statistics))
     return 0
 
 
@@ -123,14 +134,19 @@ def _cmd_assess(args: argparse.Namespace) -> int:
     model = _load_model(args.model)
     refined = _load_model(args.refined) if args.refined else None
     requirements = args.requirement or static_requirements()
-    pipeline = AssessmentPipeline(
-        requirements,
-        builtin_catalog(),
-        max_faults=args.max_faults,
-        budget=args.budget,
-    )
-    result = pipeline.run(model, refined_model=refined)
-    print(assessment_report(result))
+    with open_trace(args.trace) as sink:
+        pipeline = AssessmentPipeline(
+            requirements,
+            builtin_catalog(),
+            max_faults=args.max_faults,
+            budget=args.budget,
+            trace=sink,
+        )
+        result = pipeline.run(model, refined_model=refined)
+        print(assessment_report(result))
+        if args.stats:
+            print()
+            print(format_statistics(result.statistics))
     return 0
 
 
@@ -141,6 +157,20 @@ def build_parser() -> argparse.ArgumentParser:
         "cyber-physical systems (DSN 2023 reproduction).",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # shared observability flags for the commands that solve
+    observability = argparse.ArgumentParser(add_help=False)
+    observability.add_argument(
+        "--stats",
+        action="store_true",
+        help="append a clingo-style solver statistics summary",
+    )
+    observability.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="stream solver trace events as JSON lines to FILE "
+        "('-' for human-readable lines on stderr)",
+    )
 
     subparsers.add_parser("matrix", help="print the O-RA risk matrix (Table I)")
 
@@ -155,7 +185,9 @@ def build_parser() -> argparse.ArgumentParser:
     validate_cmd.add_argument("model")
 
     analyze = subparsers.add_parser(
-        "analyze", help="exhaustive EPA over a model file"
+        "analyze",
+        help="exhaustive EPA over a model file",
+        parents=[observability],
     )
     analyze.add_argument("model")
     analyze.add_argument(
@@ -169,7 +201,9 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--rows", type=int, default=30)
 
     assess = subparsers.add_parser(
-        "assess", help="the full 7-phase assessment pipeline"
+        "assess",
+        help="the full 7-phase assessment pipeline",
+        parents=[observability],
     )
     assess.add_argument("model")
     assess.add_argument("--refined", help="refined model file (CEGAR oracle)")

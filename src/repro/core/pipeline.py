@@ -31,6 +31,7 @@ from ..mitigation.optimizer import (
 )
 from ..modeling.model import SystemModel
 from ..modeling.validation import ValidationReport, validate
+from ..observability import NULL_SINK, SolveStats
 from ..risk.assessment import (
     RiskRegister,
     frequency_of_simultaneous,
@@ -73,6 +74,8 @@ class AssessmentResult:
     plan: Optional[MitigationPlan]
     cost_benefit: Optional[CostBenefitResult]
     phases: List[PhaseRecord] = field(default_factory=list)
+    #: aggregated solver statistics across every solve the run issued
+    statistics: SolveStats = field(default_factory=SolveStats)
 
     @property
     def hazards(self) -> List[ScenarioOutcome]:
@@ -100,12 +103,14 @@ class AssessmentPipeline:
         max_faults: int = 2,
         budget: Optional[int] = None,
         fail_on_validation_errors: bool = True,
+        trace: Optional[object] = None,
     ):
         self.requirements = tuple(requirements)
         self.catalog = catalog
         self.max_faults = max_faults
         self.budget = budget
         self.fail_on_validation_errors = fail_on_validation_errors
+        self._trace = trace if trace is not None else NULL_SINK
 
     def run(
         self,
@@ -115,6 +120,7 @@ class AssessmentPipeline:
         active_mitigations: Mapping[str, Sequence[str]] = (),
     ) -> AssessmentResult:
         phases: List[PhaseRecord] = []
+        stats = SolveStats()
 
         # ---- phase 1: system model --------------------------------------
         for aspect in aspects:
@@ -157,6 +163,7 @@ class AssessmentPipeline:
             self.requirements,
             fault_mitigations=fault_mitigations,
             extra_mutations=tuple(security_born),
+            trace=self._trace,
         )
         phases.append(
             PhaseRecord(
@@ -173,6 +180,7 @@ class AssessmentPipeline:
             max_faults=self.max_faults,
             with_paths=True,
         )
+        stats.merge(engine.statistics)
         phases.append(
             PhaseRecord(
                 4,
@@ -193,17 +201,21 @@ class AssessmentPipeline:
                 extra_mutations=tuple(
                     m for m in refined_mutations if m.origin_kind != "fault"
                 ),
+                trace=self._trace,
             )
             detailed = refined_engine.analyze(
                 active_mitigations=active_mitigations,
                 max_faults=self.max_faults,
             )
+            stats.merge(refined_engine.statistics)
             oracle = oracle_from_detailed_report(detailed)
             cegar = cegar_loop(
                 analysis=lambda: report,
                 oracle=oracle,
                 refiner=lambda spurious: (lambda: detailed),
                 max_iterations=2,
+                stats=stats,
+                trace=self._trace,
             )
             report = cegar.final_report
             phases.append(
@@ -265,7 +277,9 @@ class AssessmentPipeline:
                 )
                 scenario_magnitudes[entry.scenario] = entry.loss_magnitude
             try:
-                plan = optimize_asp(problem, budget=self.budget)
+                plan = optimize_asp(
+                    problem, budget=self.budget, stats=stats, trace=self._trace
+                )
                 cost_benefit = evaluate_plan(plan, scenario_magnitudes)
                 phase_summary = str(plan)
             except OptimizationError as error:
@@ -290,4 +304,5 @@ class AssessmentPipeline:
             plan,
             cost_benefit,
             phases,
+            stats,
         )

@@ -1,9 +1,32 @@
-"""Qualitative error propagation analysis — the paper's core.
+"""Qualitative error propagation analysis — the paper's core (Sec. IV).
 
 Topology-level exhaustive scenario analysis over the ASP rule base
 (Listing 1 generalized), behaviour-level temporal analysis with LTLf
 requirements (Listing 2 conventions), result vectors with propagation
-paths, and the RST-extended uncertain EPA of Sec. V.
+paths, and the RST-extended uncertain EPA of Sec. V-B.
+
+Exports by paper section
+------------------------
+Sec. IV-A/B (exhaustive scenario analysis)
+    :class:`EpaEngine` (with a ``.statistics`` tree and ``trace=`` hook,
+    see :mod:`repro.observability`), :class:`StaticRequirement`,
+    :class:`EpaReport`, :class:`ScenarioOutcome`,
+    :class:`PropagationStep`, :func:`epa_rule_base`,
+    :func:`scenario_choice`, the fault taxonomy (:class:`FaultRef`,
+    :data:`ERROR_KINDS`, :data:`BEHAVIOUR_TO_KIND`,
+    :data:`MASKABLE_KINDS`, :func:`error_kind`);
+Sec. IV-B (behavioural/temporal analysis, Listing 2)
+    :class:`BehaviouralEpa`, :class:`BehaviouralScenario`;
+Sec. IV-C (optimization queries over the scenario space)
+    :func:`cheapest_attack`, :func:`most_severe_attack`,
+    :func:`attack_cost_of_mitigation`, :class:`OptimalScenario`;
+Sec. V-B (rough-set-extended uncertain EPA)
+    :func:`uncertain_analysis`, :class:`UncertainEpaResult`,
+    :func:`epa_decision_system`, :func:`discriminating_faults`,
+    :func:`refinement_gain`;
+workflow support (explanations "for analysts of average skills")
+    :func:`explain_outcome`, :func:`explain_report`,
+    :class:`Explanation`.
 """
 
 from .behavioral import BehaviouralEpa, BehaviouralScenario

@@ -6,6 +6,12 @@ stable models are exactly the candidate attack/fault scenarios; every
 scenario is checked exhaustively ("all the candidate attack scenarios
 over the joint model undergo exhaustive analysis by automated formal
 methods", Fig. 1 step 4).
+
+Observability: the engine aggregates the statistics of every solve it
+issues into one :class:`~repro.observability.SolveStats`, exposed as
+:attr:`EpaEngine.statistics` (per-call counts live under its ``epa``
+section).  Pass ``trace=`` a sink to stream grounder/solver events plus
+``epa.analyze`` summaries.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ import networkx as nx
 from ..asp import Control, Model, atom
 from ..asp.syntax import Atom
 from ..asp.terms import Number, Symbol
+from ..observability import NULL_SINK, SolveStats
 from ..modeling.model import SystemModel
 from ..modeling.to_asp import to_asp_program
 from ..security.mapping import CandidateMutation
@@ -59,10 +66,13 @@ class EpaEngine:
         fault_mitigations: Mapping[str, Sequence[str]] = (),
         component_mitigations: Mapping[Tuple[str, str], Sequence[str]] = (),
         extra_mutations: Sequence[CandidateMutation] = (),
+        trace: Optional[object] = None,
     ):
         """``fault_mitigations`` maps fault-mode name -> mitigation ids
         (the paper's ``mitigation(F, M)``); ``component_mitigations``
-        maps (component, fault) -> mitigation ids."""
+        maps (component, fault) -> mitigation ids; ``trace`` is an
+        optional :class:`~repro.observability.TraceSink` threaded into
+        every solve the engine issues."""
         names = [r.name for r in requirements]
         if len(set(names)) != len(names):
             raise EpaError("duplicate requirement names")
@@ -77,6 +87,15 @@ class EpaEngine:
         }
         self.extra_mutations = tuple(extra_mutations)
         self._graph = model.propagation_graph()
+        self._trace = trace if trace is not None else NULL_SINK
+        self._stats = SolveStats()
+
+    @property
+    def statistics(self) -> SolveStats:
+        """Aggregated solver statistics across every solve this engine
+        issued (``grounding``/``solving``/``summary`` sections merged
+        per call; scenario counts under ``epa``)."""
+        return self._stats
 
     # ------------------------------------------------------------------
     # program assembly
@@ -85,7 +104,7 @@ class EpaEngine:
         self,
         active_mitigations: Mapping[str, Sequence[str]],
     ) -> Control:
-        control = Control()
+        control = Control(trace=self._trace)
         control._program.extend(to_asp_program(self.model))
         control.add(epa_rule_base())
         for mutation in self.extra_mutations:
@@ -155,6 +174,13 @@ class EpaEngine:
             self._extract(model, with_paths)
             for model in control.solve(limit=limit)
         ]
+        self._fold_statistics(control, scenarios=len(outcomes))
+        self._trace.emit(
+            "epa.analyze",
+            scenarios=len(outcomes),
+            violating=sum(1 for o in outcomes if o.violated),
+            max_faults=max_faults,
+        )
         return EpaReport(
             outcomes,
             [r.name for r in self.requirements],
@@ -183,9 +209,16 @@ class EpaEngine:
                 % (fault.component, fault.fault, fault.component, fault.fault)
             )
         models = control.solve(limit=1)
+        self._fold_statistics(control, scenarios=len(models))
         if not models:
             raise EpaError("scenario program unexpectedly unsatisfiable")
         return self._extract(models[0], with_paths)
+
+    def _fold_statistics(self, control: Control, scenarios: int) -> None:
+        """Merge one solve's stats into the engine-level aggregate."""
+        self._stats.merge(control.statistics)
+        self._stats.incr("epa.analyze_calls")
+        self._stats.incr("epa.scenarios", scenarios)
 
     # ------------------------------------------------------------------
     # extraction

@@ -12,6 +12,12 @@ expert-review callback) classifies each as real or spurious; a
 *refiner* produces the next, more detailed analysis whenever spurious
 candidates remain.  Soundness invariant: refinement only ever removes
 spurious candidates — confirmed hazards accumulate monotonically.
+
+Observability: pass ``stats=`` a
+:class:`~repro.observability.SolveStats` and/or ``trace=`` a sink to
+:func:`cegar_loop`; each iteration records its analysis wall-clock time
+and candidate/confirmed/spurious counts under the ``cegar`` section and
+emits one ``cegar.iteration`` event.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..epa.results import EpaReport, ScenarioOutcome
+from ..observability import NULL_SINK, SolveStats, Timer
 
 
 class CegarError(Exception):
@@ -92,6 +99,8 @@ def cegar_loop(
     oracle: Oracle,
     refiner: Refiner,
     max_iterations: int = 10,
+    stats: Optional[SolveStats] = None,
+    trace: Optional[object] = None,
 ) -> CegarResult:
     """Run analyze -> classify -> refine until no spurious candidates
     remain (or refinement is exhausted).
@@ -100,13 +109,20 @@ def cegar_loop(
     oracle confirms are kept forever; only oracle-rejected candidates
     trigger refinement, and the refined analysis replaces the *spurious*
     part of the verdict, never the confirmed part.
+
+    ``stats`` (a :class:`~repro.observability.SolveStats`) accumulates
+    per-iteration counts and analysis times under its ``cegar`` section;
+    ``trace`` receives one ``cegar.iteration`` event per level.
     """
     if max_iterations < 1:
         raise CegarError("need at least one iteration")
+    sink = trace if trace is not None else NULL_SINK
     iterations: List[CegarIteration] = []
     current = analysis
     for level in range(1, max_iterations + 1):
+        timer = Timer().start()
         report = current()
+        elapsed = timer.stop()
         iteration = CegarIteration(level, report)
         for outcome in report.violating():
             if oracle(outcome):
@@ -114,12 +130,32 @@ def cegar_loop(
             else:
                 iteration.spurious.append(outcome)
         iterations.append(iteration)
+        if stats is not None:
+            stats.incr("cegar.iterations")
+            stats.incr("cegar.candidates", iteration.candidate_count)
+            stats.incr("cegar.confirmed", len(iteration.confirmed))
+            stats.incr("cegar.spurious", len(iteration.spurious))
+            stats.add_time("cegar.time", elapsed)
+        sink.emit(
+            "cegar.iteration",
+            level=level,
+            candidates=iteration.candidate_count,
+            confirmed=len(iteration.confirmed),
+            spurious=len(iteration.spurious),
+            seconds=round(elapsed, 6),
+        )
         if not iteration.spurious:
+            if stats is not None:
+                stats.set("cegar.converged", 1)
             return CegarResult(iterations, converged=True)
         refined = refiner(iteration.spurious)
         if refined is None:
+            if stats is not None:
+                stats.set("cegar.converged", 0)
             return CegarResult(iterations, converged=False)
         current = refined
+    if stats is not None:
+        stats.set("cegar.converged", 0)
     return CegarResult(iterations, converged=False)
 
 

@@ -3,6 +3,21 @@
 Mitigation covering problems (block every attack scenario), exact ASP
 optimization vs greedy and exhaustive baselines, budget-constrained
 multi-phase consolidation planning, and cost-benefit balance sheets.
+
+Exports by paper section
+------------------------
+Sec. IV-C (mitigation selection as a covering problem)
+    :class:`BlockingProblem`, :class:`MitigationPlan`,
+    :func:`optimize_asp` (the paper's weak-constraint mechanism; takes
+    ``stats=``/``trace=`` observability hooks), :func:`optimize_greedy`,
+    :func:`optimize_exhaustive`, :class:`OptimizationError`;
+Sec. IV-D (budgets and phased deployment)
+    :func:`plan_phases`, :class:`MultiPhasePlan`, :class:`PhasePlan`;
+cost models and balance sheets
+    :class:`MitigationCost`, :class:`AttackCostModel`,
+    :class:`FailureCostModel`, :func:`risk_weight`, :data:`RISK_WEIGHT`,
+    :func:`evaluate_plan`, :func:`compare_plans`, :func:`most_efficient`,
+    :class:`CostBenefitResult`.
 """
 
 from .costbenefit import (

@@ -11,6 +11,12 @@ budget.  Three interchangeable solvers:
 * :func:`optimize_greedy` — the classic ln(n)-approximate weighted
   set-cover heuristic (fast baseline);
 * :func:`optimize_exhaustive` — brute force (ground truth for tests).
+
+Observability: :func:`optimize_asp` accepts ``stats=`` (a
+:class:`~repro.observability.SolveStats` the underlying solve's
+statistics are merged into, with call counts under ``mitigation``) and
+``trace=`` (a sink streaming the branch-and-bound ``solver.bound``
+events — one per cost improvement).
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..asp import Control
+from ..observability import SolveStats
 from .costs import risk_weight
 
 
@@ -123,9 +130,10 @@ def _asp_name(identifier: str) -> str:
 
 def _problem_control(
     problem: BlockingProblem,
+    trace: Optional[object] = None,
 ) -> Tuple[Control, Dict[str, str], Dict[str, str]]:
     problem.validate()
-    control = Control()
+    control = Control(trace=trace)
     names: Dict[str, str] = {}
     forward: Dict[str, str] = {}
     for mitigation in sorted(problem.mitigation_costs):
@@ -164,6 +172,8 @@ def _problem_control(
 def optimize_asp(
     problem: BlockingProblem,
     budget: Optional[int] = None,
+    stats: Optional[SolveStats] = None,
+    trace: Optional[object] = None,
 ) -> MitigationPlan:
     """Exact optimization via ASP weak constraints.
 
@@ -171,8 +181,12 @@ def optimize_asp(
     With a budget: total cost must respect it; residual risk weight is
     minimized first, cost second (lexicographic priorities) — the
     "constraint on the mitigation budgets" task of Sec. IV-D.
+
+    ``stats`` receives the solve's statistics tree (merged in place,
+    plus an ``mitigation.optimize_calls`` counter); ``trace`` streams
+    grounder/solver events including per-improvement ``solver.bound``.
     """
-    control, names, scenario_names = _problem_control(problem)
+    control, names, scenario_names = _problem_control(problem, trace=trace)
     if budget is None:
         for scenario, blockers in problem.scenario_blockers.items():
             if blockers:
@@ -187,6 +201,9 @@ def optimize_asp(
         )
         control.add(":~ deploy(M), cost(M, C). [C@1, M]")
     models = control.optimize()
+    if stats is not None:
+        stats.merge(control.statistics)
+        stats.incr("mitigation.optimize_calls")
     if not models:
         raise OptimizationError("no feasible mitigation plan")
     deployed = {

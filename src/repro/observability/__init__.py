@@ -1,0 +1,49 @@
+"""Solver observability: statistics trees, stage timers and trace hooks.
+
+The ASP engine and every analysis built on it (EPA, CEGAR refinement,
+mitigation optimization) report into this package instead of being a
+black box:
+
+* :class:`SolveStats` — a nested, clingo-``statistics``-compatible tree
+  with ``grounding`` / ``solving`` / ``summary`` sections, dotted-path
+  accessors, recursive merge and JSON serialization;
+* :class:`Timer` / :class:`Counter` — low-overhead stage timing;
+* :class:`TraceSink` and friends — a pluggable event stream (no-op
+  default, JSON-lines, human-readable, in-memory);
+* :func:`format_statistics` — the clingo-style terminal summary block
+  printed by ``repro --stats``.
+
+Entry points: ``repro.asp.Control(trace=...)`` and its ``.statistics``
+property; ``EpaEngine.statistics``; the CLI's ``--stats``/``--trace``
+flags.  See ``docs/observability.md`` for the schema and worked
+examples.
+"""
+
+from .stats import SolveStats, StatsError, format_statistics
+from .timing import Counter, Timer
+from .trace import (
+    NULL_SINK,
+    HumanTraceSink,
+    JsonLinesTraceSink,
+    MemoryTraceSink,
+    NullTraceSink,
+    TraceEvent,
+    TraceSink,
+    open_trace,
+)
+
+__all__ = [
+    "Counter",
+    "HumanTraceSink",
+    "JsonLinesTraceSink",
+    "MemoryTraceSink",
+    "NULL_SINK",
+    "NullTraceSink",
+    "SolveStats",
+    "StatsError",
+    "Timer",
+    "TraceEvent",
+    "TraceSink",
+    "format_statistics",
+    "open_trace",
+]

@@ -1,0 +1,164 @@
+"""Pluggable trace sinks: a structured event stream out of the engine.
+
+Statistics (:mod:`repro.observability.stats`) answer "how much happened";
+traces answer "what happened, in what order".  Every instrumented layer
+emits named events — ``grounder.round``, ``solver.model``,
+``cegar.iteration`` — through a :class:`TraceSink`.  The default sink is
+:class:`NullTraceSink` (every ``emit`` is a no-op, so tracing costs one
+attribute lookup and one call when disabled); analyses pass
+``trace=...`` down the stack to turn the stream on.
+
+Sinks included:
+
+:class:`NullTraceSink`
+    the no-op default;
+:class:`MemoryTraceSink`
+    records ``TraceEvent`` objects in a list (tests, programmatic use);
+:class:`JsonLinesTraceSink`
+    one JSON object per line, machine-readable (``--trace FILE``);
+:class:`HumanTraceSink`
+    aligned ``[  0.004s] solver.model ...`` lines for terminals.
+
+Any object with a compatible ``emit``/``close`` pair satisfies the
+protocol — subclassing is not required.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One emitted event: a name, a time offset and a payload."""
+
+    name: str
+    seconds: float
+    #: seconds since the sink was created
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        details = " ".join("%s=%s" % (k, v) for k, v in sorted(self.payload.items()))
+        return "[%8.3fs] %-20s %s" % (self.seconds, self.name, details)
+
+
+class TraceSink:
+    """Protocol for trace consumers (also usable as a base class).
+
+    ``emit(name, **payload)`` receives each event; payload values are
+    small JSON-compatible scalars.  ``close()`` flushes/releases any
+    underlying resource; sinks are context managers closing on exit.
+    """
+
+    def emit(self, name: str, **payload: Any) -> None:
+        """Consume one event; the base implementation discards it."""
+
+    def close(self) -> None:
+        """Release resources; the base implementation does nothing."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class NullTraceSink(TraceSink):
+    """The no-op default sink."""
+
+    __slots__ = ()
+
+
+#: process-wide shared no-op sink (safe: it has no state)
+NULL_SINK = NullTraceSink()
+
+
+class MemoryTraceSink(TraceSink):
+    """Keep events as :class:`TraceEvent` objects in ``self.events``."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self._epoch = time.perf_counter()
+
+    def emit(self, name: str, **payload: Any) -> None:
+        self.events.append(
+            TraceEvent(name, time.perf_counter() - self._epoch, payload)
+        )
+
+    def named(self, name: str) -> List[TraceEvent]:
+        """All recorded events with the given name."""
+        return [event for event in self.events if event.name == name]
+
+
+class JsonLinesTraceSink(TraceSink):
+    """Write one compact JSON object per event.
+
+    Accepts a path (opened and owned, closed by :meth:`close`) or an
+    open text stream (borrowed, only flushed).  Each line looks like
+    ``{"event": "solver.model", "t": 0.004, "number": 1, ...}``.
+    """
+
+    def __init__(self, target: object):
+        if hasattr(target, "write"):
+            self._stream: IO[str] = target  # type: ignore[assignment]
+            self._owned = False
+        else:
+            self._stream = open(str(target), "w", encoding="utf-8")
+            self._owned = True
+        self._epoch = time.perf_counter()
+
+    def emit(self, name: str, **payload: Any) -> None:
+        record = {"event": name, "t": round(time.perf_counter() - self._epoch, 6)}
+        record.update(payload)
+        self._stream.write(json.dumps(record, sort_keys=True, default=str))
+        self._stream.write("\n")
+
+    def close(self) -> None:
+        if self._owned:
+            self._stream.close()
+        else:
+            self._stream.flush()
+
+
+class HumanTraceSink(TraceSink):
+    """Render events as aligned human-readable lines (default: stderr)."""
+
+    def __init__(self, stream: Optional[IO[str]] = None):
+        self._stream = stream if stream is not None else sys.stderr
+        self._epoch = time.perf_counter()
+
+    def emit(self, name: str, **payload: Any) -> None:
+        event = TraceEvent(name, time.perf_counter() - self._epoch, payload)
+        self._stream.write(str(event) + "\n")
+
+    def close(self) -> None:
+        self._stream.flush()
+
+
+def open_trace(spec: Optional[str]) -> TraceSink:
+    """Build a sink from a CLI-style spec.
+
+    ``None``/empty -> :data:`NULL_SINK`; ``"-"`` -> human-readable on
+    stderr; anything else -> a JSON-lines file at that path.
+    """
+    if not spec:
+        return NULL_SINK
+    if spec == "-":
+        return HumanTraceSink()
+    return JsonLinesTraceSink(spec)
+
+
+__all__ = [
+    "HumanTraceSink",
+    "JsonLinesTraceSink",
+    "MemoryTraceSink",
+    "NULL_SINK",
+    "NullTraceSink",
+    "TraceEvent",
+    "TraceSink",
+    "open_trace",
+]

@@ -84,12 +84,59 @@ class TestCommands:
     def test_analyze_without_requirements_fails(self, capsys, model_file):
         assert main(["analyze", model_file]) == 2
 
+    def test_analyze_stats(self, capsys, model_file):
+        code = main(
+            [
+                "analyze",
+                model_file,
+                "-r",
+                "r1=err(water_tank, K), hazardous_kind(K)@water_tank!VH",
+                "--max-faults",
+                "1",
+                "--stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Models" in out
+        assert "Choices" in out
+        assert "Time" in out
+        assert "Grounding" in out
+
+    def test_analyze_trace_file(self, capsys, tmp_path, model_file):
+        import json
+
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "analyze",
+                model_file,
+                "-r",
+                "r1=err(water_tank, K), hazardous_kind(K)@water_tank!VH",
+                "--max-faults",
+                "1",
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        records = [
+            json.loads(line) for line in trace_path.read_text().splitlines()
+        ]
+        assert records
+        names = {record["event"] for record in records}
+        assert "grounder.done" in names
+        assert "solver.model" in names
+
     def test_assess(self, capsys, model_file):
-        code = main(["assess", model_file, "--max-faults", "1"])
+        code = main(["assess", model_file, "--max-faults", "1", "--stats"])
         assert code == 0
         out = capsys.readouterr().out
         assert "ASSESSMENT REPORT" in out
         assert "Mitigation" in out
+        # --stats appends the clingo-style summary block
+        assert "Models" in out
+        assert "Conflicts" in out
 
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,170 @@
+"""End-to-end instrumentation tests: statistics and traces off real solves."""
+
+from repro.asp import Control
+from repro.epa import EpaEngine, StaticRequirement
+from repro.modeling import RelationshipType, SystemModel, standard_cps_library
+from repro.observability import MemoryTraceSink, SolveStats, format_statistics
+
+LISTING_1 = """
+potential_fault(C, F) :-
+    component(C), fault(F),
+    mitigation(F, M),
+    not active_mitigation(C, M).
+
+component(engineering_workstation). component(hmi).
+fault(infected).
+mitigation(infected, user_training).
+active_mitigation(hmi, user_training).
+"""
+
+CHOICE_PROGRAM = """
+{ fault(a) ; fault(b) ; fault(c) }.
+bad :- fault(a), fault(b).
+:- bad.
+"""
+
+
+def _listing1_control(trace=None):
+    ctl = Control(LISTING_1, trace=trace)
+    ctl.ground()
+    return ctl
+
+
+class TestControlStatistics:
+    def test_grounding_counters_nonzero_and_consistent(self):
+        ctl = _listing1_control()
+        ctl.solve()
+        grounding = ctl.statistics["grounding"]
+        assert grounding["rules_nonground"] > 0
+        assert grounding["rules"] > 0
+        assert grounding["atoms"] > 0
+        assert grounding["rounds"] > 0
+        # every kept ground rule came from some attempted instantiation
+        assert grounding["instantiations"] >= grounding["rules"] - grounding["rules_simplified_away"]
+        assert grounding["certain_atoms"] <= grounding["atoms"]
+
+    def test_solving_counters_populated_after_solve(self):
+        ctl = _listing1_control()
+        models = ctl.solve()
+        solving = ctl.statistics["solving"]
+        assert solving["solvers"]["propagations"] > 0
+        assert solving["variables"] > 0
+        assert solving["models"] == len(models) == 1
+        # Listing 1 is deterministic: propagation alone finds the model
+        assert solving["solvers"]["choices"] == 0
+        assert solving["solvers"]["conflicts"] == 0
+
+    def test_summary_counters_and_times(self):
+        ctl = _listing1_control()
+        models = ctl.solve()
+        summary = ctl.statistics["summary"]
+        assert summary["calls"] == 1
+        assert summary["models"]["enumerated"] == len(models)
+        assert summary["times"]["ground"] > 0
+        assert summary["times"]["solve"] > 0
+        assert summary["times"]["total"] >= summary["times"]["ground"]
+
+    def test_cdcl_counters_nonzero_on_choice_program(self):
+        ctl = Control(CHOICE_PROGRAM)
+        ctl.ground()
+        models = ctl.solve()
+        assert len(models) > 1
+        solvers = ctl.statistics["solving"]["solvers"]
+        assert solvers["choices"] > 0
+        assert solvers["propagations"] > 0
+        # enumeration + the integrity constraint force conflicts
+        assert solvers["conflicts"] > 0
+        assert solvers["choices"] >= solvers["conflicts"]
+
+    def test_statistics_accumulate_across_calls(self):
+        ctl = _listing1_control()
+        ctl.solve()
+        first = ctl.statistics.get_path("solving.solvers.propagations")
+        ctl.solve()
+        assert ctl.statistics.get_path("summary.calls") == 2
+        assert ctl.statistics.get_path("solving.solvers.propagations") == 2 * first
+        # sizes are overwritten, not summed, across calls
+        assert ctl.statistics.get_path("solving.variables") > 0
+
+    def test_optimize_records_costs(self):
+        ctl = Control(
+            """
+            { pick(a) ; pick(b) }.
+            chosen :- pick(a).
+            chosen :- pick(b).
+            :- not chosen.
+            :~ pick(a). [3@1]
+            :~ pick(b). [1@1]
+            """
+        )
+        ctl.ground()
+        models = ctl.optimize()
+        assert models
+        summary = ctl.statistics["summary"]
+        assert summary["models"]["optimal"] >= 1
+        assert summary["costs"] == [1]
+        assert ctl.statistics.get_path("solving.bound_improvements") >= 0
+
+    def test_format_statistics_of_real_solve(self):
+        ctl = _listing1_control()
+        ctl.solve()
+        text = format_statistics(ctl.statistics)
+        assert "Models       : 1" in text
+        assert "Propagations : " in text
+        assert "Rules        : " in text
+
+
+class TestControlTrace:
+    def test_trace_event_stream(self):
+        sink = MemoryTraceSink()
+        ctl = _listing1_control(trace=sink)
+        ctl.solve()
+        names = [event.name for event in sink.events]
+        assert "grounder.round" in names
+        assert "grounder.done" in names
+        assert "solver.model" in names
+        assert names[-1] == "control.solve"
+        # grounder events precede solver events
+        assert names.index("grounder.done") < names.index("solver.model")
+
+    def test_model_events_carry_numbers(self):
+        sink = MemoryTraceSink()
+        ctl = Control(CHOICE_PROGRAM, trace=sink)
+        ctl.ground()
+        models = ctl.solve()
+        numbers = [e.payload["number"] for e in sink.named("solver.model")]
+        assert numbers == list(range(1, len(models) + 1))
+
+
+def _mini_model():
+    library = standard_cps_library()
+    model = SystemModel("mini_plant")
+    library.instantiate(model, "sensor", "pressure_sensor")
+    library.instantiate(model, "controller", "plc")
+    library.instantiate(model, "actuator", "relief_valve")
+    model.add_relationship("pressure_sensor", "plc", RelationshipType.FLOW)
+    model.add_relationship("plc", "relief_valve", RelationshipType.FLOW)
+    return model
+
+
+class TestEngineStatistics:
+    def test_epa_engine_aggregates(self):
+        sink = MemoryTraceSink()
+        engine = EpaEngine(
+            _mini_model(),
+            [StaticRequirement(
+                "safe", "err(relief_valve, K), hazardous_kind(K)",
+                focus="relief_valve", magnitude="VH")],
+            trace=sink,
+        )
+        report = engine.analyze(max_faults=1)
+        stats = engine.statistics
+        assert isinstance(stats, SolveStats)
+        assert stats.get_path("epa.analyze_calls") == 1
+        assert stats.get_path("epa.scenarios") == len(report)
+        assert stats.get_path("grounding.rules") > 0
+        assert stats.get_path("solving.solvers.choices") > 0
+        assert stats.get_path("summary.models.enumerated") > 0
+        analyze_events = sink.named("epa.analyze")
+        assert len(analyze_events) == 1
+        assert analyze_events[0].payload["scenarios"] == len(report)

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Run the ASP benchmark suite and write ``BENCH_asp.json``.
+
+Drives the pytest-benchmark files that characterize the embedded ASP
+substrate (classic solver workloads, the Fig. 4 model build, the
+grounding stressors), extracts per-bench medians, compares them against
+the recorded pre-optimization baselines, and snapshots the solver /
+grounder statistics of two representative workloads so regressions in
+the fast path (argument indexing, ground-program caching, enumeration
+backjumping) show up as counter drift, not just time drift.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [output.json]
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+BENCH_FILES = [
+    "benchmarks/test_bench_asp_classic.py",
+    "benchmarks/test_bench_fig4_refinement.py",
+    "benchmarks/test_bench_grounding.py",
+]
+
+#: medians (seconds) measured immediately before the grounding/solving
+#: fast-path work landed — the denominators of the speedup column
+BASELINES_S = {
+    "test_bench_nqueens_enumeration[5-10]": 0.0247,
+    "test_bench_nqueens_enumeration[6-4]": 0.0534,
+    "test_bench_cycle_coloring": 0.0386,
+    "test_bench_hamiltonian_first_solution": 0.0148,
+    "test_bench_fig4_refinement": 0.0001334,
+}
+
+
+def run_benchmarks(json_path):
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *BENCH_FILES,
+        "-q",
+        "--benchmark-json=%s" % json_path,
+    ]
+    subprocess.run(command, cwd=REPO_ROOT, check=True)
+    with open(json_path) as handle:
+        return json.load(handle)
+
+
+def collect_solver_stats():
+    """Statistics snapshots for two representative workloads."""
+    from repro.asp import Control, clear_ground_cache
+
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    from test_bench_asp_classic import queens_program
+    from test_bench_grounding import transitive_closure_program
+
+    clear_ground_cache()
+    queens = Control(queens_program(6))
+    queens.solve()
+    closure = Control(transitive_closure_program(30))
+    closure.solve()
+    # a second control over the same text exercises the ground cache
+    cached = Control(transitive_closure_program(30))
+    cached.ground()
+    return {
+        "nqueens_6": queens.statistics.to_dict(),
+        "transitive_closure_30": closure.statistics.to_dict(),
+        "transitive_closure_30_recached": {
+            "grounding": {"cache": cached.statistics.get_path(
+                "grounding.cache"
+            ).to_dict()}
+        },
+    }
+
+
+def main(argv):
+    output = pathlib.Path(argv[1]) if len(argv) > 1 else REPO_ROOT / "BENCH_asp.json"
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        raw = run_benchmarks(handle.name)
+    benches = {}
+    for entry in raw["benchmarks"]:
+        name = entry["name"]
+        median = entry["stats"]["median"]
+        record = {"median_s": round(median, 6)}
+        baseline = BASELINES_S.get(name)
+        if baseline is not None:
+            record["baseline_median_s"] = baseline
+            record["speedup"] = round(baseline / median, 2)
+        benches[name] = record
+    payload = {
+        "suite": BENCH_FILES,
+        "machine": raw.get("machine_info", {}).get("cpu", {}).get("brand_raw"),
+        "python": raw.get("machine_info", {}).get("python_version"),
+        "benchmarks": benches,
+        "solver_stats": collect_solver_stats(),
+    }
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print("wrote %s" % output)
+    for name, record in sorted(benches.items()):
+        speedup = record.get("speedup")
+        print(
+            "  %-42s %10.3f ms%s"
+            % (
+                name,
+                record["median_s"] * 1e3,
+                "  (%.2fx)" % speedup if speedup else "",
+            )
+        )
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -25,6 +25,9 @@ Exports
 ``Atom``, ``Term``, ``Number``, ``String``, ``Symbol``, ``Function``,
 ``Variable``, ``atom``, ``to_term``
     the term/atom vocabulary and Python-value conversion helpers;
+``clear_ground_cache`` / ``clear_intern_caches``
+    reset the process-wide ground-program LRU and the term/atom intern
+    tables (memory hygiene for long-lived services);
 ``GroundingError`` / ``SolverError``
     the failure modes of the two stages.
 
@@ -41,12 +44,20 @@ Quick example::
     print(ctl.statistics["summary"]["models"]["enumerated"])
 """
 
-from .control import Control, atom, to_term
+from .control import Control, atom, clear_ground_cache, to_term
 from .grounder import Grounder, GroundingError, ground_program
 from .parser import ParseError, parse_program, parse_term
 from .solver import Model, SolverError, StableModelSolver
 from .syntax import Atom, Program
-from .terms import Function, Number, String, Symbol, Term, Variable
+from .terms import (
+    Function,
+    Number,
+    String,
+    Symbol,
+    Term,
+    Variable,
+    clear_intern_caches,
+)
 
 __all__ = [
     "Atom",
@@ -65,6 +76,8 @@ __all__ = [
     "Term",
     "Variable",
     "atom",
+    "clear_ground_cache",
+    "clear_intern_caches",
     "ground_program",
     "parse_program",
     "parse_term",

@@ -11,11 +11,21 @@ populated :class:`~repro.observability.SolveStats` with ``grounding``,
 ``solving`` and ``summary`` sections (counters accumulate across calls).
 Pass ``trace=`` a :class:`~repro.observability.TraceSink` to stream
 grounder and solver events; the default sink is a no-op.
+
+Grounding is cached twice: per-control until the program text changes,
+and in a process-wide LRU keyed by the rendered program text, so the EPA
+engine, the CEGAR loop and the mitigation optimizer — which all rebuild
+controls around the *same* model facts — reuse one grounding across
+repeated solves.  Cache traffic shows up under
+``statistics["grounding"]["cache"]`` (hits/misses).  Controls with a
+trace sink attached bypass the shared cache: observability wins, every
+grounder event is re-emitted.  :func:`clear_ground_cache` empties it.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..observability import NULL_SINK, SolveStats, Timer
 from .grounder import Grounder, GroundingError
@@ -24,6 +34,17 @@ from .parser import parse_program
 from .solver import Model, StableModelSolver
 from .syntax import Atom, Program
 from .terms import Number, String, Symbol, Term
+
+#: process-wide grounding LRU: program text -> (ground program, stats)
+_GROUND_CACHE: "OrderedDict[str, Tuple[GroundProgram, Dict[str, object]]]" = (
+    OrderedDict()
+)
+_GROUND_CACHE_CAPACITY = 64
+
+
+def clear_ground_cache() -> None:
+    """Empty the process-wide ground-program cache."""
+    _GROUND_CACHE.clear()
 
 
 class Control:
@@ -83,10 +104,26 @@ class Control:
     def ground(self) -> GroundProgram:
         """Ground the accumulated program (cached until text changes)."""
         if self._ground is None:
-            grounder = Grounder(self._program, trace=self._trace)
+            # the shared cache is only sound when no trace sink expects
+            # per-round grounder events
+            shareable = self._trace is NULL_SINK
             with self._stats.timer("summary.times.ground"):
-                self._ground = grounder.ground()
-            self._stats.child("grounding").merge(grounder.statistics)
+                key = str(self._program) if shareable else ""
+                cached = _GROUND_CACHE.get(key) if shareable else None
+                if cached is not None:
+                    _GROUND_CACHE.move_to_end(key)
+                    self._ground, grounding_stats = cached
+                    self._stats.incr("grounding.cache.hits")
+                else:
+                    grounder = Grounder(self._program, trace=self._trace)
+                    self._ground = grounder.ground()
+                    grounding_stats = grounder.statistics
+                    self._stats.incr("grounding.cache.misses")
+                    if shareable:
+                        _GROUND_CACHE[key] = (self._ground, grounding_stats)
+                        if len(_GROUND_CACHE) > _GROUND_CACHE_CAPACITY:
+                            _GROUND_CACHE.popitem(last=False)
+            self._stats.child("grounding").merge(grounding_stats)
             self._update_total_time()
         return self._ground
 
@@ -223,4 +260,4 @@ def atom(predicate: str, *arguments: object) -> Atom:
     return Atom(predicate, tuple(to_term(a) for a in arguments))
 
 
-__all__ = ["Control", "atom", "to_term", "GroundingError"]
+__all__ = ["Control", "atom", "to_term", "clear_ground_cache", "GroundingError"]

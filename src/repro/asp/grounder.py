@@ -57,7 +57,7 @@ from .terms import (
     Variable,
     compare,
     evaluate,
-    match,
+    match_inplace,
 )
 
 
@@ -103,22 +103,71 @@ def _expand_ground_args(arguments: Sequence[Term]) -> Iterator[Tuple[Term, ...]]
     yield from itertools.product(*choices)
 
 
-class Grounder:
-    """Grounds one :class:`Program` into a :class:`GroundProgram`."""
+class _PredicateExtension:
+    """All derived atoms of one predicate signature, three ways at once.
 
-    def __init__(self, program: Program, trace: Optional[object] = None):
+    ``atoms`` is the full extension in derivation order; ``rounds[r]`` is
+    the semi-naive delta — exactly the atoms first derived in round ``r``
+    (replacing the old per-atom round dict + filter); ``index`` maps
+    ``(argument position, ground term)`` to the atoms carrying that term
+    there, so a join candidate lookup with any bound pattern argument
+    touches only the matching bucket instead of the whole extension.
+    """
+
+    __slots__ = ("atoms", "rounds", "index")
+
+    def __init__(self) -> None:
+        self.atoms: List[Atom] = []
+        self.rounds: List[List[Atom]] = []
+        self.index: Dict[Tuple[int, Term], List[Atom]] = {}
+
+    def add(self, atom: Atom, round_number: int) -> None:
+        self.atoms.append(atom)
+        rounds = self.rounds
+        while len(rounds) <= round_number:
+            rounds.append([])
+        rounds[round_number].append(atom)
+        index = self.index
+        for position, argument in enumerate(atom.arguments):
+            key = (position, argument)
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = [atom]
+            else:
+                bucket.append(atom)
+
+
+class Grounder:
+    """Grounds one :class:`Program` into a :class:`GroundProgram`.
+
+    ``indexing=False`` selects the naive reference join — first-ready
+    literal order and full extension scans — kept as the differential
+    baseline for the indexed fast path (see
+    ``tests/asp/test_grounder_differential.py``).  Both modes produce the
+    same ground program up to rule order.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        trace: Optional[object] = None,
+        indexing: bool = True,
+    ):
         from ..observability import NULL_SINK
 
         self._program = program
         self._consts = dict(program.consts)
-        self._atoms_by_pred: Dict[Tuple[str, int], List[Atom]] = {}
+        self._extensions: Dict[Tuple[str, int], _PredicateExtension] = {}
         self._atom_set: Set[Atom] = set()
-        self._atom_round: Dict[Atom, int] = {}
         self._certain: Set[Atom] = set()
         self._round = 0
+        self._indexing = indexing
+        self._index_hits = 0
+        self._index_scans = 0
+        self._index_delta_hits = 0
         self._trace = trace if trace is not None else NULL_SINK
         #: grounding counts, populated by :meth:`ground`
-        self.statistics: Dict[str, int] = {}
+        self.statistics: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # public API
@@ -229,6 +278,11 @@ class Grounder:
             "instantiations": len(instances),
             "rounds": self._round,
             "weak_constraints": len(ground.weak_constraints),
+            "index": {
+                "hits": self._index_hits,
+                "scans": self._index_scans,
+                "delta_hits": self._index_delta_hits,
+            },
         }
         self._trace.emit("grounder.done", **self.statistics)
         return ground
@@ -341,8 +395,8 @@ class Grounder:
         if not elements:
             yield binding
             return
-        index = self._select_element(elements, binding)
-        if index is None:
+        choice = self._select_element(elements, binding, pivot, pivot_round)
+        if choice is None:
             deferred = [e for _, e in elements if self._is_deferred(e, binding)]
             if len(deferred) == len(elements):
                 # everything left is negation/aggregates with bound vars
@@ -352,14 +406,22 @@ class Grounder:
                 "unsafe rule: cannot bind variables in %s"
                 % ", ".join(str(e) for _, e in elements)
             )
-        position, element = elements[index]
+        index, pattern, candidates = choice
+        _, element = elements[index]
         rest = elements[:index] + elements[index + 1 :]
-        if isinstance(element, Literal) and not element.negated:
-            restrict_round = pivot_round if position == pivot else None
-            pattern = element.atom.substitute(binding)
-            for atom in self._candidate_atoms(pattern, restrict_round):
-                extended = self._match_atom(pattern, atom, binding)
-                if extended is not None:
+        if pattern is not None:
+            pattern_args = pattern.arguments
+            for atom in candidates:
+                extended = dict(binding)
+                atom_args = atom.arguments
+                matched = True
+                for argument_index, pattern_arg in enumerate(pattern_args):
+                    if not match_inplace(
+                        pattern_arg, atom_args[argument_index], extended
+                    ):
+                        matched = False
+                        break
+                if matched:
                     yield from self._join(rest, extended, pivot, pivot_round)
             return
         if isinstance(element, Comparison):
@@ -389,23 +451,69 @@ class Grounder:
         return False
 
     def _select_element(
-        self, elements: List[Tuple[int, object]], binding: Binding
-    ) -> Optional[int]:
-        # positive literals whose arithmetic is fully bound first
-        # (most selective join, and arithmetic can be evaluated)
-        for index, (_, element) in enumerate(elements):
-            if (
-                isinstance(element, Literal)
-                and not element.negated
-                and self._literal_ready(element, binding)
-            ):
-                return index
-        # then evaluable or binding comparisons
-        for index, (_, element) in enumerate(elements):
-            if isinstance(element, Comparison) and self._comparison_ready(
-                element, binding
-            ):
-                return index
+        self,
+        elements: List[Tuple[int, object]],
+        binding: Binding,
+        pivot: Optional[int],
+        pivot_round: Optional[int],
+    ) -> Optional[Tuple[int, Optional[Atom], Sequence[Atom]]]:
+        """Pick the next body element to instantiate.
+
+        Returns ``(element index, substituted pattern, candidate atoms)``
+        for a positive literal, ``(element index, None, ())`` for a
+        comparison, or ``None`` when nothing is ready.
+
+        Indexed mode is selectivity-aware: fully ground comparisons go
+        first (free pruning, zero branching), then the ready positive
+        literal with the *smallest* candidate extension (looked up via
+        the argument index), then binding ``=`` comparisons.  Naive mode
+        keeps the historical first-ready order as the reference.
+        """
+        if not self._indexing:
+            for index, (position, element) in enumerate(elements):
+                if (
+                    isinstance(element, Literal)
+                    and not element.negated
+                    and self._literal_ready(element, binding)
+                ):
+                    pattern = element.atom.substitute(binding)
+                    restrict = pivot_round if position == pivot else None
+                    return (index, pattern, self._candidate_atoms(pattern, restrict))
+            for index, (_, element) in enumerate(elements):
+                if isinstance(element, Comparison) and self._comparison_ready(
+                    element, binding
+                ):
+                    return (index, None, ())
+            return None
+        best: Optional[Tuple[int, int, Optional[Atom], Sequence[Atom]]] = None
+        binder: Optional[int] = None
+        for index, (position, element) in enumerate(elements):
+            if isinstance(element, Literal):
+                if element.negated or not self._literal_ready(element, binding):
+                    continue
+                pattern = element.atom.substitute(binding)
+                restrict = pivot_round if position == pivot else None
+                candidates = self._candidate_atoms(pattern, restrict)
+                size = len(candidates)
+                if best is None or size < best[0]:
+                    best = (size, index, pattern, candidates)
+                    if size == 0:
+                        break
+            elif isinstance(element, Comparison):
+                left = element.left.substitute(binding)
+                right = element.right.substitute(binding)
+                if left.is_ground() and right.is_ground():
+                    # a pure filter: always take it before branching
+                    return (index, None, ())
+                if binder is None and element.operator == "=":
+                    if (isinstance(left, Variable) and right.is_ground()) or (
+                        isinstance(right, Variable) and left.is_ground()
+                    ):
+                        binder = index
+        if best is not None:
+            return (best[1], best[2], best[3])
+        if binder is not None:
+            return (binder, None, ())
         return None
 
     def _literal_ready(self, literal: Literal, binding: Binding) -> bool:
@@ -490,25 +598,58 @@ class Grounder:
 
     def _candidate_atoms(
         self, pattern: Atom, restrict_round: Optional[int]
-    ) -> Iterable[Atom]:
-        candidates = self._atoms_by_pred.get(pattern.signature, ())
-        if restrict_round is None:
-            return list(candidates)
-        return [
-            atom
-            for atom in candidates
-            if self._atom_round.get(atom) == restrict_round
-        ]
+    ) -> Sequence[Atom]:
+        """Candidate atoms for a (partially bound) pattern, without copying.
 
-    def _match_atom(
-        self, pattern: Atom, ground_atom: Atom, binding: Binding
-    ) -> Optional[Binding]:
-        current: Optional[Binding] = binding
-        for pattern_arg, ground_arg in zip(pattern.arguments, ground_atom.arguments):
-            current = match(pattern_arg, ground_arg, current)
-            if current is None:
-                return None
-        return current
+        The returned sequence is owned by the extension and must not be
+        mutated.  With a round restriction the per-round delta list is
+        returned directly; otherwise the argument index narrows the scan
+        to the smallest bucket keyed by a ground pattern argument.  The
+        naive reference mode always scans the full extension.
+        """
+        extension = self._extensions.get(pattern.signature)
+        if extension is None:
+            return ()
+        if restrict_round is not None:
+            self._index_delta_hits += 1
+            rounds = extension.rounds
+            if restrict_round < len(rounds):
+                return rounds[restrict_round]
+            return ()
+        if self._indexing and pattern.arguments and not pattern.is_ground():
+            best: Optional[List[Atom]] = None
+            index = extension.index
+            for position, argument in enumerate(pattern.arguments):
+                if not argument.is_ground():
+                    continue
+                try:
+                    key_term = evaluate(argument)
+                except TermError:
+                    # intervals and the like: matched positionally later
+                    continue
+                bucket = index.get((position, key_term))
+                if bucket is None:
+                    self._index_hits += 1
+                    return ()
+                if best is None or len(bucket) < len(best):
+                    best = bucket
+            if best is not None:
+                self._index_hits += 1
+                return best
+        elif self._indexing and pattern.is_ground() and pattern.arguments:
+            # fully bound pattern: a membership probe, no scan at all
+            try:
+                probe = Atom(
+                    pattern.predicate,
+                    tuple(evaluate(a) for a in pattern.arguments),
+                )
+            except TermError:
+                probe = None
+            if probe is not None:
+                self._index_hits += 1
+                return (probe,) if probe in self._atom_set else ()
+        self._index_scans += 1
+        return extension.atoms
 
     # ------------------------------------------------------------------
     # head registration (possible atoms)
@@ -555,8 +696,11 @@ class Grounder:
         if atom in self._atom_set:
             return []
         self._atom_set.add(atom)
-        self._atom_round[atom] = self._round
-        self._atoms_by_pred.setdefault(atom.signature, []).append(atom)
+        extension = self._extensions.get(atom.signature)
+        if extension is None:
+            extension = _PredicateExtension()
+            self._extensions[atom.signature] = extension
+        extension.add(atom, self._round)
         return [atom]
 
     # ------------------------------------------------------------------

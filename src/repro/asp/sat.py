@@ -6,6 +6,9 @@ classic conflict-driven clause-learning solver with:
 * two-watched-literal unit propagation;
 * first-UIP conflict analysis with clause learning;
 * VSIDS-style exponential variable activity with decay;
+* phase saving: each variable remembers its last assigned polarity and
+  is re-decided that way (initially negative, favouring minimal models),
+  so restarts and enumeration re-enter nearby search regions cheaply;
 * Luby-sequence restarts;
 * incremental interface: clauses may be added between ``solve`` calls and
   each call may carry *assumptions* (fixed first decisions), which makes
@@ -23,7 +26,7 @@ literal is ``+v`` or ``-v``.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 class SatError(Exception):
@@ -56,12 +59,15 @@ class Solver:
         self._num_vars = 0
         self._clauses: List[List[int]] = []
         self._watches: Dict[int, List[int]] = {}
+        #: binary clauses as implication lists: literal -> [(implied, clause)]
+        self._binary: Dict[int, List[Tuple[int, int]]] = {}
         self._assign: List[int] = [UNASSIGNED]  # index 0 unused
         self._level: List[int] = [0]
         self._reason: List[Optional[int]] = [None]  # clause index or None
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
         self._activity: List[float] = [0.0]
+        self._phase: List[int] = [FALSE]  # saved polarity per var
         self._activity_inc = 1.0
         self._activity_decay = 0.95
         self._queue_head = 0
@@ -84,6 +90,7 @@ class Solver:
         self._level.append(0)
         self._reason.append(None)
         self._activity.append(0.0)
+        self._phase.append(FALSE)
         heapq.heappush(self._order, (0.0, self._num_vars))
         return self._num_vars
 
@@ -151,8 +158,73 @@ class Solver:
             return True
         index = len(self._clauses)
         self._clauses.append(clause)
-        self._watch(clause[0], index)
-        self._watch(clause[1], index)
+        if len(clause) == 2:
+            self._watch_binary(clause, index)
+        else:
+            self._watch(clause[0], index)
+            self._watch(clause[1], index)
+        return True
+
+    def add_blocking_clause(self, literals: Sequence[int]) -> bool:
+        """Block the current total assignment, backjumping minimally.
+
+        Every literal must be false under the current assignment (the
+        caller passes the negation of a just-enumerated model).  Unlike
+        :meth:`add_clause`, which restarts search from level 0, this
+        backjumps only to the deepest level at which the new clause
+        becomes assertive and enqueues the flipped literal there, so
+        enumeration resumes right next to the previous model
+        (clasp-style solution recording).  Returns ``False`` when the
+        formula became UNSAT.
+        """
+        level = self._level
+        clause = [
+            literal
+            for literal in literals
+            if level[literal if literal > 0 else -literal] != 0
+        ]
+        if not clause:
+            self._backtrack(0)
+            self._unsat = True
+            return False
+        if len(clause) == 1:
+            self._backtrack(0)
+            if not self._enqueue(clause[0], None):
+                self._unsat = True
+                return False
+            return True
+        # move the two deepest-level literals into the watch slots
+        top = 0
+        top_level = level[abs(clause[0])]
+        for k in range(1, len(clause)):
+            lvl = level[abs(clause[k])]
+            if lvl > top_level:
+                top_level = lvl
+                top = k
+        clause[0], clause[top] = clause[top], clause[0]
+        second = 1
+        second_level = level[abs(clause[1])]
+        for k in range(2, len(clause)):
+            lvl = level[abs(clause[k])]
+            if lvl > second_level:
+                second_level = lvl
+                second = k
+        clause[1], clause[second] = clause[second], clause[1]
+        index = len(self._clauses)
+        self._clauses.append(clause)
+        if len(clause) == 2:
+            self._watch_binary(clause, index)
+        else:
+            self._watch(clause[0], index)
+            self._watch(clause[1], index)
+        if second_level == top_level:
+            # both watches sit on the same level: the clause is not
+            # assertive there, so undo that whole level and let the
+            # watched-literal machinery rediscover it
+            self._backtrack(top_level - 1)
+        else:
+            self._backtrack(second_level)
+            self._enqueue(clause[0], index)
         return True
 
     # ------------------------------------------------------------------
@@ -167,69 +239,144 @@ class Solver:
     def _watch(self, literal: int, clause_index: int) -> None:
         self._watches.setdefault(-literal, []).append(clause_index)
 
+    def _watch_binary(self, clause: Sequence[int], clause_index: int) -> None:
+        """Register a 2-clause on the direct implication lists.
+
+        Binary clauses skip the two-watched-literal machinery entirely:
+        assigning one literal false immediately implies the other, so
+        propagation walks a flat ``(implied, reason)`` list with no
+        clause access and no watch moves.
+        """
+        first, second = clause
+        self._binary.setdefault(-first, []).append((second, clause_index))
+        self._binary.setdefault(-second, []).append((first, clause_index))
+
+    def fixed_at_top(self, var: int) -> bool:
+        """True when ``var`` is permanently assigned at decision level 0."""
+        return self._assign[var] != UNASSIGNED and self._level[var] == 0
+
     def _enqueue(self, literal: int, reason: Optional[int]) -> bool:
-        value = self._value(literal)
-        if value == FALSE:
-            return False
-        if value == TRUE:
-            return True
-        var = abs(literal)
-        self._assign[var] = TRUE if literal > 0 else FALSE
+        if literal > 0:
+            var, sign = literal, TRUE
+        else:
+            var, sign = -literal, FALSE
+        value = self._assign[var]
+        if value != UNASSIGNED:
+            return value == sign
+        self._assign[var] = sign
         self._level[var] = len(self._trail_lim)
         self._reason[var] = reason
         self._trail.append(literal)
         return True
 
     def _propagate(self) -> Optional[int]:
-        """Unit propagation; returns a conflicting clause index or None."""
-        while self._queue_head < len(self._trail):
-            literal = self._trail[self._queue_head]
+        """Unit propagation; returns a conflicting clause index or None.
+
+        The hot loop of the solver: attribute lookups are hoisted into
+        locals and literal truth values are read straight off the
+        assignment array instead of through :meth:`_value`.
+        """
+        trail = self._trail
+        watches = self._watches
+        clauses = self._clauses
+        assign = self._assign
+        binary = self._binary
+        level = self._level
+        reason = self._reason
+        trail_append = trail.append
+        current_level = len(self._trail_lim)
+        propagated = 0
+        while self._queue_head < len(trail):
+            literal = trail[self._queue_head]
             self._queue_head += 1
-            self._propagations_total += 1
-            watch_list = self._watches.get(literal)
+            propagated += 1
+            implications = binary.get(literal)
+            if implications:
+                for implied, clause_index in implications:
+                    if implied > 0:
+                        var, sign = implied, TRUE
+                    else:
+                        var, sign = -implied, FALSE
+                    value = assign[var]
+                    if value == UNASSIGNED:
+                        assign[var] = sign
+                        level[var] = current_level
+                        reason[var] = clause_index
+                        trail_append(implied)
+                    elif value != sign:
+                        self._propagations_total += propagated
+                        return clause_index
+            watch_list = watches.get(literal)
             if not watch_list:
                 continue
-            new_watch_list: List[int] = []
-            i = 0
-            while i < len(watch_list):
-                clause_index = watch_list[i]
-                i += 1
-                clause = self._clauses[clause_index]
+            # compact the watch list in place: surviving watches slide to
+            # the front, moved watches are dropped, no list is allocated
+            write = 0
+            read = 0
+            count = len(watch_list)
+            conflict: Optional[int] = None
+            while read < count:
+                clause_index = watch_list[read]
+                read += 1
+                clause = clauses[clause_index]
                 # Normalize: watched literals are clause[0] and clause[1].
                 false_literal = -literal
                 if clause[0] == false_literal:
                     clause[0], clause[1] = clause[1], clause[0]
                 first = clause[0]
-                if self._value(first) == TRUE:
-                    new_watch_list.append(clause_index)
+                value = assign[first] if first > 0 else -assign[-first]
+                if value == TRUE:
+                    watch_list[write] = clause_index
+                    write += 1
                     continue
                 moved = False
                 for k in range(2, len(clause)):
-                    if self._value(clause[k]) != FALSE:
-                        clause[1], clause[k] = clause[k], clause[1]
-                        self._watch(clause[1], clause_index)
+                    other = clause[k]
+                    value = assign[other] if other > 0 else -assign[-other]
+                    if value != FALSE:
+                        clause[1], clause[k] = other, clause[1]
+                        watch = watches.get(-other)
+                        if watch is None:
+                            watches[-other] = [clause_index]
+                        else:
+                            watch.append(clause_index)
                         moved = True
                         break
                 if moved:
                     continue
-                new_watch_list.append(clause_index)
+                watch_list[write] = clause_index
+                write += 1
                 if not self._enqueue(first, clause_index):
-                    # conflict: restore remaining watches and report
-                    new_watch_list.extend(watch_list[i:])
-                    self._watches[literal] = new_watch_list
-                    return clause_index
-            self._watches[literal] = new_watch_list
+                    conflict = clause_index
+                    break
+            if conflict is not None:
+                # restore remaining watches and report the conflict
+                while read < count:
+                    watch_list[write] = watch_list[read]
+                    write += 1
+                    read += 1
+                del watch_list[write:]
+                self._propagations_total += propagated
+                return conflict
+            del watch_list[write:]
+        self._propagations_total += propagated
         return None
 
     def _backtrack(self, level: int) -> None:
         if len(self._trail_lim) <= level:
             return
         limit = self._trail_lim[level]
+        assign = self._assign
+        phase = self._phase
+        reason = self._reason
+        activity = self._activity
+        order = self._order
         for literal in reversed(self._trail[limit:]):
-            var = abs(literal)
-            self._assign[var] = UNASSIGNED
-            self._reason[var] = None
-            heapq.heappush(self._order, (-self._activity[var], var))
+            var = literal if literal > 0 else -literal
+            phase[var] = assign[var]  # phase saving
+            assign[var] = UNASSIGNED
+            reason[var] = None
+            heapq.heappush(order, (-activity[var], var))
         del self._trail[limit:]
         del self._trail_lim[level:]
         self._queue_head = len(self._trail)
@@ -317,7 +464,8 @@ class Solver:
                 # stale activity: reinsert with the current value
                 heapq.heappush(self._order, (-self._activity[var], var))
                 continue
-            return -var  # negative polarity first: favours minimal models
+            # saved phase (initially negative: favours minimal models)
+            return var if self._phase[var] == TRUE else -var
         return 0
 
     # ------------------------------------------------------------------
@@ -329,14 +477,36 @@ class Solver:
         ``assumptions`` are literals fixed for this call only.  UNSAT under
         assumptions does not mean the formula is globally UNSAT.
         """
+        assign = self.solve_raw(assumptions)
+        if assign is None:
+            return None
+        return {var: assign[var] == TRUE for var in range(1, self._num_vars + 1)}
+
+    def solve_raw(
+        self, assumptions: Iterable[int] = (), restart: bool = True
+    ) -> Optional[List[int]]:
+        """Like :meth:`solve` but returns the internal assignment array.
+
+        The returned list is ``self._assign`` itself (index 0 unused,
+        values :data:`TRUE`/:data:`FALSE`): read it before the next solver
+        call mutates it.  This is the enumeration fast path — the
+        stable-model layer probes just the atom variables it cares about
+        instead of paying for a full ``{var: bool}`` dict per model.
+
+        With ``restart=False`` (and no assumptions) the search continues
+        from the current trail instead of backtracking to level 0 —
+        paired with :meth:`add_blocking_clause` this makes model
+        enumeration resume next to the previous model.
+        """
         if self._unsat:
             return None
-        self._backtrack(0)
-        conflict = self._propagate()
-        if conflict is not None:
-            self._unsat = True
-            return None
         assumption_list = list(assumptions)
+        if restart or assumption_list:
+            self._backtrack(0)
+            conflict = self._propagate()
+            if conflict is not None:
+                self._unsat = True
+                return None
         restarts = 0
         conflicts_since_restart = 0
         restart_limit = 32 * _luby(1)
@@ -362,8 +532,11 @@ class Solver:
                 else:
                     index = len(self._clauses)
                     self._clauses.append(learnt)
-                    self._watch(learnt[0], index)
-                    self._watch(learnt[1], index)
+                    if len(learnt) == 2:
+                        self._watch_binary(learnt, index)
+                    else:
+                        self._watch(learnt[0], index)
+                        self._watch(learnt[1], index)
                     self._enqueue(learnt[0], index)
                 self._activity_inc /= self._activity_decay
                 if conflicts_since_restart >= restart_limit:
@@ -386,10 +559,7 @@ class Solver:
                 continue
             literal = self._decide()
             if literal == 0:
-                return {
-                    var: self._assign[var] == TRUE
-                    for var in range(1, self._num_vars + 1)
-                }
+                return self._assign
             self._decisions_total += 1
             self._trail_lim.append(len(self._trail))
             self._enqueue(literal, None)

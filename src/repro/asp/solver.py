@@ -104,6 +104,7 @@ class StableModelSolver:
         self._unfounded_checks = 0
         self._loop_nogoods = 0
         self._bound_improvements = 0
+        self._block_items: Optional[List[Tuple[Atom, int]]] = None
         self._build()
 
     @property
@@ -439,7 +440,7 @@ class StableModelSolver:
         return not result if aggregate.negated else result
 
     def _founded_check(
-        self, true_atoms: Set[Atom], assignment: Dict[int, bool]
+        self, true_atoms: Set[Atom], assignment: Sequence[int]
     ) -> Optional[Set[Atom]]:
         """Return the unfounded subset of ``true_atoms`` (None if empty)."""
         founded: Set[Atom] = set()
@@ -492,13 +493,17 @@ class StableModelSolver:
     # ------------------------------------------------------------------
     # solving
     # ------------------------------------------------------------------
-    def _next_stable(self, assumptions: Sequence[int]) -> Optional[Set[Atom]]:
+    def _next_stable(
+        self, assumptions: Sequence[int], restart: bool = True
+    ) -> Optional[Set[Atom]]:
         while True:
-            assignment = self._sat.solve(assumptions)
+            # raw assignment array (index 0 unused, values +1/-1): read
+            # immediately, the next solver call mutates it in place
+            assignment = self._sat.solve_raw(assumptions, restart=restart)
             if assignment is None:
                 return None
             true_atoms = {
-                atom for atom, var in self._atom_var.items() if assignment.get(var)
+                atom for atom, var in self._atom_var.items() if assignment[var] > 0
             }
             if self._tight:
                 return true_atoms
@@ -511,10 +516,24 @@ class StableModelSolver:
             self._add_loop_nogoods(unfounded)
 
     def _block(self, true_atoms: Set[Atom]) -> None:
-        clause = []
-        for atom, var in self._atom_var.items():
-            clause.append(-var if atom in true_atoms else var)
-        self._sat.add_clause(clause)
+        # Atom variables fixed at level 0 (facts, learnt units) can never
+        # flip between models, so blocking clauses range only over the
+        # free atoms, computed once at the first block.
+        items = self._block_items
+        if items is None:
+            items = [
+                (atom, var)
+                for atom, var in self._atom_var.items()
+                if not self._sat.fixed_at_top(var)
+            ]
+            self._block_items = items
+        clause = [
+            -var if atom in true_atoms else var for atom, var in items
+        ]
+        # every literal is false under the model still on the trail, so
+        # the solver can backjump to the asserting level instead of
+        # restarting the search from scratch
+        self._sat.add_blocking_clause(clause)
 
     def _model_cost(self, true_atoms: Set[Atom]) -> Tuple[Tuple[int, int], ...]:
         costs: List[Tuple[int, int]] = []
@@ -532,7 +551,9 @@ class StableModelSolver:
         count = 0
         shown = tuple(self._program.shows)
         while limit is None or count < limit:
-            true_atoms = self._next_stable(literals)
+            # after the first model the blocking clause has already
+            # backjumped to its asserting level: continue from there
+            true_atoms = self._next_stable(literals, restart=(count == 0))
             if true_atoms is None:
                 return
             self._models_enumerated += 1

@@ -14,27 +14,69 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from .terms import Function, Term, Variable
 
 
-@dataclass(frozen=True)
+#: intern table (predicate, arguments) -> canonical Atom
+_ATOMS: Dict[Tuple, "Atom"] = {}
+
+
 class Atom:
-    """A predicate atom ``p(t1, ..., tn)``."""
+    """A predicate atom ``p(t1, ..., tn)``.
 
-    predicate: str
-    arguments: Tuple[Term, ...] = ()
+    Atoms are interned like terms (see :mod:`repro.asp.terms`): one
+    canonical instance per (predicate, arguments), with the hash, the
+    signature and the ground flag computed once at construction.  The
+    grounder's join loop compares and hashes atoms millions of times, so
+    identity short-circuits matter here.
+    """
 
-    @property
-    def signature(self) -> Tuple[str, int]:
-        return (self.predicate, len(self.arguments))
+    __slots__ = ("predicate", "arguments", "signature", "_hash", "_ground")
+
+    def __new__(cls, predicate: str, arguments: Tuple[Term, ...] = ()) -> "Atom":
+        if type(arguments) is not tuple:
+            arguments = tuple(arguments)
+        key = (predicate, arguments)
+        self = _ATOMS.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            self.predicate = predicate
+            self.arguments = arguments
+            self.signature = (predicate, len(arguments))
+            self._hash = hash(key)
+            self._ground = all(argument.is_ground() for argument in arguments)
+            _ATOMS[key] = self
+        return self
+
+    def __reduce__(self):
+        return (Atom, (self.predicate, self.arguments))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if name in self.__slots__ and hasattr(self, "_ground"):
+            raise AttributeError("Atom is immutable")
+        object.__setattr__(self, name, value)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (
+            type(other) is Atom
+            and other.predicate == self.predicate
+            and other.arguments == self.arguments
+        )
 
     def is_ground(self) -> bool:
-        return all(argument.is_ground() for argument in self.arguments)
+        return self._ground
 
     def substitute(self, binding: Dict[Variable, Term]) -> "Atom":
-        if not self.arguments:
+        if self._ground or not self.arguments:
             return self
-        return Atom(
-            self.predicate,
-            tuple(argument.substitute(binding) for argument in self.arguments),
+        arguments = tuple(
+            argument.substitute(binding) for argument in self.arguments
         )
+        if arguments == self.arguments:
+            return self
+        return Atom(self.predicate, arguments)
 
     def variables(self) -> Iterable[Variable]:
         for argument in self.arguments:
@@ -42,6 +84,9 @@ class Atom:
 
     def to_term(self) -> Function:
         return Function(self.predicate, self.arguments)
+
+    def __repr__(self) -> str:
+        return "Atom(predicate=%r, arguments=%r)" % (self.predicate, self.arguments)
 
     def __str__(self) -> str:
         if not self.arguments:
@@ -52,6 +97,11 @@ class Atom:
         )
 
 
+def clear_atom_intern_cache() -> None:
+    """Drop every interned atom (companion to ``terms.clear_intern_caches``)."""
+    _ATOMS.clear()
+
+
 @dataclass(frozen=True)
 class Literal:
     """A body literal: an atom, possibly default-negated (``not a``)."""
@@ -60,7 +110,10 @@ class Literal:
     negated: bool = False
 
     def substitute(self, binding: Dict[Variable, Term]) -> "Literal":
-        return Literal(self.atom.substitute(binding), self.negated)
+        atom = self.atom.substitute(binding)
+        if atom is self.atom:
+            return self
+        return Literal(atom, self.negated)
 
     def variables(self) -> Iterable[Variable]:
         return self.atom.variables()

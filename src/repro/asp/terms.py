@@ -8,21 +8,30 @@ Terms are immutable and hashable so they can be used as dictionary keys
 throughout the grounder and solver.  A total order over ground terms is
 defined (numbers < symbols/strings < functions) so that answer sets render
 deterministically.
+
+Performance: every leaf term and every :class:`Function` is *interned* —
+constructing a term returns the one canonical instance for its content,
+so equality short-circuits on identity, the hash is computed once at
+construction, and repeated :meth:`Term.substitute` calls on ground
+structure return the receiver unchanged.  This is the term-level half of
+the grounding fast path (see ``docs/performance.md``); the tables grow
+with the vocabulary of the programs seen and can be reset with
+:func:`clear_intern_caches` in long-lived processes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 
 class TermError(Exception):
     """Raised for malformed terms or invalid term operations."""
 
 
-@dataclass(frozen=True)
 class Term:
     """Abstract base class for all terms."""
+
+    __slots__ = ()
 
     def is_ground(self) -> bool:
         raise NotImplementedError
@@ -38,11 +47,52 @@ class Term:
         raise NotImplementedError
 
 
-@dataclass(frozen=True)
+#: intern tables (content -> canonical instance), one per interned class
+_NUMBERS: Dict[int, "Number"] = {}
+_SYMBOLS: Dict[str, "Symbol"] = {}
+_STRINGS: Dict[str, "String"] = {}
+_VARIABLES: Dict[str, "Variable"] = {}
+_FUNCTIONS: Dict[Tuple, "Function"] = {}
+
+
+def clear_intern_caches() -> None:
+    """Drop every interned term (bounds memory in long-lived services).
+
+    Safe at any time: terms constructed afterwards are new canonical
+    instances, and structural ``__eq__``/``__hash__`` keep old and new
+    instances interoperable.
+    """
+    _NUMBERS.clear()
+    _SYMBOLS.clear()
+    _STRINGS.clear()
+    _VARIABLES.clear()
+    _FUNCTIONS.clear()
+
+
 class Number(Term):
     """An integer term."""
 
-    value: int
+    __slots__ = ("value", "_hash")
+
+    def __new__(cls, value: int) -> "Number":
+        self = _NUMBERS.get(value)
+        if self is None:
+            self = object.__new__(cls)
+            self.value = value
+            self._hash = hash((Number, value))
+            _NUMBERS[value] = self
+        return self
+
+    def __reduce__(self):
+        return (Number, (self.value,))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return type(other) is Number and other.value == self.value
 
     def is_ground(self) -> bool:
         return True
@@ -56,15 +106,37 @@ class Number(Term):
     def sort_key(self) -> Tuple:
         return (0, self.value)
 
+    def __repr__(self) -> str:
+        return "Number(value=%r)" % (self.value,)
+
     def __str__(self) -> str:
         return str(self.value)
 
 
-@dataclass(frozen=True)
 class Symbol(Term):
     """A symbolic constant such as ``water_tank``."""
 
-    name: str
+    __slots__ = ("name", "_hash")
+
+    def __new__(cls, name: str) -> "Symbol":
+        self = _SYMBOLS.get(name)
+        if self is None:
+            self = object.__new__(cls)
+            self.name = name
+            self._hash = hash((Symbol, name))
+            _SYMBOLS[name] = self
+        return self
+
+    def __reduce__(self):
+        return (Symbol, (self.name,))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return type(other) is Symbol and other.name == self.name
 
     def is_ground(self) -> bool:
         return True
@@ -78,15 +150,37 @@ class Symbol(Term):
     def sort_key(self) -> Tuple:
         return (1, 0, self.name)
 
+    def __repr__(self) -> str:
+        return "Symbol(name=%r)" % (self.name,)
+
     def __str__(self) -> str:
         return self.name
 
 
-@dataclass(frozen=True)
 class String(Term):
     """A quoted string constant."""
 
-    value: str
+    __slots__ = ("value", "_hash")
+
+    def __new__(cls, value: str) -> "String":
+        self = _STRINGS.get(value)
+        if self is None:
+            self = object.__new__(cls)
+            self.value = value
+            self._hash = hash((String, value))
+            _STRINGS[value] = self
+        return self
+
+    def __reduce__(self):
+        return (String, (self.value,))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return type(other) is String and other.value == self.value
 
     def is_ground(self) -> bool:
         return True
@@ -100,11 +194,13 @@ class String(Term):
     def sort_key(self) -> Tuple:
         return (1, 1, self.value)
 
+    def __repr__(self) -> str:
+        return "String(value=%r)" % (self.value,)
+
     def __str__(self) -> str:
         return '"%s"' % self.value.replace('"', '\\"')
 
 
-@dataclass(frozen=True)
 class Variable(Term):
     """A first-order variable (upper-case identifier).
 
@@ -113,7 +209,27 @@ class Variable(Term):
     a fresh name so two anonymous variables never unify with each other.
     """
 
-    name: str
+    __slots__ = ("name", "_hash")
+
+    def __new__(cls, name: str) -> "Variable":
+        self = _VARIABLES.get(name)
+        if self is None:
+            self = object.__new__(cls)
+            self.name = name
+            self._hash = hash((Variable, name))
+            _VARIABLES[name] = self
+        return self
+
+    def __reduce__(self):
+        return (Variable, (self.name,))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return type(other) is Variable and other.name == self.name
 
     def is_ground(self) -> bool:
         return False
@@ -127,27 +243,60 @@ class Variable(Term):
     def sort_key(self) -> Tuple:
         raise TermError("variable %s has no ground order" % self.name)
 
+    def __repr__(self) -> str:
+        return "Variable(name=%r)" % (self.name,)
+
     def __str__(self) -> str:
         return self.name
 
 
-@dataclass(frozen=True)
 class Function(Term):
     """A compound term ``f(t1, ..., tn)``; with empty name it is a tuple."""
 
-    name: str
-    arguments: Tuple[Term, ...] = field(default=())
+    __slots__ = ("name", "arguments", "_hash", "_ground", "_evaluated")
+
+    def __new__(cls, name: str = "", arguments: Tuple[Term, ...] = ()) -> "Function":
+        if type(arguments) is not tuple:
+            arguments = tuple(arguments)
+        key = (name, arguments)
+        self = _FUNCTIONS.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            self.name = name
+            self.arguments = arguments
+            self._hash = hash(key)
+            self._ground = all(argument.is_ground() for argument in arguments)
+            self._evaluated = None
+            _FUNCTIONS[key] = self
+        return self
+
+    def __reduce__(self):
+        return (Function, (self.name, self.arguments))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (
+            type(other) is Function
+            and other.name == self.name
+            and other.arguments == self.arguments
+        )
 
     def is_ground(self) -> bool:
-        return all(argument.is_ground() for argument in self.arguments)
+        return self._ground
 
     def substitute(self, binding: Dict[Variable, Term]) -> Term:
-        if not self.arguments:
+        if self._ground or not self.arguments:
             return self
-        return Function(
-            self.name,
-            tuple(argument.substitute(binding) for argument in self.arguments),
+        arguments = tuple(
+            argument.substitute(binding) for argument in self.arguments
         )
+        if arguments == self.arguments:
+            return self
+        return Function(self.name, arguments)
 
     def variables(self) -> Iterable[Variable]:
         for argument in self.arguments:
@@ -160,6 +309,9 @@ class Function(Term):
             self.name,
             tuple(argument.sort_key() for argument in self.arguments),
         )
+
+    def __repr__(self) -> str:
+        return "Function(name=%r, arguments=%r)" % (self.name, self.arguments)
 
     def __str__(self) -> str:
         if not self.arguments:
@@ -192,23 +344,42 @@ def _int_mod(a: int, b: int) -> int:
     return a - _int_div(a, b) * b
 
 
-@dataclass(frozen=True)
 class BinaryOperation(Term):
     """An unevaluated arithmetic term such as ``X + 1``."""
 
-    operator: str
-    left: Term
-    right: Term
+    __slots__ = ("operator", "left", "right", "_hash")
+
+    def __init__(self, operator: str, left: Term, right: Term):
+        self.operator = operator
+        self.left = left
+        self.right = right
+        self._hash = hash((BinaryOperation, operator, left, right))
+
+    def __reduce__(self):
+        return (BinaryOperation, (self.operator, self.left, self.right))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (
+            type(other) is BinaryOperation
+            and other.operator == self.operator
+            and other.left == self.left
+            and other.right == self.right
+        )
 
     def is_ground(self) -> bool:
         return self.left.is_ground() and self.right.is_ground()
 
     def substitute(self, binding: Dict[Variable, Term]) -> Term:
-        return BinaryOperation(
-            self.operator,
-            self.left.substitute(binding),
-            self.right.substitute(binding),
-        )
+        left = self.left.substitute(binding)
+        right = self.right.substitute(binding)
+        if left is self.left and right is self.right:
+            return self
+        return BinaryOperation(self.operator, left, right)
 
     def variables(self) -> Iterable[Variable]:
         yield from self.left.variables()
@@ -217,21 +388,45 @@ class BinaryOperation(Term):
     def sort_key(self) -> Tuple:
         return evaluate(self).sort_key()
 
+    def __repr__(self) -> str:
+        return "BinaryOperation(operator=%r, left=%r, right=%r)" % (
+            self.operator,
+            self.left,
+            self.right,
+        )
+
     def __str__(self) -> str:
         return "(%s%s%s)" % (self.left, self.operator, self.right)
 
 
-@dataclass(frozen=True)
 class UnaryMinus(Term):
     """Arithmetic negation ``-t``."""
 
-    operand: Term
+    __slots__ = ("operand", "_hash")
+
+    def __init__(self, operand: Term):
+        self.operand = operand
+        self._hash = hash((UnaryMinus, operand))
+
+    def __reduce__(self):
+        return (UnaryMinus, (self.operand,))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return type(other) is UnaryMinus and other.operand == self.operand
 
     def is_ground(self) -> bool:
         return self.operand.is_ground()
 
     def substitute(self, binding: Dict[Variable, Term]) -> Term:
-        return UnaryMinus(self.operand.substitute(binding))
+        operand = self.operand.substitute(binding)
+        if operand is self.operand:
+            return self
+        return UnaryMinus(operand)
 
     def variables(self) -> Iterable[Variable]:
         return self.operand.variables()
@@ -239,22 +434,47 @@ class UnaryMinus(Term):
     def sort_key(self) -> Tuple:
         return evaluate(self).sort_key()
 
+    def __repr__(self) -> str:
+        return "UnaryMinus(operand=%r)" % (self.operand,)
+
     def __str__(self) -> str:
         return "-%s" % self.operand
 
 
-@dataclass(frozen=True)
 class Interval(Term):
     """A range term ``lo..hi`` expanding to each integer in the interval."""
 
-    low: Term
-    high: Term
+    __slots__ = ("low", "high", "_hash")
+
+    def __init__(self, low: Term, high: Term):
+        self.low = low
+        self.high = high
+        self._hash = hash((Interval, low, high))
+
+    def __reduce__(self):
+        return (Interval, (self.low, self.high))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (
+            type(other) is Interval
+            and other.low == self.low
+            and other.high == self.high
+        )
 
     def is_ground(self) -> bool:
         return self.low.is_ground() and self.high.is_ground()
 
     def substitute(self, binding: Dict[Variable, Term]) -> Term:
-        return Interval(self.low.substitute(binding), self.high.substitute(binding))
+        low = self.low.substitute(binding)
+        high = self.high.substitute(binding)
+        if low is self.low and high is self.high:
+            return self
+        return Interval(low, high)
 
     def variables(self) -> Iterable[Variable]:
         yield from self.low.variables()
@@ -271,6 +491,9 @@ class Interval(Term):
         for value in range(low.value, high.value + 1):
             yield Number(value)
 
+    def __repr__(self) -> str:
+        return "Interval(low=%r, high=%r)" % (self.low, self.high)
+
     def __str__(self) -> str:
         return "%s..%s" % (self.low, self.high)
 
@@ -281,6 +504,8 @@ def evaluate(term: Term) -> Term:
     Symbols, strings and numbers evaluate to themselves; function arguments
     are evaluated recursively; :class:`BinaryOperation` and
     :class:`UnaryMinus` nodes are folded into :class:`Number` values.
+    The result is memoized on :class:`Function` nodes (terms are interned,
+    so one evaluation per distinct compound term suffices).
     """
     if isinstance(term, (Number, Symbol, String)):
         return term
@@ -289,7 +514,13 @@ def evaluate(term: Term) -> Term:
     if isinstance(term, Function):
         if not term.arguments:
             return term
-        return Function(term.name, tuple(evaluate(a) for a in term.arguments))
+        evaluated = term._evaluated
+        if evaluated is None:
+            evaluated = Function(
+                term.name, tuple(evaluate(a) for a in term.arguments)
+            )
+            term._evaluated = evaluated
+        return evaluated
     if isinstance(term, UnaryMinus):
         operand = evaluate(term.operand)
         if not isinstance(operand, Number):
@@ -313,46 +544,68 @@ def evaluate(term: Term) -> Term:
     raise TermError("cannot evaluate term of type %s" % type(term).__name__)
 
 
-def match(pattern: Term, ground: Term, binding: Dict[Variable, Term]) -> Optional[Dict[Variable, Term]]:
+def match_inplace(
+    pattern: Term, ground: Term, binding: Dict[Variable, Term]
+) -> bool:
+    """One-sided unification that extends ``binding`` *in place*.
+
+    The fast-path core of the grounder's join: the caller owns (and on
+    failure discards) the binding dict, so no per-variable copies are
+    made.  Returns ``True`` on success; on failure the binding may hold
+    partial extensions and must be thrown away.
+    """
+    if pattern is ground:
+        return True
+    kind = type(pattern)
+    if kind is Variable:
+        bound = binding.get(pattern)
+        if bound is None:
+            binding[pattern] = ground
+            return True
+        return bound is ground or bound == ground
+    if kind is Function:
+        if (
+            type(ground) is not Function
+            or pattern.name != ground.name
+            or len(pattern.arguments) != len(ground.arguments)
+        ):
+            return False
+        for sub_pattern, sub_ground in zip(pattern.arguments, ground.arguments):
+            if not match_inplace(sub_pattern, sub_ground, binding):
+                return False
+        return True
+    if kind in (Number, Symbol, String):
+        return pattern == ground
+    if kind in (BinaryOperation, UnaryMinus):
+        # Arithmetic in matched position must already be fully bound.
+        if pattern.is_ground():
+            return evaluate(pattern) == ground
+        return False
+    return False
+
+
+def match(
+    pattern: Term, ground: Term, binding: Dict[Variable, Term]
+) -> Optional[Dict[Variable, Term]]:
     """One-sided unification of ``pattern`` against a ground term.
 
     Returns an extended copy of ``binding`` on success, ``None`` on failure.
     The input binding is never mutated.
     """
-    if isinstance(pattern, Variable):
-        bound = binding.get(pattern)
-        if bound is None:
-            extended = dict(binding)
-            extended[pattern] = ground
-            return extended
-        return binding if bound == ground else None
-    if isinstance(pattern, (Number, Symbol, String)):
-        return binding if pattern == ground else None
-    if isinstance(pattern, Function):
-        if (
-            not isinstance(ground, Function)
-            or pattern.name != ground.name
-            or len(pattern.arguments) != len(ground.arguments)
-        ):
-            return None
-        current: Optional[Dict[Variable, Term]] = binding
-        for sub_pattern, sub_ground in zip(pattern.arguments, ground.arguments):
-            current = match(sub_pattern, sub_ground, current)
-            if current is None:
-                return None
-        return current
-    if isinstance(pattern, (BinaryOperation, UnaryMinus)):
-        # Arithmetic in matched position must already be fully bound.
-        if pattern.is_ground():
-            return binding if evaluate(pattern) == ground else None
-        return None
+    extended = dict(binding)
+    if match_inplace(pattern, ground, extended):
+        return extended
     return None
 
 
 def compare(left: Term, right: Term) -> int:
     """Three-way comparison of two ground terms (clingo term order)."""
-    left_key = evaluate(left).sort_key()
-    right_key = evaluate(right).sort_key()
+    left = evaluate(left)
+    right = evaluate(right)
+    if left is right:
+        return 0
+    left_key = left.sort_key()
+    right_key = right.sort_key()
     if left_key < right_key:
         return -1
     if left_key > right_key:

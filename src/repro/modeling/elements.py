@@ -164,6 +164,16 @@ _CROSS_LAYER_OK: FrozenSet[RelationshipType] = frozenset(
 )
 
 
+def _touches_physical(element_type: ElementType) -> bool:
+    # devices (sensors/actuators) sit on the IT/OT boundary and may
+    # share a conserved quantity with the physical process
+    return (
+        element_type.layer is Layer.PHYSICAL
+        or element_type is ElementType.DEVICE
+        or element_type is ElementType.EQUIPMENT
+    )
+
+
 def relationship_allowed(
     relationship: RelationshipType,
     source_type: ElementType,
@@ -179,16 +189,7 @@ def relationship_allowed(
     * risk-overlay elements attach through ASSOCIATION / INFLUENCE only.
     """
     if relationship is RelationshipType.PHYSICAL_CONNECTION:
-        # devices (sensors/actuators) sit on the IT/OT boundary and may
-        # share a conserved quantity with the physical process
-        def touches_physical(element_type: ElementType) -> bool:
-            return (
-                element_type.layer is Layer.PHYSICAL
-                or element_type is ElementType.DEVICE
-                or element_type is ElementType.EQUIPMENT
-            )
-
-        return touches_physical(source_type) and touches_physical(target_type)
+        return _touches_physical(source_type) and _touches_physical(target_type)
     risk_involved = Layer.RISK in (source_type.layer, target_type.layer)
     if risk_involved:
         return relationship in (

@@ -114,6 +114,17 @@ class ComponentTypeLibrary:
         except KeyError:
             raise ModelError("unknown component type %r" % name) from None
 
+    def copy(self, name: Optional[str] = None) -> "ComponentTypeLibrary":
+        """A shallow copy sharing the (immutable) component types.
+
+        Registering further types on the copy leaves the original
+        untouched; the :class:`ComponentType` templates themselves are
+        frozen and safe to share.
+        """
+        duplicate = ComponentTypeLibrary(name or self.name)
+        duplicate._types = dict(self._types)
+        return duplicate
+
     def __contains__(self, name: str) -> bool:
         return name in self._types
 
@@ -139,15 +150,23 @@ class ComponentTypeLibrary:
         merged: Dict[str, object] = dict(component_type.default_properties)
         merged.update(properties or {})
         merged["component_type"] = component_type.name
-        merged["fault_modes"] = [
-            {
-                "name": mode.name,
-                "behaviour": mode.behaviour,
-                "severity": mode.severity,
-                "local_effect": mode.local_effect,
-            }
-            for mode in component_type.fault_modes
-        ]
+        fault_dicts = component_type.__dict__.get("_fault_dicts")
+        if fault_dicts is None:
+            fault_dicts = [
+                {
+                    "name": mode.name,
+                    "behaviour": mode.behaviour,
+                    "severity": mode.severity,
+                    "local_effect": mode.local_effect,
+                }
+                for mode in component_type.fault_modes
+            ]
+            # memoized on the (frozen, shared) template; bypasses the
+            # frozen-dataclass setattr guard on purpose
+            object.__setattr__(component_type, "_fault_dicts", fault_dicts)
+        # fresh outer list per instance (refinement pops/replaces the
+        # key); the per-mode dicts are treated as read-only everywhere
+        merged["fault_modes"] = list(fault_dicts)
         merged["propagation_mode"] = component_type.propagation.mode
         if component_type.propagation.condition_property:
             merged["propagation_condition"] = (
@@ -162,6 +181,10 @@ class ComponentTypeLibrary:
         )
 
 
+#: lazily-built template for :func:`standard_cps_library`
+_STANDARD_CPS: Optional[ComponentTypeLibrary] = None
+
+
 def standard_cps_library() -> ComponentTypeLibrary:
     """The built-in IT/OT component-type library.
 
@@ -169,7 +192,14 @@ def standard_cps_library() -> ComponentTypeLibrary:
     common IT/OT roles, each with validated fault modes mirroring classic
     failure-mode taxonomies (omission, stuck-at, value, crash,
     compromise).
+
+    The library is assembled once per process; every call returns a
+    fresh :meth:`ComponentTypeLibrary.copy` sharing the frozen type
+    templates, so callers may register additional types freely.
     """
+    global _STANDARD_CPS
+    if _STANDARD_CPS is not None:
+        return _STANDARD_CPS.copy()
     library = ComponentTypeLibrary("standard_cps")
     library.define(
         "sensor",
@@ -320,4 +350,5 @@ def standard_cps_library() -> ComponentTypeLibrary:
         ),
         documentation="Safety PLC enforcing interlocks (SIL-rated).",
     )
-    return library
+    _STANDARD_CPS = library
+    return library.copy()

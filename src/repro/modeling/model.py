@@ -27,7 +27,7 @@ class ModelError(Exception):
     """Raised for duplicate ids, dangling endpoints, or type violations."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Element:
     """A model element (component, asset, requirement...)."""
 
@@ -46,7 +46,7 @@ class Element:
         return "%s:%s(%s)" % (self.identifier, self.type.label, self.name)
 
 
-@dataclass
+@dataclass(slots=True)
 class Relationship:
     """A directed, typed relationship between two elements."""
 
@@ -97,16 +97,19 @@ class SystemModel:
         properties: Optional[Mapping[str, object]] = None,
         check: bool = True,
     ) -> Relationship:
-        if source not in self._elements:
+        elements = self._elements
+        source_element = elements.get(source)
+        if source_element is None:
             raise ModelError("unknown source element %r" % source)
-        if target not in self._elements:
+        target_element = elements.get(target)
+        if target_element is None:
             raise ModelError("unknown target element %r" % target)
         if check and not relationship_allowed(
-            type, self._elements[source].type, self._elements[target].type
+            type, source_element.type, target_element.type
         ):
             raise ModelError(
                 "relationship %s not allowed from %s to %s"
-                % (type.value, self._elements[source], self._elements[target])
+                % (type.value, source_element, target_element)
             )
         if identifier is None:
             identifier = "r%d" % next(self._rel_counter)

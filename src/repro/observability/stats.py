@@ -239,6 +239,24 @@ def format_statistics(stats: Mapping[str, Any]) -> str:
             "%d instantiations over %d rounds"
             % (number("grounding.instantiations") or 0, number("grounding.rounds") or 0),
         )
+    index_hits = number("grounding.index.hits")
+    if index_hits is not None:
+        emit(
+            "Index",
+            "%d hits, %d scans, %d delta hits"
+            % (
+                index_hits,
+                number("grounding.index.scans") or 0,
+                number("grounding.index.delta_hits") or 0,
+            ),
+        )
+    cache_hits = number("grounding.cache.hits")
+    cache_misses = number("grounding.cache.misses")
+    if cache_hits is not None or cache_misses is not None:
+        emit(
+            "Ground-cache",
+            "%d hits, %d misses" % (cache_hits or 0, cache_misses or 0),
+        )
     variables = number("solving.variables")
     if variables is not None:
         emit("Variables", "%d" % variables)

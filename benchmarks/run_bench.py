@@ -9,9 +9,19 @@ grounder statistics of two representative workloads so regressions in
 the fast path (argument indexing, ground-program caching, enumeration
 backjumping) show up as counter drift, not just time drift.
 
+Also covered: the multi-shot mitigation sweeps and the sharded EPA
+enumeration, whose baselines are the recorded fresh-control /
+sequential medians, so their speedup columns quantify solver reuse and
+parallel sharding rather than single-solve micro-optimizations.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py [output.json]
+    PYTHONPATH=src python benchmarks/run_bench.py --smoke
+
+``--smoke`` runs every benchmark file once with timing disabled (a CI
+sanity gate: the workloads still build, solve, and agree with their
+embedded correctness assertions) and writes nothing.
 """
 
 import json
@@ -26,6 +36,8 @@ BENCH_FILES = [
     "benchmarks/test_bench_asp_classic.py",
     "benchmarks/test_bench_fig4_refinement.py",
     "benchmarks/test_bench_grounding.py",
+    "benchmarks/test_bench_multishot.py",
+    "benchmarks/test_bench_parallel.py",
 ]
 
 #: medians (seconds) measured immediately before the grounding/solving
@@ -36,6 +48,13 @@ BASELINES_S = {
     "test_bench_cycle_coloring": 0.0386,
     "test_bench_hamiltonian_first_solution": 0.0148,
     "test_bench_fig4_refinement": 0.0001334,
+    # fresh-control-per-query medians of the same sweeps (the multi-shot
+    # baselines), and the sequential fresh-path median of the sharded
+    # enumeration (the parallel baseline; see the bench docstring for
+    # how to read its speedup against the machine's core count)
+    "test_bench_attack_cost_sweep_multishot": 0.6006,
+    "test_bench_budget_sweep_multishot": 2.0191,
+    "test_bench_parallel_analyze_4_workers": 2.1783,
 }
 
 
@@ -61,6 +80,10 @@ def collect_solver_stats():
     from test_bench_asp_classic import queens_program
     from test_bench_grounding import transitive_closure_program
 
+    from repro.mitigation import sweep_budgets
+    from repro.observability import SolveStats
+    from test_bench_multishot import synthetic_problem
+
     clear_ground_cache()
     queens = Control(queens_program(6))
     queens.solve()
@@ -69,7 +92,17 @@ def collect_solver_stats():
     # a second control over the same text exercises the ground cache
     cached = Control(transitive_closure_program(30))
     cached.ground()
+    # a multi-shot budget sweep: one grounding, eight reused solves
+    sweep = SolveStats()
+    sweep_budgets(
+        synthetic_problem(), [10, 20, 30, 40, 60, 80, 120, 160], stats=sweep
+    )
     return {
+        "multishot_budget_sweep": {
+            "solving": {
+                "multishot": sweep.get_path("solving.multishot").to_dict()
+            }
+        },
         "nqueens_6": queens.statistics.to_dict(),
         "transitive_closure_30": closure.statistics.to_dict(),
         "transitive_closure_30_recached": {
@@ -80,7 +113,23 @@ def collect_solver_stats():
     }
 
 
+def run_smoke():
+    """One timing-disabled pass over every bench file (CI gate)."""
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *BENCH_FILES,
+        "-q",
+        "--benchmark-disable",
+    ]
+    completed = subprocess.run(command, cwd=REPO_ROOT)
+    return completed.returncode
+
+
 def main(argv):
+    if "--smoke" in argv[1:]:
+        return run_smoke()
     output = pathlib.Path(argv[1]) if len(argv) > 1 else REPO_ROOT / "BENCH_asp.json"
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
         raw = run_benchmarks(handle.name)
@@ -116,4 +165,4 @@ def main(argv):
 
 
 if __name__ == "__main__":
-    main(sys.argv)
+    sys.exit(main(sys.argv))

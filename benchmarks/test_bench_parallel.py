@@ -1,0 +1,34 @@
+"""Benchmark of the sharded (multi-process) EPA enumeration.
+
+Times a 4-worker fixed-prefix-cube sweep of the water-tank scenario
+space at ``max_faults=3`` (1794 scenarios).  ``run_bench.py`` compares
+the median against the recorded sequential fresh-path baseline, so the
+speedup column in ``BENCH_asp.json`` is the wall-clock effect of
+sharding *on the machine that ran the suite*.
+
+Read that column against ``machine_info.cpu.count``: with one core the
+bench degenerates to measuring the sharding overhead (expect ~0.9x —
+process spawn plus one grounding per shard); the near-linear regime
+needs as many idle cores as workers.
+"""
+
+from repro.casestudy import build_system_model, static_requirements
+from repro.epa import EpaEngine
+
+MAX_FAULTS = 3
+#: C(22,0..3) fault combinations of the 22 water-tank fault pairs
+EXPECTED_SCENARIOS = 1794
+
+
+def test_bench_parallel_analyze_4_workers(benchmark):
+    def sweep():
+        engine = EpaEngine(
+            build_system_model(), static_requirements(), workers=4
+        )
+        return engine, engine.analyze(max_faults=MAX_FAULTS)
+
+    engine, report = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    assert len(report) == EXPECTED_SCENARIOS
+    stats = engine.statistics
+    assert stats["epa"]["parallel"]["shards"] == 4
+    assert stats["epa"]["parallel"]["workers"] == 4

@@ -21,6 +21,7 @@ Subpackages
 ``repro.mitigation``  blocking-set optimization, budgets, cost-benefit
 ``repro.hierarchy``   asset/threat refinement, Fig. 3 matrix, CEGAR
 ``repro.observability`` solver statistics, stage timing, trace sinks
+``repro.parallel``    process/thread worker pools, cube sharding
 ``repro.fta``         classic fault-tree baseline
 ``repro.core``        the 7-phase assessment pipeline (Fig. 1)
 ``repro.casestudy``   the water-tank system of Sec. VII
@@ -39,6 +40,7 @@ __all__ = [
     "mitigation",
     "modeling",
     "observability",
+    "parallel",
     "qualitative",
     "reporting",
     "risk",

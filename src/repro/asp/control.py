@@ -2,8 +2,20 @@
 
 :class:`Control` mimics the small slice of the clingo API the rest of the
 framework uses: accumulate program text, ground once, then enumerate or
-optimize.  Each ``solve``/``optimize`` call builds a fresh SAT encoding
-(from the cached ground program) so repeated calls are independent.
+optimize.  By default each ``solve``/``optimize`` call builds a fresh SAT
+encoding (from the cached ground program) so repeated calls are
+independent.  With ``multishot=True`` the control instead keeps one
+:class:`~repro.asp.solver.StableModelSolver` alive across calls —
+learnt clauses, saved phases and watch lists survive between solves,
+and per-call artifacts (enumeration blocking clauses, optimization
+bounds) are installed behind activation literals and retracted when the
+call returns.  Combine with :meth:`Control.add_external` /
+:meth:`Control.assign_external` (clingo-style external atoms, realized
+as choice rules plus assumptions) to flip problem parameters between
+solves without touching the program text: ground once, solve many.
+Multi-shot traffic is counted under
+``statistics["solving"]["multishot"]``
+(``solves`` / ``reused_learnts`` / ``reground_avoided``).
 
 Like clingo, every control carries a statistics tree: after any
 ``ground``/``solve``/``optimize`` call, :attr:`Control.statistics` is a
@@ -25,7 +37,16 @@ grounder event is re-emitted.  :func:`clear_ground_cache` empties it.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..observability import NULL_SINK, SolveStats, Timer
 from .grounder import Grounder, GroundingError
@@ -50,10 +71,19 @@ def clear_ground_cache() -> None:
 class Control:
     """Accumulate ASP text / facts, then ground and solve."""
 
-    def __init__(self, text: str = "", trace: Optional[object] = None):
+    def __init__(
+        self,
+        text: str = "",
+        trace: Optional[object] = None,
+        multishot: bool = False,
+    ):
         self._program = Program()
         self._trace = trace if trace is not None else NULL_SINK
         self._stats = SolveStats()
+        self._multishot = multishot
+        self._externals: "OrderedDict[Atom, Optional[bool]]" = OrderedDict()
+        self._solver: Optional[StableModelSolver] = None
+        self._solver_snapshot: Dict[str, object] = {}
         if text:
             self.add(text)
         self._ground: Optional[GroundProgram] = None
@@ -74,13 +104,23 @@ class Control:
         """The attached trace sink (a no-op sink by default)."""
         return self._trace
 
+    @property
+    def multishot(self) -> bool:
+        """Whether this control reuses one solver across solve calls."""
+        return self._multishot
+
+    @property
+    def externals(self) -> Dict[Atom, Optional[bool]]:
+        """Current external assignments (``None`` means free)."""
+        return dict(self._externals)
+
     # ------------------------------------------------------------------
     # program construction
     # ------------------------------------------------------------------
     def add(self, text: str) -> None:
         """Parse and append program text; invalidates prior grounding."""
         self._program.extend(parse_program(text))
-        self._ground = None
+        self._invalidate()
 
     def add_fact(self, predicate: str, *arguments: object) -> None:
         """Append a single ground fact built from Python values.
@@ -92,11 +132,75 @@ class Control:
 
         args = tuple(to_term(a) for a in arguments)
         self._program.rules.append(Rule(Atom(predicate, args), ()))
-        self._ground = None
+        self._invalidate()
 
     def add_facts(self, facts: Iterable[Tuple[str, Tuple[object, ...]]]) -> None:
         for predicate, arguments in facts:
             self.add_fact(predicate, *arguments)
+
+    def _invalidate(self) -> None:
+        """Program text changed: drop grounding and any persistent solver."""
+        self._ground = None
+        self._solver = None
+        self._solver_snapshot = {}
+
+    # ------------------------------------------------------------------
+    # external atoms (clingo-style multi-shot parameters)
+    # ------------------------------------------------------------------
+    def add_external(
+        self,
+        external: Union[Atom, str],
+        *arguments: object,
+        value: Optional[bool] = False,
+    ) -> Atom:
+        """Declare a ground atom as an external problem parameter.
+
+        The atom is realized as a singleton choice rule (``{a}.``) so the
+        grounding contains it, and its truth is fixed per solve call by
+        an implicit assumption taken from the current assignment (set via
+        :meth:`assign_external`).  Like clingo, externals default to
+        false; ``value=None`` leaves the atom free.  Declaring the same
+        external twice is a no-op (the assignment is kept).  Returns the
+        external's ground atom.
+        """
+        target = _external_atom(external, arguments)
+        if target not in self._externals:
+            self._externals[target] = value
+            self.add("{ %s }." % target)
+        return target
+
+    def assign_external(
+        self,
+        external: Union[Atom, str],
+        *arguments: object,
+        value: Optional[bool],
+    ) -> None:
+        """Set a declared external's truth (``None`` frees it).
+
+        Only the assignment changes — grounding and any persistent
+        solver are kept, which is the whole point of multi-shot solving.
+        Raises :class:`ValueError` for atoms never passed to
+        :meth:`add_external`.
+        """
+        target = _external_atom(external, arguments)
+        if target not in self._externals:
+            raise ValueError("undeclared external atom: %s" % target)
+        self._externals[target] = value
+
+    def _solve_assumptions(
+        self, assumptions: Sequence[Tuple[Atom, bool]]
+    ) -> List[Tuple[Atom, bool]]:
+        """External assignments plus caller assumptions (caller wins)."""
+        if not self._externals:
+            return list(assumptions)
+        overridden = {target for target, _ in assumptions}
+        merged: List[Tuple[Atom, bool]] = [
+            (target, bool(value))
+            for target, value in self._externals.items()
+            if value is not None and target not in overridden
+        ]
+        merged.extend(assumptions)
+        return merged
 
     # ------------------------------------------------------------------
     # grounding / solving
@@ -127,24 +231,68 @@ class Control:
             self._update_total_time()
         return self._ground
 
+    def _acquire_solver(self) -> StableModelSolver:
+        """A solver for one call: fresh, or the persistent multi-shot one."""
+        ground = self.ground()
+        if not self._multishot:
+            return StableModelSolver(ground, trace=self._trace)
+        if self._solver is None:
+            self._solver = StableModelSolver(ground, trace=self._trace)
+            self._solver_snapshot = {}
+        else:
+            self._stats.incr("solving.multishot.reground_avoided")
+            self._stats.incr(
+                "solving.multishot.reused_learnts",
+                self._solver.statistics["solvers"]["learnt"],
+            )
+        self._stats.incr("solving.multishot.solves")
+        return self._solver
+
     def solve(
         self,
         limit: Optional[int] = None,
         assumptions: Sequence[Tuple[Atom, bool]] = (),
     ) -> List[Model]:
         """Enumerate up to ``limit`` answer sets (all when ``None``)."""
-        ground = self.ground()
+        return list(self.solve_iter(limit=limit, assumptions=assumptions))
+
+    def solve_iter(
+        self,
+        limit: Optional[int] = None,
+        assumptions: Sequence[Tuple[Atom, bool]] = (),
+    ) -> Iterator[Model]:
+        """Stream answer sets as they are found (generator).
+
+        Closing the generator early stops the search; statistics for the
+        partial solve are still recorded.  In multi-shot mode the
+        blocking clauses driving the enumeration are retracted when the
+        generator finishes, so the persistent solver stays clean.
+        """
+        solver = self._acquire_solver()
         timer = Timer().start()
-        solver = StableModelSolver(ground, trace=self._trace)
-        models = list(solver.models(limit=limit, assumptions=assumptions))
-        self._record_solve(solver, timer.stop(), len(models))
-        return models
+        count = 0
+        inner = solver.models(
+            limit=limit,
+            assumptions=self._solve_assumptions(assumptions),
+            retract=self._multishot,
+        )
+        try:
+            for model in inner:
+                count += 1
+                yield model
+        finally:
+            inner.close()
+            self._record_solve(solver, timer.stop(), count)
 
     def first_model(
         self, assumptions: Sequence[Tuple[Atom, bool]] = ()
     ) -> Optional[Model]:
-        models = self.solve(limit=1, assumptions=assumptions)
-        return models[0] if models else None
+        """The first answer set found, or ``None`` (stops immediately)."""
+        iterator = self.solve_iter(limit=1, assumptions=assumptions)
+        try:
+            return next(iterator, None)
+        finally:
+            iterator.close()
 
     def is_satisfiable(
         self, assumptions: Sequence[Tuple[Atom, bool]] = ()
@@ -158,13 +306,13 @@ class Control:
         limit: Optional[int] = None,
     ) -> List[Model]:
         """Optimal model(s) under weak constraints / ``#minimize``."""
-        ground = self.ground()
+        solver = self._acquire_solver()
         timer = Timer().start()
-        solver = StableModelSolver(ground, trace=self._trace)
         models = solver.optimize(
-            assumptions=assumptions,
+            assumptions=self._solve_assumptions(assumptions),
             enumerate_optimal=enumerate_optimal,
             limit=limit,
+            retract=self._multishot,
         )
         costs: Optional[List[int]] = None
         if models and models[0].cost:
@@ -183,10 +331,16 @@ class Control:
         costs: Optional[List[int]] = None,
     ) -> None:
         """Fold one solve call's solver statistics into the tree."""
-        snapshot = dict(solver.statistics)
+        snapshot = _copy_stats(solver.statistics)
         # sizes describe the latest encoding — overwrite, don't sum
         variables = snapshot.pop("variables")
         tight = snapshot.pop("tight")
+        if solver is self._solver:
+            # reused solvers report cumulative counters: merge only the
+            # delta since the previous record, lest calls double-count
+            previous = self._solver_snapshot
+            self._solver_snapshot = snapshot
+            snapshot = _stats_delta(snapshot, previous)
         solving = self._stats.child("solving")
         solving.merge(snapshot)
         solving["variables"] = variables
@@ -228,6 +382,37 @@ class Control:
             else:
                 intersection.intersection_update(model.atoms)
         return frozenset(intersection or set())
+
+
+def _external_atom(external: Union[Atom, str], arguments: Sequence[object]) -> Atom:
+    if isinstance(external, Atom):
+        if arguments:
+            raise TypeError("pass either an Atom or predicate + arguments")
+        return external
+    return Atom(external, tuple(to_term(a) for a in arguments))
+
+
+def _copy_stats(stats: Dict[str, object]) -> Dict[str, object]:
+    """Deep-copy the dict levels of a statistics snapshot."""
+    return {
+        key: _copy_stats(value) if isinstance(value, dict) else value
+        for key, value in stats.items()
+    }
+
+
+def _stats_delta(
+    current: Dict[str, object], previous: Dict[str, object]
+) -> Dict[str, object]:
+    """Numeric leaves become ``current - previous``; the rest pass through."""
+    delta: Dict[str, object] = {}
+    for key, value in current.items():
+        if isinstance(value, dict):
+            delta[key] = _stats_delta(value, previous.get(key, {}))  # type: ignore[arg-type]
+        elif isinstance(value, bool) or not isinstance(value, (int, float)):
+            delta[key] = value
+        else:
+            delta[key] = value - previous.get(key, 0)  # type: ignore[operator]
+    return delta
 
 
 def to_term(value: object) -> Term:

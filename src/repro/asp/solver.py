@@ -83,7 +83,20 @@ class _Support:
 
 
 class StableModelSolver:
-    """Single-shot solver: build the encoding, then enumerate models."""
+    """Build the encoding once, then enumerate models.
+
+    By default the solver is single-shot: enumeration installs permanent
+    blocking clauses and optimization permanently pins the optimum, so a
+    second ``models()``/``optimize()`` call would see a mutilated
+    formula.  Passing ``retract=True`` to either entry point makes the
+    call *retractable*: all call-local clauses (solution-recording
+    blocking clauses, branch-and-bound improvement clauses, the optimum
+    pin) are guarded by a fresh activation literal that is assumed for
+    the duration of the call and permanently falsified when it ends.
+    Learnt clauses, saved phases, variable activities and watch lists
+    survive into the next call — clingo-style multi-shot solving, driven
+    by :class:`~repro.asp.control.Control` in ``multishot`` mode.
+    """
 
     def __init__(self, program: GroundProgram, trace: Optional[object] = None):
         from ..observability import NULL_SINK
@@ -515,7 +528,7 @@ class StableModelSolver:
             self._trace.emit("solver.loop_nogoods", unfounded=len(unfounded))
             self._add_loop_nogoods(unfounded)
 
-    def _block(self, true_atoms: Set[Atom]) -> None:
+    def _block(self, true_atoms: Set[Atom], guard: Optional[int] = None) -> None:
         # Atom variables fixed at level 0 (facts, learnt units) can never
         # flip between models, so blocking clauses range only over the
         # free atoms, computed once at the first block.
@@ -530,6 +543,12 @@ class StableModelSolver:
         clause = [
             -var if atom in true_atoms else var for atom, var in items
         ]
+        if guard is not None:
+            # retractable: the clause only bites while the guard is
+            # assumed true; -guard is false under the current assignment
+            # (the guard is the first assumption), preserving the
+            # add_blocking_clause contract
+            clause.append(-guard)
         # every literal is false under the model still on the trail, so
         # the solver can backjump to the asserting level instead of
         # restarting the search from scratch
@@ -545,26 +564,41 @@ class StableModelSolver:
         self,
         limit: Optional[int] = None,
         assumptions: Sequence[Tuple[Atom, bool]] = (),
+        retract: bool = False,
     ) -> Iterator[Model]:
-        """Enumerate answer sets (ignores weak constraints)."""
+        """Enumerate answer sets (ignores weak constraints).
+
+        With ``retract=True`` the blocking clauses recorded between
+        models are disabled once the generator finishes (or is closed),
+        so the solver can serve further solve calls.
+        """
+        guard = self._sat.new_var() if retract else None
         literals = self._assumption_literals(assumptions)
+        if guard is not None:
+            literals = [guard] + literals
         count = 0
         shown = tuple(self._program.shows)
-        while limit is None or count < limit:
-            # after the first model the blocking clause has already
-            # backjumped to its asserting level: continue from there
-            true_atoms = self._next_stable(literals, restart=(count == 0))
-            if true_atoms is None:
-                return
-            self._models_enumerated += 1
-            self._trace.emit(
-                "solver.model",
-                number=self._models_enumerated,
-                atoms=len(true_atoms),
-            )
-            yield Model(frozenset(true_atoms), self._model_cost(true_atoms), shown)
-            self._block(true_atoms)
-            count += 1
+        try:
+            while limit is None or count < limit:
+                # after the first model the blocking clause has already
+                # backjumped to its asserting level: continue from there
+                true_atoms = self._next_stable(literals, restart=(count == 0))
+                if true_atoms is None:
+                    return
+                self._models_enumerated += 1
+                self._trace.emit(
+                    "solver.model",
+                    number=self._models_enumerated,
+                    atoms=len(true_atoms),
+                )
+                yield Model(frozenset(true_atoms), self._model_cost(true_atoms), shown)
+                self._block(true_atoms, guard)
+                count += 1
+        finally:
+            if guard is not None:
+                # permanently falsify the guard: every clause it guards
+                # becomes satisfied at the top level and stops biting
+                self._sat.add_clause([-guard])
 
     def _assumption_literals(
         self, assumptions: Sequence[Tuple[Atom, bool]]
@@ -585,55 +619,74 @@ class StableModelSolver:
         assumptions: Sequence[Tuple[Atom, bool]] = (),
         enumerate_optimal: bool = False,
         limit: Optional[int] = None,
+        retract: bool = False,
     ) -> List[Model]:
         """Find (one or all) optimal models under the weak constraints.
 
         Lexicographic branch-and-bound over descending priority levels.
         Returns an empty list when unsatisfiable.  Without weak
         constraints this degrades to plain enumeration of one model.
+        With ``retract=True`` the improvement clauses, the optimum pin
+        and any enumeration blocking clauses are disabled when the call
+        returns, so the solver stays reusable.
         """
+        guard = self._sat.new_var() if retract else None
         literals = self._assumption_literals(assumptions)
+        if guard is not None:
+            literals = [guard] + literals
         shown = tuple(self._program.shows)
-        best_atoms = self._next_stable(literals)
-        if best_atoms is None:
-            return []
-        self._models_enumerated += 1
-        if not self._optimize_levels:
-            self._optimal_models += 1
-            model = Model(frozenset(best_atoms), (), shown, optimal=True)
-            return [model]
-        best_cost = self._model_cost(best_atoms)
-        self._trace.emit("solver.bound", cost=list(_cost_key(best_cost)))
         activations: List[int] = []
-        while True:
-            activations.append(self._add_improvement_clause(best_cost))
-            candidate = self._next_stable(literals + activations)
-            if candidate is None:
-                break
-            candidate_cost = self._model_cost(candidate)
-            assert _cost_key(candidate_cost) < _cost_key(best_cost)
-            best_atoms, best_cost = candidate, candidate_cost
+        try:
+            best_atoms = self._next_stable(literals)
+            if best_atoms is None:
+                return []
             self._models_enumerated += 1
-            self._bound_improvements += 1
+            if not self._optimize_levels:
+                self._optimal_models += 1
+                model = Model(frozenset(best_atoms), (), shown, optimal=True)
+                return [model]
+            best_cost = self._model_cost(best_atoms)
             self._trace.emit("solver.bound", cost=list(_cost_key(best_cost)))
-        # pin the optimum and enumerate models achieving it
-        for (priority, level), (_, value) in zip(self._optimize_levels, best_cost):
-            self._sat.add_clause([level.leq(value)])
-        results: List[Model] = []
-        if not enumerate_optimal:
-            self._optimal_models += 1
-            return [Model(frozenset(best_atoms), best_cost, shown, optimal=True)]
-        while limit is None or len(results) < limit:
-            atoms = self._next_stable(literals)
-            if atoms is None:
-                break
-            self._models_enumerated += 1
-            self._optimal_models += 1
-            results.append(
-                Model(frozenset(atoms), self._model_cost(atoms), shown, optimal=True)
-            )
-            self._block(atoms)
-        return results
+            while True:
+                activations.append(self._add_improvement_clause(best_cost))
+                candidate = self._next_stable(literals + activations)
+                if candidate is None:
+                    break
+                candidate_cost = self._model_cost(candidate)
+                assert _cost_key(candidate_cost) < _cost_key(best_cost)
+                best_atoms, best_cost = candidate, candidate_cost
+                self._models_enumerated += 1
+                self._bound_improvements += 1
+                self._trace.emit("solver.bound", cost=list(_cost_key(best_cost)))
+            # pin the optimum and enumerate models achieving it
+            for (priority, level), (_, value) in zip(self._optimize_levels, best_cost):
+                pin = [level.leq(value)]
+                if guard is not None:
+                    pin.insert(0, -guard)
+                self._sat.add_clause(pin)
+            results: List[Model] = []
+            if not enumerate_optimal:
+                self._optimal_models += 1
+                return [Model(frozenset(best_atoms), best_cost, shown, optimal=True)]
+            while limit is None or len(results) < limit:
+                atoms = self._next_stable(literals)
+                if atoms is None:
+                    break
+                self._models_enumerated += 1
+                self._optimal_models += 1
+                results.append(
+                    Model(frozenset(atoms), self._model_cost(atoms), shown, optimal=True)
+                )
+                self._block(atoms, guard)
+            return results
+        finally:
+            if guard is not None:
+                # retract everything this call installed: the guard kills
+                # the optimum pin and the blocking clauses, the
+                # activation units kill the improvement clauses
+                self._sat.add_clause([-guard])
+                for activation in activations:
+                    self._sat.add_clause([-activation])
 
     def _add_improvement_clause(
         self, best_cost: Tuple[Tuple[int, int], ...]

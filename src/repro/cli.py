@@ -18,7 +18,10 @@ The solving commands (``analyze``, ``assess``) take two observability
 flags: ``--stats`` appends a clingo-style statistics summary block
 (grounding sizes, CDCL counters, per-stage times) and ``--trace FILE``
 streams JSON-lines solver events to ``FILE`` (``-`` for human-readable
-lines on stderr).  See ``docs/observability.md``.
+lines on stderr).  See ``docs/observability.md``.  They also take
+``--workers N`` to shard the scenario sweeps over a process pool —
+results are identical to a sequential run (see
+``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -111,7 +114,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print("at least one --requirement is needed", file=sys.stderr)
         return 2
     with open_trace(args.trace) as sink:
-        engine = EpaEngine(model, args.requirement, trace=sink)
+        engine = EpaEngine(
+            model, args.requirement, trace=sink, workers=args.workers
+        )
         report = engine.analyze(max_faults=args.max_faults)
         print(epa_report_table(report, max_rows=args.rows))
         print()
@@ -141,6 +146,7 @@ def _cmd_assess(args: argparse.Namespace) -> int:
             max_faults=args.max_faults,
             budget=args.budget,
             trace=sink,
+            workers=args.workers,
         )
         result = pipeline.run(model, refined_model=refined)
         print(assessment_report(result))
@@ -170,6 +176,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="stream solver trace events as JSON lines to FILE "
         "('-' for human-readable lines on stderr)",
+    )
+    observability.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard scenario sweeps over N worker processes "
+        "(results are identical to a sequential run; "
+        "ignored while --trace is active)",
     )
 
     subparsers.add_parser("matrix", help="print the O-RA risk matrix (Table I)")

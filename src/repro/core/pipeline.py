@@ -104,13 +104,18 @@ class AssessmentPipeline:
         budget: Optional[int] = None,
         fail_on_validation_errors: bool = True,
         trace: Optional[object] = None,
+        workers: Optional[int] = None,
     ):
+        """``workers`` fans the hazard-identification sweeps (phase 4/5)
+        out over a process pool and the CEGAR oracle classification over
+        a thread pool; results are identical to a sequential run."""
         self.requirements = tuple(requirements)
         self.catalog = catalog
         self.max_faults = max_faults
         self.budget = budget
         self.fail_on_validation_errors = fail_on_validation_errors
         self._trace = trace if trace is not None else NULL_SINK
+        self.workers = workers
 
     def run(
         self,
@@ -164,6 +169,7 @@ class AssessmentPipeline:
             fault_mitigations=fault_mitigations,
             extra_mutations=tuple(security_born),
             trace=self._trace,
+            workers=self.workers,
         )
         phases.append(
             PhaseRecord(
@@ -202,6 +208,7 @@ class AssessmentPipeline:
                     m for m in refined_mutations if m.origin_kind != "fault"
                 ),
                 trace=self._trace,
+                workers=self.workers,
             )
             detailed = refined_engine.analyze(
                 active_mitigations=active_mitigations,
@@ -216,6 +223,7 @@ class AssessmentPipeline:
                 max_iterations=2,
                 stats=stats,
                 trace=self._trace,
+                workers=self.workers,
             )
             report = cegar.final_report
             phases.append(

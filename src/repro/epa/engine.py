@@ -12,6 +12,18 @@ issues into one :class:`~repro.observability.SolveStats`, exposed as
 :attr:`EpaEngine.statistics` (per-call counts live under its ``epa``
 section).  Pass ``trace=`` a sink to stream grounder/solver events plus
 ``epa.analyze`` summaries.
+
+Incremental solving: by default the engine keeps one persistent
+multi-shot :class:`~repro.asp.Control` per scenario-choice shape,
+declaring mitigation deployments (``active_mitigation``) and fault
+restrictions (``allowed_fault`` behind an ``epa_restrict`` guard) as
+external atoms — what-if sweeps flip assumptions instead of rebuilding
+and regrounding program text (``incremental=False`` restores the
+fresh-control-per-call path, which differential tests pin against).
+Parallel solving: ``workers=N`` shards :meth:`EpaEngine.analyze` over
+fixed-prefix cubes of the fault-choice space evaluated in a process
+pool; cube shards partition the scenario space, so the merged report is
+identical to a sequential run.
 """
 
 from __future__ import annotations
@@ -22,11 +34,12 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence,
 import networkx as nx
 
 from ..asp import Control, Model, atom
-from ..asp.syntax import Atom
+from ..asp.syntax import Atom, Program
 from ..asp.terms import Number, Symbol
 from ..observability import NULL_SINK, SolveStats
 from ..modeling.model import SystemModel
 from ..modeling.to_asp import to_asp_program
+from ..parallel import ParallelError, parallel_map, split_cubes
 from ..security.mapping import CandidateMutation
 from .faults import FaultRef, error_kind
 from .results import EpaReport, PropagationStep, ScenarioOutcome
@@ -67,12 +80,17 @@ class EpaEngine:
         component_mitigations: Mapping[Tuple[str, str], Sequence[str]] = (),
         extra_mutations: Sequence[CandidateMutation] = (),
         trace: Optional[object] = None,
+        incremental: bool = True,
+        workers: Optional[int] = None,
     ):
         """``fault_mitigations`` maps fault-mode name -> mitigation ids
         (the paper's ``mitigation(F, M)``); ``component_mitigations``
         maps (component, fault) -> mitigation ids; ``trace`` is an
         optional :class:`~repro.observability.TraceSink` threaded into
-        every solve the engine issues."""
+        every solve the engine issues.  ``incremental=False`` rebuilds a
+        fresh control per call instead of reusing persistent multi-shot
+        controls; ``workers`` sets the default process-pool width for
+        :meth:`analyze` (``None``/``1`` = sequential)."""
         names = [r.name for r in requirements]
         if len(set(names)) != len(names):
             raise EpaError("duplicate requirement names")
@@ -89,33 +107,46 @@ class EpaEngine:
         self._graph = model.propagation_graph()
         self._trace = trace if trace is not None else NULL_SINK
         self._stats = SolveStats()
+        self._incremental = incremental
+        self._workers = workers
+        self._base_program: Optional[Program] = None
+        self._controls: Dict[int, Control] = {}
 
     @property
     def statistics(self) -> SolveStats:
         """Aggregated solver statistics across every solve this engine
         issued (``grounding``/``solving``/``summary`` sections merged
-        per call; scenario counts under ``epa``)."""
-        return self._stats
+        per call; scenario counts under ``epa``).  Returns a merged
+        snapshot: persistent multi-shot controls contribute their
+        cumulative trees alongside the per-call aggregate."""
+        merged = SolveStats()
+        merged.merge(self._stats)
+        for control in self._controls.values():
+            merged.merge(control.statistics)
+        return merged
 
     # ------------------------------------------------------------------
     # program assembly
     # ------------------------------------------------------------------
-    def _base_control(
-        self,
-        active_mitigations: Mapping[str, Sequence[str]],
-    ) -> Control:
-        control = Control(trace=self._trace)
-        control._program.extend(to_asp_program(self.model))
-        control.add(epa_rule_base())
+    def _assemble_base_program(self) -> Program:
+        """The mitigation-independent program slice, built once per
+        engine (model facts, rule base, mutations, mitigation
+        declarations, requirements) so every control — and the
+        process-wide ground-program LRU — reuses one rendering."""
+        if self._base_program is not None:
+            return self._base_program
+        builder = Control()
+        builder._program.extend(to_asp_program(self.model))
+        builder.add(epa_rule_base())
         for mutation in self.extra_mutations:
-            control.add_fact("fault_mode", mutation.component, mutation.fault)
-            control.add_fact(
+            builder.add_fact("fault_mode", mutation.component, mutation.fault)
+            builder.add_fact(
                 "fault_behaviour",
                 mutation.component,
                 mutation.fault,
                 mutation.behaviour,
             )
-            control.add_fact(
+            builder.add_fact(
                 "fault_severity",
                 mutation.component,
                 mutation.fault,
@@ -123,26 +154,158 @@ class EpaEngine:
             )
         for fault, mitigations in sorted(self.fault_mitigations.items()):
             for mitigation in mitigations:
-                control.add_fact("mitigation", fault, _mitigation_symbol(mitigation))
+                builder.add_fact("mitigation", fault, _mitigation_symbol(mitigation))
         for (component, fault), mitigations in sorted(
             self.component_mitigations.items()
         ):
             for mitigation in mitigations:
-                control.add_fact(
+                builder.add_fact(
                     "mitigation", component, fault, _mitigation_symbol(mitigation)
                 )
+        for requirement in self.requirements:
+            builder.add_fact("requirement", _requirement_symbol(requirement.name))
+            builder.add(
+                "violated(%s) :- %s."
+                % (_requirement_symbol(requirement.name), requirement.condition)
+            )
+        self._base_program = builder._program
+        return self._base_program
+
+    def _base_control(
+        self,
+        active_mitigations: Mapping[str, Sequence[str]],
+    ) -> Control:
+        control = Control(trace=self._trace)
+        control._program.extend(self._assemble_base_program())
         for component, mitigations in sorted(dict(active_mitigations).items()):
             for mitigation in mitigations:
                 control.add_fact(
                     "active_mitigation", component, _mitigation_symbol(mitigation)
                 )
-        for requirement in self.requirements:
-            control.add_fact("requirement", _requirement_symbol(requirement.name))
-            control.add(
-                "violated(%s) :- %s."
-                % (_requirement_symbol(requirement.name), requirement.condition)
-            )
         return control
+
+    def _incremental_control(self, max_faults: int) -> Control:
+        """The persistent multi-shot control for one choice shape.
+
+        Mitigation deployments and fault restrictions are declared as
+        externals, so later calls only flip assumptions: one grounding,
+        one SAT encoding, learnt clauses shared across the sweep.
+        """
+        control = self._controls.get(max_faults)
+        if control is None:
+            control = Control(trace=self._trace, multishot=True)
+            control._program.extend(self._assemble_base_program())
+            control.add(scenario_choice(max_faults))
+            # restriction machinery: inert while epa_restrict is false
+            control.add(
+                ":- active_fault(C, F), not allowed_fault(C, F), epa_restrict."
+            )
+            control.add_external("epa_restrict")
+            for ref in self._fault_pairs():
+                control.add_external("allowed_fault", ref.component, ref.fault)
+            for component, mitigation in self._relevant_mitigation_pairs():
+                control.add_external("active_mitigation", component, mitigation)
+            self._controls[max_faults] = control
+        return control
+
+    def _fault_pairs(self) -> List[FaultRef]:
+        """Every declared (component, fault-mode) pair, model order."""
+        pairs: List[FaultRef] = []
+        seen: Set[FaultRef] = set()
+        for element in self.model.elements:
+            for fault in element.properties.get("fault_modes", []) or []:
+                ref = FaultRef(element.identifier, fault["name"])
+                if ref not in seen:
+                    seen.add(ref)
+                    pairs.append(ref)
+        for mutation in self.extra_mutations:
+            ref = FaultRef(mutation.component, mutation.fault)
+            if ref not in seen:
+                seen.add(ref)
+                pairs.append(ref)
+        return pairs
+
+    def _relevant_mitigation_pairs(self) -> List[Tuple[str, str]]:
+        """(component, mitigation-symbol) pairs that can suppress a
+        fault — the external universe; deployments outside it have no
+        semantic effect (``covers`` requires a declaration)."""
+        pairs: List[Tuple[str, str]] = []
+        seen: Set[Tuple[str, str]] = set()
+        for ref in self._fault_pairs():
+            for mitigation in self.fault_mitigations.get(ref.fault, ()):
+                pair = (ref.component, _mitigation_symbol(mitigation))
+                if pair not in seen:
+                    seen.add(pair)
+                    pairs.append(pair)
+        for (component, _fault), mitigations in sorted(
+            self.component_mitigations.items()
+        ):
+            for mitigation in mitigations:
+                pair = (component, _mitigation_symbol(mitigation))
+                if pair not in seen:
+                    seen.add(pair)
+                    pairs.append(pair)
+        return pairs
+
+    def _potential_faults(
+        self, active_mitigations: Mapping[str, Sequence[str]]
+    ) -> List[FaultRef]:
+        """Python mirror of the ASP suppression logic: the fault pairs
+        not suppressed by the given deployment (= the scenario-choice
+        space the solver sees)."""
+        active = {
+            (component, _mitigation_symbol(mitigation))
+            for component, mitigations in dict(active_mitigations).items()
+            for mitigation in mitigations
+        }
+        potential: List[FaultRef] = []
+        for ref in self._fault_pairs():
+            covering = {
+                _mitigation_symbol(m)
+                for m in self.fault_mitigations.get(ref.fault, ())
+            }
+            covering.update(
+                _mitigation_symbol(m)
+                for m in self.component_mitigations.get(
+                    (ref.component, ref.fault), ()
+                )
+            )
+            if not any((ref.component, m) in active for m in covering):
+                potential.append(ref)
+        return potential
+
+    def _assign_externals(
+        self,
+        control: Control,
+        deployment: Mapping[str, Sequence[str]],
+        restrict: Optional[Sequence[FaultRef]],
+    ) -> None:
+        """Pin every external for one call (no free externals: models
+        must match the fresh-control path exactly)."""
+        active = {
+            (component, _mitigation_symbol(mitigation))
+            for component, mitigations in deployment.items()
+            for mitigation in mitigations
+        }
+        for component, mitigation in self._relevant_mitigation_pairs():
+            control.assign_external(
+                "active_mitigation",
+                component,
+                mitigation,
+                value=(component, mitigation) in active,
+            )
+        restricted = restrict is not None
+        control.assign_external("epa_restrict", value=restricted)
+        allowed = (
+            {(f.component, f.fault) for f in restrict} if restricted else set()
+        )
+        for ref in self._fault_pairs():
+            control.assign_external(
+                "allowed_fault",
+                ref.component,
+                ref.fault,
+                value=restricted and (ref.component, ref.fault) in allowed,
+            )
 
     # ------------------------------------------------------------------
     # analysis
@@ -154,6 +317,7 @@ class EpaEngine:
         restrict_faults: Optional[Iterable[FaultRef]] = None,
         with_paths: bool = False,
         limit: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> EpaReport:
         """Enumerate and evaluate the scenario space.
 
@@ -161,34 +325,142 @@ class EpaEngine:
         ``max_faults`` bounds simultaneous fault activations (0 =
         unbounded); ``restrict_faults`` limits the scenario space to a
         subset of fault refs (used for targeted what-if queries).
+        ``workers`` (default: the engine's) shards the enumeration over
+        a process pool; sharding kicks in only for full enumerations
+        (``limit=None``) without a trace sink — observability wins.
         """
-        control = self._base_control(dict(active_mitigations or {}))
-        control.add(scenario_choice(max_faults))
-        if restrict_faults is not None:
-            for fault in restrict_faults:
-                control.add_fact("allowed_fault", fault.component, fault.fault)
-            control.add(
-                ":- active_fault(C, F), not allowed_fault(C, F)."
+        deployment = {
+            component: tuple(ms)
+            for component, ms in dict(active_mitigations or {}).items()
+        }
+        restrict = (
+            list(restrict_faults) if restrict_faults is not None else None
+        )
+        if workers is None:
+            workers = self._workers
+        if (
+            workers
+            and workers > 1
+            and limit is None
+            and self._trace is NULL_SINK
+        ):
+            report = self._analyze_parallel(
+                deployment, max_faults, restrict, with_paths, workers
             )
-        outcomes = [
-            self._extract(model, with_paths)
-            for model in control.solve(limit=limit)
-        ]
-        self._fold_statistics(control, scenarios=len(outcomes))
+        elif self._incremental:
+            report = self._analyze_incremental(
+                deployment, max_faults, restrict, with_paths, limit
+            )
+        else:
+            report = self._analyze_fresh(
+                deployment, max_faults, restrict, with_paths, limit
+            )
+        outcomes = report.outcomes
         self._trace.emit(
             "epa.analyze",
             scenarios=len(outcomes),
             violating=sum(1 for o in outcomes if o.violated),
             max_faults=max_faults,
         )
-        return EpaReport(
-            outcomes,
-            [r.name for r in self.requirements],
-            {
-                component: tuple(ms)
-                for component, ms in dict(active_mitigations or {}).items()
-            },
+        return report
+
+    def _analyze_incremental(
+        self,
+        deployment: Mapping[str, Sequence[str]],
+        max_faults: int,
+        restrict: Optional[Sequence[FaultRef]],
+        with_paths: bool,
+        limit: Optional[int],
+    ) -> EpaReport:
+        control = self._incremental_control(max_faults)
+        self._assign_externals(control, deployment, restrict)
+        outcomes = [
+            self._extract(model, with_paths)
+            for model in control.solve(limit=limit)
+        ]
+        self._note_analysis(scenarios=len(outcomes))
+        return self._report(outcomes, deployment)
+
+    def _analyze_fresh(
+        self,
+        deployment: Mapping[str, Sequence[str]],
+        max_faults: int,
+        restrict: Optional[Sequence[FaultRef]],
+        with_paths: bool,
+        limit: Optional[int],
+        cube: Sequence[Tuple[Tuple[str, str], bool]] = (),
+    ) -> EpaReport:
+        control = self._base_control(deployment)
+        control.add(scenario_choice(max_faults))
+        if restrict is not None:
+            for fault in restrict:
+                control.add_fact("allowed_fault", fault.component, fault.fault)
+            control.add(
+                ":- active_fault(C, F), not allowed_fault(C, F)."
+            )
+        for (component, fault), value in cube:
+            if value:
+                control.add(":- not active_fault(%s, %s)." % (component, fault))
+            else:
+                control.add(":- active_fault(%s, %s)." % (component, fault))
+        outcomes = [
+            self._extract(model, with_paths)
+            for model in control.solve(limit=limit)
+        ]
+        self._fold_statistics(control, scenarios=len(outcomes))
+        return self._report(outcomes, deployment)
+
+    def _analyze_parallel(
+        self,
+        deployment: Mapping[str, Sequence[str]],
+        max_faults: int,
+        restrict: Optional[Sequence[FaultRef]],
+        with_paths: bool,
+        workers: int,
+    ) -> EpaReport:
+        """Shard the enumeration over fixed-prefix cubes in a pool.
+
+        The cubes partition the fault-choice space, so every scenario is
+        enumerated by exactly one worker and the merged (canonically
+        sorted) report equals the sequential one.
+        """
+        choices = self._potential_faults(deployment)
+        if restrict is not None:
+            allowed = {(f.component, f.fault) for f in restrict}
+            choices = [
+                ref for ref in choices if (ref.component, ref.fault) in allowed
+            ]
+        cubes = split_cubes(
+            [(ref.component, ref.fault) for ref in choices], workers
         )
+        payloads = [
+            {
+                "model": self.model,
+                "requirements": self.requirements,
+                "fault_mitigations": self.fault_mitigations,
+                "component_mitigations": self.component_mitigations,
+                "extra_mutations": self.extra_mutations,
+                "active_mitigations": dict(deployment),
+                "max_faults": max_faults,
+                "restrict": restrict,
+                "with_paths": with_paths,
+                "cube": cube,
+            }
+            for cube in cubes
+        ]
+        try:
+            shards = parallel_map(_cube_worker, payloads, workers=workers)
+        except ParallelError as error:
+            raise EpaError(
+                "parallel EPA analysis failed: %s" % error
+            ) from error
+        outcomes = [outcome for shard, _ in shards for outcome in shard]
+        for _, shard_stats in shards:
+            self._stats.merge(shard_stats)
+        self._stats.incr("epa.parallel.shards", len(cubes))
+        self._stats.set("epa.parallel.workers", workers)
+        self._note_analysis(scenarios=len(outcomes))
+        return self._report(outcomes, deployment)
 
     def analyze_scenario(
         self,
@@ -202,17 +474,52 @@ class EpaEngine:
         mirroring the paper's workflow where activating a mitigation
         "allows excluding this specific scenario from the evaluation".
         """
-        control = self._base_control(dict(active_mitigations or {}))
-        for fault in faults:
-            control.add(
-                "active_fault(%s, %s) :- potential_fault(%s, %s)."
-                % (fault.component, fault.fault, fault.component, fault.fault)
-            )
-        models = control.solve(limit=1)
-        self._fold_statistics(control, scenarios=len(models))
+        deployment = {
+            component: tuple(ms)
+            for component, ms in dict(active_mitigations or {}).items()
+        }
+        if self._incremental:
+            control = self._incremental_control(0)
+            self._assign_externals(control, deployment, None)
+            requested = {(f.component, f.fault) for f in faults}
+            assumptions = [
+                (
+                    atom("active_fault", ref.component, ref.fault),
+                    (ref.component, ref.fault) in requested,
+                )
+                for ref in self._potential_faults(deployment)
+            ]
+            models = control.solve(limit=1, assumptions=assumptions)
+            self._note_analysis(scenarios=len(models))
+        else:
+            control = self._base_control(deployment)
+            for fault in faults:
+                control.add(
+                    "active_fault(%s, %s) :- potential_fault(%s, %s)."
+                    % (fault.component, fault.fault, fault.component, fault.fault)
+                )
+            models = control.solve(limit=1)
+            self._fold_statistics(control, scenarios=len(models))
         if not models:
             raise EpaError("scenario program unexpectedly unsatisfiable")
         return self._extract(models[0], with_paths)
+
+    def _report(
+        self,
+        outcomes: Sequence[ScenarioOutcome],
+        deployment: Mapping[str, Sequence[str]],
+    ) -> EpaReport:
+        return EpaReport(
+            outcomes,
+            [r.name for r in self.requirements],
+            {component: tuple(ms) for component, ms in deployment.items()},
+        )
+
+    def _note_analysis(self, scenarios: int) -> None:
+        """Count one incremental/parallel analysis (solver statistics
+        live on the persistent controls / worker shards)."""
+        self._stats.incr("epa.analyze_calls")
+        self._stats.incr("epa.scenarios", scenarios)
 
     def _fold_statistics(self, control: Control, scenarios: int) -> None:
         """Merge one solve's stats into the engine-level aggregate."""
@@ -286,6 +593,38 @@ class EpaEngine:
                     PropagationStep(a, b) for a, b in zip(best, best[1:])
                 )
         return paths
+
+
+def _cube_worker(
+    payload: Dict[str, object]
+) -> Tuple[List[ScenarioOutcome], Dict[str, object]]:
+    """Evaluate one fixed-prefix cube of the fault-choice space.
+
+    Runs in a child process: rebuilds a fresh (non-incremental) engine
+    from the pickled model pieces, enumerates the cube's shard through
+    the legacy fresh-control path, and ships the outcomes plus the
+    solver statistics back for merging.
+    """
+    engine = EpaEngine(
+        payload["model"],
+        payload["requirements"],
+        fault_mitigations=payload["fault_mitigations"],
+        component_mitigations=payload["component_mitigations"],
+        extra_mutations=payload["extra_mutations"],
+        incremental=False,
+    )
+    report = engine._analyze_fresh(
+        payload["active_mitigations"],
+        payload["max_faults"],
+        payload["restrict"],
+        payload["with_paths"],
+        None,
+        cube=payload["cube"],
+    )
+    stats = engine.statistics.to_dict()
+    # per-cube call counts would inflate the parent's epa section
+    stats.pop("epa", None)
+    return list(report.outcomes), stats
 
 
 def _mitigation_symbol(identifier: str) -> str:

@@ -17,9 +17,11 @@ exhaustive analysis uses — weak constraints on ``active_fault``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
-from .engine import EpaEngine
+from ..asp import Control
+from ..parallel import ParallelError, parallel_map
+from .engine import EpaEngine, _mitigation_symbol
 from .faults import FaultRef
 from .results import ScenarioOutcome
 from .rules import scenario_choice
@@ -136,6 +138,8 @@ def attack_cost_of_mitigation(
     requirement: str,
     mitigation_deployments: Sequence[Mapping[str, Sequence[str]]],
     costs: Optional[Mapping[FaultRef, int]] = None,
+    workers: Optional[int] = None,
+    multishot: bool = True,
 ) -> Dict[int, Optional[int]]:
     """How much each candidate deployment raises the attacker's bill.
 
@@ -143,16 +147,132 @@ def attack_cost_of_mitigation(
     the requirement becomes unviolatable): the security gain of a
     mitigation is precisely this cost increase (the economic reading of
     "blocking" in Sec. IV-D).
+
+    By default the whole sweep runs on one persistent multi-shot
+    control: deployments are external-atom assignments, so the attack
+    program grounds once and every optimization call reuses the same
+    solver.  ``multishot=False`` restores the fresh-control-per-
+    deployment loop (the differential baseline); ``workers=N`` fans the
+    deployments out over a process pool instead (each worker runs the
+    fresh path).
     """
+    if workers and workers > 1:
+        return _sweep_parallel(
+            engine, requirement, mitigation_deployments, costs, workers
+        )
+    if not multishot:
+        results: Dict[int, Optional[int]] = {}
+        for index, deployment in enumerate(mitigation_deployments):
+            try:
+                results[index] = cheapest_attack(
+                    engine, requirement, costs, deployment
+                ).objective
+            except OptimalQueryError:
+                results[index] = None
+        return results
+    return _sweep_multishot(engine, requirement, mitigation_deployments, costs)
+
+
+def _sweep_multishot(
+    engine: EpaEngine,
+    requirement: str,
+    mitigation_deployments: Sequence[Mapping[str, Sequence[str]]],
+    costs: Optional[Mapping[FaultRef, int]],
+) -> Dict[int, Optional[int]]:
+    """One persistent control, one grounding; deployments are assumptions."""
+    if requirement not in {r.name for r in engine.requirements}:
+        raise OptimalQueryError("unknown requirement %r" % requirement)
+    cost_map = dict(costs) if costs is not None else _default_costs(engine)
+    control = Control(trace=engine._trace, multishot=True)
+    control._program.extend(engine._assemble_base_program())
+    control.add(scenario_choice(0))
+    control.add(":- not violated(%s)." % _requirement_symbol(requirement))
+    for fault, cost in sorted(cost_map.items(), key=lambda kv: str(kv[0])):
+        control.add_fact("attack_cost", fault.component, fault.fault, cost)
+    control.add(
+        ":~ active_fault(C, F), attack_cost(C, F, W). [W@1, C, F]"
+    )
+    control.add("priced(C, F) :- attack_cost(C, F, _).")
+    control.add(":~ active_fault(C, F), not priced(C, F). [1@1, C, F]")
+    pairs = engine._relevant_mitigation_pairs()
+    for component, mitigation in pairs:
+        control.add_external("active_mitigation", component, mitigation)
     results: Dict[int, Optional[int]] = {}
     for index, deployment in enumerate(mitigation_deployments):
-        try:
-            results[index] = cheapest_attack(
-                engine, requirement, costs, deployment
-            ).objective
-        except OptimalQueryError:
+        active = {
+            (component, _mitigation_symbol(mitigation))
+            for component, mitigations in dict(deployment or {}).items()
+            for mitigation in mitigations
+        }
+        for component, mitigation in pairs:
+            control.assign_external(
+                "active_mitigation",
+                component,
+                mitigation,
+                value=(component, mitigation) in active,
+            )
+        models = control.optimize()
+        if not models:
             results[index] = None
+        else:
+            results[index] = models[0].cost[0][1] if models[0].cost else 0
+    engine._stats.merge(control.statistics)
+    engine._stats.incr("epa.deployment_sweeps")
     return results
+
+
+def _sweep_parallel(
+    engine: EpaEngine,
+    requirement: str,
+    mitigation_deployments: Sequence[Mapping[str, Sequence[str]]],
+    costs: Optional[Mapping[FaultRef, int]],
+    workers: int,
+) -> Dict[int, Optional[int]]:
+    """Fan independent deployments out over a process pool."""
+    cost_map = dict(costs) if costs is not None else None
+    payloads = [
+        {
+            "model": engine.model,
+            "requirements": engine.requirements,
+            "fault_mitigations": engine.fault_mitigations,
+            "component_mitigations": engine.component_mitigations,
+            "extra_mutations": engine.extra_mutations,
+            "requirement": requirement,
+            "costs": cost_map,
+            "deployment": dict(deployment or {}),
+        }
+        for deployment in mitigation_deployments
+    ]
+    try:
+        objectives: List[Optional[int]] = parallel_map(
+            _deployment_worker, payloads, workers=workers
+        )
+    except ParallelError as error:
+        raise OptimalQueryError(
+            "parallel deployment sweep failed: %s" % error
+        ) from error
+    return {index: objective for index, objective in enumerate(objectives)}
+
+
+def _deployment_worker(payload: Dict[str, object]) -> Optional[int]:
+    """Evaluate one deployment in a child process (fresh engine)."""
+    engine = EpaEngine(
+        payload["model"],
+        payload["requirements"],
+        fault_mitigations=payload["fault_mitigations"],
+        component_mitigations=payload["component_mitigations"],
+        extra_mutations=payload["extra_mutations"],
+        incremental=False,
+    )
+    try:
+        return cheapest_attack(
+            engine,
+            payload["requirement"],
+            payload["costs"],
+            payload["deployment"],
+        ).objective
+    except OptimalQueryError:
+        return None
 
 
 def _requirement_symbol(name: str) -> str:

@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..epa.results import EpaReport, ScenarioOutcome
 from ..observability import NULL_SINK, SolveStats, Timer
+from ..parallel import parallel_map
 
 
 class CegarError(Exception):
@@ -101,6 +102,7 @@ def cegar_loop(
     max_iterations: int = 10,
     stats: Optional[SolveStats] = None,
     trace: Optional[object] = None,
+    workers: Optional[int] = None,
 ) -> CegarResult:
     """Run analyze -> classify -> refine until no spurious candidates
     remain (or refinement is exhausted).
@@ -113,6 +115,10 @@ def cegar_loop(
     ``stats`` (a :class:`~repro.observability.SolveStats`) accumulates
     per-iteration counts and analysis times under its ``cegar`` section;
     ``trace`` receives one ``cegar.iteration`` event per level.
+    ``workers`` classifies each iteration's candidates through the
+    oracle on a thread pool (oracles are closures, so the process
+    backend is out); verdict order — and thus the confirmed/spurious
+    split — is identical to the sequential loop.
     """
     if max_iterations < 1:
         raise CegarError("need at least one iteration")
@@ -124,8 +130,12 @@ def cegar_loop(
         report = current()
         elapsed = timer.stop()
         iteration = CegarIteration(level, report)
-        for outcome in report.violating():
-            if oracle(outcome):
+        candidates = list(report.violating())
+        verdicts = parallel_map(
+            oracle, candidates, workers=workers, backend="thread"
+        )
+        for outcome, verdict in zip(candidates, verdicts):
+            if verdict:
                 iteration.confirmed.append(outcome)
             else:
                 iteration.spurious.append(outcome)

@@ -12,7 +12,9 @@ Sec. IV-C (mitigation selection as a covering problem)
     ``stats=``/``trace=`` observability hooks), :func:`optimize_greedy`,
     :func:`optimize_exhaustive`, :class:`OptimizationError`;
 Sec. IV-D (budgets and phased deployment)
-    :func:`plan_phases`, :class:`MultiPhasePlan`, :class:`PhasePlan`;
+    :func:`plan_phases`, :func:`sweep_budgets` (multi-shot/parallel
+    what-if over candidate budgets), :class:`MultiPhasePlan`,
+    :class:`PhasePlan`;
 cost models and balance sheets
     :class:`MitigationCost`, :class:`AttackCostModel`,
     :class:`FailureCostModel`, :func:`risk_weight`, :data:`RISK_WEIGHT`,
@@ -40,6 +42,7 @@ from .optimizer import (
     optimize_asp,
     optimize_exhaustive,
     optimize_greedy,
+    sweep_budgets,
 )
 from .planning import MultiPhasePlan, PhasePlan, plan_phases
 
@@ -62,4 +65,5 @@ __all__ = [
     "optimize_greedy",
     "plan_phases",
     "risk_weight",
+    "sweep_budgets",
 ]

@@ -27,6 +27,7 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tupl
 
 from ..asp import Control
 from ..observability import SolveStats
+from ..parallel import ParallelError, parallel_map
 from .costs import risk_weight
 
 
@@ -131,9 +132,10 @@ def _asp_name(identifier: str) -> str:
 def _problem_control(
     problem: BlockingProblem,
     trace: Optional[object] = None,
+    multishot: bool = False,
 ) -> Tuple[Control, Dict[str, str], Dict[str, str]]:
     problem.validate()
-    control = Control(trace=trace)
+    control = Control(trace=trace, multishot=multishot)
     names: Dict[str, str] = {}
     forward: Dict[str, str] = {}
     for mitigation in sorted(problem.mitigation_costs):
@@ -212,6 +214,82 @@ def optimize_asp(
         if a.predicate == "deploy"
     }
     return _evaluate(problem, deployed)
+
+
+def sweep_budgets(
+    problem: BlockingProblem,
+    budgets: Sequence[int],
+    stats: Optional[SolveStats] = None,
+    trace: Optional[object] = None,
+    workers: Optional[int] = None,
+    multishot: bool = True,
+) -> Dict[int, MitigationPlan]:
+    """The budget-constrained plan for every candidate budget.
+
+    The what-if question behind phased planning: "what does each extra
+    unit of budget buy?".  By default all budgets are solved on one
+    persistent multi-shot control — each budget's ``#sum`` cap is
+    guarded by a ``budget_active(B)`` external, and the sweep flips one
+    external per solve instead of regrounding.  ``workers=N`` fans the
+    budgets out over a process pool (fresh control per budget);
+    ``multishot=False`` loops :func:`optimize_asp` (the differential
+    baseline).  Returns budget -> plan, duplicates collapsed.
+    """
+    distinct = sorted(set(budgets))
+    if workers and workers > 1:
+        payloads = [(problem, budget) for budget in distinct]
+        try:
+            plans = parallel_map(_budget_worker, payloads, workers=workers)
+        except ParallelError as error:
+            raise OptimizationError(
+                "parallel budget sweep failed: %s" % error
+            ) from error
+        return dict(zip(distinct, plans))
+    if not multishot:
+        return {
+            budget: optimize_asp(problem, budget, stats=stats, trace=trace)
+            for budget in distinct
+        }
+    control, names, _scenario_names = _problem_control(
+        problem, trace=trace, multishot=True
+    )
+    control.add(
+        ":~ scenario(S), scenario_weight(S, W), not blocked(S). [W@2, S]"
+    )
+    control.add(":~ deploy(M), cost(M, C). [C@1, M]")
+    for budget in distinct:
+        control.add(
+            ":- budget_active(%d), #sum { C, M : deploy(M), cost(M, C) } > %d."
+            % (budget, budget)
+        )
+        control.add_external("budget_active", budget)
+    plans: Dict[int, MitigationPlan] = {}
+    for budget in distinct:
+        for other in distinct:
+            control.assign_external("budget_active", other, value=other == budget)
+        models = control.optimize()
+        if stats is not None:
+            stats.incr("mitigation.optimize_calls")
+        if not models:
+            raise OptimizationError(
+                "no feasible mitigation plan within budget %d" % budget
+            )
+        deployed = {
+            names[str(a.arguments[0])]
+            for a in models[0].atoms
+            if a.predicate == "deploy"
+        }
+        plans[budget] = _evaluate(problem, deployed)
+    if stats is not None:
+        stats.merge(control.statistics)
+        stats.incr("mitigation.budget_sweeps")
+    return plans
+
+
+def _budget_worker(payload: Tuple[BlockingProblem, int]) -> MitigationPlan:
+    """Solve one budget in a child process (fresh control)."""
+    problem, budget = payload
+    return optimize_asp(problem, budget)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,115 @@
+"""Worker-pool evaluation layer for independent solve calls.
+
+The paper's workflow (Fig. 1) is a loop of *independent* solver
+invocations: EPA scenario sweeps, what-if mitigation deployments,
+sensitivity-analysis factor variations.  :func:`parallel_map` fans such
+batches out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+(or a thread pool, for callables that close over unpicklable state such
+as CEGAR oracles) while keeping the results in submission order, so
+parallel runs stay bit-identical to sequential ones.
+
+:func:`split_cubes` turns a list of binary choices — e.g. the EPA
+fault-activation atoms — into ``2**k`` fixed-prefix cubes: every cube
+pins the first ``k`` choices to one concrete truth assignment and
+leaves the rest open.  The cubes partition the search space, so
+sharding an enumeration over them yields each model exactly once, and
+the union of the shards equals the unsharded enumeration.
+
+:func:`merge_stats` folds per-worker statistics dictionaries into one
+:class:`~repro.observability.SolveStats` tree (numeric leaves sum), so
+``--stats`` output still accounts for work done in child processes.
+
+Pool-level failures — a worker killed by the OS, unpicklable payloads —
+surface as :class:`ParallelError` instead of a hang; exceptions *raised
+by* the mapped function propagate unchanged.
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from .observability import SolveStats
+
+_Item = TypeVar("_Item")
+_Result = TypeVar("_Result")
+
+
+class ParallelError(RuntimeError):
+    """A worker pool failed (crashed worker, unpicklable payload)."""
+
+
+def parallel_map(
+    function: Callable[[_Item], _Result],
+    items: Iterable[_Item],
+    workers: Optional[int] = None,
+    backend: str = "process",
+) -> List[_Result]:
+    """Map ``function`` over ``items``, preserving submission order.
+
+    ``workers=None`` / ``0`` / ``1`` (or a single item) runs sequentially
+    in-process — the degenerate case costs nothing and keeps behaviour
+    identical for small batches.  ``backend`` selects ``"process"``
+    (default; requires picklable functions and items) or ``"thread"``
+    (for closures; parallelism then depends on workers releasing the
+    GIL, but ordering and error semantics are the same).
+    """
+    batch = list(items)
+    if not workers or workers <= 1 or len(batch) <= 1:
+        return [function(item) for item in batch]
+    if backend == "process":
+        executor_type = ProcessPoolExecutor
+    elif backend == "thread":
+        executor_type = ThreadPoolExecutor
+    else:
+        raise ValueError("unknown backend: %r" % (backend,))
+    pool_workers = min(workers, len(batch))
+    try:
+        with executor_type(max_workers=pool_workers) as pool:
+            futures: List["Future[_Result]"] = [
+                pool.submit(function, item) for item in batch
+            ]
+            return [future.result() for future in futures]
+    except BrokenProcessPool as error:
+        raise ParallelError(
+            "worker pool broke while evaluating %d items: %s"
+            % (len(batch), error)
+        ) from error
+
+
+def split_cubes(
+    choices: Sequence[_Item], workers: int
+) -> List[Tuple[Tuple[_Item, bool], ...]]:
+    """Fixed-prefix cubes partitioning the space over binary ``choices``.
+
+    Pins the first ``k = ceil(log2(workers))`` choices (capped at the
+    number of choices available) to every combination of truth values,
+    producing ``2**k >= workers`` disjoint cubes whose union covers the
+    full space.  Deterministic: cube order follows
+    ``itertools.product((False, True), ...)`` over the choice prefix.
+    With no choices (or a single worker) there is one empty cube.
+    """
+    if workers <= 1 or not choices:
+        return [()]
+    prefix_length = 0
+    while (1 << prefix_length) < workers and prefix_length < len(choices):
+        prefix_length += 1
+    prefix = list(choices[:prefix_length])
+    return [
+        tuple(zip(prefix, values))
+        for values in itertools.product((False, True), repeat=prefix_length)
+    ]
+
+
+def merge_stats(
+    target: SolveStats, parts: Iterable[Dict[str, object]]
+) -> SolveStats:
+    """Fold per-worker statistics dicts into ``target`` (leaves sum)."""
+    for part in parts:
+        target.merge(part)
+    return target
+
+
+__all__ = ["ParallelError", "parallel_map", "split_cubes", "merge_stats"]

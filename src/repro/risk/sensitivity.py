@@ -14,8 +14,9 @@ sensitive to, so the analyst knows where estimation errors matter.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..parallel import parallel_map
 from ..qualitative.spaces import QuantitySpace
 from ..qualitative.values import QualitativeRange
 
@@ -55,15 +56,18 @@ def one_at_a_time(
     fixed: Mapping[str, str],
     uncertain: Mapping[str, Iterable[str]],
     outcome_space: QuantitySpace,
+    workers: Optional[int] = None,
 ) -> List[SensitivityResult]:
     """Vary each uncertain factor separately (the paper's method).
 
     ``fixed`` holds the point values of the certain factors; each entry
     of ``uncertain`` gives the candidate labels of one uncertain factor.
     Factors in both mappings use the ``fixed`` value as the nominal point
-    when varying the *other* factors.
+    when varying the *other* factors.  ``workers`` evaluates the factors
+    on a thread pool (label functions are typically closures over EPA
+    engines, so the process backend is out); result order matches the
+    sequential run.
     """
-    results: List[SensitivityResult] = []
     nominal: Dict[str, str] = dict(fixed)
     for factor, labels in uncertain.items():
         if factor not in nominal:
@@ -71,18 +75,21 @@ def one_at_a_time(
             if not candidates:
                 raise ValueError("factor %r has no candidate labels" % factor)
             nominal[factor] = candidates[0]
-    for factor, labels in uncertain.items():
+
+    def vary(item: Tuple[str, Iterable[str]]) -> SensitivityResult:
+        factor, labels = item
         outputs = set()
         inputs = tuple(labels)
         for label in inputs:
             assignment = dict(nominal)
             assignment[factor] = label
             outputs.add(function(**assignment))
-        ordered = tuple(
-            sorted(outputs, key=outcome_space.index)
-        )
-        results.append(SensitivityResult(factor, inputs, ordered))
-    return results
+        ordered = tuple(sorted(outputs, key=outcome_space.index))
+        return SensitivityResult(factor, inputs, ordered)
+
+    return parallel_map(
+        vary, list(uncertain.items()), workers=workers, backend="thread"
+    )
 
 
 def full_factorial(

@@ -1,0 +1,186 @@
+"""Tests for the worker-pool layer and the sharded EPA sweeps.
+
+The contract under test: parallel runs are *identical* to sequential
+ones (same results, same order), and pool-level failures surface as
+clean exceptions — a crashed worker process must become an
+:class:`~repro.epa.EpaError`, never a hang or a half-filled report.
+"""
+
+import itertools
+import os
+
+import pytest
+
+from repro.epa import EpaEngine, EpaError, StaticRequirement
+from repro.hierarchy.cegar import cegar_loop
+from repro.observability import SolveStats
+from repro.parallel import ParallelError, merge_stats, parallel_map, split_cubes
+from repro.qualitative.spaces import QuantitySpace
+from repro.risk.sensitivity import one_at_a_time
+from repro.modeling import RelationshipType, SystemModel, standard_cps_library
+
+REQ = [
+    StaticRequirement("rv", "err(v, K), hazardous_kind(K)", focus="v", magnitude="VH"),
+]
+
+
+def chain_model():
+    library = standard_cps_library()
+    model = SystemModel("chain")
+    library.instantiate(model, "sensor", "s")
+    library.instantiate(model, "controller", "c")
+    library.instantiate(model, "actuator", "v")
+    model.add_relationship("s", "c", RelationshipType.FLOW)
+    model.add_relationship("c", "v", RelationshipType.FLOW)
+    return model
+
+
+def _square(value):  # must be module-level: the process backend pickles it
+    return value * value
+
+
+def _die(payload):  # simulates a worker killed by the OS (OOM, signal)
+    os._exit(1)
+
+
+class TestParallelMap:
+    def test_preserves_submission_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, workers=4) == [
+            value * value for value in items
+        ]
+
+    def test_degenerate_cases_run_sequentially(self):
+        assert parallel_map(_square, [3], workers=8) == [9]
+        assert parallel_map(_square, [2, 3], workers=1) == [4, 9]
+        assert parallel_map(_square, [], workers=4) == []
+
+    def test_thread_backend_supports_closures(self):
+        offset = 10
+        results = parallel_map(
+            lambda v: v + offset, range(8), workers=4, backend="thread"
+        )
+        assert results == [v + 10 for v in range(8)]
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_map(_square, [1, 2], workers=2, backend="fiber")
+
+    def test_function_exceptions_propagate(self):
+        def boom(value):
+            raise KeyError(value)
+
+        with pytest.raises(KeyError):
+            parallel_map(boom, [1, 2, 3], workers=2, backend="thread")
+
+    def test_crashed_worker_raises_parallel_error(self):
+        with pytest.raises(ParallelError):
+            parallel_map(_die, [1, 2, 3, 4], workers=2)
+
+
+class TestSplitCubes:
+    def test_single_worker_is_one_empty_cube(self):
+        assert split_cubes(["a", "b"], 1) == [()]
+        assert split_cubes([], 4) == [()]
+
+    @pytest.mark.parametrize("workers", [2, 3, 4, 8])
+    def test_cubes_partition_the_space(self, workers):
+        choices = ["a", "b", "c", "d"]
+        cubes = split_cubes(choices, workers)
+        assert len(cubes) >= workers or len(cubes) == 2 ** len(choices)
+        # every total assignment is consistent with exactly one cube
+        for assignment in itertools.product(
+            (False, True), repeat=len(choices)
+        ):
+            point = dict(zip(choices, assignment))
+            matching = [
+                cube
+                for cube in cubes
+                if all(point[name] == value for name, value in cube)
+            ]
+            assert len(matching) == 1
+
+    def test_prefix_capped_by_choice_count(self):
+        cubes = split_cubes(["only"], 8)
+        assert sorted(cubes) == [(("only", False),), (("only", True),)]
+
+
+class TestMergeStats:
+    def test_numeric_leaves_sum(self):
+        target = SolveStats()
+        target.incr("solving.models", 2)
+        merged = merge_stats(
+            target,
+            [
+                {"solving": {"models": 3}, "summary": {"calls": 1}},
+                {"solving": {"models": 5}},
+            ],
+        )
+        assert merged["solving"]["models"] == 10
+        assert merged["summary"]["calls"] == 1
+
+
+class TestShardedAnalyze:
+    def test_parallel_report_equals_sequential(self):
+        sequential = EpaEngine(chain_model(), REQ).analyze(max_faults=2)
+        parallel = EpaEngine(chain_model(), REQ, workers=4).analyze(max_faults=2)
+        assert [
+            (o.key(), tuple(sorted(o.violated)), o.severity_rank)
+            for o in parallel.outcomes
+        ] == [
+            (o.key(), tuple(sorted(o.violated)), o.severity_rank)
+            for o in sequential.outcomes
+        ]
+
+    def test_parallel_run_accounts_shards_in_stats(self):
+        engine = EpaEngine(chain_model(), REQ, workers=4)
+        engine.analyze(max_faults=1)
+        stats = engine.statistics
+        assert stats["epa"]["parallel"]["shards"] >= 4
+        assert stats["epa"]["parallel"]["workers"] == 4
+        # worker solving counters were folded back into the parent tree
+        assert stats["solving"]["models"] >= 10
+
+    def test_crashed_worker_becomes_epa_error(self, monkeypatch):
+        import repro.epa.engine as engine_module
+
+        monkeypatch.setattr(engine_module, "_cube_worker", _die)
+        engine = EpaEngine(chain_model(), REQ, workers=4)
+        with pytest.raises(EpaError):
+            engine.analyze(max_faults=1)
+
+
+class TestThreadedCallers:
+    def test_cegar_verdicts_match_sequential(self):
+        engine = EpaEngine(chain_model(), REQ)
+        report = engine.analyze(max_faults=2)
+        oracle = lambda outcome: outcome.fault_count <= 1
+        run = lambda workers: cegar_loop(
+            analysis=lambda: report,
+            oracle=oracle,
+            refiner=lambda spurious: None,
+            workers=workers,
+        )
+        sequential, threaded = run(None), run(4)
+        assert [o.key() for o in threaded.confirmed] == [
+            o.key() for o in sequential.confirmed
+        ]
+        assert threaded.converged == sequential.converged
+
+    def test_sensitivity_results_match_sequential(self):
+        space = QuantitySpace("risk", ("VL", "L", "M", "H", "VH"))
+        table = {
+            ("L", "VL"): "VL",
+            ("L", "L"): "VL",
+            ("L", "M"): "L",
+            ("L", "VH"): "M",
+        }
+        function = lambda lef, lm: table[(lef, lm)]
+        kwargs = dict(
+            fixed={"lef": "L"},
+            uncertain={"lm": ("VL", "L", "M", "VH")},
+            outcome_space=space,
+        )
+        assert one_at_a_time(function, workers=4, **kwargs) == one_at_a_time(
+            function, **kwargs
+        )

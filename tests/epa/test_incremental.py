@@ -1,0 +1,164 @@
+"""Differential validation of the incremental EPA engine.
+
+An incremental :class:`~repro.epa.EpaEngine` keeps one persistent
+multi-shot control per ``max_faults`` bound and answers deployment /
+restriction / single-scenario queries by flipping externals and
+assumptions.  These tests require every such answer to be identical to
+the fresh-control path (``incremental=False``) that regrounds per call
+— on the three-component chain model, the water-tank case study, and
+the deployment sweeps of ``epa.optimal``.  EPA reports sort outcomes
+canonically, so full report equality (not just set equality) is the
+bar.
+"""
+
+import pytest
+
+from repro.epa import EpaEngine, FaultRef, StaticRequirement
+from repro.epa.optimal import attack_cost_of_mitigation
+from repro.modeling import RelationshipType, SystemModel, standard_cps_library
+
+REQ = [
+    StaticRequirement("rv", "err(v, K), hazardous_kind(K)", focus="v", magnitude="VH"),
+]
+
+#: chain faults that a (made-up) training mitigation can suppress
+MITIGATIONS = {
+    "no_signal": ("shielding",),
+    "compromised": ("hardening", "monitoring"),
+    "stuck_at_open": ("maintenance",),
+}
+
+
+def chain_model():
+    """sensor -> controller -> actuator (9 fault modes, 512 scenarios)."""
+    library = standard_cps_library()
+    model = SystemModel("chain")
+    library.instantiate(model, "sensor", "s")
+    library.instantiate(model, "controller", "c")
+    library.instantiate(model, "actuator", "v")
+    model.add_relationship("s", "c", RelationshipType.FLOW)
+    model.add_relationship("c", "v", RelationshipType.FLOW)
+    return model
+
+
+def engines():
+    """An incremental engine and its fresh-path twin."""
+    incremental = EpaEngine(
+        chain_model(), REQ, fault_mitigations=MITIGATIONS, incremental=True
+    )
+    fresh = EpaEngine(
+        chain_model(), REQ, fault_mitigations=MITIGATIONS, incremental=False
+    )
+    return incremental, fresh
+
+
+def fingerprint(report):
+    return [
+        (outcome.key(), tuple(sorted(outcome.violated)), outcome.severity_rank)
+        for outcome in report.outcomes
+    ]
+
+
+class TestChainDifferential:
+    @pytest.mark.parametrize("max_faults", [0, 1, 2])
+    def test_plain_enumeration(self, max_faults):
+        incremental, fresh = engines()
+        assert fingerprint(
+            incremental.analyze(max_faults=max_faults)
+        ) == fingerprint(fresh.analyze(max_faults=max_faults))
+
+    def test_deployment_sweep_on_one_engine(self):
+        incremental, fresh = engines()
+        deployments = [
+            {},
+            {"s": ("shielding",)},
+            {"c": ("hardening",)},
+            {"s": ("shielding",), "c": ("monitoring",), "v": ("maintenance",)},
+            {},  # back to empty: externals fully retracted
+        ]
+        for deployment in deployments:
+            assert fingerprint(
+                incremental.analyze(
+                    active_mitigations=deployment, max_faults=2
+                )
+            ) == fingerprint(
+                fresh.analyze(active_mitigations=deployment, max_faults=2)
+            )
+        multishot = incremental.statistics["solving"]["multishot"]
+        assert multishot["solves"] == len(deployments)
+        assert multishot["reground_avoided"] == len(deployments) - 1
+
+    def test_restrict_faults(self):
+        incremental, fresh = engines()
+        restrict = [FaultRef("s", "drift"), FaultRef("c", "crash")]
+        assert fingerprint(
+            incremental.analyze(restrict_faults=restrict)
+        ) == fingerprint(fresh.analyze(restrict_faults=restrict))
+        # the restriction must not leak into the next unrestricted call
+        assert len(incremental.analyze(max_faults=1)) == 10
+
+    def test_analyze_scenario(self):
+        incremental, fresh = engines()
+        scenarios = [
+            (),
+            (FaultRef("s", "no_signal"),),
+            (FaultRef("c", "compromised"), FaultRef("v", "stuck_at_open")),
+        ]
+        for faults in scenarios:
+            ours = incremental.analyze_scenario(faults)
+            reference = fresh.analyze_scenario(faults)
+            assert ours.key() == reference.key()
+            assert ours.violated == reference.violated
+
+    def test_analyze_scenario_respects_mitigations(self):
+        incremental, fresh = engines()
+        deployment = {"s": ("shielding",)}
+        faults = (FaultRef("s", "no_signal"),)
+        ours = incremental.analyze_scenario(faults, active_mitigations=deployment)
+        reference = fresh.analyze_scenario(faults, active_mitigations=deployment)
+        # the suppressed fault stays inactive on both paths
+        assert ours.key() == reference.key() == ()
+
+    def test_limit_falls_back_without_poisoning(self):
+        incremental, _ = engines()
+        assert len(incremental.analyze(max_faults=1, limit=3)) == 3
+        assert len(incremental.analyze(max_faults=1)) == 10
+
+
+class TestWaterTankDifferential:
+    """The paper's case study, bounded to keep its 2^22 space at bay."""
+
+    def test_bounded_enumeration(self):
+        from repro.casestudy import build_system_model, static_requirements
+
+        incremental = EpaEngine(
+            build_system_model(), static_requirements(), incremental=True
+        )
+        fresh = EpaEngine(
+            build_system_model(), static_requirements(), incremental=False
+        )
+        assert fingerprint(incremental.analyze(max_faults=1)) == fingerprint(
+            fresh.analyze(max_faults=1)
+        )
+
+
+class TestAttackCostSweep:
+    def test_multishot_matches_fresh_and_parallel(self):
+        deployments = [
+            {},
+            {"s": ("shielding",)},
+            {"c": ("hardening",)},
+            {"s": ("shielding",), "v": ("maintenance",)},
+        ]
+        incremental, _ = engines()
+        multishot = attack_cost_of_mitigation(incremental, "rv", deployments)
+        legacy_engine, _ = engines()
+        legacy = attack_cost_of_mitigation(
+            legacy_engine, "rv", deployments, multishot=False
+        )
+        parallel_engine, _ = engines()
+        parallel = attack_cost_of_mitigation(
+            parallel_engine, "rv", deployments, workers=2
+        )
+        assert multishot == legacy == parallel
+        assert set(multishot) == set(range(len(deployments)))

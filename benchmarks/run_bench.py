@@ -17,20 +17,38 @@ parallel sharding rather than single-solve micro-optimizations.
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py [output.json]
-    PYTHONPATH=src python benchmarks/run_bench.py --smoke
+    PYTHONPATH=src python benchmarks/run_bench.py --smoke [--record]
+    PYTHONPATH=src python benchmarks/run_bench.py --record
+    PYTHONPATH=src python benchmarks/run_bench.py --check
 
 ``--smoke`` runs every benchmark file once with timing disabled (a CI
 sanity gate: the workloads still build, solve, and agree with their
-embedded correctness assertions) and writes nothing.
+embedded correctness assertions) and writes no JSON output.
+
+``--record`` appends one ``{"bench", "seconds", "rev", "date"}`` row
+per benchmark to ``BENCH_history.jsonl`` — per-bench medians on a full
+run, per-file wall-clock times on a ``--smoke`` run (prefixed
+``smoke:``) — giving the repository a greppable performance timeline
+keyed by git revision.
+
+``--check`` reruns the suite and exits 1 if any benchmark's median
+regressed more than 25% against the medians recorded in
+``BENCH_asp.json``.
 """
 
+import argparse
 import json
 import pathlib
 import subprocess
 import sys
 import tempfile
+import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+HISTORY_PATH = REPO_ROOT / "BENCH_history.jsonl"
+
+#: tolerated slowdown vs the recorded medians before --check fails
+REGRESSION_TOLERANCE = 1.25
 
 BENCH_FILES = [
     "benchmarks/test_bench_asp_classic.py",
@@ -113,55 +131,178 @@ def collect_solver_stats():
     }
 
 
-def run_smoke():
-    """One timing-disabled pass over every bench file (CI gate)."""
-    command = [
-        sys.executable,
-        "-m",
-        "pytest",
-        *BENCH_FILES,
-        "-q",
-        "--benchmark-disable",
-    ]
-    completed = subprocess.run(command, cwd=REPO_ROOT)
-    return completed.returncode
+def _git_rev():
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip() or None
 
 
-def main(argv):
-    if "--smoke" in argv[1:]:
-        return run_smoke()
-    output = pathlib.Path(argv[1]) if len(argv) > 1 else REPO_ROOT / "BENCH_asp.json"
+def append_history(timings, history_path=HISTORY_PATH):
+    """Append one history row per bench to ``BENCH_history.jsonl``.
+
+    ``timings`` maps bench name -> seconds.  Rows share one revision and
+    timestamp (they describe one run).
+    """
+    rev = _git_rev()
+    date = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    with open(history_path, "a", encoding="utf-8") as handle:
+        for bench, seconds in sorted(timings.items()):
+            handle.write(
+                json.dumps(
+                    {
+                        "bench": bench,
+                        "seconds": round(seconds, 6),
+                        "rev": rev,
+                        "date": date,
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+    print("recorded %d rows in %s" % (len(timings), history_path))
+
+
+def check_regressions(benches, baseline_path=None):
+    """Exit-code check: any median > tolerance x its recorded median?
+
+    Compares against the ``median_s`` values in ``BENCH_asp.json`` (the
+    committed result snapshot); benches without a recorded median are
+    skipped.  Returns the list of regression messages (empty = pass).
+    """
+    path = pathlib.Path(baseline_path or REPO_ROOT / "BENCH_asp.json")
+    recorded = json.loads(path.read_text())["benchmarks"]
+    failures = []
+    for name, record in sorted(benches.items()):
+        baseline = recorded.get(name, {}).get("median_s")
+        if not baseline:
+            continue
+        if record["median_s"] > baseline * REGRESSION_TOLERANCE:
+            failures.append(
+                "%s regressed: %.4fs vs recorded %.4fs (>%d%%)"
+                % (
+                    name,
+                    record["median_s"],
+                    baseline,
+                    round((REGRESSION_TOLERANCE - 1) * 100),
+                )
+            )
+    return failures
+
+
+def run_smoke(record=False):
+    """One timing-disabled pass over every bench file (CI gate).
+
+    With ``record=True`` each file's wall-clock time lands in the bench
+    history as ``smoke:<file>`` — coarse, but tracked on every CI run.
+    """
+    timings = {}
+    returncode = 0
+    for bench_file in BENCH_FILES:
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            bench_file,
+            "-q",
+            "--benchmark-disable",
+        ]
+        started = time.perf_counter()
+        completed = subprocess.run(command, cwd=REPO_ROOT)
+        timings["smoke:%s" % pathlib.Path(bench_file).stem] = (
+            time.perf_counter() - started
+        )
+        returncode = returncode or completed.returncode
+    if record and returncode == 0:
+        append_history(timings)
+    return returncode
+
+
+def run_full(output, record=False, check=False):
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
         raw = run_benchmarks(handle.name)
     benches = {}
     for entry in raw["benchmarks"]:
         name = entry["name"]
         median = entry["stats"]["median"]
-        record = {"median_s": round(median, 6)}
+        record_entry = {"median_s": round(median, 6)}
         baseline = BASELINES_S.get(name)
         if baseline is not None:
-            record["baseline_median_s"] = baseline
-            record["speedup"] = round(baseline / median, 2)
-        benches[name] = record
-    payload = {
-        "suite": BENCH_FILES,
-        "machine": raw.get("machine_info", {}).get("cpu", {}).get("brand_raw"),
-        "python": raw.get("machine_info", {}).get("python_version"),
-        "benchmarks": benches,
-        "solver_stats": collect_solver_stats(),
-    }
-    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print("wrote %s" % output)
-    for name, record in sorted(benches.items()):
-        speedup = record.get("speedup")
+            record_entry["baseline_median_s"] = baseline
+            record_entry["speedup"] = round(baseline / median, 2)
+        benches[name] = record_entry
+    if check:
+        failures = check_regressions(benches)
+        for failure in failures:
+            print("REGRESSION: %s" % failure, file=sys.stderr)
+        if failures:
+            return 1
+        print("no regressions beyond %.0f%%" % ((REGRESSION_TOLERANCE - 1) * 100))
+    else:
+        payload = {
+            "suite": BENCH_FILES,
+            "machine": raw.get("machine_info", {}).get("cpu", {}).get("brand_raw"),
+            "python": raw.get("machine_info", {}).get("python_version"),
+            "benchmarks": benches,
+            "solver_stats": collect_solver_stats(),
+        }
+        output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print("wrote %s" % output)
+    for name, entry in sorted(benches.items()):
+        speedup = entry.get("speedup")
         print(
             "  %-42s %10.3f ms%s"
             % (
                 name,
-                record["median_s"] * 1e3,
+                entry["median_s"] * 1e3,
                 "  (%.2fx)" % speedup if speedup else "",
             )
         )
+    if record:
+        append_history(
+            {name: entry["median_s"] for name, entry in benches.items()}
+        )
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "output",
+        nargs="?",
+        default=str(REPO_ROOT / "BENCH_asp.json"),
+        help="result snapshot path (default: BENCH_asp.json)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run every bench file once with timing disabled",
+    )
+    parser.add_argument(
+        "--record",
+        action="store_true",
+        help="append per-bench timings to BENCH_history.jsonl",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 on >25%% median regression vs BENCH_asp.json",
+    )
+    args = parser.parse_args(argv[1:])
+    if args.smoke:
+        return run_smoke(record=args.record)
+    return run_full(
+        pathlib.Path(args.output), record=args.record, check=args.check
+    )
 
 
 if __name__ == "__main__":

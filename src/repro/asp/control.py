@@ -22,7 +22,14 @@ Like clingo, every control carries a statistics tree: after any
 populated :class:`~repro.observability.SolveStats` with ``grounding``,
 ``solving`` and ``summary`` sections (counters accumulate across calls).
 Pass ``trace=`` a :class:`~repro.observability.TraceSink` to stream
-grounder and solver events; the default sink is a no-op.
+grounder and solver events; the default sink is a no-op.  ``ground``,
+``solve`` and ``optimize`` run inside hierarchical
+:class:`~repro.observability.Span`\\ s (``control.ground`` /
+``control.solve`` / ``control.optimize``), each closing into a
+begin/end event pair on the sink, and feed the process-wide
+:class:`~repro.observability.MetricsRegistry`
+(``repro_solve_calls_total``, ``repro_models_total``,
+``repro_conflicts_total``, ``repro_stage_seconds{stage=...}``, ...).
 
 Grounding is cached twice: per-control until the program text changes,
 and in a process-wide LRU keyed by the rendered program text, so the EPA
@@ -48,7 +55,8 @@ from typing import (
     Union,
 )
 
-from ..observability import NULL_SINK, SolveStats, Timer
+from ..observability import NULL_SINK, SolveStats, Timer, Tracer
+from ..observability.metrics import get_registry
 from .grounder import Grounder, GroundingError
 from .ground import GroundProgram
 from .parser import parse_program
@@ -68,6 +76,31 @@ def clear_ground_cache() -> None:
     _GROUND_CACHE.clear()
 
 
+# process-wide metric handles (the registry zeroes in place on reset,
+# so caching at import time is safe)
+_METRICS = get_registry()
+_SOLVE_CALLS = _METRICS.counter(
+    "repro_solve_calls_total", "solve/optimize calls issued"
+)
+_MODELS = _METRICS.counter("repro_models_total", "stable models enumerated")
+_CONFLICTS = _METRICS.counter("repro_conflicts_total", "CDCL conflicts analyzed")
+_GROUND_RULES = _METRICS.counter(
+    "repro_ground_rules_total", "ground rules produced (cache misses only)"
+)
+_GROUND_CACHE_HITS = _METRICS.counter(
+    "repro_ground_cache_hits_total", "process-wide ground-cache hits"
+)
+_GROUND_CACHE_MISSES = _METRICS.counter(
+    "repro_ground_cache_misses_total", "process-wide ground-cache misses"
+)
+_SOLVE_SECONDS = _METRICS.histogram(
+    "repro_stage_seconds", "per-stage wall-clock latency", stage="solve"
+)
+_GROUND_SECONDS = _METRICS.histogram(
+    "repro_stage_seconds", "per-stage wall-clock latency", stage="ground"
+)
+
+
 class Control:
     """Accumulate ASP text / facts, then ground and solve."""
 
@@ -79,6 +112,7 @@ class Control:
     ):
         self._program = Program()
         self._trace = trace if trace is not None else NULL_SINK
+        self._tracer = Tracer(self._trace)
         self._stats = SolveStats()
         self._multishot = multishot
         self._externals: "OrderedDict[Atom, Optional[bool]]" = OrderedDict()
@@ -211,23 +245,33 @@ class Control:
             # the shared cache is only sound when no trace sink expects
             # per-round grounder events
             shareable = self._trace is NULL_SINK
-            with self._stats.timer("summary.times.ground"):
+            ground_timer = Timer()
+            with self._tracer.span("control.ground") as span, ground_timer, \
+                    self._stats.timer("summary.times.ground"):
                 key = str(self._program) if shareable else ""
                 cached = _GROUND_CACHE.get(key) if shareable else None
                 if cached is not None:
                     _GROUND_CACHE.move_to_end(key)
                     self._ground, grounding_stats = cached
                     self._stats.incr("grounding.cache.hits")
+                    _GROUND_CACHE_HITS.inc()
                 else:
                     grounder = Grounder(self._program, trace=self._trace)
                     self._ground = grounder.ground()
                     grounding_stats = grounder.statistics
                     self._stats.incr("grounding.cache.misses")
+                    _GROUND_CACHE_MISSES.inc()
+                    _GROUND_RULES.inc(grounding_stats.get("rules", 0))
                     if shareable:
                         _GROUND_CACHE[key] = (self._ground, grounding_stats)
                         if len(_GROUND_CACHE) > _GROUND_CACHE_CAPACITY:
                             _GROUND_CACHE.popitem(last=False)
+                span.update(
+                    cached=cached is not None,
+                    rules=grounding_stats.get("rules", 0),
+                )
             self._stats.child("grounding").merge(grounding_stats)
+            _GROUND_SECONDS.observe(ground_timer.elapsed)
             self._update_total_time()
         return self._ground
 
@@ -268,21 +312,25 @@ class Control:
         blocking clauses driving the enumeration are retracted when the
         generator finishes, so the persistent solver stays clean.
         """
-        solver = self._acquire_solver()
-        timer = Timer().start()
-        count = 0
-        inner = solver.models(
-            limit=limit,
-            assumptions=self._solve_assumptions(assumptions),
-            retract=self._multishot,
-        )
-        try:
-            for model in inner:
-                count += 1
-                yield model
-        finally:
-            inner.close()
-            self._record_solve(solver, timer.stop(), count)
+        with self._tracer.span(
+            "control.solve", multishot=self._multishot
+        ) as span:
+            solver = self._acquire_solver()
+            timer = Timer().start()
+            count = 0
+            inner = solver.models(
+                limit=limit,
+                assumptions=self._solve_assumptions(assumptions),
+                retract=self._multishot,
+            )
+            try:
+                for model in inner:
+                    count += 1
+                    yield model
+            finally:
+                inner.close()
+                span.update(models=count)
+                self._record_solve(solver, timer.stop(), count)
 
     def first_model(
         self, assumptions: Sequence[Tuple[Atom, bool]] = ()
@@ -306,20 +354,24 @@ class Control:
         limit: Optional[int] = None,
     ) -> List[Model]:
         """Optimal model(s) under weak constraints / ``#minimize``."""
-        solver = self._acquire_solver()
-        timer = Timer().start()
-        models = solver.optimize(
-            assumptions=self._solve_assumptions(assumptions),
-            enumerate_optimal=enumerate_optimal,
-            limit=limit,
-            retract=self._multishot,
-        )
-        costs: Optional[List[int]] = None
-        if models and models[0].cost:
-            costs = [value for _, value in models[0].cost]
-        self._record_solve(
-            solver, timer.stop(), len(models), optimal=len(models), costs=costs
-        )
+        with self._tracer.span(
+            "control.optimize", multishot=self._multishot
+        ) as span:
+            solver = self._acquire_solver()
+            timer = Timer().start()
+            models = solver.optimize(
+                assumptions=self._solve_assumptions(assumptions),
+                enumerate_optimal=enumerate_optimal,
+                limit=limit,
+                retract=self._multishot,
+            )
+            costs: Optional[List[int]] = None
+            if models and models[0].cost:
+                costs = [value for _, value in models[0].cost]
+            span.update(models=len(models), costs=costs)
+            self._record_solve(
+                solver, timer.stop(), len(models), optimal=len(models), costs=costs
+            )
         return models
 
     def _record_solve(
@@ -332,6 +384,9 @@ class Control:
     ) -> None:
         """Fold one solve call's solver statistics into the tree."""
         snapshot = _copy_stats(solver.statistics)
+        _SOLVE_CALLS.inc()
+        _MODELS.inc(models)
+        _SOLVE_SECONDS.observe(elapsed)
         # sizes describe the latest encoding — overwrite, don't sum
         variables = snapshot.pop("variables")
         tight = snapshot.pop("tight")
@@ -341,6 +396,7 @@ class Control:
             previous = self._solver_snapshot
             self._solver_snapshot = snapshot
             snapshot = _stats_delta(snapshot, previous)
+        _CONFLICTS.inc(snapshot.get("solvers", {}).get("conflicts", 0))
         solving = self._stats.child("solving")
         solving.merge(snapshot)
         solving["variables"] = variables
@@ -352,9 +408,6 @@ class Control:
         if costs is not None:
             self._stats.set("summary.costs", costs)
         self._update_total_time()
-        self._trace.emit(
-            "control.solve", models=models, seconds=round(elapsed, 6)
-        )
 
     def _update_total_time(self) -> None:
         self._stats.set(

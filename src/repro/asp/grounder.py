@@ -153,7 +153,7 @@ class Grounder:
         trace: Optional[object] = None,
         indexing: bool = True,
     ):
-        from ..observability import NULL_SINK
+        from ..observability import NULL_SINK, Tracer
 
         self._program = program
         self._consts = dict(program.consts)
@@ -166,6 +166,7 @@ class Grounder:
         self._index_scans = 0
         self._index_delta_hits = 0
         self._trace = trace if trace is not None else NULL_SINK
+        self._tracer = Tracer(self._trace)
         #: grounding counts, populated by :meth:`ground`
         self.statistics: Dict[str, object] = {}
 
@@ -173,6 +174,16 @@ class Grounder:
     # public API
     # ------------------------------------------------------------------
     def ground(self) -> GroundProgram:
+        """Ground the program inside a ``grounder.ground`` span."""
+        with self._tracer.span("grounder.ground") as span:
+            ground = self._ground()
+            span.update(
+                rules=self.statistics.get("rules", 0),
+                rounds=self.statistics.get("rounds", 0),
+            )
+        return ground
+
+    def _ground(self) -> GroundProgram:
         derivation_rules = []
         final_rules = []  # constraints: no head, derive nothing
         for rule in self._program.rules:

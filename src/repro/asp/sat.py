@@ -55,7 +55,10 @@ def _luby(i: int) -> int:
 class Solver:
     """Incremental CDCL SAT solver."""
 
-    def __init__(self) -> None:
+    def __init__(self, trace: Optional[object] = None) -> None:
+        from ..observability import NULL_SINK
+
+        self._trace = trace if trace is not None else NULL_SINK
         self._num_vars = 0
         self._clauses: List[List[int]] = []
         self._watches: Dict[int, List[int]] = {}
@@ -545,6 +548,11 @@ class Solver:
                     conflicts_since_restart = 0
                     restart_limit = 32 * _luby(restarts + 1)
                     self._backtrack(0)
+                    self._trace.emit(
+                        "sat.restart",
+                        number=self._restarts_total,
+                        conflicts=self._conflicts_total,
+                    )
                 continue
             # assumption decisions first
             if len(self._trail_lim) < len(assumption_list):

@@ -102,7 +102,8 @@ class StableModelSolver:
         from ..observability import NULL_SINK
 
         self._program = program
-        self._sat = SatSolver()
+        self._trace = trace if trace is not None else NULL_SINK
+        self._sat = SatSolver(trace=self._trace)
         self._true = self._sat.new_var()
         self._sat.add_clause([self._true])
         self._atom_var: Dict[Atom, int] = {}
@@ -111,7 +112,6 @@ class StableModelSolver:
         self._rule_records: List[Tuple[GroundRule, int]] = []  # (rule, body lit)
         self._tight = True
         self._optimize_levels: List[Tuple[int, "_CostLevel"]] = []
-        self._trace = trace if trace is not None else NULL_SINK
         self._models_enumerated = 0
         self._optimal_models = 0
         self._unfounded_checks = 0

@@ -14,19 +14,25 @@ is the terminal face of it:
 ``python -m repro assess model.xml [--refined refined.xml] [--budget N]``
     the full 7-phase pipeline with the built-in security catalog.
 
-The solving commands (``analyze``, ``assess``) take two observability
-flags: ``--stats`` appends a clingo-style statistics summary block
-(grounding sizes, CDCL counters, per-stage times) and ``--trace FILE``
-streams JSON-lines solver events to ``FILE`` (``-`` for human-readable
-lines on stderr).  See ``docs/observability.md``.  They also take
-``--workers N`` to shard the scenario sweeps over a process pool —
-results are identical to a sequential run (see
-``docs/performance.md``).
+The solving commands (``analyze``, ``assess``) share one observability
+flag set: ``--stats`` appends a clingo-style statistics summary block
+(grounding sizes, CDCL counters, per-stage times); ``--trace FILE``
+streams solver span/event traffic to ``FILE`` (``-`` for
+human-readable lines on stderr), with ``--trace-format chrome``
+switching from JSON lines to Chrome trace-event JSON loadable in
+Perfetto; ``--metrics FILE`` dumps the process-wide metrics registry
+in Prometheus text exposition format (``-`` for stdout); ``--profile
+FILE`` wraps the run in :mod:`cProfile` and dumps the stats file.  See
+``docs/observability.md``.  They also take ``--workers N`` to shard
+the scenario sweeps over a process pool — results are identical to a
+sequential run, and worker trace events/metrics are folded back tagged
+``worker=<i>`` (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
 import sys
 from typing import List, Optional, Sequence
 
@@ -34,7 +40,8 @@ from .casestudy import analysis_table, static_requirements
 from .core import AssessmentPipeline
 from .epa import EpaEngine, StaticRequirement
 from .modeling import from_xml, validate
-from .observability import format_statistics, open_trace
+from .observability import format_statistics, open_trace, write_metrics
+from .observability.metrics import get_registry
 from .reporting import (
     analysis_results_report,
     assessment_report,
@@ -108,30 +115,56 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _start_solving_command(args: argparse.Namespace) -> Optional[cProfile.Profile]:
+    """Shared prologue of ``analyze``/``assess``: a clean metrics slate
+    for this run, and an optional profiler around the solve."""
+    get_registry().reset()
+    if not getattr(args, "profile", None):
+        return None
+    profiler = cProfile.Profile()
+    profiler.enable()
+    return profiler
+
+
+def _finish_solving_command(
+    args: argparse.Namespace, profiler: Optional[cProfile.Profile]
+) -> None:
+    """Shared epilogue: dump the profile, write the metrics snapshot."""
+    if profiler is not None:
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+    if getattr(args, "metrics", None):
+        write_metrics(get_registry(), args.metrics)
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     model = _load_model(args.model)
     if not args.requirement:
         print("at least one --requirement is needed", file=sys.stderr)
         return 2
-    with open_trace(args.trace) as sink:
-        engine = EpaEngine(
-            model, args.requirement, trace=sink, workers=args.workers
-        )
-        report = engine.analyze(max_faults=args.max_faults)
-        print(epa_report_table(report, max_rows=args.rows))
-        print()
-        print(
-            "%d scenarios analyzed, %d violating; single points of failure: %s"
-            % (
-                len(report),
-                len(report.violating()),
-                ", ".join(str(f) for f in report.single_points_of_failure())
-                or "none",
+    profiler = _start_solving_command(args)
+    try:
+        with open_trace(args.trace, format=args.trace_format) as sink:
+            engine = EpaEngine(
+                model, args.requirement, trace=sink, workers=args.workers
             )
-        )
-        if args.stats:
+            report = engine.analyze(max_faults=args.max_faults)
+            print(epa_report_table(report, max_rows=args.rows))
             print()
-            print(format_statistics(engine.statistics))
+            print(
+                "%d scenarios analyzed, %d violating; single points of failure: %s"
+                % (
+                    len(report),
+                    len(report.violating()),
+                    ", ".join(str(f) for f in report.single_points_of_failure())
+                    or "none",
+                )
+            )
+            if args.stats:
+                print()
+                print(format_statistics(engine.statistics))
+    finally:
+        _finish_solving_command(args, profiler)
     return 0
 
 
@@ -139,20 +172,24 @@ def _cmd_assess(args: argparse.Namespace) -> int:
     model = _load_model(args.model)
     refined = _load_model(args.refined) if args.refined else None
     requirements = args.requirement or static_requirements()
-    with open_trace(args.trace) as sink:
-        pipeline = AssessmentPipeline(
-            requirements,
-            builtin_catalog(),
-            max_faults=args.max_faults,
-            budget=args.budget,
-            trace=sink,
-            workers=args.workers,
-        )
-        result = pipeline.run(model, refined_model=refined)
-        print(assessment_report(result))
-        if args.stats:
-            print()
-            print(format_statistics(result.statistics))
+    profiler = _start_solving_command(args)
+    try:
+        with open_trace(args.trace, format=args.trace_format) as sink:
+            pipeline = AssessmentPipeline(
+                requirements,
+                builtin_catalog(),
+                max_faults=args.max_faults,
+                budget=args.budget,
+                trace=sink,
+                workers=args.workers,
+            )
+            result = pipeline.run(model, refined_model=refined)
+            print(assessment_report(result))
+            if args.stats:
+                print()
+                print(format_statistics(result.statistics))
+    finally:
+        _finish_solving_command(args, profiler)
     return 0
 
 
@@ -174,8 +211,27 @@ def build_parser() -> argparse.ArgumentParser:
     observability.add_argument(
         "--trace",
         metavar="FILE",
-        help="stream solver trace events as JSON lines to FILE "
+        help="stream solver trace events to FILE "
         "('-' for human-readable lines on stderr)",
+    )
+    observability.add_argument(
+        "--trace-format",
+        choices=("jsonl", "chrome"),
+        default="jsonl",
+        help="trace file format: JSON lines (default) or Chrome "
+        "trace-event JSON for Perfetto / chrome://tracing",
+    )
+    observability.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write the run's metrics registry in Prometheus text "
+        "exposition format to FILE ('-' for stdout)",
+    )
+    observability.add_argument(
+        "--profile",
+        metavar="FILE",
+        help="profile the run with cProfile and dump the stats to FILE "
+        "(inspect with python -m pstats)",
     )
     observability.add_argument(
         "--workers",
@@ -183,8 +239,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="shard scenario sweeps over N worker processes "
-        "(results are identical to a sequential run; "
-        "ignored while --trace is active)",
+        "(results are identical to a sequential run; worker trace "
+        "events and metrics fold back tagged worker=<i>)",
     )
 
     subparsers.add_parser("matrix", help="print the O-RA risk matrix (Table I)")

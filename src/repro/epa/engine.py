@@ -36,7 +36,8 @@ import networkx as nx
 from ..asp import Control, Model, atom
 from ..asp.syntax import Atom, Program
 from ..asp.terms import Number, Symbol
-from ..observability import NULL_SINK, SolveStats
+from ..observability import MemoryTraceSink, NULL_SINK, SolveStats, Tracer
+from ..observability.metrics import get_registry
 from ..modeling.model import SystemModel
 from ..modeling.to_asp import to_asp_program
 from ..parallel import ParallelError, parallel_map, split_cubes
@@ -106,6 +107,7 @@ class EpaEngine:
         self.extra_mutations = tuple(extra_mutations)
         self._graph = model.propagation_graph()
         self._trace = trace if trace is not None else NULL_SINK
+        self._tracer = Tracer(self._trace)
         self._stats = SolveStats()
         self._incremental = incremental
         self._workers = workers
@@ -327,7 +329,10 @@ class EpaEngine:
         subset of fault refs (used for targeted what-if queries).
         ``workers`` (default: the engine's) shards the enumeration over
         a process pool; sharding kicks in only for full enumerations
-        (``limit=None``) without a trace sink — observability wins.
+        (``limit=None``).  With a trace sink attached, worker events are
+        shipped back in the result envelopes and re-emitted on the
+        parent's sink tagged ``worker=<i>``, so ``--trace`` composes
+        with ``--workers N``.
         """
         deployment = {
             component: tuple(ms)
@@ -338,30 +343,24 @@ class EpaEngine:
         )
         if workers is None:
             workers = self._workers
-        if (
-            workers
-            and workers > 1
-            and limit is None
-            and self._trace is NULL_SINK
-        ):
-            report = self._analyze_parallel(
-                deployment, max_faults, restrict, with_paths, workers
+        with self._tracer.span("epa.analyze", max_faults=max_faults) as span:
+            if workers and workers > 1 and limit is None:
+                report = self._analyze_parallel(
+                    deployment, max_faults, restrict, with_paths, workers
+                )
+            elif self._incremental:
+                report = self._analyze_incremental(
+                    deployment, max_faults, restrict, with_paths, limit
+                )
+            else:
+                report = self._analyze_fresh(
+                    deployment, max_faults, restrict, with_paths, limit
+                )
+            outcomes = report.outcomes
+            span.update(
+                scenarios=len(outcomes),
+                violating=sum(1 for o in outcomes if o.violated),
             )
-        elif self._incremental:
-            report = self._analyze_incremental(
-                deployment, max_faults, restrict, with_paths, limit
-            )
-        else:
-            report = self._analyze_fresh(
-                deployment, max_faults, restrict, with_paths, limit
-            )
-        outcomes = report.outcomes
-        self._trace.emit(
-            "epa.analyze",
-            scenarios=len(outcomes),
-            violating=sum(1 for o in outcomes if o.violated),
-            max_faults=max_faults,
-        )
         return report
 
     def _analyze_incremental(
@@ -445,6 +444,7 @@ class EpaEngine:
                 "restrict": restrict,
                 "with_paths": with_paths,
                 "cube": cube,
+                "traced": self._trace is not NULL_SINK,
             }
             for cube in cubes
         ]
@@ -454,9 +454,19 @@ class EpaEngine:
             raise EpaError(
                 "parallel EPA analysis failed: %s" % error
             ) from error
-        outcomes = [outcome for shard, _ in shards for outcome in shard]
-        for _, shard_stats in shards:
+        registry = get_registry()
+        outcomes = []
+        for index, (shard, shard_stats, events, metrics) in enumerate(shards):
+            outcomes.extend(shard)
             self._stats.merge(shard_stats)
+            # replay the shard's trace stream on the parent sink, tagged
+            # with the worker lane it ran in
+            for name, _seconds, event_payload in events:
+                payload = dict(event_payload)
+                payload.setdefault("worker", index)
+                self._trace.emit(name, **payload)
+            if metrics:
+                registry.merge(metrics)
         self._stats.incr("epa.parallel.shards", len(cubes))
         self._stats.set("epa.parallel.workers", workers)
         self._note_analysis(scenarios=len(outcomes))
@@ -597,20 +607,34 @@ class EpaEngine:
 
 def _cube_worker(
     payload: Dict[str, object]
-) -> Tuple[List[ScenarioOutcome], Dict[str, object]]:
+) -> Tuple[
+    List[ScenarioOutcome],
+    Dict[str, object],
+    List[Tuple[str, float, Dict[str, object]]],
+    Dict[str, object],
+]:
     """Evaluate one fixed-prefix cube of the fault-choice space.
 
     Runs in a child process: rebuilds a fresh (non-incremental) engine
     from the pickled model pieces, enumerates the cube's shard through
-    the legacy fresh-control path, and ships the outcomes plus the
-    solver statistics back for merging.
+    the legacy fresh-control path, and ships back a result envelope —
+    ``(outcomes, stats, trace events, metrics snapshot)``.  The parent
+    replays the events on its own sink tagged ``worker=<i>`` and folds
+    the metrics into its process-wide registry, so ``--trace`` and
+    ``--metrics`` compose with ``--workers N``.
     """
+    # pool workers persist across tasks: zero the child's registry so
+    # each envelope carries exactly this cube's metrics
+    registry = get_registry()
+    registry.reset()
+    sink = MemoryTraceSink() if payload.get("traced") else None
     engine = EpaEngine(
         payload["model"],
         payload["requirements"],
         fault_mitigations=payload["fault_mitigations"],
         component_mitigations=payload["component_mitigations"],
         extra_mutations=payload["extra_mutations"],
+        trace=sink,
         incremental=False,
     )
     report = engine._analyze_fresh(
@@ -624,7 +648,12 @@ def _cube_worker(
     stats = engine.statistics.to_dict()
     # per-cube call counts would inflate the parent's epa section
     stats.pop("epa", None)
-    return list(report.outcomes), stats
+    events = (
+        [(e.name, e.seconds, e.payload) for e in sink.events]
+        if sink is not None
+        else []
+    )
+    return list(report.outcomes), stats, events, registry.to_dict()
 
 
 def _mitigation_symbol(identifier: str) -> str:

@@ -17,7 +17,9 @@ Observability: pass ``stats=`` a
 :class:`~repro.observability.SolveStats` and/or ``trace=`` a sink to
 :func:`cegar_loop`; each iteration records its analysis wall-clock time
 and candidate/confirmed/spurious counts under the ``cegar`` section and
-emits one ``cegar.iteration`` event.
+runs inside a ``cegar.iteration`` span (a begin/end event pair carrying
+the counts), incrementing ``repro_cegar_iterations_total`` in the
+process-wide metrics registry.
 """
 
 from __future__ import annotations
@@ -26,7 +28,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..epa.results import EpaReport, ScenarioOutcome
-from ..observability import NULL_SINK, SolveStats, Timer
+from ..observability import NULL_SINK, SolveStats, Timer, Tracer
+from ..observability.metrics import get_registry
 from ..parallel import parallel_map
 
 
@@ -114,7 +117,8 @@ def cegar_loop(
 
     ``stats`` (a :class:`~repro.observability.SolveStats`) accumulates
     per-iteration counts and analysis times under its ``cegar`` section;
-    ``trace`` receives one ``cegar.iteration`` event per level.
+    ``trace`` receives one ``cegar.iteration`` span (begin/end event
+    pair) per level.
     ``workers`` classifies each iteration's candidates through the
     oracle on a thread pool (oracles are closures, so the process
     backend is out); verdict order — and thus the confirmed/spurious
@@ -123,37 +127,40 @@ def cegar_loop(
     if max_iterations < 1:
         raise CegarError("need at least one iteration")
     sink = trace if trace is not None else NULL_SINK
+    tracer = Tracer(sink)
+    cegar_iterations = get_registry().counter(
+        "repro_cegar_iterations_total", "CEGAR refinement iterations run"
+    )
     iterations: List[CegarIteration] = []
     current = analysis
     for level in range(1, max_iterations + 1):
-        timer = Timer().start()
-        report = current()
-        elapsed = timer.stop()
-        iteration = CegarIteration(level, report)
-        candidates = list(report.violating())
-        verdicts = parallel_map(
-            oracle, candidates, workers=workers, backend="thread"
-        )
-        for outcome, verdict in zip(candidates, verdicts):
-            if verdict:
-                iteration.confirmed.append(outcome)
-            else:
-                iteration.spurious.append(outcome)
-        iterations.append(iteration)
-        if stats is not None:
-            stats.incr("cegar.iterations")
-            stats.incr("cegar.candidates", iteration.candidate_count)
-            stats.incr("cegar.confirmed", len(iteration.confirmed))
-            stats.incr("cegar.spurious", len(iteration.spurious))
-            stats.add_time("cegar.time", elapsed)
-        sink.emit(
-            "cegar.iteration",
-            level=level,
-            candidates=iteration.candidate_count,
-            confirmed=len(iteration.confirmed),
-            spurious=len(iteration.spurious),
-            seconds=round(elapsed, 6),
-        )
+        with tracer.span("cegar.iteration", level=level) as span:
+            timer = Timer().start()
+            report = current()
+            elapsed = timer.stop()
+            iteration = CegarIteration(level, report)
+            candidates = list(report.violating())
+            verdicts = parallel_map(
+                oracle, candidates, workers=workers, backend="thread"
+            )
+            for outcome, verdict in zip(candidates, verdicts):
+                if verdict:
+                    iteration.confirmed.append(outcome)
+                else:
+                    iteration.spurious.append(outcome)
+            iterations.append(iteration)
+            cegar_iterations.inc()
+            if stats is not None:
+                stats.incr("cegar.iterations")
+                stats.incr("cegar.candidates", iteration.candidate_count)
+                stats.incr("cegar.confirmed", len(iteration.confirmed))
+                stats.incr("cegar.spurious", len(iteration.spurious))
+                stats.add_time("cegar.time", elapsed)
+            span.update(
+                candidates=iteration.candidate_count,
+                confirmed=len(iteration.confirmed),
+                spurious=len(iteration.spurious),
+            )
         if not iteration.spurious:
             if stats is not None:
                 stats.set("cegar.converged", 1)

@@ -26,7 +26,8 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..asp import Control
-from ..observability import SolveStats
+from ..observability import NULL_SINK, SolveStats, Tracer
+from ..observability.metrics import get_registry
 from ..parallel import ParallelError, parallel_map
 from .costs import risk_weight
 
@@ -188,32 +189,42 @@ def optimize_asp(
     plus an ``mitigation.optimize_calls`` counter); ``trace`` streams
     grounder/solver events including per-improvement ``solver.bound``.
     """
-    control, names, scenario_names = _problem_control(problem, trace=trace)
-    if budget is None:
-        for scenario, blockers in problem.scenario_blockers.items():
-            if blockers:
-                control.add(":- not blocked(%s)." % scenario_names[scenario])
-        control.add(":~ deploy(M), cost(M, C). [C@1, M]")
-    else:
-        control.add(
-            ":- #sum { C, M : deploy(M), cost(M, C) } > %d." % budget
-        )
-        control.add(
-            ":~ scenario(S), scenario_weight(S, W), not blocked(S). [W@2, S]"
-        )
-        control.add(":~ deploy(M), cost(M, C). [C@1, M]")
-    models = control.optimize()
-    if stats is not None:
-        stats.merge(control.statistics)
-        stats.incr("mitigation.optimize_calls")
-    if not models:
-        raise OptimizationError("no feasible mitigation plan")
-    deployed = {
-        names[str(a.arguments[0])]
-        for a in models[0].atoms
-        if a.predicate == "deploy"
-    }
-    return _evaluate(problem, deployed)
+    tracer = Tracer(trace if trace is not None else NULL_SINK)
+    get_registry().counter(
+        "repro_mitigation_optimize_calls_total",
+        "exact ASP mitigation optimizations run",
+    ).inc()
+    with tracer.span("mitigation.optimize", budget=budget) as span:
+        control, names, scenario_names = _problem_control(problem, trace=trace)
+        if budget is None:
+            for scenario, blockers in problem.scenario_blockers.items():
+                if blockers:
+                    control.add(
+                        ":- not blocked(%s)." % scenario_names[scenario]
+                    )
+            control.add(":~ deploy(M), cost(M, C). [C@1, M]")
+        else:
+            control.add(
+                ":- #sum { C, M : deploy(M), cost(M, C) } > %d." % budget
+            )
+            control.add(
+                ":~ scenario(S), scenario_weight(S, W), not blocked(S). [W@2, S]"
+            )
+            control.add(":~ deploy(M), cost(M, C). [C@1, M]")
+        models = control.optimize()
+        if stats is not None:
+            stats.merge(control.statistics)
+            stats.incr("mitigation.optimize_calls")
+        if not models:
+            raise OptimizationError("no feasible mitigation plan")
+        deployed = {
+            names[str(a.arguments[0])]
+            for a in models[0].atoms
+            if a.predicate == "deploy"
+        }
+        plan = _evaluate(problem, deployed)
+        span.update(deployed=len(deployed), cost=plan.cost)
+    return plan
 
 
 def sweep_budgets(

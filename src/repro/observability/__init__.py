@@ -1,24 +1,50 @@
-"""Solver observability: statistics trees, stage timers and trace hooks.
+"""Solver observability: statistics trees, spans, metrics, trace hooks
+and standard-format exporters.
 
 The ASP engine and every analysis built on it (EPA, CEGAR refinement,
-mitigation optimization) report into this package instead of being a
-black box:
+mitigation optimization, the pipeline driver) report into this package
+instead of being a black box:
 
 * :class:`SolveStats` — a nested, clingo-``statistics``-compatible tree
   with ``grounding`` / ``solving`` / ``summary`` sections, dotted-path
   accessors, recursive merge and JSON serialization;
 * :class:`Timer` / :class:`Counter` — low-overhead stage timing;
 * :class:`TraceSink` and friends — a pluggable event stream (no-op
-  default, JSON-lines, human-readable, in-memory);
+  default, JSON-lines, human-readable, in-memory, Chrome trace);
+* :class:`Tracer` / :class:`Span` — hierarchical spans with
+  context-var parent propagation, closing into begin/end event pairs
+  on any sink;
+* :class:`MetricsRegistry` — process-wide counters, gauges and
+  histograms (:func:`get_registry`), foldable across worker processes;
+* :mod:`~repro.observability.export` — Chrome trace-event JSON
+  (Perfetto), Prometheus text exposition, and JSON run manifests;
 * :func:`format_statistics` — the clingo-style terminal summary block
   printed by ``repro --stats``.
 
 Entry points: ``repro.asp.Control(trace=...)`` and its ``.statistics``
-property; ``EpaEngine.statistics``; the CLI's ``--stats``/``--trace``
-flags.  See ``docs/observability.md`` for the schema and worked
-examples.
+property; ``EpaEngine.statistics``; the CLI's ``--stats`` / ``--trace``
+/ ``--trace-format`` / ``--metrics`` / ``--profile`` flags.  See
+``docs/observability.md`` for the schema and worked examples.
 """
 
+from .export import (
+    ChromeTraceSink,
+    git_revision,
+    prometheus_exposition,
+    run_manifest,
+    stats_digest,
+    to_chrome_trace,
+    write_metrics,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    get_registry,
+)
+from .spans import NOOP_SPAN, Span, Tracer, current_span
 from .stats import SolveStats, StatsError, format_statistics
 from .timing import Counter, Timer
 from .trace import (
@@ -33,17 +59,34 @@ from .trace import (
 )
 
 __all__ = [
+    "ChromeTraceSink",
     "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
     "HumanTraceSink",
     "JsonLinesTraceSink",
     "MemoryTraceSink",
+    "MetricsError",
+    "MetricsRegistry",
+    "NOOP_SPAN",
     "NULL_SINK",
     "NullTraceSink",
     "SolveStats",
+    "Span",
     "StatsError",
-    "Timer",
     "TraceEvent",
     "TraceSink",
+    "Tracer",
+    "Timer",
+    "current_span",
     "format_statistics",
+    "get_registry",
+    "git_revision",
     "open_trace",
+    "prometheus_exposition",
+    "run_manifest",
+    "stats_digest",
+    "to_chrome_trace",
+    "write_metrics",
 ]

@@ -1,0 +1,269 @@
+"""Standard-format exporters: Chrome trace JSON, Prometheus text, run
+manifests.
+
+Spans and events become artifacts other tools already understand:
+
+:func:`to_chrome_trace` / :class:`ChromeTraceSink`
+    the Chrome trace-event JSON object format — drop the file on
+    https://ui.perfetto.dev or ``chrome://tracing`` and read the solver
+    pipeline as a flame chart.  Span close events (``span="E"``)
+    become complete (``"ph": "X"``) duration slices; flat events
+    become instants (``"ph": "i"``); worker tags become track
+    (``tid``) assignments, so a ``--workers N`` run renders as N
+    parallel lanes.
+:func:`prometheus_exposition` / :func:`write_metrics`
+    the Prometheus text exposition format (version 0.0.4) over a
+    :class:`~repro.observability.MetricsRegistry` — counters, gauges,
+    and cumulative-bucket histograms with ``_sum``/``_count``.
+:func:`run_manifest`
+    a small JSON provenance record (argv, git revision, python,
+    platform, seed, a SHA-256 digest of the statistics tree) pinning
+    *which* code produced *which* numbers — bench history and CI
+    artifacts embed it.
+
+Everything here is pure serialization: no exporter mutates the
+registry or the event stream it reads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import subprocess
+import sys
+import time
+from typing import Any, Dict, IO, Iterable, List, Mapping, Optional, Union
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import TraceEvent, TraceSink
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON (Perfetto / chrome://tracing)
+# ----------------------------------------------------------------------
+def to_chrome_trace(events: Iterable[object]) -> Dict[str, Any]:
+    """Convert a trace-event stream to the Chrome trace *object format*.
+
+    Accepts :class:`~repro.observability.TraceEvent` objects or
+    ``(name, seconds, payload)`` triples.  Span pairs collapse into one
+    complete event (``ph="X"``) anchored at ``end - duration`` — the
+    begin event is dropped (its attributes are a subset of the end
+    event's) unless the span never closed, in which case nothing is
+    lost because unclosed spans have no extent to draw.  Timestamps are
+    microseconds, as the format requires.
+    """
+    trace_events: List[Dict[str, Any]] = []
+    for event in events:
+        if isinstance(event, TraceEvent):
+            name, seconds, payload = event.name, event.seconds, event.payload
+        else:
+            name, seconds, payload = event  # type: ignore[misc]
+        payload = dict(payload)
+        phase = payload.pop("span", None)
+        worker = payload.pop("worker", 0)
+        if phase == "B":
+            continue
+        record: Dict[str, Any] = {
+            "name": name,
+            "cat": "repro",
+            "pid": 0,
+            "tid": worker,
+            "args": payload,
+        }
+        if phase == "E":
+            duration = float(payload.get("seconds", 0.0) or 0.0)
+            record["ph"] = "X"
+            record["ts"] = round((seconds - duration) * 1e6, 3)
+            record["dur"] = round(duration * 1e6, 3)
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+            record["ts"] = round(seconds * 1e6, 3)
+        trace_events.append(record)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+class ChromeTraceSink(TraceSink):
+    """A :class:`~repro.observability.TraceSink` writing Chrome trace
+    JSON on close.
+
+    Events buffer in memory (the format is one JSON document, not a
+    stream); :meth:`close` serializes through :func:`to_chrome_trace`.
+    Accepts a path (opened and owned) or an open text stream
+    (borrowed, only flushed).
+    """
+
+    def __init__(self, target: object):
+        if hasattr(target, "write"):
+            self._stream: IO[str] = target  # type: ignore[assignment]
+            self._owned = False
+        else:
+            self._stream = open(str(target), "w", encoding="utf-8")
+            self._owned = True
+        self._epoch = time.perf_counter()
+        self.events: List[TraceEvent] = []
+
+    def emit(self, name: str, **payload: Any) -> None:
+        self.events.append(
+            TraceEvent(name, time.perf_counter() - self._epoch, payload)
+        )
+
+    def close(self) -> None:
+        json.dump(to_chrome_trace(self.events), self._stream, default=str)
+        self._stream.write("\n")
+        if self._owned:
+            self._stream.close()
+        else:
+            self._stream.flush()
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_text(labels: Iterable[object], extra: str = "") -> str:
+    parts = [
+        '%s="%s"' % (key, _escape_label_value(str(value)))
+        for key, value in labels
+    ]
+    if extra:
+        parts.append(extra)
+    return "{%s}" % ",".join(parts) if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_exposition(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Deterministic: metric families sort by name, series by label set;
+    histogram buckets expose cumulative counts with a closing
+    ``le="+Inf"`` bucket equal to ``_count``, per the format spec.
+    """
+    lines: List[str] = []
+    seen_header: set = set()
+    for metric in registry.collect():
+        name = metric.name  # type: ignore[attr-defined]
+        if name not in seen_header:
+            seen_header.add(name)
+            help_text = registry.help_for(name)
+            if help_text:
+                lines.append("# HELP %s %s" % (name, help_text))
+            lines.append("# TYPE %s %s" % (name, metric.kind))  # type: ignore[attr-defined]
+        labels = metric.labels  # type: ignore[attr-defined]
+        if isinstance(metric, Histogram):
+            cumulative = metric.cumulative_counts()
+            for bound, count in zip(metric.buckets, cumulative):
+                lines.append(
+                    "%s_bucket%s %d"
+                    % (
+                        name,
+                        _label_text(labels, 'le="%s"' % _format_value(bound)),
+                        count,
+                    )
+                )
+            lines.append(
+                '%s_bucket%s %d'
+                % (name, _label_text(labels, 'le="+Inf"'), metric.count)
+            )
+            lines.append(
+                "%s_sum%s %s" % (name, _label_text(labels), _format_value(metric.sum))
+            )
+            lines.append("%s_count%s %d" % (name, _label_text(labels), metric.count))
+        elif isinstance(metric, (Counter, Gauge)):
+            lines.append(
+                "%s%s %s" % (name, _label_text(labels), _format_value(metric.value))
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics(registry: MetricsRegistry, spec: Union[str, IO[str]]) -> None:
+    """Write Prometheus text for ``registry`` to a path, stream, or
+    ``"-"`` (stdout)."""
+    text = prometheus_exposition(registry)
+    if hasattr(spec, "write"):
+        spec.write(text)  # type: ignore[union-attr]
+        return
+    if spec == "-":
+        sys.stdout.write(text)
+        return
+    with open(str(spec), "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+# ----------------------------------------------------------------------
+# run manifest
+# ----------------------------------------------------------------------
+def git_revision(cwd: Optional[str] = None) -> Optional[str]:
+    """The short git revision of ``cwd`` (or the process cwd), if any."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip() or None
+
+
+def stats_digest(stats: Mapping[str, Any]) -> str:
+    """A stable SHA-256 over a statistics tree (or any JSON-able map)."""
+    to_dict = getattr(stats, "to_dict", None)
+    payload = to_dict() if callable(to_dict) else dict(stats)
+    encoded = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()
+
+
+def run_manifest(
+    argv: Optional[Iterable[str]] = None,
+    stats: Optional[Mapping[str, Any]] = None,
+    seed: Optional[int] = None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """A JSON-safe provenance record for one run.
+
+    Captures the command line, the git revision, interpreter and
+    platform, an optional RNG seed, and a digest of the final
+    statistics tree — enough to answer "what produced this trace/bench
+    row" months later.
+    """
+    manifest: Dict[str, Any] = {
+        "argv": list(argv if argv is not None else sys.argv),
+        "git_rev": git_revision(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "date": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    if seed is not None:
+        manifest["seed"] = seed
+    if stats is not None:
+        manifest["stats_digest"] = stats_digest(stats)
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+__all__ = [
+    "ChromeTraceSink",
+    "git_revision",
+    "prometheus_exposition",
+    "run_manifest",
+    "stats_digest",
+    "to_chrome_trace",
+    "write_metrics",
+]

@@ -1,0 +1,223 @@
+"""Hierarchical spans: causality on top of the flat trace-event stream.
+
+A :class:`~repro.observability.TraceEvent` says *something happened*; a
+:class:`Span` says *inside what*.  Every span has a process-unique id, a
+parent id (taken from the ambient :mod:`contextvars` context, so nesting
+works across layers that never see each other — the EPA engine opens
+``epa.analyze``, the control it drives opens ``control.solve`` under
+it), a wall-clock extent, and free-form attributes.
+
+The :class:`Tracer` is the factory: each instrumented layer builds one
+over its trace sink and wraps stages in ``with tracer.span("name"):``.
+Spans stay :class:`~repro.observability.TraceSink`-compatible by
+closing into a *pair* of flat events — one with ``span="B"`` when the
+span opens and one with ``span="E"``, the duration, and the final
+attributes when it closes — so every existing sink (JSON lines, human,
+in-memory) renders them without changes, and the Chrome exporter in
+:mod:`repro.observability.export` reassembles them into duration
+events.
+
+Disabled tracing stays near-free: a tracer over the shared
+:data:`~repro.observability.NULL_SINK` hands out one reusable no-op
+span, so the cost is an attribute check and a method call per stage —
+not per model or per propagation.
+
+Caveats, by design:
+
+* span ids are unique per process; events replayed from parallel
+  workers carry a ``worker=<i>`` tag to disambiguate (see
+  ``repro.parallel``);
+* a generator that yields inside a span (``Control.solve_iter``) keeps
+  the span current between ``next()`` calls, so events emitted by the
+  consumer in between are parented under it.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from .trace import NULL_SINK
+
+#: process-wide span-id allocator (monotonic, never reused)
+_SPAN_IDS = itertools.count(1)
+
+#: the ambient span — shared by every tracer so parent/child links work
+#: across layers that only share a sink
+_CURRENT: "contextvars.ContextVar[Optional[Span]]" = contextvars.ContextVar(
+    "repro_current_span", default=None
+)
+
+
+def current_span() -> Optional["Span"]:
+    """The innermost open span in this context (``None`` outside any)."""
+    return _CURRENT.get()
+
+
+class Span:
+    """One timed, attributed, parent-linked region of work.
+
+    Use as a context manager (normally via :meth:`Tracer.span`).  The
+    parent link is resolved at ``__enter__`` from the ambient context;
+    attributes added during the span (:meth:`set_attribute` /
+    :meth:`update`) ride on the closing event, which is how e.g.
+    ``epa.analyze`` reports its scenario counts.
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "attributes",
+        "start",
+        "end",
+        "error",
+        "thread_id",
+        "worker",
+        "_tracer",
+        "_token",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.attributes = attributes
+        self.span_id = next(_SPAN_IDS)
+        self.parent_id: Optional[int] = None
+        self.thread_id = threading.get_ident()
+        self.worker = tracer.worker
+        self.start: Optional[float] = None
+        self.end: Optional[float] = None
+        self.error: Optional[str] = None
+        self._token: Optional[contextvars.Token] = None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (to now while still open)."""
+        if self.start is None:
+            return 0.0
+        return (self.end if self.end is not None else time.perf_counter()) - self.start
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach one attribute (appears on the closing event)."""
+        self.attributes[key] = value
+
+    def update(self, **attributes: Any) -> None:
+        """Attach several attributes at once."""
+        self.attributes.update(attributes)
+
+    def __enter__(self) -> "Span":
+        parent = _CURRENT.get()
+        self.parent_id = parent.span_id if parent is not None else None
+        self._token = _CURRENT.set(self)
+        self.start = time.perf_counter()
+        self._tracer._emit(self, "B", dict(self.attributes))
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.end = time.perf_counter()
+        if exc is not None:
+            self.error = "%s: %s" % (getattr(exc_type, "__name__", exc_type), exc)
+        if self._token is not None:
+            try:
+                _CURRENT.reset(self._token)
+            except ValueError:  # pragma: no cover - token from another context
+                _CURRENT.set(None)
+        payload = dict(self.attributes)
+        payload["seconds"] = round(self.end - (self.start or self.end), 6)
+        if self.error is not None:
+            payload["error"] = self.error
+        self._tracer._emit(self, "E", payload)
+
+    def __repr__(self) -> str:
+        return "Span(%r, id=%d, parent=%r)" % (self.name, self.span_id, self.parent_id)
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out while tracing is off.
+
+    Stateless, so one instance safely serves every caller (including
+    nested and concurrent ones).
+    """
+
+    __slots__ = ()
+
+    name = "noop"
+    span_id = 0
+    parent_id: Optional[int] = None
+    error: Optional[str] = None
+    duration = 0.0
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def update(self, **attributes: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+#: the singleton no-op span
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Span factory over one trace sink.
+
+    ``worker`` (when set) tags every emitted event — the parallel layer
+    uses it to mark replayed worker streams.  A tracer over
+    :data:`~repro.observability.NULL_SINK` is disabled and hands out
+    :data:`NOOP_SPAN`.
+    """
+
+    __slots__ = ("sink", "worker")
+
+    def __init__(self, sink: Optional[object] = None, worker: Optional[int] = None):
+        self.sink = sink if sink is not None else NULL_SINK
+        self.worker = worker
+
+    @property
+    def enabled(self) -> bool:
+        """Whether spans will actually emit events."""
+        return self.sink is not NULL_SINK
+
+    def span(self, name: str, **attributes: Any) -> "Span":
+        """A context manager opening a span named ``name``.
+
+        Returns the (shared, inert) :data:`NOOP_SPAN` while disabled,
+        so instrumentation points cost one check on the hot path.
+        """
+        if self.sink is NULL_SINK:
+            return NOOP_SPAN  # type: ignore[return-value]
+        return Span(self, name, dict(attributes))
+
+    def event(self, name: str, **payload: Any) -> None:
+        """Emit one flat (instant) event through the sink.
+
+        Adds the worker tag when set; the ambient span, if any, is the
+        event's implicit parent (exporters use stream order).
+        """
+        if self.sink is NULL_SINK:
+            return
+        if self.worker is not None:
+            payload.setdefault("worker", self.worker)
+        self.sink.emit(name, **payload)
+
+    def _emit(self, span: Span, phase: str, payload: Dict[str, Any]) -> None:
+        payload["span"] = phase
+        payload["id"] = span.span_id
+        if span.parent_id is not None:
+            payload["parent"] = span.parent_id
+        if self.worker is not None:
+            payload["worker"] = self.worker
+        self.sink.emit(span.name, **payload)
+
+
+__all__ = ["NOOP_SPAN", "Span", "Tracer", "current_span"]

@@ -114,8 +114,24 @@ class JsonLinesTraceSink(TraceSink):
     def emit(self, name: str, **payload: Any) -> None:
         record = {"event": name, "t": round(time.perf_counter() - self._epoch, 6)}
         record.update(payload)
-        self._stream.write(json.dumps(record, sort_keys=True, default=str))
+        try:
+            line = json.dumps(record, sort_keys=True, default=str)
+        except (TypeError, ValueError):
+            # a payload value json cannot shape (non-string dict keys,
+            # circular structures): degrade to repr rather than blowing
+            # up mid-solve
+            line = json.dumps(
+                {
+                    "event": name,
+                    "t": record["t"],
+                    "payload_repr": repr(payload),
+                },
+                sort_keys=True,
+            )
+        self._stream.write(line)
         self._stream.write("\n")
+        # flush per event so a crashed run leaves a readable trace
+        self._stream.flush()
 
     def close(self) -> None:
         if self._owned:
@@ -134,21 +150,31 @@ class HumanTraceSink(TraceSink):
     def emit(self, name: str, **payload: Any) -> None:
         event = TraceEvent(name, time.perf_counter() - self._epoch, payload)
         self._stream.write(str(event) + "\n")
+        # flush per event so a crashed run leaves a readable trace
+        self._stream.flush()
 
     def close(self) -> None:
         self._stream.flush()
 
 
-def open_trace(spec: Optional[str]) -> TraceSink:
+def open_trace(spec: Optional[str], format: str = "jsonl") -> TraceSink:
     """Build a sink from a CLI-style spec.
 
     ``None``/empty -> :data:`NULL_SINK`; ``"-"`` -> human-readable on
-    stderr; anything else -> a JSON-lines file at that path.
+    stderr; anything else -> a file at that path, JSON lines by default
+    or Chrome trace-event JSON with ``format="chrome"`` (loadable in
+    Perfetto / ``chrome://tracing``).
     """
     if not spec:
         return NULL_SINK
     if spec == "-":
         return HumanTraceSink()
+    if format == "chrome":
+        from .export import ChromeTraceSink
+
+        return ChromeTraceSink(spec)
+    if format != "jsonl":
+        raise ValueError("unknown trace format: %r" % (format,))
     return JsonLinesTraceSink(spec)
 
 

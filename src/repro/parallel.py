@@ -18,6 +18,12 @@ the union of the shards equals the unsharded enumeration.
 :func:`merge_stats` folds per-worker statistics dictionaries into one
 :class:`~repro.observability.SolveStats` tree (numeric leaves sum), so
 ``--stats`` output still accounts for work done in child processes.
+Trace events and metrics ride the same way: workers ship their
+recorded event streams and a
+:meth:`~repro.observability.MetricsRegistry.to_dict` snapshot back in
+the result envelope, and the parent replays the events on its own sink
+tagged ``worker=<i>`` and folds the metrics into the process-wide
+registry — ``--trace``/``--metrics`` compose with ``--workers N``.
 
 Pool-level failures — a worker killed by the OS, unpicklable payloads —
 surface as :class:`ParallelError` instead of a hang; exceptions *raised

@@ -141,3 +141,132 @@ class TestCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+REQUIREMENT = "r1=err(water_tank, K), hazardous_kind(K)@water_tank!VH"
+
+
+class TestObservabilityFlags:
+    def _analyze(self, model_file, *extra):
+        return main(
+            ["analyze", model_file, "-r", REQUIREMENT, "--max-faults", "1"]
+            + list(extra)
+        )
+
+    def test_workers_and_trace_compose(self, capsys, tmp_path, model_file):
+        """--workers N --trace FILE emits worker-tagged events from all
+        workers and the analysis output stays identical to serial."""
+        import json
+
+        assert self._analyze(model_file) == 0
+        serial_out = capsys.readouterr().out
+        trace_path = tmp_path / "trace.jsonl"
+        code = self._analyze(
+            model_file, "--workers", "2", "--trace", str(trace_path)
+        )
+        assert code == 0
+        assert capsys.readouterr().out == serial_out
+        records = [
+            json.loads(line) for line in trace_path.read_text().splitlines()
+        ]
+        workers = {r["worker"] for r in records if "worker" in r}
+        assert workers == {0, 1}
+        # replayed worker streams include real solver traffic
+        tagged_names = {r["event"] for r in records if "worker" in r}
+        assert "control.solve" in tagged_names
+
+    def test_trace_format_chrome(self, tmp_path, model_file):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        code = self._analyze(
+            model_file,
+            "--trace",
+            str(trace_path),
+            "--trace-format",
+            "chrome",
+        )
+        assert code == 0
+        doc = json.loads(trace_path.read_text())
+        assert doc["traceEvents"]
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "epa.analyze" in names
+        assert "control.solve" in names
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert complete and all(e["dur"] >= 0 for e in complete)
+
+    def test_metrics_file(self, tmp_path, model_file):
+        metrics_path = tmp_path / "metrics.prom"
+        assert self._analyze(model_file, "--metrics", str(metrics_path)) == 0
+        text = metrics_path.read_text()
+        assert "# TYPE repro_models_total counter" in text
+        assert "repro_solve_calls_total" in text
+        assert 'repro_stage_seconds_bucket{stage="solve",le="+Inf"}' in text
+
+    def test_metrics_dash_goes_to_stdout(self, capsys, model_file):
+        assert self._analyze(model_file, "--metrics", "-") == 0
+        assert "repro_models_total" in capsys.readouterr().out
+
+    def test_metrics_reset_per_run(self, tmp_path, model_file):
+        """Each solving command starts from a zeroed registry, so two
+        identical runs report identical counter totals."""
+        first = tmp_path / "first.prom"
+        second = tmp_path / "second.prom"
+        assert self._analyze(model_file, "--metrics", str(first)) == 0
+        assert self._analyze(model_file, "--metrics", str(second)) == 0
+        models = [
+            line
+            for line in first.read_text().splitlines()
+            if line.startswith("repro_models_total ")
+        ]
+        assert models
+        assert models == [
+            line
+            for line in second.read_text().splitlines()
+            if line.startswith("repro_models_total ")
+        ]
+
+    def test_profile_dump(self, tmp_path, model_file):
+        import pstats
+
+        profile_path = tmp_path / "run.pstats"
+        assert self._analyze(model_file, "--profile", str(profile_path)) == 0
+        stats = pstats.Stats(str(profile_path))
+        assert stats.stats  # non-empty profile
+
+    def test_assess_takes_the_same_flags(self, capsys, tmp_path, model_file):
+        import json
+
+        trace_path = tmp_path / "assess.json"
+        metrics_path = tmp_path / "assess.prom"
+        code = main(
+            [
+                "assess",
+                model_file,
+                "--max-faults",
+                "1",
+                "--trace",
+                str(trace_path),
+                "--trace-format",
+                "chrome",
+                "--metrics",
+                str(metrics_path),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(trace_path.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "pipeline.run" in names
+        assert "pipeline.phase" in names
+        assert "repro_stage_seconds" in metrics_path.read_text()
+
+    def test_workers_help_mentions_composition(self):
+        parser = build_parser()
+        help_text = parser.format_help()
+        # the old carve-out ("ignored while --trace is active") is gone
+        sub_help = [
+            a for a in parser._subparsers._group_actions[0].choices.items()
+        ]
+        analyze_help = dict(sub_help)["analyze"].format_help()
+        assert "ignored while --trace" not in analyze_help
+        assert "worker" in analyze_help

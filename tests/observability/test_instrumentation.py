@@ -165,6 +165,7 @@ class TestEngineStatistics:
         assert stats.get_path("grounding.rules") > 0
         assert stats.get_path("solving.solvers.choices") > 0
         assert stats.get_path("summary.models.enumerated") > 0
+        # the analyze span closes into a begin/end event pair
         analyze_events = sink.named("epa.analyze")
-        assert len(analyze_events) == 1
-        assert analyze_events[0].payload["scenarios"] == len(report)
+        assert [e.payload.get("span") for e in analyze_events] == ["B", "E"]
+        assert analyze_events[-1].payload["scenarios"] == len(report)

@@ -1,0 +1,158 @@
+"""Hierarchical span behaviour: nesting, error capture, no-op path."""
+
+import pytest
+
+from repro.observability import (
+    MemoryTraceSink,
+    NOOP_SPAN,
+    NULL_SINK,
+    Tracer,
+    current_span,
+)
+
+
+def _pairs(sink):
+    """(name, phase, payload) triples of the span events in the sink."""
+    return [
+        (e.name, e.payload.get("span"), e.payload) for e in sink.events
+    ]
+
+
+class TestSpanEvents:
+    def test_span_closes_into_begin_end_pair(self):
+        sink = MemoryTraceSink()
+        tracer = Tracer(sink)
+        with tracer.span("stage", size=3):
+            pass
+        assert [(n, p) for n, p, _ in _pairs(sink)] == [
+            ("stage", "B"),
+            ("stage", "E"),
+        ]
+        begin, end = sink.events
+        assert begin.payload["id"] == end.payload["id"]
+        assert begin.payload["size"] == 3
+        assert end.payload["seconds"] >= 0
+
+    def test_closing_event_carries_updated_attributes(self):
+        sink = MemoryTraceSink()
+        tracer = Tracer(sink)
+        with tracer.span("stage") as span:
+            span.set_attribute("models", 7)
+            span.update(conflicts=2, restarts=0)
+        end = sink.events[-1].payload
+        assert end["models"] == 7
+        assert end["conflicts"] == 2
+        # attributes added after open do not rewrite the begin event
+        assert "models" not in sink.events[0].payload
+
+    def test_nesting_links_parent_ids(self):
+        sink = MemoryTraceSink()
+        tracer = Tracer(sink)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+        inner_end = [
+            e for e in sink.events
+            if e.name == "inner" and e.payload["span"] == "E"
+        ][0]
+        assert inner_end.payload["parent"] == outer.span_id
+
+    def test_nesting_works_across_tracers_sharing_a_sink(self):
+        # the EPA engine and the control have separate tracers; the
+        # ambient context still links their spans
+        sink = MemoryTraceSink()
+        with Tracer(sink).span("epa.analyze") as outer:
+            with Tracer(sink).span("control.solve") as inner:
+                assert inner.parent_id == outer.span_id
+
+    def test_sibling_spans_share_a_parent(self):
+        sink = MemoryTraceSink()
+        tracer = Tracer(sink)
+        with tracer.span("parent") as parent:
+            with tracer.span("first") as first:
+                pass
+            with tracer.span("second") as second:
+                pass
+        assert first.parent_id == parent.span_id
+        assert second.parent_id == parent.span_id
+        assert first.span_id != second.span_id
+
+
+class TestSpanErrors:
+    def test_exception_closes_span_with_error(self):
+        sink = MemoryTraceSink()
+        tracer = Tracer(sink)
+        with pytest.raises(ValueError):
+            with tracer.span("stage"):
+                raise ValueError("boom")
+        end = sink.events[-1].payload
+        assert end["span"] == "E"
+        assert end["error"] == "ValueError: boom"
+        # the ambient context is restored even on the error path
+        assert current_span() is None
+
+    def test_parent_restored_after_child_raises(self):
+        sink = MemoryTraceSink()
+        tracer = Tracer(sink)
+        with tracer.span("outer") as outer:
+            with pytest.raises(RuntimeError):
+                with tracer.span("inner"):
+                    raise RuntimeError("inner failure")
+            assert current_span() is outer
+            with tracer.span("sibling") as sibling:
+                assert sibling.parent_id == outer.span_id
+
+    def test_error_spans_still_emit_duration(self):
+        sink = MemoryTraceSink()
+        tracer = Tracer(sink)
+        with pytest.raises(KeyError):
+            with tracer.span("stage"):
+                raise KeyError("missing")
+        assert sink.events[-1].payload["seconds"] >= 0
+
+
+class TestNoopPath:
+    def test_null_sink_tracer_hands_out_the_shared_noop_span(self):
+        tracer = Tracer(NULL_SINK)
+        assert not tracer.enabled
+        span = tracer.span("anything", big=1)
+        assert span is NOOP_SPAN
+        with span as entered:
+            entered.set_attribute("k", "v")
+            entered.update(models=3)
+        assert span.duration == 0.0
+
+    def test_noop_span_does_not_become_the_ambient_span(self):
+        with Tracer(NULL_SINK).span("stage"):
+            assert current_span() is None
+
+    def test_default_tracer_is_disabled(self):
+        assert not Tracer().enabled
+        Tracer().event("never", x=1)  # must not raise
+
+    def test_noop_event_emits_nothing(self):
+        sink = MemoryTraceSink()
+        Tracer(NULL_SINK).event("dropped")
+        assert sink.events == []
+
+
+class TestWorkerTag:
+    def test_worker_tag_rides_span_events(self):
+        sink = MemoryTraceSink()
+        tracer = Tracer(sink, worker=3)
+        with tracer.span("stage"):
+            pass
+        assert all(e.payload["worker"] == 3 for e in sink.events)
+
+    def test_worker_tag_rides_instant_events(self):
+        sink = MemoryTraceSink()
+        Tracer(sink, worker=1).event("tick", n=1)
+        assert sink.events[0].payload == {"n": 1, "worker": 1}
+
+    def test_instant_event_without_worker_has_no_tag(self):
+        sink = MemoryTraceSink()
+        Tracer(sink).event("tick")
+        assert "worker" not in sink.events[0].payload

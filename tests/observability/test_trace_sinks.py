@@ -1,0 +1,100 @@
+"""Trace-sink hardening: non-JSON-safe payloads, flushing, formats."""
+
+import io
+import json
+
+import pytest
+
+from repro.observability import (
+    ChromeTraceSink,
+    HumanTraceSink,
+    JsonLinesTraceSink,
+    NULL_SINK,
+    open_trace,
+)
+
+
+class TestJsonLinesHardening:
+    def test_non_string_like_values_coerce_via_default_str(self):
+        stream = io.StringIO()
+        sink = JsonLinesTraceSink(stream)
+        sink.emit("event", value={1, 2}.__class__, obj=object())
+        record = json.loads(stream.getvalue())
+        assert record["event"] == "event"
+        # values went through default=str, not an exception
+        assert isinstance(record["value"], str)
+
+    def test_unserializable_payload_degrades_to_repr(self):
+        stream = io.StringIO()
+        sink = JsonLinesTraceSink(stream)
+        # non-string dict keys make json.dumps raise TypeError even with
+        # default=str; the sink must not blow up mid-solve
+        sink.emit("event", mapping={(1, 2): "tuple-keyed"})
+        record = json.loads(stream.getvalue())
+        assert record["event"] == "event"
+        assert "payload_repr" in record
+        assert "tuple-keyed" in record["payload_repr"]
+
+    def test_self_referencing_payload_degrades_to_repr(self):
+        loop = []
+        loop.append(loop)
+        stream = io.StringIO()
+        JsonLinesTraceSink(stream).emit("event", loop=loop)
+        record = json.loads(stream.getvalue())
+        assert "payload_repr" in record
+
+    def test_every_event_is_flushed(self):
+        class CountingStream(io.StringIO):
+            flushes = 0
+
+            def flush(self):
+                type(self).flushes += 1
+                super().flush()
+
+        stream = CountingStream()
+        sink = JsonLinesTraceSink(stream)
+        before = stream.flushes
+        sink.emit("one")
+        sink.emit("two")
+        assert stream.flushes >= before + 2
+
+    def test_human_sink_flushes_per_event(self):
+        class CountingStream(io.StringIO):
+            flushes = 0
+
+            def flush(self):
+                type(self).flushes += 1
+                super().flush()
+
+        stream = CountingStream()
+        sink = HumanTraceSink(stream)
+        before = stream.flushes
+        sink.emit("solver.model", number=1)
+        assert stream.flushes >= before + 1
+        assert "solver.model" in stream.getvalue()
+
+
+class TestOpenTrace:
+    def test_empty_spec_is_null_sink(self):
+        assert open_trace(None) is NULL_SINK
+        assert open_trace("") is NULL_SINK
+
+    def test_jsonl_default(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = open_trace(str(path))
+        assert isinstance(sink, JsonLinesTraceSink)
+        sink.close()
+
+    def test_chrome_format(self, tmp_path):
+        path = tmp_path / "t.json"
+        sink = open_trace(str(path), format="chrome")
+        assert isinstance(sink, ChromeTraceSink)
+        sink.close()
+        json.loads(path.read_text())
+
+    def test_dash_is_human_regardless_of_format(self):
+        assert isinstance(open_trace("-", format="chrome"), HumanTraceSink)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            open_trace(str(tmp_path / "t"), format="svg")

@@ -33,7 +33,9 @@ keyed by git revision.
 
 ``--check`` reruns the suite and exits 1 if any benchmark's median
 regressed more than 25% against the medians recorded in
-``BENCH_asp.json``.
+``BENCH_asp.json`` — except the benches in ``STRICT_TOLERANCE``
+(the provenance-off enumeration is gated at 3%: the off path is
+contractually free).
 """
 
 import argparse
@@ -50,12 +52,20 @@ HISTORY_PATH = REPO_ROOT / "BENCH_history.jsonl"
 #: tolerated slowdown vs the recorded medians before --check fails
 REGRESSION_TOLERANCE = 1.25
 
+#: benches gated tighter than the global tolerance; the provenance-off
+#: enumeration must stay within 3% of its recorded median, because the
+#: whole point of the off path is that it costs nothing
+STRICT_TOLERANCE = {
+    "test_bench_epa_enumerate_provenance_off": 1.03,
+}
+
 BENCH_FILES = [
     "benchmarks/test_bench_asp_classic.py",
     "benchmarks/test_bench_fig4_refinement.py",
     "benchmarks/test_bench_grounding.py",
     "benchmarks/test_bench_multishot.py",
     "benchmarks/test_bench_parallel.py",
+    "benchmarks/test_bench_provenance.py",
 ]
 
 #: medians (seconds) measured immediately before the grounding/solving
@@ -186,14 +196,15 @@ def check_regressions(benches, baseline_path=None):
         baseline = recorded.get(name, {}).get("median_s")
         if not baseline:
             continue
-        if record["median_s"] > baseline * REGRESSION_TOLERANCE:
+        tolerance = STRICT_TOLERANCE.get(name, REGRESSION_TOLERANCE)
+        if record["median_s"] > baseline * tolerance:
             failures.append(
                 "%s regressed: %.4fs vs recorded %.4fs (>%d%%)"
                 % (
                     name,
                     record["median_s"],
                     baseline,
-                    round((REGRESSION_TOLERANCE - 1) * 100),
+                    round((tolerance - 1) * 100),
                 )
             )
     return failures

@@ -39,6 +39,17 @@ repeated solves.  Cache traffic shows up under
 ``statistics["grounding"]["cache"]`` (hits/misses).  Controls with a
 trace sink attached bypass the shared cache: observability wins, every
 grounder event is re-emitted.  :func:`clear_ground_cache` empties it.
+
+Provenance: ``Control(provenance=True)`` makes the grounder record, for
+every ground rule, the non-ground rule and substitution it came from
+(``GroundProgram.origins``), and :meth:`Control.justify` builds
+well-founded proof DAGs over a model from them (see
+:mod:`repro.provenance`).  After a solve call that found no model,
+:attr:`Control.unsat_core` holds the subset of that call's assumptions
+(externals included) responsible — ``None`` after satisfiable calls,
+``[]`` when the program is unconditionally unsatisfiable.  Provenance
+controls bypass the shared ground cache (cached programs carry no
+origins); with the flag off the grounding fast path is untouched.
 """
 
 from __future__ import annotations
@@ -93,6 +104,10 @@ _GROUND_CACHE_HITS = _METRICS.counter(
 _GROUND_CACHE_MISSES = _METRICS.counter(
     "repro_ground_cache_misses_total", "process-wide ground-cache misses"
 )
+_PROVENANCE_RULES = _METRICS.counter(
+    "repro_provenance_rules_recorded_total",
+    "ground rules with a recorded non-ground origin",
+)
 _SOLVE_SECONDS = _METRICS.histogram(
     "repro_stage_seconds", "per-stage wall-clock latency", stage="solve"
 )
@@ -109,15 +124,18 @@ class Control:
         text: str = "",
         trace: Optional[object] = None,
         multishot: bool = False,
+        provenance: bool = False,
     ):
         self._program = Program()
         self._trace = trace if trace is not None else NULL_SINK
         self._tracer = Tracer(self._trace)
         self._stats = SolveStats()
         self._multishot = multishot
+        self._provenance = provenance
         self._externals: "OrderedDict[Atom, Optional[bool]]" = OrderedDict()
         self._solver: Optional[StableModelSolver] = None
         self._solver_snapshot: Dict[str, object] = {}
+        self._last_core: Optional[List[Tuple[Atom, bool]]] = None
         if text:
             self.add(text)
         self._ground: Optional[GroundProgram] = None
@@ -142,6 +160,28 @@ class Control:
     def multishot(self) -> bool:
         """Whether this control reuses one solver across solve calls."""
         return self._multishot
+
+    @property
+    def provenance(self) -> bool:
+        """Whether the grounder records rule origins for this control."""
+        return self._provenance
+
+    @property
+    def unsat_core(self) -> Optional[List[Tuple[Atom, bool]]]:
+        """Assumption core of the last model-free solve call.
+
+        ``None`` unless the most recent ``solve``/``solve_iter``/
+        ``optimize`` call yielded no model; ``[]`` when the program has
+        no stable model regardless of assumptions; otherwise a subset of
+        that call's effective assumptions — caller assumptions merged
+        with external assignments — already sufficient for
+        unsatisfiability.  Not minimized: pass through
+        :func:`repro.provenance.minimize_core` /
+        :func:`repro.provenance.assumption_core` for a MUS.
+        """
+        if self._last_core is None:
+            return None
+        return list(self._last_core)
 
     @property
     def externals(self) -> Dict[Atom, Optional[bool]]:
@@ -243,8 +283,9 @@ class Control:
         """Ground the accumulated program (cached until text changes)."""
         if self._ground is None:
             # the shared cache is only sound when no trace sink expects
-            # per-round grounder events
-            shareable = self._trace is NULL_SINK
+            # per-round grounder events and no origins are wanted
+            # (cached programs were ground without provenance)
+            shareable = self._trace is NULL_SINK and not self._provenance
             ground_timer = Timer()
             with self._tracer.span("control.ground") as span, ground_timer, \
                     self._stats.timer("summary.times.ground"):
@@ -256,12 +297,20 @@ class Control:
                     self._stats.incr("grounding.cache.hits")
                     _GROUND_CACHE_HITS.inc()
                 else:
-                    grounder = Grounder(self._program, trace=self._trace)
+                    grounder = Grounder(
+                        self._program,
+                        trace=self._trace,
+                        provenance=self._provenance,
+                    )
                     self._ground = grounder.ground()
                     grounding_stats = grounder.statistics
                     self._stats.incr("grounding.cache.misses")
                     _GROUND_CACHE_MISSES.inc()
                     _GROUND_RULES.inc(grounding_stats.get("rules", 0))
+                    if self._provenance:
+                        _PROVENANCE_RULES.inc(
+                            grounding_stats.get("provenance_rules", 0)
+                        )
                     if shareable:
                         _GROUND_CACHE[key] = (self._ground, grounding_stats)
                         if len(_GROUND_CACHE) > _GROUND_CACHE_CAPACITY:
@@ -329,6 +378,7 @@ class Control:
                     yield model
             finally:
                 inner.close()
+                self._last_core = solver.unsat_core if count == 0 else None
                 span.update(models=count)
                 self._record_solve(solver, timer.stop(), count)
 
@@ -365,6 +415,7 @@ class Control:
                 limit=limit,
                 retract=self._multishot,
             )
+            self._last_core = solver.unsat_core if not models else None
             costs: Optional[List[int]] = None
             if models and models[0].cost:
                 costs = [value for _, value in models[0].cost]
@@ -415,6 +466,22 @@ class Control:
             self._stats.get_path("summary.times.ground", 0.0)
             + self._stats.get_path("summary.times.solve", 0.0),
         )
+
+    # ------------------------------------------------------------------
+    # provenance
+    # ------------------------------------------------------------------
+    def justify(self, model: Union[Model, Iterable[Atom]]) -> object:
+        """A :class:`repro.provenance.Justifier` over ``model``.
+
+        The justifier computes well-founded proof DAGs (``why``) and
+        failed-support explanations (``why_not``) for atoms of the given
+        stable model.  With ``provenance=True`` each proof step also
+        carries the originating non-ground rule and substitution;
+        without it the steps reference ground rules only.
+        """
+        from ..provenance import Justifier
+
+        return Justifier(self.ground(), model)
 
     # ------------------------------------------------------------------
     # consequence reasoning

@@ -90,6 +90,29 @@ class GroundWeakConstraint:
     terms: Tuple[GroundTerm, ...]
 
 
+@dataclass(frozen=True)
+class RuleOrigin:
+    """Provenance of one ground rule: the non-ground rule it was
+    instantiated from and the variable binding used.
+
+    ``binding`` is a sorted ``((variable_name, ground_term), ...)``
+    tuple so origins hash and compare structurally.  Recorded by the
+    grounder only when provenance tracking is on (see
+    :class:`repro.asp.grounder.Grounder`).
+    """
+
+    rule: object  #: the originating :class:`repro.asp.syntax.Rule`
+    binding: Tuple[Tuple[str, GroundTerm], ...] = ()
+
+    def substitution(self) -> Dict[str, GroundTerm]:
+        """The binding as a ``{variable_name: term}`` dict."""
+        return dict(self.binding)
+
+    def __str__(self) -> str:
+        subst = ", ".join("%s=%s" % (name, term) for name, term in self.binding)
+        return "%s  [%s]" % (self.rule, subst or "ground")
+
+
 @dataclass
 class GroundProgram:
     """The full ground program handed to the solver."""
@@ -99,6 +122,15 @@ class GroundProgram:
     shows: List[Tuple[str, int]] = field(default_factory=list)
     #: every atom that can possibly be true (the grounder's Herbrand base)
     possible_atoms: List[Atom] = field(default_factory=list)
+    #: per-rule provenance, aligned by index with ``rules``; ``None``
+    #: unless the grounder ran with ``provenance=True``
+    origins: Optional[List[RuleOrigin]] = None
+
+    def origin_of(self, rule_index: int) -> Optional[RuleOrigin]:
+        """The recorded origin of ``rules[rule_index]`` (None when off)."""
+        if self.origins is None:
+            return None
+        return self.origins[rule_index]
 
     def statistics(self) -> Dict[str, int]:
         return {

@@ -34,6 +34,7 @@ from .ground import (
     GroundProgram,
     GroundRule,
     GroundWeakConstraint,
+    RuleOrigin,
 )
 from .syntax import (
     Aggregate,
@@ -152,10 +153,14 @@ class Grounder:
         program: Program,
         trace: Optional[object] = None,
         indexing: bool = True,
+        provenance: bool = False,
     ):
         from ..observability import NULL_SINK, Tracer
 
         self._program = program
+        #: None when provenance is off — the recording sites then cost
+        #: one identity check per instance, mirroring the spans fast path
+        self._origins: Optional[List[RuleOrigin]] = [] if provenance else None
         self._consts = dict(program.consts)
         self._extensions: Dict[Tuple[str, int], _PredicateExtension] = {}
         self._atom_set: Set[Atom] = set()
@@ -254,13 +259,20 @@ class Grounder:
 
         ground = GroundProgram()
         ground.shows = [(s.predicate, s.arity) for s in self._program.shows]
+        origins = self._origins
         # Lower every recorded instance now that the atom set is complete.
         for rule, binding in instances.values():
-            ground.rules.extend(self._lower_rule(rule, binding))
+            lowered = self._lower_rule(rule, binding)
+            ground.rules.extend(lowered)
+            if origins is not None and lowered:
+                origins.extend([_origin_of(rule, binding)] * len(lowered))
         # Constraints over the final atom set.
         for rule in final_rules:
             for binding in self._solve_body(rule.body, pivot=None):
-                ground.rules.extend(self._lower_rule(rule, binding))
+                lowered = self._lower_rule(rule, binding)
+                ground.rules.extend(lowered)
+                if origins is not None and lowered:
+                    origins.extend([_origin_of(rule, binding)] * len(lowered))
         # Weak constraints and #minimize statements.
         for weak in self._program.weak_constraints:
             weak = self._apply_consts_weak(weak)
@@ -279,7 +291,7 @@ class Grounder:
             self._atom_set, key=lambda atom: (atom.predicate, _atom_key(atom))
         )
         rules_before_simplify = len(ground.rules)
-        ground.rules = self._simplify(ground.rules)
+        ground.rules, ground.origins = self._simplify(ground.rules, origins)
         self.statistics = {
             "rules_nonground": len(self._program.rules),
             "rules": len(ground.rules),
@@ -295,6 +307,8 @@ class Grounder:
                 "delta_hits": self._index_delta_hits,
             },
         }
+        if ground.origins is not None:
+            self.statistics["provenance_rules"] = len(ground.origins)
         self._trace.emit("grounder.done", **self.statistics)
         return ground
 
@@ -863,9 +877,14 @@ class Grounder:
     # ------------------------------------------------------------------
     # final simplification
     # ------------------------------------------------------------------
-    def _simplify(self, rules: List[GroundRule]) -> List[GroundRule]:
+    def _simplify(
+        self,
+        rules: List[GroundRule],
+        origins: Optional[List[RuleOrigin]] = None,
+    ) -> Tuple[List[GroundRule], Optional[List[RuleOrigin]]]:
         simplified: List[GroundRule] = []
-        for rule in rules:
+        kept: Optional[List[RuleOrigin]] = None if origins is None else []
+        for index, rule in enumerate(rules):
             # `not a` where a can never hold is trivially true: drop literal
             neg = tuple(a for a in rule.neg if a in self._atom_set)
             # `not a` where a is certainly true: body is false, drop rule
@@ -877,7 +896,9 @@ class Grounder:
             simplified.append(
                 GroundRule(rule.head, rule.pos, neg, rule.aggregates)
             )
-        return simplified
+            if kept is not None:
+                kept.append(origins[index])
+        return simplified, kept
 
     def _instance_key(self, index: int, rule: Rule, binding: Binding) -> Tuple:
         items = tuple(
@@ -887,6 +908,17 @@ class Grounder:
             )
         )
         return (index, items)
+
+
+def _origin_of(rule: Rule, binding: Binding) -> RuleOrigin:
+    """Freeze one instantiation into a structural :class:`RuleOrigin`."""
+    items = tuple(
+        sorted(
+            ((var.name, value) for var, value in binding.items()),
+            key=lambda pair: pair[0],
+        )
+    )
+    return RuleOrigin(rule, items)
 
 
 def _arithmetic_bound(term: Term) -> bool:

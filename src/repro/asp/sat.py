@@ -80,6 +80,9 @@ class Solver:
         self._restarts_total = 0
         self._learnt_total = 0
         self._unsat = False  # top-level UNSAT discovered
+        #: assumption core of the last UNSAT ``solve_raw`` (None = last
+        #: call was SAT or no call happened; [] = globally UNSAT)
+        self._last_core: Optional[List[int]] = None
         #: decision-order heap of (-activity, var); entries may be stale
         self._order: List[tuple] = []
 
@@ -501,7 +504,9 @@ class Solver:
         paired with :meth:`add_blocking_clause` this makes model
         enumeration resume next to the previous model.
         """
+        self._last_core = None
         if self._unsat:
+            self._last_core = []
             return None
         assumption_list = list(assumptions)
         if restart or assumption_list:
@@ -509,6 +514,7 @@ class Solver:
             conflict = self._propagate()
             if conflict is not None:
                 self._unsat = True
+                self._last_core = []
                 return None
         restarts = 0
         conflicts_since_restart = 0
@@ -520,9 +526,15 @@ class Solver:
                 conflicts_since_restart += 1
                 if len(self._trail_lim) == 0:
                     self._unsat = True
+                    self._last_core = []
                     return None
                 if len(self._trail_lim) <= len(assumption_list):
-                    # conflict inside the assumption prefix
+                    # conflict inside the assumption prefix: the reasons
+                    # of the conflicting clause trace back to the
+                    # assumption decisions responsible (analyzeFinal)
+                    self._last_core = self._collect_core(
+                        self._clauses[conflict]
+                    )
                     return None
                 learnt, back_level = self._analyze(conflict)
                 back_level = max(back_level, 0)
@@ -531,6 +543,7 @@ class Solver:
                 if len(learnt) == 1:
                     if not self._enqueue(learnt[0], None):
                         self._unsat = True
+                        self._last_core = []
                         return None
                 else:
                     index = len(self._clauses)
@@ -560,6 +573,11 @@ class Solver:
                 self._ensure_var(abs(literal))
                 value = self._value(literal)
                 if value == FALSE:
+                    # the assumption is already falsified: it conflicts
+                    # with whatever forced its negation
+                    self._last_core = self._collect_core(
+                        [-literal], extra=[literal]
+                    )
                     return None
                 self._trail_lim.append(len(self._trail))
                 if value == UNASSIGNED:
@@ -571,6 +589,56 @@ class Solver:
             self._decisions_total += 1
             self._trail_lim.append(len(self._trail))
             self._enqueue(literal, None)
+
+    # ------------------------------------------------------------------
+    # assumption cores
+    # ------------------------------------------------------------------
+    def last_core(self) -> Optional[List[int]]:
+        """The assumption literals behind the last UNSAT answer.
+
+        ``None`` when the last :meth:`solve_raw` call was satisfiable (or
+        none happened yet); an empty list when the formula is UNSAT even
+        without assumptions; otherwise a subset of that call's assumption
+        literals which is already unsatisfiable together with the
+        clauses.  The core is not minimized — see
+        :func:`repro.provenance.minimize_core` for the deletion-based
+        MUS pass.
+        """
+        if self._last_core is None:
+            return None
+        return list(self._last_core)
+
+    def _collect_core(
+        self, seeds: Iterable[int], extra: Sequence[int] = ()
+    ) -> List[int]:
+        """Walk the reason graph from ``seeds`` down to assumption decisions.
+
+        Every decision reached (a var assigned with no reason clause
+        above level 0) is an assumption of the current call — the search
+        has not branched past the assumption prefix when this runs.
+        ``extra`` literals are prepended verbatim (the falsified
+        assumption itself in the early-exit case).
+        """
+        core: List[int] = list(extra)
+        seen = set(core)
+        visited = set()
+        stack = [abs(literal) for literal in seeds]
+        while stack:
+            var = stack.pop()
+            if var in visited:
+                continue
+            visited.add(var)
+            if self._level[var] == 0:
+                continue  # forced by the formula alone
+            reason = self._reason[var]
+            if reason is None:
+                literal = var if self._assign[var] == TRUE else -var
+                if literal not in seen:
+                    seen.add(literal)
+                    core.append(literal)
+            else:
+                stack.extend(abs(other) for other in self._clauses[reason])
+        return core
 
     # ------------------------------------------------------------------
     # encodings

@@ -118,6 +118,9 @@ class StableModelSolver:
         self._loop_nogoods = 0
         self._bound_improvements = 0
         self._block_items: Optional[List[Tuple[Atom, int]]] = None
+        #: atom-level assumption core of the last fruitless call (see
+        #: :attr:`unsat_core`)
+        self._last_core: Optional[List[Tuple[Atom, bool]]] = None
         self._build()
 
     @property
@@ -573,6 +576,8 @@ class StableModelSolver:
         so the solver can serve further solve calls.
         """
         guard = self._sat.new_var() if retract else None
+        self._last_core = None
+        literal_atoms = self._literal_atoms(assumptions)
         literals = self._assumption_literals(assumptions)
         if guard is not None:
             literals = [guard] + literals
@@ -584,6 +589,10 @@ class StableModelSolver:
                 # backjumped to its asserting level: continue from there
                 true_atoms = self._next_stable(literals, restart=(count == 0))
                 if true_atoms is None:
+                    if count == 0:
+                        self._last_core = self._core_from_sat(
+                            literal_atoms, guard
+                        )
                     return
                 self._models_enumerated += 1
                 self._trace.emit(
@@ -614,6 +623,63 @@ class StableModelSolver:
             literals.append(var if positive else -var)
         return literals
 
+    @property
+    def unsat_core(self) -> Optional[List[Tuple[Atom, bool]]]:
+        """The assumptions behind the last model-free call, as atoms.
+
+        ``None`` unless the most recent ``models``/``optimize`` call
+        produced no model at all; an empty list when the program has no
+        stable model even without assumptions; otherwise a subset of
+        that call's ``(atom, truth)`` assumptions already sufficient for
+        unsatisfiability (not minimized).
+        """
+        if self._last_core is None:
+            return None
+        return list(self._last_core)
+
+    def _literal_atoms(
+        self, assumptions: Sequence[Tuple[Atom, bool]]
+    ) -> Dict[int, List[Tuple[Atom, bool]]]:
+        """Reverse map of :meth:`_assumption_literals` for core reporting.
+
+        Several underivable positive assumptions share the single
+        ``-true`` literal, hence the list values.
+        """
+        mapping: Dict[int, List[Tuple[Atom, bool]]] = {}
+        for atom, positive in assumptions:
+            var = self._atom_var.get(atom)
+            if var is None:
+                if positive:
+                    mapping.setdefault(-self._true, []).append((atom, True))
+                continue
+            literal = var if positive else -var
+            mapping.setdefault(literal, []).append((atom, positive))
+        return mapping
+
+    def _core_from_sat(
+        self,
+        literal_atoms: Dict[int, List[Tuple[Atom, bool]]],
+        guard: Optional[int],
+    ) -> Optional[List[Tuple[Atom, bool]]]:
+        """Translate the SAT backend's literal core to atom assumptions.
+
+        Guard/activation literals and auxiliary encoding variables carry
+        no atom and are dropped.
+        """
+        raw = self._sat.last_core()
+        if raw is None:
+            return None
+        core: List[Tuple[Atom, bool]] = []
+        seen: Set[Tuple[Atom, bool]] = set()
+        for literal in raw:
+            if guard is not None and abs(literal) == guard:
+                continue
+            for entry in literal_atoms.get(literal, ()):
+                if entry not in seen:
+                    seen.add(entry)
+                    core.append(entry)
+        return core
+
     def optimize(
         self,
         assumptions: Sequence[Tuple[Atom, bool]] = (),
@@ -631,6 +697,8 @@ class StableModelSolver:
         returns, so the solver stays reusable.
         """
         guard = self._sat.new_var() if retract else None
+        self._last_core = None
+        literal_atoms = self._literal_atoms(assumptions)
         literals = self._assumption_literals(assumptions)
         if guard is not None:
             literals = [guard] + literals
@@ -639,6 +707,7 @@ class StableModelSolver:
         try:
             best_atoms = self._next_stable(literals)
             if best_atoms is None:
+                self._last_core = self._core_from_sat(literal_atoms, guard)
                 return []
             self._models_enumerated += 1
             if not self._optimize_levels:

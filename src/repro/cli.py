@@ -11,6 +11,11 @@ is the terminal face of it:
     check an ArchiMate-exchange model file;
 ``python -m repro analyze model.xml -r "r1=err(valve, K), hazardous_kind(K)"``
     exhaustive EPA over a model file with inline requirements;
+``python -m repro explain model.xml -r "..." --why "err(v, value)"``
+    proof-backed explanations: re-solve one scenario with provenance
+    tracking and print the derivation DAG of each queried atom
+    (``--dot``/``--provenance`` export DOT/JSON, see
+    ``docs/explainability.md``);
 ``python -m repro assess model.xml [--refined refined.xml] [--budget N]``
     the full 7-phase pipeline with the built-in security catalog.
 
@@ -168,6 +173,110 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_faults(text: str) -> List["FaultRef"]:
+    from .epa import FaultRef
+
+    return [
+        FaultRef.parse(part.strip())
+        for part in text.split(",")
+        if part.strip()
+    ]
+
+
+def _parse_deployment(text: str) -> dict:
+    deployment: dict = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ":" not in part:
+            raise argparse.ArgumentTypeError(
+                "deployment entries look like component:mitigation"
+            )
+        component, mitigation = part.split(":", 1)
+        deployment.setdefault(component.strip(), []).append(mitigation.strip())
+    return deployment
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .observability import proof_to_dot, proof_to_json
+    from .provenance import ProvenanceError
+    from .reporting import proof_report
+
+    model = _load_model(args.model)
+    if not args.requirement:
+        print("at least one --requirement is needed", file=sys.stderr)
+        return 2
+    deployment = _parse_deployment(args.mitigate) if args.mitigate else {}
+    profiler = _start_solving_command(args)
+    try:
+        with open_trace(args.trace, format=args.trace_format) as sink:
+            engine = EpaEngine(model, args.requirement, trace=sink)
+            if args.scenario:
+                faults = _parse_faults(args.scenario)
+            else:
+                # default to the first violating scenario of a bounded
+                # sweep — the natural "explain the problem" entry point
+                report = engine.analyze(
+                    max_faults=args.max_faults,
+                    active_mitigations=deployment,
+                )
+                violating = report.violating()
+                if not violating:
+                    print(
+                        "no violating scenario at max-faults=%d; "
+                        "pass --scenario to pick one explicitly"
+                        % args.max_faults
+                    )
+                    return 0
+                faults = sorted(violating[0].active_faults, key=str)
+            proof = engine.prove_scenario(faults, deployment)
+            print(
+                "scenario [%s]%s"
+                % (
+                    ", ".join(str(f) for f in faults) or "nominal",
+                    " with %s" % deployment if deployment else "",
+                )
+            )
+            targets = list(args.why or [])
+            if not targets and not args.why_not:
+                targets = [str(a) for a in proof.violations()]
+                if not targets:
+                    print("scenario violates nothing; nothing to prove")
+                    return 0
+            first_root = None
+            for query in targets:
+                try:
+                    root = proof.why(query)
+                except ProvenanceError as error:
+                    print("why %s: %s" % (query, error), file=sys.stderr)
+                    return 1
+                if first_root is None:
+                    first_root = root
+                print()
+                print(proof_report(root))
+            for query in args.why_not or []:
+                try:
+                    text = proof.why_not_text(query)
+                except ProvenanceError as error:
+                    print("why-not %s: %s" % (query, error), file=sys.stderr)
+                    return 1
+                print()
+                print(text)
+            if first_root is not None and args.dot:
+                with open(args.dot, "w", encoding="utf-8") as handle:
+                    handle.write(proof_to_dot(first_root))
+            if first_root is not None and args.provenance:
+                with open(args.provenance, "w", encoding="utf-8") as handle:
+                    handle.write(proof_to_json(first_root))
+            if args.stats:
+                print()
+                print(format_statistics(engine.statistics))
+    finally:
+        _finish_solving_command(args, profiler)
+    return 0
+
+
 def _cmd_assess(args: argparse.Namespace) -> int:
     model = _load_model(args.model)
     refined = _load_model(args.refined) if args.refined else None
@@ -271,6 +380,55 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--max-faults", type=int, default=2)
     analyze.add_argument("--rows", type=int, default=30)
 
+    explain = subparsers.add_parser(
+        "explain",
+        help="proof-backed scenario explanations (derivation DAGs)",
+        parents=[observability],
+    )
+    explain.add_argument("model")
+    explain.add_argument(
+        "-r",
+        "--requirement",
+        action="append",
+        type=_parse_requirement,
+        help="name=condition[@focus][!magnitude]; repeatable",
+    )
+    explain.add_argument(
+        "--scenario",
+        metavar="REFS",
+        help="comma-separated component.fault refs to pin active "
+        "(default: the first violating scenario found)",
+    )
+    explain.add_argument(
+        "--mitigate",
+        metavar="DEPLOY",
+        help="comma-separated component:mitigation deployment",
+    )
+    explain.add_argument("--max-faults", type=int, default=2)
+    explain.add_argument(
+        "--why",
+        action="append",
+        metavar="ATOM",
+        help="prove this atom of the scenario model; repeatable "
+        "(default: every violated(R) atom)",
+    )
+    explain.add_argument(
+        "--why-not",
+        action="append",
+        metavar="ATOM",
+        help="explain why this atom is absent; repeatable",
+    )
+    explain.add_argument(
+        "--dot",
+        metavar="FILE",
+        help="write the first proof DAG as Graphviz DOT",
+    )
+    explain.add_argument(
+        "--provenance",
+        metavar="FILE",
+        help="write the first proof DAG as JSON",
+    )
+
     assess = subparsers.add_parser(
         "assess",
         help="the full 7-phase assessment pipeline",
@@ -291,6 +449,7 @@ _COMMANDS = {
     "casestudy": _cmd_casestudy,
     "validate": _cmd_validate,
     "analyze": _cmd_analyze,
+    "explain": _cmd_explain,
     "assess": _cmd_assess,
 }
 

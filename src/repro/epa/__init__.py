@@ -26,7 +26,12 @@ Sec. V-B (rough-set-extended uncertain EPA)
     :func:`refinement_gain`;
 workflow support (explanations "for analysts of average skills")
     :func:`explain_outcome`, :func:`explain_report`,
-    :class:`Explanation`.
+    :class:`Explanation`;
+provenance (proof-backed explainability, see :mod:`repro.provenance`)
+    :func:`scenario_proof` / :class:`ScenarioProof` — derivation-DAG
+    ``why``/``why_not`` over a re-solved scenario — and
+    :meth:`EpaEngine.blocking_core`, the minimized unsat core naming
+    the mitigations a violation-free result rests on.
 """
 
 from .behavioral import BehaviouralEpa, BehaviouralScenario
@@ -37,7 +42,13 @@ from .optimal import (
     cheapest_attack,
     most_severe_attack,
 )
-from .explain import Explanation, explain_outcome, explain_report
+from .explain import (
+    Explanation,
+    ScenarioProof,
+    explain_outcome,
+    explain_report,
+    scenario_proof,
+)
 from .engine import EpaEngine, EpaError, StaticRequirement
 from .faults import (
     BEHAVIOUR_TO_KIND,
@@ -73,6 +84,7 @@ __all__ = [
     "OptimalScenario",
     "PropagationStep",
     "ScenarioOutcome",
+    "ScenarioProof",
     "StaticRequirement",
     "UncertainEpaResult",
     "attack_cost_of_mitigation",
@@ -86,5 +98,6 @@ __all__ = [
     "explain_report",
     "refinement_gain",
     "scenario_choice",
+    "scenario_proof",
     "uncertain_analysis",
 ]

@@ -41,6 +41,7 @@ from ..observability.metrics import get_registry
 from ..modeling.model import SystemModel
 from ..modeling.to_asp import to_asp_program
 from ..parallel import ParallelError, parallel_map, split_cubes
+from ..provenance import minimize_core
 from ..security.mapping import CandidateMutation
 from .faults import FaultRef, error_kind
 from .results import EpaReport, PropagationStep, ScenarioOutcome
@@ -113,6 +114,10 @@ class EpaEngine:
         self._workers = workers
         self._base_program: Optional[Program] = None
         self._controls: Dict[int, Control] = {}
+        # separate multi-shot controls for unsat-core queries: they
+        # carry extra blocking machinery the analysis controls must not
+        # see (differential tests pin analysis output byte-identical)
+        self._core_controls: Dict[int, Control] = {}
 
     @property
     def statistics(self) -> SolveStats:
@@ -124,6 +129,8 @@ class EpaEngine:
         merged = SolveStats()
         merged.merge(self._stats)
         for control in self._controls.values():
+            merged.merge(control.statistics)
+        for control in self._core_controls.values():
             merged.merge(control.statistics)
         return merged
 
@@ -176,8 +183,9 @@ class EpaEngine:
     def _base_control(
         self,
         active_mitigations: Mapping[str, Sequence[str]],
+        provenance: bool = False,
     ) -> Control:
-        control = Control(trace=self._trace)
+        control = Control(trace=self._trace, provenance=provenance)
         control._program.extend(self._assemble_base_program())
         for component, mitigations in sorted(dict(active_mitigations).items()):
             for mitigation in mitigations:
@@ -513,6 +521,117 @@ class EpaEngine:
         if not models:
             raise EpaError("scenario program unexpectedly unsatisfiable")
         return self._extract(models[0], with_paths)
+
+    # ------------------------------------------------------------------
+    # provenance / explanation
+    # ------------------------------------------------------------------
+    def _core_control(self, max_faults: int) -> Control:
+        """The persistent control for blocking-core queries.
+
+        Same shape as :meth:`_incremental_control` minus the
+        restriction machinery, plus an ``epa_require_violation``
+        external that, when assumed true, makes the program
+        unsatisfiable exactly when the active deployment blocks every
+        violating scenario — the resulting unsat core names the
+        mitigations that did the blocking.
+        """
+        control = self._core_controls.get(max_faults)
+        if control is None:
+            control = Control(trace=self._trace, multishot=True)
+            control._program.extend(self._assemble_base_program())
+            control.add(scenario_choice(max_faults))
+            control.add("epa_some_violation :- violated(R), requirement(R).")
+            control.add(":- epa_require_violation, not epa_some_violation.")
+            control.add_external("epa_require_violation")
+            for component, mitigation in self._relevant_mitigation_pairs():
+                control.add_external("active_mitigation", component, mitigation)
+            self._core_controls[max_faults] = control
+        return control
+
+    def blocking_core(
+        self,
+        active_mitigations: Mapping[str, Sequence[str]],
+        max_faults: int = 0,
+        minimize: bool = True,
+    ) -> Optional[List[Tuple[str, str]]]:
+        """Which deployed mitigations a violation-free result rests on.
+
+        Returns ``None`` when some scenario still violates a
+        requirement under the deployment (there is nothing to
+        explain), and otherwise the ``(component, mitigation)`` subset
+        of the deployment whose presence makes every violating
+        scenario impossible — an unsat core of the query "find a
+        violation", minimized to a MUS when ``minimize`` is true
+        (dropping any returned mitigation re-admits a violating
+        scenario).
+        """
+        control = self._core_control(max_faults)
+        universe = self._relevant_mitigation_pairs()
+        active = {
+            (component, _mitigation_symbol(mitigation))
+            for component, mitigations in dict(active_mitigations or {}).items()
+            for mitigation in mitigations
+        }
+
+        def is_blocking(pairs: Iterable[Tuple[str, str]]) -> bool:
+            # assign *every* mitigation external each trial —
+            # assignments persist on multi-shot controls, so a dropped
+            # element must be actively flipped back to false
+            chosen = set(pairs)
+            for component, mitigation in universe:
+                control.assign_external(
+                    "active_mitigation",
+                    component,
+                    mitigation,
+                    value=(component, mitigation) in chosen,
+                )
+            control.assign_external("epa_require_violation", value=True)
+            return not control.is_satisfiable()
+
+        self._stats.incr("epa.blocking_core_calls")
+        deployed = [pair for pair in universe if pair in active]
+        if not is_blocking(deployed):
+            return None
+        core = [
+            (str(head.arguments[0]), str(head.arguments[1]))
+            for head, value in control.unsat_core or []
+            if value and head.predicate == "active_mitigation"
+        ]
+        if minimize:
+            core = minimize_core(is_blocking, core)
+        names = self._mitigation_names()
+        return sorted(
+            (component, names.get((component, symbol), symbol))
+            for component, symbol in core
+        )
+
+    def prove_scenario(
+        self,
+        faults: Iterable[FaultRef],
+        active_mitigations: Mapping[str, Sequence[str]] = (),
+    ) -> "ScenarioProof":
+        """A proof-backed view of one scenario: ``why``/``why_not`` over
+        the scenario's stable model (see :mod:`repro.epa.explain`)."""
+        from .explain import scenario_proof
+
+        return scenario_proof(self, faults, active_mitigations)
+
+    def _mitigation_names(self) -> Dict[Tuple[str, str], str]:
+        """(component, mitigation-symbol) back to the declared id."""
+        names: Dict[Tuple[str, str], str] = {}
+        for ref in self._fault_pairs():
+            for mitigation in self.fault_mitigations.get(ref.fault, ()):
+                names.setdefault(
+                    (ref.component, _mitigation_symbol(mitigation)), mitigation
+                )
+        for (component, _fault), mitigations in sorted(
+            self.component_mitigations.items()
+        ):
+            for mitigation in mitigations:
+                names.setdefault(
+                    (component, _mitigation_symbol(mitigation)), mitigation
+                )
+        return names
 
     def _report(
         self,

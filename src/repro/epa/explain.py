@@ -7,16 +7,35 @@ interpretation of the solutions is straightforward".  This module turns
 scenario outcomes into the corresponding natural-language explanations:
 what was activated, how it travelled, what it violated, and what would
 have stopped it.
+
+Two tiers.  :func:`explain_outcome` is the heuristic narrative built
+from an outcome alone.  :func:`scenario_proof` is the proof-backed
+tier: it re-solves one scenario with provenance-tracking grounding and
+returns a :class:`ScenarioProof` whose ``why``/``why_not`` answers are
+derivation DAGs over the actual stable model — every claim is a rule
+chain down to facts and chosen fault atoms, not a plausible story.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..asp import atom
+from ..asp.syntax import Atom
 from ..modeling.model import SystemModel
+from ..provenance import (
+    Justifier,
+    ProofNode,
+    WhyNot,
+    format_proof,
+    format_why_not,
+    parse_atom,
+)
 from .engine import EpaEngine, StaticRequirement
+from .faults import FaultRef
 from .results import ScenarioOutcome
+from .rules import scenario_choice
 
 
 @dataclass(frozen=True)
@@ -158,6 +177,88 @@ def explain_outcome(
         )
 
     return Explanation(headline, activation, propagation, violations, defenses)
+
+
+class ScenarioProof:
+    """Proof-backed queries over one scenario's stable model.
+
+    Wraps the provenance-tracking :class:`~repro.asp.Control` and
+    :class:`~repro.provenance.Justifier` of a re-solved scenario.
+    ``why``/``why_not`` accept a ground :class:`~repro.asp.syntax.Atom`
+    or its text form (``"err(water_tank, value)"``) and answer with
+    derivation DAGs carrying the originating non-ground rules and
+    substitutions.
+    """
+
+    def __init__(self, control, model, justifier: Justifier):
+        self.control = control
+        self.model = model
+        self.justifier = justifier
+
+    @property
+    def atoms(self) -> frozenset:
+        """The atoms of the scenario's stable model."""
+        return frozenset(self.model.atoms)
+
+    def why(self, query: Union[Atom, str]) -> ProofNode:
+        """A well-founded proof DAG for an atom of the model."""
+        return self.justifier.why(self._atom(query))
+
+    def why_not(self, query: Union[Atom, str]) -> WhyNot:
+        """Why an atom is absent: every candidate rule and its blocker."""
+        return self.justifier.why_not(self._atom(query))
+
+    def why_text(self, query: Union[Atom, str]) -> str:
+        """:meth:`why` rendered as an indented text tree."""
+        return format_proof(self.why(query))
+
+    def why_not_text(self, query: Union[Atom, str]) -> str:
+        """:meth:`why_not` rendered as readable text."""
+        return format_why_not(self.why_not(query))
+
+    def violations(self) -> List[Atom]:
+        """The ``violated/1`` atoms of the model (natural why targets)."""
+        return sorted(
+            (a for a in self.model.atoms if a.predicate == "violated"),
+            key=str,
+        )
+
+    @staticmethod
+    def _atom(query: Union[Atom, str]) -> Atom:
+        return query if isinstance(query, Atom) else parse_atom(query)
+
+
+def scenario_proof(
+    engine: EpaEngine,
+    faults: Iterable[FaultRef],
+    active_mitigations: Mapping[str, Sequence[str]] = (),
+) -> ScenarioProof:
+    """Re-solve one scenario with provenance on and justify its model.
+
+    Mirrors :meth:`EpaEngine.analyze_scenario` semantics: requested
+    faults that survive the deployment are pinned active, every other
+    potential fault is pinned inactive, and the (unique) stable model
+    is justified.  Uses a fresh provenance-tracking control — the
+    engine's incremental controls are untouched.
+    """
+    deployment = {
+        component: tuple(ms)
+        for component, ms in dict(active_mitigations or {}).items()
+    }
+    control = engine._base_control(deployment, provenance=True)
+    control.add(scenario_choice(0))
+    requested = {(f.component, f.fault) for f in faults}
+    assumptions = [
+        (
+            atom("active_fault", ref.component, ref.fault),
+            (ref.component, ref.fault) in requested,
+        )
+        for ref in engine._potential_faults(deployment)
+    ]
+    model = control.first_model(assumptions=assumptions)
+    if model is None:
+        raise ValueError("scenario program unexpectedly unsatisfiable")
+    return ScenarioProof(control, model, control.justify(model))
 
 
 def explain_report(

@@ -10,7 +10,9 @@ Sec. IV-C (mitigation selection as a covering problem)
     :class:`BlockingProblem`, :class:`MitigationPlan`,
     :func:`optimize_asp` (the paper's weak-constraint mechanism; takes
     ``stats=``/``trace=`` observability hooks), :func:`optimize_greedy`,
-    :func:`optimize_exhaustive`, :class:`OptimizationError`;
+    :func:`optimize_exhaustive`, :class:`OptimizationError`,
+    :func:`optimality_core` (why a plan is optimal: the minimized unsat
+    core of the tightened cost bound);
 Sec. IV-D (budgets and phased deployment)
     :func:`plan_phases`, :func:`sweep_budgets` (multi-shot/parallel
     what-if over candidate budgets), :class:`MultiPhasePlan`,
@@ -39,6 +41,7 @@ from .optimizer import (
     BlockingProblem,
     MitigationPlan,
     OptimizationError,
+    optimality_core,
     optimize_asp,
     optimize_exhaustive,
     optimize_greedy,
@@ -60,6 +63,7 @@ __all__ = [
     "compare_plans",
     "evaluate_plan",
     "most_efficient",
+    "optimality_core",
     "optimize_asp",
     "optimize_exhaustive",
     "optimize_greedy",

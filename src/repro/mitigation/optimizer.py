@@ -16,7 +16,10 @@ Observability: :func:`optimize_asp` accepts ``stats=`` (a
 :class:`~repro.observability.SolveStats` the underlying solve's
 statistics are merged into, with call counts under ``mitigation``) and
 ``trace=`` (a sink streaming the branch-and-bound ``solver.bound``
-events — one per cost improvement).
+events — one per cost improvement).  :func:`optimality_core` explains
+*why a plan is optimal*: the minimized unsat core of the tightened cost
+bound, i.e. the scenarios whose blocking requirements alone force the
+optimal price.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ from ..asp import Control
 from ..observability import NULL_SINK, SolveStats, Tracer
 from ..observability.metrics import get_registry
 from ..parallel import ParallelError, parallel_map
+from ..provenance import minimize_core
 from .costs import risk_weight
 
 
@@ -225,6 +229,71 @@ def optimize_asp(
         plan = _evaluate(problem, deployed)
         span.update(deployed=len(deployed), cost=plan.cost)
     return plan
+
+
+def optimality_core(
+    problem: BlockingProblem,
+    cost: int,
+    stats: Optional[SolveStats] = None,
+    trace: Optional[object] = None,
+    minimize: bool = True,
+) -> Optional[List[str]]:
+    """Why no cheaper plan exists: an unsat core of the tightened bound.
+
+    Asks "block every blockable scenario for strictly less than
+    ``cost``" and, when that is unsatisfiable (i.e. ``cost`` is
+    optimal), returns the scenario ids whose blocking requirements
+    alone already force the price — the proof-carrying answer to "why
+    does the optimal plan cost this much".  Returns ``None`` when a
+    cheaper plan exists (``cost`` was not optimal).  With ``minimize``
+    the core is a MUS: dropping any returned scenario from the
+    requirement set admits a sub-``cost`` plan.
+    """
+    tracer = Tracer(trace if trace is not None else NULL_SINK)
+    get_registry().counter(
+        "repro_mitigation_optimality_cores_total",
+        "optimality unsat-core queries answered",
+    ).inc()
+    with tracer.span("mitigation.optimality_core", cost=cost) as span:
+        control, _names, scenario_names = _problem_control(
+            problem, trace=trace, multishot=True
+        )
+        blockable = sorted(
+            scenario
+            for scenario, blockers in problem.scenario_blockers.items()
+            if blockers
+        )
+        for scenario in blockable:
+            name = scenario_names[scenario]
+            control.add(":- require_blocked(%s), not blocked(%s)." % (name, name))
+            # externals default false, so assumption subsets relax
+            # exactly the dropped scenarios during minimization
+            control.add_external("require_blocked", name)
+        control.add(":- #sum { C, M : deploy(M), cost(M, C) } > %d." % (cost - 1))
+        from ..asp import atom as _atom
+
+        def is_unsat(scenarios: Sequence[str]) -> bool:
+            assumptions = [
+                (_atom("require_blocked", scenario_names[s]), True)
+                for s in scenarios
+            ]
+            return not control.is_satisfiable(assumptions)
+
+        core: Optional[List[str]] = None
+        if is_unsat(blockable):
+            reverse = {name: s for s, name in scenario_names.items()}
+            core = sorted(
+                reverse[str(head.arguments[0])]
+                for head, value in control.unsat_core or []
+                if value and head.predicate == "require_blocked"
+            )
+            if minimize:
+                core = minimize_core(is_unsat, core)
+        if stats is not None:
+            stats.merge(control.statistics)
+            stats.incr("mitigation.optimality_cores")
+        span.update(core=len(core) if core is not None else -1)
+    return core
 
 
 def sweep_budgets(

@@ -17,7 +17,9 @@ instead of being a black box:
 * :class:`MetricsRegistry` — process-wide counters, gauges and
   histograms (:func:`get_registry`), foldable across worker processes;
 * :mod:`~repro.observability.export` — Chrome trace-event JSON
-  (Perfetto), Prometheus text exposition, and JSON run manifests;
+  (Perfetto), Prometheus text exposition, JSON run manifests, and
+  Graphviz DOT / JSON renderings of provenance proof DAGs
+  (:func:`proof_to_dot`, :func:`proof_to_json`);
 * :func:`format_statistics` — the clingo-style terminal summary block
   printed by ``repro --stats``.
 
@@ -31,6 +33,8 @@ from .export import (
     ChromeTraceSink,
     git_revision,
     prometheus_exposition,
+    proof_to_dot,
+    proof_to_json,
     run_manifest,
     stats_digest,
     to_chrome_trace,
@@ -38,6 +42,7 @@ from .export import (
 )
 from .metrics import (
     DEFAULT_BUCKETS,
+    SIZE_BUCKETS,
     Gauge,
     Histogram,
     MetricsError,
@@ -72,6 +77,7 @@ __all__ = [
     "NOOP_SPAN",
     "NULL_SINK",
     "NullTraceSink",
+    "SIZE_BUCKETS",
     "SolveStats",
     "Span",
     "StatsError",
@@ -85,6 +91,8 @@ __all__ = [
     "git_revision",
     "open_trace",
     "prometheus_exposition",
+    "proof_to_dot",
+    "proof_to_json",
     "run_manifest",
     "stats_digest",
     "to_chrome_trace",

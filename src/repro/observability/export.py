@@ -20,6 +20,11 @@ Spans and events become artifacts other tools already understand:
     platform, seed, a SHA-256 digest of the statistics tree) pinning
     *which* code produced *which* numbers — bench history and CI
     artifacts embed it.
+:func:`proof_to_dot` / :func:`proof_to_json`
+    Graphviz DOT and JSON renderings of a
+    :class:`~repro.provenance.ProofNode` derivation DAG — solid edges
+    for positive support, dashed edges for the absent atoms a step
+    relies on.
 
 Everything here is pure serialization: no exporter mutates the
 registry or the event stream it reads.
@@ -202,6 +207,82 @@ def write_metrics(registry: MetricsRegistry, spec: Union[str, IO[str]]) -> None:
 
 
 # ----------------------------------------------------------------------
+# proof DAG exporters (Graphviz DOT / JSON)
+# ----------------------------------------------------------------------
+def _escape_dot(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def proof_to_dot(root: object) -> str:
+    """Render a proof DAG as Graphviz DOT text.
+
+    ``root`` is a :class:`~repro.provenance.ProofNode` (duck-typed:
+    anything with ``atom``/``kind``/``children``/``negative``/``origin``
+    works).  Proved atoms are boxes — facts and chosen atoms filled —
+    with solid edges to their positive premises; the absent atoms a
+    derivation relies on render as dashed ellipses.  Deterministic:
+    nodes and edges appear in DFS-discovery order from the root.
+    """
+    lines = [
+        "digraph proof {",
+        "  rankdir=BT;",
+        '  node [shape=box, fontname="monospace"];',
+    ]
+    names: Dict[str, str] = {}
+    absent: Dict[str, str] = {}
+    edges: List[str] = []
+
+    def name_of(atom: str) -> str:
+        if atom not in names:
+            names[atom] = "n%d" % len(names)
+        return names[atom]
+
+    stack = [root]
+    seen: set = set()
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        atom = str(node.atom)  # type: ignore[attr-defined]
+        ident = name_of(atom)
+        kind = node.kind  # type: ignore[attr-defined]
+        label = atom if kind == "rule" else "%s\\n[%s]" % (_escape_dot(atom), kind)
+        style = ', style=filled, fillcolor="lightgrey"' if kind != "rule" else ""
+        origin = getattr(node, "origin", None)
+        tooltip = (
+            ', tooltip="%s"' % _escape_dot(str(origin)) if origin is not None else ""
+        )
+        lines.append(
+            '  %s [label="%s"%s%s];' % (ident, _escape_dot(label), style, tooltip)
+        )
+        for child in node.children:  # type: ignore[attr-defined]
+            edges.append("  %s -> %s;" % (name_of(str(child.atom)), ident))
+            stack.append(child)
+        for missing in node.negative:  # type: ignore[attr-defined]
+            key = str(missing)
+            if key not in absent:
+                absent[key] = "a%d" % len(absent)
+                lines.append(
+                    '  %s [label="not %s", shape=ellipse, style=dashed];'
+                    % (absent[key], _escape_dot(key))
+                )
+            edges.append("  %s -> %s [style=dashed];" % (absent[key], ident))
+    lines.extend(edges)
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def proof_to_json(root: object) -> str:
+    """Serialize a proof DAG as a JSON document (sorted keys)."""
+    # imported lazily: repro.provenance itself imports this package's
+    # metrics, so a top-level import would be circular
+    from ..provenance.justify import proof_to_dict
+
+    return json.dumps(proof_to_dict(root), sort_keys=True, indent=2) + "\n"
+
+
+# ----------------------------------------------------------------------
 # run manifest
 # ----------------------------------------------------------------------
 def git_revision(cwd: Optional[str] = None) -> Optional[str]:
@@ -262,6 +343,8 @@ __all__ = [
     "ChromeTraceSink",
     "git_revision",
     "prometheus_exposition",
+    "proof_to_dot",
+    "proof_to_json",
     "run_manifest",
     "stats_digest",
     "to_chrome_trace",

@@ -53,6 +53,19 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     10.0,
 )
 
+#: size buckets for count-valued histograms (core sizes, proof depths)
+SIZE_BUCKETS: Tuple[float, ...] = (
+    1.0,
+    2.0,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    1000.0,
+)
+
 #: label values as a canonical, hashable key
 LabelKey = Tuple[Tuple[str, str], ...]
 
@@ -367,5 +380,6 @@ __all__ = [
     "MetricsError",
     "MetricsRegistry",
     "REGISTRY",
+    "SIZE_BUCKETS",
     "get_registry",
 ]

@@ -99,7 +99,8 @@ class JsonLinesTraceSink(TraceSink):
 
     Accepts a path (opened and owned, closed by :meth:`close`) or an
     open text stream (borrowed, only flushed).  Each line looks like
-    ``{"event": "solver.model", "t": 0.004, "number": 1, ...}``.
+    ``{"event": "solver.model", "seq": 12, "t": 0.004, "number": 1, ...}``
+    where ``seq`` increases monotonically per sink.
     """
 
     def __init__(self, target: object):
@@ -110,9 +111,17 @@ class JsonLinesTraceSink(TraceSink):
             self._stream = open(str(target), "w", encoding="utf-8")
             self._owned = True
         self._epoch = time.perf_counter()
+        self._seq = 0
 
     def emit(self, name: str, **payload: Any) -> None:
-        record = {"event": name, "t": round(time.perf_counter() - self._epoch, 6)}
+        # a monotonically increasing sequence number per sink, so
+        # consumers can detect reordering or loss even when the rounded
+        # timestamps tie
+        record = {
+            "event": name,
+            "seq": self._seq,
+            "t": round(time.perf_counter() - self._epoch, 6),
+        }
         record.update(payload)
         try:
             line = json.dumps(record, sort_keys=True, default=str)
@@ -123,6 +132,7 @@ class JsonLinesTraceSink(TraceSink):
             line = json.dumps(
                 {
                     "event": name,
+                    "seq": self._seq,
                     "t": record["t"],
                     "payload_repr": repr(payload),
                 },
@@ -130,6 +140,7 @@ class JsonLinesTraceSink(TraceSink):
             )
         self._stream.write(line)
         self._stream.write("\n")
+        self._seq += 1
         # flush per event so a crashed run leaves a readable trace
         self._stream.flush()
 

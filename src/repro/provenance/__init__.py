@@ -1,0 +1,47 @@
+"""Provenance observability: proof DAGs and unsat cores.
+
+The package answers the two explainability questions of the solving
+stack.  *Why is this atom true?* — :class:`Justifier` (usually reached
+via ``Control.justify``) replays the reduct fixpoint and returns an
+acyclic, well-founded :class:`ProofNode` DAG, cycle-safe on non-tight
+programs.  *Why is this query unsatisfiable?* — :func:`assumption_core`
+and :func:`minimize_core` extract and shrink assumption-level unsat
+cores to minimal unsatisfiable subsets.
+
+Exports: :class:`Justifier`, :class:`ProofNode`, :class:`WhyNot`,
+:class:`FailedSupport`, :class:`ProvenanceError`,
+:func:`assert_well_founded`, :func:`format_proof`,
+:func:`format_why_not`, :func:`iter_nodes`, :func:`parse_atom`,
+:func:`proof_to_dict`, :func:`minimize_core`, :func:`assumption_core`.
+"""
+
+from .cores import assumption_core, minimize_core
+from .justify import (
+    FailedSupport,
+    Justifier,
+    ProofNode,
+    ProvenanceError,
+    WhyNot,
+    assert_well_founded,
+    format_proof,
+    format_why_not,
+    iter_nodes,
+    parse_atom,
+    proof_to_dict,
+)
+
+__all__ = [
+    "FailedSupport",
+    "Justifier",
+    "ProofNode",
+    "ProvenanceError",
+    "WhyNot",
+    "assert_well_founded",
+    "assumption_core",
+    "format_proof",
+    "format_why_not",
+    "iter_nodes",
+    "minimize_core",
+    "parse_atom",
+    "proof_to_dict",
+]

@@ -1,0 +1,102 @@
+"""Unsat-core extraction and deletion-based minimization.
+
+The SAT layer tracks which assumptions participate in the final
+conflict (:meth:`repro.asp.sat.SatSolver.last_core`) and
+:class:`repro.asp.control.Control` maps that back to atom-level
+assumptions (``Control.unsat_core``).  Cores arriving that way are
+sound but not minimal; :func:`minimize_core` shrinks any core to a
+*minimal unsatisfiable subset* (MUS) with the classic deletion loop —
+drop one element, re-check, keep the drop only if the query stays
+unsatisfiable — so every proper subset of the result is satisfiable.
+
+:func:`assumption_core` bundles the common pattern for a
+:class:`~repro.asp.control.Control`: solve under assumptions, pull the
+core, minimize it by re-solving subsets.  Both entry points record
+initial and minimized core sizes in the
+``repro_provenance_core_size`` histogram (``stage`` label).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from ..asp.syntax import Atom
+from ..observability.metrics import SIZE_BUCKETS, get_registry
+
+Element = TypeVar("Element")
+Assumption = Tuple[Atom, bool]
+
+_CORE_INITIAL = get_registry().histogram(
+    "repro_provenance_core_size",
+    "unsat core sizes before and after minimization",
+    buckets=SIZE_BUCKETS,
+    stage="initial",
+)
+_CORE_MINIMIZED = get_registry().histogram(
+    "repro_provenance_core_size",
+    "unsat core sizes before and after minimization",
+    buckets=SIZE_BUCKETS,
+    stage="minimized",
+)
+
+
+def minimize_core(
+    is_unsat: Callable[[Sequence[Element]], bool],
+    core: Sequence[Element],
+) -> List[Element]:
+    """Shrink ``core`` to a minimal unsatisfiable subset.
+
+    ``is_unsat(subset)`` must decide the *same query* restricted to
+    ``subset`` — the deletion loop keeps an element out only when the
+    remainder is still unsatisfiable, so the result is a MUS: it is
+    unsatisfiable and every proper subset is satisfiable (each element
+    was retained precisely because dropping it made the query
+    satisfiable, assuming monotonicity of the query in its
+    assumptions).
+
+    Worst case ``len(core)`` oracle calls; elements retain input order.
+    """
+    _CORE_INITIAL.observe(len(core))
+    kept: List[Element] = list(core)
+    index = 0
+    while index < len(kept):
+        trial = kept[:index] + kept[index + 1 :]
+        if is_unsat(trial):
+            kept = trial
+        else:
+            index += 1
+    _CORE_MINIMIZED.observe(len(kept))
+    return kept
+
+
+def assumption_core(
+    control,
+    assumptions: Sequence[Assumption],
+    minimize: bool = True,
+) -> Optional[List[Assumption]]:
+    """The (optionally minimized) unsat core of ``assumptions``.
+
+    Returns ``None`` when the program is satisfiable under the
+    assumptions, ``[]`` when it is unsatisfiable even without them, and
+    otherwise a subset of ``assumptions`` that suffices for
+    unsatisfiability.
+
+    Minimization re-solves with subsets of the assumptions; any
+    assumption dropped from a trial reverts to the atom's default
+    truth value, so this is only a true MUS check when defaults are
+    "false"/absent (externals default to false here).  Callers that
+    flip externals to non-default values should minimize through their
+    own oracle (see ``EpaEngine.blocking_core``).
+    """
+    if control.is_satisfiable(assumptions):
+        return None
+    core = control.unsat_core
+    if core is None:
+        core = []
+    if not minimize or not core:
+        _CORE_INITIAL.observe(len(core))
+        _CORE_MINIMIZED.observe(len(core))
+        return list(core)
+    return minimize_core(
+        lambda subset: not control.is_satisfiable(subset), core
+    )

@@ -1,0 +1,438 @@
+"""Well-founded proof DAGs over stable models.
+
+Given a ground program and one of its stable models, a
+:class:`Justifier` answers *why* an atom is in the model — a proof DAG
+rooted at the atom whose internal nodes are supporting rules, whose
+leaves are facts or chosen atoms (externals are realized as choice
+rules), and whose negative premises record the absent atoms the
+derivation relies on — and *why not* an atom is absent, as the list of
+candidate rules with the body literal that blocks each one.
+
+Cycle safety on non-tight programs comes from how supports are picked:
+the justifier replays the Gelfond-Lifschitz reduct's least fixpoint in
+Kleene rounds, and an atom's supporting rule may only use positive
+premises derived in a *strictly earlier* round.  Support edges then
+strictly decrease the round rank, so the resulting DAGs are acyclic by
+construction — no atom in a positive loop is ever justified by itself
+(:func:`assert_well_founded` re-checks this structurally).
+
+When the program was ground with provenance on
+(``Control(provenance=True)``), every proof step also carries the
+originating non-ground rule and variable substitution via
+:class:`~repro.asp.ground.RuleOrigin`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from ..asp.ground import (
+    GroundChoice,
+    GroundProgram,
+    GroundRule,
+    RuleOrigin,
+    _render_rule,
+)
+from ..asp.naive import _aggregate_holds
+from ..asp.syntax import Atom
+from ..observability.metrics import SIZE_BUCKETS, get_registry
+
+_PROOF_DEPTH = get_registry().histogram(
+    "repro_provenance_proof_depth",
+    "depth of computed proof DAGs",
+    buckets=SIZE_BUCKETS,
+)
+_JUSTIFICATIONS = get_registry().counter(
+    "repro_provenance_justifications_total", "why()/why_not() answers computed"
+)
+
+
+class ProvenanceError(Exception):
+    """Raised for non-model interpretations or unjustifiable queries."""
+
+
+@dataclass(frozen=True, eq=False)
+class ProofNode:
+    """One step of a proof DAG: an atom plus the support that derives it.
+
+    ``kind`` is ``"fact"`` (a bodyless rule), ``"choice"`` (the atom was
+    picked by a choice rule — the leaf kind of externals and scenario
+    guesses), or ``"rule"`` (derived by an ordinary rule).  ``children``
+    are the proofs of the positive premises; ``negative`` lists the
+    atoms whose *absence* the step relies on.  Nodes are shared: the
+    proof of a common premise appears once and is referenced by every
+    consumer, so the structure is a DAG, not a tree.  Equality is
+    identity (nodes can be arbitrarily deep).
+    """
+
+    atom: Atom
+    kind: str
+    rule: Optional[GroundRule]
+    origin: Optional[RuleOrigin]
+    children: Tuple["ProofNode", ...]
+    negative: Tuple[Atom, ...]
+    depth: int
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+@dataclass(frozen=True)
+class FailedSupport:
+    """Why one candidate rule fails to derive the queried atom."""
+
+    rule: GroundRule
+    origin: Optional[RuleOrigin]
+    #: positive body atoms (rule body + choice-element condition) absent
+    #: from the model
+    missing_pos: Tuple[Atom, ...]
+    #: default-negated body atoms present in the model
+    blocking_neg: Tuple[Atom, ...]
+    #: an aggregate literal of the body does not hold
+    failed_aggregate: bool = False
+    #: choice rule whose body and condition hold — the atom was simply
+    #: not chosen
+    not_chosen: bool = False
+
+
+@dataclass(frozen=True)
+class WhyNot:
+    """The absence explanation for an atom: every support fails."""
+
+    atom: Atom
+    #: whether the grounder considered the atom possible at all
+    known: bool
+    supports: Tuple[FailedSupport, ...]
+
+
+class Justifier:
+    """Compute proof DAGs for the atoms of one stable model.
+
+    ``model`` is a :class:`repro.asp.solver.Model` or any iterable of
+    ground atoms.  Ranks and proofs are computed lazily on the first
+    ``why``/``why_not`` call and memoized — one fixpoint pass serves
+    every subsequent query.
+    """
+
+    def __init__(
+        self, program: GroundProgram, model: Union[object, Iterable[Atom]]
+    ):
+        atoms = getattr(model, "atoms", model)
+        self._program = program
+        self._true: Set[Atom] = set(atoms)
+        self._proofs: Optional[Dict[Atom, ProofNode]] = None
+        self._heads: Optional[Dict[Atom, List[int]]] = None
+
+    @property
+    def model_atoms(self) -> Set[Atom]:
+        """The atoms of the justified model (a copy)."""
+        return set(self._true)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def why(self, atom: Atom) -> ProofNode:
+        """A well-founded proof DAG for ``atom`` (must be in the model)."""
+        if atom not in self._true:
+            raise ProvenanceError(
+                "%s is not in the model — ask why_not() instead" % (atom,)
+            )
+        if self._proofs is None:
+            self._proofs = self._build_proofs()
+        node = self._proofs[atom]
+        _PROOF_DEPTH.observe(node.depth)
+        _JUSTIFICATIONS.inc()
+        return node
+
+    def why_not(self, atom: Atom) -> WhyNot:
+        """Why ``atom`` is absent: each candidate support and its blocker.
+
+        Non-recursive by design — the blocking literals are reported
+        against the model directly, so the answer is cycle-safe even
+        when the failed supports sit on a positive loop.
+        """
+        if atom in self._true:
+            raise ProvenanceError(
+                "%s is in the model — ask why() instead" % (atom,)
+            )
+        if self._heads is None:
+            self._heads = self._build_head_index()
+        supports: List[FailedSupport] = []
+        origins = self._program.origins
+        for index in self._heads.get(atom, ()):
+            rule = self._program.rules[index]
+            origin = origins[index] if origins is not None else None
+            supports.append(self._failed_support(rule, origin, atom))
+        known = any(atom == a for a in self._program.possible_atoms)
+        _JUSTIFICATIONS.inc()
+        return WhyNot(atom, known, tuple(supports))
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build_proofs(self) -> Dict[Atom, ProofNode]:
+        """Replay the reduct fixpoint in rounds, then build nodes bottom-up."""
+        program = self._program
+        true = self._true
+        origins = program.origins
+        #: atom -> (rule, origin, kind, positive premises, negative premises)
+        support: Dict[Atom, Tuple] = {}
+        rank: Dict[Atom, int] = {}
+        derived: Set[Atom] = set()
+        round_number = 0
+        changed = True
+        while changed:
+            changed = False
+            round_number += 1
+            # positive premises must come from the snapshot of the
+            # previous round: support edges strictly decrease the rank
+            snapshot = frozenset(derived)
+            for index, rule in enumerate(program.rules):
+                head = rule.head
+                if head is None:
+                    continue
+                if any(a in true for a in rule.neg):
+                    continue
+                if not all(
+                    _aggregate_holds(g, true) for g in rule.aggregates
+                ):
+                    continue
+                if any(a not in snapshot for a in rule.pos):
+                    continue
+                origin = origins[index] if origins is not None else None
+                if isinstance(head, Atom):
+                    if head in true and head not in derived:
+                        derived.add(head)
+                        rank[head] = round_number
+                        support[head] = (
+                            rule, origin, "rule", rule.pos, rule.neg
+                        )
+                        changed = True
+                    continue
+                for atom, condition_pos, condition_neg in head.elements:
+                    if atom not in true or atom in derived:
+                        continue
+                    if any(a in true for a in condition_neg):
+                        continue
+                    if all(a in snapshot for a in condition_pos):
+                        derived.add(atom)
+                        rank[atom] = round_number
+                        support[atom] = (
+                            rule,
+                            origin,
+                            "choice",
+                            rule.pos + condition_pos,
+                            rule.neg + condition_neg,
+                        )
+                        changed = True
+        if derived != true:
+            unfounded = sorted(true - derived, key=str)
+            raise ProvenanceError(
+                "interpretation is not a stable model of the program "
+                "(unfounded: %s)"
+                % ", ".join(str(a) for a in unfounded[:5])
+            )
+        proofs: Dict[Atom, ProofNode] = {}
+        # rank order guarantees every premise's node exists already —
+        # an iterative bottom-up build, immune to recursion limits
+        for atom in sorted(derived, key=lambda a: (rank[a], str(a))):
+            rule, origin, kind, pos, neg = support[atom]
+            children = tuple(proofs[premise] for premise in pos)
+            if kind == "rule" and rule.is_fact():
+                kind = "fact"
+            depth = (
+                1 + max(child.depth for child in children) if children else 0
+            )
+            proofs[atom] = ProofNode(
+                atom, kind, rule, origin, children, tuple(neg), depth
+            )
+        return proofs
+
+    def _build_head_index(self) -> Dict[Atom, List[int]]:
+        index: Dict[Atom, List[int]] = {}
+        for position, rule in enumerate(self._program.rules):
+            head = rule.head
+            if isinstance(head, Atom):
+                index.setdefault(head, []).append(position)
+            elif isinstance(head, GroundChoice):
+                for atom in head.atoms():
+                    index.setdefault(atom, []).append(position)
+        return index
+
+    def _failed_support(
+        self, rule: GroundRule, origin: Optional[RuleOrigin], atom: Atom
+    ) -> FailedSupport:
+        true = self._true
+        pos = list(rule.pos)
+        neg = list(rule.neg)
+        not_chosen = False
+        if isinstance(rule.head, GroundChoice):
+            for element, condition_pos, condition_neg in rule.head.elements:
+                if element == atom:
+                    pos.extend(condition_pos)
+                    neg.extend(condition_neg)
+                    break
+        missing = tuple(a for a in pos if a not in true)
+        blocking = tuple(a for a in neg if a in true)
+        failed_aggregate = not all(
+            _aggregate_holds(g, true) for g in rule.aggregates
+        )
+        if (
+            isinstance(rule.head, GroundChoice)
+            and not missing
+            and not blocking
+            and not failed_aggregate
+        ):
+            not_chosen = True
+        return FailedSupport(
+            rule, origin, missing, blocking, failed_aggregate, not_chosen
+        )
+
+
+# ----------------------------------------------------------------------
+# DAG utilities
+# ----------------------------------------------------------------------
+def iter_nodes(root: ProofNode) -> Iterator[ProofNode]:
+    """Every distinct node of the DAG, parents before children."""
+    seen: Set[int] = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        yield node
+        stack.extend(node.children)
+
+
+def assert_well_founded(root: ProofNode) -> None:
+    """Raise :class:`ProvenanceError` unless the DAG is acyclic.
+
+    Each atom has exactly one (shared) node, so a cycle through atoms
+    would be a cycle through nodes; depth strictly decreasing along
+    every support edge rules that out.
+    """
+    for node in iter_nodes(root):
+        for child in node.children:
+            if child.depth >= node.depth:
+                raise ProvenanceError(
+                    "proof of %s is not well-founded at premise %s"
+                    % (node.atom, child.atom)
+                )
+            if child.atom == node.atom:
+                raise ProvenanceError(
+                    "atom %s is justified by itself" % (node.atom,)
+                )
+
+
+def format_proof(root: ProofNode) -> str:
+    """Render a proof DAG as an indented text tree.
+
+    Shared subproofs are printed once; later references collapse to a
+    ``(proved above)`` marker.
+    """
+    lines: List[str] = []
+    printed: Set[int] = set()
+    stack: List[Tuple[ProofNode, int]] = [(root, 0)]
+    while stack:
+        node, level = stack.pop()
+        indent = "  " * level
+        tag = {"fact": "fact", "choice": "chosen"}.get(node.kind, "rule")
+        line = "%s%s  [%s]" % (indent, node.atom, tag)
+        if node.origin is not None:
+            line += "  via %s" % (node.origin,)
+        elif node.rule is not None and node.kind == "rule":
+            line += "  via %s" % _render_rule(node.rule)
+        if id(node) in printed and node.children:
+            lines.append("%s%s  (proved above)" % (indent, node.atom))
+            continue
+        printed.add(id(node))
+        lines.append(line)
+        for absent in node.negative:
+            lines.append("%s  not %s  [absent]" % (indent, absent))
+        for child in reversed(node.children):
+            stack.append((child, level + 1))
+    return "\n".join(lines)
+
+
+def format_why_not(answer: WhyNot) -> str:
+    """Render a :class:`WhyNot` answer as readable text."""
+    if not answer.known:
+        return "%s: never derivable (not in the grounder's atom base)" % (
+            answer.atom,
+        )
+    if not answer.supports:
+        return "%s: no rule has it in the head" % (answer.atom,)
+    lines = ["%s is absent because every support fails:" % (answer.atom,)]
+    for failed in answer.supports:
+        reasons: List[str] = []
+        if failed.missing_pos:
+            reasons.append(
+                "needs %s" % ", ".join(str(a) for a in failed.missing_pos)
+            )
+        if failed.blocking_neg:
+            reasons.append(
+                "blocked by %s"
+                % ", ".join(str(a) for a in failed.blocking_neg)
+            )
+        if failed.failed_aggregate:
+            reasons.append("aggregate guard fails")
+        if failed.not_chosen:
+            reasons.append("choice available but not taken")
+        lines.append(
+            "  %s  — %s"
+            % (_render_rule(failed.rule), "; ".join(reasons) or "unknown")
+        )
+    return "\n".join(lines)
+
+
+def proof_to_dict(root: ProofNode) -> Dict[str, object]:
+    """A JSON-safe dict of the DAG, nodes keyed by rendered atom."""
+    nodes: Dict[str, object] = {}
+    for node in iter_nodes(root):
+        entry: Dict[str, object] = {
+            "kind": node.kind,
+            "depth": node.depth,
+            "children": [str(child.atom) for child in node.children],
+            "negative": [str(a) for a in node.negative],
+        }
+        if node.rule is not None:
+            entry["rule"] = _render_rule(node.rule)
+        if node.origin is not None:
+            entry["origin"] = {
+                "rule": str(node.origin.rule),
+                "binding": {
+                    name: str(term) for name, term in node.origin.binding
+                },
+            }
+        nodes[str(node.atom)] = entry
+    return {"root": str(root.atom), "depth": root.depth, "nodes": nodes}
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse ``predicate(arg, ...)`` text into a ground atom.
+
+    The CLI front door of ``why``/``why_not``: accepts the same atom
+    syntax programs use, with or without a trailing period.
+    """
+    from ..asp.parser import parse_program
+    from ..asp.terms import TermError, evaluate
+
+    stripped = text.strip().rstrip(".")
+    if not stripped:
+        raise ProvenanceError("empty atom")
+    try:
+        program = parse_program("%s." % stripped)
+    except Exception as error:
+        raise ProvenanceError("cannot parse atom %r: %s" % (text, error))
+    if len(program.rules) != 1:
+        raise ProvenanceError("%r is not a single atom" % (text,))
+    rule = program.rules[0]
+    if rule.body or not isinstance(rule.head, Atom):
+        raise ProvenanceError("%r is not a single atom" % (text,))
+    try:
+        arguments = tuple(evaluate(a) for a in rule.head.arguments)
+    except TermError:
+        raise ProvenanceError("atom %r is not ground" % (text,))
+    return Atom(rule.head.predicate, arguments)

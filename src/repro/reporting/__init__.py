@@ -12,9 +12,11 @@ from .report import (
     analysis_results_report,
     assessment_report,
     epa_report_table,
+    proof_report,
     propagation_path_report,
     risk_matrix_report,
     risk_register_report,
+    unsat_core_report,
 )
 from .tables import render_markdown, render_matrix_grid, render_table
 
@@ -25,6 +27,7 @@ __all__ = [
     "assessment_report",
     "epa_report_table",
     "plan_to_dict",
+    "proof_report",
     "register_to_dict",
     "report_to_dict",
     "propagation_path_report",
@@ -34,4 +37,5 @@ __all__ = [
     "render_table",
     "risk_matrix_report",
     "risk_register_report",
+    "unsat_core_report",
 ]

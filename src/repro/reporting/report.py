@@ -82,6 +82,39 @@ def propagation_path_report(outcome: ScenarioOutcome) -> str:
     return "\n".join(lines)
 
 
+def proof_report(root: "object", title: str = "") -> str:
+    """A provenance proof DAG as a titled terminal block.
+
+    ``root`` is a :class:`repro.provenance.ProofNode`; rendering goes
+    through :func:`repro.provenance.format_proof`.
+    """
+    from ..provenance import format_proof
+
+    header = title or "Proof of %s" % (root.atom,)
+    return "%s\n%s\n%s" % (header, "-" * len(header), format_proof(root))
+
+
+def unsat_core_report(
+    core: Iterable[object], title: str = "Unsat core"
+) -> str:
+    """An unsat core as a titled bullet list.
+
+    Accepts ``(atom, bool)`` assumption pairs (the shape of
+    ``Control.unsat_core``) or plain identifiers.
+    """
+    lines = [title, "-" * len(title)]
+    entries = list(core)
+    if not entries:
+        lines.append("(empty: unsatisfiable without any assumptions)")
+    for entry in entries:
+        if isinstance(entry, tuple) and len(entry) == 2:
+            head, value = entry
+            lines.append("  - %s = %s" % (head, "true" if value else "false"))
+        else:
+            lines.append("  - %s" % (entry,))
+    return "\n".join(lines)
+
+
 def assessment_report(result: "object") -> str:
     """Full pipeline report (``AssessmentResult`` from repro.core)."""
     sections: List[str] = []

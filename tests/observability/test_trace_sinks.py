@@ -98,3 +98,38 @@ class TestOpenTrace:
     def test_unknown_format_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             open_trace(str(tmp_path / "t"), format="svg")
+
+
+class TestSequenceNumbers:
+    def test_seq_is_monotonic_per_sink(self):
+        stream = io.StringIO()
+        sink = JsonLinesTraceSink(stream)
+        for number in range(5):
+            sink.emit("solver.model", number=number)
+        records = [
+            json.loads(line) for line in stream.getvalue().splitlines()
+        ]
+        assert [r["seq"] for r in records] == list(range(5))
+
+    def test_seq_survives_payload_repr_fallback(self):
+        stream = io.StringIO()
+        sink = JsonLinesTraceSink(stream)
+        sink.emit("good", value=1)
+        # tuple-keyed dict forces the repr fallback path
+        sink.emit("bad", mapping={(1, 2): "x"})
+        sink.emit("good", value=2)
+        records = [
+            json.loads(line) for line in stream.getvalue().splitlines()
+        ]
+        assert [r["seq"] for r in records] == [0, 1, 2]
+        assert "payload_repr" in records[1]
+
+    def test_independent_sinks_count_independently(self):
+        first, second = io.StringIO(), io.StringIO()
+        JsonLinesTraceSink(first).emit("a")
+        sink = JsonLinesTraceSink(second)
+        sink.emit("b")
+        sink.emit("c")
+        assert json.loads(first.getvalue())["seq"] == 0
+        last = json.loads(second.getvalue().splitlines()[-1])
+        assert last["seq"] == 1

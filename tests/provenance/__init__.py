@@ -1,0 +1,1 @@
+"""Tests for the provenance package (proof DAGs and unsat cores)."""

@@ -1,0 +1,182 @@
+"""Proof DAGs on tight programs: kinds, rendering, serialization."""
+
+import pytest
+
+from repro.asp import Control, atom
+from repro.provenance import (
+    ProvenanceError,
+    assert_well_founded,
+    format_proof,
+    format_why_not,
+    iter_nodes,
+    parse_atom,
+    proof_to_dict,
+)
+
+PROGRAM = """
+base.
+derived :- base.
+blocked :- base, not guard.
+guard.
+{ pick }.
+chained :- pick.
+"""
+
+
+def justified_model(text, provenance=True, **solve):
+    control = Control(text, provenance=provenance)
+    models = control.solve(**solve)
+    assert models
+    return control, models[0], control.justify(models[0])
+
+
+class TestProofKinds:
+    def test_fact_is_a_leaf(self):
+        _, _, justifier = justified_model(PROGRAM)
+        node = justifier.why(atom("base"))
+        assert node.kind == "fact"
+        assert node.is_leaf()
+        assert node.depth == 0
+
+    def test_rule_node_has_premise_children(self):
+        _, _, justifier = justified_model(PROGRAM)
+        node = justifier.why(atom("derived"))
+        assert node.kind == "rule"
+        assert [child.atom for child in node.children] == [atom("base")]
+        assert node.depth == 1
+
+    def test_negative_premise_recorded(self):
+        # the negated atom must be derivable ({ b }) or the grounder
+        # simplifies the literal away before the justifier sees it
+        control = Control("{ b }. a :- not b.", provenance=True)
+        model = next(
+            m for m in control.solve() if atom("b") not in m.atoms
+        )
+        node = control.justify(model).why(atom("a"))
+        assert node.negative == (atom("b"),)
+
+    def test_choice_atom_is_chosen_kind(self):
+        control = Control("{ pick }. out :- pick.", provenance=True)
+        models = control.solve()
+        with_pick = next(m for m in models if atom("pick") in m.atoms)
+        justifier = control.justify(with_pick)
+        assert justifier.why(atom("pick")).kind == "choice"
+        assert justifier.why(atom("out")).children[0].kind == "choice"
+
+    def test_origin_carries_rule_and_binding(self):
+        control = Control(
+            "p(1). p(2). q(X) :- p(X).", provenance=True
+        )
+        model = control.solve()[0]
+        justifier = control.justify(model)
+        node = justifier.why(parse_atom("q(2)"))
+        assert node.origin is not None
+        assert node.origin.substitution()["X"].value == 2
+
+    def test_provenance_off_proofs_still_work_without_origins(self):
+        control = Control("p(1). q(X) :- p(X).", provenance=False)
+        model = control.solve()[0]
+        node = control.justify(model).why(parse_atom("q(1)"))
+        assert node.origin is None
+        assert node.children[0].atom == parse_atom("p(1)")
+
+
+class TestQueries:
+    def test_why_on_absent_atom_raises(self):
+        _, _, justifier = justified_model("a.")
+        with pytest.raises(ProvenanceError):
+            justifier.why(atom("missing"))
+
+    def test_why_not_on_present_atom_raises(self):
+        _, _, justifier = justified_model("a.")
+        with pytest.raises(ProvenanceError):
+            justifier.why_not(atom("a"))
+
+    def test_why_not_reports_blocking_negative(self):
+        control = Control(
+            "{ guard }. base. blocked :- base, not guard.",
+            provenance=True,
+        )
+        model = next(
+            m for m in control.solve() if atom("guard") in m.atoms
+        )
+        answer = control.justify(model).why_not(atom("blocked"))
+        assert answer.known
+        assert any(
+            atom("guard") in failed.blocking_neg
+            for failed in answer.supports
+        )
+
+    def test_why_not_reports_missing_positive(self):
+        control = Control("a :- b. { b }.", provenance=True)
+        model = next(
+            m for m in control.solve() if atom("a") not in m.atoms
+        )
+        answer = control.justify(model).why_not(atom("a"))
+        assert any(
+            atom("b") in failed.missing_pos for failed in answer.supports
+        )
+        assert "needs b" in format_why_not(answer)
+
+    def test_why_not_unknown_atom(self):
+        _, _, justifier = justified_model("a.")
+        answer = justifier.why_not(atom("never_heard_of"))
+        assert not answer.known
+        assert "never derivable" in format_why_not(answer)
+
+    def test_not_a_stable_model_raises(self):
+        control = Control("a :- b.", provenance=True)
+        control.ground()
+        justifier = control.justify([atom("a")])
+        with pytest.raises(ProvenanceError, match="unfounded"):
+            justifier.why(atom("a"))
+
+
+class TestRendering:
+    def test_format_proof_mentions_rules_and_absences(self):
+        _, model, justifier = justified_model(PROGRAM)
+        assert atom("blocked") not in model.atoms
+        text = format_proof(justifier.why(atom("derived")))
+        assert "derived" in text and "base" in text and "[fact]" in text
+        negative = Control("{ b }. a :- not b.", provenance=True)
+        m = next(
+            model
+            for model in negative.solve()
+            if atom("b") not in model.atoms
+        )
+        text = format_proof(negative.justify(m).why(atom("a")))
+        assert "not b  [absent]" in text
+
+    def test_proof_to_dict_round_trip(self):
+        _, _, justifier = justified_model(PROGRAM)
+        payload = proof_to_dict(justifier.why(atom("derived")))
+        assert payload["root"] == "derived"
+        assert payload["depth"] == 1
+        assert set(payload["nodes"]) == {"derived", "base"}
+        assert payload["nodes"]["derived"]["children"] == ["base"]
+        assert payload["nodes"]["base"]["kind"] == "fact"
+
+    def test_iter_nodes_unique(self):
+        # diamond: d supported by b and c, both supported by a
+        control = Control(
+            "a. b :- a. c :- a. d :- b, c.", provenance=True
+        )
+        model = control.solve()[0]
+        root = control.justify(model).why(atom("d"))
+        atoms = [str(node.atom) for node in iter_nodes(root)]
+        assert sorted(atoms) == ["a", "b", "c", "d"]
+        assert_well_founded(root)
+
+
+class TestParseAtom:
+    def test_parse_plain_and_with_arguments(self):
+        assert parse_atom("a") == atom("a")
+        assert parse_atom("p(1, x).") == atom("p", 1, "x")
+
+    def test_parse_rejects_rules_and_non_ground(self):
+        with pytest.raises(ProvenanceError):
+            parse_atom("a :- b")
+        with pytest.raises(ProvenanceError):
+            parse_atom("p(X)")
+        with pytest.raises(ProvenanceError):
+            parse_atom("")

@@ -1,0 +1,138 @@
+"""Well-foundedness on non-tight programs (positive loops).
+
+The acceptance bar of the provenance subsystem: every atom of every
+stable model of a non-tight program has an *acyclic* proof whose leaves
+are facts or chosen atoms — atoms on a positive loop are never
+justified through the loop itself — and the justifier agrees with the
+reference enumerator in :mod:`repro.asp.naive` about what the stable
+models are.  Plus the zero-cost-off contract: with ``provenance=False``
+the ground program renders byte-identically and solves identically.
+"""
+
+import pytest
+
+from repro.asp import Control, atom
+from repro.asp.grounder import Grounder
+from repro.asp.naive import stable_models
+from repro.asp.parser import parse_program
+from repro.provenance import (
+    ProvenanceError,
+    assert_well_founded,
+    iter_nodes,
+)
+
+LOOP = """
+{ seed }.
+a :- seed.
+a :- b.
+b :- a.
+"""
+
+MUTUAL = """
+p :- q, not r.
+q :- p, not r.
+{ r }.
+p :- start.
+{ start }.
+"""
+
+# the shape of the EPA reachability rules: err propagates over a cycle
+CYCLE_REACH = """
+edge(1, 2). edge(2, 3). edge(3, 1).
+{ fail(N) : node(N) }.
+node(1). node(2). node(3).
+err(N) :- fail(N).
+err(M) :- err(N), edge(N, M).
+"""
+
+NONTIGHT_PROGRAMS = [LOOP, MUTUAL, CYCLE_REACH]
+
+
+def proofs_for_all_models(text):
+    control = Control(text, provenance=True)
+    models = control.solve()
+    assert models, "programs under test must be satisfiable"
+    for model in models:
+        justifier = control.justify(model)
+        for model_atom in model.atoms:
+            yield model, justifier.why(model_atom)
+
+
+class TestWellFoundedness:
+    @pytest.mark.parametrize("text", NONTIGHT_PROGRAMS)
+    def test_every_proof_is_acyclic_with_grounded_leaves(self, text):
+        for _model, node in proofs_for_all_models(text):
+            assert_well_founded(node)
+            for leaf in iter_nodes(node):
+                if leaf.is_leaf():
+                    assert leaf.kind in ("fact", "choice")
+
+    def test_loop_atom_not_justified_through_the_loop(self):
+        control = Control(LOOP, provenance=True)
+        model = next(
+            m for m in control.solve() if atom("seed") in m.atoms
+        )
+        justifier = control.justify(model)
+        # a's only well-founded support is seed, not the a<->b loop
+        node = justifier.why(atom("a"))
+        assert [c.atom for c in node.children] == [atom("seed")]
+        # b is supported by a, which bottoms out in seed
+        b_node = justifier.why(atom("b"))
+        assert [c.atom for c in b_node.children] == [atom("a")]
+        assert b_node.depth > node.depth
+
+    def test_unfounded_loop_interpretation_rejected(self):
+        control = Control("a :- b. b :- a.", provenance=True)
+        control.ground()
+        justifier = control.justify([atom("a"), atom("b")])
+        with pytest.raises(ProvenanceError, match="unfounded"):
+            justifier.why(atom("a"))
+
+    @pytest.mark.parametrize("text", NONTIGHT_PROGRAMS)
+    def test_models_cross_checked_against_naive(self, text):
+        control = Control(text, provenance=True)
+        solver_models = {frozenset(m.atoms) for m in control.solve()}
+        reference = set(stable_models(control.ground()))
+        assert solver_models == reference
+        # and every reference model is fully justifiable
+        for model in reference:
+            justifier = control.justify(model)
+            for model_atom in model:
+                assert_well_founded(justifier.why(model_atom))
+
+
+class TestZeroCostOff:
+    @pytest.mark.parametrize("text", NONTIGHT_PROGRAMS + ["p(1..3). q(X) :- p(X), not r(X). { r(2) }."])
+    def test_ground_text_byte_identical(self, text):
+        program = parse_program(text)
+        plain = Grounder(program).ground()
+        tracked = Grounder(parse_program(text), provenance=True).ground()
+        assert str(plain) == str(tracked)
+        assert plain.origins is None
+        assert tracked.origins is not None
+        assert len(tracked.origins) == len(tracked.rules)
+
+    @pytest.mark.parametrize("text", NONTIGHT_PROGRAMS)
+    def test_solve_results_identical(self, text):
+        plain = {
+            frozenset(m.atoms)
+            for m in Control(text, provenance=False).solve()
+        }
+        tracked = {
+            frozenset(m.atoms)
+            for m in Control(text, provenance=True).solve()
+        }
+        assert plain == tracked
+
+    def test_off_path_statistics_do_not_mention_provenance(self):
+        control = Control(LOOP, provenance=False)
+        control.solve()
+        grounding = control.statistics.get_path("grounding")
+        assert "provenance_rules" not in (grounding or {})
+
+    def test_on_path_statistics_count_recorded_rules(self):
+        control = Control(LOOP, provenance=True)
+        control.solve()
+        ground = control.ground()
+        recorded = control.statistics.get_path("grounding.provenance_rules")
+        assert recorded == len(ground.origins) == len(ground.rules)

@@ -1,0 +1,177 @@
+"""Assumption-level unsat cores, from the SAT layer up to MUS checks.
+
+The MUS property is verified directly: the minimized core is
+unsatisfiable and *every proper subset* of it is satisfiable.
+"""
+
+import itertools
+
+import pytest
+
+from repro.asp import Control, atom
+from repro.asp.sat import Solver as SatSolver
+from repro.provenance import assumption_core, minimize_core
+
+
+class TestSatLayerCores:
+    def test_no_core_before_any_solve(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        assert solver.last_core() is None
+
+    def test_sat_result_has_no_core(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[1]) is not None
+        assert solver.last_core() is None
+
+    def test_conflicting_assumptions_yield_core(self):
+        solver = SatSolver()
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        assert solver.solve(assumptions=[1, -3]) is None
+        core = solver.last_core()
+        assert core is not None
+        assert set(core) <= {1, -3}
+        assert core  # non-empty: the instance alone is satisfiable
+
+    def test_globally_unsat_gives_empty_core(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert solver.solve(assumptions=[2]) is None
+        assert solver.last_core() == []
+
+    def test_directly_contradictory_assumptions(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])  # register the variables
+        assert solver.solve(assumptions=[1, -1]) is None
+        core = solver.last_core()
+        assert set(core) == {1, -1}
+
+    def test_irrelevant_assumptions_excluded(self):
+        solver = SatSolver()
+        solver.add_clause([-1, -2])  # 1 and 2 conflict
+        solver.add_clause([3, 4])  # unrelated
+        assert solver.solve(assumptions=[3, 1, 2]) is None
+        core = solver.last_core()
+        assert 3 not in core
+        assert set(core) == {1, 2}
+
+
+class TestControlCores:
+    def test_no_core_unless_model_free(self):
+        control = Control("{ a }.")
+        control.solve()
+        assert control.unsat_core is None
+
+    def test_core_over_choice_assumptions(self):
+        control = Control("{ a }. { b }. :- a, b.")
+        a, b = atom("a"), atom("b")
+        models = control.solve(assumptions=[(a, True), (b, True)])
+        assert models == []
+        core = control.unsat_core
+        assert core is not None
+        assert set(core) <= {(a, True), (b, True)}
+        assert len(core) == 2
+
+    def test_underivable_positive_assumption_in_core(self):
+        control = Control("fact.")
+        ghost = atom("ghost")
+        assert control.solve(assumptions=[(ghost, True)]) == []
+        assert control.unsat_core == [(ghost, True)]
+
+    def test_globally_unsat_empty_core(self):
+        control = Control("a. :- a.")
+        assert control.solve(assumptions=[(atom("b"), True)]) == []
+        assert control.unsat_core == []
+
+    def test_core_includes_external_assignments(self):
+        control = Control("p :- q. :- p.")
+        control.add_external("q")
+        control.assign_external("q", value=True)
+        assert control.solve() == []
+        assert (atom("q"), True) in (control.unsat_core or [])
+
+    def test_optimize_records_core(self):
+        control = Control("{ a }. :- not a. :~ a. [1@1]")
+        assert control.optimize(assumptions=[(atom("a"), False)]) == []
+        assert control.unsat_core == [(atom("a"), False)]
+
+
+class TestMinimization:
+    def test_minimize_core_drops_redundancy(self):
+        # UNSAT iff both 'x' and 'y' present; 'pad' entries are noise
+        def is_unsat(subset):
+            return "x" in subset and "y" in subset
+
+        core = minimize_core(is_unsat, ["pad1", "x", "pad2", "y", "pad3"])
+        assert core == ["x", "y"]
+
+    def test_minimize_core_handles_empty(self):
+        assert minimize_core(lambda s: True, []) == []
+
+    def test_mus_property_every_proper_subset_sat(self):
+        # r needs one of a/b blocked AND one of c/d blocked; assuming
+        # all four off is unsat, the MUS mixes one from each pair
+        control = Control(
+            """
+            { a; b; c; d }.
+            ok1 :- a.  ok1 :- b.
+            ok2 :- c.  ok2 :- d.
+            :- not ok1.  :- not ok2.
+            """
+        )
+        assumptions = [
+            (atom(name), False) for name in ("a", "b", "c", "d")
+        ]
+        core = assumption_core(control, assumptions)
+        assert core is not None and core != []
+        # core itself is UNSAT...
+        assert not control.is_satisfiable(core)
+        # ...and every proper subset is SAT
+        for size in range(len(core)):
+            for subset in itertools.combinations(core, size):
+                assert control.is_satisfiable(list(subset))
+
+    def test_assumption_core_none_when_satisfiable(self):
+        control = Control("{ a }.")
+        assert assumption_core(control, [(atom("a"), True)]) is None
+
+    def test_assumption_core_unminimized(self):
+        control = Control("{ a }. { b }. :- a.")
+        core = assumption_core(
+            control,
+            [(atom("a"), True), (atom("b"), True)],
+            minimize=False,
+        )
+        assert core is not None
+        assert (atom("a"), True) in core
+
+
+class TestMetrics:
+    def test_core_sizes_observed(self):
+        from repro.observability.metrics import get_registry
+
+        registry = get_registry()
+        initial = registry.histogram(
+            "repro_provenance_core_size", stage="initial"
+        )
+        minimized = registry.histogram(
+            "repro_provenance_core_size", stage="minimized"
+        )
+        before = (initial.count, minimized.count)
+        control = Control("{ a }. :- a.")
+        assert assumption_core(control, [(atom("a"), True)]) is not None
+        assert initial.count == before[0] + 1
+        assert minimized.count == before[1] + 1
+
+    def test_proof_depth_observed(self):
+        from repro.observability.metrics import get_registry
+
+        histogram = get_registry().histogram("repro_provenance_proof_depth")
+        before = histogram.count
+        control = Control("a. b :- a.", provenance=True)
+        model = control.solve()[0]
+        control.justify(model).why(atom("b"))
+        assert histogram.count == before + 1

@@ -59,6 +59,14 @@ STRICT_TOLERANCE = {
     "test_bench_epa_enumerate_provenance_off": 1.03,
 }
 
+#: minimum speedup vs the recorded baseline a bench must keep under
+#: ``--check``; the parallel sweep must stay >=2x faster than the
+#: sequential fresh-path median it is benchmarked against (the full
+#: tuning story behind that number is in ``docs/parallelism.md``)
+SPEEDUP_FLOORS = {
+    "test_bench_parallel_analyze_4_workers": 2.0,
+}
+
 BENCH_FILES = [
     "benchmarks/test_bench_asp_classic.py",
     "benchmarks/test_bench_fig4_refinement.py",
@@ -205,6 +213,23 @@ def check_regressions(benches, baseline_path=None):
                     record["median_s"],
                     baseline,
                     round((tolerance - 1) * 100),
+                )
+            )
+    for name, floor in sorted(SPEEDUP_FLOORS.items()):
+        record = benches.get(name)
+        if record is None:
+            continue
+        speedup = record.get("speedup")
+        if speedup is not None and speedup < floor:
+            failures.append(
+                "%s speedup fell below the %.1fx floor: %.2fx "
+                "(median %.4fs vs baseline %.4fs)"
+                % (
+                    name,
+                    floor,
+                    speedup,
+                    record["median_s"],
+                    record["baseline_median_s"],
                 )
             )
     return failures

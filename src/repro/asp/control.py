@@ -345,14 +345,20 @@ class Control:
         self,
         limit: Optional[int] = None,
         assumptions: Sequence[Tuple[Atom, bool]] = (),
+        project: Optional[Sequence[Atom]] = None,
     ) -> List[Model]:
         """Enumerate up to ``limit`` answer sets (all when ``None``)."""
-        return list(self.solve_iter(limit=limit, assumptions=assumptions))
+        return list(
+            self.solve_iter(
+                limit=limit, assumptions=assumptions, project=project
+            )
+        )
 
     def solve_iter(
         self,
         limit: Optional[int] = None,
         assumptions: Sequence[Tuple[Atom, bool]] = (),
+        project: Optional[Sequence[Atom]] = None,
     ) -> Iterator[Model]:
         """Stream answer sets as they are found (generator).
 
@@ -360,6 +366,12 @@ class Control:
         partial solve are still recorded.  In multi-shot mode the
         blocking clauses driving the enumeration are retracted when the
         generator finishes, so the persistent solver stays clean.
+
+        ``project`` passes a blocking-clause projection down to
+        :meth:`StableModelSolver.models`: the caller asserts the given
+        atoms functionally determine every answer set (see there for the
+        contract), and enumeration records much shorter solution
+        clauses in exchange.
         """
         with self._tracer.span(
             "control.solve", multishot=self._multishot
@@ -371,6 +383,7 @@ class Control:
                 limit=limit,
                 assumptions=self._solve_assumptions(assumptions),
                 retract=self._multishot,
+                project=project,
             )
             try:
                 for model in inner:
@@ -383,9 +396,39 @@ class Control:
                 self._record_solve(solver, timer.stop(), count)
 
     def first_model(
-        self, assumptions: Sequence[Tuple[Atom, bool]] = ()
+        self,
+        assumptions: Sequence[Tuple[Atom, bool]] = (),
+        workers: Optional[int] = None,
     ) -> Optional[Model]:
-        """The first answer set found, or ``None`` (stops immediately)."""
+        """The first answer set found, or ``None`` (stops immediately).
+
+        ``workers > 1`` races a portfolio of solver configurations in
+        separate processes (see :mod:`repro.asp.portfolio`) and returns
+        the first finisher's answer.  The satisfiability verdict is
+        identical to the serial path; the witness model may be a
+        different (equally valid) stable model.
+        """
+        if workers is not None and workers > 1 and not self._provenance:
+            from .portfolio import race_first_model
+
+            with self._tracer.span("control.portfolio") as span:
+                timer = Timer().start()
+                model, winner = race_first_model(
+                    self.ground(),
+                    assumptions=self._solve_assumptions(assumptions),
+                    workers=workers,
+                )
+                span.update(winner=winner, found=model is not None)
+            self._last_core = None
+            self._stats.incr("solving.portfolio.races")
+            self._stats.set("solving.portfolio.winner", winner)
+            self._stats.incr("summary.calls")
+            self._stats.incr(
+                "summary.models.enumerated", 1 if model is not None else 0
+            )
+            self._stats.add_time("summary.times.solve", timer.stop())
+            self._update_total_time()
+            return model
         iterator = self.solve_iter(limit=1, assumptions=assumptions)
         try:
             return next(iterator, None)
@@ -393,9 +436,11 @@ class Control:
             iterator.close()
 
     def is_satisfiable(
-        self, assumptions: Sequence[Tuple[Atom, bool]] = ()
+        self,
+        assumptions: Sequence[Tuple[Atom, bool]] = (),
+        workers: Optional[int] = None,
     ) -> bool:
-        return self.first_model(assumptions) is not None
+        return self.first_model(assumptions, workers=workers) is not None
 
     def optimize(
         self,

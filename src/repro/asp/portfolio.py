@@ -1,0 +1,181 @@
+"""Portfolio racing for single-answer solver queries.
+
+Single-answer queries — ``first_model``, ``is_satisfiable``, the
+bound-tightening probes of the mitigation optimizer — do not shard the
+way enumeration does: there is one answer, and the only parallel lever
+is *diversity*.  This module races several solver configurations with
+different search heuristics (phase polarity, restart cadence, branching
+jitter) over the same ground program in separate processes; the first
+process to finish decides the query and the rest are cancelled.  On a
+deterministic problem every configuration agrees on satisfiability, so
+the race changes latency, never the verdict; the *witness model* may
+legitimately differ between configurations (and from the serial
+solver's), but is always a stable model of the program.
+
+The ground program crosses the process boundary through
+:mod:`repro.asp.serialize`: the parent publishes it once
+(:func:`~repro.asp.serialize.publish`) and fork-started workers inherit
+the decoded program copy-on-write, so a race costs four solver
+constructions, not four groundings.
+
+Exports: :class:`PortfolioConfig`, :data:`DEFAULT_PORTFOLIO`,
+:func:`race_first_model`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .serialize import publish, shared_program
+from .solver import Model, StableModelSolver
+from .syntax import Atom
+from ..observability.metrics import get_registry
+
+
+@dataclass(frozen=True)
+class PortfolioConfig:
+    """One racing entry: a name plus :class:`SatSolver` heuristic knobs."""
+
+    name: str
+    heuristics: Dict[str, object] = field(default_factory=dict)
+
+
+#: The default racing lineup.  ``default`` reproduces the serial solver
+#: bit for bit; the others diversify one heuristic axis each — phase
+#: polarity (find dense models fast), restart cadence (escape bad
+#: prefixes early), and branching-order jitter (decorrelate from the
+#: input variable order).
+DEFAULT_PORTFOLIO: Tuple[PortfolioConfig, ...] = (
+    PortfolioConfig("default"),
+    PortfolioConfig("positive-phase", {"default_phase": True}),
+    PortfolioConfig("agile-restarts", {"restart_base": 8}),
+    PortfolioConfig("seeded", {"seed": 1}),
+)
+
+
+def _portfolio_worker(name, heuristics, digest, blob, assumptions, results):
+    """Race entry: build a solver with ``heuristics``, find one model."""
+    try:
+        program = shared_program(digest, blob)
+        solver = StableModelSolver(program, heuristics=heuristics)
+        model = None
+        iterator = solver.models(limit=1, assumptions=assumptions)
+        try:
+            model = next(iterator, None)
+        finally:
+            iterator.close()
+        if model is None:
+            results.put((name, None))
+        else:
+            results.put((name, (model.atoms, model.cost, model.shown)))
+    except Exception as error:  # pragma: no cover - surfaced as a loss
+        results.put((name, ("error", repr(error))))
+
+
+def race_first_model(
+    ground_program,
+    assumptions: Sequence[Tuple[Atom, bool]] = (),
+    configs: Sequence[PortfolioConfig] = DEFAULT_PORTFOLIO,
+    workers: Optional[int] = None,
+) -> Tuple[Optional[Model], str]:
+    """Race ``configs`` for the first stable model of ``ground_program``.
+
+    Returns ``(model, winner_name)`` where ``model`` is ``None`` when
+    the program is unsatisfiable under ``assumptions``.  ``workers``
+    caps how many configurations actually race (default: all of them);
+    with ``workers <= 1`` the first configuration runs in-process and
+    the "race" degenerates to the serial solve.  The winner is whichever
+    process answers first — losers are terminated, so wall-clock equals
+    the *best* configuration's runtime plus process overhead.  A worker
+    that errors counts as a loss, not a verdict; if every entry errors a
+    :class:`RuntimeError` surfaces with the collected reprs.
+    """
+    lineup = list(configs)
+    if workers is not None:
+        lineup = lineup[: max(1, workers)]
+    if not lineup:
+        raise ValueError("empty portfolio")
+    assumptions = list(assumptions)
+    if len(lineup) == 1 or (workers is not None and workers <= 1):
+        config = lineup[0]
+        solver = StableModelSolver(ground_program, heuristics=config.heuristics)
+        iterator = solver.models(limit=1, assumptions=assumptions)
+        try:
+            return next(iterator, None), config.name
+        finally:
+            iterator.close()
+
+    registry = get_registry()
+    registry.counter(
+        "repro_portfolio_races_total", "portfolio races started"
+    ).inc()
+    digest, blob = publish(ground_program)
+    method = (
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    )
+    context = multiprocessing.get_context(method)
+    results = context.Queue()
+    ship_blob = None if method == "fork" else blob
+    processes = []
+    for config in lineup:
+        process = context.Process(
+            target=_portfolio_worker,
+            args=(
+                config.name,
+                dict(config.heuristics),
+                digest,
+                ship_blob,
+                assumptions,
+                results,
+            ),
+            daemon=True,
+        )
+        process.start()
+        processes.append(process)
+
+    errors: List[str] = []
+    try:
+        while True:
+            try:
+                name, payload = results.get(timeout=0.05)
+            except queue_module.Empty:
+                if not any(process.is_alive() for process in processes):
+                    if errors:
+                        raise RuntimeError(
+                            "every portfolio entry failed: %s" % "; ".join(errors)
+                        )
+                    # all workers died without reporting (killed externally)
+                    if results.empty():
+                        raise RuntimeError(
+                            "portfolio workers died without reporting"
+                        )
+                continue
+            if isinstance(payload, tuple) and payload[0] == "error":
+                errors.append("%s: %s" % (name, payload[1]))
+                if len(errors) == len(lineup):
+                    raise RuntimeError(
+                        "every portfolio entry failed: %s" % "; ".join(errors)
+                    )
+                continue
+            registry.counter(
+                "repro_portfolio_wins_total",
+                "race wins per portfolio configuration",
+                config=name,
+            ).inc()
+            if payload is None:
+                return None, name
+            atoms, cost, shown = payload
+            return Model(atoms=atoms, cost=cost, shown=shown), name
+    finally:
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(timeout=1.0)
+        results.close()
+
+
+__all__ = ["DEFAULT_PORTFOLIO", "PortfolioConfig", "race_first_model"]

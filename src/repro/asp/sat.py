@@ -14,6 +14,14 @@ classic conflict-driven clause-learning solver with:
   each call may carry *assumptions* (fixed first decisions), which makes
   the ASP layer's enumeration, brave/cautious reasoning and
   branch-and-bound optimization cheap;
+* a chronological decision interface (:meth:`Solver.push_level` /
+  :meth:`Solver.pop_to_level`) that lets a caller drive its own DFS over
+  a chosen variable set with plain unit propagation — no conflict
+  analysis, no clause learning, no heap churn — which is how the
+  stable-model layer enumerates projected models inside a cube;
+* tunable search heuristics (``default_phase``, ``restart_base``,
+  ``seed``) so a portfolio can race differently-configured solvers over
+  the same formula;
 * search counters (decisions, propagations, conflicts, restarts, learnt
   nogoods) exposed via :attr:`Solver.statistics` for the observability
   layer — plain integer attributes bumped in the hot loop, snapshotted
@@ -55,10 +63,29 @@ def _luby(i: int) -> int:
 class Solver:
     """Incremental CDCL SAT solver."""
 
-    def __init__(self, trace: Optional[object] = None) -> None:
+    def __init__(
+        self,
+        trace: Optional[object] = None,
+        default_phase: bool = False,
+        restart_base: int = 32,
+        seed: Optional[int] = None,
+    ) -> None:
+        """``default_phase``, ``restart_base`` and ``seed`` are the
+        portfolio heuristics: the initial decision polarity, the Luby
+        restart multiplier (conflicts before the first restart), and an
+        optional seed for a deterministic activity jitter that perturbs
+        decision tie-breaking.  The defaults reproduce the historical
+        search byte for byte."""
         from ..observability import NULL_SINK
 
+        if restart_base < 1:
+            raise SatError("restart_base must be >= 1")
         self._trace = trace if trace is not None else NULL_SINK
+        self._default_phase = TRUE if default_phase else FALSE
+        self._restart_base = int(restart_base)
+        # xorshift-style LCG state; None disables jitter entirely so the
+        # default configuration keeps exact activity ties
+        self._jitter_state = None if seed is None else (seed or 1) & 0xFFFFFFFF
         self._num_vars = 0
         self._clauses: List[List[int]] = []
         self._watches: Dict[int, List[int]] = {}
@@ -85,6 +112,9 @@ class Solver:
         self._last_core: Optional[List[int]] = None
         #: decision-order heap of (-activity, var); entries may be stale
         self._order: List[tuple] = []
+        #: True when pop_to_level() skipped heap maintenance; solve_raw
+        #: rebuilds the heap before its next decision
+        self._order_dirty = False
 
     # ------------------------------------------------------------------
     # problem construction
@@ -95,9 +125,20 @@ class Solver:
         self._assign.append(UNASSIGNED)
         self._level.append(0)
         self._reason.append(None)
-        self._activity.append(0.0)
-        self._phase.append(FALSE)
-        heapq.heappush(self._order, (0.0, self._num_vars))
+        activity = 0.0
+        if self._jitter_state is not None:
+            # deterministic 32-bit xorshift: a sub-unit activity nudge
+            # that reorders equal-activity variables without outweighing
+            # a single real conflict bump
+            state = self._jitter_state
+            state ^= (state << 13) & 0xFFFFFFFF
+            state ^= state >> 17
+            state ^= (state << 5) & 0xFFFFFFFF
+            self._jitter_state = state
+            activity = (state % 10007) * 1e-7
+        self._activity.append(activity)
+        self._phase.append(self._default_phase)
+        heapq.heappush(self._order, (-activity, self._num_vars))
         return self._num_vars
 
     @property
@@ -388,6 +429,113 @@ class Solver:
         self._queue_head = len(self._trail)
 
     # ------------------------------------------------------------------
+    # chronological decision interface (caller-driven DFS)
+    # ------------------------------------------------------------------
+    @property
+    def decision_level(self) -> int:
+        """The current decision level (0 = no open decisions)."""
+        return len(self._trail_lim)
+
+    def assignment_view(self) -> List[int]:
+        """The live assignment array (index 0 unused, values ±1/0).
+
+        The same array :meth:`solve_raw` returns: a mutable view the
+        solver updates in place.  Callers driving a ``push_level`` DFS
+        probe it between pushes instead of copying it per leaf.
+        """
+        return self._assign
+
+    def trail_view(self) -> List[int]:
+        """The live assignment trail (one literal per assigned var).
+
+        ``len(trail_view()) == num_vars`` iff the assignment is total —
+        the O(1) completeness probe of the DFS enumeration.
+        """
+        return self._trail
+
+    def propagate_top(self) -> bool:
+        """Run unit propagation at the top level; False on conflict.
+
+        Call once before a :meth:`push_level` DFS so pending top-level
+        units (from clauses added since the last solve) are applied.
+        """
+        if self._unsat:
+            return False
+        if self._propagate() is not None:
+            self._unsat = True
+            return False
+        return True
+
+    def push_level(self, literal: int) -> Optional[int]:
+        """Open a decision level, assert ``literal``, unit-propagate.
+
+        Returns ``None`` on success and a conflict indicator otherwise
+        (a conflicting clause index, or ``-1`` when the literal is
+        already falsified).  A level is opened even on conflict, so the
+        caller's undo discipline is uniform: every ``push_level`` is
+        balanced by a :meth:`pop_to_level` regardless of outcome.
+
+        Together with :meth:`pop_to_level` this is the cube-and-conquer
+        worker loop: the caller walks its own DFS over a chosen branch
+        set with plain propagation — no conflict analysis, no learning,
+        no decision-heap maintenance.  Counters still tick, so the work
+        shows up in :attr:`statistics`.
+        """
+        var = literal if literal > 0 else -literal
+        self._ensure_var(var)
+        self._trail_lim.append(len(self._trail))
+        self._decisions_total += 1
+        value = self._assign[var]
+        if value != UNASSIGNED:
+            if (value == TRUE) != (literal > 0):
+                return -1
+            return None
+        self._assign[var] = TRUE if literal > 0 else FALSE
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = None
+        self._trail.append(literal)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._conflicts_total += 1
+        return conflict
+
+    def pop_to_level(self, level: int) -> None:
+        """Undo all decision levels above ``level`` without heap upkeep.
+
+        The cheap counterpart of the internal backjump: assignments,
+        phases and the propagation queue are restored, but unassigned
+        variables are *not* re-inserted into the decision-order heap —
+        the next ``solve``/``solve_raw`` call rebuilds the heap in one
+        pass instead of paying a ``heappush`` per undone literal per
+        pop.  Only meaningful around :meth:`push_level` loops.
+        """
+        if len(self._trail_lim) <= level:
+            return
+        limit = self._trail_lim[level]
+        assign = self._assign
+        phase = self._phase
+        reason = self._reason
+        for literal in self._trail[limit:]:
+            var = literal if literal > 0 else -literal
+            phase[var] = assign[var]
+            assign[var] = UNASSIGNED
+            reason[var] = None
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._queue_head = len(self._trail)
+        self._order_dirty = True
+
+    def _rebuild_order(self) -> None:
+        """Rebuild the decision heap after a pop_to_level() sequence."""
+        self._order = [
+            (-self._activity[v], v)
+            for v in range(1, self._num_vars + 1)
+            if self._assign[v] == UNASSIGNED
+        ]
+        heapq.heapify(self._order)
+        self._order_dirty = False
+
+    # ------------------------------------------------------------------
     # conflict analysis
     # ------------------------------------------------------------------
     def _bump(self, var: int) -> None:
@@ -499,17 +647,25 @@ class Solver:
         stable-model layer probes just the atom variables it cares about
         instead of paying for a full ``{var: bool}`` dict per model.
 
-        With ``restart=False`` (and no assumptions) the search continues
-        from the current trail instead of backtracking to level 0 —
-        paired with :meth:`add_blocking_clause` this makes model
-        enumeration resume next to the previous model.
+        With ``restart=False`` the search continues from the current
+        trail instead of backtracking to level 0 — paired with
+        :meth:`add_blocking_clause` this makes model enumeration resume
+        next to the previous model.  This is sound with assumptions too:
+        decision levels are created in call order, so the levels a
+        backjump preserved are exactly an assumption prefix, and the
+        main loop re-asserts whatever assumption suffix was undone
+        before branching further.  The caller must pass the *same*
+        assumptions as the preceding ``restart=True`` call (the
+        enumeration loop of :meth:`StableModelSolver.models` does).
         """
         self._last_core = None
         if self._unsat:
             self._last_core = []
             return None
+        if self._order_dirty:
+            self._rebuild_order()
         assumption_list = list(assumptions)
-        if restart or assumption_list:
+        if restart:
             self._backtrack(0)
             conflict = self._propagate()
             if conflict is not None:
@@ -518,7 +674,7 @@ class Solver:
                 return None
         restarts = 0
         conflicts_since_restart = 0
-        restart_limit = 32 * _luby(1)
+        restart_limit = self._restart_base * _luby(1)
         while True:
             conflict = self._propagate()
             if conflict is not None:
@@ -559,7 +715,7 @@ class Solver:
                     restarts += 1
                     self._restarts_total += 1
                     conflicts_since_restart = 0
-                    restart_limit = 32 * _luby(restarts + 1)
+                    restart_limit = self._restart_base * _luby(restarts + 1)
                     self._backtrack(0)
                     self._trace.emit(
                         "sat.restart",

@@ -42,6 +42,17 @@ class SolverError(Exception):
     """Raised for unsupported ground constructs (e.g. recursive aggregates)."""
 
 
+class ProjectionIncomplete(SolverError):
+    """The propagation-driven projected enumeration cannot run.
+
+    Raised by :meth:`StableModelSolver.project_models` when unit
+    propagation does not determine the full assignment from the
+    projection atoms (free atoms outside the projection, recursion
+    through aggregates, ...).  Callers fall back to the CDCL-based
+    :meth:`StableModelSolver.models` path, which is always complete.
+    """
+
+
 @dataclass(frozen=True)
 class Model:
     """One answer set."""
@@ -98,12 +109,22 @@ class StableModelSolver:
     by :class:`~repro.asp.control.Control` in ``multishot`` mode.
     """
 
-    def __init__(self, program: GroundProgram, trace: Optional[object] = None):
+    def __init__(
+        self,
+        program: GroundProgram,
+        trace: Optional[object] = None,
+        heuristics: Optional[Dict[str, object]] = None,
+    ):
+        """``heuristics`` tunes the SAT backend's search (keys
+        ``default_phase``, ``restart_base``, ``seed`` — see
+        :class:`~repro.asp.sat.Solver`); portfolio racing builds one
+        solver per configuration over the same ground program.  ``None``
+        keeps the historical byte-identical defaults."""
         from ..observability import NULL_SINK
 
         self._program = program
         self._trace = trace if trace is not None else NULL_SINK
-        self._sat = SatSolver(trace=self._trace)
+        self._sat = SatSolver(trace=self._trace, **(heuristics or {}))
         self._true = self._sat.new_var()
         self._sat.add_clause([self._true])
         self._atom_var: Dict[Atom, int] = {}
@@ -121,6 +142,9 @@ class StableModelSolver:
         #: atom-level assumption core of the last fruitless call (see
         #: :attr:`unsat_core`)
         self._last_core: Optional[List[Tuple[Atom, bool]]] = None
+        #: lazily built variable-indexed founded entries for the raw
+        #: (assignment-probing) unfounded check of project_models()
+        self._founded_raw: Optional[Tuple[List[int], List[Tuple[int, Tuple[int, ...], int, Tuple[int, ...]]]]] = None
         self._build()
 
     @property
@@ -352,16 +376,62 @@ class StableModelSolver:
                 for body_atom in aggregate_atoms:
                     edges.add(body_atom)
         self._scc_of: Dict[Atom, int] = {}
+        self._cyclic_atoms: Set[Atom] = set()
         index = 0
         for component in _tarjan_scc(graph):
             for atom in component:
                 self._scc_of[atom] = index
-            if len(component) > 1:
+            if len(component) > 1 or component[0] in graph.get(
+                component[0], set()
+            ):
                 self._tight = False
-            elif component[0] in graph.get(component[0], set()):
-                self._tight = False
+                self._cyclic_atoms.update(component)
             index += 1
         self._check_no_recursive_aggregates()
+        self._index_founded_rules()
+
+    def _index_founded_rules(self) -> None:
+        """Precompute the rule slice the unfounded-set check walks.
+
+        In a supported model only atoms inside non-trivial SCCs of the
+        positive dependency graph can be unfounded (Lin-Zhao), so the
+        per-model fixpoint needs just the rules whose head lies in such
+        an SCC — with each rule's positive body split into the acyclic
+        part (founded by construction once true) and the cyclic part
+        (the only atoms the fixpoint actually has to derive).
+        """
+        cyclic = self._cyclic_atoms
+        entries: List[
+            Tuple[
+                Atom,
+                Tuple[Atom, ...],
+                Tuple[Atom, ...],
+                Tuple[Atom, ...],
+                Tuple[GroundAggregate, ...],
+            ]
+        ] = []
+        if cyclic:
+            for rule, _ in self._rule_records:
+                if isinstance(rule.head, Atom):
+                    targets = [(rule.head, rule.pos, rule.neg)]
+                else:
+                    targets = [
+                        (atom, rule.pos + cond_pos, rule.neg + cond_neg)
+                        for atom, cond_pos, cond_neg in rule.head.elements
+                    ]
+                for head, pos, neg in targets:
+                    if head not in cyclic:
+                        continue
+                    entries.append(
+                        (
+                            head,
+                            tuple(a for a in pos if a not in cyclic),
+                            tuple(a for a in pos if a in cyclic),
+                            neg,
+                            rule.aggregates,
+                        )
+                    )
+        self._founded_entries = entries
 
     def _check_no_recursive_aggregates(self) -> None:
         for rule, _ in self._rule_records:
@@ -458,43 +528,61 @@ class StableModelSolver:
     def _founded_check(
         self, true_atoms: Set[Atom], assignment: Sequence[int]
     ) -> Optional[Set[Atom]]:
-        """Return the unfounded subset of ``true_atoms`` (None if empty)."""
-        founded: Set[Atom] = set()
-        changed = True
-        while changed:
-            changed = False
-            for rule, _ in self._rule_records:
-                if not self._rule_fires(rule, true_atoms, founded):
-                    continue
-                if isinstance(rule.head, Atom):
-                    if rule.head in true_atoms and rule.head not in founded:
-                        founded.add(rule.head)
-                        changed = True
-                else:
-                    for atom, condition_pos, condition_neg in rule.head.elements:
-                        if atom not in true_atoms or atom in founded:
-                            continue
-                        if all(
-                            a in true_atoms and a in founded for a in condition_pos
-                        ) and not any(a in true_atoms for a in condition_neg):
-                            founded.add(atom)
-                            changed = True
-        unfounded = true_atoms - founded
-        return unfounded or None
+        """Return the unfounded subset of ``true_atoms`` (None if empty).
 
-    def _rule_fires(
-        self, rule: GroundRule, true_atoms: Set[Atom], founded: Set[Atom]
-    ) -> bool:
-        for atom in rule.pos:
-            if atom not in true_atoms or atom not in founded:
-                return False
-        for atom in rule.neg:
-            if atom in true_atoms:
-                return False
-        for aggregate in rule.aggregates:
-            if not self._aggregate_true(aggregate, true_atoms):
-                return False
-        return True
+        Restricted to the cyclic slice: atoms outside non-trivial SCCs
+        are founded in every supported model, so the fixpoint starts
+        from them and only has to derive the true atoms of non-trivial
+        SCCs through the precomputed rule index — per-model cost scales
+        with the recursive part of the program, not the whole program.
+        """
+        cyclic_true = self._cyclic_atoms & true_atoms
+        if not cyclic_true:
+            return None
+        founded: Set[Atom] = set()
+        live: List[Tuple[Atom, Tuple[Atom, ...]]] = []
+        for head, acyclic_pos, cyclic_pos, neg, aggregates in self._founded_entries:
+            if head not in cyclic_true:
+                continue
+            fires = True
+            for atom in acyclic_pos:
+                if atom not in true_atoms:
+                    fires = False
+                    break
+            if fires:
+                for atom in neg:
+                    if atom in true_atoms:
+                        fires = False
+                        break
+            if fires:
+                for atom in cyclic_pos:
+                    if atom not in true_atoms:
+                        fires = False
+                        break
+            if fires and aggregates:
+                fires = all(
+                    self._aggregate_true(g, true_atoms) for g in aggregates
+                )
+            if not fires:
+                continue
+            if cyclic_pos:
+                live.append((head, cyclic_pos))
+            else:
+                founded.add(head)
+        changed = bool(founded)
+        while changed and len(founded) < len(cyclic_true):
+            changed = False
+            for head, cyclic_pos in live:
+                if head in founded:
+                    continue
+                for atom in cyclic_pos:
+                    if atom not in founded:
+                        break
+                else:
+                    founded.add(head)
+                    changed = True
+        unfounded = cyclic_true - founded
+        return unfounded or None
 
     def _add_loop_nogoods(self, unfounded: Set[Atom]) -> None:
         external: List[int] = []
@@ -505,6 +593,215 @@ class StableModelSolver:
         external = list(dict.fromkeys(external))
         for atom in unfounded:
             self._sat.add_clause([-self._atom_var[atom]] + external)
+
+    # ------------------------------------------------------------------
+    # propagation-driven projected enumeration (cube-and-conquer leaves)
+    # ------------------------------------------------------------------
+    def atom_var(self, atom: Atom) -> Optional[int]:
+        """The SAT variable of ``atom`` (None if it cannot be true).
+
+        The companion of the raw-assignment interfaces
+        (:meth:`~repro.asp.sat.Solver.solve_raw`,
+        :meth:`project_models`): callers probe ``assignment[var] > 0``
+        instead of materializing atom sets.
+        """
+        return self._atom_var.get(atom)
+
+    def _founded_raw_entries(self):
+        """Variable-indexed founded entries for the raw check.
+
+        Cyclic atoms get dense indices 0..n-1 so the per-model fixpoint
+        runs on integer bitmasks; entries with aggregates (recursion
+        through an aggregate condition) make the raw check unsound, so
+        their presence disables it.
+        """
+        if self._founded_raw is None:
+            order = sorted(self._cyclic_atoms, key=_atom_sort_key)
+            index = {atom: i for i, atom in enumerate(order)}
+            cyc_vars = [self._atom_var[a] for a in order]
+            entries = []
+            for head, acyclic_pos, cyclic_pos, neg, aggregates in self._founded_entries:
+                if aggregates:
+                    raise ProjectionIncomplete(
+                        "recursive rules with aggregate bodies require the "
+                        "set-based founded check"
+                    )
+                entries.append(
+                    (
+                        1 << index[head],
+                        tuple(self._atom_var[a] for a in acyclic_pos),
+                        sum(1 << index[a] for a in cyclic_pos),
+                        tuple(self._atom_var[a] for a in neg),
+                    )
+                )
+            self._founded_raw = (cyc_vars, entries)
+        return self._founded_raw
+
+    def _founded_check_raw(self, assignment: Sequence[int]) -> bool:
+        """Bitmask unfounded-set check on the raw assignment array.
+
+        Returns True when every true cyclic atom is founded (the
+        candidate is stable).  Semantically identical to
+        :meth:`_founded_check` restricted to aggregate-free recursion,
+        but works off SAT variables so the DFS enumeration never builds
+        an atom set per model.
+        """
+        cyc_vars, entries = self._founded_raw_entries()
+        true_mask = 0
+        bit = 1
+        for var in cyc_vars:
+            if assignment[var] > 0:
+                true_mask |= bit
+            bit <<= 1
+        if not true_mask:
+            return True
+        founded = 0
+        live = []
+        for head_bit, acyclic_vars, cyclic_mask, neg_vars in entries:
+            if not true_mask & head_bit or founded & head_bit:
+                continue
+            fires = True
+            for var in acyclic_vars:
+                if assignment[var] <= 0:
+                    fires = False
+                    break
+            if fires:
+                for var in neg_vars:
+                    if assignment[var] > 0:
+                        fires = False
+                        break
+            if not fires or cyclic_mask & ~true_mask:
+                continue
+            if cyclic_mask:
+                live.append((head_bit, cyclic_mask))
+            else:
+                founded |= head_bit
+        changed = founded != 0
+        while changed and founded != true_mask:
+            changed = False
+            for head_bit, cyclic_mask in live:
+                if founded & head_bit:
+                    continue
+                if not cyclic_mask & ~founded:
+                    founded |= head_bit
+                    changed = True
+        return founded == true_mask
+
+    def project_models(
+        self,
+        project: Sequence[Atom],
+        on_model,
+        assumptions: Sequence[Tuple[Atom, bool]] = (),
+    ) -> int:
+        """Enumerate stable models by propagation DFS over ``project``.
+
+        The cube-and-conquer worker loop: ``assumptions`` pin the cube,
+        then the solver walks a chronological DFS over the free
+        projection atoms (false branch first), deriving everything else
+        by unit propagation.  At each consistent leaf the candidate is
+        checked for unfounded sets and, if stable, ``on_model`` is
+        called with the **transient** raw assignment array (index 0
+        unused, values +1/-1; probe it via :meth:`atom_var` before
+        returning — the next DFS step mutates it in place).  Returns the
+        number of stable models found.
+
+        Requirements, checked at runtime: the projection atoms must
+        functionally determine every answer set (same contract as
+        ``models(project=...)``), and unit propagation must complete the
+        assignment at every leaf.  When a leaf remains incomplete —
+        free atoms outside the projection — or undetermined cyclic atoms
+        cannot be settled to false, :class:`ProjectionIncomplete` is
+        raised; callers must then discard whatever ``on_model`` reported
+        and restart on the complete CDCL path (:meth:`models`), which
+        is always safe because this method leaves no clauses behind.
+        Unlike :meth:`models`, no blocking clauses
+        are recorded and nothing about the solver state changes: the
+        formula is exactly as reusable afterwards as before.
+        """
+        sat = self._sat
+        if self._tight:
+            cyc_vars: List[int] = []
+        else:
+            cyc_vars = self._founded_raw_entries()[0]
+        # unwind any stale trail a previous solve left behind (solve_raw
+        # does the same via its restart)
+        sat.pop_to_level(0)
+        base_level = 0
+        if not sat.propagate_top():
+            return 0
+        literals = self._assumption_literals(assumptions)
+        atom_vars = self._atom_var
+        branch_vars = [
+            atom_vars[atom] for atom in project if atom in atom_vars
+        ]
+        assignment = sat.assignment_view()
+        num_vars = sat.num_vars
+        trail = sat.trail_view()
+        count = 0
+
+        def leaf() -> int:
+            nonlocal count
+            level = sat.decision_level
+            # settle cyclic atoms propagation left open: in a stable
+            # model an atom with no forced support is false
+            for var in cyc_vars:
+                if assignment[var] == 0 and sat.push_level(-var) is not None:
+                    sat.pop_to_level(level)
+                    raise ProjectionIncomplete(
+                        "settling an open cyclic atom to false conflicts"
+                    )
+            try:
+                if len(trail) != num_vars:
+                    # free variables outside the projection: the premise
+                    # that the projection determines the model is wrong
+                    raise ProjectionIncomplete(
+                        "%d variables undetermined at a projection leaf"
+                        % (num_vars - len(trail))
+                    )
+                if cyc_vars:
+                    self._unfounded_checks += 1
+                    if not self._founded_check_raw(assignment):
+                        return 0
+                self._models_enumerated += 1
+                count += 1
+                on_model(assignment)
+                return 1
+            finally:
+                sat.pop_to_level(level)
+
+        def walk(position: int) -> int:
+            while position < len(branch_vars) and assignment[branch_vars[position]] != 0:
+                position += 1
+            if position == len(branch_vars):
+                return leaf()
+            var = branch_vars[position]
+            level = sat.decision_level
+            found = 0
+            if sat.push_level(-var) is None:
+                found += walk(position + 1)
+            sat.pop_to_level(level)
+            if sat.push_level(var) is None:
+                found += walk(position + 1)
+            sat.pop_to_level(level)
+            return found
+
+        # DFS depth equals the number of free projection atoms
+        import sys
+
+        recursion_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(recursion_limit, len(branch_vars) + 1000))
+        try:
+            conflict = False
+            for literal in literals:
+                if sat.push_level(literal) is not None:
+                    conflict = True
+                    break
+            if not conflict:
+                walk(0)
+        finally:
+            sys.setrecursionlimit(recursion_limit)
+            sat.pop_to_level(base_level)
+        return count
 
     # ------------------------------------------------------------------
     # solving
@@ -531,18 +828,32 @@ class StableModelSolver:
             self._trace.emit("solver.loop_nogoods", unfounded=len(unfounded))
             self._add_loop_nogoods(unfounded)
 
-    def _block(self, true_atoms: Set[Atom], guard: Optional[int] = None) -> None:
+    def _block(
+        self,
+        true_atoms: Set[Atom],
+        guard: Optional[int] = None,
+        project: Optional[List[Tuple[Atom, int]]] = None,
+    ) -> None:
         # Atom variables fixed at level 0 (facts, learnt units) can never
         # flip between models, so blocking clauses range only over the
-        # free atoms, computed once at the first block.
-        items = self._block_items
-        if items is None:
+        # free atoms, computed once at the first block.  With a
+        # projection the clause ranges over the (non-fixed) projected
+        # atoms only — sound when they functionally determine the model.
+        if project is not None:
             items = [
                 (atom, var)
-                for atom, var in self._atom_var.items()
+                for atom, var in project
                 if not self._sat.fixed_at_top(var)
             ]
-            self._block_items = items
+        else:
+            items = self._block_items
+            if items is None:
+                items = [
+                    (atom, var)
+                    for atom, var in self._atom_var.items()
+                    if not self._sat.fixed_at_top(var)
+                ]
+                self._block_items = items
         clause = [
             -var if atom in true_atoms else var for atom, var in items
         ]
@@ -568,12 +879,22 @@ class StableModelSolver:
         limit: Optional[int] = None,
         assumptions: Sequence[Tuple[Atom, bool]] = (),
         retract: bool = False,
+        project: Optional[Sequence[Atom]] = None,
     ) -> Iterator[Model]:
         """Enumerate answer sets (ignores weak constraints).
 
         With ``retract=True`` the blocking clauses recorded between
         models are disabled once the generator finishes (or is closed),
         so the solver can serve further solve calls.
+
+        ``project`` restricts the solution-recording blocking clauses to
+        the given atoms.  The caller asserts that these atoms
+        *functionally determine* every answer set (e.g. the atoms of the
+        program's only choice rule); enumeration then yields the same
+        model set with much shorter blocking clauses.  Projecting onto
+        atoms that do not determine the model silently drops answer
+        sets — this is an enumeration accelerator, not clingo's
+        ``#project``.
         """
         guard = self._sat.new_var() if retract else None
         self._last_core = None
@@ -581,6 +902,15 @@ class StableModelSolver:
         literals = self._assumption_literals(assumptions)
         if guard is not None:
             literals = [guard] + literals
+        project_items: Optional[List[Tuple[Atom, int]]] = None
+        if project is not None:
+            # atoms absent from the encoding are false in every model
+            # and cannot distinguish two of them: skip their entries
+            project_items = [
+                (atom, self._atom_var[atom])
+                for atom in project
+                if atom in self._atom_var
+            ]
         count = 0
         shown = tuple(self._program.shows)
         try:
@@ -601,7 +931,7 @@ class StableModelSolver:
                     atoms=len(true_atoms),
                 )
                 yield Model(frozenset(true_atoms), self._model_cost(true_atoms), shown)
-                self._block(true_atoms, guard)
+                self._block(true_atoms, guard, project_items)
                 count += 1
         finally:
             if guard is not None:

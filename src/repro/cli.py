@@ -151,7 +151,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     try:
         with open_trace(args.trace, format=args.trace_format) as sink:
             engine = EpaEngine(
-                model, args.requirement, trace=sink, workers=args.workers
+                model,
+                args.requirement,
+                trace=sink,
+                workers=args.workers,
+                parallel_mode=getattr(args, "parallel_mode", "auto"),
             )
             report = engine.analyze(max_faults=args.max_faults)
             print(epa_report_table(report, max_rows=args.rows))
@@ -291,6 +295,7 @@ def _cmd_assess(args: argparse.Namespace) -> int:
                 budget=args.budget,
                 trace=sink,
                 workers=args.workers,
+                parallel_mode=getattr(args, "parallel_mode", "auto"),
             )
             result = pipeline.run(model, refined_model=refined)
             print(assessment_report(result))
@@ -350,6 +355,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard scenario sweeps over N worker processes "
         "(results are identical to a sequential run; worker trace "
         "events and metrics fold back tagged worker=<i>)",
+    )
+    observability.add_argument(
+        "--parallel-mode",
+        choices=("auto", "cube", "portfolio"),
+        default="auto",
+        help="how --workers are used: 'auto' shards enumerations over "
+        "cubes and races single-answer queries over a solver portfolio, "
+        "'cube' only shards enumerations, 'portfolio' only races "
+        "single-answer queries (see docs/parallelism.md)",
     )
 
     subparsers.add_parser("matrix", help="print the O-RA risk matrix (Table I)")

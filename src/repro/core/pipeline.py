@@ -127,10 +127,14 @@ class AssessmentPipeline:
         fail_on_validation_errors: bool = True,
         trace: Optional[object] = None,
         workers: Optional[int] = None,
+        parallel_mode: str = "auto",
     ):
         """``workers`` fans the hazard-identification sweeps (phase 4/5)
         out over a process pool and the CEGAR oracle classification over
-        a thread pool; results are identical to a sequential run."""
+        a thread pool; results are identical to a sequential run.
+        ``parallel_mode`` is forwarded to the EPA engines (see
+        :class:`~repro.epa.EpaEngine`): ``auto`` / ``cube`` /
+        ``portfolio``."""
         self.requirements = tuple(requirements)
         self.catalog = catalog
         self.max_faults = max_faults
@@ -138,6 +142,7 @@ class AssessmentPipeline:
         self.fail_on_validation_errors = fail_on_validation_errors
         self._trace = trace if trace is not None else NULL_SINK
         self.workers = workers
+        self.parallel_mode = parallel_mode
 
     def run(
         self,
@@ -208,6 +213,7 @@ class AssessmentPipeline:
                     extra_mutations=tuple(security_born),
                     trace=self._trace,
                     workers=self.workers,
+                    parallel_mode=self.parallel_mode,
                 )
                 phases.append(
                     PhaseRecord(
@@ -253,6 +259,7 @@ class AssessmentPipeline:
                         ),
                         trace=self._trace,
                         workers=self.workers,
+                        parallel_mode=self.parallel_mode,
                     )
                     detailed = refined_engine.analyze(
                         active_mitigations=active_mitigations,

@@ -21,26 +21,39 @@ external atoms — what-if sweeps flip assumptions instead of rebuilding
 and regrounding program text (``incremental=False`` restores the
 fresh-control-per-call path, which differential tests pin against).
 Parallel solving: ``workers=N`` shards :meth:`EpaEngine.analyze` over
-fixed-prefix cubes of the fault-choice space evaluated in a process
-pool; cube shards partition the scenario space, so the merged report is
-identical to a sequential run.
+occurrence-ordered cubes of the fault-choice space (see
+:mod:`repro.asp.cubes`) evaluated in a work-stealing process pool
+(:class:`~repro.parallel.WorkStealingPool`).  The parent grounds once,
+builds one solver template and publishes both in a module-level context
+that fork-started workers inherit copy-on-write; each worker then runs
+the propagation-driven projected enumeration
+(:meth:`~repro.asp.solver.StableModelSolver.project_models`) over its
+cubes and ships back extracted outcomes, not raw models.  Cube shards
+partition the scenario space, so the merged report is identical to a
+sequential run (see ``docs/parallelism.md`` for the full architecture
+and tuning guide).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, replace
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
 from ..asp import Control, Model, atom
+from ..asp.cubes import generate_cubes
+from ..asp.sat import TRUE
+from ..asp.serialize import publish, shared_program
+from ..asp.solver import ProjectionIncomplete, StableModelSolver
 from ..asp.syntax import Atom, Program
 from ..asp.terms import Number, Symbol
 from ..observability import MemoryTraceSink, NULL_SINK, SolveStats, Tracer
 from ..observability.metrics import get_registry
 from ..modeling.model import SystemModel
 from ..modeling.to_asp import to_asp_program
-from ..parallel import ParallelError, parallel_map, split_cubes
+from ..parallel import ParallelError, WorkStealingPool, parallel_map, split_cubes
 from ..provenance import minimize_core
 from ..security.mapping import CandidateMutation
 from .faults import FaultRef, error_kind
@@ -84,6 +97,7 @@ class EpaEngine:
         trace: Optional[object] = None,
         incremental: bool = True,
         workers: Optional[int] = None,
+        parallel_mode: str = "auto",
     ):
         """``fault_mitigations`` maps fault-mode name -> mitigation ids
         (the paper's ``mitigation(F, M)``); ``component_mitigations``
@@ -92,7 +106,12 @@ class EpaEngine:
         every solve the engine issues.  ``incremental=False`` rebuilds a
         fresh control per call instead of reusing persistent multi-shot
         controls; ``workers`` sets the default process-pool width for
-        :meth:`analyze` (``None``/``1`` = sequential)."""
+        :meth:`analyze` (``None``/``1`` = sequential).  ``parallel_mode``
+        selects how those workers are used: ``"auto"`` shards
+        enumerations over cubes *and* races single-answer queries over a
+        solver portfolio, ``"cube"`` only shards enumerations,
+        ``"portfolio"`` only races single-answer queries (enumerations
+        stay sequential)."""
         names = [r.name for r in requirements]
         if len(set(names)) != len(names):
             raise EpaError("duplicate requirement names")
@@ -112,6 +131,12 @@ class EpaEngine:
         self._stats = SolveStats()
         self._incremental = incremental
         self._workers = workers
+        if parallel_mode not in ("auto", "cube", "portfolio"):
+            raise EpaError(
+                "parallel_mode must be auto, cube or portfolio, not %r"
+                % (parallel_mode,)
+            )
+        self._parallel_mode = parallel_mode
         self._base_program: Optional[Program] = None
         self._controls: Dict[int, Control] = {}
         # separate multi-shot controls for unsat-core queries: they
@@ -352,7 +377,12 @@ class EpaEngine:
         if workers is None:
             workers = self._workers
         with self._tracer.span("epa.analyze", max_faults=max_faults) as span:
-            if workers and workers > 1 and limit is None:
+            if (
+                workers
+                and workers > 1
+                and limit is None
+                and self._parallel_mode in ("auto", "cube")
+            ):
                 report = self._analyze_parallel(
                     deployment, max_faults, restrict, with_paths, workers
                 )
@@ -410,9 +440,16 @@ class EpaEngine:
                 control.add(":- not active_fault(%s, %s)." % (component, fault))
             else:
                 control.add(":- active_fault(%s, %s)." % (component, fault))
+        # the only choice rule is the fault activation, so the choice
+        # atoms functionally determine every model: project the
+        # enumeration's blocking clauses onto them
+        project = [
+            atom("active_fault", ref.component, ref.fault)
+            for ref in self._potential_faults(deployment)
+        ]
         outcomes = [
             self._extract(model, with_paths)
-            for model in control.solve(limit=limit)
+            for model in control.solve(limit=limit, project=project)
         ]
         self._fold_statistics(control, scenarios=len(outcomes))
         return self._report(outcomes, deployment)
@@ -425,56 +462,96 @@ class EpaEngine:
         with_paths: bool,
         workers: int,
     ) -> EpaReport:
-        """Shard the enumeration over fixed-prefix cubes in a pool.
+        """Shard the enumeration over occurrence-ordered cubes in a
+        work-stealing pool.
 
-        The cubes partition the fault-choice space, so every scenario is
+        Ground once, ship compact: the parent grounds the program,
+        builds one solver template plus the predicate probe tables, and
+        publishes everything in a module-level context that fork-started
+        workers inherit copy-on-write (spawn-started workers rebuild it
+        from the serialized program blob in the payload).  Workers run
+        the propagation-driven projected enumeration per cube and ship
+        back fully extracted :class:`ScenarioOutcome` lists.  The cubes
+        partition the fault-choice space, so every scenario is
         enumerated by exactly one worker and the merged (canonically
-        sorted) report equals the sequential one.
+        sorted) report equals the sequential one; propagation paths are
+        attached by the parent afterwards, since they need the topology
+        graph, not the solver.
         """
+        control = self._base_control(deployment)
+        control.add(scenario_choice(max_faults))
+        if restrict is not None:
+            for fault in restrict:
+                control.add_fact("allowed_fault", fault.component, fault.fault)
+            control.add(":- active_fault(C, F), not allowed_fault(C, F).")
+        ground = control.ground()
         choices = self._potential_faults(deployment)
+        project = [
+            atom("active_fault", ref.component, ref.fault) for ref in choices
+        ]
+        cube_atoms = project
         if restrict is not None:
             allowed = {(f.component, f.fault) for f in restrict}
-            choices = [
-                ref for ref in choices if (ref.component, ref.fault) in allowed
+            cube_atoms = [
+                atom("active_fault", ref.component, ref.fault)
+                for ref in choices
+                if (ref.component, ref.fault) in allowed
             ]
-        cubes = split_cubes(
-            [(ref.component, ref.fault) for ref in choices], workers
+        cubes = generate_cubes(ground, cube_atoms, workers)
+        requirement_names = {
+            _requirement_symbol(r.name): r.name for r in self.requirements
+        }
+        digest, blob = _publish_cube_context(
+            ground, project, requirement_names
         )
+        pool = WorkStealingPool(workers)
+        traced = self._trace is not NULL_SINK
+        forked = pool.start_method == "fork"
         payloads = [
             {
-                "model": self.model,
-                "requirements": self.requirements,
-                "fault_mitigations": self.fault_mitigations,
-                "component_mitigations": self.component_mitigations,
-                "extra_mutations": self.extra_mutations,
-                "active_mitigations": dict(deployment),
-                "max_faults": max_faults,
-                "restrict": restrict,
-                "with_paths": with_paths,
+                "digest": digest,
+                # fork workers inherit the published context; only spawn
+                # workers need the blob to rebuild it
+                "blob": None if forked else blob,
+                "project": project,
+                "requirement_names": requirement_names,
                 "cube": cube,
-                "traced": self._trace is not NULL_SINK,
+                "index": index,
+                "traced": traced,
             }
-            for cube in cubes
+            for index, cube in enumerate(cubes)
         ]
         try:
-            shards = parallel_map(_cube_worker, payloads, workers=workers)
+            shards = pool.map(_cube_worker, payloads)
         except ParallelError as error:
             raise EpaError(
                 "parallel EPA analysis failed: %s" % error
             ) from error
         registry = get_registry()
+        lanes = pool.last_assignments
         outcomes = []
         for index, (shard, shard_stats, events, metrics) in enumerate(shards):
             outcomes.extend(shard)
             self._stats.merge(shard_stats)
             # replay the shard's trace stream on the parent sink, tagged
-            # with the worker lane it ran in
+            # with the worker lane it actually ran in
             for name, _seconds, event_payload in events:
                 payload = dict(event_payload)
-                payload.setdefault("worker", index)
+                payload.setdefault("worker", lanes.get(index, index))
                 self._trace.emit(name, **payload)
             if metrics:
                 registry.merge(metrics)
+        if with_paths:
+            outcomes = [
+                replace(
+                    outcome,
+                    paths=self._paths(
+                        set(outcome.active_faults), set(outcome.violated)
+                    ),
+                )
+                for outcome in outcomes
+            ]
+        self._stats.merge(control.statistics)
         self._stats.incr("epa.parallel.shards", len(cubes))
         self._stats.set("epa.parallel.workers", workers)
         self._note_analysis(scenarios=len(outcomes))
@@ -516,7 +593,17 @@ class EpaEngine:
                     "active_fault(%s, %s) :- potential_fault(%s, %s)."
                     % (fault.component, fault.fault, fault.component, fault.fault)
                 )
-            models = control.solve(limit=1)
+            # a fully pinned scenario has exactly one stable model, so
+            # portfolio racing can only change latency, never the answer
+            race_workers = (
+                self._workers
+                if self._workers
+                and self._workers > 1
+                and self._parallel_mode in ("auto", "portfolio")
+                else None
+            )
+            first = control.first_model(workers=race_workers)
+            models = [first] if first is not None else []
             self._fold_statistics(control, scenarios=len(models))
         if not models:
             raise EpaError("scenario program unexpectedly unsatisfiable")
@@ -724,6 +811,175 @@ class EpaEngine:
         return paths
 
 
+#: cube-worker context published by the parent before forking:
+#: ``digest -> (solver template, probe tables, project atoms)``
+_CUBE_CONTEXTS: Dict[str, Tuple[StableModelSolver, Dict[str, list], List[Atom]]] = {}
+
+
+def _build_probes(
+    solver: StableModelSolver,
+    possible_atoms: Sequence[Atom],
+    requirement_names: Mapping[str, str],
+) -> Dict[str, list]:
+    """SAT-variable probe tables for outcome extraction.
+
+    Maps each outcome-relevant ground atom (``active_fault``,
+    ``violated``, ``err``, ``detected``, ``scenario_severity``) to its
+    solver variable, so a worker can read a whole
+    :class:`ScenarioOutcome` straight off the propagation-complete
+    assignment array without materializing a :class:`Model`.
+    """
+    probes: Dict[str, list] = {
+        "fault": [],
+        "violated": [],
+        "err": [],
+        "detected": [],
+        "severity": [],
+    }
+    for ground_atom in possible_atoms:
+        variable = solver.atom_var(ground_atom)
+        if variable is None:
+            continue
+        predicate = ground_atom.predicate
+        if predicate == "active_fault":
+            component, fault = ground_atom.arguments
+            probes["fault"].append(
+                (variable, FaultRef(str(component), str(fault)))
+            )
+        elif predicate == "violated":
+            name = str(ground_atom.arguments[0])
+            probes["violated"].append(
+                (variable, requirement_names.get(name, name))
+            )
+        elif predicate == "err":
+            component, kind = ground_atom.arguments
+            probes["err"].append((variable, str(component), str(kind)))
+        elif predicate == "detected":
+            probes["detected"].append(
+                (variable, str(ground_atom.arguments[0]))
+            )
+        elif predicate == "scenario_severity":
+            value = ground_atom.arguments[0]
+            if isinstance(value, Number):
+                probes["severity"].append((variable, value.value))
+    return probes
+
+
+def _publish_cube_context(
+    ground, project: List[Atom], requirement_names: Mapping[str, str]
+) -> Tuple[str, bytes]:
+    """Build and publish the shared worker context for one analysis.
+
+    Serializes the ground program (priming the
+    :mod:`repro.asp.serialize` shared cache) and stores a solver
+    template plus probe tables under the program digest.  Workers forked
+    after this call inherit the whole context copy-on-write — their
+    first task starts at a dict lookup instead of a program decode and
+    solver encode.
+    """
+    digest, blob = publish(ground)
+    if digest not in _CUBE_CONTEXTS:
+        solver = StableModelSolver(ground)
+        probes = _build_probes(
+            solver, ground.possible_atoms, requirement_names
+        )
+        _CUBE_CONTEXTS[digest] = (solver, probes, list(project))
+    return digest, blob
+
+
+def _probe_extract(
+    assignment: Sequence[int], probes: Mapping[str, list]
+) -> ScenarioOutcome:
+    """One outcome read straight off a complete assignment array."""
+    active = set()
+    for variable, ref in probes["fault"]:
+        if assignment[variable] == TRUE:
+            active.add(ref)
+    violated = set()
+    for variable, name in probes["violated"]:
+        if assignment[variable] == TRUE:
+            violated.add(name)
+    erroneous: Dict[str, Set[str]] = {}
+    for variable, component, kind in probes["err"]:
+        if assignment[variable] == TRUE:
+            erroneous.setdefault(component, set()).add(kind)
+    detected = set()
+    for variable, name in probes["detected"]:
+        if assignment[variable] == TRUE:
+            detected.add(name)
+    severity = 0
+    for variable, value in probes["severity"]:
+        if assignment[variable] == TRUE and value > severity:
+            severity = value
+    return ScenarioOutcome(
+        frozenset(active),
+        frozenset(violated),
+        {c: frozenset(kinds) for c, kinds in erroneous.items()},
+        frozenset(detected),
+        {},
+        severity,
+    )
+
+
+def _model_extract(
+    model: Model, requirement_names: Mapping[str, str]
+) -> ScenarioOutcome:
+    """Outcome extraction from a full :class:`Model` (fallback path)."""
+    active = set()
+    violated = set()
+    erroneous: Dict[str, Set[str]] = {}
+    detected = set()
+    severity = 0
+    for model_atom in model.atoms:
+        if model_atom.predicate == "active_fault":
+            component, fault = model_atom.arguments
+            active.add(FaultRef(str(component), str(fault)))
+        elif model_atom.predicate == "violated":
+            name = str(model_atom.arguments[0])
+            violated.add(requirement_names.get(name, name))
+        elif model_atom.predicate == "err":
+            component, kind = model_atom.arguments
+            erroneous.setdefault(str(component), set()).add(str(kind))
+        elif model_atom.predicate == "detected":
+            detected.add(str(model_atom.arguments[0]))
+        elif model_atom.predicate == "scenario_severity":
+            value = model_atom.arguments[0]
+            if isinstance(value, Number) and value.value > severity:
+                severity = value.value
+    return ScenarioOutcome(
+        frozenset(active),
+        frozenset(violated),
+        {c: frozenset(kinds) for c, kinds in erroneous.items()},
+        frozenset(detected),
+        {},
+        severity,
+    )
+
+
+def _cube_context(
+    payload: Mapping[str, object]
+) -> Tuple[StableModelSolver, Dict[str, list], List[Atom]]:
+    """The worker-side context: inherited via fork, or rebuilt once.
+
+    Fork-started workers find the parent's published context in
+    :data:`_CUBE_CONTEXTS`.  Spawn-started workers (no fork on the
+    platform) miss and rebuild it from the serialized program blob in
+    the payload; the rebuilt context is cached, so only the worker's
+    first task pays the decode + solver encode.
+    """
+    digest = payload["digest"]
+    context = _CUBE_CONTEXTS.get(digest)
+    if context is None:
+        program = shared_program(digest, payload.get("blob"))
+        solver = StableModelSolver(program)
+        probes = _build_probes(
+            solver, program.possible_atoms, payload["requirement_names"]
+        )
+        context = (solver, probes, list(payload["project"]))
+        _CUBE_CONTEXTS[digest] = context
+    return context
+
+
 def _cube_worker(
     payload: Dict[str, object]
 ) -> Tuple[
@@ -732,47 +988,60 @@ def _cube_worker(
     List[Tuple[str, float, Dict[str, object]]],
     Dict[str, object],
 ]:
-    """Evaluate one fixed-prefix cube of the fault-choice space.
+    """Enumerate one cube of the fault-choice space.
 
-    Runs in a child process: rebuilds a fresh (non-incremental) engine
-    from the pickled model pieces, enumerates the cube's shard through
-    the legacy fresh-control path, and ships back a result envelope —
+    Runs in a pool worker: looks up the shared context (solver template,
+    probe tables), runs the propagation-driven projected enumeration
+    with the cube as assumptions, and ships back a result envelope —
     ``(outcomes, stats, trace events, metrics snapshot)``.  The parent
     replays the events on its own sink tagged ``worker=<i>`` and folds
     the metrics into its process-wide registry, so ``--trace`` and
-    ``--metrics`` compose with ``--workers N``.
+    ``--metrics`` compose with ``--workers N``.  If the projected
+    enumeration reports :class:`ProjectionIncomplete` (a leaf it could
+    not settle by propagation alone), the cube transparently restarts on
+    the complete CDCL enumeration path — slower, never wrong.
     """
     # pool workers persist across tasks: zero the child's registry so
     # each envelope carries exactly this cube's metrics
     registry = get_registry()
     registry.reset()
-    sink = MemoryTraceSink() if payload.get("traced") else None
-    engine = EpaEngine(
-        payload["model"],
-        payload["requirements"],
-        fault_mitigations=payload["fault_mitigations"],
-        component_mitigations=payload["component_mitigations"],
-        extra_mutations=payload["extra_mutations"],
-        trace=sink,
-        incremental=False,
-    )
-    report = engine._analyze_fresh(
-        payload["active_mitigations"],
-        payload["max_faults"],
-        payload["restrict"],
-        payload["with_paths"],
-        None,
-        cube=payload["cube"],
-    )
-    stats = engine.statistics.to_dict()
-    # per-cube call counts would inflate the parent's epa section
-    stats.pop("epa", None)
-    events = (
-        [(e.name, e.seconds, e.payload) for e in sink.events]
-        if sink is not None
-        else []
-    )
-    return list(report.outcomes), stats, events, registry.to_dict()
+    solver, probes, project = _cube_context(payload)
+    cube = payload["cube"]
+    outcomes: List[ScenarioOutcome] = []
+    start = time.perf_counter()
+    fallback = False
+
+    def on_model(assignment: Sequence[int]) -> None:
+        outcomes.append(_probe_extract(assignment, probes))
+
+    try:
+        solver.project_models(project, on_model, assumptions=cube)
+    except ProjectionIncomplete:
+        # discard partial output and redo the cube on the reference path
+        fallback = True
+        outcomes = []
+        requirement_names = payload["requirement_names"]
+        reference = StableModelSolver(shared_program(payload["digest"]))
+        for model in reference.models(assumptions=cube, project=project):
+            outcomes.append(_model_extract(model, requirement_names))
+    elapsed = time.perf_counter() - start
+    events: List[Tuple[str, float, Dict[str, object]]] = []
+    if payload.get("traced"):
+        events.append(
+            (
+                "epa.cube",
+                elapsed,
+                {
+                    "cube": payload["index"],
+                    "models": len(outcomes),
+                    "assumed": len(cube),
+                    "fallback": fallback,
+                    "seconds": elapsed,
+                },
+            )
+        )
+    stats = {"solving": {"models": len(outcomes)}}
+    return outcomes, stats, events, registry.to_dict()
 
 
 def _mitigation_symbol(identifier: str) -> str:

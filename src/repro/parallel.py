@@ -2,18 +2,38 @@
 
 The paper's workflow (Fig. 1) is a loop of *independent* solver
 invocations: EPA scenario sweeps, what-if mitigation deployments,
-sensitivity-analysis factor variations.  :func:`parallel_map` fans such
-batches out over a :class:`~concurrent.futures.ProcessPoolExecutor`
-(or a thread pool, for callables that close over unpicklable state such
-as CEGAR oracles) while keeping the results in submission order, so
-parallel runs stay bit-identical to sequential ones.
+sensitivity-analysis factor variations.  Two pool shapes live here:
+
+:func:`parallel_map`
+    the simple fan-out: map a picklable function over a batch on a
+    :class:`~concurrent.futures.ProcessPoolExecutor` (or a thread pool,
+    for callables that close over unpicklable state such as CEGAR
+    oracles), results in submission order.  Good when items cost about
+    the same.
+
+:class:`WorkStealingPool`
+    the sharded-enumeration pool used by cube-and-conquer (see
+    :mod:`repro.asp.cubes` and ``docs/parallelism.md``).  The parent
+    holds the pending-task deque and feeds each worker one task at a
+    time, preferring tasks whose *home* tag matches the worker; a
+    worker that drains its home partition is handed tasks homed
+    elsewhere — work stealing with exact parent-side bookkeeping, which
+    is what makes crash recovery precise: when a worker process dies,
+    the parent knows exactly which task it held, re-queues it (bounded
+    attempts), and respawns the worker.  Per-task busy seconds, steal
+    counts and cube counts are published to the metrics registry as
+    ``repro_parallel_worker_busy_seconds``, ``repro_parallel_steals_total``
+    and ``repro_parallel_cubes_total``.
 
 :func:`split_cubes` turns a list of binary choices — e.g. the EPA
 fault-activation atoms — into ``2**k`` fixed-prefix cubes: every cube
 pins the first ``k`` choices to one concrete truth assignment and
 leaves the rest open.  The cubes partition the search space, so
 sharding an enumeration over them yields each model exactly once, and
-the union of the shards equals the unsharded enumeration.
+the union of the shards equals the unsharded enumeration.  (The
+occurrence-ordered linear splitting that the EPA engine now uses lives
+in :mod:`repro.asp.cubes`; this helper remains for fixed-prefix
+sharding of generic binary choices.)
 
 :func:`merge_stats` folds per-worker statistics dictionaries into one
 :class:`~repro.observability.SolveStats` tree (numeric leaves sum), so
@@ -26,25 +46,63 @@ tagged ``worker=<i>`` and folds the metrics into the process-wide
 registry — ``--trace``/``--metrics`` compose with ``--workers N``.
 
 Pool-level failures — a worker killed by the OS, unpicklable payloads —
-surface as :class:`ParallelError` instead of a hang; exceptions *raised
-by* the mapped function propagate unchanged.
+surface as :class:`ParallelError` instead of a hang, with the
+worker-side traceback attached as :attr:`ParallelError.worker_traceback`
+when one was captured; exceptions *raised by* the mapped function
+propagate unchanged (chained to a :class:`ParallelError` carrying the
+worker traceback when they crossed a process boundary).
 """
 
 from __future__ import annotations
 
+import gc
 import itertools
+import multiprocessing
+import pickle
+import queue as queue_module
+import time
+import traceback as traceback_module
+from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from .observability import SolveStats
+from .observability.metrics import get_registry
 
 _Item = TypeVar("_Item")
 _Result = TypeVar("_Result")
 
+#: how many times a task is retried after its worker died mid-execution
+MAX_TASK_ATTEMPTS = 3
+
 
 class ParallelError(RuntimeError):
-    """A worker pool failed (crashed worker, unpicklable payload)."""
+    """A worker pool failed (crashed worker, unpicklable payload).
+
+    When the failure happened on the worker side of a process boundary
+    the formatted worker traceback is attached as
+    :attr:`worker_traceback` (and appended to the message), so the
+    actual failing frame is never swallowed by the pool machinery.
+    """
+
+    def __init__(self, message: str, worker_traceback: Optional[str] = None):
+        if worker_traceback:
+            message = "%s\n--- worker traceback ---\n%s" % (
+                message,
+                worker_traceback.rstrip(),
+            )
+        super().__init__(message)
+        self.worker_traceback = worker_traceback
 
 
 def parallel_map(
@@ -79,10 +137,255 @@ def parallel_map(
             ]
             return [future.result() for future in futures]
     except BrokenProcessPool as error:
+        cause = error.__cause__
+        worker_traceback = None
+        if cause is not None:
+            worker_traceback = "".join(
+                traceback_module.format_exception(
+                    type(cause), cause, cause.__traceback__
+                )
+            )
         raise ParallelError(
             "worker pool broke while evaluating %d items: %s"
-            % (len(batch), error)
+            % (len(batch), error),
+            worker_traceback=worker_traceback,
         ) from error
+
+
+def _pool_worker(index, function, tasks, results):
+    """Worker-process loop: one task at a time, results pre-pickled.
+
+    Pre-pickling the result in the worker keeps an unpicklable return
+    value from silently dying in the queue's feeder thread (which would
+    hang the parent); it becomes an explicit error message instead.
+    Exceptions raised by ``function`` are shipped with their formatted
+    traceback so the parent can re-raise without losing the failing
+    frame.
+
+    The cyclic garbage collector is frozen on entry: fork-started
+    workers inherit the parent heap copy-on-write, and a collection
+    sweeping those inherited objects would unshare their pages (and
+    burn CPU) for garbage the short-lived worker never produced.
+    Task-local garbage is still reclaimed by reference counting.
+    """
+    gc.freeze()
+    gc.disable()
+    while True:
+        message = tasks.get()
+        if message is None:
+            return
+        task_index, item = message
+        start = time.perf_counter()
+        try:
+            value = function(item)
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except BaseException as error:  # ship SystemExit/KeyboardInterrupt too
+            trace = traceback_module.format_exc()
+            try:
+                error_payload = pickle.dumps(
+                    error, protocol=pickle.HIGHEST_PROTOCOL
+                )
+            except Exception:
+                error_payload = None
+                trace += "\n(exception %r was not picklable)" % (error,)
+            results.put(("error", task_index, index, error_payload, trace))
+            return
+        busy = time.perf_counter() - start
+        results.put(("done", task_index, index, busy, payload))
+
+
+class WorkStealingPool:
+    """A crash-tolerant, work-stealing process pool for sharded solves.
+
+    The parent owns the pending deque and hands each worker exactly one
+    task at a time.  Tasks are tagged with a *home* worker
+    (``index % workers``); dispatch prefers a worker's home tasks and
+    falls back to stealing the oldest pending task homed elsewhere, so
+    a worker whose cubes finish early drains the slow workers' backlog
+    instead of idling.  Because the parent always knows which task each
+    worker holds, a worker that dies mid-task (OOM kill, signal) is
+    respawned and its task re-queued — up to :data:`MAX_TASK_ATTEMPTS`
+    attempts, after which the run fails with :class:`ParallelError`.
+    Exceptions raised *by* the task function fail fast: the original
+    exception is re-raised in the parent, chained to a
+    :class:`ParallelError` carrying the worker-side traceback.
+    """
+
+    def __init__(self, workers: int, context: Optional[str] = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        method = context or (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        self._context = multiprocessing.get_context(method)
+        #: the multiprocessing start method the pool's workers use
+        self.start_method = method
+        #: item index -> worker lane of the most recent :meth:`map` call
+        self.last_assignments: Dict[int, int] = {}
+
+    def map(
+        self, function: Callable[[_Item], _Result], items: Iterable[_Item]
+    ) -> List[_Result]:
+        """Evaluate ``function`` over ``items``; results in input order.
+
+        After the call, :attr:`last_assignments` maps each item index to
+        the worker lane that executed it (all ``0`` for the in-process
+        degenerate case) — callers use it to tag per-item telemetry with
+        the lane it actually ran in.
+        """
+        batch = list(items)
+        if self.workers <= 1 or len(batch) <= 1:
+            self.last_assignments = {index: 0 for index in range(len(batch))}
+            return [function(item) for item in batch]
+        results, assignments = _run_pool(
+            self._context, self.workers, function, batch
+        )
+        self.last_assignments = assignments
+        return results
+
+
+def _run_pool(context, workers, function, batch):
+    registry = get_registry()
+    cubes_total = registry.counter(
+        "repro_parallel_cubes_total",
+        "tasks (cubes) completed by the work-stealing pool",
+    )
+    steals_total = registry.counter(
+        "repro_parallel_steals_total",
+        "tasks executed by a worker other than their home worker",
+    )
+    respawns_total = registry.counter(
+        "repro_parallel_respawns_total",
+        "worker processes respawned after dying mid-task",
+    )
+
+    worker_count = min(workers, len(batch))
+    pending = deque(range(len(batch)))
+    homes = {index: index % worker_count for index in range(len(batch))}
+    attempts = {index: 0 for index in range(len(batch))}
+    results: Dict[int, object] = {}
+    assignments: Dict[int, int] = {}
+
+    result_queue = context.Queue()
+    task_queues = []
+    processes = []
+    in_flight: Dict[int, Optional[int]] = {}
+
+    def spawn(worker_index):
+        task_queue = context.Queue()
+        process = context.Process(
+            target=_pool_worker,
+            args=(worker_index, function, task_queue, result_queue),
+            daemon=True,
+        )
+        process.start()
+        if worker_index < len(task_queues):
+            task_queues[worker_index] = task_queue
+            processes[worker_index] = process
+        else:
+            task_queues.append(task_queue)
+            processes.append(process)
+        in_flight[worker_index] = None
+
+    def dispatch(worker_index):
+        """Feed one task to an idle worker, preferring its home tasks."""
+        if not pending:
+            return
+        task_index = None
+        for candidate in pending:
+            if homes[candidate] == worker_index:
+                task_index = candidate
+                break
+        if task_index is None:
+            task_index = pending[0]
+            steals_total.inc()
+        pending.remove(task_index)
+        attempts[task_index] += 1
+        in_flight[worker_index] = task_index
+        task_queues[worker_index].put((task_index, batch[task_index]))
+
+    def shutdown():
+        for worker_index, process in enumerate(processes):
+            if process.is_alive():
+                try:
+                    task_queues[worker_index].put(None)
+                except Exception:
+                    pass
+        deadline = time.monotonic() + 2.0
+        for process in processes:
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        result_queue.close()
+        for task_queue in task_queues:
+            task_queue.close()
+
+    try:
+        for worker_index in range(worker_count):
+            spawn(worker_index)
+            dispatch(worker_index)
+
+        while len(results) < len(batch):
+            try:
+                message = result_queue.get(timeout=0.05)
+            except queue_module.Empty:
+                message = None
+            if message is None:
+                # No result: check for dead workers holding a task.
+                for worker_index, process in enumerate(processes):
+                    if process.is_alive():
+                        continue
+                    task_index = in_flight.get(worker_index)
+                    if task_index is not None and task_index not in results:
+                        if attempts[task_index] >= MAX_TASK_ATTEMPTS:
+                            raise ParallelError(
+                                "worker %d died evaluating item %d "
+                                "(%d attempts); giving up"
+                                % (
+                                    worker_index,
+                                    task_index,
+                                    attempts[task_index],
+                                )
+                            )
+                        pending.appendleft(task_index)
+                    in_flight[worker_index] = None
+                    if pending or len(results) < len(batch):
+                        respawns_total.inc()
+                        spawn(worker_index)
+                        dispatch(worker_index)
+                continue
+            kind = message[0]
+            if kind == "done":
+                _, task_index, worker_index, busy, payload = message
+                results[task_index] = pickle.loads(payload)
+                assignments[task_index] = worker_index
+                in_flight[worker_index] = None
+                cubes_total.inc()
+                registry.counter(
+                    "repro_parallel_worker_busy_seconds",
+                    "seconds each pool worker spent executing tasks",
+                    worker=worker_index,
+                ).inc(busy)
+                dispatch(worker_index)
+            elif kind == "error":
+                _, task_index, worker_index, error_payload, trace = message
+                carrier = ParallelError(
+                    "worker %d raised while evaluating item %d"
+                    % (worker_index, task_index),
+                    worker_traceback=trace,
+                )
+                if error_payload is None:
+                    raise carrier
+                raise pickle.loads(error_payload) from carrier
+            else:  # pragma: no cover - protocol violation
+                raise ParallelError("unknown pool message %r" % (message,))
+        return [results[index] for index in range(len(batch))], assignments
+    finally:
+        shutdown()
 
 
 def split_cubes(
@@ -118,4 +421,11 @@ def merge_stats(
     return target
 
 
-__all__ = ["ParallelError", "parallel_map", "split_cubes", "merge_stats"]
+__all__ = [
+    "MAX_TASK_ATTEMPTS",
+    "ParallelError",
+    "WorkStealingPool",
+    "parallel_map",
+    "split_cubes",
+    "merge_stats",
+]

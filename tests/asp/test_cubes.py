@@ -1,0 +1,101 @@
+"""Tests for occurrence-ordered cube generation.
+
+The load-bearing property is the partition invariant: every total
+assignment of the branch atoms must extend *exactly one* cube, because
+the byte-identity of sharded enumeration rests on it.  The rest pins
+the deterministic ordering and the cube-count arithmetic.
+"""
+
+import itertools
+
+from repro.asp import Control, atom
+from repro.asp.cubes import (
+    generate_cubes,
+    linear_cubes,
+    occurrence_scores,
+    order_by_occurrence,
+)
+
+
+def ground_of(text):
+    return Control(text).ground()
+
+
+ATOMS = [atom("c", index) for index in range(5)]
+
+
+def extends(cube, assignment):
+    return all(assignment[a] == value for a, value in cube)
+
+
+class TestLinearCubes:
+    def test_partition_invariant(self):
+        for count in (2, 3, 4, 6, 16):
+            cubes = linear_cubes(ATOMS, count)
+            for values in itertools.product((False, True), repeat=len(ATOMS)):
+                assignment = dict(zip(ATOMS, values))
+                matching = [c for c in cubes if extends(c, assignment)]
+                assert len(matching) == 1, (count, values)
+
+    def test_cube_count(self):
+        assert len(linear_cubes(ATOMS, 3)) == 3
+        # capped at len(atoms) + 1
+        assert len(linear_cubes(ATOMS, 99)) == len(ATOMS) + 1
+
+    def test_degenerate_cases(self):
+        assert linear_cubes(ATOMS, 1) == [()]
+        assert linear_cubes(ATOMS, 0) == [()]
+        assert linear_cubes([], 8) == [()]
+
+    def test_shape(self):
+        cubes = linear_cubes(ATOMS[:3], 4)
+        assert cubes[0] == ((ATOMS[0], True),)
+        assert cubes[1] == ((ATOMS[0], False), (ATOMS[1], True))
+        assert cubes[-1] == tuple((a, False) for a in ATOMS[:3])
+
+
+class TestOccurrenceOrdering:
+    def test_body_occurrences_counted(self):
+        program = ground_of(
+            "{ a; b }. x :- a. y :- a. z :- not b. w :- a, not b."
+        )
+        scores = occurrence_scores(program, [atom("a"), atom("b")])
+        assert scores[atom("a")] == 3
+        assert scores[atom("b")] == 2
+
+    def test_head_occurrences_not_counted(self):
+        program = ground_of("{ a }. a :- b.")
+        scores = occurrence_scores(program, [atom("a")])
+        assert scores[atom("a")] == 0
+
+    def test_aggregate_conditions_counted(self):
+        program = ground_of("{ a }. n :- #count { 1 : a } >= 1.")
+        scores = occurrence_scores(program, [atom("a")])
+        assert scores[atom("a")] >= 1
+
+    def test_ordering_is_stable_and_descending(self):
+        program = ground_of("{ a; b; c }. x :- b. y :- b. z :- c.")
+        ordered = order_by_occurrence(
+            program, [atom("a"), atom("b"), atom("c")]
+        )
+        assert ordered == [atom("b"), atom("c"), atom("a")]
+
+
+class TestGenerateCubes:
+    def test_single_worker_is_one_empty_cube(self):
+        program = ground_of("{ a; b }.")
+        assert generate_cubes(program, [atom("a"), atom("b")], 1) == [()]
+
+    def test_oversubscription_factor(self):
+        program = ground_of("{ %s }." % "; ".join("x%d" % i for i in range(40)))
+        candidates = [atom("x%d" % i) for i in range(40)]
+        cubes = generate_cubes(program, candidates, 4)
+        assert len(cubes) == 16  # workers * oversubscribe
+
+    def test_partition_after_generation(self):
+        program = ground_of("{ a; b; c }. p :- b. q :- c, not a.")
+        candidates = [atom("a"), atom("b"), atom("c")]
+        cubes = generate_cubes(program, candidates, 2)
+        for values in itertools.product((False, True), repeat=3):
+            assignment = dict(zip(candidates, values))
+            assert sum(1 for c in cubes if extends(c, assignment)) == 1

@@ -1,0 +1,151 @@
+"""Tests for portfolio racing and the tunable search heuristics.
+
+Two contracts.  First, the heuristic knobs (``default_phase``,
+``restart_base``, ``seed``) must leave the *set* of answer sets
+untouched — they steer the search, not the semantics — and the default
+configuration must stay byte-identical to the historical solver.
+Second, a portfolio race must return the same satisfiability verdict as
+the serial solve, and any witness model it returns must actually be a
+stable model of the program.
+"""
+
+import pytest
+
+from repro.asp import Control, atom
+from repro.asp.portfolio import (
+    DEFAULT_PORTFOLIO,
+    PortfolioConfig,
+    race_first_model,
+)
+from repro.asp.solver import StableModelSolver
+
+PROGRAM = """
+{ p(1..6) } 3.
+q :- p(1), p(2).
+:- p(5), p(6).
+"""
+
+UNSAT_PROGRAM = PROGRAM + ":- not impossible.\n"
+
+
+def model_sets(program_text, heuristics=None):
+    solver = StableModelSolver(
+        Control(program_text).ground(), heuristics=heuristics
+    )
+    return {frozenset(m.atoms) for m in solver.models()}
+
+
+class TestHeuristicKnobs:
+    REFERENCE = None
+
+    def reference(self):
+        if TestHeuristicKnobs.REFERENCE is None:
+            TestHeuristicKnobs.REFERENCE = model_sets(PROGRAM)
+        return TestHeuristicKnobs.REFERENCE
+
+    @pytest.mark.parametrize(
+        "heuristics",
+        [
+            {"default_phase": True},
+            {"restart_base": 8},
+            {"restart_base": 1},
+            {"seed": 1},
+            {"seed": 123456789},
+            {"default_phase": True, "restart_base": 8, "seed": 7},
+        ],
+    )
+    def test_knobs_preserve_answer_sets(self, heuristics):
+        assert model_sets(PROGRAM, heuristics) == self.reference()
+
+    def test_invalid_restart_base_rejected(self):
+        from repro.asp.sat import SatError, Solver
+
+        with pytest.raises(SatError):
+            Solver(restart_base=0)
+
+    def test_default_config_enumeration_order_unchanged(self):
+        # not just the same set: the same order, byte for byte
+        plain = [
+            frozenset(m.atoms)
+            for m in StableModelSolver(Control(PROGRAM).ground()).models()
+        ]
+        explicit = [
+            frozenset(m.atoms)
+            for m in StableModelSolver(
+                Control(PROGRAM).ground(), heuristics={}
+            ).models()
+        ]
+        assert plain == explicit
+
+
+class TestRace:
+    def test_sat_verdict_and_witness_validity(self):
+        ground = Control(PROGRAM).ground()
+        model, winner = race_first_model(ground)
+        assert model is not None
+        assert winner in {config.name for config in DEFAULT_PORTFOLIO}
+        # the witness must be a stable model: pinning its choice atoms
+        # on the serial solver reproduces it exactly
+        assumptions = [
+            (a, a in model.atoms)
+            for a in (atom("p", i) for i in range(1, 7))
+        ]
+        iterator = StableModelSolver(ground).models(
+            limit=1, assumptions=assumptions
+        )
+        check = next(iterator, None)
+        iterator.close()
+        assert check is not None
+        assert check.atoms == model.atoms
+
+    def test_unsat_verdict_matches_serial(self):
+        ground = Control(UNSAT_PROGRAM).ground()
+        model, _winner = race_first_model(ground)
+        assert model is None
+
+    def test_workers_one_degenerates_to_serial(self):
+        ground = Control(PROGRAM).ground()
+        model, winner = race_first_model(ground, workers=1)
+        assert winner == "default"
+        iterator = StableModelSolver(ground).models(limit=1)
+        serial = next(iterator, None)
+        iterator.close()
+        assert model.atoms == serial.atoms
+
+    def test_assumptions_respected(self):
+        ground = Control(PROGRAM).ground()
+        model, _winner = race_first_model(
+            ground, assumptions=[(atom("p", 1), True), (atom("p", 2), True)]
+        )
+        assert model is not None
+        assert atom("q") in model.atoms
+
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(ValueError):
+            race_first_model(Control(PROGRAM).ground(), configs=[])
+
+    def test_custom_config_lineup(self):
+        ground = Control(PROGRAM).ground()
+        lineup = [PortfolioConfig("only", {"default_phase": True})]
+        model, winner = race_first_model(ground, configs=lineup)
+        assert winner == "only"
+        assert model is not None
+
+
+class TestControlIntegration:
+    def test_first_model_workers_verdict(self):
+        control = Control(PROGRAM)
+        assert control.first_model(workers=2) is not None
+        assert control.is_satisfiable(workers=2)
+
+    def test_unsat_through_control(self):
+        control = Control(UNSAT_PROGRAM)
+        assert control.first_model(workers=2) is None
+        assert not control.is_satisfiable(workers=2)
+
+    def test_portfolio_stats_recorded(self):
+        control = Control(PROGRAM)
+        control.first_model(workers=2)
+        stats = control.statistics
+        assert stats["solving"]["portfolio"]["races"] == 1
+        assert "winner" in stats["solving"]["portfolio"]

@@ -171,9 +171,9 @@ class TestObservabilityFlags:
         ]
         workers = {r["worker"] for r in records if "worker" in r}
         assert workers == {0, 1}
-        # replayed worker streams include real solver traffic
+        # replayed worker streams carry the per-cube enumeration spans
         tagged_names = {r["event"] for r in records if "worker" in r}
-        assert "control.solve" in tagged_names
+        assert "epa.cube" in tagged_names
 
     def test_trace_format_chrome(self, tmp_path, model_file):
         import json

@@ -184,3 +184,162 @@ class TestThreadedCallers:
         assert one_at_a_time(function, workers=4, **kwargs) == one_at_a_time(
             function, **kwargs
         )
+
+
+def _sleep_square(payload):  # skewed task cost: (seconds, value)
+    seconds, value = payload
+    import time
+
+    time.sleep(seconds)
+    return value * value
+
+
+def _die_once(payload):  # crashes the first time only (flag-file trick)
+    flag, value = payload
+    if os.path.exists(flag):
+        return value * value
+    with open(flag, "w"):
+        pass
+    os._exit(1)
+
+
+def _raise_tagged(value):
+    raise KeyError("nope-%d" % value)
+
+
+class TestWorkStealingPool:
+    def test_preserves_submission_order(self):
+        from repro.parallel import WorkStealingPool
+
+        pool = WorkStealingPool(4)
+        items = list(range(17))
+        assert pool.map(_square, items) == [v * v for v in items]
+        assert sorted(pool.last_assignments) == items
+
+    def test_degenerate_runs_inline(self):
+        from repro.parallel import WorkStealingPool
+
+        pool = WorkStealingPool(1)
+        assert pool.map(_square, [2, 3]) == [4, 9]
+        assert pool.last_assignments == {0: 0, 1: 0}
+        # a single item never forks either, whatever the worker count
+        assert WorkStealingPool(8).map(_square, [5]) == [25]
+
+    def test_invalid_worker_count_rejected(self):
+        from repro.parallel import WorkStealingPool
+
+        with pytest.raises(ValueError):
+            WorkStealingPool(0)
+
+    def test_skewed_tasks_trigger_steals(self):
+        from repro.observability.metrics import get_registry
+        from repro.parallel import WorkStealingPool
+
+        # home tags are index % workers: even items land on worker 0 and
+        # sleep, odd items land on worker 1 and return immediately —
+        # worker 1 must steal worker 0's backlog to finish the batch
+        items = [(0.2 if i % 2 == 0 else 0.0, i) for i in range(8)]
+        steals = get_registry().counter(
+            "repro_parallel_steals_total",
+            "tasks executed by a worker other than their home worker",
+        )
+        before = steals.value
+        results = WorkStealingPool(2).map(_sleep_square, items)
+        assert results == [i * i for i in range(8)]
+        assert steals.value > before
+
+    def test_crashed_worker_retries_and_recovers(self, tmp_path):
+        from repro.parallel import WorkStealingPool
+
+        # the task kills its worker once, then succeeds on the retry:
+        # the pool must respawn the worker and still return every result
+        flag = str(tmp_path / "died-once")
+        items = [(flag, value) for value in range(4)]
+        results = WorkStealingPool(2).map(_die_once, items)
+        assert results == [value * value for value in range(4)]
+
+    def test_repeated_crashes_exhaust_attempts(self):
+        from repro.parallel import MAX_TASK_ATTEMPTS, WorkStealingPool
+
+        with pytest.raises(ParallelError) as excinfo:
+            WorkStealingPool(2).map(_die, list(range(4)))
+        assert str(MAX_TASK_ATTEMPTS) in str(excinfo.value)
+
+    def test_function_exception_carries_worker_traceback(self):
+        from repro.parallel import WorkStealingPool
+
+        with pytest.raises(KeyError) as excinfo:
+            WorkStealingPool(2).map(_raise_tagged, [1, 2, 3])
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, ParallelError)
+        assert cause.worker_traceback is not None
+        assert "_raise_tagged" in cause.worker_traceback
+
+
+class TestParallelByteIdentity:
+    """The cube path must stay byte-identical to serial in every mode."""
+
+    def _pairs(self, report):
+        return [
+            (
+                o.key(),
+                tuple(sorted(o.violated)),
+                o.severity_rank,
+                tuple(sorted(o.detected_at)),
+                tuple(sorted((c, tuple(sorted(k))) for c, k in o.erroneous.items())),
+            )
+            for o in report.outcomes
+        ]
+
+    def test_restricted_sweep_matches_sequential(self):
+        sequential = EpaEngine(chain_model(), REQ).analyze(max_faults=2)
+        singles = [
+            next(iter(o.active_faults))
+            for o in sequential.outcomes
+            if o.fault_count == 1
+        ]
+        restrict = singles[:4]
+        serial = EpaEngine(chain_model(), REQ).analyze(
+            max_faults=2, restrict_faults=restrict
+        )
+        parallel = EpaEngine(chain_model(), REQ, workers=4).analyze(
+            max_faults=2, restrict_faults=restrict
+        )
+        assert self._pairs(parallel) == self._pairs(serial)
+
+    def test_with_paths_matches_sequential(self):
+        serial = EpaEngine(chain_model(), REQ).analyze(
+            max_faults=2, with_paths=True
+        )
+        parallel = EpaEngine(chain_model(), REQ, workers=4).analyze(
+            max_faults=2, with_paths=True
+        )
+        assert self._pairs(parallel) == self._pairs(serial)
+        assert [o.paths for o in parallel.outcomes] == [
+            o.paths for o in serial.outcomes
+        ]
+
+    def test_cube_mode_matches_sequential(self):
+        serial = EpaEngine(chain_model(), REQ).analyze(max_faults=2)
+        parallel = EpaEngine(
+            chain_model(), REQ, workers=4, parallel_mode="cube"
+        ).analyze(max_faults=2)
+        assert self._pairs(parallel) == self._pairs(serial)
+
+    def test_portfolio_scenario_verdict_matches_sequential(self):
+        serial_engine = EpaEngine(chain_model(), REQ)
+        portfolio_engine = EpaEngine(
+            chain_model(), REQ, workers=2, parallel_mode="portfolio"
+        )
+        report = serial_engine.analyze(max_faults=1)
+        target = next(
+            o for o in report.outcomes if o.fault_count == 1
+        ).active_faults
+        serial = serial_engine.analyze_scenario(target)
+        raced = portfolio_engine.analyze_scenario(target)
+        assert raced.violated == serial.violated
+        assert raced.severity_rank == serial.severity_rank
+
+    def test_invalid_parallel_mode_rejected(self):
+        with pytest.raises(EpaError):
+            EpaEngine(chain_model(), REQ, parallel_mode="bogus")

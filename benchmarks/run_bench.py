@@ -29,17 +29,30 @@ embedded correctness assertions) and writes no JSON output.
 per benchmark to ``BENCH_history.jsonl`` — per-bench medians on a full
 run, per-file wall-clock times on a ``--smoke`` run (prefixed
 ``smoke:``) — giving the repository a greppable performance timeline
-keyed by git revision.
+keyed by git revision.  Each bench file runs in its own pytest child
+reaped with :func:`os.wait4`, so every row also carries the file's
+peak child RSS as ``max_rss_kb`` (the memory timeline of the streaming
+work, see ``docs/streaming.md``).
 
 ``--check`` reruns the suite and exits 1 if any benchmark's median
 regressed more than 25% against the medians recorded in
 ``BENCH_asp.json`` — except the benches in ``STRICT_TOLERANCE``
 (the provenance-off enumeration is gated at 3%: the off path is
-contractually free).
+contractually free).  Memory is gated the same way: a bench whose
+``max_rss_kb`` grew more than 50% over the recorded value fails, and
+the benches in ``MEMORY_CEILINGS_KB`` additionally carry absolute
+caps — the streamed fleet sweep must stay bounded no matter what the
+snapshot says.
+
+``--big`` runs the full-scale fleet sweep (~210k scenarios) alone,
+under a wall-clock limit and the absolute memory ceiling, printing
+pydecbench-style resource accounting — the nightly/`workflow_dispatch`
+big-bench CI job, kept off the PR path (see ``docs/streaming.md``).
 """
 
 import argparse
 import json
+import os
 import pathlib
 import subprocess
 import sys
@@ -67,9 +80,30 @@ SPEEDUP_FLOORS = {
     "test_bench_parallel_analyze_4_workers": 2.0,
 }
 
+#: tolerated peak-RSS growth vs the recorded ``max_rss_kb`` before
+#: ``--check`` fails (memory is noisier than time, hence the wider gate)
+MEMORY_REGRESSION_TOLERANCE = 1.5
+
+#: absolute peak-RSS caps (KB) enforced under ``--check`` regardless of
+#: the recorded snapshot; the streamed fleet sweep is the bounded-memory
+#: contract of docs/streaming.md — it must never scale with the
+#: scenario count
+MEMORY_CEILINGS_KB = {
+    "test_bench_fleet_stream_aggregate": 512 * 1024,
+}
+
+#: wall-clock limit (seconds) for the nightly big bench (``--big``);
+#: override with ``REPRO_BIG_BENCH_TIMEOUT_S``.  The CI job carries a
+#: hard ``timeout-minutes`` kill on top.
+BIG_BENCH_TIMEOUT_S = int(os.environ.get("REPRO_BIG_BENCH_TIMEOUT_S", "1800"))
+
+#: the bench file ``--big`` runs at full scale
+BIG_BENCH_FILE = "benchmarks/test_bench_fleet_stream.py"
+
 BENCH_FILES = [
     "benchmarks/test_bench_asp_classic.py",
     "benchmarks/test_bench_fig4_refinement.py",
+    "benchmarks/test_bench_fleet_stream.py",
     "benchmarks/test_bench_grounding.py",
     "benchmarks/test_bench_multishot.py",
     "benchmarks/test_bench_parallel.py",
@@ -94,18 +128,55 @@ BASELINES_S = {
 }
 
 
-def run_benchmarks(json_path):
-    command = [
-        sys.executable,
-        "-m",
-        "pytest",
-        *BENCH_FILES,
-        "-q",
-        "--benchmark-json=%s" % json_path,
-    ]
-    subprocess.run(command, cwd=REPO_ROOT, check=True)
-    with open(json_path) as handle:
-        return json.load(handle)
+def _run_with_rusage(command, cwd, env=None):
+    """Run a child and return ``(returncode, max_rss_kb)``.
+
+    The child is reaped with :func:`os.wait4` so its own resource usage
+    (not the accumulated ``RUSAGE_CHILDREN`` maximum) is what lands in
+    ``max_rss_kb``; platforms without ``wait4`` fall back to a plain
+    wait and report ``None``.
+    """
+    process = subprocess.Popen(command, cwd=cwd, env=env)
+    if not hasattr(os, "wait4"):
+        return process.wait(), None
+    _, status, rusage = os.wait4(process.pid, 0)
+    process.returncode = os.waitstatus_to_exitcode(status)
+    max_rss_kb = int(rusage.ru_maxrss)
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS
+        max_rss_kb //= 1024
+    return process.returncode, max_rss_kb
+
+
+def run_benchmarks(json_dir):
+    """One pytest child per bench file, merged into one result set.
+
+    Per-file children are what makes ``max_rss_kb`` meaningful: the
+    peak RSS of the child that ran a file is attributed to every bench
+    in that file.  Returns the merged pytest-benchmark payload.
+    """
+    merged = {"benchmarks": []}
+    for bench_file in BENCH_FILES:
+        json_path = pathlib.Path(json_dir) / (
+            pathlib.Path(bench_file).stem + ".json"
+        )
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            bench_file,
+            "-q",
+            "--benchmark-json=%s" % json_path,
+        ]
+        returncode, max_rss_kb = _run_with_rusage(command, REPO_ROOT)
+        if returncode:
+            raise subprocess.CalledProcessError(returncode, command)
+        with open(json_path) as handle:
+            raw = json.load(handle)
+        merged.setdefault("machine_info", raw.get("machine_info", {}))
+        for entry in raw["benchmarks"]:
+            entry["max_rss_kb"] = max_rss_kb
+            merged["benchmarks"].append(entry)
+    return merged
 
 
 def collect_solver_stats():
@@ -165,28 +236,27 @@ def _git_rev():
     return completed.stdout.strip() or None
 
 
-def append_history(timings, history_path=HISTORY_PATH):
+def append_history(timings, history_path=HISTORY_PATH, rss=None):
     """Append one history row per bench to ``BENCH_history.jsonl``.
 
-    ``timings`` maps bench name -> seconds.  Rows share one revision and
-    timestamp (they describe one run).
+    ``timings`` maps bench name -> seconds; ``rss`` (optional) maps
+    bench name -> peak child RSS in KB, recorded as ``max_rss_kb``.
+    Rows share one revision and timestamp (they describe one run).
     """
     rev = _git_rev()
     date = time.strftime("%Y-%m-%dT%H:%M:%S%z")
     with open(history_path, "a", encoding="utf-8") as handle:
         for bench, seconds in sorted(timings.items()):
-            handle.write(
-                json.dumps(
-                    {
-                        "bench": bench,
-                        "seconds": round(seconds, 6),
-                        "rev": rev,
-                        "date": date,
-                    },
-                    sort_keys=True,
-                )
-                + "\n"
-            )
+            row = {
+                "bench": bench,
+                "seconds": round(seconds, 6),
+                "rev": rev,
+                "date": date,
+            }
+            max_rss_kb = (rss or {}).get(bench)
+            if max_rss_kb:
+                row["max_rss_kb"] = max_rss_kb
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
     print("recorded %d rows in %s" % (len(timings), history_path))
 
 
@@ -232,17 +302,44 @@ def check_regressions(benches, baseline_path=None):
                     record["baseline_median_s"],
                 )
             )
+    for name, record in sorted(benches.items()):
+        measured = record.get("max_rss_kb")
+        if not measured:
+            continue
+        baseline = recorded.get(name, {}).get("max_rss_kb")
+        if baseline and measured > baseline * MEMORY_REGRESSION_TOLERANCE:
+            failures.append(
+                "%s memory regressed: %d KB vs recorded %d KB (>%d%%)"
+                % (
+                    name,
+                    measured,
+                    baseline,
+                    round((MEMORY_REGRESSION_TOLERANCE - 1) * 100),
+                )
+            )
+        ceiling = MEMORY_CEILINGS_KB.get(name)
+        if ceiling and measured > ceiling:
+            failures.append(
+                "%s breached the %d KB absolute memory ceiling: %d KB"
+                % (name, ceiling, measured)
+            )
     return failures
 
 
 def run_smoke(record=False):
     """One timing-disabled pass over every bench file (CI gate).
 
-    With ``record=True`` each file's wall-clock time lands in the bench
-    history as ``smoke:<file>`` — coarse, but tracked on every CI run.
+    With ``record=True`` each file's wall-clock time and peak child RSS
+    land in the bench history as ``smoke:<file>`` — coarse, but tracked
+    on every CI run.  The fleet sweep runs at its smoke scale unless the
+    caller pinned ``REPRO_BENCH_FLEET_SCALE`` (the full 210k-scenario
+    sweep belongs to the nightly big-bench job, not the sanity gate).
     """
     timings = {}
+    rss = {}
     returncode = 0
+    env = dict(os.environ)
+    env.setdefault("REPRO_BENCH_FLEET_SCALE", "smoke")
     for bench_file in BENCH_FILES:
         command = [
             sys.executable,
@@ -253,24 +350,100 @@ def run_smoke(record=False):
             "--benchmark-disable",
         ]
         started = time.perf_counter()
-        completed = subprocess.run(command, cwd=REPO_ROOT)
-        timings["smoke:%s" % pathlib.Path(bench_file).stem] = (
-            time.perf_counter() - started
-        )
-        returncode = returncode or completed.returncode
+        child_code, max_rss_kb = _run_with_rusage(command, REPO_ROOT, env=env)
+        name = "smoke:%s" % pathlib.Path(bench_file).stem
+        timings[name] = time.perf_counter() - started
+        if max_rss_kb:
+            rss[name] = max_rss_kb
+        returncode = returncode or child_code
     if record and returncode == 0:
-        append_history(timings)
+        append_history(timings, rss=rss)
     return returncode
 
 
+def run_big(record=False):
+    """The nightly big bench: the full-scale fleet sweep, gated.
+
+    Runs the streamed fleet sweep at its full ~210k-scenario scale
+    (``REPRO_BENCH_FLEET_SCALE=full``) in its own pytest child with
+    pydecbench-style resource accounting: wall-clock, user/system CPU
+    and peak RSS are read from the reaped child's rusage and printed as
+    one summary block.  Exits 1 when the sweep exceeds
+    ``BIG_BENCH_TIMEOUT_S`` wall-clock seconds or breaches the absolute
+    ``MEMORY_CEILINGS_KB`` cap — the bounded-memory contract gates even
+    when no recorded snapshot exists.  With ``record=True`` the
+    accounting lands in the bench history prefixed ``big:``.
+    """
+    env = dict(os.environ)
+    env["REPRO_BENCH_FLEET_SCALE"] = "full"
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        BIG_BENCH_FILE,
+        "-q",
+        "--benchmark-disable",
+    ]
+    started = time.perf_counter()
+    process = subprocess.Popen(command, cwd=REPO_ROOT, env=env)
+    if hasattr(os, "wait4"):
+        _, status, rusage = os.wait4(process.pid, 0)
+        returncode = os.waitstatus_to_exitcode(status)
+        max_rss_kb = int(rusage.ru_maxrss)
+        if sys.platform == "darwin":  # ru_maxrss is bytes on macOS
+            max_rss_kb //= 1024
+        cpu_user, cpu_system = rusage.ru_utime, rusage.ru_stime
+    else:
+        returncode = process.wait()
+        max_rss_kb = cpu_user = cpu_system = None
+    elapsed = time.perf_counter() - started
+    ceiling = MEMORY_CEILINGS_KB.get("test_bench_fleet_stream_aggregate")
+    print()
+    print("big bench resource accounting (%s)" % BIG_BENCH_FILE)
+    print(
+        "  wall-clock : %.2f s (limit %d s)" % (elapsed, BIG_BENCH_TIMEOUT_S)
+    )
+    if cpu_user is not None:
+        print(
+            "  cpu        : %.2f s user, %.2f s system"
+            % (cpu_user, cpu_system)
+        )
+    if max_rss_kb is not None:
+        print("  peak rss   : %d KB (ceiling %d KB)" % (max_rss_kb, ceiling))
+    failures = []
+    if returncode:
+        failures.append("bench child exited %d" % returncode)
+    if elapsed > BIG_BENCH_TIMEOUT_S:
+        failures.append(
+            "wall-clock %.1f s exceeded the %d s limit"
+            % (elapsed, BIG_BENCH_TIMEOUT_S)
+        )
+    if max_rss_kb is not None and ceiling and max_rss_kb > ceiling:
+        failures.append(
+            "peak RSS %d KB breached the %d KB absolute ceiling"
+            % (max_rss_kb, ceiling)
+        )
+    for failure in failures:
+        print("BIG BENCH FAILURE: %s" % failure)
+    if record and not failures:
+        name = "big:%s" % pathlib.Path(BIG_BENCH_FILE).stem
+        append_history(
+            {name: elapsed},
+            rss={name: max_rss_kb} if max_rss_kb else None,
+        )
+    return 1 if failures else 0
+
+
 def run_full(output, record=False, check=False):
-    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
-        raw = run_benchmarks(handle.name)
+    with tempfile.TemporaryDirectory() as json_dir:
+        raw = run_benchmarks(json_dir)
     benches = {}
     for entry in raw["benchmarks"]:
         name = entry["name"]
         median = entry["stats"]["median"]
         record_entry = {"median_s": round(median, 6)}
+        if entry.get("max_rss_kb"):
+            record_entry["max_rss_kb"] = entry["max_rss_kb"]
         baseline = BASELINES_S.get(name)
         if baseline is not None:
             record_entry["baseline_median_s"] = baseline
@@ -305,7 +478,12 @@ def run_full(output, record=False, check=False):
         )
     if record:
         append_history(
-            {name: entry["median_s"] for name, entry in benches.items()}
+            {name: entry["median_s"] for name, entry in benches.items()},
+            rss={
+                name: entry["max_rss_kb"]
+                for name, entry in benches.items()
+                if entry.get("max_rss_kb")
+            },
         )
     return 0
 
@@ -333,7 +511,15 @@ def main(argv):
         action="store_true",
         help="exit 1 on >25%% median regression vs BENCH_asp.json",
     )
+    parser.add_argument(
+        "--big",
+        action="store_true",
+        help="run the full-scale fleet sweep under time/memory limits "
+        "(the nightly big-bench job; see docs/streaming.md)",
+    )
     args = parser.parse_args(argv[1:])
+    if args.big:
+        return run_big(record=args.record)
     if args.smoke:
         return run_smoke(record=args.record)
     return run_full(

@@ -28,18 +28,53 @@ Two ingredients:
     work-stealing pool wants: big cubes first, small cubes to fill the
     tail.
 
+The cube count is ``workers × factor``; the oversubscription *factor*
+defaults to :data:`DEFAULT_CUBE_FACTOR` and is configurable per call,
+per engine (``cube_factor=``), on the CLI (``--cube-factor``) or via
+the ``REPRO_CUBE_FACTOR`` environment variable — the multi-core tuning
+knob (see ``docs/parallelism.md``): higher factors smooth stealing on
+skewed cubes at the cost of more per-cube setup.
+
 Exports: :func:`occurrence_scores`, :func:`order_by_occurrence`,
-:func:`linear_cubes`, :func:`generate_cubes`.
+:func:`linear_cubes`, :func:`generate_cubes`,
+:func:`resolve_cube_factor`, :data:`DEFAULT_CUBE_FACTOR`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .ground import GroundChoice, GroundProgram
 from .syntax import Atom
 
 Cube = Tuple[Tuple[Atom, bool], ...]
+
+#: cubes generated per worker when no explicit factor is configured
+DEFAULT_CUBE_FACTOR = 4
+
+
+def resolve_cube_factor(explicit: Optional[int] = None) -> int:
+    """The oversubscription factor: explicit > env > default.
+
+    An explicit argument wins; otherwise the ``REPRO_CUBE_FACTOR``
+    environment variable is consulted; otherwise
+    :data:`DEFAULT_CUBE_FACTOR`.  Values below 1 (from either source)
+    raise ``ValueError`` — a zero factor would generate no cubes.
+    """
+    if explicit is None:
+        raw = os.environ.get("REPRO_CUBE_FACTOR", "").strip()
+        if not raw:
+            return DEFAULT_CUBE_FACTOR
+        try:
+            explicit = int(raw)
+        except ValueError:
+            raise ValueError(
+                "REPRO_CUBE_FACTOR must be an integer, got %r" % raw
+            )
+    if explicit < 1:
+        raise ValueError("cube factor must be >= 1, got %d" % explicit)
+    return explicit
 
 
 def occurrence_scores(
@@ -126,26 +161,32 @@ def generate_cubes(
     program: GroundProgram,
     candidates: Sequence[Atom],
     workers: int,
-    oversubscribe: int = 4,
+    oversubscribe: Optional[int] = None,
 ) -> List[Cube]:
     """Score, order and split: the one-call cube generator.
 
-    Produces ``workers * oversubscribe`` cubes (capped by the number of
-    candidates + 1) over the occurrence-ordered candidates.
-    Oversubscription is the work-stealing lever: with several cubes per
-    worker, a worker whose cubes finish early steals queued cubes from a
-    slower sibling instead of idling.
+    Produces ``workers * factor`` cubes (capped by the number of
+    candidates + 1) over the occurrence-ordered candidates, where the
+    factor is ``oversubscribe`` resolved through
+    :func:`resolve_cube_factor` (explicit > ``REPRO_CUBE_FACTOR`` >
+    :data:`DEFAULT_CUBE_FACTOR`).  Oversubscription is the
+    work-stealing lever: with several cubes per worker, a worker whose
+    cubes finish early steals queued cubes from a slower sibling
+    instead of idling.
     """
     if workers <= 1:
         return [()]
+    factor = resolve_cube_factor(oversubscribe)
     ordered = order_by_occurrence(program, candidates)
-    return linear_cubes(ordered, max(2, workers * oversubscribe))
+    return linear_cubes(ordered, max(2, workers * factor))
 
 
 __all__ = [
     "Cube",
+    "DEFAULT_CUBE_FACTOR",
     "generate_cubes",
     "linear_cubes",
     "occurrence_scores",
     "order_by_occurrence",
+    "resolve_cube_factor",
 ]

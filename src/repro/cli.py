@@ -17,7 +17,11 @@ is the terminal face of it:
     (``--dot``/``--provenance`` export DOT/JSON, see
     ``docs/explainability.md``);
 ``python -m repro assess model.xml [--refined refined.xml] [--budget N]``
-    the full 7-phase pipeline with the built-in security catalog.
+    the full 7-phase pipeline with the built-in security catalog;
+``python -m repro fleet --tiers 3 --components 6 --out fleet.xml``
+    generate a seeded synthetic fleet model (see
+    :mod:`repro.security.fleet`) and print its exact scenario count —
+    the workload generator for million-scenario streaming sweeps.
 
 The solving commands (``analyze``, ``assess``) share one observability
 flag set: ``--stats`` appends a clingo-style statistics summary block
@@ -31,7 +35,11 @@ FILE`` wraps the run in :mod:`cProfile` and dumps the stats file.  See
 ``docs/observability.md``.  They also take ``--workers N`` to shard
 the scenario sweeps over a process pool — results are identical to a
 sequential run, and worker trace events/metrics are folded back tagged
-``worker=<i>`` (see ``docs/performance.md``).
+``worker=<i>`` (see ``docs/performance.md``), and ``--cube-factor K``
+to oversubscribe the cube split (default 4 cubes per worker, also via
+``REPRO_CUBE_FACTOR``).  ``analyze --stream`` switches to the
+bounded-memory streaming sweep (``--checkpoint FILE`` makes it
+resumable; see ``docs/streaming.md``).
 """
 
 from __future__ import annotations
@@ -156,19 +164,32 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 trace=sink,
                 workers=args.workers,
                 parallel_mode=getattr(args, "parallel_mode", "auto"),
+                cube_factor=getattr(args, "cube_factor", None),
             )
-            report = engine.analyze(max_faults=args.max_faults)
-            print(epa_report_table(report, max_rows=args.rows))
-            print()
-            print(
-                "%d scenarios analyzed, %d violating; single points of failure: %s"
-                % (
-                    len(report),
-                    len(report.violating()),
-                    ", ".join(str(f) for f in report.single_points_of_failure())
-                    or "none",
+            if args.stream or args.checkpoint:
+                aggregate = engine.aggregate(
+                    max_faults=args.max_faults,
+                    stream_mode=args.stream_mode,
+                    checkpoint=args.checkpoint,
                 )
-            )
+                print(aggregate.summary())
+            else:
+                report = engine.analyze(max_faults=args.max_faults)
+                print(epa_report_table(report, max_rows=args.rows))
+                print()
+                print(
+                    "%d scenarios analyzed, %d violating; "
+                    "single points of failure: %s"
+                    % (
+                        len(report),
+                        len(report.violating()),
+                        ", ".join(
+                            str(f)
+                            for f in report.single_points_of_failure()
+                        )
+                        or "none",
+                    )
+                )
             if args.stats:
                 print()
                 print(format_statistics(engine.statistics))
@@ -281,6 +302,47 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from .modeling import to_xml
+    from .security.fleet import FleetSpec, build_fleet_model
+
+    spec = FleetSpec(
+        name=args.name,
+        seed=args.seed,
+        tiers=args.tiers,
+        components_per_tier=args.components,
+        connectivity=args.connectivity,
+        fault_modes_per_component=args.fault_modes,
+        max_faults=args.max_faults,
+        requirements=args.requirements,
+    )
+    model = build_fleet_model(spec)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(to_xml(model))
+    print(
+        "%s: %d tiers x %d components, %d fault pairs"
+        % (
+            model.name,
+            spec.tiers,
+            spec.components_per_tier,
+            spec.fault_pairs,
+        )
+    )
+    print(
+        "exact scenario count at max-faults=%d: %d"
+        % (spec.max_faults, spec.scenario_count())
+    )
+    if args.out:
+        focus = "t%d_c0" % (spec.tiers - 1)
+        print(
+            "analyze with: repro analyze %s --stream --max-faults %d "
+            '-r "req0=err(%s, K), hazardous_kind(K)@%s"'
+            % (args.out, spec.max_faults, focus, focus)
+        )
+    return 0
+
+
 def _cmd_assess(args: argparse.Namespace) -> int:
     model = _load_model(args.model)
     refined = _load_model(args.refined) if args.refined else None
@@ -296,6 +358,7 @@ def _cmd_assess(args: argparse.Namespace) -> int:
                 trace=sink,
                 workers=args.workers,
                 parallel_mode=getattr(args, "parallel_mode", "auto"),
+                cube_factor=getattr(args, "cube_factor", None),
             )
             result = pipeline.run(model, refined_model=refined)
             print(assessment_report(result))
@@ -357,6 +420,15 @@ def build_parser() -> argparse.ArgumentParser:
         "events and metrics fold back tagged worker=<i>)",
     )
     observability.add_argument(
+        "--cube-factor",
+        type=int,
+        default=None,
+        metavar="K",
+        help="cut K cubes per worker when sharding enumerations "
+        "(default 4, or env REPRO_CUBE_FACTOR; higher = finer-grained "
+        "work stealing, see docs/parallelism.md)",
+    )
+    observability.add_argument(
         "--parallel-mode",
         choices=("auto", "cube", "portfolio"),
         default="auto",
@@ -393,6 +465,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument("--max-faults", type=int, default=2)
     analyze.add_argument("--rows", type=int, default=30)
+    analyze.add_argument(
+        "--stream",
+        action="store_true",
+        help="bounded-memory streaming sweep: fold scenarios into a "
+        "running aggregate instead of materializing the report "
+        "(see docs/streaming.md)",
+    )
+    analyze.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="make the streamed sweep resumable: periodically write a "
+        "compact resume token to FILE (implies --stream)",
+    )
+    analyze.add_argument(
+        "--stream-mode",
+        choices=("aggregate", "models"),
+        default="aggregate",
+        help="what sharded workers ship back: pre-folded partial "
+        "aggregates (default) or the scenario outcomes themselves",
+    )
 
     explain = subparsers.add_parser(
         "explain",
@@ -455,6 +547,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     assess.add_argument("--max-faults", type=int, default=1)
     assess.add_argument("--budget", type=int, default=None)
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="generate a seeded synthetic fleet model "
+        "(workloads for streaming sweeps)",
+    )
+    fleet.add_argument("--name", default="fleet")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--tiers", type=int, default=3)
+    fleet.add_argument(
+        "--components",
+        type=int,
+        default=4,
+        metavar="N",
+        help="components per tier",
+    )
+    fleet.add_argument(
+        "--connectivity",
+        type=int,
+        default=2,
+        metavar="N",
+        help="flow edges from each component into the next tier",
+    )
+    fleet.add_argument(
+        "--fault-modes",
+        type=int,
+        default=2,
+        metavar="N",
+        help="synthetic fault modes per component",
+    )
+    fleet.add_argument(
+        "--max-faults",
+        type=int,
+        default=2,
+        help="sweep bound the spec is sized for (0 = unbounded)",
+    )
+    fleet.add_argument(
+        "--requirements",
+        type=int,
+        default=2,
+        metavar="N",
+        help="generated safety requirements on the physical tier",
+    )
+    fleet.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write the model as ArchiMate-exchange XML to FILE",
+    )
     return parser
 
 
@@ -465,6 +605,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "explain": _cmd_explain,
     "assess": _cmd_assess,
+    "fleet": _cmd_fleet,
 }
 
 

@@ -128,13 +128,15 @@ class AssessmentPipeline:
         trace: Optional[object] = None,
         workers: Optional[int] = None,
         parallel_mode: str = "auto",
+        cube_factor: Optional[int] = None,
     ):
         """``workers`` fans the hazard-identification sweeps (phase 4/5)
         out over a process pool and the CEGAR oracle classification over
         a thread pool; results are identical to a sequential run.
-        ``parallel_mode`` is forwarded to the EPA engines (see
-        :class:`~repro.epa.EpaEngine`): ``auto`` / ``cube`` /
-        ``portfolio``."""
+        ``parallel_mode`` and ``cube_factor`` are forwarded to the EPA
+        engines (see :class:`~repro.epa.EpaEngine`): ``auto`` /
+        ``cube`` / ``portfolio``, and the cube oversubscription
+        factor."""
         self.requirements = tuple(requirements)
         self.catalog = catalog
         self.max_faults = max_faults
@@ -143,6 +145,7 @@ class AssessmentPipeline:
         self._trace = trace if trace is not None else NULL_SINK
         self.workers = workers
         self.parallel_mode = parallel_mode
+        self.cube_factor = cube_factor
 
     def run(
         self,
@@ -214,6 +217,7 @@ class AssessmentPipeline:
                     trace=self._trace,
                     workers=self.workers,
                     parallel_mode=self.parallel_mode,
+                    cube_factor=self.cube_factor,
                 )
                 phases.append(
                     PhaseRecord(
@@ -260,6 +264,7 @@ class AssessmentPipeline:
                         trace=self._trace,
                         workers=self.workers,
                         parallel_mode=self.parallel_mode,
+                        cube_factor=self.cube_factor,
                     )
                     detailed = refined_engine.analyze(
                         active_mitigations=active_mitigations,

@@ -31,9 +31,20 @@ provenance (proof-backed explainability, see :mod:`repro.provenance`)
     :func:`scenario_proof` / :class:`ScenarioProof` — derivation-DAG
     ``why``/``why_not`` over a re-solved scenario — and
     :meth:`EpaEngine.blocking_core`, the minimized unsat core naming
-    the mitigations a violation-free result rests on.
+    the mitigations a violation-free result rests on;
+streaming sweeps (bounded memory; ``docs/streaming.md``)
+    :class:`ScenarioAggregate` — the on-the-fly fold behind
+    :meth:`EpaEngine.analyze_stream` / :meth:`EpaEngine.aggregate` —
+    plus the checkpoint codec (:class:`CheckpointState`,
+    :func:`read_checkpoint`, :func:`write_checkpoint`).
 """
 
+from .aggregate import (
+    CheckpointState,
+    ScenarioAggregate,
+    read_checkpoint,
+    write_checkpoint,
+)
 from .behavioral import BehaviouralEpa, BehaviouralScenario
 from .optimal import (
     OptimalQueryError,
@@ -72,6 +83,7 @@ __all__ = [
     "BEHAVIOUR_TO_KIND",
     "BehaviouralEpa",
     "BehaviouralScenario",
+    "CheckpointState",
     "ERROR_KINDS",
     "EpaEngine",
     "EpaError",
@@ -83,6 +95,7 @@ __all__ = [
     "OptimalQueryError",
     "OptimalScenario",
     "PropagationStep",
+    "ScenarioAggregate",
     "ScenarioOutcome",
     "ScenarioProof",
     "StaticRequirement",
@@ -96,8 +109,10 @@ __all__ = [
     "error_kind",
     "explain_outcome",
     "explain_report",
+    "read_checkpoint",
     "refinement_gain",
     "scenario_choice",
     "scenario_proof",
     "uncertain_analysis",
+    "write_checkpoint",
 ]

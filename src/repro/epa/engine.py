@@ -36,26 +36,45 @@ and tuning guide).
 
 from __future__ import annotations
 
+import hashlib
+import os
 import time
 from dataclasses import dataclass, replace
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
 from ..asp import Control, Model, atom
-from ..asp.cubes import generate_cubes
+from ..asp.cubes import (
+    generate_cubes,
+    linear_cubes,
+    order_by_occurrence,
+    resolve_cube_factor,
+)
 from ..asp.sat import TRUE
 from ..asp.serialize import publish, shared_program
 from ..asp.solver import ProjectionIncomplete, StableModelSolver
 from ..asp.syntax import Atom, Program
 from ..asp.terms import Number, Symbol
 from ..observability import MemoryTraceSink, NULL_SINK, SolveStats, Tracer
-from ..observability.metrics import get_registry
+from ..observability.metrics import get_registry, record_peak_rss
 from ..modeling.model import SystemModel
 from ..modeling.to_asp import to_asp_program
-from ..parallel import ParallelError, WorkStealingPool, parallel_map, split_cubes
+from ..parallel import (
+    ParallelError,
+    WorkStealingPool,
+    emit_partial,
+    parallel_map,
+    split_cubes,
+)
 from ..provenance import minimize_core
 from ..security.mapping import CandidateMutation
+from .aggregate import (
+    DEFAULT_MAX_MINIMAL_SETS,
+    ScenarioAggregate,
+    read_checkpoint,
+    write_checkpoint,
+)
 from .faults import FaultRef, error_kind
 from .results import EpaReport, PropagationStep, ScenarioOutcome
 from .rules import epa_rule_base, scenario_choice
@@ -98,6 +117,7 @@ class EpaEngine:
         incremental: bool = True,
         workers: Optional[int] = None,
         parallel_mode: str = "auto",
+        cube_factor: Optional[int] = None,
     ):
         """``fault_mitigations`` maps fault-mode name -> mitigation ids
         (the paper's ``mitigation(F, M)``); ``component_mitigations``
@@ -111,7 +131,9 @@ class EpaEngine:
         enumerations over cubes *and* races single-answer queries over a
         solver portfolio, ``"cube"`` only shards enumerations,
         ``"portfolio"`` only races single-answer queries (enumerations
-        stay sequential)."""
+        stay sequential).  ``cube_factor`` overrides the cube
+        oversubscription factor (default: ``REPRO_CUBE_FACTOR`` or 4;
+        see :func:`repro.asp.cubes.resolve_cube_factor`)."""
         names = [r.name for r in requirements]
         if len(set(names)) != len(names):
             raise EpaError("duplicate requirement names")
@@ -137,6 +159,7 @@ class EpaEngine:
                 % (parallel_mode,)
             )
         self._parallel_mode = parallel_mode
+        self._cube_factor = cube_factor
         self._base_program: Optional[Program] = None
         self._controls: Dict[int, Control] = {}
         # separate multi-shot controls for unsat-core queries: they
@@ -497,7 +520,9 @@ class EpaEngine:
                 for ref in choices
                 if (ref.component, ref.fault) in allowed
             ]
-        cubes = generate_cubes(ground, cube_atoms, workers)
+        cubes = generate_cubes(
+            ground, cube_atoms, workers, oversubscribe=self._cube_factor
+        )
         requirement_names = {
             _requirement_symbol(r.name): r.name for r in self.requirements
         }
@@ -556,6 +581,377 @@ class EpaEngine:
         self._stats.set("epa.parallel.workers", workers)
         self._note_analysis(scenarios=len(outcomes))
         return self._report(outcomes, deployment)
+
+    # ------------------------------------------------------------------
+    # streaming analysis (bounded memory; see docs/streaming.md)
+    # ------------------------------------------------------------------
+    def analyze_stream(
+        self,
+        active_mitigations: Mapping[str, Sequence[str]] = (),
+        max_faults: int = 0,
+        restrict_faults: Optional[Iterable[FaultRef]] = None,
+        with_paths: bool = False,
+        limit: Optional[int] = None,
+    ) -> Iterator[ScenarioOutcome]:
+        """Lazily yield scenario outcomes as models are found.
+
+        The streaming counterpart of :meth:`analyze`: same scenario
+        space, same extraction, but models are folded into
+        :class:`ScenarioOutcome` one at a time and never collected —
+        closing the iterator early stops the search.  Memory stays
+        bounded by one model, regardless of how many scenarios the
+        sweep visits; callers who want totals without the list feed
+        the outcomes to a
+        :class:`~repro.epa.aggregate.ScenarioAggregate` (or call
+        :meth:`aggregate`, which also shards and checkpoints).
+        """
+        deployment = {
+            component: tuple(ms)
+            for component, ms in dict(active_mitigations or {}).items()
+        }
+        restrict = (
+            list(restrict_faults) if restrict_faults is not None else None
+        )
+        count = 0
+        if self._incremental:
+            control = self._incremental_control(max_faults)
+            self._assign_externals(control, deployment, restrict)
+            models = control.solve_iter(limit=limit)
+        else:
+            control = self._base_control(deployment)
+            control.add(scenario_choice(max_faults))
+            if restrict is not None:
+                for fault in restrict:
+                    control.add_fact(
+                        "allowed_fault", fault.component, fault.fault
+                    )
+                control.add(
+                    ":- active_fault(C, F), not allowed_fault(C, F)."
+                )
+            project = [
+                atom("active_fault", ref.component, ref.fault)
+                for ref in self._potential_faults(deployment)
+            ]
+            models = control.solve_iter(limit=limit, project=project)
+        try:
+            for model in models:
+                count += 1
+                yield self._extract(model, with_paths)
+        finally:
+            models.close()
+            if self._incremental:
+                self._note_analysis(scenarios=count)
+            else:
+                self._fold_statistics(control, scenarios=count)
+
+    def aggregate(
+        self,
+        active_mitigations: Mapping[str, Sequence[str]] = (),
+        max_faults: int = 0,
+        restrict_faults: Optional[Iterable[FaultRef]] = None,
+        workers: Optional[int] = None,
+        stream_mode: str = "aggregate",
+        checkpoint: Optional[str] = None,
+        checkpoint_every: int = 8,
+        chunk_size: int = 512,
+        max_minimal_sets: int = DEFAULT_MAX_MINIMAL_SETS,
+    ) -> ScenarioAggregate:
+        """Sweep the scenario space into a bounded-memory aggregate.
+
+        The full-sweep engine for fleet-scale workloads: enumerates the
+        same scenario space as :meth:`analyze` but folds every model
+        into a :class:`~repro.epa.aggregate.ScenarioAggregate` on the
+        fly — the model list never exists.  With ``workers > 1`` (or a
+        ``checkpoint``) the sweep shards over occurrence-ordered cubes;
+        ``stream_mode`` picks what workers ship on the pool's result
+        channel: ``"aggregate"`` (default) sends pre-folded partial
+        aggregates every ``chunk_size`` scenarios, ``"models"`` sends
+        the extracted outcomes themselves (heavier traffic, parent-side
+        folding).  Both merge cube-ordered and byte-identically to the
+        sequential path.
+
+        ``checkpoint`` names a file that periodically (every
+        ``checkpoint_every`` completed cubes) receives a compact resume
+        token — completed cube ids plus the partial aggregate — so a
+        killed sweep restarts where it left off: call again with the
+        same configuration and the same path.  A checkpoint written by
+        a different sweep configuration is refused.
+        """
+        if stream_mode not in ("aggregate", "models"):
+            raise EpaError(
+                "stream_mode must be 'aggregate' or 'models', not %r"
+                % (stream_mode,)
+            )
+        deployment = {
+            component: tuple(ms)
+            for component, ms in dict(active_mitigations or {}).items()
+        }
+        restrict = (
+            list(restrict_faults) if restrict_faults is not None else None
+        )
+        if workers is None:
+            workers = self._workers or 1
+        sharded = (
+            workers > 1 and self._parallel_mode in ("auto", "cube")
+        ) or checkpoint is not None
+        with self._tracer.span(
+            "epa.aggregate", max_faults=max_faults, workers=workers
+        ) as span:
+            if sharded:
+                result = self._aggregate_cubes(
+                    deployment,
+                    max_faults,
+                    restrict,
+                    workers,
+                    stream_mode,
+                    checkpoint,
+                    checkpoint_every,
+                    chunk_size,
+                    max_minimal_sets,
+                )
+            else:
+                result = self._aggregate_sequential(
+                    deployment, max_faults, restrict, max_minimal_sets
+                )
+            span.update(
+                scenarios=result.scenarios, violating=result.violating
+            )
+        record_peak_rss()
+        return result
+
+    def _aggregate_names(self) -> Tuple[List[str], Dict[str, str]]:
+        names = [r.name for r in self.requirements]
+        magnitudes = {r.name: r.magnitude for r in self.requirements}
+        return names, magnitudes
+
+    def _aggregate_sequential(
+        self,
+        deployment: Mapping[str, Sequence[str]],
+        max_faults: int,
+        restrict: Optional[Sequence[FaultRef]],
+        max_minimal_sets: int,
+    ) -> ScenarioAggregate:
+        """One-process streaming sweep on the probe fast path."""
+        control = self._base_control(deployment)
+        control.add(scenario_choice(max_faults))
+        if restrict is not None:
+            for fault in restrict:
+                control.add_fact("allowed_fault", fault.component, fault.fault)
+            control.add(":- active_fault(C, F), not allowed_fault(C, F).")
+        ground = control.ground()
+        project = [
+            atom("active_fault", ref.component, ref.fault)
+            for ref in self._potential_faults(deployment)
+        ]
+        requirement_names = {
+            _requirement_symbol(r.name): r.name for r in self.requirements
+        }
+        names, magnitudes = self._aggregate_names()
+        solver = StableModelSolver(ground)
+        probes = _build_probes(solver, ground.possible_atoms, requirement_names)
+        result = ScenarioAggregate(names, magnitudes, max_minimal_sets)
+
+        def on_model(assignment: Sequence[int]) -> None:
+            result.add(_probe_extract(assignment, probes))
+
+        try:
+            solver.project_models(project, on_model)
+        except ProjectionIncomplete:
+            # discard the partial fold and redo on the reference path
+            result = ScenarioAggregate(names, magnitudes, max_minimal_sets)
+            for model in control.solve_iter(project=project):
+                result.add(_model_extract(model, requirement_names))
+        self._fold_statistics(control, scenarios=result.scenarios)
+        return result
+
+    def _aggregate_cubes(
+        self,
+        deployment: Mapping[str, Sequence[str]],
+        max_faults: int,
+        restrict: Optional[Sequence[FaultRef]],
+        workers: int,
+        stream_mode: str,
+        checkpoint: Optional[str],
+        checkpoint_every: int,
+        chunk_size: int,
+        max_minimal_sets: int,
+    ) -> ScenarioAggregate:
+        """Cube-sharded streaming sweep with optional checkpoints.
+
+        The cube layout matches :meth:`_analyze_parallel` exactly for
+        ``workers > 1`` and still splits the space for a single worker
+        (a sequential sweep needs cube granularity to checkpoint).
+        Workers ship partials on the pool's result channel; the parent
+        keeps an in-progress buffer per cube, promotes it to a
+        completed part when the cube's envelope arrives, and assembles
+        snapshots by merging completed parts in cube order on top of
+        the resumed aggregate — crash-retried cubes discard their
+        buffered partials, so nothing is ever double counted.
+        """
+        control = self._base_control(deployment)
+        control.add(scenario_choice(max_faults))
+        if restrict is not None:
+            for fault in restrict:
+                control.add_fact("allowed_fault", fault.component, fault.fault)
+            control.add(":- active_fault(C, F), not allowed_fault(C, F).")
+        ground = control.ground()
+        choices = self._potential_faults(deployment)
+        project = [
+            atom("active_fault", ref.component, ref.fault) for ref in choices
+        ]
+        cube_atoms = project
+        if restrict is not None:
+            allowed = {(f.component, f.fault) for f in restrict}
+            cube_atoms = [
+                atom("active_fault", ref.component, ref.fault)
+                for ref in choices
+                if (ref.component, ref.fault) in allowed
+            ]
+        factor = resolve_cube_factor(self._cube_factor)
+        ordered = order_by_occurrence(ground, cube_atoms)
+        cubes = linear_cubes(ordered, max(2, max(1, workers) * factor))
+        requirement_names = {
+            _requirement_symbol(r.name): r.name for r in self.requirements
+        }
+        names, magnitudes = self._aggregate_names()
+        digest, blob = _publish_cube_context(ground, project, requirement_names)
+        config_digest = _sweep_digest(
+            digest, cubes, max_faults, max_minimal_sets, deployment, restrict
+        )
+
+        resumed = ScenarioAggregate(names, magnitudes, max_minimal_sets)
+        completed: Set[int] = set()
+        if checkpoint is not None and os.path.exists(checkpoint):
+            state = read_checkpoint(checkpoint)
+            if state.digest != config_digest:
+                raise EpaError(
+                    "checkpoint %s was written by a different sweep "
+                    "configuration (model, deployment, cube layout, "
+                    "max_faults and cube factor must match to resume)"
+                    % checkpoint
+                )
+            completed = set(state.completed)
+            resumed = ScenarioAggregate.loads(state.aggregate)
+            self._stats.incr("epa.aggregate.resumed_cubes", len(completed))
+        pending = [
+            index for index in range(len(cubes)) if index not in completed
+        ]
+
+        pool = WorkStealingPool(workers)
+        traced = self._trace is not NULL_SINK
+        forked = pool.start_method == "fork"
+        subprocess_mode = workers > 1 and len(pending) > 1
+        payloads = [
+            {
+                "digest": digest,
+                "blob": None if (forked or not subprocess_mode) else blob,
+                "project": project,
+                "requirement_names": requirement_names,
+                "cube": cubes[cube_id],
+                "index": cube_id,
+                "traced": traced,
+                "stream_mode": stream_mode,
+                "chunk": max(1, chunk_size),
+                "aggregate_requirements": names,
+                "magnitudes": magnitudes,
+                "max_minimal_sets": max_minimal_sets,
+                "subprocess": subprocess_mode,
+            }
+            for cube_id in pending
+        ]
+
+        parts: Dict[int, ScenarioAggregate] = {}
+        buffers: Dict[int, ScenarioAggregate] = {}
+        finished = [0]
+
+        def assemble() -> ScenarioAggregate:
+            total = resumed.copy()
+            for cube_id in sorted(parts):
+                total.merge(parts[cube_id])
+            return total
+
+        def snapshot() -> None:
+            if checkpoint is None:
+                return
+            with self._tracer.span(
+                "epa.checkpoint",
+                path=checkpoint,
+                cubes=len(completed),
+                total=len(cubes),
+            ):
+                write_checkpoint(
+                    checkpoint, config_digest, completed, assemble().dumps()
+                )
+
+        def on_partial(position: int, value: Tuple[str, object]) -> None:
+            cube_id = pending[position]
+            kind = value[0]
+            if kind == "reset":
+                # the worker fell back to the reference enumeration and
+                # will re-stream the whole cube
+                buffers.pop(cube_id, None)
+            elif kind == "agg":
+                part = ScenarioAggregate.loads(value[1])
+                held = buffers.get(cube_id)
+                if held is None:
+                    buffers[cube_id] = part
+                else:
+                    held.merge(part)
+            else:  # "outcomes"
+                held = buffers.get(cube_id)
+                if held is None:
+                    held = ScenarioAggregate(
+                        names, magnitudes, max_minimal_sets
+                    )
+                    buffers[cube_id] = held
+                for outcome in value[1]:
+                    held.add(outcome)
+
+        def on_retry(position: int) -> None:
+            buffers.pop(pending[position], None)
+
+        def on_result(position: int, _envelope: object) -> None:
+            cube_id = pending[position]
+            parts[cube_id] = buffers.pop(
+                cube_id,
+                ScenarioAggregate(names, magnitudes, max_minimal_sets),
+            )
+            completed.add(cube_id)
+            finished[0] += 1
+            if checkpoint_every > 0 and finished[0] % checkpoint_every == 0:
+                snapshot()
+
+        try:
+            envelopes = pool.map(
+                _stream_cube_worker,
+                payloads,
+                on_partial=on_partial,
+                on_retry=on_retry,
+                on_result=on_result,
+            )
+        except ParallelError as error:
+            raise EpaError(
+                "streaming EPA aggregation failed: %s" % error
+            ) from error
+        registry = get_registry()
+        lanes = pool.last_assignments
+        for position, (_none, shard_stats, events, metrics) in enumerate(
+            envelopes
+        ):
+            self._stats.merge(shard_stats)
+            for name, _seconds, event_payload in events:
+                payload = dict(event_payload)
+                payload.setdefault("worker", lanes.get(position, position))
+                self._trace.emit(name, **payload)
+            if metrics:
+                registry.merge(metrics)
+        result = assemble()
+        snapshot()
+        self._stats.merge(control.statistics)
+        self._stats.incr("epa.aggregate.cubes", len(pending))
+        self._stats.set("epa.parallel.workers", workers)
+        self._note_analysis(scenarios=result.scenarios - resumed.scenarios)
+        return result
 
     def analyze_scenario(
         self,
@@ -1042,6 +1438,145 @@ def _cube_worker(
         )
     stats = {"solving": {"models": len(outcomes)}}
     return outcomes, stats, events, registry.to_dict()
+
+
+def _sweep_digest(
+    program_digest: str,
+    cubes: Sequence[Sequence[Tuple[Atom, bool]]],
+    max_faults: int,
+    max_minimal_sets: int,
+    deployment: Mapping[str, Sequence[str]],
+    restrict: Optional[Sequence[FaultRef]],
+) -> str:
+    """The configuration fingerprint a checkpoint is valid against.
+
+    Covers everything that determines which scenarios each cube id
+    enumerates — the ground program, the cube layout (and therefore
+    workers x cube factor), the fault bound, the aggregate's antichain
+    cap, the deployment and any restriction — so resuming under a
+    different configuration is refused instead of silently merging
+    mismatched shards.
+    """
+    parts = [program_digest, str(max_faults), str(max_minimal_sets)]
+    for cube in cubes:
+        parts.append(
+            ";".join("%s=%d" % (cube_atom, value) for cube_atom, value in cube)
+        )
+    for component, mitigations in sorted(deployment.items()):
+        parts.append("%s:%s" % (component, ",".join(mitigations)))
+    if restrict is not None:
+        parts.append("restrict:" + ",".join(sorted(str(f) for f in restrict)))
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+
+
+def _stream_cube_worker(
+    payload: Dict[str, object]
+) -> Tuple[
+    None,
+    Dict[str, object],
+    List[Tuple[str, float, Dict[str, object]]],
+    Dict[str, object],
+]:
+    """Enumerate one cube, shipping results as they are found.
+
+    The streaming sibling of :func:`_cube_worker`: instead of returning
+    one pickled outcome batch, it pushes partial payloads through
+    :func:`repro.parallel.emit_partial` while enumerating —
+    ``("agg", blob)`` messages carrying pre-folded
+    :class:`ScenarioAggregate` chunks in ``stream_mode="aggregate"``,
+    ``("outcomes", [...])`` batches of extracted outcomes in
+    ``stream_mode="models"`` — every ``chunk`` scenarios, so parent-side
+    memory tracks the aggregate, not the model count.  On
+    :class:`ProjectionIncomplete` it ships ``("reset",)`` (the parent
+    drops the cube's buffered partials) and re-streams the cube from
+    the complete CDCL enumeration.  The envelope mirrors
+    :func:`_cube_worker` minus the outcome list: ``(None, stats,
+    events, metrics)``.
+    """
+    registry = get_registry()
+    if payload.get("subprocess"):
+        # pool workers persist across tasks: zero the child's registry
+        # so each envelope carries exactly this cube's metrics.  In the
+        # in-process degenerate case the parent registry must survive;
+        # metrics are then already in place and the envelope ships none.
+        registry.reset()
+    solver, probes, project = _cube_context(payload)
+    cube = payload["cube"]
+    mode = payload["stream_mode"]
+    chunk = payload["chunk"]
+    names = payload["aggregate_requirements"]
+    magnitudes = payload["magnitudes"]
+    cap = payload["max_minimal_sets"]
+    start = time.perf_counter()
+    fallback = False
+    count = 0
+    part = ScenarioAggregate(names, magnitudes, cap)
+    batch: List[ScenarioOutcome] = []
+    held = [0]
+
+    def flush() -> None:
+        nonlocal part
+        if mode == "aggregate":
+            if held[0]:
+                emit_partial(("agg", part.dumps()))
+                part = ScenarioAggregate(names, magnitudes, cap)
+                held[0] = 0
+        elif batch:
+            emit_partial(("outcomes", list(batch)))
+            del batch[:]
+
+    def fold(outcome: ScenarioOutcome) -> None:
+        nonlocal count
+        count += 1
+        if mode == "aggregate":
+            part.add(outcome)
+            held[0] += 1
+            if held[0] >= chunk:
+                flush()
+        else:
+            batch.append(outcome)
+            if len(batch) >= chunk:
+                flush()
+
+    def on_model(assignment: Sequence[int]) -> None:
+        fold(_probe_extract(assignment, probes))
+
+    try:
+        solver.project_models(project, on_model, assumptions=cube)
+    except ProjectionIncomplete:
+        # tell the parent to discard everything streamed so far, then
+        # redo the cube on the reference path
+        fallback = True
+        emit_partial(("reset",))
+        count = 0
+        part = ScenarioAggregate(names, magnitudes, cap)
+        held[0] = 0
+        del batch[:]
+        requirement_names = payload["requirement_names"]
+        reference = StableModelSolver(shared_program(payload["digest"]))
+        for model in reference.models(assumptions=cube, project=project):
+            fold(_model_extract(model, requirement_names))
+    flush()
+    elapsed = time.perf_counter() - start
+    events: List[Tuple[str, float, Dict[str, object]]] = []
+    if payload.get("traced"):
+        events.append(
+            (
+                "epa.cube",
+                elapsed,
+                {
+                    "cube": payload["index"],
+                    "models": count,
+                    "assumed": len(cube),
+                    "fallback": fallback,
+                    "stream": mode,
+                    "seconds": elapsed,
+                },
+            )
+        )
+    stats = {"solving": {"models": count}}
+    metrics = registry.to_dict() if payload.get("subprocess") else {}
+    return None, stats, events, metrics
 
 
 def _mitigation_symbol(identifier: str) -> str:

@@ -123,6 +123,29 @@ class EpaReport:
                 minimal.append(candidate)
         return minimal
 
+    def to_aggregate(
+        self,
+        magnitudes: Mapping[str, str] = (),
+        max_minimal_sets: Optional[int] = None,
+    ):
+        """Fold this report into a streaming
+        :class:`~repro.epa.aggregate.ScenarioAggregate`.
+
+        The materialized-to-streamed bridge (and the reference path the
+        byte-identity tests compare streamed sweeps against):
+        ``engine.aggregate(...)`` produces the same bytes as
+        ``engine.analyze(...).to_aggregate(magnitudes)`` for matching
+        magnitude maps.  Imported lazily — :mod:`repro.epa.aggregate`
+        itself imports this module.
+        """
+        from .aggregate import DEFAULT_MAX_MINIMAL_SETS, ScenarioAggregate
+
+        if max_minimal_sets is None:
+            max_minimal_sets = DEFAULT_MAX_MINIMAL_SETS
+        return ScenarioAggregate.from_report(
+            self, magnitudes, max_minimal_sets
+        )
+
     def single_points_of_failure(self) -> List[FaultRef]:
         """Single faults that alone violate some requirement."""
         return sorted(

@@ -372,6 +372,30 @@ def get_registry() -> MetricsRegistry:
     return REGISTRY
 
 
+def record_peak_rss(registry: Optional[MetricsRegistry] = None) -> Optional[int]:
+    """Record this process's peak RSS as ``repro_peak_rss_bytes``.
+
+    Reads ``resource.getrusage(RUSAGE_SELF).ru_maxrss`` (kilobytes on
+    Linux, bytes on macOS), sets the gauge on ``registry`` (default: the
+    process-wide registry) and returns the value in bytes — the memory
+    half of the streaming-sweep acceptance story (``docs/streaming.md``).
+    Returns ``None`` on platforms without the :mod:`resource` module;
+    the gauge is then left untouched.
+    """
+    try:
+        import resource
+        import sys
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None
+    maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    scale = 1 if sys.platform == "darwin" else 1024
+    peak = int(maxrss) * scale
+    (registry or REGISTRY).gauge(
+        "repro_peak_rss_bytes", "peak resident set size of the process"
+    ).set(peak)
+    return peak
+
+
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
@@ -382,4 +406,5 @@ __all__ = [
     "REGISTRY",
     "SIZE_BUCKETS",
     "get_registry",
+    "record_peak_rss",
 ]

@@ -51,6 +51,21 @@ worker-side traceback attached as :attr:`ParallelError.worker_traceback`
 when one was captured; exceptions *raised by* the mapped function
 propagate unchanged (chained to a :class:`ParallelError` carrying the
 worker traceback when they crossed a process boundary).
+
+**Streaming result channel.**  A task function may call
+:func:`emit_partial` any number of times before returning: each value is
+pickled and shipped on the pool's result queue immediately, and the
+parent invokes the ``on_partial(task_index, value)`` callback passed to
+:meth:`WorkStealingPool.map` as the messages arrive — the mechanism
+behind bounded-memory streaming sweeps, where workers ship models (or
+pre-folded partial aggregates) as they are found instead of one pickled
+batch per cube.  Two companion callbacks keep crash recovery honest:
+``on_retry(task_index)`` fires when a worker died mid-task and the task
+is re-queued, so the caller discards the partials the dead attempt
+already shipped; ``on_result(task_index, value)`` fires when a task
+finishes, marking its partials final.  In the in-process degenerate
+case (one worker or one item) :func:`emit_partial` invokes
+``on_partial`` synchronously — same contract, no queue.
 """
 
 from __future__ import annotations
@@ -84,6 +99,37 @@ _Result = TypeVar("_Result")
 
 #: how many times a task is retried after its worker died mid-execution
 MAX_TASK_ATTEMPTS = 3
+
+#: worker-side channel state: ``(result_queue, task_index, worker_index)``
+#: while a pool worker is executing a task, else ``None``
+_WORKER_CHANNEL = None
+
+#: in-process channel state: ``(on_partial, task_index)`` while the
+#: degenerate (sequential) map path is executing a task, else ``None``
+_INPROCESS_PARTIAL = None
+
+
+def emit_partial(value) -> bool:
+    """Ship an intermediate result from inside a pool task.
+
+    Called by the task function; the value reaches the parent's
+    ``on_partial(task_index, value)`` callback — immediately via the
+    result queue from a pool worker, synchronously in the degenerate
+    in-process case.  Returns ``False`` (value dropped) when no channel
+    is open: either the caller is not running under a pool ``map``, or
+    the parent did not pass ``on_partial``.  Task functions use the
+    return value to decide between streaming and returning one batch.
+    """
+    if _WORKER_CHANNEL is not None:
+        results, task_index, worker_index, attempt = _WORKER_CHANNEL
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        results.put(("partial", task_index, worker_index, attempt, payload))
+        return True
+    if _INPROCESS_PARTIAL is not None:
+        on_partial, task_index = _INPROCESS_PARTIAL
+        on_partial(task_index, value)
+        return True
+    return False
 
 
 class ParallelError(RuntimeError):
@@ -168,14 +214,16 @@ def _pool_worker(index, function, tasks, results):
     burn CPU) for garbage the short-lived worker never produced.
     Task-local garbage is still reclaimed by reference counting.
     """
+    global _WORKER_CHANNEL
     gc.freeze()
     gc.disable()
     while True:
         message = tasks.get()
         if message is None:
             return
-        task_index, item = message
+        task_index, attempt, item = message
         start = time.perf_counter()
+        _WORKER_CHANNEL = (results, task_index, index, attempt)
         try:
             value = function(item)
             payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
@@ -190,6 +238,8 @@ def _pool_worker(index, function, tasks, results):
                 trace += "\n(exception %r was not picklable)" % (error,)
             results.put(("error", task_index, index, error_payload, trace))
             return
+        finally:
+            _WORKER_CHANNEL = None
         busy = time.perf_counter() - start
         results.put(("done", task_index, index, busy, payload))
 
@@ -227,7 +277,12 @@ class WorkStealingPool:
         self.last_assignments: Dict[int, int] = {}
 
     def map(
-        self, function: Callable[[_Item], _Result], items: Iterable[_Item]
+        self,
+        function: Callable[[_Item], _Result],
+        items: Iterable[_Item],
+        on_partial: Optional[Callable[[int, object], None]] = None,
+        on_retry: Optional[Callable[[int], None]] = None,
+        on_result: Optional[Callable[[int, object], None]] = None,
     ) -> List[_Result]:
         """Evaluate ``function`` over ``items``; results in input order.
 
@@ -235,19 +290,52 @@ class WorkStealingPool:
         the worker lane that executed it (all ``0`` for the in-process
         degenerate case) — callers use it to tag per-item telemetry with
         the lane it actually ran in.
+
+        ``on_partial(task_index, value)`` receives every
+        :func:`emit_partial` value a task ships before finishing;
+        ``on_retry(task_index)`` fires when a crashed worker's task is
+        re-queued (discard that task's partials); ``on_result`` fires on
+        task completion, before the pool moves on.  All three run in the
+        parent process, on the thread driving :meth:`map`.
         """
+        global _INPROCESS_PARTIAL
         batch = list(items)
         if self.workers <= 1 or len(batch) <= 1:
             self.last_assignments = {index: 0 for index in range(len(batch))}
-            return [function(item) for item in batch]
+            collected = []
+            for index, item in enumerate(batch):
+                if on_partial is not None:
+                    _INPROCESS_PARTIAL = (on_partial, index)
+                try:
+                    value = function(item)
+                finally:
+                    _INPROCESS_PARTIAL = None
+                if on_result is not None:
+                    on_result(index, value)
+                collected.append(value)
+            return collected
         results, assignments = _run_pool(
-            self._context, self.workers, function, batch
+            self._context,
+            self.workers,
+            function,
+            batch,
+            on_partial=on_partial,
+            on_retry=on_retry,
+            on_result=on_result,
         )
         self.last_assignments = assignments
         return results
 
 
-def _run_pool(context, workers, function, batch):
+def _run_pool(
+    context,
+    workers,
+    function,
+    batch,
+    on_partial=None,
+    on_retry=None,
+    on_result=None,
+):
     registry = get_registry()
     cubes_total = registry.counter(
         "repro_parallel_cubes_total",
@@ -305,7 +393,9 @@ def _run_pool(context, workers, function, batch):
         pending.remove(task_index)
         attempts[task_index] += 1
         in_flight[worker_index] = task_index
-        task_queues[worker_index].put((task_index, batch[task_index]))
+        task_queues[worker_index].put(
+            (task_index, attempts[task_index], batch[task_index])
+        )
 
     def shutdown():
         for worker_index, process in enumerate(processes):
@@ -351,6 +441,8 @@ def _run_pool(context, workers, function, batch):
                                     attempts[task_index],
                                 )
                             )
+                        if on_retry is not None:
+                            on_retry(task_index)
                         pending.appendleft(task_index)
                     in_flight[worker_index] = None
                     if pending or len(results) < len(batch):
@@ -359,11 +451,27 @@ def _run_pool(context, workers, function, batch):
                         dispatch(worker_index)
                 continue
             kind = message[0]
+            if kind == "partial":
+                _, task_index, worker_index, attempt, payload = message
+                # Partials are attempt-tagged and only honoured while
+                # their attempt is the one currently in flight on the
+                # emitting worker; anything else is a stale straggler
+                # from a crashed (or already completed) attempt.
+                if (
+                    on_partial is not None
+                    and task_index not in results
+                    and attempt == attempts[task_index]
+                    and in_flight.get(worker_index) == task_index
+                ):
+                    on_partial(task_index, pickle.loads(payload))
+                continue
             if kind == "done":
                 _, task_index, worker_index, busy, payload = message
                 results[task_index] = pickle.loads(payload)
                 assignments[task_index] = worker_index
                 in_flight[worker_index] = None
+                if on_result is not None:
+                    on_result(task_index, results[task_index])
                 cubes_total.inc()
                 registry.counter(
                     "repro_parallel_worker_busy_seconds",
@@ -425,6 +533,7 @@ __all__ = [
     "MAX_TASK_ATTEMPTS",
     "ParallelError",
     "WorkStealingPool",
+    "emit_partial",
     "parallel_map",
     "split_cubes",
     "merge_stats",

@@ -43,6 +43,18 @@ from .scenario_space import (
     ThreatActor,
 )
 
+# fleet imports repro.epa lazily (inside functions); keep it last so the
+# package namespace above is complete before it loads
+from .fleet import (
+    FleetSpec,
+    build_fleet_model,
+    fleet_catalog,
+    fleet_engine,
+    fleet_fault_mitigations,
+    fleet_models,
+    fleet_requirements,
+)
+
 __all__ = [
     "AttackGraph",
     "AttackGraphError",
@@ -55,6 +67,7 @@ __all__ = [
     "CatalogError",
     "CvssBase",
     "CvssError",
+    "FleetSpec",
     "LossEvent",
     "MitigationEntry",
     "SecurityCatalog",
@@ -66,8 +79,14 @@ __all__ = [
     "applicable_techniques",
     "applicable_vulnerabilities",
     "base_score",
+    "build_fleet_model",
     "builtin_catalog",
     "candidate_mutations",
+    "fleet_catalog",
+    "fleet_engine",
+    "fleet_fault_mitigations",
+    "fleet_models",
+    "fleet_requirements",
     "mitigations_for_mutation",
     "parse_vector",
     "severity_rating",

@@ -186,7 +186,64 @@ class AttackScenarioSpace:
                 )
 
     def size(self) -> int:
-        return sum(1 for _ in self.scenarios())
+        """The exact scenario count, without materializing the walk.
+
+        Mirrors :meth:`_extend` analytically: every chain extension
+        picks one unvisited successor and one applicable follow-up
+        technique, and the subtree below the extension depends only on
+        the successor, the visited set and the remaining depth — never
+        on *which* technique was chosen — so each successor contributes
+        ``applicable-technique count x subtree count``.  Differential
+        tests pin ``size() == sum(1 for _ in scenarios())`` across
+        seeded fleet models; on fleet-scale spaces this runs in graph
+        time while the iterator runs in scenario time.
+        """
+
+        def count_from(
+            actor: ThreatActor,
+            followups: Dict[str, int],
+            last: str,
+            visited: Set[str],
+            length: int,
+        ) -> int:
+            total = 1  # the chain as it stands is itself a scenario
+            if length >= self.max_chain:
+                return total
+            for successor in self._graph.successors(last):
+                if successor in visited:
+                    continue
+                branches = followups.get(successor)
+                if branches is None:
+                    element = self.model.element(successor)
+                    branches = sum(
+                        1
+                        for technique in self.catalog.techniques
+                        if not any(
+                            t in INITIAL_ACCESS_TACTICS
+                            for t in technique.tactic_ids
+                        )
+                        and technique_applicable(technique, element)
+                        and actor.can_execute(technique)
+                    )
+                    followups[successor] = branches
+                if branches:
+                    total += branches * count_from(
+                        actor,
+                        followups,
+                        successor,
+                        visited | {successor},
+                        length + 1,
+                    )
+            return total
+
+        total = 0
+        for actor in self.actors:
+            followups: Dict[str, int] = {}
+            for entry in self.entry_points(actor):
+                total += count_from(
+                    actor, followups, entry.component, {entry.component}, 1
+                )
+        return total
 
     # ------------------------------------------------------------------
     # EPA bridge

@@ -270,3 +270,126 @@ class TestObservabilityFlags:
         analyze_help = dict(sub_help)["analyze"].format_help()
         assert "ignored while --trace" not in analyze_help
         assert "worker" in analyze_help
+
+
+class TestStreamingCli:
+    def test_analyze_stream(self, capsys, model_file):
+        code = main(
+            [
+                "analyze",
+                model_file,
+                "-r",
+                REQUIREMENT,
+                "--max-faults",
+                "1",
+                "--stream",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenarios analyzed" in out
+        assert "single points of failure" in out
+
+    def test_stream_matches_materialized_counts(self, capsys, model_file):
+        args = ["analyze", model_file, "-r", REQUIREMENT, "--max-faults", "2"]
+        assert main(args) == 0
+        materialized = capsys.readouterr().out
+        assert main(args + ["--stream"]) == 0
+        streamed = capsys.readouterr().out
+        # "N scenarios analyzed, M violating" vs
+        # "scenarios analyzed: N (M violating, ...)"
+        import re
+
+        counts = re.search(
+            r"(\d+) scenarios analyzed, (\d+) violating", materialized
+        )
+        header = re.search(
+            r"scenarios analyzed: (\d+) \((\d+) violating", streamed
+        )
+        assert counts.groups() == header.groups()
+
+    def test_checkpoint_implies_stream(self, capsys, tmp_path, model_file):
+        token = tmp_path / "sweep.ckpt"
+        code = main(
+            [
+                "analyze",
+                model_file,
+                "-r",
+                REQUIREMENT,
+                "--max-faults",
+                "1",
+                "--checkpoint",
+                str(token),
+            ]
+        )
+        assert code == 0
+        assert token.exists()
+        assert "scenarios analyzed" in capsys.readouterr().out
+        # resume from the completed token reproduces the run
+        assert (
+            main(
+                [
+                    "analyze",
+                    model_file,
+                    "-r",
+                    REQUIREMENT,
+                    "--max-faults",
+                    "1",
+                    "--checkpoint",
+                    str(token),
+                ]
+            )
+            == 0
+        )
+
+    def test_cube_factor_flag(self, capsys, model_file):
+        code = main(
+            [
+                "analyze",
+                model_file,
+                "-r",
+                REQUIREMENT,
+                "--max-faults",
+                "1",
+                "--stream",
+                "--workers",
+                "2",
+                "--cube-factor",
+                "2",
+                "--stream-mode",
+                "models",
+            ]
+        )
+        assert code == 0
+        assert "scenarios analyzed" in capsys.readouterr().out
+
+    def test_fleet_generates_model(self, capsys, tmp_path):
+        out_path = tmp_path / "fleet.xml"
+        code = main(
+            [
+                "fleet",
+                "--tiers",
+                "3",
+                "--components",
+                "3",
+                "--fault-modes",
+                "2",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "18 fault pairs" in out
+        assert "exact scenario count at max-faults=2: 172" in out
+        assert "analyze with:" in out
+        from repro.modeling import from_xml
+
+        model = from_xml(out_path.read_text(encoding="utf-8"))
+        assert len(model.elements) == 9
+
+    def test_fleet_count_only(self, capsys):
+        assert main(["fleet", "--tiers", "2", "--components", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "8 fault pairs" in out
+        assert "analyze with:" not in out

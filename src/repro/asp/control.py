@@ -66,7 +66,13 @@ from typing import (
     Union,
 )
 
-from ..observability import NULL_SINK, SolveStats, Timer, Tracer
+from ..observability import (
+    NULL_SINK,
+    SolveStats,
+    Timer,
+    Tracer,
+    finalize_solver_stats,
+)
 from ..observability.metrics import get_registry
 from .grounder import Grounder, GroundingError
 from .ground import GroundProgram
@@ -114,6 +120,18 @@ _SOLVE_SECONDS = _METRICS.histogram(
 _GROUND_SECONDS = _METRICS.histogram(
     "repro_stage_seconds", "per-stage wall-clock latency", stage="ground"
 )
+_SAT_LEARNT_DELETED = _METRICS.counter(
+    "repro_sat_learnt_deleted_total", "learnt clauses deleted by reduce-DB"
+)
+_SAT_SHARED_EXPORTED = _METRICS.counter(
+    "repro_sat_shared_exported_total", "glue clauses exported to peers"
+)
+_SAT_SHARED_IMPORTED = _METRICS.counter(
+    "repro_sat_shared_imported_total", "peer clauses imported"
+)
+_SAT_LBD_AVG = _METRICS.gauge(
+    "repro_sat_lbd_avg", "average literal block distance of learnt clauses"
+)
 
 
 class Control:
@@ -125,13 +143,21 @@ class Control:
         trace: Optional[object] = None,
         multishot: bool = False,
         provenance: bool = False,
+        heuristics: Optional[Dict[str, object]] = None,
     ):
+        """``heuristics`` tunes the SAT backend of every solver this
+        control builds (keys ``default_phase``, ``restart_base``,
+        ``seed``, ``reduce_base``, ``minimize_learnts``,
+        ``lbd_share_limit`` — see :class:`~repro.asp.sat.Solver`);
+        ``None`` keeps the defaults (and the env-var knobs
+        ``REPRO_REDUCE_BASE`` / ``REPRO_LBD_SHARE_LIMIT``)."""
         self._program = Program()
         self._trace = trace if trace is not None else NULL_SINK
         self._tracer = Tracer(self._trace)
         self._stats = SolveStats()
         self._multishot = multishot
         self._provenance = provenance
+        self._heuristics = dict(heuristics) if heuristics else None
         self._externals: "OrderedDict[Atom, Optional[bool]]" = OrderedDict()
         self._solver: Optional[StableModelSolver] = None
         self._solver_snapshot: Dict[str, object] = {}
@@ -328,9 +354,13 @@ class Control:
         """A solver for one call: fresh, or the persistent multi-shot one."""
         ground = self.ground()
         if not self._multishot:
-            return StableModelSolver(ground, trace=self._trace)
+            return StableModelSolver(
+                ground, trace=self._trace, heuristics=self._heuristics
+            )
         if self._solver is None:
-            self._solver = StableModelSolver(ground, trace=self._trace)
+            self._solver = StableModelSolver(
+                ground, trace=self._trace, heuristics=self._heuristics
+            )
             self._solver_snapshot = {}
         else:
             self._stats.incr("solving.multishot.reground_avoided")
@@ -399,6 +429,7 @@ class Control:
         self,
         assumptions: Sequence[Tuple[Atom, bool]] = (),
         workers: Optional[int] = None,
+        share_clauses: bool = True,
     ) -> Optional[Model]:
         """The first answer set found, or ``None`` (stops immediately).
 
@@ -406,7 +437,10 @@ class Control:
         separate processes (see :mod:`repro.asp.portfolio`) and returns
         the first finisher's answer.  The satisfiability verdict is
         identical to the serial path; the witness model may be a
-        different (equally valid) stable model.
+        different (equally valid) stable model.  ``share_clauses``
+        lets the racers exchange glue clauses (LBD ≤ 2 learnts) over a
+        shared channel — the verdict is unchanged either way, since
+        only formula-implied clauses are ever exported.
         """
         if workers is not None and workers > 1 and not self._provenance:
             from .portfolio import race_first_model
@@ -417,6 +451,7 @@ class Control:
                     self.ground(),
                     assumptions=self._solve_assumptions(assumptions),
                     workers=workers,
+                    share_clauses=share_clauses,
                 )
                 span.update(winner=winner, found=model is not None)
             self._last_core = None
@@ -439,8 +474,14 @@ class Control:
         self,
         assumptions: Sequence[Tuple[Atom, bool]] = (),
         workers: Optional[int] = None,
+        share_clauses: bool = True,
     ) -> bool:
-        return self.first_model(assumptions, workers=workers) is not None
+        return (
+            self.first_model(
+                assumptions, workers=workers, share_clauses=share_clauses
+            )
+            is not None
+        )
 
     def optimize(
         self,
@@ -492,11 +533,18 @@ class Control:
             previous = self._solver_snapshot
             self._solver_snapshot = snapshot
             snapshot = _stats_delta(snapshot, previous)
-        _CONFLICTS.inc(snapshot.get("solvers", {}).get("conflicts", 0))
+        delta_solvers = snapshot.get("solvers", {})
+        _CONFLICTS.inc(delta_solvers.get("conflicts", 0))
+        _SAT_LEARNT_DELETED.inc(delta_solvers.get("learnt_deleted", 0))
+        _SAT_SHARED_EXPORTED.inc(delta_solvers.get("shared_exported", 0))
+        _SAT_SHARED_IMPORTED.inc(delta_solvers.get("shared_imported", 0))
         solving = self._stats.child("solving")
         solving.merge(snapshot)
         solving["variables"] = variables
         solving["tight"] = tight
+        # lbd_avg is derived, not summable: recompute over the merged
+        # cumulative counters after every record
+        _SAT_LBD_AVG.set(finalize_solver_stats(solving.child("solvers")))
         self._stats.incr("summary.calls")
         self._stats.incr("summary.models.enumerated", models)
         self._stats.incr("summary.models.optimal", optimal)

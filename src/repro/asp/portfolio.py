@@ -18,6 +18,15 @@ The ground program crosses the process boundary through
 the decoded program copy-on-write, so a race costs four solver
 constructions, not four groundings.
 
+Racers are not fully independent: with ``share_clauses=True`` (the
+default) each worker exports its *glue* learnt clauses (LBD within the
+backend's ``lbd_share_limit``) onto per-peer queues and drains its own
+queue at restart boundaries.  Solvers built from the same ground
+program number SAT variables identically, so literal-level sharing is
+sound; only formula-implied clauses are exported (clauses derived from
+enumeration-blocking constraints are tainted and withheld), so sharing
+accelerates the losers without ever changing the verdict.
+
 Exports: :class:`PortfolioConfig`, :data:`DEFAULT_PORTFOLIO`,
 :func:`race_first_model`.
 """
@@ -56,23 +65,64 @@ DEFAULT_PORTFOLIO: Tuple[PortfolioConfig, ...] = (
 )
 
 
-def _portfolio_worker(name, heuristics, digest, blob, assumptions, results):
+def _install_sharing(solver, own_queue, peer_queues):
+    """Wire ``solver`` into the race's clause-sharing channel.
+
+    The export hook broadcasts ``(clause, lbd)`` to every peer queue
+    without blocking (a full queue just drops the clause — sharing is
+    an optimization, never a dependency); the import hook drains this
+    worker's own queue, which the SAT backend polls at restart
+    boundaries.  Closures are built inside the worker process so the
+    spawn start method only ever pickles the queues themselves.
+    """
+    if own_queue is None and not peer_queues:
+        return
+
+    def export(clause, lbd):
+        for peer in peer_queues:
+            try:
+                peer.put_nowait((clause, lbd))
+            except (queue_module.Full, ValueError):  # pragma: no cover
+                pass
+
+    def import_poll():
+        entries = []
+        if own_queue is not None:
+            while True:
+                try:
+                    entries.append(own_queue.get_nowait())
+                except (queue_module.Empty, OSError):
+                    break
+        return entries
+
+    solver.set_clause_sharing(export=export, import_poll=import_poll)
+
+
+def _portfolio_worker(
+    name, heuristics, digest, blob, assumptions, results, own_queue, peer_queues
+):
     """Race entry: build a solver with ``heuristics``, find one model."""
     try:
         program = shared_program(digest, blob)
         solver = StableModelSolver(program, heuristics=heuristics)
+        _install_sharing(solver, own_queue, peer_queues)
         model = None
         iterator = solver.models(limit=1, assumptions=assumptions)
         try:
             model = next(iterator, None)
         finally:
             iterator.close()
+        counters = solver.statistics["solvers"]
+        shared = (
+            counters.get("shared_exported", 0),
+            counters.get("shared_imported", 0),
+        )
         if model is None:
-            results.put((name, None))
+            results.put((name, None, shared))
         else:
-            results.put((name, (model.atoms, model.cost, model.shown)))
+            results.put((name, (model.atoms, model.cost, model.shown), shared))
     except Exception as error:  # pragma: no cover - surfaced as a loss
-        results.put((name, ("error", repr(error))))
+        results.put((name, ("error", repr(error)), None))
 
 
 def race_first_model(
@@ -80,6 +130,7 @@ def race_first_model(
     assumptions: Sequence[Tuple[Atom, bool]] = (),
     configs: Sequence[PortfolioConfig] = DEFAULT_PORTFOLIO,
     workers: Optional[int] = None,
+    share_clauses: bool = True,
 ) -> Tuple[Optional[Model], str]:
     """Race ``configs`` for the first stable model of ``ground_program``.
 
@@ -92,6 +143,12 @@ def race_first_model(
     the *best* configuration's runtime plus process overhead.  A worker
     that errors counts as a loss, not a verdict; if every entry errors a
     :class:`RuntimeError` surfaces with the collected reprs.
+
+    ``share_clauses`` opens a glue-clause channel between the racers
+    (see the module docstring); only the winner's export/import counts
+    reach the metrics registry, since losers are terminated mid-flight.
+    Sharing never changes the verdict — exported clauses are logical
+    consequences of the shared formula.
     """
     lineup = list(configs)
     if workers is not None:
@@ -118,9 +175,18 @@ def race_first_model(
     )
     context = multiprocessing.get_context(method)
     results = context.Queue()
+    share_queues: List = []
+    if share_clauses and len(lineup) > 1:
+        share_queues = [context.Queue() for _ in lineup]
     ship_blob = None if method == "fork" else blob
     processes = []
-    for config in lineup:
+    for position, config in enumerate(lineup):
+        own_queue = share_queues[position] if share_queues else None
+        peer_queues = (
+            share_queues[:position] + share_queues[position + 1 :]
+            if share_queues
+            else []
+        )
         process = context.Process(
             target=_portfolio_worker,
             args=(
@@ -130,6 +196,8 @@ def race_first_model(
                 ship_blob,
                 assumptions,
                 results,
+                own_queue,
+                peer_queues,
             ),
             daemon=True,
         )
@@ -140,7 +208,7 @@ def race_first_model(
     try:
         while True:
             try:
-                name, payload = results.get(timeout=0.05)
+                name, payload, shared = results.get(timeout=0.05)
             except queue_module.Empty:
                 if not any(process.is_alive() for process in processes):
                     if errors:
@@ -165,6 +233,18 @@ def race_first_model(
                 "race wins per portfolio configuration",
                 config=name,
             ).inc()
+            if shared:
+                exported, imported = shared
+                if exported:
+                    registry.counter(
+                        "repro_sat_shared_exported_total",
+                        "glue clauses exported to peers",
+                    ).inc(exported)
+                if imported:
+                    registry.counter(
+                        "repro_sat_shared_imported_total",
+                        "peer clauses imported",
+                    ).inc(imported)
             if payload is None:
                 return None, name
             atoms, cost, shown = payload
@@ -175,6 +255,9 @@ def race_first_model(
                 process.terminate()
         for process in processes:
             process.join(timeout=1.0)
+        for share_queue in share_queues:
+            share_queue.cancel_join_thread()
+            share_queue.close()
         results.close()
 
 

@@ -14,6 +14,27 @@ classic conflict-driven clause-learning solver with:
   each call may carry *assumptions* (fixed first decisions), which makes
   the ASP layer's enumeration, brave/cautious reasoning and
   branch-and-bound optimization cheap;
+* a glucose-style learnt-clause economy: every learnt clause gets an
+  LBD (literal block distance — the number of distinct decision levels
+  among its literals) and an activity bumped when it participates in
+  conflict analysis; a periodic reduce-DB pass at restart boundaries
+  deletes the worst half of the deletable learnts (highest LBD first,
+  lowest activity as tie-break).  Binaries, glue clauses (LBD <= 2),
+  locked clauses (currently a propagation reason) and everything that
+  is not a CDCL learnt — problem clauses, solution-recording blocking
+  clauses, multishot guard clauses — are never deleted, so enumeration
+  and retraction semantics are untouched;
+* conflict-clause minimization: recursive self-subsumption over the
+  implication graph drops learnt literals whose negation is already
+  implied by the rest of the clause, so clauses get shorter before they
+  are watched;
+* clause sharing hooks (:meth:`Solver.set_sharing`): learnt clauses
+  derivable from the problem clauses alone ("shareable" — anything that
+  resolved against a blocking or guard clause is tainted and kept
+  private) with LBD at most ``lbd_share_limit`` are exported through a
+  caller-provided channel, and peer clauses are imported at restart
+  boundaries — the portfolio racers and cube workers build broadcast
+  channels on top of these hooks;
 * a chronological decision interface (:meth:`Solver.push_level` /
   :meth:`Solver.pop_to_level`) that lets a caller drive its own DFS over
   a chosen variable set with plain unit propagation — no conflict
@@ -34,7 +55,8 @@ literal is ``+v`` or ``-v``.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import os
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 
 class SatError(Exception):
@@ -44,6 +66,48 @@ class SatError(Exception):
 TRUE = 1
 FALSE = -1
 UNASSIGNED = 0
+
+#: learnt clauses before the first reduce-DB pass (growing afterwards)
+DEFAULT_REDUCE_BASE = 2000
+#: largest LBD a learnt clause may have and still be exported ("glue")
+DEFAULT_LBD_SHARE_LIMIT = 2
+#: LBD at or below which a learnt clause is never deleted
+GLUE_LBD = 2
+
+_UNSET = object()
+
+
+def resolve_reduce_base(explicit: object = _UNSET) -> Optional[int]:
+    """The effective ``reduce_base``: explicit > env > default.
+
+    ``REPRO_REDUCE_BASE=0`` (or an explicit ``None``) disables the
+    reduce-DB pass entirely; otherwise the value must be >= 1.
+    """
+    if explicit is not _UNSET:
+        if explicit is None:
+            return None
+        value = int(explicit)  # type: ignore[call-overload]
+        if value < 1:
+            raise SatError("reduce_base must be >= 1")
+        return value
+    env = os.environ.get("REPRO_REDUCE_BASE")
+    if env:
+        value = int(env)
+        return None if value == 0 else resolve_reduce_base(value)
+    return DEFAULT_REDUCE_BASE
+
+
+def resolve_lbd_share_limit(explicit: object = _UNSET) -> int:
+    """The effective ``lbd_share_limit``: explicit > env > default."""
+    if explicit is not _UNSET:
+        value = int(explicit)  # type: ignore[call-overload]
+        if value < 0:
+            raise SatError("lbd_share_limit must be >= 0")
+        return value
+    env = os.environ.get("REPRO_LBD_SHARE_LIMIT")
+    if env:
+        return resolve_lbd_share_limit(int(env))
+    return DEFAULT_LBD_SHARE_LIMIT
 
 
 def _luby(i: int) -> int:
@@ -69,13 +133,27 @@ class Solver:
         default_phase: bool = False,
         restart_base: int = 32,
         seed: Optional[int] = None,
+        reduce_base: object = _UNSET,
+        minimize_learnts: bool = True,
+        lbd_share_limit: object = _UNSET,
     ) -> None:
         """``default_phase``, ``restart_base`` and ``seed`` are the
         portfolio heuristics: the initial decision polarity, the Luby
         restart multiplier (conflicts before the first restart), and an
         optional seed for a deterministic activity jitter that perturbs
-        decision tie-breaking.  The defaults reproduce the historical
-        search byte for byte."""
+        decision tie-breaking.
+
+        ``reduce_base`` is the learnt-clause count that triggers the
+        first reduce-DB pass (``None`` disables deletion entirely;
+        default :data:`DEFAULT_REDUCE_BASE`, overridable through
+        ``REPRO_REDUCE_BASE``, where ``0`` means off).
+        ``minimize_learnts`` toggles recursive conflict-clause
+        minimization.  ``lbd_share_limit`` caps the LBD of exported
+        clauses when a share channel is attached via
+        :meth:`set_sharing` (default :data:`DEFAULT_LBD_SHARE_LIMIT`,
+        overridable through ``REPRO_LBD_SHARE_LIMIT``).  The model sets
+        computed are identical whatever the knobs; the search path (and
+        thus the witness order) may differ."""
         from ..observability import NULL_SINK
 
         if restart_base < 1:
@@ -83,14 +161,20 @@ class Solver:
         self._trace = trace if trace is not None else NULL_SINK
         self._default_phase = TRUE if default_phase else FALSE
         self._restart_base = int(restart_base)
+        self._reduce_base = resolve_reduce_base(reduce_base)
+        self._minimize_learnts = bool(minimize_learnts)
+        self._lbd_share_limit = resolve_lbd_share_limit(lbd_share_limit)
         # xorshift-style LCG state; None disables jitter entirely so the
         # default configuration keeps exact activity ties
         self._jitter_state = None if seed is None else (seed or 1) & 0xFFFFFFFF
         self._num_vars = 0
-        self._clauses: List[List[int]] = []
+        #: clause store; reduce-DB tombstones deleted learnts to ``None``
+        #: (indexes are stable: watches and reasons refer to them)
+        self._clauses: List[Optional[List[int]]] = []
         self._watches: Dict[int, List[int]] = {}
-        #: binary clauses as implication lists: literal -> [(implied, clause)]
-        self._binary: Dict[int, List[Tuple[int, int]]] = {}
+        #: binary clauses as implication lists:
+        #: literal -> [(implied, clause, implied_var, implied_sign)]
+        self._binary: Dict[int, List[Tuple[int, int, int, int]]] = {}
         self._assign: List[int] = [UNASSIGNED]  # index 0 unused
         self._level: List[int] = [0]
         self._reason: List[Optional[int]] = [None]  # clause index or None
@@ -112,9 +196,31 @@ class Solver:
         self._last_core: Optional[List[int]] = None
         #: decision-order heap of (-activity, var); entries may be stale
         self._order: List[tuple] = []
-        #: True when pop_to_level() skipped heap maintenance; solve_raw
-        #: rebuilds the heap before its next decision
+        #: True when a lazy backjump skipped heap maintenance; _decide
+        #: rebuilds the heap in one pass before its next pop
         self._order_dirty = False
+        # -- learnt-clause economy -------------------------------------
+        #: clause index -> [lbd, activity] for learnt non-binary clauses
+        #: only; problem, binary, blocking and guard clauses never enter
+        #: this table, so _reduce_learnts() can never delete them
+        self._learnt_meta: Dict[int, List[float]] = {}
+        #: clause indexes whose derivation involves a blocking/guard
+        #: clause — such learnts are not implied by the problem formula
+        #: alone and must never be exported to peer solvers
+        self._tainted: Set[int] = set()
+        self._clause_inc = 1.0
+        self._clause_decay = 0.999
+        #: learnt count that triggers the next reduce-DB pass
+        self._reduce_limit = self._reduce_base or 0
+        self._lbd_sum = 0
+        self._learnt_deleted_total = 0
+        self._shared_exported_total = 0
+        self._shared_imported_total = 0
+        #: sharing hooks installed via set_sharing()
+        self._share_export: Optional[Callable[[List[int], int], None]] = None
+        self._share_import: Optional[
+            Callable[[], Iterable[Tuple[Sequence[int], int]]]
+        ] = None
 
     # ------------------------------------------------------------------
     # problem construction
@@ -138,7 +244,10 @@ class Solver:
             activity = (state % 10007) * 1e-7
         self._activity.append(activity)
         self._phase.append(self._default_phase)
-        heapq.heappush(self._order, (-activity, self._num_vars))
+        if not self._order_dirty:
+            # a dirty heap is rebuilt from scratch before the next
+            # decision anyway — skip the wasted push
+            heapq.heappush(self._order, (-activity, self._num_vars))
         return self._num_vars
 
     @property
@@ -153,6 +262,13 @@ class Solver:
         decisions excluded), ``propagations`` counts literals dequeued
         by unit propagation, ``learnt`` counts learnt nogoods including
         learnt units.  Counters accumulate across ``solve`` calls.
+
+        ``lbd_sum`` is the summed literal-block distance over all learnt
+        clauses — shipped as a sum (not an average) so multishot deltas
+        and cross-worker merges stay exact; presentation layers derive
+        ``lbd_avg = lbd_sum / learnt``.  ``learnt_deleted`` counts
+        reduce-DB victims, ``shared_exported``/``shared_imported`` count
+        clauses that crossed a sharing channel.
         """
         return {
             "choices": self._decisions_total,
@@ -160,6 +276,10 @@ class Solver:
             "propagations": self._propagations_total,
             "restarts": self._restarts_total,
             "learnt": self._learnt_total,
+            "lbd_sum": self._lbd_sum,
+            "learnt_deleted": self._learnt_deleted_total,
+            "shared_exported": self._shared_exported_total,
+            "shared_imported": self._shared_imported_total,
         }
 
     def _ensure_var(self, var: int) -> None:
@@ -171,25 +291,33 @@ class Solver:
 
         Duplicated literals are removed and tautologies are ignored.
         Adding while a model is on the trail is allowed: the solver
-        backtracks to level 0 first.
+        backtracks to level 0 first (lazily — the decision heap is
+        rebuilt in one pass before the next decision instead of paying
+        a ``heappush`` per undone literal).
         """
-        self._backtrack(0)
-        seen = set()
+        if self._trail_lim:
+            self._backtrack_lazy(0)
         clause: List[int] = []
+        assign = self._assign
         for literal in literals:
             if literal == 0:
                 raise SatError("literal 0 is not allowed")
-            self._ensure_var(abs(literal))
-            if -literal in seen:
-                return True  # tautology
-            if literal in seen:
-                continue
-            seen.add(literal)
-            value = self._value(literal)
-            if value == TRUE and self._level[abs(literal)] == 0:
-                return True  # satisfied at top level
-            if value == FALSE and self._level[abs(literal)] == 0:
+            var = literal if literal > 0 else -literal
+            if var >= len(assign):
+                self._ensure_var(var)
+            # we are at decision level 0, so any assignment is top-level
+            value = assign[var]
+            if value != UNASSIGNED:
+                if (value == TRUE) == (literal > 0):
+                    return True  # satisfied at top level
                 continue  # falsified at top level: drop literal
+            # dedup/tautology scans only need the *kept* literals:
+            # dropped duplicates drop again, and a dropped literal's
+            # negation is top-level true, caught by the check above
+            if -literal in clause:
+                return True  # tautology
+            if literal in clause:
+                continue
             clause.append(literal)
         if not clause:
             self._unsat = True
@@ -259,6 +387,9 @@ class Solver:
         clause[1], clause[second] = clause[second], clause[1]
         index = len(self._clauses)
         self._clauses.append(clause)
+        # blocking clauses are not implied by the problem formula:
+        # learnts derived from them must never be exported to peers
+        self._tainted.add(index)
         if len(clause) == 2:
             self._watch_binary(clause, index)
         else:
@@ -291,12 +422,28 @@ class Solver:
 
         Binary clauses skip the two-watched-literal machinery entirely:
         assigning one literal false immediately implies the other, so
-        propagation walks a flat ``(implied, reason)`` list with no
-        clause access and no watch moves.
+        propagation walks a flat list with no clause access and no
+        watch moves.  Entries carry the implied literal's variable and
+        sign precomputed, so the hot loop does one array read and one
+        compare per edge.
         """
         first, second = clause
-        self._binary.setdefault(-first, []).append((second, clause_index))
-        self._binary.setdefault(-second, []).append((first, clause_index))
+        self._binary.setdefault(-first, []).append(
+            (
+                second,
+                clause_index,
+                second if second > 0 else -second,
+                TRUE if second > 0 else FALSE,
+            )
+        )
+        self._binary.setdefault(-second, []).append(
+            (
+                first,
+                clause_index,
+                first if first > 0 else -first,
+                TRUE if first > 0 else FALSE,
+            )
+        )
 
     def fixed_at_top(self, var: int) -> bool:
         """True when ``var`` is permanently assigned at decision level 0."""
@@ -332,26 +479,25 @@ class Solver:
         reason = self._reason
         trail_append = trail.append
         current_level = len(self._trail_lim)
-        propagated = 0
-        while self._queue_head < len(trail):
-            literal = trail[self._queue_head]
-            self._queue_head += 1
-            propagated += 1
+        head = self._queue_head
+        start = head
+        trail_len = len(trail)
+        while head < trail_len:
+            literal = trail[head]
+            head += 1
             implications = binary.get(literal)
             if implications:
-                for implied, clause_index in implications:
-                    if implied > 0:
-                        var, sign = implied, TRUE
-                    else:
-                        var, sign = -implied, FALSE
+                for implied, clause_index, var, sign in implications:
                     value = assign[var]
                     if value == UNASSIGNED:
                         assign[var] = sign
                         level[var] = current_level
                         reason[var] = clause_index
                         trail_append(implied)
+                        trail_len += 1
                     elif value != sign:
-                        self._propagations_total += propagated
+                        self._queue_head = head
+                        self._propagations_total += head - start
                         return clause_index
             watch_list = watches.get(literal)
             if not watch_list:
@@ -379,8 +525,8 @@ class Solver:
                 moved = False
                 for k in range(2, len(clause)):
                     other = clause[k]
-                    value = assign[other] if other > 0 else -assign[-other]
-                    if value != FALSE:
+                    other_value = assign[other] if other > 0 else -assign[-other]
+                    if other_value != FALSE:
                         clause[1], clause[k] = other, clause[1]
                         watch = watches.get(-other)
                         if watch is None:
@@ -393,7 +539,20 @@ class Solver:
                     continue
                 watch_list[write] = clause_index
                 write += 1
-                if not self._enqueue(first, clause_index):
+                # unit or conflicting: `value` still holds first's truth
+                # (no assignment happened since it was read)
+                if value == UNASSIGNED:
+                    if first > 0:
+                        var = first
+                        assign[var] = TRUE
+                    else:
+                        var = -first
+                        assign[var] = FALSE
+                    level[var] = current_level
+                    reason[var] = clause_index
+                    trail_append(first)
+                    trail_len += 1
+                else:
                     conflict = clause_index
                     break
             if conflict is not None:
@@ -403,10 +562,12 @@ class Solver:
                     write += 1
                     read += 1
                 del watch_list[write:]
-                self._propagations_total += propagated
+                self._queue_head = head
+                self._propagations_total += head - start
                 return conflict
             del watch_list[write:]
-        self._propagations_total += propagated
+        self._queue_head = head
+        self._propagations_total += head - start
         return None
 
     def _backtrack(self, level: int) -> None:
@@ -525,6 +686,11 @@ class Solver:
         self._queue_head = len(self._trail)
         self._order_dirty = True
 
+    #: lazy backjump used on the internal restart/add-clause paths —
+    #: identical to :meth:`pop_to_level`; :meth:`_decide` rebuilds the
+    #: heap once instead of a heappush per undone literal
+    _backtrack_lazy = pop_to_level
+
     def _rebuild_order(self) -> None:
         """Rebuild the decision heap after a pop_to_level() sequence."""
         self._order = [
@@ -550,16 +716,40 @@ class Solver:
                 if self._assign[v] == UNASSIGNED
             ]
             heapq.heapify(self._order)
+            self._order_dirty = False
             return
         if self._assign[var] == UNASSIGNED:
             heapq.heappush(self._order, (-self._activity[var], var))
 
-    def _analyze(self, conflict_index: int) -> (List[int], int):
-        """First-UIP analysis; returns (learnt clause, backjump level)."""
+    def _bump_clause(self, index: int) -> None:
+        """Bump the activity of a tracked learnt clause."""
+        meta = self._learnt_meta.get(index)
+        if meta is not None:
+            meta[1] += self._clause_inc
+            if meta[1] > 1e20:
+                for entry in self._learnt_meta.values():
+                    entry[1] *= 1e-20
+                self._clause_inc *= 1e-20
+
+    def _analyze(self, conflict_index: int) -> Tuple[List[int], int, int, bool]:
+        """First-UIP analysis.
+
+        Returns ``(learnt clause, backjump level, lbd, shareable)``.
+        ``lbd`` is the literal block distance (count of distinct
+        decision levels among the learnt literals); ``shareable`` is
+        False when any clause walked during the derivation — conflict,
+        reason, or a minimization redundancy proof — was tainted (i.e.
+        a blocking/guard clause or a learnt descended from one), in
+        which case the clause is not implied by the problem formula and
+        must not be exported to peer solvers.
+        """
         learnt: List[int] = [0]  # slot 0 reserved for the asserting literal
         seen = [False] * (self._num_vars + 1)
         counter = 0
         literal = 0
+        tainted = self._tainted
+        shareable = conflict_index not in tainted
+        self._bump_clause(conflict_index)
         clause = self._clauses[conflict_index]
         index = len(self._trail) - 1
         current_level = len(self._trail_lim)
@@ -591,25 +781,228 @@ class Solver:
                 break
             reason = self._reason[var]
             assert reason is not None
+            if reason in tainted:
+                shareable = False
+            self._bump_clause(reason)
             clause = self._clauses[reason]
         learnt[0] = literal
         if len(learnt) == 1:
-            return learnt, 0
+            return learnt, 0, 1, shareable
+        if len(learnt) > 2 and self._minimize_learnts:
+            # a 2-literal learnt can never shrink (its non-asserting
+            # literal would need every antecedent at level 0, which
+            # propagation would already have applied)
+            learnt, used_tainted = self._minimize_learnt(learnt)
+            if used_tainted:
+                shareable = False
+        level = self._level
+        if len(learnt) == 1:
+            return learnt, 0, 1, shareable
         # backjump to the second-highest level in the clause
         max_index = 1
-        max_level = self._level[abs(learnt[1])]
+        max_level = level[abs(learnt[1])]
         for k in range(2, len(learnt)):
-            lvl = self._level[abs(learnt[k])]
+            lvl = level[abs(learnt[k])]
             if lvl > max_level:
                 max_level = lvl
                 max_index = k
         learnt[1], learnt[max_index] = learnt[max_index], learnt[1]
-        return learnt, max_level
+        lbd = len({level[lit if lit > 0 else -lit] for lit in learnt})
+        return learnt, max_level, lbd, shareable
+
+    def _minimize_learnt(self, learnt: List[int]) -> Tuple[List[int], bool]:
+        """Recursive conflict-clause minimization (self-subsumption).
+
+        A non-asserting literal is redundant — droppable — when every
+        antecedent in its reason clause is at level 0, already a clause
+        member, or recursively redundant itself, i.e. the remaining
+        literals self-subsume it over the implication graph.  Returns
+        the (possibly shorter) clause, keeping the asserting literal in
+        slot 0, plus a flag telling whether any tainted reason clause
+        took part in a redundancy proof.
+        """
+        members = {lit if lit > 0 else -lit for lit in learnt}
+        cache: Dict[int, bool] = {}
+        touched_tainted = [False]
+        kept = [learnt[0]]
+        reason = self._reason
+        for literal in learnt[1:]:
+            var = literal if literal > 0 else -literal
+            if reason[var] is None or not self._redundant(
+                var, members, cache, touched_tainted
+            ):
+                kept.append(literal)
+        return kept, touched_tainted[0]
+
+    def _redundant(
+        self,
+        root: int,
+        members: Set[int],
+        cache: Dict[int, bool],
+        touched_tainted: List[bool],
+    ) -> bool:
+        """Iterative DFS deciding whether ``root`` is implied by the
+        other clause members (plus level-0 facts) over the reason graph.
+
+        ``cache`` memoizes verdicts across the literals of one learnt
+        clause; on failure every open frame is conservatively marked
+        non-redundant.  The implication graph is acyclic (antecedents
+        sit strictly earlier on the trail), so no cycle check is
+        needed.
+        """
+        known = cache.get(root)
+        if known is not None:
+            return known
+        level = self._level
+        reason = self._reason
+        clauses = self._clauses
+        tainted = self._tainted
+        if reason[root] in tainted:
+            touched_tainted[0] = True
+        stack: List[Tuple[int, Iterable[int]]] = [
+            (root, iter(clauses[reason[root]]))
+        ]
+        frame_vars = [root]
+        while stack:
+            var, antecedents = stack[-1]
+            advanced = False
+            for other in antecedents:
+                o_var = other if other > 0 else -other
+                if o_var == var or level[o_var] == 0 or o_var in members:
+                    continue
+                known = cache.get(o_var)
+                if known is True:
+                    continue
+                o_reason = reason[o_var]
+                if known is False or o_reason is None:
+                    # a decision (or a proven-irredundant literal)
+                    # outside the clause: every open frame fails
+                    for failed in frame_vars:
+                        cache[failed] = False
+                    return False
+                if o_reason in tainted:
+                    touched_tainted[0] = True
+                stack.append((o_var, iter(clauses[o_reason])))
+                frame_vars.append(o_var)
+                advanced = True
+                break
+            if not advanced:
+                stack.pop()
+                frame_vars.pop()
+                cache[var] = True
+        return True
+
+    # ------------------------------------------------------------------
+    # learnt-clause economy (reduce-DB) and clause sharing
+    # ------------------------------------------------------------------
+    def _reduce_learnts(self) -> None:
+        """Delete the worst half of the tracked learnt clauses.
+
+        Only clauses registered in ``_learnt_meta`` are candidates:
+        problem clauses, binaries, blocking and guard clauses never
+        enter the table, so enumeration and multishot retraction state
+        is untouched.  Glue clauses (LBD <= :data:`GLUE_LBD`) and
+        clauses currently acting as the reason of a trail literal are
+        protected.  Victims are sorted worst-first by (highest LBD,
+        lowest activity) and tombstoned in place — watches and reasons
+        hold stable indexes, so the store is never compacted.
+        """
+        reason = self._reason
+        locked = set()
+        for literal in self._trail:
+            locked.add(reason[literal if literal > 0 else -literal])
+        candidates = [
+            (meta[0], meta[1], index)
+            for index, meta in self._learnt_meta.items()
+            if meta[0] > GLUE_LBD and index not in locked
+        ]
+        if candidates:
+            candidates.sort(key=lambda item: (-item[0], item[1], item[2]))
+            watches = self._watches
+            clauses = self._clauses
+            victims = candidates[: (len(candidates) + 1) // 2]
+            for _, _, index in victims:
+                clause = clauses[index]
+                watches[-clause[0]].remove(index)
+                watches[-clause[1]].remove(index)
+                clauses[index] = None
+                del self._learnt_meta[index]
+                self._tainted.discard(index)
+            self._learnt_deleted_total += len(victims)
+            self._trace.emit(
+                "sat.reduce",
+                deleted=len(victims),
+                kept=len(self._learnt_meta),
+            )
+        self._reduce_limit += max(1, (self._reduce_base or 0) // 2)
+
+    def set_sharing(
+        self,
+        export: Optional[Callable[[List[int], int], None]] = None,
+        import_poll: Optional[
+            Callable[[], Iterable[Tuple[Sequence[int], int]]]
+        ] = None,
+    ) -> None:
+        """Install clause-sharing hooks (either may be ``None``).
+
+        ``export(clause, lbd)`` is invoked for every *shareable* learnt
+        clause whose LBD is at most the configured ``lbd_share_limit``.
+        Shareable means the derivation never touched a blocking/guard
+        clause, so the exported clause is implied by the problem
+        formula and adding it to any peer solving the same formula
+        (same variable numbering) cannot change that peer's model set.
+
+        ``import_poll()`` is drained at ``restart=True`` solve entry
+        and at Luby restart boundaries — both at decision level 0, so
+        imports never disturb an in-progress enumeration trail.  It
+        must yield ``(clause, lbd)`` pairs as produced by a peer's
+        export hook.
+        """
+        self._share_export = export
+        self._share_import = import_poll
+
+    def import_clause(
+        self, literals: Sequence[int], lbd: Optional[int] = None
+    ) -> bool:
+        """Add a clause learnt by a peer; ``False`` if now UNSAT.
+
+        The clause must be implied by the problem formula (peers only
+        export such clauses), so importing never changes the model
+        set.  Imported clauses join the learnt economy under the given
+        LBD, letting reduce-DB drop them again if they turn out
+        useless.
+        """
+        before = len(self._clauses)
+        ok = self.add_clause(literals)
+        self._shared_imported_total += 1
+        if ok and len(self._clauses) > before:
+            index = len(self._clauses) - 1
+            clause = self._clauses[index]
+            if clause is not None and len(clause) > 2:
+                self._learnt_meta[index] = [
+                    int(lbd) if lbd is not None else len(clause),
+                    self._clause_inc,
+                ]
+        return ok
+
+    def _import_shared(self) -> bool:
+        """Drain the import hook; ``False`` when the formula became UNSAT
+        (genuinely so: imported clauses are implied, so a conflict here
+        is a conflict of the formula itself)."""
+        poll = self._share_import
+        if poll is None:
+            return True
+        for clause, lbd in poll():
+            if not self.import_clause(clause, lbd):
+                return False
+        return True
 
     # ------------------------------------------------------------------
     # decision heuristic
     # ------------------------------------------------------------------
     def _decide(self) -> int:
+        if self._order_dirty:
+            self._rebuild_order()
         while self._order:
             negated_activity, var = heapq.heappop(self._order)
             if self._assign[var] != UNASSIGNED:
@@ -662,11 +1055,12 @@ class Solver:
         if self._unsat:
             self._last_core = []
             return None
-        if self._order_dirty:
-            self._rebuild_order()
         assumption_list = list(assumptions)
         if restart:
-            self._backtrack(0)
+            self._backtrack_lazy(0)
+            if not self._import_shared():
+                self._last_core = []
+                return None
             conflict = self._propagate()
             if conflict is not None:
                 self._unsat = True
@@ -692,10 +1086,11 @@ class Solver:
                         self._clauses[conflict]
                     )
                     return None
-                learnt, back_level = self._analyze(conflict)
+                learnt, back_level, lbd, shareable = self._analyze(conflict)
                 back_level = max(back_level, 0)
                 self._backtrack(back_level)
                 self._learnt_total += 1
+                self._lbd_sum += lbd
                 if len(learnt) == 1:
                     if not self._enqueue(learnt[0], None):
                         self._unsat = True
@@ -709,14 +1104,34 @@ class Solver:
                     else:
                         self._watch(learnt[0], index)
                         self._watch(learnt[1], index)
+                        self._learnt_meta[index] = [lbd, self._clause_inc]
+                    if not shareable:
+                        self._tainted.add(index)
                     self._enqueue(learnt[0], index)
+                if (
+                    shareable
+                    and self._share_export is not None
+                    and lbd <= self._lbd_share_limit
+                ):
+                    self._shared_exported_total += 1
+                    # copy: the live clause list is mutated by watch swaps
+                    self._share_export(list(learnt), lbd)
                 self._activity_inc /= self._activity_decay
+                self._clause_inc /= self._clause_decay
                 if conflicts_since_restart >= restart_limit:
                     restarts += 1
                     self._restarts_total += 1
                     conflicts_since_restart = 0
                     restart_limit = self._restart_base * _luby(restarts + 1)
-                    self._backtrack(0)
+                    self._backtrack_lazy(0)
+                    if (
+                        self._reduce_base is not None
+                        and len(self._learnt_meta) >= self._reduce_limit
+                    ):
+                        self._reduce_learnts()
+                    if not self._import_shared():
+                        self._last_core = []
+                        return None
                     self._trace.emit(
                         "sat.restart",
                         number=self._restarts_total,
@@ -739,6 +1154,10 @@ class Solver:
                 if value == UNASSIGNED:
                     self._enqueue(literal, None)
                 continue
+            if len(self._trail) == self._num_vars:
+                # total assignment: O(1) probe saves draining the
+                # decision heap of stale (already-assigned) entries
+                return self._assign
             literal = self._decide()
             if literal == 0:
                 return self._assign

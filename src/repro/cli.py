@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -130,8 +131,26 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 def _start_solving_command(args: argparse.Namespace) -> Optional[cProfile.Profile]:
     """Shared prologue of ``analyze``/``assess``: a clean metrics slate
-    for this run, and an optional profiler around the solve."""
+    for this run, learnt-clause-economy knobs exported where every
+    solver construction (including pool workers) reads them, and an
+    optional profiler around the solve."""
     get_registry().reset()
+    # the SAT economy knobs travel as environment variables so spawned
+    # worker processes inherit them; validation happens here, once, with
+    # the CLI's error reporting instead of a deep solver traceback
+    from .asp.sat import SatError, resolve_lbd_share_limit, resolve_reduce_base
+
+    try:
+        if getattr(args, "reduce_base", None) is not None:
+            # 0 mirrors REPRO_REDUCE_BASE=0: reduce-DB off
+            resolve_reduce_base(args.reduce_base or None)
+            os.environ["REPRO_REDUCE_BASE"] = str(args.reduce_base)
+        if getattr(args, "lbd_share_limit", None) is not None:
+            resolve_lbd_share_limit(args.lbd_share_limit)
+            os.environ["REPRO_LBD_SHARE_LIMIT"] = str(args.lbd_share_limit)
+    except SatError as error:
+        print(str(error), file=sys.stderr)
+        raise SystemExit(2)
     if not getattr(args, "profile", None):
         return None
     profiler = cProfile.Profile()
@@ -165,6 +184,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 parallel_mode=getattr(args, "parallel_mode", "auto"),
                 cube_factor=getattr(args, "cube_factor", None),
+                share_clauses=getattr(args, "share_clauses", True),
             )
             if args.stream or args.checkpoint:
                 aggregate = engine.aggregate(
@@ -359,6 +379,7 @@ def _cmd_assess(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 parallel_mode=getattr(args, "parallel_mode", "auto"),
                 cube_factor=getattr(args, "cube_factor", None),
+                share_clauses=getattr(args, "share_clauses", True),
             )
             result = pipeline.run(model, refined_model=refined)
             print(assessment_report(result))
@@ -436,6 +457,32 @@ def build_parser() -> argparse.ArgumentParser:
         "cubes and races single-answer queries over a solver portfolio, "
         "'cube' only shards enumerations, 'portfolio' only races "
         "single-answer queries (see docs/parallelism.md)",
+    )
+    observability.add_argument(
+        "--reduce-base",
+        type=int,
+        default=None,
+        metavar="N",
+        help="learnt clauses kept before a reduce-DB pass deletes the "
+        "worst half (default 2000, or env REPRO_REDUCE_BASE; 0 = never "
+        "delete; see docs/performance.md)",
+    )
+    observability.add_argument(
+        "--lbd-share-limit",
+        type=int,
+        default=None,
+        metavar="L",
+        help="share learnt clauses with LBD <= L between parallel "
+        "solvers (default 2, or env REPRO_LBD_SHARE_LIMIT; 0 shares "
+        "nothing; see docs/parallelism.md)",
+    )
+    observability.add_argument(
+        "--no-share-clauses",
+        dest="share_clauses",
+        action="store_false",
+        default=True,
+        help="disable glue-clause exchange between parallel solvers "
+        "(identical results either way; sharing only changes latency)",
     )
 
     subparsers.add_parser("matrix", help="print the O-RA risk matrix (Table I)")

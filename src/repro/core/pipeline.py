@@ -129,6 +129,7 @@ class AssessmentPipeline:
         workers: Optional[int] = None,
         parallel_mode: str = "auto",
         cube_factor: Optional[int] = None,
+        share_clauses: bool = True,
     ):
         """``workers`` fans the hazard-identification sweeps (phase 4/5)
         out over a process pool and the CEGAR oracle classification over
@@ -136,7 +137,9 @@ class AssessmentPipeline:
         ``parallel_mode`` and ``cube_factor`` are forwarded to the EPA
         engines (see :class:`~repro.epa.EpaEngine`): ``auto`` /
         ``cube`` / ``portfolio``, and the cube oversubscription
-        factor."""
+        factor — as is ``share_clauses``, which lets parallel solves
+        exchange glue learnt clauses (latency only, never the
+        verdict)."""
         self.requirements = tuple(requirements)
         self.catalog = catalog
         self.max_faults = max_faults
@@ -146,6 +149,7 @@ class AssessmentPipeline:
         self.workers = workers
         self.parallel_mode = parallel_mode
         self.cube_factor = cube_factor
+        self.share_clauses = share_clauses
 
     def run(
         self,
@@ -218,6 +222,7 @@ class AssessmentPipeline:
                     workers=self.workers,
                     parallel_mode=self.parallel_mode,
                     cube_factor=self.cube_factor,
+                    share_clauses=self.share_clauses,
                 )
                 phases.append(
                     PhaseRecord(
@@ -265,6 +270,7 @@ class AssessmentPipeline:
                         workers=self.workers,
                         parallel_mode=self.parallel_mode,
                         cube_factor=self.cube_factor,
+                        share_clauses=self.share_clauses,
                     )
                     detailed = refined_engine.analyze(
                         active_mitigations=active_mitigations,

@@ -56,7 +56,13 @@ from ..asp.serialize import publish, shared_program
 from ..asp.solver import ProjectionIncomplete, StableModelSolver
 from ..asp.syntax import Atom, Program
 from ..asp.terms import Number, Symbol
-from ..observability import MemoryTraceSink, NULL_SINK, SolveStats, Tracer
+from ..observability import (
+    MemoryTraceSink,
+    NULL_SINK,
+    SolveStats,
+    Tracer,
+    finalize_solver_stats,
+)
 from ..observability.metrics import get_registry, record_peak_rss
 from ..modeling.model import SystemModel
 from ..modeling.to_asp import to_asp_program
@@ -118,6 +124,7 @@ class EpaEngine:
         workers: Optional[int] = None,
         parallel_mode: str = "auto",
         cube_factor: Optional[int] = None,
+        share_clauses: bool = True,
     ):
         """``fault_mitigations`` maps fault-mode name -> mitigation ids
         (the paper's ``mitigation(F, M)``); ``component_mitigations``
@@ -133,7 +140,11 @@ class EpaEngine:
         ``"portfolio"`` only races single-answer queries (enumerations
         stay sequential).  ``cube_factor`` overrides the cube
         oversubscription factor (default: ``REPRO_CUBE_FACTOR`` or 4;
-        see :func:`repro.asp.cubes.resolve_cube_factor`)."""
+        see :func:`repro.asp.cubes.resolve_cube_factor`).
+        ``share_clauses`` lets parallel solves exchange glue learnt
+        clauses — portfolio racers over a queue channel, cube workers
+        as dispatch-time warm starts (see ``docs/parallelism.md``);
+        sharing changes latency only, never any verdict or report."""
         names = [r.name for r in requirements]
         if len(set(names)) != len(names):
             raise EpaError("duplicate requirement names")
@@ -160,6 +171,7 @@ class EpaEngine:
             )
         self._parallel_mode = parallel_mode
         self._cube_factor = cube_factor
+        self._share_clauses = share_clauses
         self._base_program: Optional[Program] = None
         self._controls: Dict[int, Control] = {}
         # separate multi-shot controls for unsat-core queries: they
@@ -180,7 +192,45 @@ class EpaEngine:
             merged.merge(control.statistics)
         for control in self._core_controls.values():
             merged.merge(control.statistics)
+        # lbd_avg is a derived quotient, not a summable counter: the
+        # merges above summed lbd_sum/learnt exactly, so recompute the
+        # average over the merged totals
+        solvers = merged.get_path("solving.solvers")
+        if isinstance(solvers, SolveStats):
+            finalize_solver_stats(solvers)
         return merged
+
+    def _glue_channel(self):
+        """Parent-side half of the cube glue channel.
+
+        Returns ``(collect, decorate)``: ``collect`` folds worker-
+        exported glue clauses into a deduplicated pool (clauses are
+        sets of literals, so dedup is by frozenset), and ``decorate``
+        is a :meth:`~repro.parallel.WorkStealingPool.map` dispatch-time
+        hook injecting the pool into a cube payload just before it is
+        handed to a worker — later cubes start warm with everything
+        earlier cubes learnt.  ``(None, None)`` when sharing is off.
+        """
+        if not self._share_clauses:
+            return None, None
+        seen: Set[frozenset] = set()
+        glue: List[List[int]] = []
+
+        def collect(clauses) -> None:
+            for clause in clauses:
+                key = frozenset(clause)
+                if key not in seen:
+                    seen.add(key)
+                    glue.append(list(clause))
+
+        def decorate(_position: int, item: Dict[str, object]):
+            if not glue:
+                return item
+            item = dict(item)
+            item["shared_clauses"] = [list(clause) for clause in glue]
+            return item
+
+        return collect, decorate
 
     # ------------------------------------------------------------------
     # program assembly
@@ -543,11 +593,23 @@ class EpaEngine:
                 "cube": cube,
                 "index": index,
                 "traced": traced,
+                "share_clauses": self._share_clauses,
             }
             for index, cube in enumerate(cubes)
         ]
+        collect_glue, decorate = self._glue_channel()
+
+        def on_glue(_position: int, value) -> None:
+            if value and value[0] == "glue":
+                collect_glue(value[1])
+
         try:
-            shards = pool.map(_cube_worker, payloads)
+            shards = pool.map(
+                _cube_worker,
+                payloads,
+                on_partial=on_glue if collect_glue is not None else None,
+                decorate=decorate,
+            )
         except ParallelError as error:
             raise EpaError(
                 "parallel EPA analysis failed: %s" % error
@@ -856,9 +918,11 @@ class EpaEngine:
                 "magnitudes": magnitudes,
                 "max_minimal_sets": max_minimal_sets,
                 "subprocess": subprocess_mode,
+                "share_clauses": self._share_clauses,
             }
             for cube_id in pending
         ]
+        collect_glue, decorate = self._glue_channel()
 
         parts: Dict[int, ScenarioAggregate] = {}
         buffers: Dict[int, ScenarioAggregate] = {}
@@ -890,6 +954,11 @@ class EpaEngine:
                 # the worker fell back to the reference enumeration and
                 # will re-stream the whole cube
                 buffers.pop(cube_id, None)
+            elif kind == "glue":
+                # shared learnt clauses, not cube results: fold into the
+                # warm-start pool for cubes still waiting to dispatch
+                if collect_glue is not None:
+                    collect_glue(value[1])
             elif kind == "agg":
                 part = ScenarioAggregate.loads(value[1])
                 held = buffers.get(cube_id)
@@ -928,6 +997,7 @@ class EpaEngine:
                 on_partial=on_partial,
                 on_retry=on_retry,
                 on_result=on_result,
+                decorate=decorate,
             )
         except ParallelError as error:
             raise EpaError(
@@ -998,7 +1068,9 @@ class EpaEngine:
                 and self._parallel_mode in ("auto", "portfolio")
                 else None
             )
-            first = control.first_model(workers=race_workers)
+            first = control.first_model(
+                workers=race_workers, share_clauses=self._share_clauses
+            )
             models = [first] if first is not None else []
             self._fold_statistics(control, scenarios=len(models))
         if not models:
@@ -1376,6 +1448,46 @@ def _cube_context(
     return context
 
 
+def _fallback_reference(
+    payload: Mapping[str, object], glue_out: List[List[int]]
+) -> StableModelSolver:
+    """A fresh CDCL solver for a cube's fallback enumeration, wired
+    into the glue channel.
+
+    With ``share_clauses`` on, the solver (a) imports the glue clauses
+    earlier cubes exported (injected into the payload at dispatch time
+    by the parent's decorate hook — all formula-implied, so the cube's
+    model set is untouched) and (b) exports its own glue learnts into
+    ``glue_out``, which the worker ships as a ``("glue", ...)`` partial
+    after enumerating.  Clauses derived from enumeration-blocking
+    constraints are tainted inside the SAT core and never exported.
+    """
+    reference = StableModelSolver(shared_program(payload["digest"]))
+    if payload.get("share_clauses"):
+        reference.set_clause_sharing(
+            export=lambda clause, lbd: glue_out.append(list(clause))
+        )
+        imported = payload.get("shared_clauses")
+        if imported:
+            reference.import_clauses(imported)
+    return reference
+
+
+def _economy_counters(solver: StableModelSolver) -> Dict[str, int]:
+    """The learnt-clause-economy counters a cube envelope ships home."""
+    counters = solver.statistics["solvers"]
+    return {
+        key: counters[key]
+        for key in (
+            "learnt",
+            "lbd_sum",
+            "learnt_deleted",
+            "shared_exported",
+            "shared_imported",
+        )
+    }
+
+
 def _cube_worker(
     payload: Dict[str, object]
 ) -> Tuple[
@@ -1410,6 +1522,8 @@ def _cube_worker(
     def on_model(assignment: Sequence[int]) -> None:
         outcomes.append(_probe_extract(assignment, probes))
 
+    glue: List[List[int]] = []
+    stats = {"solving": {"models": 0}}
     try:
         solver.project_models(project, on_model, assumptions=cube)
     except ProjectionIncomplete:
@@ -1417,9 +1531,12 @@ def _cube_worker(
         fallback = True
         outcomes = []
         requirement_names = payload["requirement_names"]
-        reference = StableModelSolver(shared_program(payload["digest"]))
+        reference = _fallback_reference(payload, glue)
         for model in reference.models(assumptions=cube, project=project):
             outcomes.append(_model_extract(model, requirement_names))
+        stats["solving"]["solvers"] = _economy_counters(reference)
+        if glue:
+            emit_partial(("glue", glue))
     elapsed = time.perf_counter() - start
     events: List[Tuple[str, float, Dict[str, object]]] = []
     if payload.get("traced"):
@@ -1436,7 +1553,7 @@ def _cube_worker(
                 },
             )
         )
-    stats = {"solving": {"models": len(outcomes)}}
+    stats["solving"]["models"] = len(outcomes)
     return outcomes, stats, events, registry.to_dict()
 
 
@@ -1541,6 +1658,8 @@ def _stream_cube_worker(
     def on_model(assignment: Sequence[int]) -> None:
         fold(_probe_extract(assignment, probes))
 
+    glue: List[List[int]] = []
+    economy: Optional[Dict[str, int]] = None
     try:
         solver.project_models(project, on_model, assumptions=cube)
     except ProjectionIncomplete:
@@ -1553,9 +1672,12 @@ def _stream_cube_worker(
         held[0] = 0
         del batch[:]
         requirement_names = payload["requirement_names"]
-        reference = StableModelSolver(shared_program(payload["digest"]))
+        reference = _fallback_reference(payload, glue)
         for model in reference.models(assumptions=cube, project=project):
             fold(_model_extract(model, requirement_names))
+        economy = _economy_counters(reference)
+        if glue:
+            emit_partial(("glue", glue))
     flush()
     elapsed = time.perf_counter() - start
     events: List[Tuple[str, float, Dict[str, object]]] = []
@@ -1574,7 +1696,9 @@ def _stream_cube_worker(
                 },
             )
         )
-    stats = {"solving": {"models": count}}
+    stats: Dict[str, object] = {"solving": {"models": count}}
+    if economy is not None:
+        stats["solving"]["solvers"] = economy
     metrics = registry.to_dict() if payload.get("subprocess") else {}
     return None, stats, events, metrics
 

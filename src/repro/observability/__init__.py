@@ -50,7 +50,12 @@ from .metrics import (
     get_registry,
 )
 from .spans import NOOP_SPAN, Span, Tracer, current_span
-from .stats import SolveStats, StatsError, format_statistics
+from .stats import (
+    SolveStats,
+    StatsError,
+    finalize_solver_stats,
+    format_statistics,
+)
 from .timing import Counter, Timer
 from .trace import (
     NULL_SINK,
@@ -86,6 +91,7 @@ __all__ = [
     "Tracer",
     "Timer",
     "current_span",
+    "finalize_solver_stats",
     "format_statistics",
     "get_registry",
     "git_revision",

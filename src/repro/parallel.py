@@ -283,6 +283,7 @@ class WorkStealingPool:
         on_partial: Optional[Callable[[int, object], None]] = None,
         on_retry: Optional[Callable[[int], None]] = None,
         on_result: Optional[Callable[[int, object], None]] = None,
+        decorate: Optional[Callable[[int, _Item], _Item]] = None,
     ) -> List[_Result]:
         """Evaluate ``function`` over ``items``; results in input order.
 
@@ -297,6 +298,16 @@ class WorkStealingPool:
         re-queued (discard that task's partials); ``on_result`` fires on
         task completion, before the pool moves on.  All three run in the
         parent process, on the thread driving :meth:`map`.
+
+        ``decorate(task_index, item)`` rewrites an item *at dispatch
+        time* — the moment it is handed to a worker, not when the batch
+        was built — and its return value is what the worker receives.
+        This is the late-binding hook behind warm-started cube solves:
+        knowledge accumulated from already-finished tasks (e.g. shared
+        glue clauses) is injected into tasks still waiting in the
+        pending deque.  It runs in the parent, is applied again on every
+        retry dispatch (so a re-queued task sees the freshest state),
+        and must not mutate the original item in place.
         """
         global _INPROCESS_PARTIAL
         batch = list(items)
@@ -304,6 +315,8 @@ class WorkStealingPool:
             self.last_assignments = {index: 0 for index in range(len(batch))}
             collected = []
             for index, item in enumerate(batch):
+                if decorate is not None:
+                    item = decorate(index, item)
                 if on_partial is not None:
                     _INPROCESS_PARTIAL = (on_partial, index)
                 try:
@@ -322,6 +335,7 @@ class WorkStealingPool:
             on_partial=on_partial,
             on_retry=on_retry,
             on_result=on_result,
+            decorate=decorate,
         )
         self.last_assignments = assignments
         return results
@@ -335,6 +349,7 @@ def _run_pool(
     on_partial=None,
     on_retry=None,
     on_result=None,
+    decorate=None,
 ):
     registry = get_registry()
     cubes_total = registry.counter(
@@ -393,8 +408,11 @@ def _run_pool(
         pending.remove(task_index)
         attempts[task_index] += 1
         in_flight[worker_index] = task_index
+        item = batch[task_index]
+        if decorate is not None:
+            item = decorate(task_index, item)
         task_queues[worker_index].put(
-            (task_index, attempts[task_index], batch[task_index])
+            (task_index, attempts[task_index], item)
         )
 
     def shutdown():

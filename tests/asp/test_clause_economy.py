@@ -1,0 +1,296 @@
+"""Tests for the learnt-clause economy: LBD-based reduce-DB, conflict
+minimization, and glue-clause sharing.
+
+The economy's whole contract is "same answers, fewer clauses": deleting
+high-LBD learnts, shrinking conflict clauses and importing a peer's glue
+may only ever change how fast the search runs, never what it returns.
+These tests pin that contract — enumeration stays complete and
+byte-identical with the economy on or off, blocking clauses survive
+every reduce pass, imported clauses never flip a verdict — plus the
+knob validation and the new statistics counters.
+"""
+
+import pytest
+
+from repro.asp import Control
+from repro.asp.sat import (
+    DEFAULT_LBD_SHARE_LIMIT,
+    DEFAULT_REDUCE_BASE,
+    SatError,
+    Solver,
+    resolve_lbd_share_limit,
+    resolve_reduce_base,
+)
+from repro.asp.solver import StableModelSolver
+from repro.observability import finalize_solver_stats, format_statistics
+
+#: ASP program with enough conflict structure to learn clauses
+PROGRAM = """
+{ p(1..7) } 4.
+q :- p(1), p(2).
+r :- p(3), p(4).
+:- q, r.
+:- p(5), p(6), p(7).
+"""
+
+#: heuristics that force the economy to run hard: restart after every
+#: conflict, reduce the learnt DB as soon as it holds a single clause
+AGGRESSIVE = {"reduce_base": 1, "restart_base": 1}
+
+#: heuristics that switch the economy off entirely
+ECONOMY_OFF = {"reduce_base": None, "minimize_learnts": False}
+
+
+def pigeonhole(solver, pigeons, holes):
+    """Encode pigeons-into-holes; UNSAT when pigeons > holes."""
+    grid = [
+        [solver.new_var() for _ in range(holes)] for _ in range(pigeons)
+    ]
+    for p in range(pigeons):
+        solver.add_clause(grid[p])
+        for h in range(holes):
+            for q in range(p + 1, pigeons):
+                solver.add_clause([-grid[p][h], -grid[q][h]])
+    return grid
+
+
+class TestKnobValidation:
+    def test_reduce_base_zero_rejected(self):
+        with pytest.raises(SatError, match="reduce_base must be >= 1"):
+            Solver(reduce_base=0)
+
+    def test_reduce_base_negative_rejected(self):
+        with pytest.raises(SatError, match="reduce_base must be >= 1"):
+            Solver(reduce_base=-5)
+
+    def test_reduce_base_none_disables(self):
+        assert Solver(reduce_base=None)._reduce_base is None
+
+    def test_lbd_share_limit_negative_rejected(self):
+        with pytest.raises(SatError, match="lbd_share_limit must be >= 0"):
+            Solver(lbd_share_limit=-1)
+
+    def test_env_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REDUCE_BASE", raising=False)
+        monkeypatch.delenv("REPRO_LBD_SHARE_LIMIT", raising=False)
+        assert resolve_reduce_base() == DEFAULT_REDUCE_BASE
+        assert resolve_lbd_share_limit() == DEFAULT_LBD_SHARE_LIMIT
+
+    def test_env_zero_disables_reduce(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REDUCE_BASE", "0")
+        assert resolve_reduce_base() is None
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REDUCE_BASE", "123")
+        monkeypatch.setenv("REPRO_LBD_SHARE_LIMIT", "5")
+        assert resolve_reduce_base() == 123
+        assert resolve_lbd_share_limit() == 5
+
+
+class TestReduceDb:
+    def test_reduce_actually_deletes(self):
+        solver = Solver(reduce_base=1, restart_base=1)
+        pigeonhole(solver, 5, 4)
+        assert solver.solve() is None
+        stats = solver.statistics
+        assert stats["learnt_deleted"] > 0
+        assert stats["learnt"] > 0
+
+    def test_verdicts_unchanged_by_economy(self):
+        for pigeons, holes, expect_sat in ((4, 4, True), (5, 4, False)):
+            on = Solver(**AGGRESSIVE)
+            off = Solver(**ECONOMY_OFF)
+            pigeonhole(on, pigeons, holes)
+            pigeonhole(off, pigeons, holes)
+            assert (on.solve() is not None) is expect_sat
+            assert (off.solve() is not None) is expect_sat
+
+    def test_blocking_clauses_survive_every_reduce(self):
+        """Enumeration via blocking clauses stays complete under the
+        most aggressive reduce schedule: were a blocking clause ever
+        deleted, an already-seen model would reappear (a duplicate) —
+        so equality of the duplicate-free model lists proves blocking
+        clauses survive every pass."""
+
+        def enumerate_all(heuristics):
+            solver = StableModelSolver(
+                Control(PROGRAM).ground(), heuristics=heuristics
+            )
+            return [frozenset(m.atoms) for m in solver.models()]
+
+        reference = enumerate_all(ECONOMY_OFF)
+        aggressive = enumerate_all(AGGRESSIVE)
+        assert len(aggressive) == len(set(aggressive))  # no duplicates
+        assert set(aggressive) == set(reference)
+        # identical knobs replay byte-identically, deletes included
+        assert enumerate_all(AGGRESSIVE) == aggressive
+
+    def test_aggressive_enumeration_really_reduced(self):
+        solver = StableModelSolver(
+            Control(PROGRAM).ground(), heuristics=AGGRESSIVE
+        )
+        models = list(solver.models())
+        assert models
+        # proves the blocking-clause test above exercised reduce passes
+        assert solver.statistics["solvers"]["restarts"] > 0
+
+
+class TestConflictMinimization:
+    def test_minimization_preserves_verdicts(self):
+        on = Solver(minimize_learnts=True)
+        off = Solver(minimize_learnts=False)
+        pigeonhole(on, 5, 4)
+        pigeonhole(off, 5, 4)
+        assert on.solve() is None
+        assert off.solve() is None
+
+    def test_minimization_never_grows_lbd_sum(self):
+        # minimized clauses span at most the original decision levels
+        on = Solver(minimize_learnts=True)
+        off = Solver(minimize_learnts=False)
+        pigeonhole(on, 5, 4)
+        pigeonhole(off, 5, 4)
+        on.solve()
+        off.solve()
+        assert on.statistics["learnt"] == off.statistics["learnt"]
+        assert on.statistics["lbd_sum"] <= off.statistics["lbd_sum"]
+
+
+class TestClauseSharing:
+    def test_export_import_same_verdict(self):
+        """Glue exported by one solver imports cleanly into a twin with
+        the same variable numbering, preserving the verdict."""
+        exported = []
+        source = Solver(restart_base=1, lbd_share_limit=1000)
+        source.set_sharing(export=lambda clause, lbd: exported.append(clause))
+        pigeonhole(source, 5, 4)
+        assert source.solve() is None
+        assert exported
+        assert source.statistics["shared_exported"] == len(exported)
+
+        twin = Solver()
+        pigeonhole(twin, 5, 4)
+        for clause in exported:
+            twin.import_clause(clause)
+        assert twin.statistics["shared_imported"] == len(exported)
+        assert twin.solve() is None
+
+        sat_twin = Solver()
+        grid = pigeonhole(sat_twin, 4, 4)
+        sat_source = Solver(restart_base=1, lbd_share_limit=1000)
+        sat_exported = []
+        sat_source.set_sharing(
+            export=lambda clause, lbd: sat_exported.append(clause)
+        )
+        pigeonhole(sat_source, 4, 4)
+        assert sat_source.solve() is not None
+        for clause in sat_exported:
+            sat_twin.import_clause(clause)
+        model = sat_twin.solve()
+        assert model is not None
+        for p in range(4):
+            assert any(model[grid[p][h]] for h in range(4))
+
+    def test_import_poll_drained_at_restarts(self):
+        source = Solver(restart_base=1, lbd_share_limit=1000)
+        exported = []
+        source.set_sharing(export=lambda clause, lbd: exported.append(clause))
+        pigeonhole(source, 5, 4)
+        source.solve()
+
+        inbox = [list(exported)]
+        sink = Solver(restart_base=1)
+        sink.set_sharing(
+            import_poll=lambda: [
+                (clause, None) for clause in (inbox.pop() if inbox else [])
+            ]
+        )
+        pigeonhole(sink, 5, 4)
+        assert sink.solve() is None
+        assert sink.statistics["shared_imported"] == len(exported)
+
+    def test_share_limit_zero_exports_only_empty_lbd(self):
+        source = Solver(restart_base=1, lbd_share_limit=0)
+        exported = []
+        source.set_sharing(export=lambda clause, lbd: exported.append(lbd))
+        pigeonhole(source, 5, 4)
+        source.solve()
+        assert all(lbd == 0 for lbd in exported)
+
+    def test_solver_level_import_clauses(self):
+        solver = StableModelSolver(Control(PROGRAM).ground())
+        baseline = {frozenset(m.atoms) for m in solver.models()}
+
+        exporter = StableModelSolver(
+            Control(PROGRAM).ground(),
+            heuristics={"restart_base": 1, "lbd_share_limit": 1000},
+        )
+        shared = []
+        exporter.set_clause_sharing(
+            export=lambda clause, lbd: shared.append((clause, lbd))
+        )
+        list(exporter.models())
+
+        importer = StableModelSolver(Control(PROGRAM).ground())
+        importer.import_clauses(shared)
+        assert {frozenset(m.atoms) for m in importer.models()} == baseline
+
+
+class TestEconomyStatistics:
+    def test_solver_counters_present(self):
+        solver = Solver(**AGGRESSIVE)
+        pigeonhole(solver, 5, 4)
+        solver.solve()
+        stats = solver.statistics
+        for key in (
+            "lbd_sum",
+            "learnt_deleted",
+            "shared_exported",
+            "shared_imported",
+        ):
+            assert key in stats
+        assert stats["lbd_sum"] > 0
+
+    def test_finalize_solver_stats(self):
+        solvers = {"learnt": 4, "lbd_sum": 10}
+        assert finalize_solver_stats(solvers) == 2.5
+        assert solvers["lbd_avg"] == 2.5
+        empty = {"learnt": 0, "lbd_sum": 0}
+        assert finalize_solver_stats(empty) == 0.0
+
+    def test_format_statistics_renders_economy_lines(self):
+        text = format_statistics(
+            {
+                "solving": {
+                    "solvers": {
+                        "choices": 10,
+                        "conflicts": 5,
+                        "learnt": 4,
+                        "lbd_sum": 10,
+                        "learnt_deleted": 2,
+                        "shared_exported": 3,
+                        "shared_imported": 1,
+                    }
+                }
+            }
+        )
+        assert "LBD" in text
+        assert "2.50 avg (deleted: 2)" in text
+        assert "3 exported, 1 imported" in text
+
+    def test_control_stats_carry_lbd_average(self):
+        control = Control(PROGRAM)
+        control.solve()
+        solvers = control.statistics.get_path("solving.solvers")
+        assert solvers is not None
+        assert "lbd_sum" in solvers
+        assert "lbd_avg" in solvers
+
+    def test_multishot_deltas_stay_exact(self):
+        control = Control(PROGRAM, heuristics=AGGRESSIVE)
+        control.solve()
+        first = control.statistics.get_path("solving.solvers.lbd_sum")
+        control.solve()
+        second = control.statistics.get_path("solving.solvers.lbd_sum")
+        # summable counter: never shrinks across multishot calls
+        assert second >= first >= 0

@@ -149,3 +149,33 @@ class TestControlIntegration:
         stats = control.statistics
         assert stats["solving"]["portfolio"]["races"] == 1
         assert "winner" in stats["solving"]["portfolio"]
+
+
+class TestClauseSharingRace:
+    """Glue-clause exchange between racers may change latency only:
+    the verdict must match the serial solve with sharing on or off,
+    and any witness must still be a stable model of the program."""
+
+    def test_sat_verdict_invariant_under_sharing(self):
+        ground = Control(PROGRAM).ground()
+        reference = model_sets(PROGRAM)
+        for share in (True, False):
+            model, _winner = race_first_model(
+                ground, workers=3, share_clauses=share
+            )
+            assert model is not None
+            assert frozenset(model.atoms) in reference
+
+    def test_unsat_verdict_invariant_under_sharing(self):
+        ground = Control(UNSAT_PROGRAM).ground()
+        for share in (True, False):
+            model, _winner = race_first_model(
+                ground, workers=3, share_clauses=share
+            )
+            assert model is None
+
+    def test_control_forwards_share_toggle(self):
+        assert Control(PROGRAM).first_model(workers=2, share_clauses=False)
+        assert not Control(UNSAT_PROGRAM).is_satisfiable(
+            workers=2, share_clauses=False
+        )

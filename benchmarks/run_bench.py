@@ -265,6 +265,33 @@ def append_history(timings, history_path=HISTORY_PATH, rss=None):
     print("recorded %d rows in %s" % (len(timings), history_path))
 
 
+def _record_run_ledger(kind, summary):
+    """Best-effort: land this bench run in the repo's run ledger.
+
+    Bench runs share the observability surface of the solving commands
+    (``repro runs list`` shows them next to analyze/assess runs), but a
+    missing or read-only runs root must never fail the bench driver —
+    any error is reported and swallowed.
+    """
+    try:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        from repro.observability.ledger import RunRecorder
+
+        root = os.environ.get("REPRO_RUNS_DIR") or str(
+            REPO_ROOT / ".repro" / "runs"
+        )
+        recorder = RunRecorder(
+            "bench-%s" % kind,
+            {"command": "bench-%s" % kind, "suite": BENCH_FILES},
+            root=root,
+        )
+        recorder.note(**summary)
+        recorder.finish()
+        print("ledger: recorded run %s" % recorder.run_id)
+    except Exception as error:  # pragma: no cover - best effort only
+        print("ledger: not recorded (%s)" % error, file=sys.stderr)
+
+
 def check_regressions(benches, baseline_path=None):
     """Exit-code check: any median > tolerance x its recorded median?
 
@@ -363,6 +390,13 @@ def run_smoke(record=False):
         returncode = returncode or child_code
     if record and returncode == 0:
         append_history(timings, rss=rss)
+        _record_run_ledger(
+            "smoke",
+            {
+                "files": len(BENCH_FILES),
+                "total_seconds": round(sum(timings.values()), 3),
+            },
+        )
     return returncode
 
 
@@ -436,6 +470,13 @@ def run_big(record=False):
             {name: elapsed},
             rss={name: max_rss_kb} if max_rss_kb else None,
         )
+        _record_run_ledger(
+            "big",
+            {
+                "wall_seconds": round(elapsed, 3),
+                "max_rss_kb": max_rss_kb,
+            },
+        )
     return 1 if failures else 0
 
 
@@ -488,6 +529,15 @@ def run_full(output, record=False, check=False):
                 name: entry["max_rss_kb"]
                 for name, entry in benches.items()
                 if entry.get("max_rss_kb")
+            },
+        )
+        _record_run_ledger(
+            "full",
+            {
+                "benches": len(benches),
+                "total_median_seconds": round(
+                    sum(e["median_s"] for e in benches.values()), 3
+                ),
             },
         )
     return 0

@@ -19,6 +19,7 @@ search racing for the first model of a pinned worst-case scenario.
 
 from repro.casestudy import build_system_model, static_requirements
 from repro.epa import EpaEngine
+from repro.observability import ProgressTracker
 
 MAX_FAULTS = 3
 #: C(22,0..3) fault combinations of the 22 water-tank fault pairs
@@ -33,9 +34,15 @@ def _outcome_vector(report):
 
 
 def test_bench_parallel_analyze_4_workers(benchmark):
+    # the tracker rides inside the timed region on purpose: the
+    # SPEEDUP_FLOORS gate in run_bench.py --check is what keeps the
+    # progress/heartbeat overhead honest
     def sweep():
         engine = EpaEngine(
-            build_system_model(), static_requirements(), workers=4
+            build_system_model(),
+            static_requirements(),
+            workers=4,
+            progress=ProgressTracker(),
         )
         return engine, engine.analyze(max_faults=MAX_FAULTS)
 

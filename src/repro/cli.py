@@ -40,21 +40,51 @@ to oversubscribe the cube split (default 4 cubes per worker, also via
 ``REPRO_CUBE_FACTOR``).  ``analyze --stream`` switches to the
 bounded-memory streaming sweep (``--checkpoint FILE`` makes it
 resumable; see ``docs/streaming.md``).
+
+The same commands take ``--progress`` (a live scenarios/sec + cubes +
+ETA line on stderr, also exported as ``repro_progress_*`` gauges),
+``--ledger`` / ``--runs-root DIR`` (record the run — manifest, metrics
+snapshot, stats digest, result digest — into a content-addressed run
+directory and the append-only run ledger), and ``--manifest FILE`` (a
+one-shot provenance manifest without the ledger).  ``python -m repro
+runs list|show|diff|gc`` browses the ledger; ``runs diff`` compares a
+run against another (default: its most recent same-config baseline)
+and flags result changes and duration regressions.
 """
 
 from __future__ import annotations
 
 import argparse
 import cProfile
+import hashlib
+import json
 import os
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from .casestudy import analysis_table, static_requirements
 from .core import AssessmentPipeline
 from .epa import EpaEngine, StaticRequirement
 from .modeling import from_xml, validate
-from .observability import format_statistics, open_trace, write_metrics
+from .observability import (
+    ProgressRenderer,
+    ProgressTracker,
+    format_statistics,
+    open_trace,
+    run_manifest,
+    write_metrics,
+)
+from .observability.ledger import (
+    LedgerError,
+    RunRecorder,
+    config_digest,
+    diff_runs,
+    file_digest,
+    gc_runs,
+    list_runs,
+    load_manifest,
+    resolve_run,
+)
 from .observability.metrics import get_registry
 from .reporting import (
     analysis_results_report,
@@ -129,11 +159,76 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
-def _start_solving_command(args: argparse.Namespace) -> Optional[cProfile.Profile]:
-    """Shared prologue of ``analyze``/``assess``: a clean metrics slate
+class _SolvingRun:
+    """Observability state shared between a solving command's prologue
+    and epilogue: the optional profiler, run recorder and progress
+    tracker/renderer, plus the result fields the command body fills in
+    as it goes (statistics tree, canonical result digest, summary
+    counts, the error if one escaped)."""
+
+    def __init__(self, command: str, digest: str):
+        self.command = command
+        self.config_digest = digest
+        self.profiler: Optional[cProfile.Profile] = None
+        self.recorder: Optional[RunRecorder] = None
+        self.tracker: Optional[ProgressTracker] = None
+        self.renderer: Optional[ProgressRenderer] = None
+        self.stats: Optional[object] = None
+        self.result_digest: Optional[str] = None
+        self.summary: Dict[str, Any] = {}
+        self.error: Optional[BaseException] = None
+
+
+def _digest_bytes(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _report_digest(report) -> str:
+    """Canonical result digest of a materialized EPA report.
+
+    A sorted vector of (faults, violated requirements, severity) per
+    scenario — stable across worker counts, cube layouts and outcome
+    ordering, which is exactly what makes two same-config runs
+    comparable in ``repro runs diff``.
+    """
+    vector = sorted(
+        (
+            sorted(str(fault) for fault in outcome.active_faults),
+            sorted(outcome.violated),
+            outcome.severity_rank,
+        )
+        for outcome in report.outcomes
+    )
+    return _digest_bytes(
+        json.dumps(vector, sort_keys=True, default=str).encode("utf-8")
+    )
+
+
+def _requirement_config(
+    requirements: Sequence[StaticRequirement],
+) -> List[List[str]]:
+    return [
+        [r.name, r.condition, r.focus, r.magnitude]
+        for r in requirements or ()
+    ]
+
+
+def _start_solving_command(
+    args: argparse.Namespace,
+    command: str,
+    config: Mapping[str, Any],
+) -> _SolvingRun:
+    """Shared prologue of the solving commands: a clean metrics slate
     for this run, learnt-clause-economy knobs exported where every
-    solver construction (including pool workers) reads them, and an
-    optional profiler around the solve."""
+    solver construction (including pool workers) reads them, the run
+    recorder / progress tracker when requested, and an optional
+    profiler around the solve.
+
+    ``config`` is the command's *result-determining* configuration —
+    model content digest, requirements, bounds — deliberately excluding
+    performance knobs (workers, cube factor, clause sharing): runs that
+    share a config digest are supposed to produce the same numbers.
+    """
     get_registry().reset()
     # the SAT economy knobs travel as environment variables so spawned
     # worker processes inherit them; validation happens here, once, with
@@ -151,22 +246,81 @@ def _start_solving_command(args: argparse.Namespace) -> Optional[cProfile.Profil
     except SatError as error:
         print(str(error), file=sys.stderr)
         raise SystemExit(2)
-    if not getattr(args, "profile", None):
-        return None
-    profiler = cProfile.Profile()
-    profiler.enable()
-    return profiler
+    run = _SolvingRun(command, config_digest(config))
+    if getattr(args, "ledger", False) or getattr(args, "runs_root", None):
+        run.recorder = RunRecorder(
+            command, config, root=getattr(args, "runs_root", None)
+        )
+    if getattr(args, "progress", False):
+        run.renderer = ProgressRenderer()
+        run.tracker = ProgressTracker(on_update=run.renderer.update)
+    if getattr(args, "profile", None):
+        run.profiler = cProfile.Profile()
+        run.profiler.enable()
+    return run
 
 
 def _finish_solving_command(
-    args: argparse.Namespace, profiler: Optional[cProfile.Profile]
+    args: argparse.Namespace, run: _SolvingRun
 ) -> None:
-    """Shared epilogue: dump the profile, write the metrics snapshot."""
-    if profiler is not None:
-        profiler.disable()
-        profiler.dump_stats(args.profile)
+    """Shared epilogue: final progress line, profile dump, metrics
+    snapshot, one-shot manifest, and the run recorder's closing entry
+    (``error`` status when an exception escaped the command body)."""
+    if run.renderer is not None:
+        run.renderer.close()
+    if run.profiler is not None:
+        run.profiler.disable()
+        run.profiler.dump_stats(args.profile)
     if getattr(args, "metrics", None):
         write_metrics(get_registry(), args.metrics)
+    trace = getattr(args, "trace", None)
+    trace_file = trace if trace and trace != "-" else None
+    if getattr(args, "manifest", None):
+        _write_oneshot_manifest(args.manifest, run)
+    if run.recorder is not None:
+        if run.error is not None:
+            run.recorder.fail(
+                run.error, stats=run.stats, trace_file=trace_file
+            )
+        else:
+            if run.summary:
+                run.recorder.note(**run.summary)
+            run.recorder.finish(
+                stats=run.stats,
+                result_digest=run.result_digest,
+                trace_file=trace_file,
+            )
+
+
+def _write_oneshot_manifest(path: str, run: _SolvingRun) -> None:
+    """``--manifest FILE``: provenance without the ledger."""
+    extra: Dict[str, Any] = {
+        "command": run.command,
+        "config_digest": run.config_digest,
+        "status": "error" if run.error is not None else "complete",
+    }
+    if run.result_digest is not None:
+        extra["result_digest"] = run.result_digest
+    if run.summary:
+        extra["summary"] = dict(run.summary)
+    manifest = run_manifest(stats=run.stats, extra=extra)
+    payload = json.dumps(manifest, indent=2, sort_keys=True, default=str)
+    if path == "-":
+        print(payload)
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+
+
+def _analyze_config(args: argparse.Namespace) -> Dict[str, Any]:
+    return {
+        "command": "analyze",
+        "model_sha256": file_digest(args.model),
+        "requirements": _requirement_config(args.requirement),
+        "max_faults": args.max_faults,
+        "stream": bool(args.stream or args.checkpoint),
+        "stream_mode": args.stream_mode,
+    }
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -174,7 +328,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if not args.requirement:
         print("at least one --requirement is needed", file=sys.stderr)
         return 2
-    profiler = _start_solving_command(args)
+    run = _start_solving_command(args, "analyze", _analyze_config(args))
     try:
         with open_trace(args.trace, format=args.trace_format) as sink:
             engine = EpaEngine(
@@ -185,6 +339,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 parallel_mode=getattr(args, "parallel_mode", "auto"),
                 cube_factor=getattr(args, "cube_factor", None),
                 share_clauses=getattr(args, "share_clauses", True),
+                progress=run.tracker,
             )
             if args.stream or args.checkpoint:
                 aggregate = engine.aggregate(
@@ -192,9 +347,19 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                     stream_mode=args.stream_mode,
                     checkpoint=args.checkpoint,
                 )
+                run.result_digest = _digest_bytes(aggregate.dumps())
+                run.summary = {
+                    "scenarios": aggregate.scenarios,
+                    "violating": aggregate.violating,
+                }
                 print(aggregate.summary())
             else:
                 report = engine.analyze(max_faults=args.max_faults)
+                run.result_digest = _report_digest(report)
+                run.summary = {
+                    "scenarios": len(report),
+                    "violating": len(report.violating()),
+                }
                 print(epa_report_table(report, max_rows=args.rows))
                 print()
                 print(
@@ -210,11 +375,15 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                         or "none",
                     )
                 )
+            run.stats = engine.statistics
             if args.stats:
                 print()
                 print(format_statistics(engine.statistics))
+    except BaseException as error:
+        run.error = error
+        raise
     finally:
-        _finish_solving_command(args, profiler)
+        _finish_solving_command(args, run)
     return 0
 
 
@@ -253,10 +422,25 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         print("at least one --requirement is needed", file=sys.stderr)
         return 2
     deployment = _parse_deployment(args.mitigate) if args.mitigate else {}
-    profiler = _start_solving_command(args)
+    run = _start_solving_command(
+        args,
+        "explain",
+        {
+            "command": "explain",
+            "model_sha256": file_digest(args.model),
+            "requirements": _requirement_config(args.requirement),
+            "max_faults": args.max_faults,
+            "scenario": args.scenario or "",
+            "mitigate": args.mitigate or "",
+            "why": list(args.why or ()),
+            "why_not": list(args.why_not or ()),
+        },
+    )
     try:
         with open_trace(args.trace, format=args.trace_format) as sink:
-            engine = EpaEngine(model, args.requirement, trace=sink)
+            engine = EpaEngine(
+                model, args.requirement, trace=sink, progress=run.tracker
+            )
             if args.scenario:
                 faults = _parse_faults(args.scenario)
             else:
@@ -314,11 +498,15 @@ def _cmd_explain(args: argparse.Namespace) -> int:
             if first_root is not None and args.provenance:
                 with open(args.provenance, "w", encoding="utf-8") as handle:
                     handle.write(proof_to_json(first_root))
+            run.stats = engine.statistics
             if args.stats:
                 print()
                 print(format_statistics(engine.statistics))
+    except BaseException as error:
+        run.error = error
+        raise
     finally:
-        _finish_solving_command(args, profiler)
+        _finish_solving_command(args, run)
     return 0
 
 
@@ -367,7 +555,20 @@ def _cmd_assess(args: argparse.Namespace) -> int:
     model = _load_model(args.model)
     refined = _load_model(args.refined) if args.refined else None
     requirements = args.requirement or static_requirements()
-    profiler = _start_solving_command(args)
+    run = _start_solving_command(
+        args,
+        "assess",
+        {
+            "command": "assess",
+            "model_sha256": file_digest(args.model),
+            "refined_sha256": (
+                file_digest(args.refined) if args.refined else None
+            ),
+            "requirements": _requirement_config(requirements),
+            "max_faults": args.max_faults,
+            "budget": args.budget,
+        },
+    )
     try:
         with open_trace(args.trace, format=args.trace_format) as sink:
             pipeline = AssessmentPipeline(
@@ -380,14 +581,118 @@ def _cmd_assess(args: argparse.Namespace) -> int:
                 parallel_mode=getattr(args, "parallel_mode", "auto"),
                 cube_factor=getattr(args, "cube_factor", None),
                 share_clauses=getattr(args, "share_clauses", True),
+                progress=run.tracker,
             )
             result = pipeline.run(model, refined_model=refined)
+            # the report digest plus the chosen plan: the full verdict
+            run.result_digest = _digest_bytes(
+                (_report_digest(result.report) + str(result.plan)).encode(
+                    "utf-8"
+                )
+            )
+            run.summary = {
+                "scenarios": len(result.report),
+                "violating": len(result.report.violating()),
+            }
+            run.stats = result.statistics
             print(assessment_report(result))
             if args.stats:
                 print()
                 print(format_statistics(result.statistics))
+    except BaseException as error:
+        run.error = error
+        raise
     finally:
-        _finish_solving_command(args, profiler)
+        _finish_solving_command(args, run)
+    return 0
+
+
+def _format_run_row(entry: Mapping[str, Any]) -> str:
+    duration = entry.get("duration_s")
+    parts = [
+        entry["run_id"],
+        entry.get("status", "partial"),
+        entry.get("command", "?"),
+        "%.2fs" % duration if duration is not None else "-",
+    ]
+    if "scenarios" in entry:
+        parts.append("scenarios=%s" % entry["scenarios"])
+    if "violating" in entry:
+        parts.append("violating=%s" % entry["violating"])
+    return "  ".join(str(part) for part in parts)
+
+
+def _print_diff(diff: Mapping[str, Any]) -> None:
+    print("a: %s" % diff["a"])
+    print("b: %s" % diff["b"])
+    print("config: %s" % ("match" if diff["config_match"] else "differ"))
+    result_match = diff["result_match"]
+    print(
+        "result: %s"
+        % (
+            "unknown"
+            if result_match is None
+            else "match" if result_match else "differ"
+        )
+    )
+    for key in ("scenarios", "violating"):
+        delta = diff["%s_delta" % key]
+        print(
+            "%s delta: %s" % (key, "unknown" if delta is None else delta)
+        )
+    duration_a, duration_b = diff["duration_a"], diff["duration_b"]
+    ratio = diff["duration_ratio"]
+    if duration_a is not None and duration_b is not None:
+        print(
+            "duration: %.2fs vs %.2fs%s"
+            % (
+                duration_a,
+                duration_b,
+                " (ratio %.2f)" % ratio if ratio is not None else "",
+            )
+        )
+    print("stats digest: %s" % ("match" if diff["stats_match"] else "differ"))
+    if diff["zero_deltas"]:
+        print("zero deltas")
+    if diff["regression"]:
+        if result_match is False:
+            print("REGRESSION: result changed under the same config")
+        else:
+            print(
+                "REGRESSION: duration ratio %.2f exceeds %.2f"
+                % (ratio, 1.25)
+            )
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    root = getattr(args, "root", None)
+    try:
+        if args.runs_command == "list":
+            entries = list_runs(root)
+            if not entries:
+                print("no recorded runs")
+                return 0
+            for entry in entries:
+                print(_format_run_row(entry))
+        elif args.runs_command == "show":
+            run_id = resolve_run(args.run, root)
+            manifest = load_manifest(run_id, root)
+            print(
+                json.dumps(manifest, indent=2, sort_keys=True, default=str)
+            )
+        elif args.runs_command == "diff":
+            _print_diff(diff_runs(args.run_a, args.run_b, root))
+        else:  # gc
+            removed = gc_runs(args.keep, root)
+            if removed:
+                print("removed %d run(s):" % len(removed))
+                for run_id in removed:
+                    print("  %s" % run_id)
+            else:
+                print("nothing to remove")
+    except LedgerError as error:
+        print(str(error), file=sys.stderr)
+        return 1
     return 0
 
 
@@ -483,6 +788,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=True,
         help="disable glue-clause exchange between parallel solvers "
         "(identical results either way; sharing only changes latency)",
+    )
+    observability.add_argument(
+        "--progress",
+        action="store_true",
+        help="live progress line on stderr (scenarios/sec, cubes "
+        "done/total, ETA), also exported as repro_progress_* gauges",
+    )
+    observability.add_argument(
+        "--ledger",
+        action="store_true",
+        help="record this run into the run ledger: a content-addressed "
+        "run directory (manifest, metrics, stats digest, trace copy) "
+        "plus an append-only JSONL index; browse with 'repro runs'",
+    )
+    observability.add_argument(
+        "--runs-root",
+        metavar="DIR",
+        help="where recorded runs live (implies --ledger; default "
+        ".repro/runs, or env REPRO_RUNS_DIR)",
+    )
+    observability.add_argument(
+        "--manifest",
+        metavar="FILE",
+        help="write a one-shot JSON run manifest (argv, git rev, config "
+        "and result digests, summary counts) to FILE ('-' for stdout) "
+        "without recording to the ledger",
     )
 
     subparsers.add_parser("matrix", help="print the O-RA risk matrix (Table I)")
@@ -642,6 +973,53 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the model as ArchiMate-exchange XML to FILE",
     )
+
+    runs = subparsers.add_parser(
+        "runs",
+        help="browse the run ledger: list, show, diff, gc",
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser(
+        "list", help="every recorded run, newest first"
+    )
+    runs_show = runs_sub.add_parser(
+        "show", help="print one run's manifest"
+    )
+    runs_show.add_argument(
+        "run",
+        nargs="?",
+        default="latest",
+        help="run id, unique prefix, or 'latest' (default)",
+    )
+    runs_diff = runs_sub.add_parser(
+        "diff",
+        help="compare two runs' results, counts and durations "
+        "(default: the latest run against its most recent "
+        "same-config baseline)",
+    )
+    runs_diff.add_argument(
+        "run_a", nargs="?", default="latest", help="run id or prefix"
+    )
+    runs_diff.add_argument(
+        "run_b",
+        nargs="?",
+        default=None,
+        help="baseline run (default: newest earlier completed run "
+        "with the same config digest)",
+    )
+    runs_gc = runs_sub.add_parser(
+        "gc", help="drop all but the newest runs and compact the ledger"
+    )
+    runs_gc.add_argument(
+        "--keep", type=int, default=20, metavar="N",
+        help="runs to keep (default 20)",
+    )
+    for sub in (runs_list, runs_show, runs_diff, runs_gc):
+        sub.add_argument(
+            "--root",
+            metavar="DIR",
+            help="runs root (default .repro/runs, or env REPRO_RUNS_DIR)",
+        )
     return parser
 
 
@@ -653,6 +1031,7 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "assess": _cmd_assess,
     "fleet": _cmd_fleet,
+    "runs": _cmd_runs,
 }
 
 

@@ -130,6 +130,7 @@ class AssessmentPipeline:
         parallel_mode: str = "auto",
         cube_factor: Optional[int] = None,
         share_clauses: bool = True,
+        progress: Optional[object] = None,
     ):
         """``workers`` fans the hazard-identification sweeps (phase 4/5)
         out over a process pool and the CEGAR oracle classification over
@@ -139,7 +140,9 @@ class AssessmentPipeline:
         ``cube`` / ``portfolio``, and the cube oversubscription
         factor — as is ``share_clauses``, which lets parallel solves
         exchange glue learnt clauses (latency only, never the
-        verdict)."""
+        verdict).  ``progress`` is an optional
+        :class:`~repro.observability.progress.ProgressTracker` fed by
+        the hazard-identification sweeps."""
         self.requirements = tuple(requirements)
         self.catalog = catalog
         self.max_faults = max_faults
@@ -150,6 +153,7 @@ class AssessmentPipeline:
         self.parallel_mode = parallel_mode
         self.cube_factor = cube_factor
         self.share_clauses = share_clauses
+        self.progress = progress
 
     def run(
         self,
@@ -223,6 +227,7 @@ class AssessmentPipeline:
                     parallel_mode=self.parallel_mode,
                     cube_factor=self.cube_factor,
                     share_clauses=self.share_clauses,
+                    progress=self.progress,
                 )
                 phases.append(
                     PhaseRecord(
@@ -271,6 +276,7 @@ class AssessmentPipeline:
                         parallel_mode=self.parallel_mode,
                         cube_factor=self.cube_factor,
                         share_clauses=self.share_clauses,
+                        progress=self.progress,
                     )
                     detailed = refined_engine.analyze(
                         active_mitigations=active_mitigations,

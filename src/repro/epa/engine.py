@@ -63,7 +63,9 @@ from ..observability import (
     Tracer,
     finalize_solver_stats,
 )
+from ..observability.health import default_on_stall
 from ..observability.metrics import get_registry, record_peak_rss
+from ..observability.progress import ProgressTracker
 from ..modeling.model import SystemModel
 from ..modeling.to_asp import to_asp_program
 from ..parallel import (
@@ -125,6 +127,7 @@ class EpaEngine:
         parallel_mode: str = "auto",
         cube_factor: Optional[int] = None,
         share_clauses: bool = True,
+        progress: Optional[ProgressTracker] = None,
     ):
         """``fault_mitigations`` maps fault-mode name -> mitigation ids
         (the paper's ``mitigation(F, M)``); ``component_mitigations``
@@ -144,7 +147,12 @@ class EpaEngine:
         ``share_clauses`` lets parallel solves exchange glue learnt
         clauses — portfolio racers over a queue channel, cube workers
         as dispatch-time warm starts (see ``docs/parallelism.md``);
-        sharing changes latency only, never any verdict or report."""
+        sharing changes latency only, never any verdict or report.
+        ``progress`` attaches a
+        :class:`~repro.observability.ProgressTracker` fed from the
+        streaming hooks (per folded model sequentially, per partial and
+        per completed cube on sharded sweeps) — results are identical
+        with or without it."""
         names = [r.name for r in requirements]
         if len(set(names)) != len(names):
             raise EpaError("duplicate requirement names")
@@ -172,6 +180,7 @@ class EpaEngine:
         self._parallel_mode = parallel_mode
         self._cube_factor = cube_factor
         self._share_clauses = share_clauses
+        self._progress = progress
         self._base_program: Optional[Program] = None
         self._controls: Dict[int, Control] = {}
         # separate multi-shot controls for unsat-core queries: they
@@ -472,6 +481,10 @@ class EpaEngine:
                 scenarios=len(outcomes),
                 violating=sum(1 for o in outcomes if o.violated),
             )
+        # the materialized path peaks memory here, not in a streamed
+        # fold — record it on every analyze, not only on aggregate()
+        record_peak_rss()
+        self._progress_finish()
         return report
 
     def _analyze_incremental(
@@ -489,6 +502,7 @@ class EpaEngine:
             for model in control.solve(limit=limit)
         ]
         self._note_analysis(scenarios=len(outcomes))
+        self._progress_scenarios(len(outcomes))
         return self._report(outcomes, deployment)
 
     def _analyze_fresh(
@@ -525,6 +539,7 @@ class EpaEngine:
             for model in control.solve(limit=limit, project=project)
         ]
         self._fold_statistics(control, scenarios=len(outcomes))
+        self._progress_scenarios(len(outcomes))
         return self._report(outcomes, deployment)
 
     def _analyze_parallel(
@@ -603,11 +618,19 @@ class EpaEngine:
             if value and value[0] == "glue":
                 collect_glue(value[1])
 
+        if self._progress is not None:
+            self._progress.set_total_cubes(len(cubes))
+
+        def on_shard(_position: int, envelope) -> None:
+            self._progress_cube_done()
+            self._progress_scenarios(len(envelope[0]))
+
         try:
             shards = pool.map(
                 _cube_worker,
                 payloads,
                 on_partial=on_glue if collect_glue is not None else None,
+                on_result=on_shard if self._progress is not None else None,
                 decorate=decorate,
             )
         except ParallelError as error:
@@ -698,6 +721,7 @@ class EpaEngine:
         try:
             for model in models:
                 count += 1
+                self._progress_scenarios(1)
                 yield self._extract(model, with_paths)
         finally:
             models.close()
@@ -705,6 +729,7 @@ class EpaEngine:
                 self._note_analysis(scenarios=count)
             else:
                 self._fold_statistics(control, scenarios=count)
+            self._progress_finish()
 
     def aggregate(
         self,
@@ -779,6 +804,7 @@ class EpaEngine:
                 scenarios=result.scenarios, violating=result.violating
             )
         record_peak_rss()
+        self._progress_finish()
         return result
 
     def _aggregate_names(self) -> Tuple[List[str], Dict[str, str]]:
@@ -815,14 +841,18 @@ class EpaEngine:
 
         def on_model(assignment: Sequence[int]) -> None:
             result.add(_probe_extract(assignment, probes))
+            self._progress_scenarios(1)
 
         try:
             solver.project_models(project, on_model)
         except ProjectionIncomplete:
-            # discard the partial fold and redo on the reference path
+            # discard the partial fold (progress rolls back with it)
+            # and redo on the reference path
+            self._progress_scenarios(-result.scenarios)
             result = ScenarioAggregate(names, magnitudes, max_minimal_sets)
             for model in control.solve_iter(project=project):
                 result.add(_model_extract(model, requirement_names))
+                self._progress_scenarios(1)
         self._fold_statistics(control, scenarios=result.scenarios)
         return result
 
@@ -884,7 +914,10 @@ class EpaEngine:
         resumed = ScenarioAggregate(names, magnitudes, max_minimal_sets)
         completed: Set[int] = set()
         if checkpoint is not None and os.path.exists(checkpoint):
-            state = read_checkpoint(checkpoint)
+            with self._tracer.span(
+                "epa.checkpoint", path=checkpoint, mode="read"
+            ):
+                state = read_checkpoint(checkpoint)
             if state.digest != config_digest:
                 raise EpaError(
                     "checkpoint %s was written by a different sweep "
@@ -898,8 +931,12 @@ class EpaEngine:
         pending = [
             index for index in range(len(cubes)) if index not in completed
         ]
+        if self._progress is not None:
+            self._progress.set_total_cubes(len(cubes), done=len(completed))
+            if resumed.scenarios:
+                self._progress.preseed_scenarios(resumed.scenarios)
 
-        pool = WorkStealingPool(workers)
+        pool = WorkStealingPool(workers, on_stall=self._on_stall)
         traced = self._trace is not NULL_SINK
         forked = pool.start_method == "fork"
         subprocess_mode = workers > 1 and len(pending) > 1
@@ -940,6 +977,7 @@ class EpaEngine:
             with self._tracer.span(
                 "epa.checkpoint",
                 path=checkpoint,
+                mode="write",
                 cubes=len(completed),
                 total=len(cubes),
             ):
@@ -953,7 +991,9 @@ class EpaEngine:
             if kind == "reset":
                 # the worker fell back to the reference enumeration and
                 # will re-stream the whole cube
-                buffers.pop(cube_id, None)
+                held = buffers.pop(cube_id, None)
+                if held is not None:
+                    self._progress_scenarios(-held.scenarios)
             elif kind == "glue":
                 # shared learnt clauses, not cube results: fold into the
                 # warm-start pool for cubes still waiting to dispatch
@@ -966,6 +1006,7 @@ class EpaEngine:
                     buffers[cube_id] = part
                 else:
                     held.merge(part)
+                self._progress_scenarios(part.scenarios)
             else:  # "outcomes"
                 held = buffers.get(cube_id)
                 if held is None:
@@ -975,9 +1016,12 @@ class EpaEngine:
                     buffers[cube_id] = held
                 for outcome in value[1]:
                     held.add(outcome)
+                self._progress_scenarios(len(value[1]))
 
         def on_retry(position: int) -> None:
-            buffers.pop(pending[position], None)
+            held = buffers.pop(pending[position], None)
+            if held is not None:
+                self._progress_scenarios(-held.scenarios)
 
         def on_result(position: int, _envelope: object) -> None:
             cube_id = pending[position]
@@ -987,6 +1031,7 @@ class EpaEngine:
             )
             completed.add(cube_id)
             finished[0] += 1
+            self._progress_cube_done()
             if checkpoint_every > 0 and finished[0] % checkpoint_every == 0:
                 snapshot()
 
@@ -1204,6 +1249,34 @@ class EpaEngine:
         live on the persistent controls / worker shards)."""
         self._stats.incr("epa.analyze_calls")
         self._stats.incr("epa.scenarios", scenarios)
+
+    # ------------------------------------------------------------------
+    # progress / health hooks
+    # ------------------------------------------------------------------
+    def _progress_scenarios(self, count: int) -> None:
+        if self._progress is not None and count:
+            self._progress.add_scenarios(count)
+
+    def _progress_cube_done(self) -> None:
+        if self._progress is not None:
+            self._progress.cube_done()
+
+    def _progress_finish(self) -> None:
+        if self._progress is not None:
+            self._progress.finish()
+
+    def _on_stall(
+        self, worker: int, task_index: int, silent_s: float, reason: str
+    ) -> None:
+        """Pool stall warnings: a trace event plus the stderr default."""
+        self._trace.emit(
+            "health.worker_stalled",
+            worker=worker,
+            task=task_index,
+            silent_s=round(silent_s, 3),
+            reason=reason,
+        )
+        default_on_stall(worker, task_index, silent_s, reason)
 
     def _fold_statistics(self, control: Control, scenarios: int) -> None:
         """Merge one solve's stats into the engine-level aggregate."""

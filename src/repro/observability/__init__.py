@@ -21,7 +21,17 @@ instead of being a black box:
   Graphviz DOT / JSON renderings of provenance proof DAGs
   (:func:`proof_to_dot`, :func:`proof_to_json`);
 * :func:`format_statistics` — the clingo-style terminal summary block
-  printed by ``repro --stats``.
+  printed by ``repro --stats``;
+* :class:`RunRecorder` and the run ledger
+  (:mod:`~repro.observability.ledger`) — content-addressed per-run
+  directories plus an append-only JSONL index, browsed and diffed by
+  ``repro runs``;
+* :class:`ProgressTracker` / :class:`ProgressRenderer` — live
+  scenarios/sec, cube counts and ETA for long sweeps (CLI
+  ``--progress``, ``repro_progress_*`` gauges);
+* :class:`WorkerHealth` — heartbeat-based stall detection for the
+  work-stealing pool (``repro_worker_stalled_total``,
+  ``repro_worker_heartbeat_age_seconds``).
 
 Entry points: ``repro.asp.Control(trace=...)`` and its ``.statistics``
 property; ``EpaEngine.statistics``; the CLI's ``--stats`` / ``--trace``
@@ -40,6 +50,26 @@ from .export import (
     to_chrome_trace,
     write_metrics,
 )
+from .health import (
+    DEFAULT_STALL_TIMEOUT_S,
+    HealthError,
+    WorkerHealth,
+    default_on_stall,
+    resolve_stall_timeout,
+)
+from .ledger import (
+    LedgerError,
+    RunRecorder,
+    baseline_for,
+    config_digest,
+    diff_runs,
+    gc_runs,
+    list_runs,
+    load_manifest,
+    read_ledger,
+    resolve_run,
+    resolve_runs_root,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
     SIZE_BUCKETS,
@@ -48,6 +78,11 @@ from .metrics import (
     MetricsError,
     MetricsRegistry,
     get_registry,
+)
+from .progress import (
+    ProgressRenderer,
+    ProgressSnapshot,
+    ProgressTracker,
 )
 from .spans import NOOP_SPAN, Span, Tracer, current_span
 from .stats import (
@@ -72,16 +107,23 @@ __all__ = [
     "ChromeTraceSink",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_STALL_TIMEOUT_S",
     "Gauge",
+    "HealthError",
     "Histogram",
     "HumanTraceSink",
     "JsonLinesTraceSink",
+    "LedgerError",
     "MemoryTraceSink",
     "MetricsError",
     "MetricsRegistry",
     "NOOP_SPAN",
     "NULL_SINK",
     "NullTraceSink",
+    "ProgressRenderer",
+    "ProgressSnapshot",
+    "ProgressTracker",
+    "RunRecorder",
     "SIZE_BUCKETS",
     "SolveStats",
     "Span",
@@ -90,15 +132,27 @@ __all__ = [
     "TraceSink",
     "Tracer",
     "Timer",
+    "WorkerHealth",
+    "baseline_for",
+    "config_digest",
     "current_span",
+    "default_on_stall",
+    "diff_runs",
     "finalize_solver_stats",
     "format_statistics",
+    "gc_runs",
     "get_registry",
     "git_revision",
+    "list_runs",
+    "load_manifest",
     "open_trace",
     "prometheus_exposition",
     "proof_to_dot",
     "proof_to_json",
+    "read_ledger",
+    "resolve_run",
+    "resolve_runs_root",
+    "resolve_stall_timeout",
     "run_manifest",
     "stats_digest",
     "to_chrome_trace",

@@ -92,6 +92,7 @@ from typing import (
 )
 
 from .observability import SolveStats
+from .observability.health import WorkerHealth
 from .observability.metrics import get_registry
 
 _Item = TypeVar("_Item")
@@ -261,10 +262,24 @@ class WorkStealingPool:
     :class:`ParallelError` carrying the worker-side traceback.
     """
 
-    def __init__(self, workers: int, context: Optional[str] = None):
+    def __init__(
+        self,
+        workers: int,
+        context: Optional[str] = None,
+        stall_timeout: Optional[float] = None,
+        on_stall: Optional[Callable[[int, int, float, str], None]] = None,
+    ):
+        """``stall_timeout`` (seconds; default ``REPRO_STALL_TIMEOUT_S``
+        or 30) bounds how long a worker may hold a task silently before
+        a stall warning fires — ``on_stall(worker, task, silent_s,
+        reason)`` overrides the default stderr warning (see
+        :mod:`repro.observability.health`).  Stall telemetry always
+        precedes the retry/respawn it explains."""
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        self.stall_timeout = stall_timeout
+        self.on_stall = on_stall
         method = context or (
             "fork"
             if "fork" in multiprocessing.get_all_start_methods()
@@ -336,6 +351,8 @@ class WorkStealingPool:
             on_retry=on_retry,
             on_result=on_result,
             decorate=decorate,
+            stall_timeout=self.stall_timeout,
+            on_stall=self.on_stall,
         )
         self.last_assignments = assignments
         return results
@@ -350,8 +367,11 @@ def _run_pool(
     on_retry=None,
     on_result=None,
     decorate=None,
+    stall_timeout=None,
+    on_stall=None,
 ):
     registry = get_registry()
+    health = WorkerHealth(stall_timeout=stall_timeout, on_stall=on_stall)
     cubes_total = registry.counter(
         "repro_parallel_cubes_total",
         "tasks (cubes) completed by the work-stealing pool",
@@ -392,6 +412,7 @@ def _run_pool(
             task_queues.append(task_queue)
             processes.append(process)
         in_flight[worker_index] = None
+        health.beat(worker_index)
 
     def dispatch(worker_index):
         """Feed one task to an idle worker, preferring its home tasks."""
@@ -449,6 +470,9 @@ def _run_pool(
                         continue
                     task_index = in_flight.get(worker_index)
                     if task_index is not None and task_index not in results:
+                        # stall telemetry (warning + counter) fires
+                        # before the retry/respawn path it explains
+                        health.dead(worker_index, task_index, attempts)
                         if attempts[task_index] >= MAX_TASK_ATTEMPTS:
                             raise ParallelError(
                                 "worker %d died evaluating item %d "
@@ -467,8 +491,13 @@ def _run_pool(
                         respawns_total.inc()
                         spawn(worker_index)
                         dispatch(worker_index)
+                # live workers holding a task silently past the stall
+                # timeout get a (once-per-attempt) straggler warning
+                health.check(in_flight, attempts)
                 continue
             kind = message[0]
+            # every message a worker ships is a heartbeat
+            health.beat(message[2])
             if kind == "partial":
                 _, task_index, worker_index, attempt, payload = message
                 # Partials are attempt-tagged and only honoured while

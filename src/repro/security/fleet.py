@@ -45,6 +45,7 @@ from typing import Dict, Iterator, List, Sequence, Tuple
 from ..modeling.elements import RelationshipType
 from ..modeling.library import standard_cps_library
 from ..modeling.model import SystemModel
+from ..observability import Tracer
 from .catalogs import SecurityCatalog, Tactic, Technique
 from .data import synthetic_catalog
 from .mapping import INITIAL_ACCESS_TACTICS
@@ -134,7 +135,9 @@ def _tier_roles(tier: int, tiers: int) -> Tuple[str, ...]:
     return CONTROL_ROLES
 
 
-def build_fleet_model(spec: FleetSpec) -> SystemModel:
+def build_fleet_model(
+    spec: FleetSpec, trace: object = None
+) -> SystemModel:
     """Deterministically generate the layered model of one spec.
 
     Components come from the standard CPS library (role cycled within
@@ -146,9 +149,24 @@ def build_fleet_model(spec: FleetSpec) -> SystemModel:
     connect each component to ``spec.connectivity`` components of the
     next tier, wrapping around, so the propagation graph is connected
     tier to tier.
+
+    ``trace`` (an event sink) wraps the generation in a
+    ``fleet.generate`` span — fleet construction shows up in sweep
+    traces next to the solves it feeds.
     """
     if spec.tiers < 1 or spec.components_per_tier < 1:
         raise ValueError("fleet needs at least one tier and one component")
+    with Tracer(trace).span(
+        "fleet.generate",
+        fleet=spec.name,
+        seed=spec.seed,
+        tiers=spec.tiers,
+        components=spec.tiers * spec.components_per_tier,
+    ):
+        return _build_fleet_model(spec)
+
+
+def _build_fleet_model(spec: FleetSpec) -> SystemModel:
     library = standard_cps_library()
     model = SystemModel("%s-%d" % (spec.name, spec.seed))
     rng = random.Random(spec.seed)
@@ -277,7 +295,7 @@ def fleet_engine(spec: FleetSpec, **kwargs: object) -> object:
     """
     from ..epa.engine import EpaEngine
 
-    model = build_fleet_model(spec)
+    model = build_fleet_model(spec, trace=kwargs.get("trace"))
     return EpaEngine(
         model,
         fleet_requirements(spec, model),

@@ -272,6 +272,105 @@ class TestObservabilityFlags:
         assert "worker" in analyze_help
 
 
+class TestRunLedgerCli:
+    def _analyze(self, model_file, *extra):
+        return main(
+            ["analyze", model_file, "-r", REQUIREMENT, "--max-faults", "1"]
+            + list(extra)
+        )
+
+    def test_round_trip_diffs_to_zero_deltas(
+        self, capsys, tmp_path, model_file
+    ):
+        """Two identical runs share a config digest and diff clean."""
+        root = str(tmp_path / "runs")
+        assert self._analyze(model_file, "--runs-root", root) == 0
+        assert self._analyze(model_file, "--runs-root", root) == 0
+        capsys.readouterr()
+        assert main(["runs", "diff", "--root", root]) == 0
+        out = capsys.readouterr().out
+        assert "config: match" in out
+        assert "result: match" in out
+        assert "zero deltas" in out
+
+    def test_runs_list_and_show(self, capsys, tmp_path, model_file):
+        root = str(tmp_path / "runs")
+        assert self._analyze(model_file, "--runs-root", root) == 0
+        capsys.readouterr()
+        assert main(["runs", "list", "--root", root]) == 0
+        row = capsys.readouterr().out.strip()
+        assert "complete" in row
+        assert "analyze" in row
+        assert "scenarios=" in row
+        assert main(["runs", "show", "--root", root]) == 0
+        import json
+
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["command"] == "analyze"
+        assert manifest["status"] == "complete"
+        assert "result_digest" in manifest
+        assert manifest["config"]["max_faults"] == 1
+
+    def test_runs_gc_drops_old_runs(self, capsys, tmp_path, model_file):
+        root = str(tmp_path / "runs")
+        for _ in range(3):
+            assert self._analyze(model_file, "--runs-root", root) == 0
+        capsys.readouterr()
+        assert main(["runs", "gc", "--keep", "1", "--root", root]) == 0
+        assert "removed 2 run(s)" in capsys.readouterr().out
+        assert main(["runs", "list", "--root", root]) == 0
+        rows = capsys.readouterr().out.strip().splitlines()
+        assert len(rows) == 1
+
+    def test_runs_list_empty_root(self, capsys, tmp_path):
+        root = str(tmp_path / "empty")
+        assert main(["runs", "list", "--root", root]) == 0
+        assert "no recorded runs" in capsys.readouterr().out
+
+    def test_runs_diff_without_baseline_fails_cleanly(
+        self, capsys, tmp_path, model_file
+    ):
+        root = str(tmp_path / "runs")
+        assert self._analyze(model_file, "--runs-root", root) == 0
+        capsys.readouterr()
+        assert main(["runs", "diff", "--root", root]) == 1
+        assert "config digest" in capsys.readouterr().err
+
+    def test_manifest_flag_writes_oneshot_manifest(
+        self, tmp_path, model_file
+    ):
+        import json
+
+        path = tmp_path / "manifest.json"
+        assert self._analyze(model_file, "--manifest", str(path)) == 0
+        manifest = json.loads(path.read_text())
+        assert manifest["command"] == "analyze"
+        assert manifest["status"] == "complete"
+        assert manifest["config_digest"]
+        assert manifest["result_digest"]
+        assert manifest["summary"]["scenarios"] > 0
+
+    def test_progress_renders_live_line_on_stderr(self, capsys, model_file):
+        assert self._analyze(model_file, "--progress") == 0
+        captured = capsys.readouterr()
+        assert "scenarios" in captured.err
+        assert captured.err.endswith("\n")
+        # the report on stdout stays clean
+        assert "scenarios analyzed" in captured.out
+
+    def test_stream_run_records_matching_digests(
+        self, capsys, tmp_path, model_file
+    ):
+        """Streamed runs round-trip through the ledger too."""
+        root = str(tmp_path / "runs")
+        args = ("--stream", "--runs-root", root)
+        assert self._analyze(model_file, *args) == 0
+        assert self._analyze(model_file, *args) == 0
+        capsys.readouterr()
+        assert main(["runs", "diff", "--root", root]) == 0
+        assert "zero deltas" in capsys.readouterr().out
+
+
 class TestStreamingCli:
     def test_analyze_stream(self, capsys, model_file):
         code = main(

@@ -275,6 +275,38 @@ class TestWorkStealingPool:
         assert cause.worker_traceback is not None
         assert "_raise_tagged" in cause.worker_traceback
 
+    def test_dead_worker_warns_before_the_respawn(self, tmp_path):
+        from repro.observability.metrics import get_registry
+        from repro.parallel import WorkStealingPool
+
+        stalled = get_registry().counter(
+            "repro_worker_stalled_total",
+            "pool workers detected stalled (silent past the timeout) or "
+            "dead while holding a task",
+        )
+        respawns = get_registry().counter(
+            "repro_parallel_respawns_total",
+            "worker processes respawned after dying mid-task",
+        )
+        stalled_before = stalled.value
+        respawns_before = respawns.value
+        events = []
+
+        def on_stall(worker, task, silent_s, reason):
+            # capture the respawn counter *at warning time*: the health
+            # warning must precede the respawn it explains
+            events.append((worker, task, reason, respawns.value))
+
+        flag = str(tmp_path / "died-once")
+        items = [(flag, value) for value in range(4)]
+        results = WorkStealingPool(2, on_stall=on_stall).map(_die_once, items)
+        assert results == [value * value for value in range(4)]
+        died = [event for event in events if event[2] == "died"]
+        assert died, "worker death must raise a health warning"
+        assert stalled.value > stalled_before
+        assert died[0][3] == respawns_before
+        assert respawns.value > respawns_before
+
 
 class TestParallelByteIdentity:
     """The cube path must stay byte-identical to serial in every mode."""

@@ -1,0 +1,139 @@
+"""Tests for the worker-health stall detector."""
+
+import pytest
+
+from repro.observability import (
+    DEFAULT_STALL_TIMEOUT_S,
+    HealthError,
+    MetricsRegistry,
+    WorkerHealth,
+    resolve_stall_timeout,
+)
+from repro.observability.health import STALL_TIMEOUT_ENV
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def detector(clock, timeout=10.0, registry=None):
+    events = []
+
+    def on_stall(worker, task, silent_s, reason):
+        events.append((worker, task, silent_s, reason))
+
+    health = WorkerHealth(
+        stall_timeout=timeout,
+        on_stall=on_stall,
+        registry=registry if registry is not None else MetricsRegistry(),
+        clock=clock,
+    )
+    return health, events
+
+
+class TestResolveStallTimeout:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(STALL_TIMEOUT_ENV, raising=False)
+        assert resolve_stall_timeout() == DEFAULT_STALL_TIMEOUT_S
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(STALL_TIMEOUT_ENV, "7.5")
+        assert resolve_stall_timeout() == 7.5
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(STALL_TIMEOUT_ENV, "7.5")
+        assert resolve_stall_timeout(3.0) == 3.0
+
+    @pytest.mark.parametrize("bad", ["0", "-1", "soon"])
+    def test_invalid_env_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv(STALL_TIMEOUT_ENV, bad)
+        with pytest.raises(HealthError):
+            resolve_stall_timeout()
+
+    def test_invalid_explicit_rejected(self):
+        with pytest.raises(HealthError):
+            resolve_stall_timeout(0)
+
+
+class TestWorkerHealth:
+    def test_quiet_idle_worker_never_warns(self):
+        clock = FakeClock()
+        health, events = detector(clock)
+        health.beat(0)
+        clock.advance(1000.0)
+        # idle (no task held): silence is fine, however long
+        assert health.check({0: None}, {}) == 0
+        assert events == []
+
+    def test_silent_busy_worker_warns_once_per_attempt(self):
+        clock = FakeClock()
+        health, events = detector(clock, timeout=10.0)
+        health.beat(0)
+        clock.advance(11.0)
+        assert health.check({0: 5}, {5: 1}) == 1
+        assert events == [(0, 5, 11.0, "silent")]
+        clock.advance(30.0)
+        # same (worker, task, attempt): no warning spam
+        assert health.check({0: 5}, {5: 1}) == 0
+        # a retry bumps the attempt: fresh warning budget
+        assert health.check({0: 5}, {5: 2}) == 1
+        assert health.stalls == 2
+
+    def test_beat_resets_the_silence_window(self):
+        clock = FakeClock()
+        health, events = detector(clock, timeout=10.0)
+        health.beat(0)
+        clock.advance(8.0)
+        health.beat(0)
+        clock.advance(8.0)
+        assert health.silence(0) == 8.0
+        assert health.check({0: 3}, {3: 1}) == 0
+        assert events == []
+
+    def test_dead_worker_warns_with_died_reason(self):
+        clock = FakeClock()
+        health, events = detector(clock, timeout=10.0)
+        health.beat(1)
+        clock.advance(2.0)
+        health.dead(1, 7, {7: 1})
+        assert events == [(1, 7, 2.0, "died")]
+
+    def test_stalled_counter_increments(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        health, _ = detector(clock, timeout=5.0, registry=registry)
+        counter = registry.counter("repro_worker_stalled_total")
+        health.beat(0)
+        clock.advance(6.0)
+        health.check({0: 1}, {1: 1})
+        assert counter.value == 1
+        health.dead(2, 9, {9: 1})
+        assert counter.value == 2
+
+    def test_check_refreshes_heartbeat_age_gauges(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        health, _ = detector(clock, timeout=100.0, registry=registry)
+        health.beat(0)
+        health.beat(1)
+        clock.advance(3.0)
+        health.beat(1)
+        health.check({0: None, 1: None}, {})
+        age = lambda worker: registry.gauge(
+            "repro_worker_heartbeat_age_seconds", worker=worker
+        ).value
+        assert age(0) == 3.0
+        assert age(1) == 0.0
+
+    def test_unseen_worker_counts_as_just_born(self):
+        health, events = detector(FakeClock(), timeout=1.0)
+        assert health.silence(42) == 0.0
+        assert health.check({42: 0}, {0: 1}) == 0
+        assert events == []

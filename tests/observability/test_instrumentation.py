@@ -169,3 +169,89 @@ class TestEngineStatistics:
         analyze_events = sink.named("epa.analyze")
         assert [e.payload.get("span") for e in analyze_events] == ["B", "E"]
         assert analyze_events[-1].payload["scenarios"] == len(report)
+
+
+REQUIREMENTS = [
+    StaticRequirement(
+        "safe",
+        "err(relief_valve, K), hazardous_kind(K)",
+        focus="relief_valve",
+        magnitude="VH",
+    )
+]
+
+
+class TestRunObservability:
+    def test_materialized_analyze_records_peak_rss(self):
+        from repro.observability.metrics import get_registry
+
+        gauge = get_registry().gauge(
+            "repro_peak_rss_bytes", "peak resident set size of the process"
+        )
+        gauge.set(0)
+        EpaEngine(_mini_model(), REQUIREMENTS).analyze(max_faults=1)
+        assert gauge.value > 0
+
+    def test_fleet_generation_emits_a_span(self):
+        from repro.security.fleet import FleetSpec, build_fleet_model
+
+        sink = MemoryTraceSink()
+        spec = FleetSpec(tiers=2, components_per_tier=2)
+        build_fleet_model(spec, trace=sink)
+        events = sink.named("fleet.generate")
+        assert [e.payload.get("span") for e in events] == ["B", "E"]
+        assert events[-1].payload["components"] == 4
+        assert events[-1].payload["seed"] == spec.seed
+
+    def test_checkpoint_spans_distinguish_write_and_read(self, tmp_path):
+        token = str(tmp_path / "sweep.ckpt")
+        first_sink = MemoryTraceSink()
+        EpaEngine(_mini_model(), REQUIREMENTS, trace=first_sink).aggregate(
+            max_faults=1, checkpoint=token
+        )
+        modes = [
+            e.payload["mode"]
+            for e in first_sink.named("epa.checkpoint")
+            if e.payload.get("span") == "B"
+        ]
+        assert modes and set(modes) == {"write"}
+        # a resume reads the token before (possibly) re-writing it
+        resume_sink = MemoryTraceSink()
+        EpaEngine(_mini_model(), REQUIREMENTS, trace=resume_sink).aggregate(
+            max_faults=1, checkpoint=token
+        )
+        modes = [
+            e.payload["mode"]
+            for e in resume_sink.named("epa.checkpoint")
+            if e.payload.get("span") == "B"
+        ]
+        assert modes[0] == "read"
+
+    def test_progress_tracker_follows_a_materialized_analyze(self):
+        from repro.observability import ProgressTracker
+
+        tracker = ProgressTracker(min_interval=0.0)
+        report = EpaEngine(
+            _mini_model(), REQUIREMENTS, progress=tracker
+        ).analyze(max_faults=1)
+        assert tracker.scenarios == len(report)
+
+    def test_progress_tracker_follows_a_streamed_sweep(self):
+        from repro.observability import ProgressTracker
+
+        tracker = ProgressTracker(min_interval=0.0)
+        aggregate = EpaEngine(
+            _mini_model(), REQUIREMENTS, progress=tracker
+        ).aggregate(max_faults=1)
+        assert tracker.scenarios == aggregate.scenarios
+
+    def test_progress_tracker_follows_a_sharded_sweep(self):
+        from repro.observability import ProgressTracker
+
+        tracker = ProgressTracker(min_interval=0.0)
+        report = EpaEngine(
+            _mini_model(), REQUIREMENTS, workers=2, progress=tracker
+        ).analyze(max_faults=1)
+        assert tracker.scenarios == len(report)
+        assert tracker.cubes_total > 0
+        assert tracker.cubes_done == tracker.cubes_total

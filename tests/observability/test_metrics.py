@@ -191,6 +191,48 @@ class TestMerge:
         with pytest.raises(MetricsError):
             MetricsRegistry().merge({"m": {"kind": "summary", "series": []}})
 
+    def _telemetry_snapshot(self, worker, age, stalls, scenarios):
+        """One worker's health/progress telemetry, as shipped to the parent."""
+        registry = MetricsRegistry()
+        registry.gauge(
+            "repro_worker_heartbeat_age_seconds",
+            "seconds since each pool worker was last heard from",
+            worker=worker,
+        ).set(age)
+        registry.counter(
+            "repro_worker_stalled_total", "stalled or dead workers"
+        ).inc(stalls)
+        registry.gauge(
+            "repro_progress_scenarios", "scenarios folded so far"
+        ).set(scenarios)
+        return registry.to_dict()
+
+    def test_worker_telemetry_snapshots_merge_out_of_order(self):
+        snapshots = [
+            self._telemetry_snapshot(worker=0, age=1.5, stalls=1, scenarios=100),
+            self._telemetry_snapshot(worker=1, age=0.2, stalls=2, scenarios=250),
+            self._telemetry_snapshot(worker=2, age=9.0, stalls=0, scenarios=400),
+        ]
+        arrival_orders = [snapshots, list(reversed(snapshots))]
+        for order in arrival_orders:
+            parent = MetricsRegistry()
+            for snapshot in order:
+                parent.merge(snapshot)
+            # stall counters sum whatever the arrival order
+            assert parent.counter("repro_worker_stalled_total").value == 3
+            # per-worker heartbeat gauges are distinct labeled series:
+            # each keeps its own worker's reading in either order
+            age = lambda worker: parent.gauge(
+                "repro_worker_heartbeat_age_seconds", worker=worker
+            ).value
+            assert (age(0), age(1), age(2)) == (1.5, 0.2, 9.0)
+            # the unlabeled progress gauge is one series: last write wins,
+            # so it reflects whichever snapshot arrived last
+            assert (
+                parent.gauge("repro_progress_scenarios").value
+                == order[-1]["repro_progress_scenarios"]["series"][0]["value"]
+            )
+
     def test_roundtrip_through_serialization(self):
         original = MetricsRegistry()
         original.counter("c", "help").inc(3)
